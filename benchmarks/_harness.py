@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table/figure from the paper (see DESIGN.md's
+experiment index) and prints the rows it reports, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+artifacts textually alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+from repro._util import format_table
+
+
+def emit(title: str, headers, rows, align_right=None) -> None:
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows, align_right=align_right))
+
+
+def emit_text(title: str, text: str) -> None:
+    print(f"\n=== {title} ===")
+    print(text)

@@ -1,0 +1,70 @@
+"""E5 — Amdahl's law: the speedup bound the course introduces.
+
+Analytical curves cross-validated against the simulated machine running
+an actual serial-prologue + parallel-map workload.
+"""
+
+import pytest
+
+from benchmarks._harness import emit
+from repro.core import (
+    SyncCosts,
+    amdahl_limit,
+    amdahl_speedup,
+    parallel_map_cycles,
+)
+
+FRACTIONS = [0.50, 0.90, 0.95, 0.99]
+CORES = [1, 2, 4, 8, 16, 64, 256]
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+def analytic_table():
+    return [(f, [amdahl_speedup(f, n) for n in CORES], amdahl_limit(f))
+            for f in FRACTIONS]
+
+
+def test_bench_amdahl_curves(benchmark):
+    table = benchmark(analytic_table)
+
+    emit("Amdahl speedup S(p) by parallel fraction f",
+         ["f"] + [f"p={n}" for n in CORES] + ["limit"],
+         [([f"{f:.2f}"] + [f"{s:.2f}" for s in speeds]
+           + [f"{limit:.0f}"])
+          for f, speeds, limit in table],
+         align_right=[True] * (len(CORES) + 2))
+
+    # monotone in f and in p; bounded by the limit
+    for f, speeds, limit in table:
+        assert speeds == sorted(speeds)
+        assert all(s <= limit + 1e-9 for s in speeds)
+    assert table[-1][1][-1] > table[0][1][-1]
+
+
+def test_bench_amdahl_vs_simulated_machine(benchmark):
+    """The simulated machine's measured speedup matches the formula."""
+    costs = [10.0] * 256
+    serial_fraction = 0.10
+
+    def measure():
+        t1 = parallel_map_cycles(costs, workers=1, num_cores=1,
+                                 serial_fraction=serial_fraction,
+                                 sync_costs=FREE).makespan
+        out = {}
+        for n in (2, 4, 8, 16):
+            tn = parallel_map_cycles(costs, workers=n, num_cores=n,
+                                     serial_fraction=serial_fraction,
+                                     sync_costs=FREE).makespan
+            out[n] = t1 / tn
+        return out
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for n, s in measured.items():
+        predicted = amdahl_speedup(1 - serial_fraction, n)
+        rows.append((n, f"{s:.3f}", f"{predicted:.3f}"))
+        assert s == pytest.approx(predicted, rel=0.05)
+
+    emit("simulated machine vs Amdahl prediction (f=0.90)",
+         ["cores", "measured S", "predicted S"], rows,
+         align_right=[True, True, True])

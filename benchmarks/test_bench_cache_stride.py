@@ -1,0 +1,54 @@
+"""E4 — the caching exercise: stride patterns and cache performance.
+
+"We present students with an interactive exercise in which two code
+blocks containing nested for loops access memory in different stride
+patterns. The exercise asks students to analyze their relative
+performance with cache behavior in mind." (§III-A)
+
+Row-major vs column-major traversal of an n×n int array, across cache
+geometries; the row-major block must win decisively everywhere.
+"""
+
+from benchmarks._harness import emit
+from repro.memory import Cache, CacheConfig, amat
+from repro.memory.trace import matrix_sum_columnwise, matrix_sum_rowwise
+
+N = 128
+GEOMETRIES = [
+    ("direct-mapped, 16B blocks", CacheConfig(num_lines=64, block_size=16)),
+    ("direct-mapped, 32B blocks", CacheConfig(num_lines=64, block_size=32)),
+    ("direct-mapped, 64B blocks", CacheConfig(num_lines=64, block_size=64)),
+    ("2-way LRU, 32B blocks",
+     CacheConfig(num_lines=64, block_size=32, associativity=2)),
+]
+
+
+def run_exercise():
+    rows = []
+    for label, config in GEOMETRIES:
+        row_cache, col_cache = Cache(config), Cache(config)
+        row_cache.run_trace(matrix_sum_rowwise(N))
+        col_cache.run_trace(matrix_sum_columnwise(N))
+        rows.append((label, row_cache.stats.hit_rate,
+                     col_cache.stats.hit_rate,
+                     amat([row_cache], 100), amat([col_cache], 100)))
+    return rows
+
+
+def test_bench_stride_exercise(benchmark):
+    rows = benchmark(run_exercise)
+
+    emit(f"stride exercise: sum an {N}x{N} int array, row-wise vs "
+         "column-wise",
+         ["cache", "row hit%", "col hit%", "row AMAT", "col AMAT"],
+         [(label, f"{rh:.1%}", f"{ch:.1%}", f"{ra:.1f}", f"{ca:.1f}")
+          for label, rh, ch, ra, ca in rows],
+         align_right=[False, True, True, True, True])
+
+    for label, row_hit, col_hit, row_amat, col_amat in rows:
+        assert row_hit > col_hit + 0.5, label      # decisive win
+        assert row_amat < col_amat, label
+
+    # larger blocks help the sequential pattern (more spatial locality)
+    row_hits = [r[1] for r in rows[:3]]
+    assert row_hits == sorted(row_hits)

@@ -1,0 +1,86 @@
+"""E7 — pipelining: "improved instructions per cycle rate" (§III-A).
+
+The same instruction streams through the multicycle CPU timing model
+and the 5-stage pipeline (with/without forwarding), across instruction
+mixes with different hazard densities.
+"""
+
+import random
+
+from benchmarks._harness import emit
+from repro.circuits import (
+    Instruction,
+    Op,
+    PipelineConfig,
+    compare,
+    simulate_pipeline,
+)
+
+
+def make_stream(kind: str, n: int, seed: int = 3) -> list[Instruction]:
+    rng = random.Random(seed)
+    stream = []
+    for i in range(n):
+        if kind == "independent":
+            stream.append(Instruction(Op.ADD, rd=i % 8, rs=i % 8,
+                                      rt=i % 8))
+        elif kind == "dependent-chain":
+            stream.append(Instruction(Op.ADD, rd=0, rs=0, rt=0))
+        elif kind == "load-use":
+            if i % 2 == 0:
+                stream.append(Instruction(Op.LOAD, rd=1, rs=0))
+            else:
+                stream.append(Instruction(Op.ADD, rd=2, rs=1, rt=1))
+        elif kind == "branchy":
+            if i % 5 == 4:
+                stream.append(Instruction(Op.BEQZ, rs=rng.randrange(8),
+                                          imm=1))
+            else:
+                stream.append(Instruction(Op.ADD, rd=i % 8, rs=i % 8,
+                                          rt=i % 8))
+    return stream
+
+
+MIXES = ["independent", "dependent-chain", "load-use", "branchy"]
+N = 400
+
+
+def run_all():
+    out = {}
+    for mix in MIXES:
+        stream = make_stream(mix, N)
+        cmp = compare(stream)
+        no_fwd = simulate_pipeline(stream, PipelineConfig(forwarding=False))
+        out[mix] = (cmp, no_fwd)
+    return out
+
+
+def test_bench_pipeline_ipc(benchmark):
+    results = benchmark(run_all)
+
+    rows = []
+    for mix in MIXES:
+        cmp, no_fwd = results[mix]
+        rows.append((mix,
+                     f"{cmp.multicycle.ipc:.3f}",
+                     f"{cmp.pipelined.ipc:.3f}",
+                     f"{no_fwd.ipc:.3f}",
+                     f"{cmp.speedup:.2f}x",
+                     cmp.pipelined.stalls,
+                     cmp.pipelined.branch_flushes))
+    emit(f"pipelining vs multicycle, {N}-instruction streams",
+         ["mix", "multicycle IPC", "pipelined IPC", "no-fwd IPC",
+          "speedup", "stalls", "flushes"],
+         rows, align_right=[False, True, True, True, True, True, True])
+
+    # shapes the lecture teaches
+    ind_cmp, _ = results["independent"]
+    assert ind_cmp.pipelined.ipc > 0.95          # approaches 1
+    assert ind_cmp.speedup > 3.5                 # ~stage-count gain
+    _, chain_no_fwd = results["dependent-chain"]
+    chain_cmp, _ = results["dependent-chain"]
+    assert chain_cmp.pipelined.ipc > chain_no_fwd.ipc  # forwarding helps
+    branchy_cmp, _ = results["branchy"]
+    assert branchy_cmp.pipelined.ipc < ind_cmp.pipelined.ipc
+    load_cmp, _ = results["load-use"]
+    assert load_cmp.pipelined.stalls > 0         # load-use must stall

@@ -1,0 +1,51 @@
+"""E8 — producer/consumer: bounded-buffer throughput.
+
+The course's closing module exercise, swept over buffer capacity and
+producer:consumer ratios. Shapes: a capacity-1 buffer serializes the
+pipeline; balanced P:C beats skewed; all items always flow through.
+"""
+
+from benchmarks._harness import emit
+from repro.core import run_producer_consumer
+
+CONFIGS = [
+    # (producers, consumers, items/producer, capacity)
+    (1, 1, 48, 1),
+    (1, 1, 48, 4),
+    (1, 1, 48, 16),
+    (4, 1, 12, 4),
+    (1, 4, 48, 4),
+    (2, 2, 24, 4),
+    (4, 4, 12, 8),
+]
+
+
+def run_all():
+    return [run_producer_consumer(
+        producers=p, consumers=c, items_per_producer=items,
+        capacity=cap, num_cores=8) for p, c, items, cap in CONFIGS]
+
+
+def test_bench_producer_consumer(benchmark):
+    results = benchmark(run_all)
+
+    emit("bounded buffer sweep (48 items through, 8 cores)",
+         ["P", "C", "capacity", "makespan", "throughput", "max occ",
+          "lock contention"],
+         [(r.producers, r.consumers, r.capacity, f"{r.makespan:,.0f}",
+           f"{r.throughput:.2f}", r.max_occupancy,
+           f"{r.contention_cycles:,.0f}") for r in results],
+         align_right=[True, True, True, True, True, True, True])
+
+    by_key = {(r.producers, r.consumers, r.capacity): r for r in results}
+    # capacity bound always held
+    for r in results:
+        assert r.max_occupancy <= r.capacity
+        assert r.items == 48
+    # more buffer space never hurts 1:1 throughput
+    assert (by_key[(1, 1, 16)].makespan
+            <= by_key[(1, 1, 1)].makespan)
+    # balanced 2:2 beats both skewed 4:1 and 1:4 shapes
+    assert (by_key[(2, 2, 4)].makespan
+            <= max(by_key[(4, 1, 4)].makespan,
+                   by_key[(1, 4, 4)].makespan))

@@ -1,0 +1,60 @@
+"""E11 — ablation: "the OS's role in scheduling for efficiency" (§II).
+
+The same job mix under FCFS, SJF, and round-robin at several quanta
+(with a context-switch cost), reporting the trade-off the course
+narrates: SJF minimizes waiting, small-quantum RR minimizes response
+but pays overhead, and a huge quantum collapses RR into FCFS.
+"""
+
+import random
+
+from benchmarks._harness import emit
+from repro.ossim.scheduling import Job, fcfs, round_robin, sjf
+
+SWITCH_COST = 0.2
+
+
+def workload(n=24, seed=31):
+    """A convoy-prone mix: a few long jobs among many short ones."""
+    rng = random.Random(seed)
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        burst = rng.choice([1, 1, 2, 2, 3, 12])
+        jobs.append(Job(f"j{i}", t, burst))
+        t += rng.random() * 1.5
+    return jobs
+
+
+def run_all():
+    jobs = workload()
+    results = [fcfs(jobs), sjf(jobs)]
+    for q in (1, 2, 4, 16):
+        results.append(round_robin(jobs, quantum=q,
+                                   switch_cost=SWITCH_COST))
+    return results
+
+
+def test_bench_scheduling(benchmark):
+    results = benchmark(run_all)
+
+    emit(f"scheduling policies on a 24-job convoy-prone mix "
+         f"(switch cost {SWITCH_COST})",
+         ["policy", "mean turnaround", "mean waiting", "mean response",
+          "switches", "makespan"],
+         [(r.policy, f"{r.mean_turnaround:.2f}",
+           f"{r.mean_waiting:.2f}", f"{r.mean_response:.2f}",
+           r.context_switches, f"{r.total_time:.1f}") for r in results],
+         align_right=[False, True, True, True, True, True])
+
+    by = {r.policy: r for r in results}
+    # SJF minimizes mean waiting among the non-preemptive pair
+    assert by["SJF"].mean_waiting <= by["FCFS"].mean_waiting
+    # small-quantum RR gives the best response time of all policies
+    assert by["RR(q=1)"].mean_response <= min(
+        by["FCFS"].mean_response, by["SJF"].mean_response)
+    # but pays for it in context switches (vs bigger quanta)
+    assert (by["RR(q=1)"].context_switches
+            > by["RR(q=16)"].context_switches)
+    # and overhead shows up in the makespan
+    assert by["RR(q=1)"].total_time > by["RR(q=16)"].total_time

@@ -1,0 +1,52 @@
+"""E9 — ablation: "using synchronization sparingly" (§III-A).
+
+The Lab 10 program with three lock-granularity choices for its shared
+statistics: none (leader-computed), one lock per round per thread (the
+lab's intent), and one lock per row (oversynchronized). Correctness is
+identical; cost is not — the course's lesson quantified.
+"""
+
+from benchmarks._harness import emit
+from repro.life import GameOfLife, ParallelLife, grids_equal, random_grid
+
+GRID = 64
+ROUNDS = 4
+THREADS = 8
+MODES = ["none", "per-round", "per-row"]
+
+
+def run_all():
+    grid = random_grid(GRID, GRID, seed=9)
+    serial = GameOfLife(grid.copy())
+    serial.run(ROUNDS)
+    out = {}
+    for mode in MODES:
+        game = ParallelLife(grid.copy(), threads=THREADS,
+                            stat_locking=mode)
+        result = game.run(ROUNDS)
+        assert grids_equal(result, serial.grid), mode
+        out[mode] = game
+    return out
+
+
+def test_bench_sync_granularity(benchmark):
+    games = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base = games["none"].makespan
+    emit(f"lock granularity ablation ({GRID}x{GRID}, {ROUNDS} rounds, "
+         f"{THREADS} threads; all results bit-identical to serial)",
+         ["stat locking", "makespan", "slowdown vs none",
+          "lock acquisitions", "contention cycles"],
+         [(mode,
+           f"{g.makespan:,.0f}",
+           f"{g.makespan / base:.2f}x",
+           g.stats_mutex.acquisitions,
+           f"{g.stats_mutex.contention_cycles:,.0f}")
+          for mode, g in games.items()],
+         align_right=[False, True, True, True, True])
+
+    assert (games["none"].makespan
+            <= games["per-round"].makespan
+            <= games["per-row"].makespan)
+    # the oversynchronized version pays a clearly visible penalty
+    assert games["per-row"].makespan > 1.2 * games["none"].makespan

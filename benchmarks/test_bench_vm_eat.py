@@ -1,0 +1,78 @@
+"""E6 — virtual memory: effective access time with and without a TLB.
+
+Reproduces the §III-A lecture numbers: page faults under LRU on the
+VM-2-style two-process workload, the TLB's effect on effective memory
+access time, and the context-switch flush penalty.
+"""
+
+import random
+
+from benchmarks._harness import emit
+from repro.vm import CostModel, MMU, PhysicalMemory
+
+PAGE = 4096
+
+
+def two_process_workload(accesses=400, seed=7):
+    """A VM-2-style trace: two processes, bursty locality, switches."""
+    rng = random.Random(seed)
+    trace = []
+    pid = 1
+    hot_page = {1: 0, 2: 0}
+    for i in range(accesses):
+        if i % 40 == 0:
+            pid = 2 if pid == 1 else 1          # context switch
+        if rng.random() < 0.15:
+            hot_page[pid] = rng.randrange(6)    # working set drifts
+        page = (hot_page[pid] if rng.random() < 0.85
+                else rng.randrange(6))
+        trace.append((pid, page * PAGE + rng.randrange(PAGE),
+                      rng.random() < 0.3))
+    return trace
+
+
+def run_config(tlb_entries: int, frames: int, trace):
+    mmu = MMU(PhysicalMemory(frames, PAGE), page_size=PAGE,
+              tlb_entries=tlb_entries)
+    mmu.create_process(1, 6)
+    mmu.create_process(2, 6)
+    mmu.run_trace(trace)
+    return mmu
+
+
+def test_bench_vm_eat(benchmark):
+    trace = two_process_workload()
+
+    def run_all():
+        return {(tlb, frames): run_config(tlb, frames, trace)
+                for tlb in (1, 4, 16)
+                for frames in (4, 8)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    cost = CostModel(memory_time=100, tlb_time=1,
+                     fault_service_time=100_000)
+
+    rows = []
+    for (tlb, frames), mmu in sorted(results.items()):
+        rows.append((tlb, frames,
+                     f"{mmu.tlb.stats.hit_rate:.1%}",
+                     mmu.stats.page_faults,
+                     mmu.stats.context_switches,
+                     f"{mmu.effective_access_time(cost):,.0f}"))
+    emit("effective access time vs TLB size and RAM frames "
+         "(two processes, VM-2 workload)",
+         ["TLB entries", "frames", "TLB hit%", "faults", "switches",
+          "EAT (cycles)"],
+         rows, align_right=[True, True, True, True, True, True])
+
+    # shape: bigger TLB → better hit rate → lower EAT (same frames)
+    for frames in (4, 8):
+        eats = [results[(t, frames)].effective_access_time(cost)
+                for t in (1, 4, 16)]
+        hits = [results[(t, frames)].tlb.stats.hit_rate
+                for t in (1, 4, 16)]
+        assert hits == sorted(hits)
+        assert eats == sorted(eats, reverse=True)
+    # more frames → fewer faults (same TLB)
+    assert (results[(4, 8)].stats.page_faults
+            <= results[(4, 4)].stats.page_faults)

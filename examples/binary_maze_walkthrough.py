@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Lab 5: escaping the binary maze with the debugger.
+
+Plays the lab the way a student does: disassemble each floor, reason
+about the check it performs, derive the input, and advance — with a
+GDB-style session shown for the first floor.
+
+Run:  python examples/binary_maze_walkthrough.py
+"""
+
+import re
+
+from repro.isa import Maze, disassemble_function
+
+
+def solve_from_listing(scheme: str, listing: str) -> int:
+    """Derive the passcode for a floor from its disassembly alone."""
+    imms = [int(m) for m in re.findall(r"\$(-?\d+)", listing)]
+    if scheme == "constant":
+        return imms[0]
+    if scheme == "sum":
+        return imms[0] + imms[1]
+    if scheme == "xor":
+        return imms[0] ^ imms[1]
+    if scheme == "shift":
+        return imms[1] << imms[0]
+    if scheme == "loop":
+        k = [v for v in imms if v != 0][0]
+        return k * (k + 1) // 2
+    raise ValueError(scheme)
+
+
+def main() -> None:
+    maze = Maze(floors=5, seed=1234)
+    print(f"a maze with {maze.num_floors} floors "
+          f"(schemes: {[f.scheme for f in maze.floors]})\n")
+
+    # -- a GDB session on floor 1 ------------------------------------------
+    dbg = maze.fresh_debugger()
+    print("(gdb) disas floor_1")
+    print(dbg.execute_command("disas floor_1"))
+    print()
+
+    # -- solve every floor from disassembly --------------------------------
+    guesses = []
+    for floor in maze.floors:
+        listing = disassemble_function(maze.program, floor.label)
+        guess = solve_from_listing(floor.scheme, listing)
+        opened = maze.enter(floor.number, guess)
+        print(f"floor {floor.number} [{floor.scheme:>8}]: "
+              f"guessing {guess:>6} -> "
+              f"{'door opens' if opened else 'BOOM'}")
+        guesses.append(guess)
+
+    print("\nescaped the maze:", maze.escaped(guesses))
+
+    # -- what a wrong guess looks like ---------------------------------------
+    wrong = guesses[:1] + [guesses[1] + 1]
+    print(f"with a wrong floor-2 guess, progress stops at floor "
+          f"{maze.attempt(wrong)}")
+
+
+if __name__ == "__main__":
+    main()

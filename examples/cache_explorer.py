@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The memory hierarchy module: devices, locality, caches, AMAT.
+
+Walks the course's §III-A arc: why a hierarchy exists (device numbers),
+what locality is (measured on real traces), how caches exploit it
+(direct-mapped vs set-associative on the same trace), and what it buys
+(effective access time).
+
+Run:  python examples/cache_explorer.py
+"""
+
+from repro.memory import (
+    Cache,
+    CacheConfig,
+    Level,
+    MemoryHierarchy,
+    amat,
+    analyze,
+    comparison_table,
+    library_book_exercise,
+)
+from repro.memory.trace import (
+    matrix_sum_columnwise,
+    matrix_sum_rowwise,
+    random_access,
+    repeated_working_set,
+)
+
+
+def main() -> None:
+    print("== why a hierarchy: the device landscape ==")
+    print(comparison_table())
+
+    print("\n== the library-books intuition, as numbers ==")
+    books = library_book_exercise()
+    print(f"always walking to the shelf: {books['always_shelf']:.2f}  "
+          f"with a desk cache: {books['with_desk']:.2f}  "
+          f"speedup {books['speedup']:.1f}x")
+
+    print("\n== locality, measured on three traces ==")
+    traces = {
+        "sequential sweep": matrix_sum_rowwise(64),
+        "hot working set": repeated_working_set(256, 12),
+        "random access": random_access(2000, 1 << 20, seed=3),
+    }
+    for name, trace in traces.items():
+        rep = analyze(trace)
+        print(f"  {name:>16}: temporal={rep.temporal:.2f} "
+              f"spatial={rep.spatial:.2f} "
+              f"unique_blocks={rep.unique_blocks}")
+
+    print("\n== the stride exercise across cache designs ==")
+    for label, cfg in [
+        ("direct-mapped 2KB/32B", CacheConfig(num_lines=64, block_size=32)),
+        ("2-way LRU 2KB/32B",
+         CacheConfig(num_lines=64, block_size=32, associativity=2)),
+        ("direct-mapped 2KB/64B", CacheConfig(num_lines=32, block_size=64)),
+    ]:
+        row_c, col_c = Cache(cfg), Cache(cfg)
+        row_c.run_trace(matrix_sum_rowwise(96))
+        col_c.run_trace(matrix_sum_columnwise(96))
+        print(f"  {label:>22}: row-major {row_c.stats.hit_rate:6.1%}   "
+              f"column-major {col_c.stats.hit_rate:6.1%}   "
+              f"AMAT {amat([row_c], 100):5.1f} vs "
+              f"{amat([col_c], 100):5.1f} cycles")
+
+    print("\n== composing levels: effective access time ==")
+    hierarchy = MemoryHierarchy([
+        Level("L1", 1, 0.92),
+        Level("L2", 10, 0.85),
+        Level("DRAM", 100, None),
+    ])
+    print(hierarchy.table())
+    print(f"effective access time: "
+          f"{hierarchy.effective_access_time():.2f} cycles")
+
+
+if __name__ == "__main__":
+    main()

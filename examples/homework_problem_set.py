@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Generating a week of CS 31 written homework, with the answer key.
+
+The homework engines use each simulator as an answer oracle, so a staff
+member (or an autograder) can mint fresh, checkable problem sets per
+semester. This script prints one problem from every engine, its answer,
+and then grades a simulated student who gets one question wrong.
+
+Run:  python examples/homework_problem_set.py
+"""
+
+from repro.homework import check, grade
+from repro.homework.assembly_hw import (
+    check_translation,
+    generate_register_trace,
+    generate_translation,
+)
+from repro.homework.binary_hw import (
+    generate_arithmetic,
+    generate_c_expression,
+    generate_conversion,
+)
+from repro.homework.cache_hw import generate_cache_trace, worksheet_solution
+from repro.homework.circuits_hw import generate_truth_table
+from repro.homework.processes_hw import generate_fork_outputs
+from repro.homework.threads_hw import generate_amdahl, generate_counter_outcome
+from repro.homework.vm_hw import generate_vm_trace
+
+SEED = 2022
+
+
+def show(title, problem) -> None:
+    print(f"--- {title} ---")
+    for line in problem.prompt.splitlines():
+        print(f"  {line}")
+    print(f"  [answer key] {problem.reveal()}\n")
+
+
+def main() -> None:
+    problems = [
+        ("binary conversion", generate_conversion(seed=SEED)),
+        ("fixed-width arithmetic", generate_arithmetic(seed=SEED)),
+        ("C expression", generate_c_expression(seed=SEED)),
+        ("circuit truth table", generate_truth_table(seed=SEED)),
+        ("assembly trace", generate_register_trace(seed=SEED)),
+        ("cache trace (2-way LRU)",
+         generate_cache_trace(seed=SEED, associativity=2)),
+        ("fork outputs", generate_fork_outputs(seed=SEED)),
+        ("VM-2 trace", generate_vm_trace(seed=SEED, processes=2)),
+        ("shared counter", generate_counter_outcome(seed=SEED)),
+        ("Amdahl", generate_amdahl(seed=SEED)),
+    ]
+    for title, p in problems:
+        show(title, p)
+
+    print("=== the cache worksheet's solution sheet ===")
+    print(worksheet_solution(generate_cache_trace(seed=SEED,
+                                                  associativity=2)))
+
+    print("\n=== grading a student run ===")
+    ps = [p for _, p in problems]
+    attempts = [p.reveal() for p in ps]
+    attempts[0] = {"binary": "101", "hex": "0x5"}   # one wrong answer
+    print(f"score with one wrong answer: {grade(ps, attempts):.0%}")
+
+    print("\n=== behavioural grading of a translation ===")
+    t = generate_translation(seed=SEED)
+    print(t.prompt)
+    ok = check_translation(t, t.answer)
+    lazy = f"{t.context['function']}:\n  movl $7, %eax\n  ret"
+    bad = check_translation(t, lazy)
+    print(f"reference assembly passes: {ok}; "
+          f"a hardcoded-constant attempt passes: {bad}")
+
+    print("\n=== and the two course exams compose the same engines ===")
+    from repro.curriculum import administer, build_final, build_midterm
+    for exam in (build_midterm(seed=SEED), build_final(seed=SEED)):
+        result = administer(exam, exam.answer_key())
+        topics = sorted({q.topic for q in exam.questions})
+        print(f"{exam.title}: {len(exam.questions)} questions, "
+              f"{exam.total_points} points over {', '.join(topics)}; "
+              f"answer key scores {result.percentage:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""OS internals: boot, scheduling policies, and page replacement.
+
+The §III-A operating-systems material beyond the shell: how the machine
+gets from power-on to a running init, what scheduling policy costs and
+buys on a convoy-prone job mix, and why the course teaches LRU — shown
+by making FIFO exhibit Belady's anomaly on the classic reference string.
+
+Run:  python examples/os_internals.py
+"""
+
+from repro.ossim import Exit, Print, boot
+from repro.ossim.scheduling import (
+    Job,
+    compare_policies,
+    comparison_table,
+    round_robin,
+)
+from repro.vm import MMU, PhysicalMemory
+
+PAGE = 256
+BELADY = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+
+
+def page_faults(policy: str, frames: int) -> int:
+    mmu = MMU(PhysicalMemory(frames, PAGE), page_size=PAGE,
+              tlb_entries=1, replacement=policy)
+    mmu.create_process(1, 6)
+    for p in BELADY:
+        mmu.access(p * PAGE)
+    return mmu.stats.page_faults
+
+
+def main() -> None:
+    print("== power-on to init: the boot sequence ==")
+    result = boot()
+    print(result.dmesg())
+    result.kernel.spawn("first-program", [Print("first program runs!\n"),
+                                          Exit(0)])
+    result.kernel.run()
+    print(result.kernel.output_string(), end="")
+
+    print("\n== scheduling for efficiency (theme 2) ==")
+    jobs = [Job("long", 0, 10), Job("quick1", 1, 1), Job("quick2", 2, 1),
+            Job("medium", 3, 4)]
+    print(comparison_table(compare_policies(jobs, quantum=1,
+                                            switch_cost=0.2)))
+    costly = round_robin(jobs, quantum=1, switch_cost=1.0)
+    print(f"with expensive context switches (cost 1.0), RR(q=1) "
+          f"makespan grows to {costly.total_time:.1f}")
+
+    print("\n== page replacement: why LRU (and Belady's anomaly) ==")
+    print(f"reference string: {BELADY}")
+    for policy in ("lru", "fifo"):
+        f3 = page_faults(policy, 3)
+        f4 = page_faults(policy, 4)
+        note = "  <-- MORE frames, MORE faults!" if f4 > f3 else ""
+        print(f"  {policy.upper():>4}: 3 frames -> {f3} faults, "
+              f"4 frames -> {f4} faults{note}")
+
+
+if __name__ == "__main__":
+    main()

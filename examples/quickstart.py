@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: a whirlwind tour down CS 31's vertical slice.
+
+Runs one small artifact from every layer of the library — bits, gates,
+assembly, C memory, caches, virtual memory, processes, and threads —
+ending with the course's headline experiment: near-linear parallel
+speedup on the simulated multicore.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.binary import BitVector, add
+from repro.circuits import ALU, ALUOp
+from repro.clib import AddressSpace, Memcheck
+from repro.core import is_near_linear, scaling_table
+from repro.curriculum import table_i
+from repro.isa import Machine, assemble, compile_c
+from repro.life import (
+    make,
+    random_grid,
+    render,
+    run_serial_cycles,
+    simulated_scaling,
+    step,
+)
+from repro.memory import Cache, CacheConfig
+from repro.memory.trace import matrix_sum_columnwise, matrix_sum_rowwise
+from repro.ossim import Shell
+from repro.vm import MMU, PhysicalMemory
+
+
+def main() -> None:
+    print("== 1. binary representation ==")
+    a = BitVector.from_signed(100, 8)
+    r = add(a, a)
+    print(f"100 + 100 in signed 8-bit = {r.signed}  ({r.flags})")
+
+    print("\n== 2. the Lab 3 ALU, built from gates ==")
+    alu = ALU(width=8)
+    value, flags = alu.compute(ALUOp.SUB, 4, 9)
+    print(f"4 - 9 = {value} (as unsigned pattern), sign={flags.sign}, "
+          f"gates inside: {alu.gate_count}")
+
+    print("\n== 3. C, compiled and executed on the IA-32 subset ==")
+    program = assemble(compile_c(
+        "int fib(int n) { if (n < 2) { return n; } "
+        "return fib(n - 1) + fib(n - 2); }"), entry="fib")
+    print(f"fib(12) = {Machine(program).call('fib', 12)}")
+
+    print("\n== 4. the heap, under memcheck ==")
+    mc = Memcheck(AddressSpace.standard())
+    p = mc.malloc(16)
+    mc.space.write(p, b"x" * 16)
+    mc.free(p)
+    q = mc.malloc(8)   # leaked on purpose
+    print(mc.report().splitlines()[0],
+          "(one leak planted deliberately)")
+
+    print("\n== 5. caching: the stride exercise ==")
+    cfg = CacheConfig(num_lines=64, block_size=32)
+    good, bad = Cache(cfg), Cache(cfg)
+    good.run_trace(matrix_sum_rowwise(64))
+    bad.run_trace(matrix_sum_columnwise(64))
+    print(f"row-major hit rate {good.stats.hit_rate:.1%} vs "
+          f"column-major {bad.stats.hit_rate:.1%}")
+
+    print("\n== 6. virtual memory ==")
+    mmu = MMU(PhysicalMemory(2, 4096), page_size=4096)
+    mmu.create_process(1, 4)
+    for page in (0, 1, 2, 0):
+        t = mmu.access(page * 4096)
+        print(f"  access page {t.vpn}: "
+              f"{'FAULT' if t.page_fault else 'hit'}"
+              + (f", evicted {t.evicted}" if t.evicted else ""))
+
+    print("\n== 7. processes: a three-line shell session ==")
+    sh = Shell()
+    print(sh.run_script(["hello", "spin &", "jobs"]), end="")
+
+    print("\n== 8. Game of Life, serial (Lab 6) ==")
+    glider = make("glider")
+    print(render(step(step(glider))))
+
+    print("\n== 9. the headline: near-linear speedup (Lab 10) ==")
+    grid = random_grid(128, 128, seed=31)
+    times = simulated_scaling(grid, 4, [1, 2, 4, 8, 16])
+    rows = scaling_table(run_serial_cycles(grid, 4), times)
+    for point in rows:
+        print(f"  {point.workers:>2} threads: speedup "
+              f"{point.speedup:5.2f}  efficiency {point.efficiency:.2f}")
+    print("near linear up to 16 threads:",
+          is_near_linear(rows, efficiency_floor=0.8))
+
+    print("\n== 10. and the curriculum itself is data ==")
+    print(table_i().splitlines()[2][:78] + "...")
+
+
+if __name__ == "__main__":
+    main()

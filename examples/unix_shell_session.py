@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Labs 8 + 9: the command parser and the Unix shell.
+
+A scripted interactive session against the simulated kernel: parsing
+with quotes and '&', foreground and background jobs, job reaping,
+history with !n expansion — and a look underneath at the process
+hierarchy and the fork/exec/wait lifecycle the shell drives.
+
+Run:  python examples/unix_shell_session.py
+"""
+
+from repro.ossim import (
+    Exec,
+    Exit,
+    Fork,
+    Kernel,
+    Print,
+    Shell,
+    Wait,
+    enumerate_outputs,
+    parse_command,
+)
+
+SESSION = [
+    "help",
+    "hello",
+    "spin-long &",
+    "yes3",
+    "jobs",
+    "history",
+    "!2",          # re-run 'hello'
+    "exit",
+]
+
+
+def main() -> None:
+    print("== the Lab 8 parser on its own ==")
+    for line in ['./life "two words" arg2 &', "echo plain", "sleep 5&"]:
+        cmd = parse_command(line)
+        print(f"  {line!r:35} -> argv={cmd.argv} bg={cmd.background}")
+
+    print("\n== a Lab 9 shell session ==")
+    shell = Shell()
+    for line in SESSION:
+        if shell.exited:
+            break
+        print(f"$ {line}")
+        output = shell.run_line(line)
+        if output:
+            print(output, end="")
+    shell_still = "exited" if shell.exited else "running"
+    print(f"(shell {shell_still}; last status {shell.last_status})")
+
+    print("\n== underneath: fork + exec + wait, by hand ==")
+    kernel = Kernel()
+    kernel.spawn("launcher", [
+        Print("parent: forking\n"),
+        Fork(child=[Exec("hello")]),
+        Wait(),
+        Print("parent: child reaped\n"),
+        Exit(0),
+    ])
+    kernel.run()
+    print(kernel.output_string(), end="")
+    print("\nprocess hierarchy at the end:")
+    print(kernel.process_tree())
+
+    print("\n== why wait() matters: possible outputs ==")
+    racy = [Fork(child=[Print("C"), Exit(0)]), Print("P"), Exit(0)]
+    ordered = [Fork(child=[Print("C"), Exit(0)]), Wait(), Print("P"),
+               Exit(0)]
+    print("without wait:", sorted(enumerate_outputs(racy)))
+    print("with wait:   ", sorted(enumerate_outputs(ordered)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — an executable reproduction of CS 31, Swarthmore's second course.
+
+This library implements, as runnable Python systems, every substrate of
+*Introducing Parallel Computing in a Second CS Course* (Newhall, Webb,
+Chaganti, Danner; EduPar/IPDPS 2022): the vertical slice through the
+computer (binary → circuits → ISA/assembly → C memory model → memory
+hierarchy/caches → virtual memory → OS processes) and the shared-memory
+parallelism layer the course builds on top, plus the curriculum/evaluation
+model used to regenerate the paper's Table I and Figure 1.
+
+Subpackages
+-----------
+binary      bit patterns, two's complement, fixed-width arithmetic, C types
+circuits    gate-level simulator: adders, latches, the Lab 3 ALU, a CPU
+isa         IA-32-subset assembler, machine, debugger, binary maze, C compiler
+clib        C address space, pointers, malloc/free, memcheck, string library
+memory      storage devices, memory hierarchy, cache simulator, traces
+vm          page tables, TLB, page faults, effective access time
+ossim       simulated kernel: processes, fork/exec/wait, signals, shell
+core        pthread-style threads on a simulated multicore; sync; speedup
+life        Conway's Game of Life labs, serial and parallel, with ParaVis
+curriculum  TCPP coverage (Table I), labs/homework registry, survey (Fig. 1)
+homework    mechanical generators + checkers for the written homeworks
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "binary", "circuits", "isa", "clib", "memory", "vm", "ossim",
+    "core", "life", "curriculum", "homework",
+]

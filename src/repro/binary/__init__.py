@@ -1,0 +1,65 @@
+"""Binary data representation (CS 31 §III-A, *Binary Representation*).
+
+Fixed-width bit patterns, base conversion, two's complement, fixed-width
+arithmetic with condition flags, the C integer type model, and binary32
+floating point.
+"""
+
+from repro.binary.bits import BitVector
+from repro.binary.arith import ArithResult, Flags, add, add_worked, mul, neg, sub
+from repro.binary.convert import (
+    binary_to_decimal,
+    binary_to_hex,
+    decimal_to_binary,
+    decimal_to_binary_worked,
+    decimal_to_hex,
+    hex_to_binary,
+    hex_to_decimal,
+    positional_expansion,
+)
+from repro.binary.ctypes_model import (
+    ALL_TYPES,
+    CHAR,
+    INT,
+    LONG,
+    LONG_LONG,
+    POINTER,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    ULONG_LONG,
+    USHORT,
+    CType,
+    binary_op,
+    convert,
+    type_named,
+    usual_arithmetic_conversion,
+)
+from repro.binary.twos_complement import (
+    decode,
+    encode,
+    fits_signed,
+    fits_unsigned,
+    negate,
+    negate_worked,
+    reinterpret_signed,
+    reinterpret_unsigned,
+    sign_extend_value,
+    signed_range,
+    unsigned_range,
+)
+from repro.binary import floating
+
+__all__ = [
+    "BitVector", "ArithResult", "Flags", "add", "add_worked", "sub", "neg",
+    "mul", "decimal_to_binary", "binary_to_decimal", "binary_to_hex",
+    "hex_to_binary", "decimal_to_hex", "hex_to_decimal",
+    "decimal_to_binary_worked", "positional_expansion",
+    "CType", "ALL_TYPES", "CHAR", "UCHAR", "SHORT", "USHORT", "INT", "UINT",
+    "LONG", "ULONG", "LONG_LONG", "ULONG_LONG", "POINTER", "type_named",
+    "usual_arithmetic_conversion", "convert", "binary_op",
+    "encode", "decode", "negate", "negate_worked", "signed_range",
+    "unsigned_range", "fits_signed", "fits_unsigned", "reinterpret_signed",
+    "reinterpret_unsigned", "sign_extend_value", "floating",
+]

@@ -1,0 +1,169 @@
+"""Fixed-width binary arithmetic with condition flags.
+
+This models the arithmetic unit the course builds up to: addition and
+subtraction produce a result *pattern* plus the four condition flags
+(carry, overflow, zero, sign) that the ISA machine and the Lab 3 ALU reuse.
+The distinction the course hammers on — **carry** signals *unsigned*
+overflow while **overflow** signals *signed* overflow — falls directly out
+of the flag definitions here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import mask
+from repro.binary.bits import BitVector
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The condition codes produced by an arithmetic operation.
+
+    carry     — unsigned result did not fit (borrow, for subtraction)
+    overflow  — signed result did not fit (two's-complement overflow)
+    zero      — result pattern is all zeros
+    sign      — most significant bit of the result
+    """
+    carry: bool = False
+    overflow: bool = False
+    zero: bool = False
+    sign: bool = False
+
+    def __str__(self) -> str:
+        return (f"CF={int(self.carry)} OF={int(self.overflow)} "
+                f"ZF={int(self.zero)} SF={int(self.sign)}")
+
+
+@dataclass(frozen=True)
+class ArithResult:
+    """A result pattern together with its flags and both interpretations."""
+    value: BitVector
+    flags: Flags
+
+    @property
+    def unsigned(self) -> int:
+        return self.value.to_unsigned()
+
+    @property
+    def signed(self) -> int:
+        return self.value.to_signed()
+
+    @property
+    def unsigned_overflow(self) -> bool:
+        return self.flags.carry
+
+    @property
+    def signed_overflow(self) -> bool:
+        return self.flags.overflow
+
+
+def _result_flags(raw_wide: int, width: int, signed_exact: int) -> ArithResult:
+    """Build flags from the un-truncated result and exact signed value."""
+    raw = raw_wide & mask(width)
+    result = BitVector(raw, width)
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    flags = Flags(
+        carry=raw_wide != raw,  # bits were lost above the top
+        overflow=not (lo <= signed_exact <= hi),
+        zero=raw == 0,
+        sign=bool(raw >> (width - 1)),
+    )
+    return ArithResult(result, flags)
+
+
+def add(a: BitVector, b: BitVector, carry_in: int = 0) -> ArithResult:
+    """Fixed-width addition (with optional carry-in, for chaining adders)."""
+    if a.width != b.width:
+        raise ValueError(f"width mismatch: {a.width} vs {b.width}")
+    wide = a.to_unsigned() + b.to_unsigned() + carry_in
+    signed_exact = a.to_signed() + b.to_signed() + carry_in
+    return _result_flags(wide, a.width, signed_exact)
+
+
+def sub(a: BitVector, b: BitVector) -> ArithResult:
+    """Fixed-width subtraction ``a - b`` implemented as ``a + ~b + 1``.
+
+    The carry flag here follows the x86 convention: set on *borrow*,
+    i.e. when ``a < b`` as unsigned values.
+    """
+    if a.width != b.width:
+        raise ValueError(f"width mismatch: {a.width} vs {b.width}")
+    w = a.width
+    wide = a.to_unsigned() + ((~b).to_unsigned()) + 1
+    signed_exact = a.to_signed() - b.to_signed()
+    res = _result_flags(wide, w, signed_exact)
+    # x86 CF on subtraction = borrow = NOT the adder's carry-out.
+    borrow = a.to_unsigned() < b.to_unsigned()
+    return ArithResult(res.value, Flags(carry=borrow,
+                                        overflow=res.flags.overflow,
+                                        zero=res.flags.zero,
+                                        sign=res.flags.sign))
+
+
+def neg(a: BitVector) -> ArithResult:
+    """Two's-complement negation as ``0 - a``."""
+    zero = BitVector(0, a.width)
+    return sub(zero, a)
+
+
+def mul(a: BitVector, b: BitVector, *, signed: bool) -> ArithResult:
+    """Fixed-width multiplication keeping the low ``width`` bits.
+
+    Flags: carry and overflow both indicate that the full product did not
+    fit in the result width under the chosen signedness (x86 ``imul``/``mul``
+    convention).
+    """
+    if a.width != b.width:
+        raise ValueError(f"width mismatch: {a.width} vs {b.width}")
+    w = a.width
+    if signed:
+        exact = a.to_signed() * b.to_signed()
+        lo, hi = -(1 << (w - 1)), (1 << (w - 1)) - 1
+        lost = not (lo <= exact <= hi)
+    else:
+        exact = a.to_unsigned() * b.to_unsigned()
+        lost = exact > mask(w)
+    raw = exact & mask(w)
+    return ArithResult(
+        BitVector(raw, w),
+        Flags(carry=lost, overflow=lost, zero=raw == 0,
+              sign=bool(raw >> (w - 1))))
+
+
+@dataclass
+class ColumnAddition:
+    """Grade-school binary column addition with the carry row shown.
+
+    The course teaches addition by hand before showing the adder circuit;
+    homework solutions print this worksheet.
+    """
+    a: BitVector
+    b: BitVector
+    carries: str          # carry *into* each column, MSB first, w+1 chars
+    result: ArithResult
+
+    def render(self) -> str:
+        w = self.a.width
+        return "\n".join([
+            f"carry:  {self.carries}",
+            f"        {' ' + self.a.to_binary_string()}",
+            f"      + {' ' + self.b.to_binary_string()}",
+            f"        {'-' * (w + 1)}",
+            f"        {int(self.result.flags.carry)}"
+            f"{self.result.value.to_binary_string()}",
+            f"flags: {self.result.flags}",
+        ])
+
+
+def add_worked(a: BitVector, b: BitVector) -> ColumnAddition:
+    """Column-by-column addition, recording the carry into each position."""
+    if a.width != b.width:
+        raise ValueError(f"width mismatch: {a.width} vs {b.width}")
+    w = a.width
+    carries = [0] * (w + 1)  # carries[i] = carry into bit i
+    for i in range(w):
+        s = a.bit(i) + b.bit(i) + carries[i]
+        carries[i + 1] = s >> 1
+    carry_row = "".join(str(carries[i]) for i in range(w, -1, -1))
+    return ColumnAddition(a, b, carry_row, add(a, b))

@@ -1,0 +1,226 @@
+"""Fixed-width bit vectors — the course's "everything is bits" foundation.
+
+CS 31's first systems topic is binary data representation (§III-A, *Binary
+Representation*). :class:`BitVector` is the shared currency for that module
+and for the circuit simulator: an immutable, fixed-width pattern of bits
+with explicit unsigned and two's-complement views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro._util import mask
+from repro.errors import BinaryError, RangeError
+
+
+class BitVector:
+    """An immutable fixed-width bit pattern.
+
+    The *pattern* is what is stored; *interpretation* (unsigned vs signed)
+    is a view applied by the reader — exactly the distinction the course
+    drills with C's ``int`` vs ``unsigned int``.
+
+    >>> b = BitVector.from_unsigned(0b1011, 4)
+    >>> b.to_unsigned(), b.to_signed()
+    (11, -5)
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: int, width: int) -> None:
+        if width <= 0:
+            raise BinaryError(f"width must be positive, got {width}")
+        if not 0 <= value <= mask(width):
+            raise BinaryError(
+                f"raw value {value:#x} does not fit in {width} bits")
+        self._value = value
+        self._width = width
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_unsigned(cls, value: int, width: int) -> "BitVector":
+        """Encode a non-negative integer; raise RangeError on overflow."""
+        if value < 0:
+            raise RangeError(f"{value} is negative; use from_signed")
+        if value > mask(width):
+            raise RangeError(f"{value} does not fit in {width} unsigned bits")
+        return cls(value, width)
+
+    @classmethod
+    def from_signed(cls, value: int, width: int) -> "BitVector":
+        """Encode in two's complement; raise RangeError if out of range."""
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        if not lo <= value <= hi:
+            raise RangeError(
+                f"{value} does not fit in {width}-bit two's complement "
+                f"[{lo}, {hi}]")
+        return cls(value & mask(width), width)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "BitVector":
+        """Build from bits listed most-significant first."""
+        if not bits:
+            raise BinaryError("empty bit sequence")
+        value = 0
+        for b in bits:
+            if b not in (0, 1):
+                raise BinaryError(f"bit must be 0 or 1, got {b!r}")
+            value = (value << 1) | b
+        return cls(value, len(bits))
+
+    @classmethod
+    def from_string(cls, text: str) -> "BitVector":
+        """Parse a string like ``'1011'`` or ``'0b1011'`` (MSB first)."""
+        s = text.strip().removeprefix("0b").replace("_", "")
+        if not s or any(c not in "01" for c in s):
+            raise BinaryError(f"not a binary string: {text!r}")
+        return cls(int(s, 2), len(s))
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def raw(self) -> int:
+        """The stored pattern as a non-negative integer."""
+        return self._value
+
+    def to_unsigned(self) -> int:
+        return self._value
+
+    def to_signed(self) -> int:
+        """Two's-complement interpretation."""
+        sign_bit = 1 << (self._width - 1)
+        if self._value & sign_bit:
+            return self._value - (1 << self._width)
+        return self._value
+
+    def bit(self, i: int) -> int:
+        """Bit *i*, numbered LSB=0 (hardware convention)."""
+        if not 0 <= i < self._width:
+            raise BinaryError(f"bit index {i} out of range for width {self._width}")
+        return (self._value >> i) & 1
+
+    def bits_msb_first(self) -> list[int]:
+        return [self.bit(i) for i in range(self._width - 1, -1, -1)]
+
+    @property
+    def msb(self) -> int:
+        """The sign bit under two's complement."""
+        return self.bit(self._width - 1)
+
+    @property
+    def lsb(self) -> int:
+        return self.bit(0)
+
+    # -- structure ----------------------------------------------------------
+
+    def slice(self, hi: int, lo: int) -> "BitVector":
+        """Bits ``hi..lo`` inclusive (hardware-style slice, hi >= lo)."""
+        if not (0 <= lo <= hi < self._width):
+            raise BinaryError(f"bad slice [{hi}:{lo}] of width {self._width}")
+        width = hi - lo + 1
+        return BitVector((self._value >> lo) & mask(width), width)
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """``self`` becomes the high bits, ``other`` the low bits."""
+        return BitVector((self._value << other._width) | other._value,
+                         self._width + other._width)
+
+    def zero_extend(self, width: int) -> "BitVector":
+        if width < self._width:
+            raise BinaryError("cannot zero-extend to a smaller width")
+        return BitVector(self._value, width)
+
+    def sign_extend(self, width: int) -> "BitVector":
+        """Replicate the sign bit — the Lab 3 sign-extender circuit."""
+        if width < self._width:
+            raise BinaryError("cannot sign-extend to a smaller width")
+        return BitVector(self.to_signed() & mask(width), width)
+
+    def truncate(self, width: int) -> "BitVector":
+        """Keep the low ``width`` bits — C's narrowing conversion."""
+        if width > self._width:
+            raise BinaryError("truncate target wider than source")
+        return BitVector(self._value & mask(width), width)
+
+    # -- bitwise operators (width-checked) -----------------------------------
+
+    def _check_width(self, other: "BitVector") -> None:
+        if not isinstance(other, BitVector):
+            raise TypeError("expected BitVector")
+        if other._width != self._width:
+            raise BinaryError(
+                f"width mismatch: {self._width} vs {other._width}")
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value & other._value, self._width)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value | other._value, self._width)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value ^ other._value, self._width)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(~self._value & mask(self._width), self._width)
+
+    def shift_left(self, n: int) -> "BitVector":
+        """Logical left shift; bits fall off the top (C ``<<``)."""
+        if n < 0:
+            raise BinaryError("negative shift")
+        return BitVector((self._value << n) & mask(self._width), self._width)
+
+    def shift_right_logical(self, n: int) -> "BitVector":
+        """Zero-filling right shift (C unsigned ``>>``)."""
+        if n < 0:
+            raise BinaryError("negative shift")
+        return BitVector(self._value >> n, self._width)
+
+    def shift_right_arith(self, n: int) -> "BitVector":
+        """Sign-filling right shift (C signed ``>>`` on most compilers)."""
+        if n < 0:
+            raise BinaryError("negative shift")
+        return BitVector((self.to_signed() >> n) & mask(self._width),
+                         self._width)
+
+    # -- protocol -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BitVector)
+                and self._value == other._value
+                and self._width == other._width)
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._width))
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate MSB-first, matching how the string form reads."""
+        return iter(self.bits_msb_first())
+
+    def __repr__(self) -> str:
+        return f"BitVector('{self.to_binary_string()}')"
+
+    # -- formatting -------------------------------------------------------------
+
+    def to_binary_string(self, *, group: int = 0) -> str:
+        s = format(self._value, f"0{self._width}b")
+        if group > 0:
+            rev = s[::-1]
+            s = "_".join(rev[i:i + group] for i in range(0, len(rev), group))[::-1]
+        return s
+
+    def to_hex_string(self) -> str:
+        """Hex with enough digits for the full width (``0x0f`` for 8 bits)."""
+        digits = (self._width + 3) // 4
+        return format(self._value, f"#0{digits + 2}x")

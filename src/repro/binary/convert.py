@@ -1,0 +1,136 @@
+"""Base conversion drills: decimal ⟷ binary ⟷ hexadecimal.
+
+These are the hand algorithms CS 31 teaches (repeated division for
+decimal→binary, nibble grouping for binary⟷hex), implemented exactly as the
+course presents them so the homework generators can show work step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BinaryError
+
+_HEX_DIGITS = "0123456789abcdef"
+
+
+def decimal_to_binary(value: int) -> str:
+    """Convert a non-negative integer to its minimal binary string."""
+    if value < 0:
+        raise BinaryError("decimal_to_binary takes non-negative values; "
+                          "use twos_complement.encode for signed")
+    if value == 0:
+        return "0"
+    out: list[str] = []
+    n = value
+    while n:
+        out.append(str(n & 1))
+        n >>= 1
+    return "".join(reversed(out))
+
+
+def binary_to_decimal(text: str) -> int:
+    """Positional expansion of a binary string."""
+    s = text.strip().removeprefix("0b").replace("_", "")
+    if not s or any(c not in "01" for c in s):
+        raise BinaryError(f"not a binary string: {text!r}")
+    total = 0
+    for c in s:
+        total = total * 2 + (c == "1")
+    return total
+
+
+def binary_to_hex(text: str) -> str:
+    """Group bits into nibbles from the right, pad the top nibble."""
+    s = text.strip().removeprefix("0b").replace("_", "")
+    if not s or any(c not in "01" for c in s):
+        raise BinaryError(f"not a binary string: {text!r}")
+    pad = (-len(s)) % 4
+    s = "0" * pad + s
+    return "0x" + "".join(
+        _HEX_DIGITS[int(s[i:i + 4], 2)] for i in range(0, len(s), 4))
+
+
+def hex_to_binary(text: str) -> str:
+    """Expand each hex digit to four bits (preserves digit count)."""
+    s = text.strip().lower().removeprefix("0x").replace("_", "")
+    if not s or any(c not in _HEX_DIGITS for c in s):
+        raise BinaryError(f"not a hex string: {text!r}")
+    return "".join(format(int(c, 16), "04b") for c in s)
+
+
+def decimal_to_hex(value: int) -> str:
+    """Convert a non-negative integer to 0x-prefixed hexadecimal."""
+    if value < 0:
+        raise BinaryError("decimal_to_hex takes non-negative values")
+    return binary_to_hex(decimal_to_binary(value))
+
+
+def hex_to_decimal(text: str) -> int:
+    """Parse a hex string (with or without 0x) to an integer."""
+    return binary_to_decimal(hex_to_binary(text))
+
+
+@dataclass
+class DivisionStep:
+    """One row of the repeated-division worksheet."""
+    quotient_in: int
+    quotient_out: int
+    remainder: int
+
+    def __str__(self) -> str:
+        return (f"{self.quotient_in} / 2 = {self.quotient_out} "
+                f"remainder {self.remainder}")
+
+
+@dataclass
+class ConversionWork:
+    """Decimal→binary conversion with the full worked steps shown.
+
+    This is what a homework solution sheet prints: the division ladder and
+    the remainders read bottom-up.
+    """
+    value: int
+    steps: list[DivisionStep] = field(default_factory=list)
+
+    @property
+    def binary(self) -> str:
+        if not self.steps:
+            return "0"
+        return "".join(str(s.remainder) for s in reversed(self.steps))
+
+    def render(self) -> str:
+        lines = [str(s) for s in self.steps]
+        lines.append(f"read remainders bottom-up: {self.value} = "
+                     f"0b{self.binary}")
+        return "\n".join(lines)
+
+
+def decimal_to_binary_worked(value: int) -> ConversionWork:
+    """Produce the repeated-division worksheet for ``value``."""
+    if value < 0:
+        raise BinaryError("worked conversion takes non-negative values")
+    work = ConversionWork(value)
+    n = value
+    while n:
+        work.steps.append(DivisionStep(n, n // 2, n % 2))
+        n //= 2
+    return work
+
+
+def positional_expansion(text: str, base: int) -> list[tuple[int, int, int]]:
+    """Return ``(digit, base**position, contribution)`` triples, MSB first.
+
+    Used by homework solutions to show e.g. ``0b1011 = 1*8 + 0*4 + 1*2 + 1*1``.
+    """
+    if base == 2:
+        s = text.strip().removeprefix("0b")
+        digits = [int(c, 2) for c in s]
+    elif base == 16:
+        s = text.strip().lower().removeprefix("0x")
+        digits = [int(c, 16) for c in s]
+    else:
+        raise BinaryError(f"unsupported base {base}")
+    n = len(digits)
+    return [(d, base ** (n - 1 - i), d * base ** (n - 1 - i))
+            for i, d in enumerate(digits)]

@@ -1,0 +1,172 @@
+"""A model of C's integer types on the course's 32-bit lab machines.
+
+CS 31 discusses "the typical number of bytes in different C types" and uses
+IA-32 as the reference, so this model fixes the ILP32 sizes. It provides
+the conversion/promotion semantics that the homework drills: narrowing
+truncates, sign/zero extension on widening, and the usual arithmetic
+conversions (signed operand converts to unsigned at equal rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import mask
+from repro.binary.bits import BitVector
+from repro.errors import BinaryError
+
+
+@dataclass(frozen=True)
+class CType:
+    """One C integer type: a name, a byte size, and a signedness."""
+    name: str
+    size_bytes: int
+    signed: bool
+
+    @property
+    def width(self) -> int:
+        return self.size_bytes * 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.width - 1)) - 1 if self.signed else mask(self.width)
+
+    def contains(self, value: int) -> bool:
+        return self.min_value <= value <= self.max_value
+
+    def wrap(self, value: int) -> int:
+        """Reduce an arbitrary integer into this type (C conversion rules).
+
+        Unsigned: modulo 2**width (defined behaviour). Signed: we model the
+        universal two's-complement wrap that real lab machines exhibit.
+        """
+        raw = value & mask(self.width)
+        if self.signed and raw >> (self.width - 1):
+            return raw - (1 << self.width)
+        return raw
+
+    def encode(self, value: int) -> BitVector:
+        """Bit pattern of ``value`` after conversion into this type."""
+        return BitVector(self.wrap(value) & mask(self.width), self.width)
+
+    def to_bytes(self, value: int) -> bytes:
+        """Little-endian byte image, as stored on the x86 lab machines."""
+        return (self.wrap(value) & mask(self.width)).to_bytes(
+            self.size_bytes, "little")
+
+    def from_bytes(self, data: bytes) -> int:
+        if len(data) != self.size_bytes:
+            raise BinaryError(
+                f"{self.name} needs {self.size_bytes} bytes, got {len(data)}")
+        return self.wrap(int.from_bytes(data, "little"))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ILP32 (IA-32 lab machine) types.
+CHAR = CType("char", 1, signed=True)
+UCHAR = CType("unsigned char", 1, signed=False)
+SHORT = CType("short", 2, signed=True)
+USHORT = CType("unsigned short", 2, signed=False)
+INT = CType("int", 4, signed=True)
+UINT = CType("unsigned int", 4, signed=False)
+LONG = CType("long", 4, signed=True)          # ILP32: long is 4 bytes
+ULONG = CType("unsigned long", 4, signed=False)
+LONG_LONG = CType("long long", 8, signed=True)
+ULONG_LONG = CType("unsigned long long", 8, signed=False)
+POINTER = CType("void *", 4, signed=False)     # 32-bit addresses
+
+ALL_TYPES: tuple[CType, ...] = (
+    CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG,
+    LONG_LONG, ULONG_LONG, POINTER,
+)
+
+_BY_NAME = {t.name: t for t in ALL_TYPES}
+
+
+def type_named(name: str) -> CType:
+    """Look up a type by its C spelling."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise BinaryError(f"unknown C type: {name!r}") from None
+
+
+def _rank(t: CType) -> int:
+    """Integer conversion rank (C11 6.3.1.1), by size then spelling."""
+    order = ["char", "short", "int", "long", "long long"]
+    base = t.name.removeprefix("unsigned ").strip()
+    if base == "void *":
+        return 99
+    return order.index(base)
+
+
+def usual_arithmetic_conversion(a: CType, b: CType) -> CType:
+    """The common type of a binary operation on ``a`` and ``b``.
+
+    Models C's rules closely enough for the course: promote both to at
+    least ``int``, then at equal rank unsigned wins — the rule behind the
+    classic ``-1 < 1U`` is false surprise.
+    """
+    def promote(t: CType) -> CType:
+        if _rank(t) < _rank(INT):
+            return INT  # char/short always fit in int
+        return t
+
+    a, b = promote(a), promote(b)
+    if a == b:
+        return a
+    if a.signed == b.signed:
+        return a if _rank(a) >= _rank(b) else b
+    unsigned_t, signed_t = (a, b) if not a.signed else (b, a)
+    if _rank(unsigned_t) >= _rank(signed_t):
+        return unsigned_t
+    # signed type has greater rank; it can represent all unsigned values
+    # here because all our wider types double the byte count.
+    return signed_t
+
+
+def convert(value: int, src: CType, dst: CType) -> int:
+    """C conversion of ``value`` (currently of type src) into dst."""
+    if not src.contains(value):
+        value = src.wrap(value)
+    return dst.wrap(value)
+
+
+def binary_op(op: str, x: int, tx: CType, y: int, ty: CType) -> tuple[int, CType]:
+    """Evaluate ``x op y`` with C semantics; returns (value, result type).
+
+    Supports + - * / % and the comparisons; division is C truncating
+    division. This is what the C-expressions homework checker executes.
+    """
+    common = usual_arithmetic_conversion(tx, ty)
+    a = convert(x, tx, common)
+    b = convert(y, ty, common)
+    if op == "+":
+        return common.wrap(a + b), common
+    if op == "-":
+        return common.wrap(a - b), common
+    if op == "*":
+        return common.wrap(a * b), common
+    if op == "/":
+        if b == 0:
+            raise ZeroDivisionError("division by zero in C expression")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return common.wrap(q), common
+    if op == "%":
+        if b == 0:
+            raise ZeroDivisionError("modulo by zero in C expression")
+        q, _ = binary_op("/", a, common, b, common)
+        return common.wrap(a - q * b), common
+    if op in ("<", ">", "<=", ">=", "==", "!="):
+        table = {"<": a < b, ">": a > b, "<=": a <= b,
+                 ">=": a >= b, "==": a == b, "!=": a != b}
+        return int(table[op]), INT
+    raise BinaryError(f"unsupported C operator: {op!r}")

@@ -1,0 +1,100 @@
+"""IEEE-754 single precision, at CS 31 depth.
+
+The course "briefly discuss[es] floating point representation" without
+expecting fluent conversion, so this module provides encode/decode plus a
+field-by-field breakdown suitable for a lecture demo: sign, biased
+exponent, significand, and the special categories (zero, subnormal,
+infinity, NaN).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.binary.bits import BitVector
+from repro.errors import BinaryError
+
+_BIAS = 127
+_EXP_BITS = 8
+_FRAC_BITS = 23
+
+
+@dataclass(frozen=True)
+class FloatFields:
+    """The three fields of a binary32 value, plus its classification."""
+    sign: int            # 0 or 1
+    exponent_raw: int    # 8-bit biased field
+    fraction: int        # 23-bit significand field
+    category: str        # 'zero' | 'subnormal' | 'normal' | 'infinity' | 'nan'
+
+    @property
+    def exponent(self) -> int:
+        """The unbiased exponent (normals only; subnormals use 1-bias)."""
+        if self.category == "normal":
+            return self.exponent_raw - _BIAS
+        return 1 - _BIAS
+
+    def render(self) -> str:
+        return (f"sign={self.sign}  exponent={self.exponent_raw:08b} "
+                f"(raw {self.exponent_raw})  "
+                f"fraction={self.fraction:023b}  [{self.category}]")
+
+
+def encode(value: float) -> BitVector:
+    """Round ``value`` to binary32 and return its 32-bit pattern."""
+    raw = struct.unpack("<I", struct.pack("<f", value))[0]
+    return BitVector(raw, 32)
+
+
+def decode(pattern: BitVector) -> float:
+    """Interpret a 32-bit pattern as binary32."""
+    if pattern.width != 32:
+        raise BinaryError("binary32 patterns are 32 bits")
+    return struct.unpack("<f", struct.pack("<I", pattern.raw))[0]
+
+
+def fields(pattern: BitVector) -> FloatFields:
+    """Split a 32-bit pattern into sign/exponent/fraction and classify it."""
+    if pattern.width != 32:
+        raise BinaryError("binary32 patterns are 32 bits")
+    sign = pattern.bit(31)
+    exp = pattern.slice(30, 23).to_unsigned()
+    frac = pattern.slice(22, 0).to_unsigned()
+    if exp == 0:
+        category = "zero" if frac == 0 else "subnormal"
+    elif exp == (1 << _EXP_BITS) - 1:
+        category = "infinity" if frac == 0 else "nan"
+    else:
+        category = "normal"
+    return FloatFields(sign, exp, frac, category)
+
+
+def value_from_fields(sign: int, exponent_raw: int, fraction: int) -> float:
+    """Reconstruct the numeric value from raw fields (the lecture formula)."""
+    if sign not in (0, 1):
+        raise BinaryError("sign must be 0 or 1")
+    if not 0 <= exponent_raw < (1 << _EXP_BITS):
+        raise BinaryError("exponent field out of range")
+    if not 0 <= fraction < (1 << _FRAC_BITS):
+        raise BinaryError("fraction field out of range")
+    s = -1.0 if sign else 1.0
+    if exponent_raw == (1 << _EXP_BITS) - 1:
+        return s * math.inf if fraction == 0 else math.nan
+    if exponent_raw == 0:
+        return s * (fraction / (1 << _FRAC_BITS)) * 2.0 ** (1 - _BIAS)
+    return s * (1 + fraction / (1 << _FRAC_BITS)) * 2.0 ** (exponent_raw - _BIAS)
+
+
+def ulp_gap(value: float) -> float:
+    """Distance to the next representable binary32 above ``value``.
+
+    Demonstrates why ``0.1 + 0.2 != 0.3``-style surprises happen: spacing
+    grows with magnitude.
+    """
+    pattern = encode(value)
+    if fields(pattern).category in ("infinity", "nan"):
+        raise BinaryError("no ulp for non-finite values")
+    nxt = BitVector(pattern.raw + 1, 32)
+    return decode(nxt) - decode(pattern)

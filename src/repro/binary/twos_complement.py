@@ -1,0 +1,93 @@
+"""Two's-complement encoding, the course's signed-integer representation.
+
+Provides both the direct encode/decode and the *procedural* form the course
+teaches ("flip the bits and add one"), so homework solutions can show work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import mask
+from repro.errors import RangeError
+from repro.binary.bits import BitVector
+
+
+def signed_range(width: int) -> tuple[int, int]:
+    """Inclusive (min, max) representable in ``width``-bit two's complement."""
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1
+
+
+def unsigned_range(width: int) -> tuple[int, int]:
+    """Inclusive (min, max) representable as ``width``-bit unsigned."""
+    return 0, mask(width)
+
+
+def encode(value: int, width: int) -> BitVector:
+    """Encode a signed integer as a ``width``-bit two's-complement pattern."""
+    return BitVector.from_signed(value, width)
+
+
+def decode(pattern: BitVector) -> int:
+    """Interpret a bit pattern as two's complement."""
+    return pattern.to_signed()
+
+
+def negate(pattern: BitVector) -> BitVector:
+    """Two's-complement negation: invert and add one (mod 2**width).
+
+    Note the classic edge case: negating the most-negative value yields
+    itself (e.g. ``-128`` in 8 bits), which the course calls out explicitly.
+    """
+    w = pattern.width
+    return BitVector(((~pattern.raw) + 1) & mask(w), w)
+
+
+@dataclass
+class NegationWork:
+    """The 'flip the bits and add one' procedure, step by step."""
+    original: BitVector
+    flipped: BitVector
+    result: BitVector
+
+    def render(self) -> str:
+        return (f"original: {self.original.to_binary_string()}\n"
+                f" flipped: {self.flipped.to_binary_string()}\n"
+                f"    +1 =: {self.result.to_binary_string()} "
+                f"(= {self.result.to_signed()})")
+
+
+def negate_worked(pattern: BitVector) -> NegationWork:
+    """Negation with the flip-and-add-one steps recorded for display."""
+    flipped = ~pattern
+    return NegationWork(pattern, flipped, negate(pattern))
+
+
+def reinterpret_unsigned(pattern: BitVector) -> int:
+    """Read the same bits as unsigned — C's ``(unsigned)x`` cast."""
+    return pattern.to_unsigned()
+
+
+def reinterpret_signed(value: int, width: int) -> int:
+    """Read an unsigned value's bits as signed — C's ``(int)x`` cast."""
+    if not 0 <= value <= mask(width):
+        raise RangeError(f"{value} is not a {width}-bit unsigned value")
+    return BitVector(value, width).to_signed()
+
+
+def sign_extend_value(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a raw pattern and return the new raw pattern."""
+    return (BitVector(value & mask(from_width), from_width)
+            .sign_extend(to_width).raw)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """True iff ``value`` is representable in width-bit two's complement."""
+    lo, hi = signed_range(width)
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, width: int) -> bool:
+    """True iff ``value`` is representable as width-bit unsigned."""
+    lo, hi = unsigned_range(width)
+    return lo <= value <= hi

@@ -1,0 +1,64 @@
+"""Digital circuits and the simple CPU (CS 31 §III-A, *Architecture*).
+
+The repo's Logisim substitute: wires/buses with a settle-loop simulator,
+gates, the combinational ladder (half adder → full adder → ripple-carry
+adder; decoder → mux; comparators; shifters), feedback latches, registers,
+the Lab 3 eight-operation/five-flag ALU, a register file, the multicycle
+:class:`SimpleCPU`, and the pipelining timing models behind bench E7.
+"""
+
+from repro.circuits.signals import Bus, Circuit, ClockedComponent, Component, Wire
+from repro.circuits.gates import (
+    And, Buffer, Gate, Nand, Nor, Not, Or, Xnor, Xor, truth_table,
+)
+from repro.circuits.combinational import (
+    BusMux,
+    Constant,
+    Decoder,
+    EqualityComparator,
+    FullAdder,
+    HalfAdder,
+    Mux2,
+    MuxN,
+    RippleCarryAdder,
+    ShiftLeftOne,
+    ShiftRightOne,
+    SignExtender,
+    SubCircuit,
+    Subtractor,
+    ZeroDetector,
+)
+from repro.circuits.sequential import (
+    ClockDivider,
+    Counter,
+    GatedDLatch,
+    MasterSlaveDFlipFlop,
+    Register,
+    RSLatch,
+)
+from repro.circuits.alu import ALU, ALUFlags, ALUOp, alu_reference
+from repro.circuits.regfile import RegisterFile
+from repro.circuits.cpu import Instruction, Op, SimpleCPU, Stage, assemble
+from repro.circuits.pipeline import (
+    PipelineComparison,
+    PipelineConfig,
+    TimingResult,
+    compare,
+    simulate_multicycle,
+    simulate_pipeline,
+)
+
+__all__ = [
+    "Wire", "Bus", "Circuit", "Component", "ClockedComponent",
+    "Gate", "And", "Or", "Not", "Nand", "Nor", "Xor", "Xnor", "Buffer",
+    "truth_table",
+    "SubCircuit", "Constant", "HalfAdder", "FullAdder", "RippleCarryAdder",
+    "Subtractor", "SignExtender", "Mux2", "MuxN", "BusMux", "Decoder",
+    "EqualityComparator", "ZeroDetector", "ShiftLeftOne", "ShiftRightOne",
+    "RSLatch", "GatedDLatch", "MasterSlaveDFlipFlop", "Register",
+    "Counter", "ClockDivider",
+    "ALU", "ALUOp", "ALUFlags", "alu_reference", "RegisterFile",
+    "SimpleCPU", "Instruction", "Op", "Stage", "assemble",
+    "PipelineConfig", "TimingResult", "PipelineComparison",
+    "simulate_multicycle", "simulate_pipeline", "compare",
+]

@@ -1,0 +1,283 @@
+"""Combinational building blocks, composed from gates.
+
+"We stress abstraction along the way, building increasingly complex
+circuits from simpler ones" (§III-A). Each class here is a
+:class:`SubCircuit` whose internals are real gate components, so students
+(and tests) can inspect the composition: half adder → full adder →
+ripple-carry adder; decoder → mux; XNOR column → equality comparator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.gates import And, Buffer, Gate, Nor, Not, Or, Xnor, Xor
+from repro.circuits.signals import Bus, Component, Wire
+from repro.errors import CircuitError, WidthMismatch
+
+
+class Constant(Component):
+    """Drives a wire with a fixed 0 or 1 (Logisim's constant pin)."""
+
+    def __init__(self, output: Wire, value: int, name: str = "") -> None:
+        if value not in (0, 1):
+            raise CircuitError("constant must be 0 or 1")
+        self.output = output
+        self.value = value
+        self.name = name or f"const{value}"
+
+    def evaluate(self) -> bool:
+        return self.output.set(self.value)
+
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+
+class SubCircuit(Component):
+    """A component built out of other components.
+
+    Evaluation simply evaluates the parts in insertion order; the outer
+    settle loop provides the fixed-point iteration, so internal feedback
+    and arbitrary wiring orders still converge.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self.parts: list[Component] = []
+
+    def add(self, component: Component) -> Component:
+        self.parts.append(component)
+        return component
+
+    def evaluate(self) -> bool:
+        changed = False
+        for p in self.parts:
+            if p.evaluate():
+                changed = True
+        return changed
+
+    @property
+    def gate_count(self) -> int:
+        """Number of primitive gates inside (for 'cost of hardware' demos)."""
+        total = 0
+        for p in self.parts:
+            if isinstance(p, SubCircuit):
+                total += p.gate_count
+            elif isinstance(p, Gate):
+                total += 1
+        return total
+
+
+class HalfAdder(SubCircuit):
+    """sum = a XOR b, carry = a AND b."""
+
+    def __init__(self, a: Wire, b: Wire, sum_: Wire, carry: Wire) -> None:
+        super().__init__()
+        self.add(Xor([a, b], sum_))
+        self.add(And([a, b], carry))
+
+
+class FullAdder(SubCircuit):
+    """One-bit adder with carry-in: two half adders plus an OR."""
+
+    def __init__(self, a: Wire, b: Wire, cin: Wire,
+                 sum_: Wire, cout: Wire) -> None:
+        super().__init__()
+        s1 = Wire("ha1.s")
+        c1 = Wire("ha1.c")
+        c2 = Wire("ha2.c")
+        self.add(HalfAdder(a, b, s1, c1))
+        self.add(HalfAdder(s1, cin, sum_, c2))
+        self.add(Or([c1, c2], cout))
+
+
+class RippleCarryAdder(SubCircuit):
+    """N-bit adder chaining full adders through their carries.
+
+    Exposes ``carries`` — the carry *into* each bit plus the final carry
+    out — so the ALU can compute the signed-overflow flag the way hardware
+    does (carry into MSB XOR carry out of MSB).
+    """
+
+    def __init__(self, a: Bus, b: Bus, cin: Wire, sum_: Bus, cout: Wire) -> None:
+        super().__init__()
+        if not (a.width == b.width == sum_.width):
+            raise WidthMismatch("adder operand/result widths differ")
+        n = a.width
+        self.carries: list[Wire] = [cin]
+        for i in range(n):
+            c_out = cout if i == n - 1 else Wire(f"carry{i + 1}")
+            self.add(FullAdder(a[i], b[i], self.carries[i], sum_[i], c_out))
+            self.carries.append(c_out)
+
+
+class Subtractor(SubCircuit):
+    """a - b via two's complement: invert b, add with carry-in 1.
+
+    ``cout`` here is the raw adder carry-out; note for subtraction the x86
+    borrow flag is its complement.
+    """
+
+    def __init__(self, a: Bus, b: Bus, diff: Bus, cout: Wire) -> None:
+        super().__init__()
+        if not (a.width == b.width == diff.width):
+            raise WidthMismatch("subtractor widths differ")
+        n = a.width
+        b_inv = Bus(n, "b_inv")
+        for i in range(n):
+            self.add(Not(b[i], b_inv[i]))
+        one = Wire("one")
+        self.add(Constant(one, 1))
+        self.adder = RippleCarryAdder(a, b_inv, one, diff, cout)
+        self.add(self.adder)
+
+    @property
+    def carries(self) -> list[Wire]:
+        return self.adder.carries
+
+
+class SignExtender(SubCircuit):
+    """Lab 3's first standalone circuit: replicate the sign bit upward."""
+
+    def __init__(self, input_: Bus, output: Bus) -> None:
+        super().__init__()
+        if output.width < input_.width:
+            raise WidthMismatch("sign extender output narrower than input")
+        n = input_.width
+        for i in range(n):
+            self.add(Buffer(input_[i], output[i]))
+        msb = input_[n - 1]
+        for i in range(n, output.width):
+            self.add(Buffer(msb, output[i]))
+
+
+class Mux2(SubCircuit):
+    """One-bit 2-way multiplexer: out = sel ? b : a."""
+
+    def __init__(self, a: Wire, b: Wire, sel: Wire, out: Wire) -> None:
+        super().__init__()
+        nsel = Wire("nsel")
+        t0 = Wire("t0")
+        t1 = Wire("t1")
+        self.add(Not(sel, nsel))
+        self.add(And([a, nsel], t0))
+        self.add(And([b, sel], t1))
+        self.add(Or([t0, t1], out))
+
+
+class Decoder(SubCircuit):
+    """n-to-2**n one-hot decoder (select logic for muxes/register files)."""
+
+    def __init__(self, sel: Bus, outputs: Sequence[Wire]) -> None:
+        super().__init__()
+        n = sel.width
+        if len(outputs) != (1 << n):
+            raise WidthMismatch(
+                f"{n}-bit decoder needs {1 << n} outputs, got {len(outputs)}")
+        nsel = Bus(n, "nsel")
+        for i in range(n):
+            self.add(Not(sel[i], nsel[i]))
+        for code, out in enumerate(outputs):
+            terms = [sel[i] if (code >> i) & 1 else nsel[i] for i in range(n)]
+            if n == 1:
+                self.add(Buffer(terms[0], out))
+            else:
+                self.add(And(terms, out))
+
+
+class MuxN(SubCircuit):
+    """One-bit 2**n-way mux built from a decoder and an AND-OR array."""
+
+    def __init__(self, inputs: Sequence[Wire], sel: Bus, out: Wire) -> None:
+        super().__init__()
+        n = sel.width
+        if len(inputs) != (1 << n):
+            raise WidthMismatch(
+                f"{n}-bit select needs {1 << n} inputs, got {len(inputs)}")
+        hot = [Wire(f"hot{i}") for i in range(len(inputs))]
+        self.add(Decoder(sel, hot))
+        terms = []
+        for i, w in enumerate(inputs):
+            t = Wire(f"term{i}")
+            self.add(And([w, hot[i]], t))
+            terms.append(t)
+        self.add(Or(terms, out))
+
+
+class BusMux(SubCircuit):
+    """2**n-way mux over equal-width buses (per-bit MuxN array)."""
+
+    def __init__(self, inputs: Sequence[Bus], sel: Bus, out: Bus) -> None:
+        super().__init__()
+        if not inputs:
+            raise CircuitError("bus mux needs inputs")
+        width = out.width
+        for b in inputs:
+            if b.width != width:
+                raise WidthMismatch("bus mux input width differs from output")
+        for bit in range(width):
+            self.add(MuxN([b[bit] for b in inputs], sel, out[bit]))
+
+
+class EqualityComparator(SubCircuit):
+    """out = 1 iff a == b: XNOR each column, AND the results."""
+
+    def __init__(self, a: Bus, b: Bus, out: Wire) -> None:
+        super().__init__()
+        if a.width != b.width:
+            raise WidthMismatch("comparator widths differ")
+        cols = []
+        for i in range(a.width):
+            c = Wire(f"eq{i}")
+            self.add(Xnor([a[i], b[i]], c))
+            cols.append(c)
+        if len(cols) == 1:
+            self.add(Buffer(cols[0], out))
+        else:
+            self.add(And(cols, out))
+
+
+class ZeroDetector(SubCircuit):
+    """out = 1 iff the bus is all zeros (NOR of every bit) — the ZF flag."""
+
+    def __init__(self, value: Bus, out: Wire) -> None:
+        super().__init__()
+        if value.width == 1:
+            self.add(Not(value[0], out))
+        else:
+            self.add(Nor(list(value), out))
+
+
+class ShiftLeftOne(SubCircuit):
+    """Fixed shift-by-one: pure wire routing plus a constant 0 into bit 0.
+
+    ``shifted_out`` receives the bit that falls off the top (for CF).
+    """
+
+    def __init__(self, input_: Bus, output: Bus, shifted_out: Wire) -> None:
+        super().__init__()
+        if input_.width != output.width:
+            raise WidthMismatch("shifter widths differ")
+        n = input_.width
+        zero = Wire("zero")
+        self.add(Constant(zero, 0))
+        self.add(Buffer(zero, output[0]))
+        for i in range(1, n):
+            self.add(Buffer(input_[i - 1], output[i]))
+        self.add(Buffer(input_[n - 1], shifted_out))
+
+
+class ShiftRightOne(SubCircuit):
+    """Fixed logical shift-by-one toward the LSB; bit 0 exits via shifted_out."""
+
+    def __init__(self, input_: Bus, output: Bus, shifted_out: Wire) -> None:
+        super().__init__()
+        if input_.width != output.width:
+            raise WidthMismatch("shifter widths differ")
+        n = input_.width
+        zero = Wire("zero")
+        self.add(Constant(zero, 0))
+        self.add(Buffer(zero, output[n - 1]))
+        for i in range(n - 1):
+            self.add(Buffer(input_[i + 1], output[i]))
+        self.add(Buffer(input_[0], shifted_out))

@@ -1,0 +1,330 @@
+"""A complete simple CPU — the capstone of the architecture module.
+
+"We then add control circuitry, a program counter, and instruction
+registers to complete a simple CPU. We discuss instruction execution
+stages and how a clock circuit drives the execution." (§III-A)
+
+:class:`SimpleCPU` executes a 16-bit teaching ISA through explicit
+FETCH → DECODE → EXECUTE → STORE micro-stages, one stage per clock tick
+(the multicycle design the lecture draws on the board). The datapath
+blocks are the Lab 3 ALU's functional model, a register file, a PC, an
+instruction register, and a small word-addressed memory.
+
+Instruction format (16 bits)::
+
+    [15:12] opcode   [11:9] rd   [8:6] rs   [5:3] rt   [5:0] imm6 (signed)
+
+R-format ops use rd/rs/rt; I-format ops use rd/rs + imm6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.binary.bits import BitVector
+from repro.circuits.alu import ALUOp, alu_reference
+from repro.circuits.regfile import RegisterFile
+from repro.errors import CircuitError, IllegalInstruction, MachineFault
+
+WORD = 16
+NUM_REGS = 8
+
+
+class Op(enum.IntEnum):
+    """Opcodes of the teaching ISA."""
+    HALT = 0
+    LOADI = 1    # rd = sign_extend(imm6)
+    ADD = 2      # rd = rs + rt
+    SUB = 3      # rd = rs - rt
+    AND = 4
+    OR = 5
+    XOR = 6
+    NOT = 7      # rd = ~rs
+    SHL = 8      # rd = rs << 1
+    SHR = 9      # rd = rs >> 1 (logical)
+    LOAD = 10    # rd = mem[rs + imm_lo3]  (imm from rt field, unsigned)
+    STORE = 11   # mem[rs + imm_lo3] = rd
+    JMP = 12     # pc = imm6 (unsigned absolute, small programs)
+    BEQZ = 13    # if rs == 0: pc = imm_lo3-extended target in rt|... use imm6? see decode
+    MOV = 14     # rd = rs
+    NOP = 15
+
+
+class Stage(enum.Enum):
+    """The four execution stages the course teaches."""
+    FETCH = "fetch"
+    DECODE = "decode"
+    EXECUTE = "execute"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+    op: Op
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0  # sign-extended 6-bit immediate
+
+    def encode(self) -> int:
+        if self.op in (Op.LOADI, Op.BEQZ) and not -32 <= self.imm <= 31:
+            raise IllegalInstruction(
+                f"immediate {self.imm} does not fit in signed 6 bits")
+        if self.op == Op.JMP and not 0 <= self.imm <= 63:
+            raise IllegalInstruction(f"jump target {self.imm} out of range")
+        if self.op in (Op.LOAD, Op.STORE) and not 0 <= self.imm <= 7:
+            raise IllegalInstruction(
+                f"memory offset {self.imm} does not fit in 3 bits")
+        word = (int(self.op) & 0xF) << 12
+        word |= (self.rd & 0x7) << 9
+        word |= (self.rs & 0x7) << 6
+        if self.op in (Op.LOADI, Op.JMP, Op.BEQZ):
+            word |= self.imm & 0x3F
+        elif self.op in (Op.LOAD, Op.STORE):
+            word |= (self.imm & 0x7) << 3 | 0  # low-3 offset in rt slot
+        else:
+            word |= (self.rt & 0x7) << 3
+        return word
+
+    @staticmethod
+    def decode(word: int) -> "Instruction":
+        if not 0 <= word < (1 << 16):
+            raise IllegalInstruction(f"not a 16-bit word: {word:#x}")
+        opcode = (word >> 12) & 0xF
+        try:
+            op = Op(opcode)
+        except ValueError:  # pragma: no cover - all 16 codes are defined
+            raise IllegalInstruction(f"bad opcode {opcode}") from None
+        rd = (word >> 9) & 0x7
+        rs = (word >> 6) & 0x7
+        rt = (word >> 3) & 0x7
+        imm6 = BitVector(word & 0x3F, 6).to_signed()
+        if op in (Op.LOAD, Op.STORE):
+            return Instruction(op, rd=rd, rs=rs, imm=(word >> 3) & 0x7)
+        if op in (Op.LOADI, Op.BEQZ):
+            return Instruction(op, rd=rd, rs=rs, imm=imm6)
+        if op == Op.JMP:
+            return Instruction(op, imm=word & 0x3F)  # unsigned target
+        return Instruction(op, rd=rd, rs=rs, rt=rt)
+
+    def __str__(self) -> str:
+        o = self.op.name.lower()
+        if self.op in (Op.HALT, Op.NOP):
+            return o
+        if self.op == Op.LOADI:
+            return f"{o} r{self.rd}, {self.imm}"
+        if self.op in (Op.NOT, Op.SHL, Op.SHR, Op.MOV):
+            return f"{o} r{self.rd}, r{self.rs}"
+        if self.op == Op.LOAD:
+            return f"{o} r{self.rd}, [r{self.rs}+{self.imm}]"
+        if self.op == Op.STORE:
+            return f"{o} [r{self.rs}+{self.imm}], r{self.rd}"
+        if self.op == Op.JMP:
+            return f"{o} {self.imm}"
+        if self.op == Op.BEQZ:
+            return f"{o} r{self.rs}, {self.imm}"
+        return f"{o} r{self.rd}, r{self.rs}, r{self.rt}"
+
+
+_ALU_FOR_OP = {
+    Op.ADD: ALUOp.ADD, Op.SUB: ALUOp.SUB, Op.AND: ALUOp.AND,
+    Op.OR: ALUOp.OR, Op.XOR: ALUOp.XOR, Op.NOT: ALUOp.NOT,
+    Op.SHL: ALUOp.SHL, Op.SHR: ALUOp.SHR,
+}
+
+
+class SimpleCPU:
+    """Multicycle execution of the teaching ISA, one stage per clock tick.
+
+    Observable state after every tick: ``pc``, ``ir`` (instruction
+    register), ``stage`` (what the *next* tick will do), register file,
+    memory, cycle and instruction counters, and the last ALU flags.
+    """
+
+    def __init__(self, program: list[int] | None = None,
+                 mem_words: int = 256) -> None:
+        if mem_words <= 0:
+            raise CircuitError("memory size must be positive")
+        self.memory = [0] * mem_words
+        if program:
+            if len(program) > mem_words:
+                raise MachineFault("program larger than memory")
+            self.memory[:len(program)] = program
+        self.regs = RegisterFile(NUM_REGS, WORD)
+        self.pc = 0
+        self.ir = 0
+        self.stage = Stage.FETCH
+        self.halted = False
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.flags_zero = False
+        self.flags_sign = False
+        self._decoded: Instruction | None = None
+        self._exec_value: int | None = None
+        self._next_pc = 0
+        self._halt_pending = False
+
+    # -- memory helpers ------------------------------------------------------
+
+    def _mem_read(self, addr: int) -> int:
+        if not 0 <= addr < len(self.memory):
+            raise MachineFault(f"memory read out of range: {addr}")
+        return self.memory[addr]
+
+    def _mem_write(self, addr: int, value: int) -> None:
+        if not 0 <= addr < len(self.memory):
+            raise MachineFault(f"memory write out of range: {addr}")
+        self.memory[addr] = value & 0xFFFF
+
+    # -- clock ---------------------------------------------------------------
+
+    def tick(self) -> Stage:
+        """Advance one clock cycle; returns the stage that just ran."""
+        if self.halted:
+            return self.stage
+        ran = self.stage
+        if self.stage is Stage.FETCH:
+            self.ir = self._mem_read(self.pc)
+            self._next_pc = self.pc + 1
+            self.stage = Stage.DECODE
+        elif self.stage is Stage.DECODE:
+            self._decoded = Instruction.decode(self.ir)
+            self.stage = Stage.EXECUTE
+        elif self.stage is Stage.EXECUTE:
+            self._execute()
+            self.stage = Stage.STORE
+        else:  # STORE
+            self._store()
+            self.stage = Stage.FETCH
+        self.cycles += 1
+        return ran
+
+    def _execute(self) -> None:
+        ins = self._decoded
+        assert ins is not None
+        self._exec_value = None
+        if ins.op in _ALU_FOR_OP:
+            a = self.regs.read(ins.rs)
+            b = self.regs.read(ins.rt) if ins.op in (
+                Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR) else 0
+            value, flags = alu_reference(_ALU_FOR_OP[ins.op], a, b, WORD)
+            self._exec_value = value
+            self.flags_zero = flags.zero
+            self.flags_sign = flags.sign
+        elif ins.op == Op.LOADI:
+            self._exec_value = ins.imm & 0xFFFF
+        elif ins.op == Op.MOV:
+            self._exec_value = self.regs.read(ins.rs)
+        elif ins.op == Op.LOAD:
+            self._exec_value = self._mem_read(self.regs.read(ins.rs) + ins.imm)
+        elif ins.op == Op.STORE:
+            self._mem_write(self.regs.read(ins.rs) + ins.imm,
+                            self.regs.read(ins.rd))
+        elif ins.op == Op.JMP:
+            self._next_pc = ins.imm & 0x3F
+        elif ins.op == Op.BEQZ:
+            if self.regs.read(ins.rs) == 0:
+                self._next_pc = (self.pc + 1 + ins.imm) % len(self.memory)
+        elif ins.op == Op.HALT:
+            self._halt_pending = True  # takes effect after its STORE stage
+        elif ins.op == Op.NOP:
+            pass
+
+    def _store(self) -> None:
+        ins = self._decoded
+        assert ins is not None
+        if self._exec_value is not None and ins.op not in (Op.STORE, Op.JMP,
+                                                           Op.BEQZ):
+            self.regs.write(ins.rd, self._exec_value)
+        self.regs.clock_edge()
+        self.pc = self._next_pc
+        self.instructions_retired += 1
+        if self._halt_pending:
+            self.halted = True
+
+    # -- drivers ---------------------------------------------------------------
+
+    def step(self) -> Instruction | None:
+        """Run one complete instruction (four ticks); None once halted."""
+        if self.halted:
+            return None
+        while True:
+            self.tick()
+            if self.stage is Stage.FETCH or self.halted:
+                break
+        return self._decoded
+
+    def run(self, max_instructions: int = 100_000) -> int:
+        """Run until HALT; returns instructions retired. Guards runaways."""
+        while not self.halted:
+            if self.instructions_retired >= max_instructions:
+                raise MachineFault("instruction limit exceeded (infinite loop?)")
+            self.step()
+        return self.instructions_retired
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction — 4.0 for this multicycle design."""
+        if self.instructions_retired == 0:
+            return 0.0
+        return self.cycles / self.instructions_retired
+
+
+def assemble(lines: list[str]) -> list[int]:
+    """Assemble the teaching ISA's textual form into memory words.
+
+    Accepts the mnemonics printed by ``Instruction.__str__`` (labels are
+    not supported — the lecture programs are a handful of lines). Comments
+    start with ``#``.
+    """
+    words: list[int] = []
+    for raw in lines:
+        text = raw.split("#", 1)[0].strip().lower()
+        if not text:
+            continue
+        parts = text.replace(",", " ").split()
+        mnem = parts[0]
+        args = parts[1:]
+
+        def reg(tok: str) -> int:
+            if not tok.startswith("r") or not tok[1:].isdigit():
+                raise IllegalInstruction(f"bad register {tok!r} in {raw!r}")
+            n = int(tok[1:])
+            if not 0 <= n < NUM_REGS:
+                raise IllegalInstruction(f"no register {tok!r}")
+            return n
+
+        try:
+            op = Op[mnem.upper()]
+        except KeyError:
+            raise IllegalInstruction(f"unknown mnemonic {mnem!r}") from None
+
+        if op in (Op.HALT, Op.NOP):
+            ins = Instruction(op)
+        elif op == Op.LOADI:
+            ins = Instruction(op, rd=reg(args[0]), imm=int(args[1]))
+        elif op in (Op.NOT, Op.SHL, Op.SHR, Op.MOV):
+            ins = Instruction(op, rd=reg(args[0]), rs=reg(args[1]))
+        elif op == Op.JMP:
+            ins = Instruction(op, imm=int(args[0]))
+        elif op == Op.BEQZ:
+            ins = Instruction(op, rs=reg(args[0]), imm=int(args[1]))
+        elif op == Op.LOAD:
+            # load rd, [rs+k]
+            mem = args[1].strip("[]")
+            base, _, off = mem.partition("+")
+            ins = Instruction(op, rd=reg(args[0]), rs=reg(base),
+                              imm=int(off or 0))
+        elif op == Op.STORE:
+            # store [rs+k], rd
+            mem = args[0].strip("[]")
+            base, _, off = mem.partition("+")
+            ins = Instruction(op, rd=reg(args[1]), rs=reg(base),
+                              imm=int(off or 0))
+        else:
+            ins = Instruction(op, rd=reg(args[0]), rs=reg(args[1]),
+                              rt=reg(args[2]))
+        words.append(ins.encode())
+    return words

@@ -1,0 +1,110 @@
+"""Basic logic gates — the bottom rung of the course's abstraction ladder.
+
+CS 31 starts "from basic AND, OR, and NOT logic gates" (§III-A,
+*Architecture*); NAND/NOR/XOR/XNOR follow as compositions but get native
+gates here because Lab 3 uses them directly. Every gate is a
+:class:`~repro.circuits.signals.Component` reading input wires and driving
+one output wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.circuits.signals import Component, Wire
+from repro.errors import CircuitError
+
+
+class Gate(Component):
+    """An n-input, 1-output logic gate."""
+
+    MIN_INPUTS = 2
+
+    def __init__(self, inputs: Sequence[Wire], output: Wire,
+                 name: str = "") -> None:
+        if len(inputs) < self.MIN_INPUTS:
+            raise CircuitError(
+                f"{type(self).__name__} needs >= {self.MIN_INPUTS} inputs")
+        self.inputs = list(inputs)
+        self.output = output
+        self.name = name or type(self).__name__
+
+    def logic(self, values: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def evaluate(self) -> bool:
+        return self.output.set(self.logic([w.value for w in self.inputs]))
+
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+
+class And(Gate):
+    def logic(self, values: Sequence[int]) -> int:
+        return int(all(values))
+
+
+class Or(Gate):
+    def logic(self, values: Sequence[int]) -> int:
+        return int(any(values))
+
+
+class Not(Gate):
+    MIN_INPUTS = 1
+
+    def __init__(self, input_: Wire, output: Wire, name: str = "") -> None:
+        super().__init__([input_], output, name)
+
+    def logic(self, values: Sequence[int]) -> int:
+        return 1 - values[0]
+
+
+class Nand(Gate):
+    def logic(self, values: Sequence[int]) -> int:
+        return int(not all(values))
+
+
+class Nor(Gate):
+    def logic(self, values: Sequence[int]) -> int:
+        return int(not any(values))
+
+
+class Xor(Gate):
+    def logic(self, values: Sequence[int]) -> int:
+        return int(sum(values) % 2 == 1)
+
+
+class Xnor(Gate):
+    def logic(self, values: Sequence[int]) -> int:
+        return int(sum(values) % 2 == 0)
+
+
+class Buffer(Gate):
+    """Pass-through; used to forward a wire into another sub-circuit."""
+
+    MIN_INPUTS = 1
+
+    def __init__(self, input_: Wire, output: Wire, name: str = "") -> None:
+        super().__init__([input_], output, name)
+
+    def logic(self, values: Sequence[int]) -> int:
+        return values[0]
+
+
+def truth_table(build: Callable[[Sequence[Wire], Wire], Gate],
+                n_inputs: int) -> list[tuple[tuple[int, ...], int]]:
+    """Enumerate a gate's truth table — the circuits homework's core drill.
+
+    ``build(inputs, output)`` constructs the gate under test.
+    """
+    rows: list[tuple[tuple[int, ...], int]] = []
+    for combo in range(1 << n_inputs):
+        ins = [Wire(f"in{i}") for i in range(n_inputs)]
+        out = Wire("out")
+        gate = build(ins, out)
+        for i, w in enumerate(ins):
+            w.set((combo >> (n_inputs - 1 - i)) & 1)
+        gate.evaluate()
+        bits = tuple((combo >> (n_inputs - 1 - i)) & 1 for i in range(n_inputs))
+        rows.append((bits, out.value))
+    return rows

@@ -1,0 +1,171 @@
+"""Instruction pipelining as an efficiency story (§III-A, *Architecture*).
+
+"We discuss how pipelining makes efficient use of CPU circuitry resulting
+in an improved instructions per cycle rate." This module makes that
+claim measurable: it runs the same instruction stream through
+
+* a **multicycle** timing model (one stage at a time: 4–5 cycles per
+  instruction, the :class:`~repro.circuits.cpu.SimpleCPU` design), and
+* a classic **5-stage in-order pipeline** (IF ID EX MEM WB) with
+  read-after-write hazard stalls, optional forwarding, and a branch
+  misprediction penalty,
+
+and reports cycles, stalls, and instructions-per-cycle for each.
+Benchmark E7 regenerates the pipelining comparison from these models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.cpu import Instruction, Op
+
+#: ops that write their rd register
+_WRITES_RD = {Op.LOADI, Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR,
+              Op.NOT, Op.SHL, Op.SHR, Op.LOAD, Op.MOV}
+#: ops that read rs / rt
+_READS_RS = {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.NOT, Op.SHL,
+             Op.SHR, Op.LOAD, Op.STORE, Op.MOV, Op.BEQZ}
+_READS_RT = {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR}
+
+
+def registers_read(ins: Instruction) -> set[int]:
+    reads: set[int] = set()
+    if ins.op in _READS_RS:
+        reads.add(ins.rs)
+    if ins.op in _READS_RT:
+        reads.add(ins.rt)
+    if ins.op == Op.STORE:
+        reads.add(ins.rd)  # STORE reads the value register named rd
+    return reads
+
+
+def register_written(ins: Instruction) -> int | None:
+    return ins.rd if ins.op in _WRITES_RD else None
+
+
+def is_branch(ins: Instruction) -> bool:
+    return ins.op in (Op.JMP, Op.BEQZ)
+
+
+def is_load(ins: Instruction) -> bool:
+    return ins.op == Op.LOAD
+
+
+@dataclass
+class PipelineConfig:
+    """Timing knobs for the 5-stage pipeline model."""
+    stages: int = 5
+    forwarding: bool = True
+    #: extra cycles lost when a taken/unknown branch flushes the front end
+    branch_penalty: int = 2
+
+    def __post_init__(self) -> None:
+        if self.stages < 2:
+            raise ValueError("a pipeline needs at least 2 stages")
+        if self.branch_penalty < 0:
+            raise ValueError("branch penalty cannot be negative")
+
+
+@dataclass
+class TimingResult:
+    """Cycles and throughput for one timing model over one stream."""
+    model: str
+    instructions: int
+    cycles: int
+    stalls: int = 0
+    branch_flushes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def simulate_multicycle(instrs: list[Instruction],
+                        cycles_per_instruction: int = 4) -> TimingResult:
+    """The unpipelined baseline: every instruction occupies the whole CPU."""
+    if cycles_per_instruction < 1:
+        raise ValueError("cycles per instruction must be >= 1")
+    return TimingResult(model=f"multicycle({cycles_per_instruction})",
+                        instructions=len(instrs),
+                        cycles=cycles_per_instruction * len(instrs))
+
+
+def simulate_pipeline(instrs: list[Instruction],
+                      config: PipelineConfig | None = None) -> TimingResult:
+    """In-order scoreboard model of the classic 5-stage pipeline.
+
+    With forwarding, only the load-use case stalls (1 cycle); without it,
+    a dependent instruction waits until the producer's write-back. Branches
+    cost ``branch_penalty`` flush cycles (no predictor, matching the
+    course's introductory treatment).
+    """
+    cfg = config or PipelineConfig()
+    cycles = 0
+    stalls = 0
+    flushes = 0
+    #: cycle at which each register's in-flight value becomes usable
+    ready_at: dict[int, int] = {}
+    issue_cycle = 0
+
+    for ins in instrs:
+        # Stall until every source register is available.
+        need = 0
+        for r in registers_read(ins):
+            need = max(need, ready_at.get(r, 0))
+        if need > issue_cycle:
+            stalls += need - issue_cycle
+            issue_cycle = need
+
+        dst = register_written(ins)
+        if dst is not None:
+            if cfg.forwarding:
+                # ALU results forward after EX (+1); loads after MEM (+2).
+                ready_at[dst] = issue_cycle + (2 if is_load(ins) else 1)
+            else:
+                # Consumer must wait for write-back.
+                ready_at[dst] = issue_cycle + cfg.stages - 1
+
+        issue_cycle += 1
+        if is_branch(ins):
+            flushes += 1
+            issue_cycle += cfg.branch_penalty
+
+    if instrs:
+        # Drain: the last instruction still walks the remaining stages.
+        cycles = issue_cycle + cfg.stages - 1
+    return TimingResult(model=f"pipeline({cfg.stages}-stage, "
+                              f"fwd={'on' if cfg.forwarding else 'off'})",
+                        instructions=len(instrs), cycles=cycles,
+                        stalls=stalls, branch_flushes=flushes)
+
+
+@dataclass
+class PipelineComparison:
+    """Side-by-side timing of the same stream on both models (bench E7)."""
+    multicycle: TimingResult
+    pipelined: TimingResult
+
+    @property
+    def speedup(self) -> float:
+        return self.multicycle.cycles / self.pipelined.cycles
+
+    def rows(self) -> list[tuple[str, int, int, float, float]]:
+        out = []
+        for r in (self.multicycle, self.pipelined):
+            out.append((r.model, r.instructions, r.cycles,
+                        round(r.cpi, 3), round(r.ipc, 3)))
+        return out
+
+
+def compare(instrs: list[Instruction],
+            config: PipelineConfig | None = None,
+            cycles_per_instruction: int = 4) -> PipelineComparison:
+    """Time one stream on both models; returns the side-by-side."""
+    return PipelineComparison(
+        multicycle=simulate_multicycle(instrs, cycles_per_instruction),
+        pipelined=simulate_pipeline(instrs, config))

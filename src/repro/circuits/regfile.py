@@ -1,0 +1,56 @@
+"""Register file — the Logisim-style storage block of the simple CPU.
+
+Lab 3 builds the ALU from gates; the CPU lecture then composes it with a
+register file, PC, and control. Logisim provides registers as built-in
+black boxes, so this register file is modelled at that same block level:
+combinational read ports, one edge-triggered write port.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CircuitError
+
+
+class RegisterFile:
+    """``count`` registers of ``width`` bits with 2 read / 1 write ports.
+
+    Reads are combinational (immediate); writes are staged with
+    :meth:`write` and committed at the clock edge via :meth:`clock_edge`,
+    mirroring edge-triggered hardware so a read in the same cycle sees the
+    *old* value.
+    """
+
+    def __init__(self, count: int = 8, width: int = 16) -> None:
+        if count <= 0 or width <= 0:
+            raise CircuitError("register file needs positive count/width")
+        self.count = count
+        self.width = width
+        self._regs = [0] * count
+        self._pending: tuple[int, int] | None = None
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.count:
+            raise CircuitError(f"register index {index} out of range")
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Stage a write for the next clock edge (last write wins)."""
+        self._check(index)
+        self._pending = (index, value & ((1 << self.width) - 1))
+
+    def clock_edge(self) -> None:
+        if self._pending is not None:
+            idx, val = self._pending
+            self._regs[idx] = val
+            self._pending = None
+
+    def poke(self, index: int, value: int) -> None:
+        """Directly set a register (test/debug backdoor, like Logisim)."""
+        self._check(index)
+        self._regs[index] = value & ((1 << self.width) - 1)
+
+    def dump(self) -> list[int]:
+        return list(self._regs)

@@ -1,0 +1,163 @@
+"""Sequential (stateful) circuits: latches, registers, counters.
+
+The course builds storage bottom-up: cross-coupled NOR gates make an R-S
+latch, gating it makes a D latch, and banks of edge-triggered flip-flops
+(modelled here as :class:`Register`) make the register file and program
+counter. The R-S and D latches below are *real* feedback circuits — their
+state lives in the wires, found by the settle loop — while Register is an
+edge-triggered abstraction, matching how Logisim mixes the two levels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.combinational import SubCircuit
+from repro.circuits.gates import And, Nor, Not
+from repro.circuits.signals import Bus, ClockedComponent, Wire
+from repro.errors import CircuitError
+
+
+class RSLatch(SubCircuit):
+    """Cross-coupled NOR R-S latch.
+
+    S=1 sets Q, R=1 resets Q, S=R=0 holds. S=R=1 is the forbidden input
+    (both outputs driven low); callers can check :meth:`forbidden`.
+    """
+
+    def __init__(self, s: Wire, r: Wire, q: Wire, q_bar: Wire) -> None:
+        super().__init__()
+        self.s, self.r, self.q, self.q_bar = s, r, q, q_bar
+        self.add(Nor([r, q_bar], q))
+        self.add(Nor([s, q], q_bar))
+
+    def forbidden(self) -> bool:
+        return self.s.value == 1 and self.r.value == 1
+
+
+class GatedDLatch(SubCircuit):
+    """D latch: an R-S latch guarded by a write-enable gate.
+
+    When ``enable`` is high, Q follows D (transparent); when low, Q holds.
+    The gating ANDs make the forbidden R-S input unreachable.
+    """
+
+    def __init__(self, d: Wire, enable: Wire, q: Wire, q_bar: Wire) -> None:
+        super().__init__()
+        nd = Wire("nd")
+        s = Wire("s")
+        r = Wire("r")
+        self.add(Not(d, nd))
+        self.add(And([d, enable], s))
+        self.add(And([nd, enable], r))
+        self.latch = RSLatch(s, r, q, q_bar)
+        self.add(self.latch)
+
+
+class MasterSlaveDFlipFlop(SubCircuit):
+    """An edge-triggered D flip-flop built from two gated D latches.
+
+    The gate-level answer to "how does edge-triggering actually work":
+    the master latch is transparent while the clock is low, the slave
+    while it is high, so Q updates only at the rising edge. Completes
+    the storage ladder between :class:`GatedDLatch` (level-sensitive)
+    and the block-level :class:`Register`.
+
+    Drive ``d`` and ``clk`` yourself and settle the circuit; use
+    :meth:`clock_cycle` for the common low→high→low sequence.
+    """
+
+    def __init__(self, d: Wire, clk: Wire, q: Wire, q_bar: Wire) -> None:
+        super().__init__()
+        self.d, self.clk = d, clk
+        nclk = Wire("nclk")
+        mid_q = Wire("master.q")
+        mid_qb = Wire("master.qb")
+        self.add(Not(clk, nclk))
+        self.add(GatedDLatch(d, nclk, mid_q, mid_qb))   # master: clk low
+        self.add(GatedDLatch(mid_q, clk, q, q_bar))     # slave: clk high
+
+
+class Register(ClockedComponent):
+    """An n-bit edge-triggered register.
+
+    On each clock edge, if ``write_enable`` is high (or absent), the value
+    on ``d`` is captured; ``q`` always shows the stored value. This is the
+    abstraction Logisim's register component provides over banks of
+    flip-flops.
+    """
+
+    def __init__(self, d: Bus, q: Bus, write_enable: Wire | None = None,
+                 name: str = "reg") -> None:
+        if d.width != q.width:
+            raise CircuitError("register d/q widths differ")
+        self.d = d
+        self.q = q
+        self.write_enable = write_enable
+        self.name = name
+        self.state = 0
+
+    def evaluate(self) -> bool:
+        before = self.q.value
+        self.q.set(self.state)
+        return self.q.value != before
+
+    def on_clock_edge(self) -> None:
+        if self.write_enable is None or self.write_enable.value == 1:
+            self.state = self.d.value
+
+    def output_wires(self) -> Sequence[Wire]:
+        return list(self.q)
+
+
+class Counter(ClockedComponent):
+    """Program-counter-style register: +1 each tick unless loaded or held.
+
+    Priority: load (capture ``d``) > increment. ``q`` shows the count.
+    """
+
+    def __init__(self, q: Bus, d: Bus | None = None,
+                 load: Wire | None = None, name: str = "counter") -> None:
+        if d is not None and d.width != q.width:
+            raise CircuitError("counter d/q widths differ")
+        self.q = q
+        self.d = d
+        self.load = load
+        self.name = name
+        self.state = 0
+
+    def evaluate(self) -> bool:
+        before = self.q.value
+        self.q.set(self.state)
+        return self.q.value != before
+
+    def on_clock_edge(self) -> None:
+        if (self.load is not None and self.load.value == 1
+                and self.d is not None):
+            self.state = self.d.value
+        else:
+            self.state = (self.state + 1) % (1 << self.q.width)
+
+
+class ClockDivider(ClockedComponent):
+    """Toggles its output every ``period`` ticks — a visible 'clock' signal.
+
+    Used in lecture demos to show clock-driven execution.
+    """
+
+    def __init__(self, output: Wire, period: int = 1) -> None:
+        if period < 1:
+            raise CircuitError("period must be >= 1")
+        self.output = output
+        self.period = period
+        self.ticks = 0
+        self.level = 0
+        self.name = "clkdiv"
+
+    def evaluate(self) -> bool:
+        return self.output.set(self.level)
+
+    def on_clock_edge(self) -> None:
+        self.ticks += 1
+        if self.ticks % self.period == 0:
+            self.level ^= 1

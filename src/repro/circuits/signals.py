@@ -1,0 +1,175 @@
+"""Wires, buses, and the settle-loop simulator for gate-level circuits.
+
+This is the repo's stand-in for Logisim (§III-B, Lab 3). Circuits are
+graphs of components connected by single-bit :class:`Wire` objects; a
+:class:`Circuit` evaluates all components repeatedly until no wire changes
+("settling"), which handles both pure combinational logic and the feedback
+loops inside latches. Clocked (sequential) behaviour is layered on top via
+:meth:`Circuit.tick`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.binary.bits import BitVector
+from repro.errors import CircuitError
+
+
+class Wire:
+    """A single-bit signal.
+
+    Wires carry 0 or 1. They start at 0 (Logisim's default for our
+    purposes; the course does not use tri-state logic).
+    """
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def set(self, value: int) -> bool:
+        """Drive the wire; returns True if the value changed."""
+        if value not in (0, 1):
+            raise CircuitError(f"wire {self.name!r} driven with {value!r}")
+        changed = value != self._value
+        self._value = value
+        return changed
+
+    def __repr__(self) -> str:
+        return f"Wire({self.name!r}={self._value})"
+
+
+class Bus:
+    """An ordered group of wires; index 0 is the least significant bit."""
+
+    def __init__(self, width: int, name: str = "") -> None:
+        if width <= 0:
+            raise CircuitError("bus width must be positive")
+        self.name = name
+        self.wires = [Wire(f"{name}[{i}]") for i in range(width)]
+
+    @property
+    def width(self) -> int:
+        return len(self.wires)
+
+    def __getitem__(self, i: int) -> Wire:
+        return self.wires[i]
+
+    def __iter__(self):
+        return iter(self.wires)
+
+    @property
+    def value(self) -> int:
+        """Read the bus as an unsigned integer."""
+        v = 0
+        for i, w in enumerate(self.wires):
+            v |= w.value << i
+        return v
+
+    def set(self, value: int) -> None:
+        """Drive the whole bus from an unsigned integer."""
+        if not 0 <= value < (1 << self.width):
+            raise CircuitError(
+                f"{value} does not fit on {self.width}-bit bus {self.name!r}")
+        for i, w in enumerate(self.wires):
+            w.set((value >> i) & 1)
+
+    def set_bits(self, pattern: BitVector) -> None:
+        if pattern.width != self.width:
+            raise CircuitError(
+                f"pattern width {pattern.width} != bus width {self.width}")
+        self.set(pattern.raw)
+
+    def to_bits(self) -> BitVector:
+        return BitVector(self.value, self.width)
+
+    def __repr__(self) -> str:
+        return f"Bus({self.name!r}, width={self.width}, value={self.value:#x})"
+
+
+class Component:
+    """Base class: reads input wires, drives output wires.
+
+    Subclasses implement :meth:`evaluate`, which must return True if any
+    output wire changed (the settle loop uses this for its fixed point).
+    """
+
+    name: str = ""
+
+    def evaluate(self) -> bool:
+        raise NotImplementedError
+
+    def output_wires(self) -> Sequence[Wire]:
+        """The wires this component drives (used for wiring sanity checks)."""
+        return ()
+
+
+class ClockedComponent(Component):
+    """A component with state that updates on the clock edge.
+
+    ``evaluate`` propagates the *stored* state to outputs; ``on_clock_edge``
+    captures inputs into state. The circuit calls on_clock_edge for every
+    clocked component simultaneously, modelling edge-triggered registers.
+    """
+
+    def on_clock_edge(self) -> None:
+        raise NotImplementedError
+
+
+class Circuit:
+    """A bag of components with a settle-loop evaluator and a clock.
+
+    ``settle()`` re-evaluates every component until outputs stop changing —
+    sufficient for combinational logic and for latch feedback. ``tick()``
+    performs one clock cycle: settle, capture all clocked state on the
+    edge, settle again.
+    """
+
+    #: Safety valve: a correct circuit of N components settles in <= N
+    #: passes; oscillating feedback (e.g. a NOT gate feeding itself) won't.
+    MAX_PASSES_FACTOR = 4
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.components: list[Component] = []
+        self.cycle_count = 0
+
+    def add(self, component: Component) -> Component:
+        self.components.append(component)
+        return component
+
+    def extend(self, components: Iterable[Component]) -> None:
+        self.components.extend(components)
+
+    def settle(self) -> int:
+        """Evaluate to a fixed point; returns the number of passes used."""
+        limit = max(8, self.MAX_PASSES_FACTOR * max(1, len(self.components)))
+        for passes in range(1, limit + 1):
+            changed = False
+            for c in self.components:
+                if c.evaluate():
+                    changed = True
+            if not changed:
+                return passes
+        raise CircuitError(
+            f"circuit {self.name!r} did not settle after {limit} passes "
+            "(oscillating feedback?)")
+
+    def tick(self) -> None:
+        """One full clock cycle (combinational settle → edge → settle)."""
+        self.settle()
+        for c in self.components:
+            if isinstance(c, ClockedComponent):
+                c.on_clock_edge()
+        self.settle()
+        self.cycle_count += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.tick()

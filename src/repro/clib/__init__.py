@@ -1,0 +1,41 @@
+"""The C memory model (CS 31 §III-A, *C programming*).
+
+A byte-addressable 32-bit address space with text/data/heap/stack
+regions, typed pointers with C arithmetic, a first-fit malloc/free heap,
+a Valgrind-style memcheck, the Lab 7 C string library, and a call-stack
+model for the stack-drawing homeworks.
+"""
+
+from repro.clib.address_space import (
+    Access,
+    AddressSpace,
+    DATA_BASE,
+    HEAP_BASE,
+    MemoryRegion,
+    STACK_TOP,
+    TEXT_BASE,
+)
+from repro.clib.heap import ALIGNMENT, Block, Heap
+from repro.clib.memcheck import Finding, Memcheck
+from repro.clib.pointers import NULL, Pointer, array_fill, array_read, null_pointer
+from repro.clib.stack import CANARY, CallStack, Frame, Local, StackSmashError
+from repro.clib.structs import (
+    ArrayField,
+    FieldLayout,
+    StructLayout,
+    array2d_address,
+    reorder_to_minimize_padding,
+)
+from repro.clib import cstring
+
+__all__ = [
+    "AddressSpace", "MemoryRegion", "Access",
+    "TEXT_BASE", "DATA_BASE", "HEAP_BASE", "STACK_TOP",
+    "Heap", "Block", "ALIGNMENT",
+    "Memcheck", "Finding",
+    "Pointer", "NULL", "null_pointer", "array_fill", "array_read",
+    "CallStack", "Frame", "Local", "StackSmashError", "CANARY",
+    "StructLayout", "FieldLayout", "ArrayField", "array2d_address",
+    "reorder_to_minimize_padding",
+    "cstring",
+]

@@ -1,0 +1,212 @@
+"""A process's address space: text, data, heap, and stack regions.
+
+CS 31 introduces "a process's memory regions (the text, data, heap, and
+stack)" and "the OS's role in managing memory and ensuring the integrity
+of the stack and heap" (§III-A, *C programming*). :class:`AddressSpace`
+is that model: a sparse 32-bit byte-addressable memory made of named
+regions with permissions. Touching an unmapped address raises
+:class:`~repro.errors.SegmentationFault` — the same observable failure a
+C program gets.
+
+The address space also keeps an optional access trace, which is how the
+memory-hierarchy module replays "the same program" through the cache and
+VM simulators (the course's vertical slice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+from repro.errors import CMemoryError, SegmentationFault
+
+AccessKind = Literal["load", "store", "fetch"]
+
+# Default IA-32-style layout (matches the diagrams in Dive into Systems).
+TEXT_BASE = 0x0804_8000
+DATA_BASE = 0x0810_0000
+HEAP_BASE = 0x0900_0000
+STACK_TOP = 0xC000_0000  # stack grows down from just below here
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access, as recorded in the trace."""
+    kind: AccessKind
+    address: int
+    size: int
+
+
+class MemoryRegion:
+    """A contiguous mapped range with permissions."""
+
+    def __init__(self, name: str, start: int, size: int,
+                 *, readable: bool = True, writable: bool = True,
+                 executable: bool = False) -> None:
+        if size <= 0:
+            raise CMemoryError(f"region {name!r} must have positive size")
+        if start < 0 or start + size > 2 ** 32:
+            raise CMemoryError(f"region {name!r} exceeds the 32-bit space")
+        self.name = name
+        self.start = start
+        self.size = size
+        self.readable = readable
+        self.writable = writable
+        self.executable = executable
+        self.data = bytearray(size)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped byte."""
+        return self.start + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.start <= address and address + size <= self.end
+
+    def __repr__(self) -> str:
+        perms = ("r" if self.readable else "-") + \
+                ("w" if self.writable else "-") + \
+                ("x" if self.executable else "-")
+        return (f"MemoryRegion({self.name!r}, {self.start:#010x}-"
+                f"{self.end:#010x}, {perms})")
+
+
+class AddressSpace:
+    """A sparse 32-bit address space built from named regions.
+
+    ``trace=True`` records every access (for cache/VM replay); watchers
+    (e.g. memcheck) can also be attached and see every access as it
+    happens.
+    """
+
+    def __init__(self, *, trace: bool = False) -> None:
+        self.regions: list[MemoryRegion] = []
+        self.trace_enabled = trace
+        self.trace: list[Access] = []
+        self._watchers: list = []
+
+    # -- layout --------------------------------------------------------------
+
+    def map_region(self, region: MemoryRegion) -> MemoryRegion:
+        for existing in self.regions:
+            if (region.start < existing.end
+                    and existing.start < region.end):
+                raise CMemoryError(
+                    f"region {region.name!r} overlaps {existing.name!r}")
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.start)
+        return region
+
+    @classmethod
+    def standard(cls, *, text_size: int = 0x10000, data_size: int = 0x10000,
+                 heap_size: int = 0x100000, stack_size: int = 0x10000,
+                 trace: bool = False) -> "AddressSpace":
+        """The canonical four-region layout from the course diagrams."""
+        space = cls(trace=trace)
+        space.map_region(MemoryRegion("text", TEXT_BASE, text_size,
+                                      writable=False, executable=True))
+        space.map_region(MemoryRegion("data", DATA_BASE, data_size))
+        space.map_region(MemoryRegion("heap", HEAP_BASE, heap_size))
+        space.map_region(MemoryRegion("stack", STACK_TOP - stack_size,
+                                      stack_size))
+        return space
+
+    def region_named(self, name: str) -> MemoryRegion:
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise CMemoryError(f"no region named {name!r}")
+
+    def region_for(self, address: int, size: int = 1) -> MemoryRegion:
+        for r in self.regions:
+            if r.contains(address, size):
+                return r
+        raise SegmentationFault(address, "unmapped address")
+
+    def add_watcher(self, watcher) -> None:
+        """Attach an object with on_read/on_write(address, size) hooks."""
+        self._watchers.append(watcher)
+
+    # -- raw access ------------------------------------------------------------
+
+    def _record(self, kind: AccessKind, address: int, size: int) -> None:
+        if self.trace_enabled:
+            self.trace.append(Access(kind, address, size))
+
+    def read(self, address: int, size: int) -> bytes:
+        region = self.region_for(address, size)
+        if not region.readable:
+            raise SegmentationFault(address, f"{region.name} is not readable")
+        self._record("load", address, size)
+        for w in self._watchers:
+            w.on_read(address, size)
+        off = address - region.start
+        return bytes(region.data[off:off + size])
+
+    def write(self, address: int, data: bytes) -> None:
+        region = self.region_for(address, len(data))
+        if not region.writable:
+            raise SegmentationFault(address, f"{region.name} is not writable")
+        self._record("store", address, len(data))
+        for w in self._watchers:
+            w.on_write(address, len(data))
+        off = address - region.start
+        region.data[off:off + len(data)] = data
+
+    def fetch(self, address: int, size: int) -> bytes:
+        """Instruction fetch: requires execute permission."""
+        region = self.region_for(address, size)
+        if not region.executable:
+            raise SegmentationFault(address,
+                                    f"{region.name} is not executable")
+        self._record("fetch", address, size)
+        off = address - region.start
+        return bytes(region.data[off:off + size])
+
+    # -- typed access -------------------------------------------------------------
+
+    def load_uint(self, address: int, size: int) -> int:
+        return int.from_bytes(self.read(address, size), "little")
+
+    def store_uint(self, address: int, value: int, size: int) -> None:
+        self.write(address, (value & ((1 << (8 * size)) - 1))
+                   .to_bytes(size, "little"))
+
+    def load_int(self, address: int, size: int) -> int:
+        raw = self.load_uint(address, size)
+        sign = 1 << (8 * size - 1)
+        return raw - (1 << (8 * size)) if raw & sign else raw
+
+    def store_int(self, address: int, value: int, size: int) -> None:
+        self.store_uint(address, value, size)
+
+    def load_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read bytes up to (not including) the NUL terminator."""
+        out = bytearray()
+        addr = address
+        while len(out) < limit:
+            b = self.read(addr, 1)[0]
+            if b == 0:
+                return bytes(out)
+            out.append(b)
+            addr += 1
+        raise CMemoryError("unterminated C string (no NUL within limit)")
+
+    def store_cstring(self, address: int, text: bytes | str) -> None:
+        data = text.encode() if isinstance(text, str) else text
+        self.write(address, data + b"\x00")
+
+    # -- introspection ---------------------------------------------------------
+
+    def clear_trace(self) -> None:
+        self.trace.clear()
+
+    def layout(self) -> Iterator[MemoryRegion]:
+        return iter(self.regions)
+
+    def region_of_address(self, address: int) -> str | None:
+        """Which region an address falls in, or None — homework helper."""
+        for r in self.regions:
+            if r.contains(address):
+                return r.name
+        return None

@@ -1,0 +1,151 @@
+"""The Lab 7 C string library, byte-by-byte over the address space.
+
+Students "implement and write test cases for several common C string
+library functions (e.g., strcat, strcpy, etc.)" (§III-B, Lab 7). These
+implementations walk memory one byte at a time through the
+:class:`~repro.clib.address_space.AddressSpace`, so every access is
+visible to memcheck and to the trace — an overrunning strcpy produces the
+same invalid-write finding a real one does under Valgrind.
+
+All functions take and return plain integer addresses, like their C
+counterparts; destinations are returned for the `strcpy(dst, src)` idiom.
+"""
+
+from __future__ import annotations
+
+from repro.clib.address_space import AddressSpace
+
+
+def strlen(space: AddressSpace, s: int) -> int:
+    """Length up to (not including) the NUL terminator."""
+    n = 0
+    while space.read(s + n, 1)[0] != 0:
+        n += 1
+    return n
+
+
+def strcpy(space: AddressSpace, dst: int, src: int) -> int:
+    """Copy including the terminator; no bounds checking, as in C."""
+    i = 0
+    while True:
+        b = space.read(src + i, 1)[0]
+        space.write(dst + i, bytes([b]))
+        if b == 0:
+            return dst
+        i += 1
+
+
+def strncpy(space: AddressSpace, dst: int, src: int, n: int) -> int:
+    """C's strncpy: stops at n bytes; zero-pads; may leave dst unterminated."""
+    copied = 0
+    terminated = False
+    while copied < n:
+        if not terminated:
+            b = space.read(src + copied, 1)[0]
+            if b == 0:
+                terminated = True
+        if terminated:
+            b = 0
+        space.write(dst + copied, bytes([b]))
+        copied += 1
+    return dst
+
+
+def strcat(space: AddressSpace, dst: int, src: int) -> int:
+    """Append src to dst, overwriting dst's terminator."""
+    return strcpy(space, dst + strlen(space, dst), src) and dst
+
+
+def strncat(space: AddressSpace, dst: int, src: int, n: int) -> int:
+    """Append at most n bytes of src, then always terminate."""
+    end = dst + strlen(space, dst)
+    i = 0
+    while i < n:
+        b = space.read(src + i, 1)[0]
+        if b == 0:
+            break
+        space.write(end + i, bytes([b]))
+        i += 1
+    space.write(end + i, b"\x00")
+    return dst
+
+
+def strcmp(space: AddressSpace, a: int, b: int) -> int:
+    """<0, 0, >0 comparison of NUL-terminated strings (unsigned bytes)."""
+    i = 0
+    while True:
+        ca = space.read(a + i, 1)[0]
+        cb = space.read(b + i, 1)[0]
+        if ca != cb:
+            return ca - cb
+        if ca == 0:
+            return 0
+        i += 1
+
+
+def strncmp(space: AddressSpace, a: int, b: int, n: int) -> int:
+    for i in range(n):
+        ca = space.read(a + i, 1)[0]
+        cb = space.read(b + i, 1)[0]
+        if ca != cb:
+            return ca - cb
+        if ca == 0:
+            return 0
+    return 0
+
+
+def strchr(space: AddressSpace, s: int, c: int) -> int:
+    """Address of the first occurrence of byte c, or 0 (NULL).
+
+    As in C, c may be 0 to find the terminator.
+    """
+    i = 0
+    while True:
+        b = space.read(s + i, 1)[0]
+        if b == (c & 0xFF):
+            return s + i
+        if b == 0:
+            return 0
+        i += 1
+
+
+def strstr(space: AddressSpace, haystack: int, needle: int) -> int:
+    """Address of the first occurrence of needle, or 0 (NULL)."""
+    if space.read(needle, 1)[0] == 0:
+        return haystack  # empty needle matches at the start
+    i = 0
+    while space.read(haystack + i, 1)[0] != 0:
+        j = 0
+        while True:
+            nb = space.read(needle + j, 1)[0]
+            if nb == 0:
+                return haystack + i
+            hb = space.read(haystack + i + j, 1)[0]
+            if hb != nb or hb == 0:
+                break
+            j += 1
+        i += 1
+    return 0
+
+
+def memset(space: AddressSpace, dst: int, value: int, n: int) -> int:
+    space.write(dst, bytes([value & 0xFF]) * n)
+    return dst
+
+
+def memcpy(space: AddressSpace, dst: int, src: int, n: int) -> int:
+    """Copy n bytes; like C, overlapping ranges are the caller's problem
+    (this implementation reads fully before writing, so it behaves like
+    memmove — strictly more forgiving, never less correct)."""
+    data = space.read(src, n)
+    space.write(dst, data)
+    return dst
+
+
+def strdup(space: AddressSpace, heap, s: int) -> int:
+    """malloc a copy of s (returns NULL if the heap is exhausted)."""
+    n = strlen(space, s)
+    addr = heap.malloc(n + 1)
+    if addr:
+        strcpy(space, addr, s)
+    return addr

@@ -1,0 +1,149 @@
+"""malloc/free over the heap region — C's memory-management philosophy.
+
+A first-fit free-list allocator with block headers, the model behind the
+course's discussion of dynamic memory, memory leaks, and heap corruption.
+``malloc`` returns 0 (NULL) when the heap is exhausted, exactly as C does;
+``free`` of a pointer malloc never returned, or a second ``free`` of the
+same block, raises :class:`~repro.errors.HeapError` (the crash Valgrind
+would flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clib.address_space import AddressSpace
+from repro.errors import HeapError
+
+#: allocation granularity — C guarantees suitably-aligned storage
+ALIGNMENT = 8
+
+
+def _align(n: int) -> int:
+    return (n + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+@dataclass
+class Block:
+    """One heap block (bookkeeping lives outside the simulated memory)."""
+    address: int      # address returned to the user (payload start)
+    size: int         # payload size as requested (unaligned)
+    live: bool
+
+
+class Heap:
+    """First-fit allocator over an :class:`AddressSpace`'s heap region."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        region = space.region_named("heap")
+        self._base = region.start
+        self._limit = region.end
+        #: (start, size) holes, sorted by address
+        self._free: list[tuple[int, int]] = [(self._base,
+                                              self._limit - self._base)]
+        self.blocks: dict[int, Block] = {}
+        self.total_allocated = 0
+        self.total_freed = 0
+        self.peak_bytes = 0
+        self._live_bytes = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the address, or 0 (NULL) on OOM."""
+        if size <= 0:
+            raise HeapError(f"malloc of non-positive size {size}")
+        need = _align(size)
+        for i, (start, hole) in enumerate(self._free):
+            if hole >= need:
+                if hole == need:
+                    del self._free[i]
+                else:
+                    self._free[i] = (start + need, hole - need)
+                self.blocks[start] = Block(start, size, live=True)
+                self.total_allocated += 1
+                self._live_bytes += size
+                self.peak_bytes = max(self.peak_bytes, self._live_bytes)
+                return start
+        return 0  # NULL: out of memory
+
+    def calloc(self, count: int, size: int) -> int:
+        """malloc + zero fill (the heap starts zeroed, but blocks may be reused)."""
+        total = count * size
+        addr = self.malloc(total)
+        if addr:
+            self.space.write(addr, bytes(total))
+        return addr
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return  # free(NULL) is a no-op in C
+        block = self.blocks.get(address)
+        if block is None:
+            raise HeapError(
+                f"free of pointer {address:#x} that malloc never returned")
+        if not block.live:
+            raise HeapError(f"double free of {address:#x}")
+        block.live = False
+        self.total_freed += 1
+        self._live_bytes -= block.size
+        self._insert_hole(address, _align(block.size))
+
+    def _insert_hole(self, start: int, size: int) -> None:
+        """Add a hole and coalesce with adjacent holes."""
+        self._free.append((start, size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for s, n in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == s:
+                merged[-1] = (merged[-1][0], merged[-1][1] + n)
+            else:
+                merged.append((s, n))
+        self._free = merged
+
+    def realloc(self, address: int, new_size: int) -> int:
+        """C realloc: may move the block; copies the old payload."""
+        if address == 0:
+            return self.malloc(new_size)
+        block = self.blocks.get(address)
+        if block is None or not block.live:
+            raise HeapError(f"realloc of invalid pointer {address:#x}")
+        new_addr = self.malloc(new_size)
+        if new_addr == 0:
+            return 0
+        old = self.space.read(address, min(block.size, new_size))
+        self.space.write(new_addr, old)
+        self.free(address)
+        return new_addr
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def live_blocks(self) -> list[Block]:
+        return [b for b in self.blocks.values() if b.live]
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    def is_live(self, address: int) -> bool:
+        """True if ``address`` falls inside any currently-allocated block."""
+        return self.owning_block(address) is not None
+
+    def owning_block(self, address: int) -> Block | None:
+        for b in self.blocks.values():
+            if b.live and b.address <= address < b.address + b.size:
+                return b
+        return None
+
+    def leak_report(self) -> str:
+        """The Valgrind-style summary the course teaches students to read."""
+        live = self.live_blocks
+        lost = sum(b.size for b in live)
+        lines = [f"definitely lost: {lost:,} bytes in {len(live)} blocks"]
+        for b in sorted(live, key=lambda b: b.address):
+            lines.append(f"  block at {b.address:#010x}: {b.size} bytes")
+        lines.append(f"total heap usage: {self.total_allocated} allocs, "
+                     f"{self.total_freed} frees")
+        return "\n".join(lines)

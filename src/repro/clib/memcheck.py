@@ -1,0 +1,148 @@
+"""A Valgrind-memcheck-style checker for the simulated heap.
+
+CS 31 "particularly emphasize[s] the use of Valgrind for memory
+debugging" (§III-A). :class:`Memcheck` watches every access to the heap
+region and reports the classic findings:
+
+* invalid read / invalid write (outside any live malloc block),
+* use of uninitialised heap memory,
+* double free and free of a pointer malloc never returned,
+* leaked blocks at exit.
+
+Use it in place of a bare :class:`~repro.clib.heap.Heap`: allocate with
+``mc.malloc``/release with ``mc.free`` so the shadow state tracks block
+lifetimes, then call :meth:`report` or :meth:`assert_clean`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.clib.address_space import AddressSpace
+from repro.clib.heap import Heap
+from repro.errors import HeapError, MemcheckError
+
+FindingKind = Literal[
+    "invalid-read", "invalid-write", "uninitialised-read",
+    "double-free", "invalid-free", "leak",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One memcheck diagnostic."""
+    kind: FindingKind
+    address: int
+    size: int
+    note: str = ""
+
+    def __str__(self) -> str:
+        msg = f"{self.kind} at {self.address:#010x} (size {self.size})"
+        return f"{msg}: {self.note}" if self.note else msg
+
+
+class Memcheck:
+    """Shadow-memory checker attached to an address space + heap."""
+
+    def __init__(self, space: AddressSpace, heap: Heap | None = None) -> None:
+        self.space = space
+        self.heap = heap or Heap(space)
+        heap_region = space.region_named("heap")
+        self._heap_lo = heap_region.start
+        self._heap_hi = heap_region.end
+        self._initialised: set[int] = set()
+        self.findings: list[Finding] = []
+        space.add_watcher(self)
+
+    # -- allocation interposition ---------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        addr = self.heap.malloc(size)
+        if addr:
+            # fresh blocks are addressable but *uninitialised*
+            self._initialised.difference_update(
+                range(addr, addr + size))
+        return addr
+
+    def calloc(self, count: int, size: int) -> int:
+        addr = self.heap.calloc(count, size)
+        # calloc zero-fills, which initialises (the write also marks it)
+        return addr
+
+    def free(self, address: int) -> None:
+        try:
+            self.heap.free(address)
+        except HeapError as exc:
+            kind: FindingKind = ("double-free" if "double" in str(exc)
+                                 else "invalid-free")
+            self.findings.append(Finding(kind, address, 0, str(exc)))
+
+    # -- watcher hooks (called by AddressSpace on every access) -----------------
+
+    def _in_heap(self, address: int) -> bool:
+        return self._heap_lo <= address < self._heap_hi
+
+    def on_read(self, address: int, size: int) -> None:
+        if not self._in_heap(address):
+            return
+        block = self.heap.owning_block(address)
+        if block is None:
+            self.findings.append(Finding(
+                "invalid-read", address, size,
+                "address is not inside any live malloc block"))
+            return
+        if address + size > block.address + block.size:
+            self.findings.append(Finding(
+                "invalid-read", address, size,
+                f"read past the end of a {block.size}-byte block"))
+        for a in range(address, min(address + size,
+                                    block.address + block.size)):
+            if a not in self._initialised:
+                self.findings.append(Finding(
+                    "uninitialised-read", address, size,
+                    "heap memory used before being written"))
+                break
+
+    def on_write(self, address: int, size: int) -> None:
+        if self._in_heap(address):
+            block = self.heap.owning_block(address)
+            if block is None:
+                self.findings.append(Finding(
+                    "invalid-write", address, size,
+                    "address is not inside any live malloc block"))
+            elif address + size > block.address + block.size:
+                self.findings.append(Finding(
+                    "invalid-write", address, size,
+                    f"write past the end of a {block.size}-byte block"))
+        self._initialised.update(range(address, address + size))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def leaks(self) -> list[Finding]:
+        return [Finding("leak", b.address, b.size,
+                        f"{b.size} bytes still allocated")
+                for b in sorted(self.heap.live_blocks,
+                                key=lambda b: b.address)]
+
+    def all_findings(self) -> list[Finding]:
+        return self.findings + self.leaks()
+
+    @property
+    def error_count(self) -> int:
+        return len(self.all_findings())
+
+    def report(self) -> str:
+        found = self.all_findings()
+        lines = [f"memcheck: {len(found)} findings"]
+        lines.extend(f"  {f}" for f in found)
+        lines.append(self.heap.leak_report())
+        return "\n".join(lines)
+
+    def assert_clean(self) -> None:
+        """Raise MemcheckError if anything was found (CI-style gate)."""
+        found = self.all_findings()
+        if found:
+            raise MemcheckError(
+                f"{len(found)} memcheck findings:\n" +
+                "\n".join(f"  {f}" for f in found))

@@ -1,0 +1,95 @@
+"""Typed pointers into an address space.
+
+Models the pointer semantics CS 31 teaches: declaration (a type + an
+address), NULL, dereference, assignment through the pointer, and pointer
+arithmetic that scales by the pointee's size. Dereferencing NULL or an
+unmapped address produces a :class:`~repro.errors.SegmentationFault`,
+which is exactly the lesson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.binary.ctypes_model import CType
+from repro.clib.address_space import AddressSpace
+from repro.errors import SegmentationFault
+
+NULL = 0
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A typed address. Immutable; arithmetic returns new pointers."""
+    space: AddressSpace
+    ctype: CType
+    address: int
+
+    def is_null(self) -> bool:
+        return self.address == NULL
+
+    def _check(self) -> None:
+        if self.is_null():
+            raise SegmentationFault(0, "NULL pointer dereference")
+
+    # -- dereference -----------------------------------------------------------
+
+    def load(self) -> int:
+        """``*p`` as an rvalue."""
+        self._check()
+        raw = self.space.load_uint(self.address, self.ctype.size_bytes)
+        return self.ctype.wrap(raw)
+
+    def store(self, value: int) -> None:
+        """``*p = value``."""
+        self._check()
+        self.space.store_uint(self.address, self.ctype.wrap(value),
+                              self.ctype.size_bytes)
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def __add__(self, count: int) -> "Pointer":
+        """``p + n`` moves by ``n * sizeof(*p)`` bytes."""
+        return replace(self,
+                       address=self.address + count * self.ctype.size_bytes)
+
+    def __sub__(self, other: "int | Pointer"):
+        if isinstance(other, Pointer):
+            if other.ctype != self.ctype:
+                raise TypeError("pointer difference requires same pointee type")
+            diff = self.address - other.address
+            if diff % self.ctype.size_bytes:
+                raise TypeError("pointers are not element-aligned")
+            return diff // self.ctype.size_bytes
+        return self + (-other)
+
+    def index(self, i: int) -> int:
+        """``p[i]`` as an rvalue — defined as ``*(p + i)``."""
+        return (self + i).load()
+
+    def set_index(self, i: int, value: int) -> None:
+        """``p[i] = value``."""
+        (self + i).store(value)
+
+    def cast(self, ctype: CType) -> "Pointer":
+        """``(T *)p`` — same address, new pointee type."""
+        return replace(self, ctype=ctype)
+
+    def __repr__(self) -> str:
+        return f"({self.ctype.name} *){self.address:#010x}"
+
+
+def null_pointer(space: AddressSpace, ctype: CType) -> Pointer:
+    """A NULL pointer of the given pointee type."""
+    return Pointer(space, ctype, NULL)
+
+
+def array_fill(p: Pointer, values: list[int]) -> None:
+    """Write a C array starting at ``p`` (homework/lab setup helper)."""
+    for i, v in enumerate(values):
+        p.set_index(i, v)
+
+
+def array_read(p: Pointer, count: int) -> list[int]:
+    """Read a C array of ``count`` elements starting at ``p``."""
+    return [p.index(i) for i in range(count)]

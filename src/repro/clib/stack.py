@@ -1,0 +1,150 @@
+"""A call-stack model: frames, locals, and the stack-drawing homework.
+
+The C-programming homeworks ask students to trace function calls and
+"draw the stack". :class:`CallStack` models exactly what those drawings
+show: a stack region growing downward, one :class:`Frame` per active
+call, each frame holding its saved base pointer, return address, and a
+map of named locals at negative offsets from the frame base — the same
+picture the assembly module later grounds in %ebp/%esp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.binary.ctypes_model import CType, INT
+from repro.clib.address_space import AddressSpace
+from repro.errors import CMemoryError
+
+
+class StackSmashError(CMemoryError):
+    """A frame's canary was overwritten — locals overflowed upward."""
+
+#: the canary value written between locals and the saved frame data
+CANARY = 0xDEAD_C0DE
+
+
+@dataclass
+class Local:
+    """One named local variable within a frame."""
+    name: str
+    ctype: CType
+    address: int
+
+    @property
+    def offset_note(self) -> str:
+        return f"{self.name} ({self.ctype.name}) @ {self.address:#010x}"
+
+
+@dataclass
+class Frame:
+    """One activation record."""
+    function: str
+    base: int                     # saved %ebp value (frame base)
+    return_address: int
+    locals: dict[str, Local] = field(default_factory=dict)
+    canary_address: int = 0
+
+    def render(self) -> str:
+        lines = [f"frame for {self.function}() base={self.base:#010x} "
+                 f"ret={self.return_address:#010x}"]
+        for loc in self.locals.values():
+            lines.append(f"  {loc.offset_note}")
+        return "\n".join(lines)
+
+
+class CallStack:
+    """Downward-growing stack of frames inside an address space."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        region = space.region_named("stack")
+        self._lo = region.start
+        self.sp = region.end       # grows down
+        self.frames: list[Frame] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def push_frame(self, function: str, return_address: int = 0) -> Frame:
+        if self.sp - 12 < self._lo:
+            raise CMemoryError("stack overflow")
+        # push return address, then saved base pointer (cdecl prologue)
+        self.sp -= 4
+        self.space.store_uint(self.sp, return_address, 4)
+        saved_base = self.frames[-1].base if self.frames else 0
+        self.sp -= 4
+        self.space.store_uint(self.sp, saved_base, 4)
+        # a canary between the saved data and the locals (-fstack-protector)
+        self.sp -= 4
+        self.space.store_uint(self.sp, CANARY, 4)
+        frame = Frame(function, base=self.sp + 4,
+                      return_address=return_address,
+                      canary_address=self.sp)
+        self.frames.append(frame)
+        return frame
+
+    def canary_intact(self, frame: Frame | None = None) -> bool:
+        f = frame or (self.frames[-1] if self.frames else None)
+        if f is None:
+            raise CMemoryError("no active frame")
+        return self.space.load_uint(f.canary_address, 4) == CANARY
+
+    def declare_local(self, name: str, ctype: CType = INT) -> Local:
+        """Reserve stack space for a local in the current frame."""
+        if not self.frames:
+            raise CMemoryError("no active frame")
+        frame = self.frames[-1]
+        if name in frame.locals:
+            raise CMemoryError(f"local {name!r} already declared")
+        size = max(ctype.size_bytes, 4)  # keep 4-byte slots, like gcc -O0
+        if self.sp - size < self._lo:
+            raise CMemoryError("stack overflow")
+        self.sp -= size
+        local = Local(name, ctype, self.sp)
+        frame.locals[name] = local
+        return local
+
+    def set_local(self, name: str, value: int) -> None:
+        loc = self._find(name)
+        self.space.store_uint(loc.address, loc.ctype.wrap(value),
+                              loc.ctype.size_bytes)
+
+    def get_local(self, name: str) -> int:
+        loc = self._find(name)
+        return loc.ctype.wrap(
+            self.space.load_uint(loc.address, loc.ctype.size_bytes))
+
+    def address_of(self, name: str) -> int:
+        """``&name`` — what a pointer to a local holds."""
+        return self._find(name).address
+
+    def _find(self, name: str) -> Local:
+        for frame in reversed(self.frames):
+            if name in frame.locals:
+                return frame.locals[name]
+        raise CMemoryError(f"no local named {name!r} in any active frame")
+
+    def pop_frame(self) -> Frame:
+        """Function return: check the canary, release locals, restore sp.
+
+        A clobbered canary means some local overflowed toward the saved
+        frame data — exactly what ``-fstack-protector`` aborts on.
+        """
+        if not self.frames:
+            raise CMemoryError("pop of empty call stack")
+        frame = self.frames[-1]
+        if not self.canary_intact(frame):
+            raise StackSmashError(
+                f"stack smashing detected in {frame.function}(): canary "
+                f"at {frame.canary_address:#010x} was overwritten")
+        self.frames.pop()
+        self.sp = frame.base + 8   # past saved base + return address
+        return frame
+
+    def render(self) -> str:
+        """The 'draw the stack' picture, top (most recent) first."""
+        if not self.frames:
+            return "<empty stack>"
+        return "\n".join(f.render() for f in reversed(self.frames))

@@ -1,0 +1,156 @@
+"""C struct layout: field offsets, alignment, and padding.
+
+The course introduces "composite data types (arrays, strings, and
+structs), their layout in memory" (§III-A). This model computes layouts
+under the ILP32 ABI rules the lab machines use: each field is aligned
+to its own size, the struct's alignment is its strictest field's, and
+trailing padding rounds the size up so arrays of the struct stay
+aligned — the source of every "why is sizeof 12 and not 9?" question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.binary.ctypes_model import CType, type_named
+from repro.clib.address_space import AddressSpace
+from repro.errors import CMemoryError
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """One field's placement."""
+    name: str
+    ctype: CType
+    offset: int
+    padding_before: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.ctype.size_bytes
+
+
+@dataclass(frozen=True)
+class ArrayField:
+    """Helper spec for array members: ``int data[8]``."""
+    ctype: CType
+    count: int
+
+
+class StructLayout:
+    """Computes and renders a struct's memory layout.
+
+    >>> s = StructLayout("pair", [("c", "char"), ("x", "int")])
+    >>> s.offset_of("x"), s.size
+    (4, 8)
+    """
+
+    def __init__(self, name: str,
+                 fields: list[tuple[str, str | CType | ArrayField]]) -> None:
+        if not fields:
+            raise CMemoryError(f"struct {name!r} needs at least one field")
+        self.name = name
+        self.fields: list[FieldLayout] = []
+        offset = 0
+        max_align = 1
+        seen: set[str] = set()
+        for fname, spec in fields:
+            if fname in seen:
+                raise CMemoryError(f"duplicate field {fname!r}")
+            seen.add(fname)
+            if isinstance(spec, ArrayField):
+                ctype, count = spec.ctype, spec.count
+                if count <= 0:
+                    raise CMemoryError(f"array field {fname!r} needs "
+                                       "positive count")
+            else:
+                ctype = spec if isinstance(spec, CType) else type_named(spec)
+                count = 1
+            align = min(ctype.size_bytes, 4)   # ILP32: max alignment 4
+            max_align = max(max_align, align)
+            aligned = (offset + align - 1) & ~(align - 1)
+            self.fields.append(FieldLayout(
+                fname, ctype, aligned, padding_before=aligned - offset))
+            offset = aligned + ctype.size_bytes * count
+        self.alignment = max_align
+        self.size = (offset + max_align - 1) & ~(max_align - 1)
+        self.trailing_padding = self.size - offset
+
+    def offset_of(self, field: str) -> int:
+        for f in self.fields:
+            if f.name == field:
+                return f.offset
+        raise CMemoryError(f"struct {self.name!r} has no field {field!r}")
+
+    def field(self, name: str) -> FieldLayout:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise CMemoryError(f"struct {self.name!r} has no field {name!r}")
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of actual data (size minus all padding)."""
+        return sum(f.ctype.size_bytes for f in self.fields)
+
+    @property
+    def total_padding(self) -> int:
+        return self.size - self.payload_bytes
+
+    def render(self) -> str:
+        """The byte-map drawing homework solutions show."""
+        rows = []
+        for f in self.fields:
+            if f.padding_before:
+                rows.append(("<pad>", "", f"{f.offset - f.padding_before}",
+                             f"{f.padding_before}"))
+            rows.append((f.name, f.ctype.name, str(f.offset),
+                         str(f.ctype.size_bytes)))
+        if self.trailing_padding:
+            rows.append(("<pad>", "", str(self.size
+                                          - self.trailing_padding),
+                         str(self.trailing_padding)))
+        table = format_table(["field", "type", "offset", "bytes"], rows,
+                             align_right=[False, False, True, True])
+        return (f"struct {self.name}: size {self.size}, "
+                f"alignment {self.alignment}\n{table}")
+
+    # -- live instances in an address space --------------------------------
+
+    def read_field(self, space: AddressSpace, base: int,
+                   field: str) -> int:
+        f = self.field(field)
+        return f.ctype.wrap(space.load_uint(base + f.offset,
+                                            f.ctype.size_bytes))
+
+    def write_field(self, space: AddressSpace, base: int, field: str,
+                    value: int) -> None:
+        f = self.field(field)
+        space.store_uint(base + f.offset, f.ctype.wrap(value),
+                         f.ctype.size_bytes)
+
+
+def reorder_to_minimize_padding(
+        fields: list[tuple[str, str | CType]]) -> list[tuple[str, str]]:
+    """The classic optimization: sort fields by descending size.
+
+    Returns a reordered field list whose layout wastes no internal
+    padding (for power-of-two-sized scalar fields).
+    """
+    def size_of(spec) -> int:
+        ctype = spec if isinstance(spec, CType) else type_named(spec)
+        return ctype.size_bytes
+
+    ordered = sorted(fields, key=lambda fs: -size_of(fs[1]))
+    return [(n, s if isinstance(s, str) else s.name) for n, s in ordered]
+
+
+def array2d_address(base: int, i: int, j: int, *, cols: int,
+                    elem_size: int = 4) -> int:
+    """&a[i][j] for a C row-major 2-D array — the layout homework."""
+    if cols <= 0 or elem_size <= 0:
+        raise CMemoryError("cols and elem_size must be positive")
+    if i < 0 or j < 0 or j >= cols:
+        raise CMemoryError(f"index ({i}, {j}) invalid for {cols} columns")
+    return base + (i * cols + j) * elem_size

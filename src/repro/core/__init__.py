@@ -1,0 +1,94 @@
+"""Shared-memory parallelism (CS 31 §III-A, *Shared Memory Parallelism*).
+
+The paper's primary PDC content as an executable system: a deterministic
+simulated multicore machine running pthread-style thread programs; mutex
+/barrier/condition-variable/semaphore primitives with misuse detection;
+data-race (lockset + barrier epochs) and deadlock (wait-for graph)
+detection; speedup/efficiency/Amdahl metrics; partitioning helpers; the
+producer-consumer bounded buffer; and a real ``multiprocessing`` backend
+for actual parallel execution (the GIL workaround).
+"""
+
+from repro.core.machine import (
+    Access,
+    AtomicOp,
+    BarrierWait,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    Join,
+    Lock,
+    SemPost,
+    SemWait,
+    SimMachine,
+    SimThread,
+    SyncCosts,
+    Unlock,
+    Work,
+    run_threads,
+)
+from repro.core.sync import Barrier, ConditionVariable, Mutex, Semaphore
+from repro.core.thread_api import Pthreads, measure_scaling
+from repro.core.metrics import (
+    ScalingPoint,
+    amdahl_limit,
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    is_near_linear,
+    karp_flatt,
+    scaling_table,
+    speedup,
+)
+from repro.core.partition import (
+    GridRegion,
+    balance_ratio,
+    block_partition,
+    cyclic_partition,
+    partition_grid,
+)
+from repro.core.patterns import (
+    BoundedBuffer,
+    ProducerConsumerResult,
+    SemBoundedBuffer,
+    SharedCounter,
+    parallel_map_cycles,
+    run_producer_consumer,
+    run_producer_consumer_sem,
+)
+from repro.core.reduction import (
+    ReductionResult,
+    parallel_reduce,
+    reduction_scaling,
+)
+from repro.core.race import Race, RaceDetector, RecordedAccess
+from repro.core.deadlock import WaitForGraph, lock_order_violations
+from repro.core.timeline import (
+    core_utilization,
+    render_gantt,
+    thread_spans,
+    utilization_table,
+)
+from repro.core import mp_backend
+
+__all__ = [
+    "SimMachine", "SimThread", "SyncCosts", "run_threads",
+    "Work", "Lock", "Unlock", "BarrierWait", "CondWait", "CondSignal",
+    "CondBroadcast", "SemWait", "SemPost", "Join", "Access", "AtomicOp",
+    "Mutex", "Barrier", "ConditionVariable", "Semaphore",
+    "Pthreads", "measure_scaling",
+    "speedup", "efficiency", "amdahl_speedup", "amdahl_limit",
+    "gustafson_speedup", "karp_flatt", "scaling_table", "ScalingPoint",
+    "is_near_linear",
+    "block_partition", "cyclic_partition", "partition_grid", "GridRegion",
+    "balance_ratio",
+    "BoundedBuffer", "run_producer_consumer", "ProducerConsumerResult",
+    "SemBoundedBuffer", "run_producer_consumer_sem",
+    "SharedCounter", "parallel_map_cycles",
+    "parallel_reduce", "reduction_scaling", "ReductionResult",
+    "RaceDetector", "Race", "RecordedAccess",
+    "WaitForGraph", "lock_order_violations",
+    "render_gantt", "core_utilization", "utilization_table",
+    "thread_spans",
+    "mp_backend",
+]

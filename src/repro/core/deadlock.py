@@ -1,0 +1,91 @@
+"""Deadlock detection via the wait-for graph.
+
+"Once we introduce synchronization, we discuss the potential for
+deadlock" (§III-A). A :class:`WaitForGraph` has an edge T1 → T2 when T1
+is blocked on a resource T2 holds (or, for joins, on T2 itself); a cycle
+is a deadlock. The machine builds one automatically whenever it stalls,
+and the class is usable standalone for the written homework's
+"is this schedule deadlocked?" questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sync import Mutex, Semaphore
+from repro.core.machine import SimThread
+
+
+@dataclass
+class WaitForGraph:
+    """Directed graph over thread names."""
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_edge(self, waiter: str, holder: str) -> None:
+        self.edges.setdefault(waiter, set()).add(holder)
+        self.edges.setdefault(holder, set())
+
+    @classmethod
+    def from_threads(cls, blocked: list[SimThread]) -> "WaitForGraph":
+        graph = cls()
+        for t in blocked:
+            target = t.waiting_on
+            if isinstance(target, Mutex) and target.owner is not None:
+                graph.add_edge(t.name, target.owner.name)
+            elif isinstance(target, SimThread):
+                graph.add_edge(t.name, target.name)
+            elif isinstance(target, Semaphore):
+                # any thread that could post; conservatively no edge
+                graph.edges.setdefault(t.name, set())
+            else:
+                graph.edges.setdefault(t.name, set())
+        return graph
+
+    def find_cycle(self) -> list[str] | None:
+        """A cycle as [a, b, ..., a], or None."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in self.edges}
+        stack: list[str] = []
+
+        def dfs(node: str) -> list[str] | None:
+            color[node] = GREY
+            stack.append(node)
+            for succ in sorted(self.edges.get(node, ())):
+                if color[succ] == GREY:
+                    i = stack.index(succ)
+                    return stack[i:] + [succ]
+                if color[succ] == WHITE:
+                    found = dfs(succ)
+                    if found:
+                        return found
+            color[node] = BLACK
+            stack.pop()
+            return None
+
+        for node in sorted(self.edges):
+            if color[node] == WHITE:
+                found = dfs(node)
+                if found:
+                    return found
+        return None
+
+    @property
+    def has_deadlock(self) -> bool:
+        return self.find_cycle() is not None
+
+
+def lock_order_violations(acquisition_orders: list[list[str]]
+                          ) -> list[tuple[str, str]]:
+    """Static check the course teaches: do threads agree on lock order?
+
+    ``acquisition_orders`` lists the order each thread takes its locks.
+    Returns pairs (a, b) that appear in both orders (a before b in one
+    thread, b before a in another) — the classic AB/BA deadlock recipe.
+    """
+    seen: set[tuple[str, str]] = set()
+    for order in acquisition_orders:
+        for i, a in enumerate(order):
+            for b in order[i + 1:]:
+                seen.add((a, b))
+    return sorted((a, b) for (a, b) in seen
+                  if (b, a) in seen and a < b)

@@ -1,0 +1,94 @@
+"""Speedup, efficiency, Amdahl's law, and friends.
+
+"We introduce speedup and mention how resource contention can reduce
+observed speedup from theoretical ideal linear speedup ... We introduce
+the concept of Amdahl's law, but defer a deeper dive" (§III-A). These
+are the formulas at CS 31 depth, used by benches E3 and E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    """S = T_serial / T_parallel."""
+    if parallel_time <= 0 or serial_time <= 0:
+        raise ReproError("times must be positive")
+    return serial_time / parallel_time
+
+
+def efficiency(speedup_value: float, workers: int) -> float:
+    """E = S / p — how close to linear the speedup is."""
+    if workers <= 0:
+        raise ReproError("worker count must be positive")
+    return speedup_value / workers
+
+
+def amdahl_speedup(parallel_fraction: float, workers: int) -> float:
+    """Amdahl's law: S(p) = 1 / ((1 - f) + f / p)."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ReproError("parallel fraction must be in [0, 1]")
+    if workers <= 0:
+        raise ReproError("worker count must be positive")
+    return 1.0 / ((1.0 - parallel_fraction)
+                  + parallel_fraction / workers)
+
+
+def amdahl_limit(parallel_fraction: float) -> float:
+    """The p→∞ ceiling: 1 / (1 - f)."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ReproError("parallel fraction must be in [0, 1]")
+    if parallel_fraction == 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - parallel_fraction)
+
+
+def gustafson_speedup(parallel_fraction: float, workers: int) -> float:
+    """Gustafson's scaled speedup: S = (1 - f) + f·p (upper-level preview)."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ReproError("parallel fraction must be in [0, 1]")
+    if workers <= 0:
+        raise ReproError("worker count must be positive")
+    return (1.0 - parallel_fraction) + parallel_fraction * workers
+
+
+def karp_flatt(speedup_value: float, workers: int) -> float:
+    """Experimentally determined serial fraction e from measured speedup.
+
+    e = (1/S − 1/p) / (1 − 1/p); rising e with p indicates overhead.
+    """
+    if workers <= 1:
+        raise ReproError("karp-flatt needs more than one worker")
+    if speedup_value <= 0:
+        raise ReproError("speedup must be positive")
+    return (1.0 / speedup_value - 1.0 / workers) / (1.0 - 1.0 / workers)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of a strong-scaling experiment (bench E3's output rows)."""
+    workers: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def scaling_table(serial_time: float,
+                  times: dict[int, float]) -> list[ScalingPoint]:
+    """Build the speedup/efficiency table from measured times."""
+    rows = []
+    for workers in sorted(times):
+        s = speedup(serial_time, times[workers])
+        rows.append(ScalingPoint(workers, times[workers], s,
+                                 efficiency(s, workers)))
+    return rows
+
+
+def is_near_linear(points: list[ScalingPoint], *,
+                   efficiency_floor: float = 0.8) -> bool:
+    """The paper's claim shape: 'near linear speedup' = efficiency stays
+    above a floor at every measured worker count."""
+    return all(p.efficiency >= efficiency_floor for p in points)

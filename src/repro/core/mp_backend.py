@@ -1,0 +1,93 @@
+"""Real parallelism via multiprocessing (the GIL workaround).
+
+CPython's GIL means ``threading`` cannot speed up CPU-bound work, so the
+library's *real* parallel backend uses processes — the standard Python
+counterpart to the pthreads programs the course writes in C. The
+simulated machine (:mod:`repro.core.machine`) carries the deterministic
+speedup experiments; this backend exists so the same partitioned
+workloads can run with actual OS-level parallelism on multicore hosts,
+and so measured wall-clock numbers can be reported alongside simulated
+ones (bench E3 does both).
+
+Measured speedup here is bounded by the host's physical cores; on a
+single-core CI machine it will hover near (or below) 1×. That is the
+expected, documented behaviour — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.partition import block_partition
+from repro.errors import ReproError
+
+
+def available_cores() -> int:
+    return os.cpu_count() or 1
+
+
+# Top-level so it can be pickled by multiprocessing.
+def _run_chunk(args: tuple) -> list:
+    fn, items = args
+    return [fn(x) for x in items]
+
+
+def parallel_map(fn: Callable, items: Sequence, *,
+                 workers: int | None = None,
+                 chunk_mode: str = "block") -> list:
+    """Map ``fn`` over ``items`` using a process pool.
+
+    ``fn`` must be picklable (defined at module top level). Results keep
+    input order. With one worker (or one item) no pool is spawned.
+    """
+    if chunk_mode not in ("block",):
+        raise ReproError(f"unknown chunk mode {chunk_mode!r}")
+    if workers is not None and workers <= 0:
+        raise ReproError("workers must be positive")
+    n_workers = workers if workers is not None else available_cores()
+    if n_workers == 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    chunks = [(fn, [items[i] for i in chunk])
+              for chunk in block_partition(len(items), n_workers)
+              if len(chunk)]
+    with mp.Pool(processes=n_workers) as pool:
+        parts = pool.map(_run_chunk, chunks)
+    out: list = []
+    for part in parts:
+        out.extend(part)
+    return out
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Wall-clock measurement of one worker count."""
+    workers: int
+    seconds: float
+
+
+def measure_parallel_map(fn: Callable, items: Sequence,
+                         worker_counts: list[int],
+                         *, repeats: int = 1) -> list[MeasuredRun]:
+    """Time parallel_map at several worker counts (best of ``repeats``)."""
+    runs = []
+    for w in worker_counts:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            parallel_map(fn, items, workers=w)
+            best = min(best, time.perf_counter() - t0)
+        runs.append(MeasuredRun(w, best))
+    return runs
+
+
+# A picklable CPU-bound kernel for demos and tests.
+def burn(n: int) -> int:
+    """Spin ``n`` iterations of integer work; returns a checksum."""
+    acc = 0
+    for i in range(n):
+        acc = (acc * 1103515245 + 12345 + i) & 0x7FFFFFFF
+    return acc

@@ -1,0 +1,300 @@
+"""Parallel patterns on the simulated machine.
+
+The course "finish[es] the module with the producer/consumer (bounded
+buffer) problem" (§III-A) and builds data-parallel thinking throughout.
+This module provides both as reusable harnesses on
+:class:`~repro.core.machine.SimMachine`: a condition-variable bounded
+buffer with producer/consumer thread factories (bench E8), a shared
+counter with and without a mutex (the classic race demo), and a
+data-parallel map with per-worker cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.machine import (
+    Access,
+    CondBroadcast,
+    CondWait,
+    Lock,
+    SemPost,
+    SemWait,
+    SimMachine,
+    Unlock,
+    Work,
+)
+from repro.core.partition import block_partition
+from repro.core.sync import ConditionVariable, Mutex, Semaphore
+from repro.errors import ReproError
+
+
+# ---------------------------------------------------------------------------
+# The bounded buffer (producer/consumer)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BoundedBuffer:
+    """The classic bounded buffer guarded by one mutex and two condvars."""
+    capacity: int
+    items: list = field(default_factory=list)
+    produced: int = 0
+    consumed: int = 0
+    #: high-water mark, to verify the capacity bound held
+    max_occupancy: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ReproError("buffer capacity must be >= 1")
+        self.mutex = Mutex("buffer.mutex")
+        self.not_full = ConditionVariable("buffer.not_full")
+        self.not_empty = ConditionVariable("buffer.not_empty")
+
+    # thread bodies -----------------------------------------------------------
+
+    def producer(self, count: int, *, produce_cost: float = 20.0):
+        """A producer thread body: make ``count`` items."""
+        def body():
+            for i in range(count):
+                yield Work(produce_cost)           # produce outside lock
+                yield Lock(self.mutex)
+                while len(self.items) >= self.capacity:
+                    yield CondWait(self.not_full, self.mutex)
+                self.items.append(i)
+                self.produced += 1
+                self.max_occupancy = max(self.max_occupancy,
+                                         len(self.items))
+                yield Access("buffer", "write")
+                yield CondBroadcast(self.not_empty)
+                yield Unlock(self.mutex)
+        return body
+
+    def consumer(self, count: int, *, consume_cost: float = 20.0):
+        """A consumer thread body: take ``count`` items."""
+        def body():
+            for _ in range(count):
+                yield Lock(self.mutex)
+                while not self.items:
+                    yield CondWait(self.not_empty, self.mutex)
+                self.items.pop(0)
+                self.consumed += 1
+                yield Access("buffer", "write")
+                yield CondBroadcast(self.not_full)
+                yield Unlock(self.mutex)
+                yield Work(consume_cost)           # consume outside lock
+        return body
+
+
+@dataclass(frozen=True)
+class ProducerConsumerResult:
+    """Outcome of one bounded-buffer run (a bench E8 row)."""
+    producers: int
+    consumers: int
+    capacity: int
+    items: int
+    makespan: float
+    max_occupancy: int
+    contention_cycles: float
+
+    @property
+    def throughput(self) -> float:
+        """Items per kilocycle."""
+        return 1000.0 * self.items / self.makespan if self.makespan else 0.0
+
+
+def run_producer_consumer(*, producers: int, consumers: int,
+                          items_per_producer: int, capacity: int,
+                          num_cores: int = 4,
+                          produce_cost: float = 20.0,
+                          consume_cost: float = 20.0
+                          ) -> ProducerConsumerResult:
+    """Spawn P producers and C consumers over one bounded buffer."""
+    total = producers * items_per_producer
+    if total % consumers:
+        raise ReproError("items must divide evenly among consumers")
+    buffer = BoundedBuffer(capacity)
+    machine = SimMachine(num_cores)
+    for _ in range(producers):
+        machine.spawn(buffer.producer(items_per_producer,
+                                      produce_cost=produce_cost))
+    for _ in range(consumers):
+        machine.spawn(buffer.consumer(total // consumers,
+                                      consume_cost=consume_cost))
+    machine.run()
+    if buffer.produced != total or buffer.consumed != total:
+        raise ReproError("bounded buffer lost or duplicated items")
+    return ProducerConsumerResult(
+        producers, consumers, capacity, total, machine.makespan,
+        buffer.max_occupancy, buffer.mutex.contention_cycles)
+
+
+@dataclass
+class SemBoundedBuffer:
+    """The classic three-semaphore bounded buffer.
+
+    ``empty`` counts free slots, ``full`` counts ready items, and a
+    binary semaphore guards the list itself — the alternative solution
+    the course contrasts with the condition-variable one.
+    """
+    capacity: int
+    items: list = field(default_factory=list)
+    produced: int = 0
+    consumed: int = 0
+    max_occupancy: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ReproError("buffer capacity must be >= 1")
+        self.empty = Semaphore(self.capacity, "buffer.empty")
+        self.full = Semaphore(0, "buffer.full")
+        self.guard = Semaphore(1, "buffer.guard")
+
+    def producer(self, count: int, *, produce_cost: float = 20.0):
+        def body():
+            for i in range(count):
+                yield Work(produce_cost)
+                yield SemWait(self.empty)
+                yield SemWait(self.guard)
+                self.items.append(i)
+                self.produced += 1
+                self.max_occupancy = max(self.max_occupancy,
+                                         len(self.items))
+                yield Access("buffer", "write")
+                yield SemPost(self.guard)
+                yield SemPost(self.full)
+        return body
+
+    def consumer(self, count: int, *, consume_cost: float = 20.0):
+        def body():
+            for _ in range(count):
+                yield SemWait(self.full)
+                yield SemWait(self.guard)
+                self.items.pop(0)
+                self.consumed += 1
+                yield Access("buffer", "write")
+                yield SemPost(self.guard)
+                yield SemPost(self.empty)
+                yield Work(consume_cost)
+        return body
+
+
+def run_producer_consumer_sem(*, producers: int, consumers: int,
+                              items_per_producer: int, capacity: int,
+                              num_cores: int = 4) -> ProducerConsumerResult:
+    """The semaphore formulation of :func:`run_producer_consumer`."""
+    total = producers * items_per_producer
+    if total % consumers:
+        raise ReproError("items must divide evenly among consumers")
+    buffer = SemBoundedBuffer(capacity)
+    machine = SimMachine(num_cores)
+    for _ in range(producers):
+        machine.spawn(buffer.producer(items_per_producer))
+    for _ in range(consumers):
+        machine.spawn(buffer.consumer(total // consumers))
+    machine.run()
+    if buffer.produced != total or buffer.consumed != total:
+        raise ReproError("bounded buffer lost or duplicated items")
+    return ProducerConsumerResult(
+        producers, consumers, capacity, total, machine.makespan,
+        buffer.max_occupancy, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# The shared counter (race demo)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SharedCounter:
+    """The lecture's shared counter, with an *observable* lost update.
+
+    Unsynchronized increments read then write non-atomically; on the
+    simulated machine, concurrent read-modify-write windows lose updates
+    exactly as on real hardware.
+    """
+    value: int = 0
+
+    def unsafe_incrementer(self, times: int, *, work: float = 10.0):
+        counter = self
+
+        def body():
+            for _ in range(times):
+                yield Access("counter", "read")
+                seen = counter.value           # read
+                yield Work(work)               # ...window for interleaving
+                counter.value = seen + 1       # write (may clobber)
+                yield Access("counter", "write")
+        return body
+
+    def safe_incrementer(self, mutex: Mutex, times: int, *,
+                         work: float = 10.0):
+        counter = self
+
+        def body():
+            for _ in range(times):
+                yield Lock(mutex)
+                yield Access("counter", "read")
+                seen = counter.value
+                yield Work(work)
+                counter.value = seen + 1
+                yield Access("counter", "write")
+                yield Unlock(mutex)
+        return body
+
+    def atomic_incrementer(self, times: int, *, work: float = 10.0):
+        """Increment with an atomic fetch-and-add — no mutex needed."""
+        counter = self
+        from repro.core.machine import AtomicOp
+
+        def bump() -> None:
+            counter.value += 1
+
+        def body():
+            for _ in range(times):
+                yield Work(work)
+                yield AtomicOp("counter", bump)
+        return body
+
+
+# ---------------------------------------------------------------------------
+# Data-parallel map
+# ---------------------------------------------------------------------------
+
+def parallel_map_cycles(costs: list[float], *, workers: int,
+                        num_cores: int, serial_fraction: float = 0.0,
+                        sync_costs=None) -> SimMachine:
+    """Run a cost-model map: item i takes ``costs[i]`` cycles.
+
+    Items are block-partitioned across ``workers`` threads; an optional
+    serial prologue models Amdahl's serial fraction. Returns the machine
+    so callers can read makespan/speedup.
+    """
+    if workers < 1:
+        raise ReproError("need at least one worker")
+    if not 0.0 <= serial_fraction < 1.0:
+        raise ReproError("serial fraction must be in [0, 1)")
+    total = sum(costs)
+    machine = SimMachine(num_cores, costs=sync_costs)
+    # The serial prologue runs first; a barrier releases the workers.
+    # Parallel work is scaled so total job size stays constant.
+    from repro.core.machine import BarrierWait
+    from repro.core.sync import Barrier
+
+    start_gate = Barrier(workers + 1, name="after-serial")
+    scaled = [c * (1.0 - serial_fraction) for c in costs]
+
+    def serial_part():
+        yield Work(total * serial_fraction)
+        yield BarrierWait(start_gate)
+
+    def make_worker(chunk):
+        def body():
+            yield BarrierWait(start_gate)
+            for i in chunk:
+                yield Work(scaled[i])
+        return body
+
+    machine.spawn(serial_part, name="serial-part")
+    for w, chunk in enumerate(block_partition(len(costs), workers)):
+        machine.spawn(make_worker(chunk), name=f"worker-{w}")
+    machine.run()
+    return machine

@@ -1,0 +1,165 @@
+"""Data-race detection: lockset + vector-clock happens-before.
+
+"We use some small examples, such as access to a shared counter, to
+introduce data races, critical sections, and atomic operations"
+(§III-A). :class:`RaceDetector` watches the :class:`Access` events
+threads yield on the simulated machine and reports conflicting pairs:
+two threads touching the same variable, at least one write, no common
+lock held, and no happens-before ordering between the accesses.
+
+Happens-before is tracked with per-thread vector clocks over the events
+the course identifies as ordering: thread creation, barrier episodes
+(all arrivals happen-before all departures), and thread finish + join.
+Mutexes are handled by the lockset rule instead — two accesses under a
+common lock are never reported, even though they're unordered.
+
+To bound memory, only the most recent access per (variable, thread,
+kind) is retained; a race against an older superseded access by the
+same thread/kind would also exist against the newer one in the programs
+the course writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _vc_leq(a: dict[int, int], b: dict[int, int]) -> bool:
+    """Componentwise a ≤ b."""
+    return all(v <= b.get(k, 0) for k, v in a.items())
+
+
+def _vc_join(a: dict[int, int], b: dict[int, int]) -> dict[int, int]:
+    out = dict(a)
+    for k, v in b.items():
+        if v > out.get(k, 0):
+            out[k] = v
+    return out
+
+
+@dataclass(frozen=True)
+class RecordedAccess:
+    thread_name: str
+    tid: int
+    kind: str                # 'read' | 'write'
+    locks: frozenset
+    clock: tuple             # frozen vector clock items
+    time: float
+
+    def vc(self) -> dict[int, int]:
+        return dict(self.clock)
+
+
+@dataclass(frozen=True)
+class Race:
+    """One reported data race."""
+    var: str
+    first: RecordedAccess
+    second: RecordedAccess
+
+    def __str__(self) -> str:
+        return (f"data race on {self.var!r}: "
+                f"{self.first.thread_name} {self.first.kind} "
+                f"(locks={sorted(m.name for m in self.first.locks)}) vs "
+                f"{self.second.thread_name} {self.second.kind} "
+                f"(locks={sorted(m.name for m in self.second.locks)})")
+
+
+class RaceDetector:
+    """Attach via ``SimMachine(race_detector=RaceDetector())``."""
+
+    def __init__(self) -> None:
+        #: latest access per (var, tid, kind)
+        self._latest: dict[tuple[str, int, str], RecordedAccess] = {}
+        self._clocks: dict[int, dict[int, int]] = {}
+        self._final_clocks: dict[int, dict[int, int]] = {}
+        self.races: list[Race] = []
+        self._reported: set[tuple] = set()
+
+    # -- clock plumbing -----------------------------------------------------------
+
+    def _clock_of(self, tid: int) -> dict[int, int]:
+        return self._clocks.setdefault(tid, {tid: 0})
+
+    def _tick(self, tid: int) -> None:
+        clock = self._clock_of(tid)
+        clock[tid] = clock.get(tid, 0) + 1
+
+    # -- hooks called by the machine -------------------------------------------
+
+    def record(self, thread, var: str, kind: str,
+               locks: frozenset, time: float) -> None:
+        self._tick(thread.tid)
+        clock = self._clock_of(thread.tid)
+        acc = RecordedAccess(thread.name, thread.tid, kind, locks,
+                             tuple(sorted(clock.items())), time)
+        for (v, tid, k), prior in list(self._latest.items()):
+            if v != var or tid == thread.tid:
+                continue
+            if self._conflict(prior, acc):
+                key = (var, min(prior.tid, acc.tid),
+                       max(prior.tid, acc.tid),
+                       frozenset((prior.kind, acc.kind)))
+                if key not in self._reported:
+                    self._reported.add(key)
+                    self.races.append(Race(var, prior, acc))
+        self._latest[(var, thread.tid, kind)] = acc
+
+    def barrier_released(self, barrier, participants, generation: int
+                         ) -> None:
+        """One barrier episode completed: all-to-all ordering.
+
+        Every participant's pre-barrier clock happens-before every
+        participant's post-barrier clock: join all clocks, then give the
+        merged clock (plus a fresh tick) to each participant.
+        """
+        merged: dict[int, int] = {}
+        for t in participants:
+            self._tick(t.tid)
+            merged = _vc_join(merged, self._clock_of(t.tid))
+        for t in participants:
+            self._clocks[t.tid] = _vc_join(self._clock_of(t.tid), merged)
+
+    def thread_finished(self, thread, time: float) -> None:
+        self._tick(thread.tid)
+        self._final_clocks[thread.tid] = dict(self._clock_of(thread.tid))
+
+    def joined(self, joiner, target) -> None:
+        """joiner returned from Join(target): inherit target's clock."""
+        final = self._final_clocks.get(target.tid,
+                                       self._clock_of(target.tid))
+        self._clocks[joiner.tid] = _vc_join(self._clock_of(joiner.tid),
+                                            final)
+
+    # -- the conflict rule ----------------------------------------------------------
+
+    @staticmethod
+    def _conflict(a: RecordedAccess, b: RecordedAccess) -> bool:
+        if a.tid == b.tid:
+            return False
+        if a.kind == "read" and b.kind == "read":
+            return False
+        if a.locks & b.locks:
+            return False            # common lock: mutual exclusion
+        va, vb = a.vc(), b.vc()
+        if _vc_leq(va, vb) or _vc_leq(vb, va):
+            return False            # ordered by happens-before
+        return True
+
+    # -- reporting -----------------------------------------------------------------------
+
+    @property
+    def race_count(self) -> int:
+        return len(self.races)
+
+    def report(self) -> str:
+        if not self.races:
+            return "race detector: no data races observed"
+        lines = [f"race detector: {len(self.races)} race(s)"]
+        lines.extend(f"  {r}" for r in self.races)
+        return "\n".join(lines)
+
+    def assert_clean(self) -> None:
+        from repro.errors import RaceError
+        if self.races:
+            raise RaceError(self.report())

@@ -1,0 +1,102 @@
+"""Parallel reduction: local sums, then a barrier-synchronized tree.
+
+A second complete data-parallel algorithm on the simulated machine,
+with a deliberately different scaling shape from the Game of Life map:
+the O(log p) combine tree puts a floor under the parallel time, so
+speedup saturates as workers grow — the "dependencies" entry of
+Table I's Algorithms row, made measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.machine import BarrierWait, SimMachine, SyncCosts, Work
+from repro.core.partition import block_partition
+from repro.core.sync import Barrier
+from repro.errors import ReproError
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one parallel reduction run."""
+    value: float
+    workers: int
+    makespan: float
+    tree_rounds: int
+    serial_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_cycles / self.makespan if self.makespan else 0.0
+
+
+def parallel_reduce(values: list[float], *, workers: int,
+                    num_cores: int | None = None,
+                    op: Callable[[float, float], float] = lambda a, b: a + b,
+                    cost_per_item: float = 1.0,
+                    combine_cost: float = 1.0,
+                    sync_costs: SyncCosts | None = None) -> ReductionResult:
+    """Reduce ``values`` with ``op`` across ``workers`` threads.
+
+    Phase 1: each worker folds its block locally. Phase 2: ⌈log2 p⌉
+    barrier-separated tree rounds; in round k, workers whose index is a
+    multiple of 2^(k+1) fold in their partner's partial result.
+
+    ``op`` must be associative (the parallel order differs from the
+    serial one); commutativity is not required.
+    """
+    if workers < 1:
+        raise ReproError("need at least one worker")
+    if not values:
+        raise ReproError("cannot reduce an empty list")
+    if cost_per_item < 0 or combine_cost < 0:
+        raise ReproError("costs cannot be negative")
+
+    machine = SimMachine(num_cores or workers, costs=sync_costs)
+    barrier = Barrier(workers, name="tree-barrier")
+    chunks = block_partition(len(values), workers)
+    #: partials[w] holds worker w's running value (None = empty chunk)
+    partials: list[float | None] = [None] * workers
+    tree_rounds = 0
+    span = 1
+    while span < workers:
+        tree_rounds += 1
+        span *= 2
+
+    def worker(w: int):
+        # phase 1: local fold
+        acc: float | None = None
+        for i in chunks[w]:
+            acc = values[i] if acc is None else op(acc, values[i])
+        if len(chunks[w]):
+            yield Work(len(chunks[w]) * cost_per_item)
+        partials[w] = acc
+        # phase 2: tree combine
+        step = 1
+        for _ in range(tree_rounds):
+            yield BarrierWait(barrier)
+            if w % (2 * step) == 0 and w + step < workers:
+                other = partials[w + step]
+                if other is not None:
+                    mine = partials[w]
+                    partials[w] = other if mine is None else op(mine, other)
+                    yield Work(combine_cost)
+            step *= 2
+
+    for w in range(workers):
+        machine.spawn(worker, w, name=f"reduce-{w}")
+    machine.run()
+    assert partials[0] is not None
+    return ReductionResult(
+        value=partials[0], workers=workers, makespan=machine.makespan,
+        tree_rounds=tree_rounds,
+        serial_cycles=len(values) * cost_per_item)
+
+
+def reduction_scaling(values: list[float], worker_counts: list[int],
+                      **kwargs) -> dict[int, ReductionResult]:
+    """Run the same reduction at several worker counts."""
+    return {w: parallel_reduce(values, workers=w, **kwargs)
+            for w in worker_counts}

@@ -1,0 +1,106 @@
+"""A pthreads-flavoured facade over the simulated machine.
+
+The course teaches "how to create, run, and join threads" with the
+pthreads API; this module spells the simulated machine the same way so
+examples read like the C the students write::
+
+    pt = Pthreads(num_cores=4)
+    m = pt.mutex_init("m")
+    tids = [pt.create(worker, i, m) for i in range(4)]
+    pt.join_all()
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.machine import SimMachine, SimThread, SyncCosts, ThreadBody
+from repro.core.sync import Barrier, ConditionVariable, Mutex, Semaphore
+from repro.errors import ConcurrencyError
+
+
+class Pthreads:
+    """pthread_* naming over :class:`SimMachine`.
+
+    The machine runs lazily: :meth:`join_all` (or :meth:`run`) executes
+    the whole program and returns the makespan.
+    """
+
+    def __init__(self, num_cores: int = 1,
+                 costs: SyncCosts | None = None,
+                 race_detector=None) -> None:
+        self.machine = SimMachine(num_cores, costs=costs,
+                                  race_detector=race_detector)
+        self._created: list[SimThread] = []
+
+    # -- creation ----------------------------------------------------------------
+
+    def create(self, body: ThreadBody, *args,
+               name: str | None = None) -> SimThread:
+        """pthread_create."""
+        thread = self.machine.spawn(body, *args, name=name)
+        self._created.append(thread)
+        return thread
+
+    # -- primitives (pthread_*_init) -----------------------------------------------
+
+    def mutex_init(self, name: str = "mutex") -> Mutex:
+        return Mutex(name)
+
+    def barrier_init(self, parties: int, name: str = "barrier") -> Barrier:
+        return Barrier(parties, name)
+
+    def cond_init(self, name: str = "cond") -> ConditionVariable:
+        return ConditionVariable(name)
+
+    def sem_init(self, value: int, name: str = "sem") -> Semaphore:
+        return Semaphore(value, name)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def join_all(self) -> float:
+        """Run to completion (every created thread joins); makespan."""
+        return self.machine.run()
+
+    run = join_all
+
+    @property
+    def makespan(self) -> float:
+        return self.machine.makespan
+
+    def speedup(self) -> float:
+        return self.machine.speedup_vs_serial()
+
+    def thread_report(self) -> str:
+        """Per-thread busy/blocked accounting (the contention lesson)."""
+        lines = []
+        for t in self.machine.threads:
+            lines.append(
+                f"{t.name}: busy={t.busy_cycles:g} "
+                f"blocked={t.blocked_cycles:g} "
+                f"finished@{t.finish_time if t.finish_time is not None else '-'}")
+        return "\n".join(lines)
+
+
+def measure_scaling(make_bodies: Callable[[int], list[tuple[ThreadBody, tuple]]],
+                    thread_counts: list[int], *,
+                    cores_equal_threads: bool = True,
+                    num_cores: int | None = None,
+                    costs: SyncCosts | None = None) -> dict[int, float]:
+    """Run the same workload at several thread counts; returns makespans.
+
+    ``make_bodies(k)`` builds the k-thread version of the workload. With
+    ``cores_equal_threads`` (the lab-machine setup: one core per thread)
+    each run gets k cores; otherwise ``num_cores`` fixes the machine.
+    """
+    times: dict[int, float] = {}
+    for k in thread_counts:
+        cores = k if cores_equal_threads else (num_cores or 1)
+        machine = SimMachine(max(1, cores), costs=costs)
+        for body, args in make_bodies(k):
+            machine.spawn(body, *args)
+        machine.run()
+        times[k] = machine.makespan
+    if not times:
+        raise ConcurrencyError("no thread counts requested")
+    return times

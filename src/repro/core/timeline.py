@@ -1,0 +1,104 @@
+"""Execution timelines: ParaVis for the thread machine.
+
+The ParaVis paper the course cites is "A Library for Visualizing and
+Debugging Parallel Applications"; beyond grid colouring, the debugging
+view that matters for threads is *who ran where, when*. The machine
+records (core, thread, start, end) segments; this module renders them
+as an ASCII Gantt chart and computes per-core utilization — making load
+imbalance and serialization visually obvious.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro._util import format_table
+from repro.core.machine import SimMachine
+from repro.errors import ReproError
+
+#: distinct glyphs for threads, recycled as needed
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+def thread_glyphs(machine: SimMachine) -> dict[str, str]:
+    """Stable glyph assignment per thread name."""
+    return {t.name: _GLYPHS[i % len(_GLYPHS)]
+            for i, t in enumerate(machine.threads)}
+
+
+def render_gantt(machine: SimMachine, *, width: int = 72) -> str:
+    """An ASCII Gantt chart: one row per core, time left to right.
+
+    Each column is a time bucket; the glyph is the thread that occupied
+    the core for the majority of that bucket ('.' = idle).
+    """
+    if not machine.timeline:
+        raise ReproError("run the machine first (timeline is empty)")
+    if width < 8:
+        raise ReproError("width too small to render")
+    span = machine.makespan
+    glyphs = thread_glyphs(machine)
+    bucket = span / width
+
+    # occupancy[core][column] -> {thread: overlap}
+    rows: list[str] = []
+    by_core: dict[int, list[tuple[str, float, float]]] = defaultdict(list)
+    for core, name, start, end in machine.timeline:
+        by_core[core].append((name, start, end))
+
+    for core in range(machine.num_cores):
+        cells = []
+        segments = by_core.get(core, [])
+        for col in range(width):
+            lo, hi = col * bucket, (col + 1) * bucket
+            best_name, best_overlap = None, 0.0
+            for name, start, end in segments:
+                overlap = min(end, hi) - max(start, lo)
+                if overlap > best_overlap:
+                    best_name, best_overlap = name, overlap
+            if best_name is not None and best_overlap >= bucket * 0.5:
+                cells.append(glyphs[best_name])
+            elif best_name is not None:
+                cells.append(glyphs[best_name].lower()
+                             if glyphs[best_name].isupper() else "+")
+            else:
+                cells.append(".")
+        rows.append(f"core {core}: " + "".join(cells))
+
+    legend = "  ".join(f"{g}={name}" for name, g in glyphs.items())
+    rows.append(f"legend: {legend}")
+    rows.append(f"span: 0 .. {span:g} cycles "
+                f"({bucket:g} cycles per column)")
+    return "\n".join(rows)
+
+
+def core_utilization(machine: SimMachine) -> dict[int, float]:
+    """Busy fraction of the makespan, per core."""
+    if machine.makespan <= 0:
+        return {c: 0.0 for c in range(machine.num_cores)}
+    busy: dict[int, float] = defaultdict(float)
+    for core, _, start, end in machine.timeline:
+        busy[core] += end - start
+    return {c: busy.get(c, 0.0) / machine.makespan
+            for c in range(machine.num_cores)}
+
+
+def utilization_table(machine: SimMachine) -> str:
+    """Per-core busy percentages as a printable table."""
+    util = core_utilization(machine)
+    rows = [(f"core {c}", f"{u:.1%}") for c, u in sorted(util.items())]
+    rows.append(("overall", f"{machine.utilization():.1%}"))
+    return format_table(["core", "busy"], rows,
+                        align_right=[False, True])
+
+
+def thread_spans(machine: SimMachine) -> dict[str, tuple[float, float]]:
+    """Each thread's first-start and last-end (for imbalance checks)."""
+    spans: dict[str, tuple[float, float]] = {}
+    for _, name, start, end in machine.timeline:
+        if name in spans:
+            lo, hi = spans[name]
+            spans[name] = (min(lo, start), max(hi, end))
+        else:
+            spans[name] = (start, end)
+    return spans

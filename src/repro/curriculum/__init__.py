@@ -1,0 +1,112 @@
+"""The curriculum & evaluation model (CS 31 §II and §IV).
+
+Table I's TCPP topic coverage mapped onto this library's modules, the
+three-theme course schedule, the Lab 0–10 registry with runnable
+miniatures, the written-homework registry, the Bloom rating scale, the
+Figure 1 survey regeneration (calibrated synthetic respondents), and
+the peer-instruction clicker model.
+"""
+
+from repro.curriculum.tcpp import (
+    TABLE_I,
+    TcppCategory,
+    TcppTopic,
+    category_counts,
+    coverage_check,
+    table_i,
+    table_i_with_modules,
+    topics_in,
+)
+from repro.curriculum.bloom import (
+    BloomLevel,
+    DESCRIPTIONS,
+    clamp_rating,
+    describe,
+    scale_legend,
+)
+from repro.curriculum.course import (
+    SCHEDULE,
+    STRUCTURE,
+    THEMES,
+    ScheduleUnit,
+    StructureElement,
+    Theme,
+    prerequisite,
+    schedule_table,
+    theme,
+    total_weeks,
+    units_for_theme,
+)
+from repro.curriculum.labs import LABS, Lab, lab, labs_covering, run_all_demos
+from repro.curriculum import labs as labs_module
+from repro.curriculum.homework_registry import HOMEWORKS, HomeworkArea, homework
+from repro.curriculum.survey import (
+    COHORTS,
+    CS43_REFRESHED_TOPICS,
+    Cohort,
+    PrePostComparison,
+    RETENTION_DECAY_PER_YEAR,
+    SURVEY_TOPICS,
+    SurveyResult,
+    SurveyTopic,
+    TopicResult,
+    run_pre_post_comparison,
+    run_survey,
+    simulate_respondent,
+)
+from repro.curriculum.textbook import (
+    CHAPTERS,
+    Chapter,
+    chapter,
+    chapters_for_package,
+    every_unit_has_reading,
+    reading_map,
+)
+from repro.curriculum.exams import (
+    Exam,
+    ExamQuestion,
+    ExamResult,
+    administer,
+    build_final,
+    build_midterm,
+)
+from repro.curriculum.reading_quiz import (
+    QuizOutcome,
+    ReadingQuizQuestion,
+    STANDARD_QUIZ_BANK,
+    quiz_is_well_designed,
+    simulate_quiz,
+)
+from repro.curriculum.clicker import (
+    ClickerQuestion,
+    ClickerSession,
+    Student,
+    VoteOutcome,
+    standard_question_bank,
+    summarize,
+)
+
+__all__ = [
+    "TABLE_I", "TcppCategory", "TcppTopic", "table_i",
+    "table_i_with_modules", "topics_in", "coverage_check",
+    "category_counts",
+    "BloomLevel", "DESCRIPTIONS", "describe", "clamp_rating",
+    "scale_legend",
+    "THEMES", "SCHEDULE", "STRUCTURE", "Theme", "ScheduleUnit",
+    "StructureElement", "theme", "units_for_theme", "total_weeks",
+    "prerequisite", "schedule_table",
+    "LABS", "Lab", "lab", "labs_covering", "run_all_demos", "labs_module",
+    "HOMEWORKS", "HomeworkArea", "homework",
+    "SURVEY_TOPICS", "COHORTS", "SurveyTopic", "Cohort", "SurveyResult",
+    "TopicResult", "run_survey", "simulate_respondent",
+    "RETENTION_DECAY_PER_YEAR", "run_pre_post_comparison",
+    "PrePostComparison", "CS43_REFRESHED_TOPICS",
+    "ClickerSession", "ClickerQuestion", "Student", "VoteOutcome",
+    "standard_question_bank", "summarize",
+    "CHAPTERS", "Chapter", "chapter", "chapters_for_package",
+    "reading_map", "every_unit_has_reading",
+    "Exam", "ExamQuestion", "ExamResult", "build_midterm", "build_final",
+    "administer",
+    "ReadingQuizQuestion", "STANDARD_QUIZ_BANK", "QuizOutcome",
+    "simulate_quiz", "quiz_is_well_designed",
+]

@@ -1,0 +1,51 @@
+"""The survey's five-point rating scale based on Bloom's taxonomy.
+
+"The ratings corresponded to: 0: do not recognize the topic/concept;
+1: recognize the topic/concept/term; 2: could define it; 3: could
+analyze/understand this topic/concept in a solution that was given to
+me; and, 4: could apply this topic/concept to a problem." (§IV)
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ReproError
+
+
+class BloomLevel(enum.IntEnum):
+    """The paper's 0–4 self-rating scale."""
+    DO_NOT_RECOGNIZE = 0
+    RECOGNIZE = 1
+    DEFINE = 2
+    ANALYZE = 3
+    APPLY = 4
+
+
+DESCRIPTIONS: dict[BloomLevel, str] = {
+    BloomLevel.DO_NOT_RECOGNIZE: "do not recognize the topic/concept",
+    BloomLevel.RECOGNIZE: "recognize the topic/concept/term",
+    BloomLevel.DEFINE: "could define it",
+    BloomLevel.ANALYZE: ("could analyze/understand this topic/concept in "
+                         "a solution that was given to me"),
+    BloomLevel.APPLY: "could apply this topic/concept to a problem",
+}
+
+
+def describe(level: BloomLevel | int) -> str:
+    """The paper's wording for one rating level."""
+    try:
+        return DESCRIPTIONS[BloomLevel(level)]
+    except ValueError:
+        raise ReproError(f"no Bloom level {level}") from None
+
+
+def clamp_rating(value: float) -> BloomLevel:
+    """Round a continuous latent rating onto the discrete scale."""
+    return BloomLevel(max(0, min(4, round(value))))
+
+
+def scale_legend() -> str:
+    """All five levels, one per line (printed above Figure 1)."""
+    return "\n".join(f"{int(lvl)}: {DESCRIPTIONS[lvl]}"
+                     for lvl in BloomLevel)

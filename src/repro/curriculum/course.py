@@ -1,0 +1,123 @@
+"""The CS 31 course model: themes, schedule, structure (§II–III).
+
+Machine-readable metadata for the course itself: its three curricular
+themes, the topic schedule in teaching order, and the course-structure
+elements (peer instruction, labs, mentoring) — with each schedule unit
+mapped to the repro subpackage that implements it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Theme:
+    """One of the three curricular themes (§II)."""
+    number: int
+    title: str
+    summary: str
+
+
+THEMES: tuple[Theme, ...] = (
+    Theme(1, "how a computer runs a program",
+          "a vertical slice: C is compiled to binary instructions "
+          "executed on CPU circuitry; the OS's role in running programs"),
+    Theme(2, "evaluating system costs of running a program",
+          "memory-hierarchy performance effects, OS scheduling "
+          "efficiency, synchronization and parallelization overheads"),
+    Theme(3, "taking advantage of the power of parallel computing",
+          "shared-memory parallelism: race conditions, synchronization, "
+          "deadlock, speed-up, producer-consumer, pthreads programs"),
+)
+
+
+@dataclass(frozen=True)
+class ScheduleUnit:
+    """One teaching unit, in course order."""
+    order: int
+    topic: str
+    weeks: float
+    themes: tuple[int, ...]
+    package: str          # the repro subpackage that implements it
+
+
+SCHEDULE: tuple[ScheduleUnit, ...] = (
+    ScheduleUnit(1, "binary data representation", 1.5, (1,),
+                 "repro.binary"),
+    ScheduleUnit(2, "C programming", 2.0, (1,), "repro.clib"),
+    ScheduleUnit(3, "computer architecture & circuits", 2.0, (1,),
+                 "repro.circuits"),
+    ScheduleUnit(4, "assembly programming (IA-32)", 2.5, (1, 2),
+                 "repro.isa"),
+    ScheduleUnit(5, "memory hierarchy", 1.0, (2,), "repro.memory"),
+    ScheduleUnit(6, "caching", 1.5, (2,), "repro.memory"),
+    ScheduleUnit(7, "operating systems & processes", 1.5, (1, 2),
+                 "repro.ossim"),
+    ScheduleUnit(8, "virtual memory", 1.5, (1, 2), "repro.vm"),
+    ScheduleUnit(9, "shared memory parallelism & pthreads", 2.5, (2, 3),
+                 "repro.core"),
+)
+
+
+@dataclass(frozen=True)
+class StructureElement:
+    """A pedagogy/structure element of the course (§II)."""
+    name: str
+    description: str
+
+
+STRUCTURE: tuple[StructureElement, ...] = (
+    StructureElement("peer instruction",
+                     "clicker question → individual vote → small-group "
+                     "discussion → group revote → class discussion"),
+    StructureElement("reading quizzes",
+                     "daily graded clicker quizzes on pre-class reading"),
+    StructureElement("weekly lab section",
+                     "90 minutes: warm-up exercises, C tooling "
+                     "(makefiles, GDB, Valgrind), lab assignments"),
+    StructureElement("written homeworks",
+                     "weekly, short, low-stakes practice on the week's "
+                     "topics"),
+    StructureElement("student mentoring",
+                     "course mentors staff labs and two weekly help "
+                     "sessions"),
+    StructureElement("exams", "two course exams"),
+)
+
+
+def theme(number: int) -> Theme:
+    """Look up one of the three curricular themes."""
+    for t in THEMES:
+        if t.number == number:
+            return t
+    raise ReproError(f"no theme {number}")
+
+
+def units_for_theme(number: int) -> list[ScheduleUnit]:
+    """Schedule units that serve a given theme."""
+    theme(number)  # validate
+    return [u for u in SCHEDULE if number in u.themes]
+
+
+def total_weeks() -> float:
+    """Scheduled weeks across all units (fits a semester)."""
+    return sum(u.weeks for u in SCHEDULE)
+
+
+def prerequisite() -> str:
+    """CS1 is the only prerequisite (§II) — the paper's 'second course'."""
+    return "CS1 (Python)"
+
+
+def schedule_table() -> str:
+    """The course schedule as a printable table."""
+    rows = [(u.order, u.topic, f"{u.weeks:g}",
+             ",".join(str(t) for t in u.themes), u.package)
+            for u in SCHEDULE]
+    return format_table(["#", "topic", "weeks", "themes", "package"],
+                        rows, align_right=[True, False, True, False,
+                                           False])

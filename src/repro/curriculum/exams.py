@@ -1,0 +1,126 @@
+"""The two course exams, composed from the homework engines.
+
+"The structure of CS 31 includes lectures, larger programming lab
+assignments, written homeworks, in-class group exercises, and **two
+course exams**." (§II) An exam here is a weighted, seeded problem set
+drawn from the same oracle-backed generators the homeworks use: the
+midterm covers the first half of the schedule (binary → caching), the
+final is cumulative with a parallelism emphasis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.homework.base import Problem, check
+
+
+@dataclass(frozen=True)
+class ExamQuestion:
+    problem: Problem
+    points: int
+    topic: str
+
+
+@dataclass
+class Exam:
+    title: str
+    questions: list[ExamQuestion] = field(default_factory=list)
+
+    @property
+    def total_points(self) -> int:
+        return sum(q.points for q in self.questions)
+
+    def render(self) -> str:
+        lines = [f"{self.title} ({self.total_points} points)", ""]
+        for i, q in enumerate(self.questions, start=1):
+            lines.append(f"Q{i} [{q.points} pts, {q.topic}]")
+            lines.extend(f"  {l}" for l in q.problem.prompt.splitlines())
+            lines.append("")
+        return "\n".join(lines)
+
+    def answer_key(self) -> list[Any]:
+        return [q.problem.reveal() for q in self.questions]
+
+
+@dataclass(frozen=True)
+class ExamResult:
+    earned: int
+    possible: int
+    per_question: tuple[bool, ...]
+
+    @property
+    def percentage(self) -> float:
+        return self.earned / self.possible if self.possible else 0.0
+
+
+def administer(exam: Exam, answers: list[Any]) -> ExamResult:
+    """Grade a full set of answers against the exam's hidden keys."""
+    if len(answers) != len(exam.questions):
+        raise ReproError(
+            f"{exam.title}: expected {len(exam.questions)} answers, "
+            f"got {len(answers)}")
+    verdicts = tuple(check(q.problem, a)
+                     for q, a in zip(exam.questions, answers))
+    earned = sum(q.points for q, ok in zip(exam.questions, verdicts)
+                 if ok)
+    return ExamResult(earned, exam.total_points, verdicts)
+
+
+#: (topic, generator path, kwargs, points) — midterm rows
+def _q(topic: str, gen: Callable, points: int, **kwargs):
+    return topic, gen, kwargs, points
+
+
+def _midterm_spec():
+    from repro.homework import assembly_hw, binary_hw, cache_hw, circuits_hw
+    return [
+        _q("binary", binary_hw.generate_conversion, 8),
+        _q("binary", binary_hw.generate_arithmetic, 10),
+        _q("C", binary_hw.generate_c_expression, 8),
+        _q("C", binary_hw.generate_struct_layout, 10),
+        _q("circuits", circuits_hw.generate_truth_table, 12),
+        _q("assembly", assembly_hw.generate_register_trace, 12),
+        _q("assembly", assembly_hw.generate_condition_trace, 8),
+        _q("caching", cache_hw.generate_address_division, 10),
+        _q("caching", cache_hw.generate_cache_trace, 12),
+    ]
+
+
+def _final_spec():
+    from repro.homework import (
+        binary_hw, cache_hw, processes_hw, threads_hw, vm_hw,
+    )
+    return [
+        _q("binary", binary_hw.generate_arithmetic, 6),
+        _q("C", binary_hw.generate_pointer_trace, 8),
+        _q("C", binary_hw.generate_array2d_address, 8),
+        _q("caching", cache_hw.generate_cache_trace, 10),
+        _q("processes", processes_hw.generate_fork_outputs, 12),
+        _q("processes", processes_hw.generate_fork_count, 6),
+        _q("VM", vm_hw.generate_vm_trace, 12),
+        _q("VM", vm_hw.generate_translation_problem, 8),
+        _q("threads", threads_hw.generate_counter_outcome, 12),
+        _q("threads", threads_hw.generate_amdahl, 8),
+        _q("threads", threads_hw.generate_producer_consumer, 10),
+    ]
+
+
+def _build(title: str, spec, seed: int) -> Exam:
+    exam = Exam(title)
+    for i, (topic, gen, kwargs, points) in enumerate(spec):
+        problem = gen(seed=seed * 100 + i, **kwargs)
+        exam.questions.append(ExamQuestion(problem, points, topic))
+    return exam
+
+
+def build_midterm(*, seed: int = 31) -> Exam:
+    """Exam 1: the vertical-slice half (binary through caching)."""
+    return _build("CS 31 Midterm Exam", _midterm_spec(), seed)
+
+
+def build_final(*, seed: int = 31) -> Exam:
+    """Exam 2: cumulative, weighted toward OS + parallelism."""
+    return _build("CS 31 Final Exam", _final_spec(), seed)

@@ -1,0 +1,89 @@
+"""The twelve written-homework topic areas (§III-B), mapped to engines.
+
+"Our current set of homeworks cover the following topics (assigned in
+the order listed)" — each entry points at the :mod:`repro.homework`
+generator/checker module that mechanizes it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class HomeworkArea:
+    order: int
+    title: str
+    description: str
+    engine: str         # module with generate()/check()
+    generator: str      # the generator function's name
+
+
+HOMEWORKS: tuple[HomeworkArea, ...] = (
+    HomeworkArea(1, "C programming",
+                 "evaluating expressions, identifying types, function "
+                 "tracing, stack drawing",
+                 "repro.homework.binary_hw", "generate_c_expression"),
+    HomeworkArea(2, "Binary and arithmetic",
+                 "converting between decimal, binary, and hex; signed "
+                 "and unsigned arithmetic",
+                 "repro.homework.binary_hw", "generate_conversion"),
+    HomeworkArea(3, "Circuits",
+                 "tracing a circuit to produce its logic table; "
+                 "creating a circuit from a logic table",
+                 "repro.homework.circuits_hw", "generate_truth_table"),
+    HomeworkArea(4, "C pointers",
+                 "type evaluation, code tracing, stack and heap drawing",
+                 "repro.homework.binary_hw", "generate_pointer_trace"),
+    HomeworkArea(5, "Simple assembly",
+                 "arithmetic instructions; memory and register contents; "
+                 "converting to C",
+                 "repro.homework.assembly_hw", "generate_register_trace"),
+    HomeworkArea(6, "Advanced assembly",
+                 "translate C conditionals and loops; trace function "
+                 "calls with stack and register changes",
+                 "repro.homework.assembly_hw", "generate_translation"),
+    HomeworkArea(7, "Direct mapped caching",
+                 "address division; tracing accesses with hits, misses, "
+                 "replacements",
+                 "repro.homework.cache_hw", "generate_cache_trace"),
+    HomeworkArea(8, "Set associative caching",
+                 "as direct mapped, applying LRU replacement",
+                 "repro.homework.cache_hw", "generate_cache_trace"),
+    HomeworkArea(9, "Processes",
+                 "trace fork/exit/wait code, draw the process hierarchy, "
+                 "identify possible outputs",
+                 "repro.homework.processes_hw", "generate_fork_outputs"),
+    HomeworkArea(10, "Virtual memory 1",
+                 "trace one process's accesses through a page table",
+                 "repro.homework.vm_hw", "generate_vm_trace"),
+    HomeworkArea(11, "Virtual memory 2",
+                 "two processes with context switching and LRU",
+                 "repro.homework.vm_hw", "generate_vm_trace"),
+    HomeworkArea(12, "Threads",
+                 "pthreads producer/consumer; synchronization placement",
+                 "repro.homework.threads_hw", "generate_counter_outcome"),
+)
+
+
+def homework(order: int) -> HomeworkArea:
+    """Look up a written-homework area by its position (1-12)."""
+    for hw in HOMEWORKS:
+        if hw.order == order:
+            return hw
+    raise ReproError(f"no homework {order}")
+
+
+def coverage_check() -> dict[int, bool]:
+    """Each area's engine module imports and exposes its generator."""
+    status = {}
+    for hw in HOMEWORKS:
+        try:
+            mod = importlib.import_module(hw.engine)
+            status[hw.order] = hasattr(mod, hw.generator)
+        except ImportError:
+            status[hw.order] = False
+    return status

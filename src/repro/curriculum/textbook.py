@@ -1,0 +1,69 @@
+"""Dive into Systems: the course's textbook, mapped to this library.
+
+"We use the free, online 'Dive into Systems' [15] textbook, written by
+two of the co-authors and a collaborator from West Point" (§II). This
+module records which book chapter backs each schedule unit — useful for
+anyone using the repo alongside the (freely available) book.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.curriculum.course import SCHEDULE
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Chapter:
+    number: int
+    title: str
+    packages: tuple[str, ...]
+
+
+#: Dive into Systems chapters relevant to CS 31 (diveintosystems.org)
+CHAPTERS: tuple[Chapter, ...] = (
+    Chapter(1, "By the C, by the C, by the Beautiful C",
+            ("repro.clib",)),
+    Chapter(2, "A Deeper Dive into C", ("repro.clib",)),
+    Chapter(4, "Binary and Data Representation", ("repro.binary",)),
+    Chapter(5, "What von Neumann Knew: Computer Architecture",
+            ("repro.circuits",)),
+    Chapter(8, "32-bit x86 Assembly (IA32)", ("repro.isa",)),
+    Chapter(11, "Storage and the Memory Hierarchy", ("repro.memory",)),
+    Chapter(13, "The Operating System", ("repro.ossim", "repro.vm")),
+    Chapter(14, "Leveraging Shared Memory in the Multicore Era",
+            ("repro.core", "repro.life")),
+)
+
+
+def chapter(number: int) -> Chapter:
+    """Look up a mapped Dive into Systems chapter."""
+    for c in CHAPTERS:
+        if c.number == number:
+            return c
+    raise ReproError(f"no mapped chapter {number}")
+
+
+def chapters_for_package(package: str) -> list[Chapter]:
+    """Chapters that back a given repro subpackage."""
+    return [c for c in CHAPTERS if package in c.packages]
+
+
+def reading_map() -> str:
+    """Schedule unit → chapter(s), in course order."""
+    rows = []
+    for unit in SCHEDULE:
+        chapters = [f"ch. {c.number}" for c in CHAPTERS
+                    if unit.package in c.packages]
+        rows.append((unit.order, unit.topic,
+                     ", ".join(chapters) or "—"))
+    return format_table(["#", "course unit", "Dive into Systems"],
+                        rows, align_right=[True, False, False])
+
+
+def every_unit_has_reading() -> bool:
+    """Each schedule unit maps to at least one chapter."""
+    mapped_packages = {p for c in CHAPTERS for p in c.packages}
+    return all(u.package in mapped_packages for u in SCHEDULE)

@@ -1,0 +1,25 @@
+"""Mechanical homework engines (CS 31 §III-B, *Written Homeworks*).
+
+One generator+checker module per written-homework topic area, each
+using the corresponding simulator as its answer oracle: binary and C
+expressions, circuits (trace and synthesis), assembly (trace and
+behaviourally-graded translation), caching, processes (possible
+outputs), virtual memory, and threads.
+"""
+
+from repro.homework.base import Problem, check, grade, problem_set
+from repro.homework import (
+    assembly_hw,
+    binary_hw,
+    cache_hw,
+    circuits_hw,
+    processes_hw,
+    threads_hw,
+    vm_hw,
+)
+
+__all__ = [
+    "Problem", "check", "grade", "problem_set",
+    "binary_hw", "circuits_hw", "assembly_hw", "cache_hw",
+    "processes_hw", "vm_hw", "threads_hw",
+]

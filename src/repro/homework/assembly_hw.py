@@ -1,0 +1,127 @@
+"""Homework engines: simple and advanced assembly (areas 5 and 6).
+
+Register-trace problems use the machine as the oracle; translation
+problems compile a small C function with the tiny compiler and grade a
+student's assembly *behaviourally* — differential testing on sampled
+inputs, which is how an autograder for Lab 4 actually works.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ReproError
+from repro.homework.base import Problem
+from repro.isa import Machine, assemble, compile_c
+
+
+def generate_register_trace(*, seed: int = 0) -> Problem:
+    """Trace a short arithmetic sequence; give the final %eax (area 5)."""
+    rng = random.Random(seed)
+    a = rng.randrange(1, 20)
+    b = rng.randrange(1, 20)
+    shift = rng.randrange(1, 3)
+    lines = [
+        "main:",
+        f"  movl ${a}, %eax",
+        f"  movl ${b}, %ebx",
+        "  addl %ebx, %eax",
+        f"  sall ${shift}, %eax",
+        "  subl %ebx, %eax",
+        "  ret",
+    ]
+    source = "\n".join(lines)
+    final = Machine(assemble(source)).run()
+    return Problem(
+        kind="register-trace",
+        prompt=("Trace this IA-32 and give the final value of %eax:\n"
+                + source),
+        answer=final,
+        context={"source": source})
+
+
+def generate_condition_trace(*, seed: int = 0) -> Problem:
+    """Flags + conditional jump behaviour (area 5/6 boundary)."""
+    rng = random.Random(seed)
+    x = rng.randrange(-10, 10)
+    y = rng.randrange(-10, 10)
+    jump = rng.choice(["jg", "jl", "je", "jne"])
+    source = "\n".join([
+        "main:",
+        f"  movl ${x}, %eax",
+        f"  cmpl ${y}, %eax",
+        f"  {jump} taken",
+        "  movl $0, %eax",
+        "  ret",
+        "taken:",
+        "  movl $1, %eax",
+        "  ret",
+    ])
+    result = Machine(assemble(source)).run()
+    return Problem(
+        kind="condition-trace",
+        prompt=(f"With %eax = {x} compared against {y}, is the {jump} "
+                "taken? Answer 1 (taken) or 0:\n" + source),
+        answer=result,
+        context={"x": x, "y": y, "jump": jump})
+
+
+_TRANSLATION_TEMPLATES = [
+    ("absdiff",
+     "int absdiff(int a, int b) {{ if (a > b) {{ return a - b; }} "
+     "return b - a; }}",
+     2),
+    ("sumto",
+     "int sumto(int n) {{ int t = 0; int i = 1; "
+     "while (i <= n) {{ t = t + i; i = i + 1; }} return t; }}",
+     1),
+    ("clampk",
+     "int clampk(int x) {{ if (x > {k}) {{ return {k}; }} "
+     "if (x < 0) {{ return 0; }} return x; }}",
+     1),
+]
+
+
+def generate_translation(*, seed: int = 0) -> Problem:
+    """Translate-this-C-to-assembly (area 6), graded behaviourally.
+
+    The answer stored is the reference assembly produced by the tiny
+    compiler; :func:`check_translation` grades any student assembly by
+    differential testing.
+    """
+    rng = random.Random(seed)
+    name, template, arity = rng.choice(_TRANSLATION_TEMPLATES)
+    k = rng.randrange(5, 50)
+    c_source = template.format(k=k)
+    reference_asm = compile_c(c_source)
+    inputs = [tuple(rng.randrange(-40, 60) for _ in range(arity))
+              for _ in range(12)]
+    return Problem(
+        kind="translation",
+        prompt=(f"Translate to IA-32 (function {name!r}):\n{c_source}"),
+        answer=reference_asm,
+        context={"c_source": c_source, "function": name,
+                 "inputs": inputs})
+
+
+def check_translation(problem: Problem, student_asm: str) -> bool:
+    """Grade by behaviour: student assembly must match the C reference
+    on every sampled input."""
+    if problem.kind != "translation":
+        raise ReproError("not a translation problem")
+    function = problem.context["function"]
+    inputs = problem.context["inputs"]
+    reference = Machine(assemble(problem.answer, entry=function))
+    try:
+        student = Machine(assemble(student_asm, entry=function))
+    except Exception:
+        return False
+    for args in inputs:
+        try:
+            got = student.call(function, *args)
+        except Exception:
+            return False
+        expected = reference.call(function, *args)
+        if got != expected:
+            return False
+    return True

@@ -1,0 +1,62 @@
+"""Shared problem/checker machinery for the homework engines.
+
+Every generator returns a :class:`Problem`: a rendered prompt, a hidden
+answer, and a checker id. ``check(problem, answer)`` grades an attempt.
+Generators are seeded and deterministic so a course staff (or a test)
+can regenerate any problem set exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+
+@dataclass
+class Problem:
+    """One generated homework problem."""
+    kind: str
+    prompt: str
+    answer: Any
+    #: extra data checkers or renderers may need
+    context: dict = field(default_factory=dict)
+
+    def reveal(self) -> Any:
+        """The solution key (what the instructor's copy shows)."""
+        return self.answer
+
+
+def check(problem: Problem, attempt: Any) -> bool:
+    """Grade an attempt against the hidden answer.
+
+    Comparison is type-aware: sets compare unordered, floats with
+    tolerance, everything else by equality.
+    """
+    answer = problem.answer
+    if isinstance(answer, float) and isinstance(attempt, (int, float)):
+        return abs(answer - float(attempt)) < 1e-9
+    if isinstance(answer, (set, frozenset)):
+        try:
+            return set(attempt) == set(answer)
+        except TypeError:
+            return False
+    return attempt == answer
+
+
+def grade(problems: list[Problem], attempts: list[Any]) -> float:
+    """Fraction correct across a problem set."""
+    if len(problems) != len(attempts):
+        raise ReproError("attempts must match problems one-to-one")
+    if not problems:
+        return 0.0
+    correct = sum(1 for p, a in zip(problems, attempts) if check(p, a))
+    return correct / len(problems)
+
+
+def problem_set(generator: Callable[..., Problem], count: int, *,
+                seed: int = 0, **kwargs) -> list[Problem]:
+    """Generate ``count`` problems with derived per-problem seeds."""
+    return [generator(seed=seed * 1000 + i, **kwargs)
+            for i in range(count)]

@@ -1,0 +1,138 @@
+"""Homework engines: binary/arithmetic, C expressions, pointer traces.
+
+Covers homework areas 1 (C programming), 2 (binary and arithmetic) and
+4 (C pointers) of §III-B, using the binary and clib substrates as the
+answer oracles.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.binary import (
+    BitVector,
+    INT,
+    UINT,
+    add,
+    binary_op,
+    binary_to_hex,
+    decimal_to_binary,
+    sub,
+)
+from repro.clib import AddressSpace, Heap, Pointer
+from repro.homework.base import Problem
+
+
+def generate_conversion(*, seed: int = 0) -> Problem:
+    """Convert a decimal value to binary and hex (homework 2)."""
+    rng = random.Random(seed)
+    value = rng.randrange(16, 1024)
+    binary = decimal_to_binary(value)
+    return Problem(
+        kind="conversion",
+        prompt=f"Convert {value} to binary and hexadecimal.",
+        answer={"binary": binary, "hex": binary_to_hex(binary)},
+        context={"value": value})
+
+
+def generate_arithmetic(*, seed: int = 0, width: int = 8) -> Problem:
+    """Fixed-width add/sub with flags (homework 2's arithmetic half)."""
+    rng = random.Random(seed)
+    a = rng.randrange(0, 1 << width)
+    b = rng.randrange(0, 1 << width)
+    op = rng.choice(["add", "sub"])
+    va, vb = BitVector(a, width), BitVector(b, width)
+    result = add(va, vb) if op == "add" else sub(va, vb)
+    sign = "+" if op == "add" else "-"
+    return Problem(
+        kind="arithmetic",
+        prompt=(f"Compute {a:#0{width // 4 + 2}x} {sign} "
+                f"{b:#0{width // 4 + 2}x} as {width}-bit values. Give the "
+                "result (unsigned), and the carry and overflow flags."),
+        answer={"result": result.unsigned,
+                "carry": result.flags.carry,
+                "overflow": result.flags.overflow},
+        context={"a": a, "b": b, "op": op, "width": width})
+
+
+def generate_c_expression(*, seed: int = 0) -> Problem:
+    """Evaluate a C expression with mixed signedness (homework 1)."""
+    rng = random.Random(seed)
+    x = rng.randrange(-50, 50)
+    y = rng.randrange(1, 50)
+    op = rng.choice(["+", "-", "*", "/", "%", "<"])
+    mixed = rng.random() < 0.5
+    tx = INT
+    ty = UINT if mixed else INT
+    value, rtype = binary_op(op, x, tx, y, ty)
+    y_src = f"{y}U" if mixed else str(y)
+    return Problem(
+        kind="c-expression",
+        prompt=(f"int x = {x}; what is the value and type of "
+                f"(x {op} {y_src}) on a 32-bit machine?"),
+        answer={"value": value, "type": rtype.name},
+        context={"x": x, "y": y, "op": op, "unsigned_rhs": mixed})
+
+
+def generate_struct_layout(*, seed: int = 0) -> Problem:
+    """sizeof/offsetof for a randomly ordered struct (homework 1/4)."""
+    import random as _random
+    from repro.clib.structs import StructLayout
+    rng = _random.Random(seed)
+    pool = [("a", "char"), ("b", "int"), ("c", "short"),
+            ("d", "char"), ("e", "int")]
+    fields = rng.sample(pool, k=rng.choice([3, 4]))
+    layout = StructLayout("s", fields)
+    decl = " ".join(f"{t} {n};" for n, t in fields)
+    target = rng.choice(fields)[0]
+    return Problem(
+        kind="struct-layout",
+        prompt=(f"struct s {{ {decl} }}; On a 32-bit machine, what is "
+                f"sizeof(struct s) and the offset of field {target!r}?"),
+        answer={"sizeof": layout.size,
+                "offset": layout.offset_of(target)},
+        context={"fields": fields, "target": target})
+
+
+def generate_array2d_address(*, seed: int = 0) -> Problem:
+    """&a[i][j] arithmetic for a row-major 2-D array (homework 4)."""
+    import random as _random
+    from repro.clib.structs import array2d_address
+    rng = _random.Random(seed)
+    rows, cols = rng.randrange(3, 8), rng.randrange(3, 8)
+    i, j = rng.randrange(rows), rng.randrange(cols)
+    base = 0x1000 + rng.randrange(16) * 0x100
+    answer = array2d_address(base, i, j, cols=cols)
+    return Problem(
+        kind="array2d-address",
+        prompt=(f"int a[{rows}][{cols}]; a starts at {base:#x}. "
+                f"What is the address of a[{i}][{j}]?"),
+        answer=answer,
+        context={"base": base, "rows": rows, "cols": cols,
+                 "i": i, "j": j})
+
+
+def generate_pointer_trace(*, seed: int = 0) -> Problem:
+    """Pointer arithmetic and dereference trace (homework 4)."""
+    rng = random.Random(seed)
+    values = [rng.randrange(-20, 20) for _ in range(5)]
+    i = rng.randrange(0, 4)
+    space = AddressSpace.standard()
+    heap = Heap(space)
+    base = heap.malloc(4 * len(values))
+    p = Pointer(space, INT, base)
+    for k, v in enumerate(values):
+        p.set_index(k, v)
+    # the question: int *q = p + i; what is *q and q - p after q++?
+    q = p + i
+    deref_before = q.load()
+    q = q + 1
+    answer = {"deref": deref_before, "offset_after": q - p}
+    listing = ", ".join(str(v) for v in values)
+    return Problem(
+        kind="pointer-trace",
+        prompt=(f"int a[5] = {{{listing}}}; int *p = a; "
+                f"int *q = p + {i}; print *q, then q++; what is *q's old "
+                "value and q - p now?"),
+        answer=answer,
+        context={"values": values, "i": i})

@@ -1,0 +1,69 @@
+"""Homework engines: direct-mapped and set-associative caching (7, 8).
+
+Generates the classic worksheet: a small cache geometry, a sequence of
+loads/stores, and the answer trace (hit/miss per access, with LRU
+replacement where applicable), all produced by the cache simulator.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.homework.base import Problem
+from repro.memory import Cache, CacheConfig
+
+
+def generate_cache_trace(*, seed: int = 0, associativity: int = 1,
+                         accesses: int = 8) -> Problem:
+    """A cache-trace worksheet; associativity 1 = homework 7, 2 = 8."""
+    rng = random.Random(seed)
+    config = CacheConfig(num_lines=4, block_size=4,
+                         associativity=associativity)
+    # draw addresses that collide interestingly: a few blocks per set
+    pool = [rng.randrange(0, 8) * 4 + rng.randrange(0, 4)
+            for _ in range(accesses)]
+    kinds = [rng.choice(["load", "store"]) for _ in range(accesses)]
+    cache = Cache(config)
+    results = [cache.access(a, k) for a, k in zip(pool, kinds)]
+    hit_miss = ["hit" if r.hit else "miss" for r in results]
+    lines = [f"{k} {a:#06x}" for a, k in zip(pool, kinds)]
+    kind_name = ("direct-mapped" if associativity == 1
+                 else f"{associativity}-way set-associative (LRU)")
+    return Problem(
+        kind="cache-trace",
+        prompt=(f"A {kind_name} cache has {config.num_lines} lines of "
+                f"{config.block_size} bytes. For each access below, "
+                "write hit or miss:\n" + "\n".join(lines)),
+        answer=hit_miss,
+        context={"config": config, "addresses": pool, "kinds": kinds})
+
+
+def generate_address_division(*, seed: int = 0) -> Problem:
+    """Split an address into tag/index/offset for a given geometry."""
+    rng = random.Random(seed)
+    block = rng.choice([4, 8, 16])
+    sets = rng.choice([4, 8, 16])
+    config = CacheConfig(num_lines=sets, block_size=block,
+                         associativity=1, address_bits=16)
+    address = rng.randrange(0, 1 << 16)
+    parts = config.layout.divide(address)
+    return Problem(
+        kind="address-division",
+        prompt=(f"A direct-mapped cache has {sets} lines of {block} "
+                f"bytes; addresses are 16 bits. Divide {address:#06x} "
+                "into tag, index, and offset (as integers)."),
+        answer={"tag": parts.tag, "index": parts.index,
+                "offset": parts.offset},
+        context={"address": address, "block": block, "sets": sets})
+
+
+def worksheet_solution(problem: Problem) -> str:
+    """Render the instructor's answer sheet for a cache-trace problem."""
+    if problem.kind != "cache-trace":
+        return str(problem.answer)
+    rows = []
+    for (a, k), verdict in zip(
+            zip(problem.context["addresses"], problem.context["kinds"]),
+            problem.answer):
+        rows.append(f"{k:>5} {a:#06x} -> {verdict}")
+    return "\n".join(rows)

@@ -1,0 +1,160 @@
+"""Homework engines: circuits (area 3).
+
+Both directions of the homework: trace a given circuit to its truth
+table, and *create* a circuit from a given truth table. The synthesis
+direction is implemented for real — a sum-of-products builder over the
+gate library — so the checker can simulate the synthesized circuit and
+compare tables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.circuits import And, Circuit, Nand, Nor, Not, Or, Wire, Xor
+from repro.circuits.combinational import SubCircuit
+from repro.errors import CircuitError
+from repro.homework.base import Problem
+
+_GATES = {"and": And, "or": Or, "xor": Xor, "nand": Nand, "nor": Nor}
+
+
+class TwoLevelCircuit(SubCircuit):
+    """A random two-level, three-input circuit for tracing problems.
+
+    out = g2(g1(a, b), c) with optional inversion of c — small enough to
+    trace by hand, rich enough to be non-obvious.
+    """
+
+    def __init__(self, g1_name: str, g2_name: str, invert_c: bool) -> None:
+        super().__init__()
+        self.g1_name, self.g2_name, self.invert_c = g1_name, g2_name, invert_c
+        self.a, self.b, self.c = Wire("a"), Wire("b"), Wire("c")
+        self.out = Wire("out")
+        mid = Wire("mid")
+        self.add(_GATES[g1_name]([self.a, self.b], mid))
+        c_in = self.c
+        if invert_c:
+            nc = Wire("nc")
+            self.add(Not(self.c, nc))
+            c_in = nc
+        self.add(_GATES[g2_name]([mid, c_in], self.out))
+
+    def describe(self) -> str:
+        c_term = "NOT c" if self.invert_c else "c"
+        return (f"out = {self.g2_name.upper()}("
+                f"{self.g1_name.upper()}(a, b), {c_term})")
+
+    def truth_table(self) -> list[int]:
+        """Output for inputs abc = 000..111 (a is the MSB)."""
+        rows = []
+        circuit = Circuit()
+        circuit.add(self)
+        for combo in range(8):
+            self.a.set((combo >> 2) & 1)
+            self.b.set((combo >> 1) & 1)
+            self.c.set(combo & 1)
+            circuit.settle()
+            rows.append(self.out.value)
+        return rows
+
+
+def generate_truth_table(*, seed: int = 0) -> Problem:
+    """Trace a two-level circuit to its 8-row truth table."""
+    rng = random.Random(seed)
+    g1 = rng.choice(list(_GATES))
+    g2 = rng.choice(list(_GATES))
+    invert_c = rng.random() < 0.5
+    circuit = TwoLevelCircuit(g1, g2, invert_c)
+    return Problem(
+        kind="truth-table",
+        prompt=(f"Trace the circuit {circuit.describe()} and give its "
+                "truth table output column for abc = 000..111."),
+        answer=circuit.truth_table(),
+        context={"g1": g1, "g2": g2, "invert_c": invert_c})
+
+
+class SumOfProducts(SubCircuit):
+    """Synthesize any n-input truth table as AND-of-literals into OR.
+
+    The 'create a circuit given a logic table' half of the homework,
+    done the way the course teaches (minterms).
+    """
+
+    def __init__(self, outputs: Sequence[int], inputs: list[Wire],
+                 out: Wire) -> None:
+        super().__init__()
+        n = len(inputs)
+        if len(outputs) != (1 << n):
+            raise CircuitError(
+                f"{n}-input table needs {1 << n} rows, got {len(outputs)}")
+        if any(v not in (0, 1) for v in outputs):
+            raise CircuitError("truth table entries must be bits")
+        inverted = []
+        for i, w in enumerate(inputs):
+            nw = Wire(f"n{i}")
+            self.add(Not(w, nw))
+            inverted.append(nw)
+        minterms = []
+        for row, value in enumerate(outputs):
+            if not value:
+                continue
+            literals = []
+            for i in range(n):
+                bit = (row >> (n - 1 - i)) & 1
+                literals.append(inputs[i] if bit else inverted[i])
+            if len(literals) == 1:
+                term = literals[0]
+            else:
+                term = Wire(f"m{row}")
+                self.add(And(literals, term))
+            minterms.append(term)
+        from repro.circuits.combinational import Constant
+        if not minterms:
+            self.add(Constant(out, 0))
+        elif len(minterms) == 1:
+            from repro.circuits.gates import Buffer
+            self.add(Buffer(minterms[0], out))
+        else:
+            self.add(Or(minterms, out))
+
+
+def synthesize(outputs: Sequence[int], n_inputs: int
+               ) -> tuple[SumOfProducts, list[Wire], Wire]:
+    """Build a circuit computing the given truth table."""
+    inputs = [Wire(f"in{i}") for i in range(n_inputs)]
+    out = Wire("out")
+    return SumOfProducts(outputs, inputs, out), inputs, out
+
+
+def simulate_table(sop: SumOfProducts, inputs: list[Wire],
+                   out: Wire) -> list[int]:
+    circuit = Circuit()
+    circuit.add(sop)
+    n = len(inputs)
+    rows = []
+    for combo in range(1 << n):
+        for i, w in enumerate(inputs):
+            w.set((combo >> (n - 1 - i)) & 1)
+        circuit.settle()
+        rows.append(out.value)
+    return rows
+
+
+def generate_synthesis(*, seed: int = 0, n_inputs: int = 3) -> Problem:
+    """Create-a-circuit problem: here's a table, build SOP for it.
+
+    The answer is the minterm list; the checker can also verify a
+    student's arbitrary circuit by simulating it against the table.
+    """
+    rng = random.Random(seed)
+    outputs = [rng.randrange(2) for _ in range(1 << n_inputs)]
+    minterms = [i for i, v in enumerate(outputs) if v]
+    return Problem(
+        kind="synthesis",
+        prompt=(f"Design a {n_inputs}-input circuit with output column "
+                f"{outputs} (rows 0..{(1 << n_inputs) - 1}). List its "
+                "minterm row numbers."),
+        answer=minterms,
+        context={"outputs": outputs, "n_inputs": n_inputs})

@@ -1,0 +1,78 @@
+"""Homework engines: processes (area 9).
+
+Generates fork/wait/exit programs and uses the kernel's exhaustive
+schedule explorer as the answer key for "identify possible outputs".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.homework.base import Problem
+from repro.ossim import Exit, Fork, Print, Wait, enumerate_outputs
+
+
+def _render_c(ops, indent=0) -> list[str]:
+    """Render the op program as the C the homework would print."""
+    pad = "    " * indent
+    lines: list[str] = []
+    for op in ops:
+        if isinstance(op, Print):
+            lines.append(f'{pad}printf("{op.text}");')
+        elif isinstance(op, Fork):
+            lines.append(f"{pad}if (fork() == 0) {{")
+            lines.extend(_render_c(op.child, indent + 1))
+            if op.parent:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_render_c(op.parent, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(op, Wait):
+            lines.append(f"{pad}wait(NULL);")
+        elif isinstance(op, Exit):
+            lines.append(f"{pad}exit({op.status});")
+    return lines
+
+
+def generate_fork_outputs(*, seed: int = 0) -> Problem:
+    """A fork program; the answer is its set of possible outputs."""
+    rng = random.Random(seed)
+    letters = iter("ABCDEF")
+    shape = rng.choice(["plain", "child-exit", "wait", "double"])
+    if shape == "plain":
+        ops = [Print(next(letters)), Fork(), Print(next(letters)),
+               Exit(0)]
+    elif shape == "child-exit":
+        ops = [Print(next(letters)),
+               Fork(child=[Print(next(letters)), Exit(0)]),
+               Print(next(letters)), Exit(0)]
+    elif shape == "wait":
+        ops = [Fork(child=[Print(next(letters)), Exit(0)]),
+               Wait(), Print(next(letters)), Exit(0)]
+    else:  # double fork
+        ops = [Fork(child=[Print(next(letters)), Exit(0)]),
+               Fork(child=[Print(next(letters)), Exit(0)]),
+               Print(next(letters)), Exit(0)]
+    outputs = enumerate_outputs(ops)
+    c_text = "\n".join(_render_c(ops))
+    return Problem(
+        kind="fork-outputs",
+        prompt=("What outputs can this program print (any "
+                "scheduling)?\n" + c_text),
+        answer=outputs,
+        context={"ops": ops, "shape": shape})
+
+
+def generate_fork_count(*, seed: int = 0) -> Problem:
+    """The other classic: how many processes does this create?"""
+    rng = random.Random(seed)
+    n_forks = rng.randrange(1, 4)
+    ops: list = [Fork() for _ in range(n_forks)]
+    ops.append(Exit(0))
+    c_text = "\n".join("fork();" for _ in range(n_forks))
+    # n sequential forks: 2**n processes total (including the original)
+    return Problem(
+        kind="fork-count",
+        prompt=(f"How many processes exist in total after this "
+                f"code runs?\n{c_text}"),
+        answer=2 ** n_forks,
+        context={"n_forks": n_forks})

@@ -1,0 +1,113 @@
+"""Homework engines: threads (area 12) — counter races, Amdahl, speedup.
+
+The threads homework starts from the in-class producer/consumer
+exercise and the shared-counter demos; these generators use the
+simulated machine as the oracle so lost updates are real, not asserted.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    Mutex,
+    SharedCounter,
+    SimMachine,
+    SyncCosts,
+    amdahl_speedup,
+    run_producer_consumer,
+)
+from repro.homework.base import Problem
+
+_FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+def generate_counter_outcome(*, seed: int = 0) -> Problem:
+    """Shared counter with/without a mutex: what is the final value?
+
+    Without the mutex the answer is what the deterministic machine
+    actually produces (strictly less than the nominal total); with the
+    mutex it is exactly threads × increments.
+    """
+    rng = random.Random(seed)
+    threads = rng.choice([2, 4])
+    increments = rng.choice([10, 25])
+    locked = rng.random() < 0.5
+    counter = SharedCounter()
+    machine = SimMachine(threads, costs=_FREE)
+    if locked:
+        mutex = Mutex()
+        for _ in range(threads):
+            machine.spawn(counter.safe_incrementer(mutex, increments))
+    else:
+        for _ in range(threads):
+            machine.spawn(counter.unsafe_incrementer(increments))
+    machine.run()
+    nominal = threads * increments
+    lock_text = "inside a mutex-protected critical section" if locked \
+        else "with NO synchronization"
+    return Problem(
+        kind="counter-outcome",
+        prompt=(f"{threads} threads each increment a shared counter "
+                f"{increments} times {lock_text} on a {threads}-core "
+                "machine. Is the final value equal to "
+                f"{nominal}? Answer the final value this schedule "
+                "produces."),
+        answer=counter.value,
+        context={"threads": threads, "increments": increments,
+                 "locked": locked, "nominal": nominal})
+
+
+def generate_amdahl(*, seed: int = 0) -> Problem:
+    """Compute the Amdahl bound (the course introduces the concept)."""
+    rng = random.Random(seed)
+    parallel_pct = rng.choice([50, 75, 90, 95])
+    cores = rng.choice([2, 4, 8, 16])
+    answer = amdahl_speedup(parallel_pct / 100, cores)
+    return Problem(
+        kind="amdahl",
+        prompt=(f"A program is {parallel_pct}% parallelizable. What "
+                f"speedup does Amdahl's law allow on {cores} cores? "
+                "(3 decimal places)"),
+        answer=round(answer, 3),
+        context={"parallel_pct": parallel_pct, "cores": cores})
+
+
+def generate_producer_consumer(*, seed: int = 0) -> Problem:
+    """Bounded-buffer comprehension: can occupancy exceed capacity?"""
+    rng = random.Random(seed)
+    capacity = rng.choice([1, 2, 4])
+    result = run_producer_consumer(
+        producers=2, consumers=2, items_per_producer=8,
+        capacity=capacity)
+    return Problem(
+        kind="producer-consumer",
+        prompt=(f"Two producers and two consumers share a bounded buffer "
+                f"of capacity {capacity}; each producer makes 8 items. "
+                "What is the maximum number of items ever in the buffer, "
+                "and how many items are consumed in total?"),
+        answer={"max_occupancy": result.max_occupancy,
+                "consumed": result.items},
+        context={"capacity": capacity})
+
+
+def generate_sync_placement(*, seed: int = 0) -> Problem:
+    """Where does the synchronization go? (the in-class exercise)
+
+    Presents producer/consumer pseudocode lines; the answer lists the
+    line numbers that must be inside the critical section.
+    """
+    lines = [
+        "1: item = make_item()          # produce",
+        "2: while buffer is full: wait  # guard",
+        "3: buffer.append(item)         # shared write",
+        "4: signal not_empty            # wake consumers",
+        "5: log_locally(item)           # private state",
+    ]
+    answer = {2, 3, 4}
+    return Problem(
+        kind="sync-placement",
+        prompt=("Which numbered lines must execute while holding the "
+                "buffer mutex?\n" + "\n".join(lines)),
+        answer=answer,
+        context={})

@@ -1,0 +1,78 @@
+"""Homework engines: virtual memory 1 and 2 (areas 10, 11).
+
+VM-1: one process's accesses through a page table. VM-2: two processes
+with context switches and LRU replacement. The MMU is the oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.homework.base import Problem
+from repro.vm import MMU, PhysicalMemory
+
+PAGE = 256
+
+
+def _make_mmu(frames: int) -> MMU:
+    return MMU(PhysicalMemory(frames, PAGE), page_size=PAGE,
+               tlb_entries=4)
+
+
+def generate_vm_trace(*, seed: int = 0, processes: int = 1,
+                      accesses: int = 8) -> Problem:
+    """processes=1 → VM-1; processes=2 → VM-2 (context switching)."""
+    rng = random.Random(seed)
+    frames = 2 if processes == 1 else 3
+    mmu = _make_mmu(frames)
+    for pid in range(1, processes + 1):
+        mmu.create_process(pid, 4)
+    trace = []
+    for _ in range(accesses):
+        pid = rng.randrange(1, processes + 1)
+        page = rng.randrange(0, 4)
+        offset = rng.randrange(0, PAGE)
+        write = rng.random() < 0.4
+        trace.append((pid, page * PAGE + offset, write))
+    results = mmu.run_trace(trace)
+    answer = {
+        "faults": [r.page_fault for r in results],
+        "fault_count": mmu.stats.page_faults,
+        "final_resident": {
+            pid: tuple(mmu.page_tables[pid].resident_pages())
+            for pid in range(1, processes + 1)},
+    }
+    lines = [f"P{pid} {'store' if w else 'load'} {va:#06x} (page {va // PAGE})"
+             for pid, va, w in trace]
+    kind = "VM-1" if processes == 1 else "VM-2"
+    return Problem(
+        kind="vm-trace",
+        prompt=(f"[{kind}] RAM has {frames} frames of {PAGE} bytes; pages "
+                f"are {PAGE} bytes; LRU replacement. For each access, "
+                "mark page fault or not, and give each process's final "
+                "resident pages:\n" + "\n".join(lines)),
+        answer=answer,
+        context={"trace": trace, "frames": frames,
+                 "processes": processes})
+
+
+def generate_translation_problem(*, seed: int = 0) -> Problem:
+    """Translate one virtual address given a page table snapshot."""
+    rng = random.Random(seed)
+    mmu = _make_mmu(4)
+    mmu.create_process(1, 4)
+    # touch a few pages to build a mapping
+    pages = rng.sample(range(4), k=3)
+    for p in pages:
+        mmu.access(p * PAGE)
+    target_page = rng.choice(pages)
+    offset = rng.randrange(0, PAGE)
+    vaddr = target_page * PAGE + offset
+    frame = mmu.page_tables[1].entry(target_page).frame
+    return Problem(
+        kind="vm-translate",
+        prompt=(f"Given this page table, translate virtual address "
+                f"{vaddr:#06x} (page size {PAGE}):\n"
+                + mmu.page_tables[1].render()),
+        answer=(frame << 8) | offset,
+        context={"vaddr": vaddr, "frame": frame})

@@ -1,0 +1,42 @@
+"""The IA-32 subset: assembler, machine, tools (CS 31 §III-A, *Assembly*).
+
+Register set with sub-register views, AT&T-syntax assembler, the
+executing machine with x86 flag semantics and cdecl calls, GDB-style
+disassembler and debugger, the Lab 5 binary maze generator, and a tiny
+C-subset compiler that grounds "the role of the compiler".
+"""
+
+from repro.isa.registers import Flags, GP32, RegisterSet, register_width
+from repro.isa.instructions import (
+    Immediate,
+    Instruction,
+    INSTRUCTION_SIZE,
+    LabelRef,
+    Memory,
+    Operand,
+    Program,
+    Register,
+)
+from repro.isa.assembler import assemble, parse_operand
+from repro.isa.machine import Machine, SENTINEL_RETURN
+from repro.isa.disassembler import (
+    annotate,
+    disassemble_function,
+    disassemble_range,
+    function_bounds,
+)
+from repro.isa.debugger import Debugger, StackFrameInfo
+from repro.isa.maze import Floor, Maze, SCHEMES
+from repro.isa.ccompiler import CompileError, compile_c, run_c
+
+__all__ = [
+    "RegisterSet", "Flags", "GP32", "register_width",
+    "Instruction", "Program", "Operand", "Register", "Immediate", "Memory",
+    "LabelRef", "INSTRUCTION_SIZE",
+    "assemble", "parse_operand",
+    "Machine", "SENTINEL_RETURN",
+    "disassemble_function", "disassemble_range", "function_bounds", "annotate",
+    "Debugger", "StackFrameInfo",
+    "Maze", "Floor", "SCHEMES",
+    "compile_c", "run_c", "CompileError",
+]

@@ -1,0 +1,761 @@
+"""A tiny C-subset compiler targeting the IA-32 subset.
+
+The course frames assembly via "the role of the compiler in translating
+a C program to the binary form" and Lab 4 has students hand-translate C
+functions to IA-32. This compiler performs that same translation
+mechanically, in the gcc -O0 style the course shows: one stack slot per
+local, parameters at ``8(%ebp)``/``12(%ebp)``..., expression results in
+``%eax``, and the classic prologue/epilogue.
+
+Supported subset::
+
+    int name(int a, int b) { ... }          functions, int-only
+    int g;  int g = 5;                      file-scope globals (.data)
+    int x;  int x = e;  x = e;              declarations & assignment
+    int a[10];  a[i] = e;  a[i]             local arrays (Lab 4/6 style)
+    &x  &a[i]  *p  *p = e                   address-of and dereference
+    return e;  if (e) {...} else {...}      control flow
+    while (e) {...}                         loops
+    for (init; cond; update) {...}          counted loops (desugared)
+    e;                                      expression statements (calls)
+    + - * / %  == != < > <= >=  && || !     operators (&&/|| short-circuit)
+    f(a, b), literals, variables, (e)       primaries
+
+Everything is a 32-bit int; pointers are int addresses (byte-scaled by
+4 only through the a[i] form, as the course's first pointer weeks do).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+
+class CompileError(IsaError):
+    """Source program rejected by the tiny compiler."""
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>&&|\|\||==|!=|<=|>=|[-+*/%<>=!(){},;\[\]&])
+""", re.VERBOSE | re.DOTALL)
+
+KEYWORDS = {"int", "return", "if", "else", "while", "for"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # 'num' | 'name' | 'op' | 'kw' | 'eof'
+    text: str
+    pos: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    while i < len(source):
+        m = _TOKEN_RE.match(source, i)
+        if not m:
+            raise CompileError(f"unexpected character {source[i]!r} at {i}")
+        i = m.end()
+        if m.lastgroup == "ws":
+            continue
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "name" and text in KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, m.start()))
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Call:
+    name: str
+    args: list
+
+
+@dataclass
+class Unary:
+    op: str
+    operand: object
+
+
+@dataclass
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class Index:
+    """``a[i]`` as an rvalue."""
+    name: str
+    index: object
+
+
+@dataclass
+class AddressOf:
+    """``&x`` or ``&a[i]``."""
+    name: str
+    index: object | None = None
+
+
+@dataclass
+class Deref:
+    """``*p`` as an rvalue (p any expression)."""
+    pointer: object
+
+
+@dataclass
+class Declare:
+    name: str
+    init: object | None
+
+
+@dataclass
+class DeclareArray:
+    """``int a[n];`` — n must be a literal."""
+    name: str
+    size: int
+
+
+@dataclass
+class Assign:
+    name: str
+    value: object
+
+
+@dataclass
+class AssignIndex:
+    """``a[i] = e;``"""
+    name: str
+    index: object
+    value: object
+
+
+@dataclass
+class AssignDeref:
+    """``*p = e;`` (p any expression)."""
+    pointer: object
+    value: object
+
+
+@dataclass
+class Return:
+    value: object
+
+
+@dataclass
+class If:
+    cond: object
+    then: list
+    otherwise: list
+
+
+@dataclass
+class While:
+    cond: object
+    body: list
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+
+
+@dataclass
+class Function:
+    name: str
+    params: list[str]
+    body: list
+
+
+@dataclass
+class GlobalVar:
+    """``int g = 5;`` at file scope (constant initializer only)."""
+    name: str
+    init: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent)
+# ---------------------------------------------------------------------------
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r} but found {tok.text!r} at {tok.pos}")
+        return tok
+
+    def accept(self, kind: str, text: str) -> bool:
+        tok = self.peek()
+        if tok.kind == kind and tok.text == text:
+            self.i += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self) -> list:
+        """Top-level items: functions and global int declarations."""
+        items: list = []
+        while self.peek().kind != "eof":
+            items.append(self.parse_top_level())
+        if not any(isinstance(i, Function) for i in items):
+            raise CompileError("empty program")
+        return items
+
+    def parse_top_level(self):
+        self.expect("kw", "int")
+        name = self.expect("name").text
+        if self.peek().kind == "op" and self.peek().text == "(":
+            return self._parse_function_rest(name)
+        init = 0
+        if self.accept("op", "="):
+            negative = self.accept("op", "-")
+            num = self.expect("num")
+            init = -int(num.text) if negative else int(num.text)
+        self.expect("op", ";")
+        return GlobalVar(name, init)
+
+    def parse_function(self) -> Function:
+        self.expect("kw", "int")
+        name = self.expect("name").text
+        return self._parse_function_rest(name)
+
+    def _parse_function_rest(self, name: str) -> Function:
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.accept("op", ")"):
+            while True:
+                self.expect("kw", "int")
+                params.append(self.expect("name").text)
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self.parse_block()
+        return Function(name, params, body)
+
+    def parse_block(self) -> list:
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_statement())
+        return stmts
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text == "int":
+            decl = self._parse_declaration()
+            self.expect("op", ";")
+            return decl
+        if tok.kind == "kw" and tok.text == "return":
+            self.next()
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return Return(value)
+        if tok.kind == "kw" and tok.text == "if":
+            self.next()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            then = self.parse_block()
+            otherwise = []
+            if self.accept("kw", "else"):
+                otherwise = self.parse_block()
+            return If(cond, then, otherwise)
+        if tok.kind == "kw" and tok.text == "while":
+            self.next()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            return While(cond, self.parse_block())
+        if tok.kind == "kw" and tok.text == "for":
+            return self._parse_for()
+        if tok.kind == "op" and tok.text == "*":
+            # *expr = value;
+            self.next()
+            pointer = self.parse_unary()
+            self.expect("op", "=")
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return AssignDeref(pointer, value)
+        if (tok.kind == "name"
+                and self.tokens[self.i + 1].kind == "op"
+                and self.tokens[self.i + 1].text in ("=", "[")):
+            stmt = self._parse_assignment()
+            self.expect("op", ";")
+            return stmt
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ExprStmt(expr)
+
+    def _parse_declaration(self):
+        """``int x``, ``int x = e``, or ``int a[n]`` (no trailing ';')."""
+        self.expect("kw", "int")
+        name = self.expect("name").text
+        if self.accept("op", "["):
+            size_tok = self.expect("num")
+            self.expect("op", "]")
+            size = int(size_tok.text)
+            if size <= 0:
+                raise CompileError(f"array {name!r} needs positive size")
+            return DeclareArray(name, size)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        return Declare(name, init)
+
+    def _parse_assignment(self):
+        """``x = e`` or ``a[i] = e`` (no trailing ';')."""
+        name = self.expect("name").text
+        if self.accept("op", "["):
+            index = self.parse_expr()
+            self.expect("op", "]")
+            self.expect("op", "=")
+            return AssignIndex(name, index, self.parse_expr())
+        self.expect("op", "=")
+        return Assign(name, self.parse_expr())
+
+    def _parse_for(self):
+        """for (init; cond; update) block — desugared to a while loop.
+
+        The init clause may be a declaration or assignment (or empty);
+        the update clause an assignment (or empty).
+        """
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init = None
+        if not self.accept("op", ";"):
+            if self.peek().kind == "kw" and self.peek().text == "int":
+                init = self._parse_declaration()
+            else:
+                init = self._parse_assignment()
+            self.expect("op", ";")
+        cond = Num(1)
+        if not self.accept("op", ";"):
+            cond = self.parse_expr()
+            self.expect("op", ";")
+        update = None
+        if not self.accept("op", ")"):
+            update = self._parse_assignment()
+            self.expect("op", ")")
+        body = self.parse_block()
+        loop_body = body + ([update] if update is not None else [])
+        loop = While(cond, loop_body)
+        return If(Num(1), ([init] if init is not None else []) + [loop],
+                  [])
+
+    # expression precedence: || < && < (== !=) < (< > <= >=) < (+ -) < (* / %)
+    def parse_expr(self):
+        return self.parse_or()
+
+    def _binary_level(self, sub, ops):
+        node = sub()
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op = self.next().text
+            node = Binary(op, node, sub())
+        return node
+
+    def parse_or(self):
+        return self._binary_level(self.parse_and, {"||"})
+
+    def parse_and(self):
+        return self._binary_level(self.parse_equality, {"&&"})
+
+    def parse_equality(self):
+        return self._binary_level(self.parse_relational, {"==", "!="})
+
+    def parse_relational(self):
+        return self._binary_level(self.parse_additive,
+                                  {"<", ">", "<=", ">="})
+
+    def parse_additive(self):
+        return self._binary_level(self.parse_multiplicative, {"+", "-"})
+
+    def parse_multiplicative(self):
+        return self._binary_level(self.parse_unary, {"*", "/", "%"})
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!"):
+            self.next()
+            return Unary(tok.text, self.parse_unary())
+        if tok.kind == "op" and tok.text == "*":
+            self.next()
+            return Deref(self.parse_unary())
+        if tok.kind == "op" and tok.text == "&":
+            self.next()
+            name = self.expect("name").text
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return AddressOf(name, index)
+            return AddressOf(name)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.next()
+        if tok.kind == "num":
+            return Num(int(tok.text))
+        if tok.kind == "name":
+            if self.accept("op", "("):
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return Call(tok.text, args)
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return Index(tok.text, index)
+            return Var(tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            e = self.parse_expr()
+            self.expect("op", ")")
+            return e
+        raise CompileError(f"unexpected token {tok.text!r} at {tok.pos}")
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+_CMP_JUMP = {"==": "je", "!=": "jne", "<": "jl",
+             ">": "jg", "<=": "jle", ">=": "jge"}
+
+
+class CodeGen:
+    def __init__(self, globals_: set[str] | None = None) -> None:
+        self.lines: list[str] = []
+        self.globals: set[str] = globals_ or set()
+        self._label_counter = 0
+
+    def label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f".L{stem}{self._label_counter}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"  {text}" if not text.endswith(":") else text)
+
+    # -- functions ------------------------------------------------------------
+
+    def gen_function(self, fn: Function) -> None:
+        # pre-scan for locals so the prologue can reserve all slots at once
+        offsets: dict[str, int] = {}
+        for i, p in enumerate(fn.params):
+            if p in offsets:
+                raise CompileError(f"duplicate parameter {p!r}")
+            offsets[p] = 8 + 4 * i
+
+        local_count = self._count_locals(fn.body, set(fn.params))
+        self.emit(f"{fn.name}:")
+        self.emit("pushl %ebp")
+        self.emit("movl %esp, %ebp")
+        if local_count:
+            self.emit(f"subl ${4 * local_count}, %esp")
+        self._next_local = -4
+        self._gen_block(fn.body, dict(offsets))
+        # implicit `return 0` if control falls off the end
+        self.emit("movl $0, %eax")
+        self.emit("leave")
+        self.emit("ret")
+
+    def _count_locals(self, stmts: list, seen: set[str]) -> int:
+        count = 0
+        for s in stmts:
+            if isinstance(s, Declare):
+                if s.name in seen:
+                    raise CompileError(f"redeclaration of {s.name!r}")
+                seen.add(s.name)
+                count += 1
+            elif isinstance(s, DeclareArray):
+                if s.name in seen:
+                    raise CompileError(f"redeclaration of {s.name!r}")
+                seen.add(s.name)
+                count += s.size
+            elif isinstance(s, If):
+                count += self._count_locals(s.then, set(seen))
+                count += self._count_locals(s.otherwise, set(seen))
+            elif isinstance(s, While):
+                count += self._count_locals(s.body, set(seen))
+        return count
+
+    @staticmethod
+    def _scalar_offset(scope: dict, name: str) -> int:
+        entry = scope.get(name)
+        if entry is None:
+            raise CompileError(f"use of undeclared variable {name!r}")
+        if isinstance(entry, tuple):
+            raise CompileError(f"{name!r} is an array, not a scalar")
+        return entry
+
+    @staticmethod
+    def _array_entry(scope: dict, name: str) -> tuple[int, int]:
+        """(base_offset, size) — scalars are usable too (int* values)."""
+        entry = scope.get(name)
+        if entry is None:
+            raise CompileError(f"use of undeclared variable {name!r}")
+        if isinstance(entry, tuple):
+            return entry[1], entry[2]
+        raise CompileError(f"{name!r} is not an array")
+
+    def _gen_block(self, stmts: list, scope: dict[str, int]) -> None:
+        for s in stmts:
+            self._gen_statement(s, scope)
+
+    def _gen_statement(self, s, scope: dict[str, int]) -> None:
+        if isinstance(s, Declare):
+            scope[s.name] = self._next_local
+            self._next_local -= 4
+            if s.init is not None:
+                self._gen_expr(s.init, scope)
+                self.emit(f"movl %eax, {scope[s.name]}(%ebp)")
+        elif isinstance(s, DeclareArray):
+            base = self._next_local - 4 * (s.size - 1)
+            scope[s.name] = ("array", base, s.size)
+            self._next_local = base - 4
+        elif isinstance(s, Assign):
+            if s.name in scope:
+                offset = self._scalar_offset(scope, s.name)
+                self._gen_expr(s.value, scope)
+                self.emit(f"movl %eax, {offset}(%ebp)")
+            elif s.name in self.globals:
+                self._gen_expr(s.value, scope)
+                self.emit(f"movl %eax, {s.name}")
+            else:
+                raise CompileError(f"assignment to undeclared {s.name!r}")
+        elif isinstance(s, AssignIndex):
+            base, _size = self._array_entry(scope, s.name)
+            self._gen_expr(s.value, scope)
+            self.emit("pushl %eax")
+            self._gen_expr(s.index, scope)
+            self.emit("movl %eax, %ecx")
+            self.emit("popl %eax")
+            self.emit(f"movl %eax, {base}(%ebp,%ecx,4)")
+        elif isinstance(s, AssignDeref):
+            self._gen_expr(s.value, scope)
+            self.emit("pushl %eax")
+            self._gen_expr(s.pointer, scope)
+            self.emit("movl %eax, %ecx")
+            self.emit("popl %eax")
+            self.emit("movl %eax, (%ecx)")
+        elif isinstance(s, Return):
+            self._gen_expr(s.value, scope)
+            self.emit("leave")
+            self.emit("ret")
+        elif isinstance(s, If):
+            else_label = self.label("else")
+            end_label = self.label("endif")
+            self._gen_expr(s.cond, scope)
+            self.emit("cmpl $0, %eax")
+            self.emit(f"je {else_label}")
+            self._gen_block(s.then, dict(scope))
+            self.emit(f"jmp {end_label}")
+            self.emit(f"{else_label}:")
+            self._gen_block(s.otherwise, dict(scope))
+            self.emit(f"{end_label}:")
+        elif isinstance(s, While):
+            top = self.label("loop")
+            end = self.label("endloop")
+            self.emit(f"{top}:")
+            self._gen_expr(s.cond, scope)
+            self.emit("cmpl $0, %eax")
+            self.emit(f"je {end}")
+            self._gen_block(s.body, dict(scope))
+            self.emit(f"jmp {top}")
+            self.emit(f"{end}:")
+        elif isinstance(s, ExprStmt):
+            self._gen_expr(s.expr, scope)
+        else:  # pragma: no cover
+            raise CompileError(f"unknown statement {s!r}")
+
+    # -- expressions -------------------------------------------------------------
+
+    def _gen_expr(self, e, scope: dict[str, int]) -> None:
+        """Evaluate ``e`` into %eax (may clobber %ecx/%edx and the stack)."""
+        if isinstance(e, Num):
+            self.emit(f"movl ${e.value}, %eax")
+        elif isinstance(e, Var):
+            entry = scope.get(e.name)
+            if entry is None:
+                if e.name in self.globals:
+                    self.emit(f"movl {e.name}, %eax")
+                    return
+                raise CompileError(f"use of undeclared variable {e.name!r}")
+            if isinstance(entry, tuple):
+                # an array name decays to its base address
+                self.emit(f"leal {entry[1]}(%ebp), %eax")
+            else:
+                self.emit(f"movl {entry}(%ebp), %eax")
+        elif isinstance(e, Index):
+            base, _size = self._array_entry(scope, e.name)
+            self._gen_expr(e.index, scope)
+            self.emit("movl %eax, %ecx")
+            self.emit(f"movl {base}(%ebp,%ecx,4), %eax")
+        elif isinstance(e, AddressOf):
+            if e.index is None:
+                entry = scope.get(e.name)
+                if entry is None:
+                    if e.name in self.globals:
+                        self.emit(f"movl ${e.name}, %eax")
+                        return
+                    raise CompileError(
+                        f"use of undeclared variable {e.name!r}")
+                offset = entry[1] if isinstance(entry, tuple) else entry
+                self.emit(f"leal {offset}(%ebp), %eax")
+            else:
+                base, _size = self._array_entry(scope, e.name)
+                self._gen_expr(e.index, scope)
+                self.emit("movl %eax, %ecx")
+                self.emit(f"leal {base}(%ebp,%ecx,4), %eax")
+        elif isinstance(e, Deref):
+            self._gen_expr(e.pointer, scope)
+            self.emit("movl (%eax), %eax")
+        elif isinstance(e, Unary):
+            self._gen_expr(e.operand, scope)
+            if e.op == "-":
+                self.emit("negl %eax")
+            else:  # '!'
+                true_label = self.label("t")
+                end = self.label("e")
+                self.emit("cmpl $0, %eax")
+                self.emit(f"je {true_label}")
+                self.emit("movl $0, %eax")
+                self.emit(f"jmp {end}")
+                self.emit(f"{true_label}:")
+                self.emit("movl $1, %eax")
+                self.emit(f"{end}:")
+        elif isinstance(e, Call):
+            for arg in reversed(e.args):
+                self._gen_expr(arg, scope)
+                self.emit("pushl %eax")
+            self.emit(f"call {e.name}")
+            if e.args:
+                self.emit(f"addl ${4 * len(e.args)}, %esp")
+        elif isinstance(e, Binary):
+            if e.op in ("&&", "||"):
+                self._gen_short_circuit(e, scope)
+                return
+            self._gen_expr(e.left, scope)
+            self.emit("pushl %eax")
+            self._gen_expr(e.right, scope)
+            self.emit("movl %eax, %ecx")
+            self.emit("popl %eax")
+            if e.op == "+":
+                self.emit("addl %ecx, %eax")
+            elif e.op == "-":
+                self.emit("subl %ecx, %eax")
+            elif e.op == "*":
+                self.emit("imull %ecx, %eax")
+            elif e.op in ("/", "%"):
+                self.emit("cltd")
+                self.emit("idivl %ecx")
+                if e.op == "%":
+                    self.emit("movl %edx, %eax")
+            elif e.op in _CMP_JUMP:
+                true_label = self.label("t")
+                end = self.label("e")
+                self.emit("cmpl %ecx, %eax")
+                self.emit(f"{_CMP_JUMP[e.op]} {true_label}")
+                self.emit("movl $0, %eax")
+                self.emit(f"jmp {end}")
+                self.emit(f"{true_label}:")
+                self.emit("movl $1, %eax")
+                self.emit(f"{end}:")
+            else:  # pragma: no cover
+                raise CompileError(f"unknown operator {e.op!r}")
+        else:  # pragma: no cover
+            raise CompileError(f"unknown expression {e!r}")
+
+    def _gen_short_circuit(self, e: Binary, scope: dict[str, int]) -> None:
+        out_zero = self.label("sc0")
+        out_one = self.label("sc1")
+        end = self.label("scend")
+        self._gen_expr(e.left, scope)
+        self.emit("cmpl $0, %eax")
+        if e.op == "&&":
+            self.emit(f"je {out_zero}")
+        else:
+            self.emit(f"jne {out_one}")
+        self._gen_expr(e.right, scope)
+        self.emit("cmpl $0, %eax")
+        self.emit(f"je {out_zero}")
+        self.emit(f"{out_one}:")
+        self.emit("movl $1, %eax")
+        self.emit(f"jmp {end}")
+        self.emit(f"{out_zero}:")
+        self.emit("movl $0, %eax")
+        self.emit(f"{end}:")
+
+
+def compile_c(source: str) -> str:
+    """Compile C-subset source to IA-32-subset assembly text."""
+    items = Parser(tokenize(source)).parse_program()
+    functions = [i for i in items if isinstance(i, Function)]
+    globals_ = [i for i in items if isinstance(i, GlobalVar)]
+    names = [f.name for f in functions] + [g.name for g in globals_]
+    if len(set(names)) != len(names):
+        raise CompileError("duplicate top-level definitions")
+    gen = CodeGen({g.name for g in globals_})
+    if globals_:
+        gen.emit(".data")
+        for g in globals_:
+            gen.emit(f"{g.name}:")
+            gen.emit(f".long {g.init}")
+        gen.emit(".text")
+    for fn in functions:
+        gen.gen_function(fn)
+    return "\n".join(gen.lines)
+
+
+def run_c(source: str, function: str = "main", *args: int,
+          max_steps: int = 1_000_000) -> int:
+    """Compile, assemble, and call ``function(*args)``; returns the int result."""
+    from repro.isa.assembler import assemble
+    from repro.isa.machine import Machine
+
+    program = assemble(compile_c(source), entry=function)
+    return Machine(program).call(function, *args, max_steps=max_steps)

@@ -1,0 +1,210 @@
+"""A GDB-like debugger for the IA-32-subset machine.
+
+Lab 4 teaches "the basics of Valgrind and GDB"; Lab 5's maze is solved
+almost entirely inside GDB. :class:`Debugger` provides the operations
+those labs use: breakpoints (by label or address), single-stepping,
+continue, register/memory inspection, and a backtrace that walks the
+saved-%ebp chain — plus a tiny command interpreter so examples can show
+real GDB-flavoured sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import MachineFault
+from repro.isa.disassembler import annotate, disassemble_function
+from repro.isa.machine import Machine, SENTINEL_RETURN
+
+StopReason = Literal["breakpoint", "watchpoint", "halted", "step-limit"]
+
+
+@dataclass(frozen=True)
+class StackFrameInfo:
+    """One backtrace entry."""
+    function: str
+    frame_base: int
+    return_address: int
+
+
+class Debugger:
+    """Drives a :class:`Machine` the way the labs drive GDB."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.breakpoints: set[int] = set()
+        #: watched address → last observed 4-byte value
+        self.watchpoints: dict[int, int] = {}
+
+    # -- breakpoints -------------------------------------------------------
+
+    def resolve(self, where: str | int) -> int:
+        """An address, or a label name (GDB's `break floor_1`)."""
+        if isinstance(where, int):
+            return where
+        labels = self.machine.program.labels
+        if where not in labels:
+            raise MachineFault(f"no symbol {where!r} in program")
+        return labels[where]
+
+    def break_at(self, where: str | int) -> int:
+        addr = self.resolve(where)
+        self.breakpoints.add(addr)
+        return addr
+
+    def delete_breakpoint(self, where: str | int) -> None:
+        self.breakpoints.discard(self.resolve(where))
+
+    # -- watchpoints (GDB's `watch`) -----------------------------------------
+
+    def watch(self, address: int) -> None:
+        """Stop when the 4-byte value at ``address`` changes."""
+        self.watchpoints[address] = self.machine.space.load_uint(address, 4)
+
+    def unwatch(self, address: int) -> None:
+        self.watchpoints.pop(address, None)
+
+    def _changed_watchpoint(self) -> tuple[int, int, int] | None:
+        """(address, old, new) of the first tripped watchpoint, if any."""
+        for addr, old in self.watchpoints.items():
+            new = self.machine.space.load_uint(addr, 4)
+            if new != old:
+                self.watchpoints[addr] = new
+                return addr, old, new
+        return None
+
+    # -- execution ----------------------------------------------------------
+
+    def stepi(self, count: int = 1) -> list[str]:
+        """Execute ``count`` instructions; returns annotated trace lines."""
+        lines = []
+        for _ in range(count):
+            if self.machine.halted:
+                break
+            ins = self.machine.step()
+            lines.append(annotate(self.machine.program, ins))
+        return lines
+
+    def cont(self, max_steps: int = 1_000_000) -> StopReason:
+        """Run until a breakpoint/watchpoint fires, or the program ends.
+
+        After a watchpoint stop, :attr:`last_watch_hit` holds
+        ``(address, old_value, new_value)``.
+        """
+        stepped = 0
+        while not self.machine.halted:
+            if stepped >= max_steps:
+                return "step-limit"
+            self.machine.step()
+            stepped += 1
+            if self.machine.regs.eip in self.breakpoints:
+                return "breakpoint"
+            if self.watchpoints:
+                hit = self._changed_watchpoint()
+                if hit is not None:
+                    self.last_watch_hit = hit
+                    return "watchpoint"
+        return "halted"
+
+    last_watch_hit: tuple[int, int, int] | None = None
+
+    def run_to(self, where: str | int, max_steps: int = 1_000_000) -> StopReason:
+        """Temporary breakpoint + continue (GDB's `advance`)."""
+        addr = self.resolve(where)
+        added = addr not in self.breakpoints
+        self.breakpoints.add(addr)
+        try:
+            return self.cont(max_steps)
+        finally:
+            if added:
+                self.breakpoints.discard(addr)
+
+    # -- inspection -----------------------------------------------------------
+
+    def info_registers(self) -> str:
+        return self.machine.regs.render()
+
+    def examine(self, address: int, count: int = 1, size: int = 4) -> list[int]:
+        """GDB's ``x/<count>`` — read ``count`` units of ``size`` bytes."""
+        return [self.machine.space.load_uint(address + i * size, size)
+                for i in range(count)]
+
+    def current_function(self) -> str | None:
+        eip = self.machine.regs.eip
+        best_name, best_addr = None, -1
+        for name, addr in self.machine.program.labels.items():
+            if addr <= eip and addr > best_addr:
+                best_name, best_addr = name, addr
+        return best_name
+
+    def backtrace(self, limit: int = 32) -> list[StackFrameInfo]:
+        """Walk the saved-%ebp chain, innermost frame first."""
+        frames: list[StackFrameInfo] = []
+        ebp = self.machine.regs.get("ebp")
+        function = self.current_function() or "??"
+        for _ in range(limit):
+            if ebp == 0:
+                break
+            try:
+                saved_ebp = self.machine.space.load_uint(ebp, 4)
+                ret = self.machine.space.load_uint(ebp + 4, 4)
+            except Exception:
+                break
+            frames.append(StackFrameInfo(function, ebp, ret))
+            if ret == SENTINEL_RETURN:
+                break
+            caller = None
+            best = -1
+            for name, addr in self.machine.program.labels.items():
+                if addr <= ret and addr > best:
+                    caller, best = name, addr
+            function = caller or "??"
+            ebp = saved_ebp
+        return frames
+
+    def disassemble(self, label: str | None = None) -> str:
+        label = label or self.current_function()
+        if label is None:
+            raise MachineFault("no current function to disassemble")
+        return disassemble_function(self.machine.program, label)
+
+    # -- command interpreter (for examples/demos) --------------------------------
+
+    def execute_command(self, command: str) -> str:
+        """A tiny GDB command language: break/delete/stepi/continue/info/x/bt/disas."""
+        parts = command.split()
+        if not parts:
+            return ""
+        op, args = parts[0], parts[1:]
+        if op in ("b", "break"):
+            addr = self.break_at(args[0] if not args[0].startswith("0x")
+                                 else int(args[0], 16))
+            return f"Breakpoint at {addr:#010x}"
+        if op in ("d", "delete"):
+            self.delete_breakpoint(args[0])
+            return "deleted"
+        if op == "watch":
+            addr = int(args[0], 0)
+            self.watch(addr)
+            return f"Watchpoint at {addr:#010x}"
+        if op == "stepi" or op == "si":
+            n = int(args[0]) if args else 1
+            return "\n".join(self.stepi(n)) or "(halted)"
+        if op in ("c", "continue"):
+            return f"stopped: {self.cont()}"
+        if op == "info" and args and args[0] == "registers":
+            return self.info_registers()
+        if op.startswith("x/"):
+            count = int(op[2:].rstrip("xwd") or "1")
+            addr = int(args[0], 0)
+            vals = self.examine(addr, count)
+            return "  ".join(f"{v:#010x}" for v in vals)
+        if op in ("bt", "backtrace"):
+            return "\n".join(
+                f"#{i} {f.function} (frame {f.frame_base:#010x}, "
+                f"ret {f.return_address:#010x})"
+                for i, f in enumerate(self.backtrace()))
+        if op in ("disas", "disassemble"):
+            return self.disassemble(args[0] if args else None)
+        raise MachineFault(f"unknown debugger command {command!r}")

@@ -1,0 +1,68 @@
+"""Disassembly views of assembled programs.
+
+The course has students "disassemble their own program binaries to the
+assembly code they learn"; the Lab 5 maze is solved by reading
+disassembly in GDB. These helpers render :class:`Program` instructions
+the way ``disassemble`` prints them in GDB: address, optional label,
+mnemonic, operands, and a ``<+offset>`` relative to the enclosing
+function.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Program
+
+
+def function_bounds(program: Program, label: str) -> tuple[int, int]:
+    """(start, end) addresses of the function beginning at ``label``.
+
+    The function extends to the next label at a higher address or the end
+    of the program.
+    """
+    if label not in program.labels:
+        raise KeyError(f"no label {label!r}")
+    start = program.labels[label]
+    higher = [a for a in program.labels.values() if a > start]
+    if higher:
+        end = min(higher)
+    else:
+        last = program.instructions[-1]
+        end = last.address + 4
+    return start, end
+
+
+def disassemble_function(program: Program, label: str) -> str:
+    """GDB-style listing of one function."""
+    start, end = function_bounds(program, label)
+    lines = [f"Dump of assembler code for function {label}:"]
+    for ins in program.instructions:
+        if start <= ins.address < end:
+            offset = ins.address - start
+            lines.append(f"   {ins.address:#010x} <+{offset}>:\t{ins}")
+    lines.append("End of assembler dump.")
+    return "\n".join(lines)
+
+
+def disassemble_range(program: Program, start: int, count: int) -> list[str]:
+    """``count`` instructions starting at ``start`` (for `x/Ni` style use)."""
+    out = []
+    addr = start
+    for _ in range(count):
+        ins = program.at(addr)
+        if ins is None:
+            break
+        out.append(f"{addr:#010x}:\t{ins}")
+        addr += 4
+    return out
+
+
+def annotate(program: Program, instruction: Instruction) -> str:
+    """One-line rendering with the enclosing label context, for traces."""
+    label = None
+    best = -1
+    for name, addr in program.labels.items():
+        if addr <= instruction.address and addr > best:
+            best = addr
+            label = name
+    prefix = f"<{label}+{instruction.address - best}>" if label else ""
+    return f"{instruction.address:#010x} {prefix}: {instruction}"

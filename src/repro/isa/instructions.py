@@ -1,0 +1,153 @@
+"""Operand and instruction modelling for the IA-32 subset (AT&T syntax).
+
+Instructions are kept in decoded form, each pinned to an address in the
+text region (4 bytes apart, so addresses, the PC, and GDB-style
+breakpoints behave realistically) with the machine fetching from a side
+table. Binary encoding of IA-32 is deliberately out of scope — the course
+treats assembly as "the human-readable form of ... machine code", and
+this repo's observable unit is the instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+
+#: every mnemonic the machine executes, grouped for the assembler
+ARITH2 = {"movl", "addl", "subl", "imull", "andl", "orl", "xorl",
+          "sall", "shll", "sarl", "shrl", "leal", "cmpl", "testl",
+          "movb", "movzbl", "movsbl", "cmpb"}
+ARITH1 = {"notl", "negl", "incl", "decl", "idivl", "pushl", "popl"}
+JUMPS = {"jmp", "je", "jne", "jg", "jge", "jl", "jle",
+         "ja", "jae", "jb", "jbe", "js", "jns"}
+ZEROARY = {"ret", "leave", "nop", "cltd", "halt"}
+CALLS = {"call"}
+
+ALL_MNEMONICS = ARITH2 | ARITH1 | JUMPS | ZEROARY | CALLS
+
+#: bytes per instruction slot in the text region
+INSTRUCTION_SIZE = 4
+
+
+class Operand:
+    """Base class for instruction operands."""
+
+
+@dataclass(frozen=True)
+class Register(Operand):
+    """``%eax`` — a register operand (name stored without the sigil)."""
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Immediate(Operand):
+    """``$42`` — a literal value."""
+    value: int
+
+    def __str__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Memory(Operand):
+    """``disp(base, index, scale)`` — an x86 effective address.
+
+    Any of base/index may be None; scale ∈ {1, 2, 4, 8}.
+    """
+    displacement: int = 0
+    base: str | None = None
+    index: str | None = None
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise AssemblerError(f"invalid scale {self.scale}")
+        if self.base is None and self.index is None:
+            # absolute addressing: displacement only
+            pass
+
+    def __str__(self) -> str:
+        disp = str(self.displacement) if self.displacement else ""
+        if self.base is None and self.index is None:
+            return str(self.displacement)
+        inner = f"%{self.base}" if self.base else ""
+        if self.index:
+            inner += f",%{self.index},{self.scale}"
+        return f"{disp}({inner})"
+
+
+@dataclass(frozen=True)
+class LabelRef(Operand):
+    """A code label used by jumps and calls; resolved to an address."""
+    name: str
+    address: int | None = None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LabelImmediate(Operand):
+    """``$label`` — the *address* of a label as an immediate (AT&T)."""
+    name: str
+    address: int | None = None
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction at a fixed text address."""
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    address: int = 0
+    source_line: int = 0
+    label: str | None = None   # label defined at this address, if any
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ", ".join(str(o) for o in self.operands)
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions by address, labels, entry point,
+    and the initialised-data image to load at ``data_base``."""
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    entry: str = "main"
+    data_image: bytes = b""
+    data_base: int = 0
+
+    def __post_init__(self) -> None:
+        self.by_address = {ins.address: ins for ins in self.instructions}
+
+    @property
+    def entry_address(self) -> int:
+        if self.entry not in self.labels:
+            raise AssemblerError(f"program has no {self.entry!r} label")
+        return self.labels[self.entry]
+
+    def at(self, address: int) -> Instruction | None:
+        return self.by_address.get(address)
+
+    def label_at(self, address: int) -> str | None:
+        for name, addr in self.labels.items():
+            if addr == address:
+                return name
+        return None
+
+    def listing(self) -> str:
+        """Address-annotated disassembly of the whole program."""
+        lines = []
+        for ins in self.instructions:
+            if ins.label:
+                lines.append(f"{ins.label}:")
+            lines.append(f"  {ins.address:#010x}:  {ins}")
+        return "\n".join(lines)

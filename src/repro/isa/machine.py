@@ -1,0 +1,340 @@
+"""The IA-32-subset machine: executes assembled programs.
+
+Models what the course's GDB tracing exercises observe: registers,
+condition flags, the runtime stack (push/pop/call/ret/leave and the
+%ebp frame chain), memory operands with full x86 addressing modes, and
+cdecl function calls. Arithmetic flag semantics come from
+:mod:`repro.binary.arith` — the same definitions the binary module
+teaches, now driving conditional jumps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.binary.arith import add as _badd, mul as _bmul, sub as _bsub
+from repro.binary.bits import BitVector
+from repro.clib.address_space import AddressSpace, STACK_TOP
+from repro.errors import IllegalInstruction, MachineFault
+from repro.isa.instructions import (
+    Immediate,
+    Instruction,
+    INSTRUCTION_SIZE,
+    LabelRef,
+    Memory,
+    Operand,
+    Program,
+    Register,
+)
+from repro.isa.registers import RegisterSet
+
+_MASK32 = 0xFFFF_FFFF
+
+#: "return address" of the outermost frame; reaching it ends the program
+SENTINEL_RETURN = 0xFFFF_FFF0
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+class Machine:
+    """Executes a :class:`Program` over an :class:`AddressSpace`."""
+
+    def __init__(self, program: Program, space: AddressSpace | None = None,
+                 *, record_fetches: bool = False) -> None:
+        self.program = program
+        self.space = space or AddressSpace.standard()
+        self.regs = RegisterSet()
+        self.record_fetches = record_fetches
+        self.regs.set("esp", STACK_TOP - 16)
+        self.regs.eip = program.entry_address
+        self.halted = False
+        self.steps = 0
+        if program.data_image:
+            self.space.write(program.data_base, program.data_image)
+        # a `ret` from the entry function returns here and ends the program
+        self.push(SENTINEL_RETURN)
+
+    # -- operand access --------------------------------------------------------
+
+    def effective_address(self, op: Memory) -> int:
+        """disp + base + index*scale — the x86 addressing-mode formula."""
+        addr = op.displacement
+        if op.base:
+            addr += self.regs.get(op.base)
+        if op.index:
+            addr += self.regs.get(op.index) * op.scale
+        return addr & _MASK32
+
+    def read_operand(self, op: Operand) -> int:
+        """Evaluate a 32-bit source operand to its unsigned value."""
+        if isinstance(op, Immediate):
+            return op.value & _MASK32
+        if isinstance(op, Register):
+            return self.regs.get(op.name)
+        if isinstance(op, Memory):
+            return self.space.load_uint(self.effective_address(op), 4)
+        if isinstance(op, LabelRef):
+            if op.address is None:
+                raise MachineFault(f"unresolved label {op.name!r}")
+            return op.address
+        raise IllegalInstruction(f"cannot read operand {op!r}")
+
+    def write_operand(self, op: Operand, value: int) -> None:
+        """Store a 32-bit value into a register or memory destination."""
+        if isinstance(op, Register):
+            self.regs.set(op.name, value)
+        elif isinstance(op, Memory):
+            self.space.store_uint(self.effective_address(op), value, 4)
+        else:
+            raise IllegalInstruction(f"cannot write operand {op!r}")
+
+    # -- byte-width operands (movb / movzbl / movsbl / cmpb) ----------------
+
+    def read_byte_operand(self, op: Operand) -> int:
+        """Evaluate an 8-bit operand (byte register, memory, immediate)."""
+        if isinstance(op, Immediate):
+            return op.value & 0xFF
+        if isinstance(op, Register):
+            from repro.isa.registers import register_width
+            if register_width(op.name) != 8:
+                raise IllegalInstruction(
+                    f"byte operation needs an 8-bit register, got %{op.name}")
+            return self.regs.get(op.name)
+        if isinstance(op, Memory):
+            return self.space.load_uint(self.effective_address(op), 1)
+        raise IllegalInstruction(f"cannot read byte operand {op!r}")
+
+    def write_byte_operand(self, op: Operand, value: int) -> None:
+        """Store one byte into a byte register or memory destination."""
+        if isinstance(op, Register):
+            from repro.isa.registers import register_width
+            if register_width(op.name) != 8:
+                raise IllegalInstruction(
+                    f"byte operation needs an 8-bit register, got %{op.name}")
+            self.regs.set(op.name, value & 0xFF)
+        elif isinstance(op, Memory):
+            self.space.store_uint(self.effective_address(op),
+                                  value & 0xFF, 1)
+        else:
+            raise IllegalInstruction(f"cannot write byte operand {op!r}")
+
+    # -- stack -------------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        """pushl: decrement %esp by 4 and store the value there."""
+        esp = (self.regs.get("esp") - 4) & _MASK32
+        self.regs.set("esp", esp)
+        self.space.store_uint(esp, value, 4)
+
+    def pop(self) -> int:
+        """popl: load from %esp and increment it by 4."""
+        esp = self.regs.get("esp")
+        value = self.space.load_uint(esp, 4)
+        self.regs.set("esp", (esp + 4) & _MASK32)
+        return value
+
+    # -- flags ---------------------------------------------------------------------
+
+    def _set_flags_arith(self, result) -> None:
+        f = self.regs.flags
+        f.cf = result.flags.carry
+        f.of = result.flags.overflow
+        f.zf = result.flags.zero
+        f.sf = result.flags.sign
+
+    def _set_flags_logic(self, value: int) -> None:
+        f = self.regs.flags
+        f.cf = False
+        f.of = False
+        f.zf = (value & _MASK32) == 0
+        f.sf = bool(value & 0x8000_0000)
+
+    def _condition(self, mnemonic: str) -> bool:
+        f = self.regs.flags
+        table: dict[str, Callable[[], bool]] = {
+            "je": lambda: f.zf,
+            "jne": lambda: not f.zf,
+            "jg": lambda: not f.zf and f.sf == f.of,
+            "jge": lambda: f.sf == f.of,
+            "jl": lambda: f.sf != f.of,
+            "jle": lambda: f.zf or f.sf != f.of,
+            "ja": lambda: not f.cf and not f.zf,
+            "jae": lambda: not f.cf,
+            "jb": lambda: f.cf,
+            "jbe": lambda: f.cf or f.zf,
+            "js": lambda: f.sf,
+            "jns": lambda: not f.sf,
+        }
+        return table[mnemonic]()
+
+    # -- execution --------------------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Fetch, execute, and return the instruction at %eip."""
+        if self.halted:
+            raise MachineFault("machine is halted")
+        eip = self.regs.eip
+        ins = self.program.at(eip)
+        if ins is None:
+            raise MachineFault(f"no instruction at {eip:#010x} "
+                               "(fell off the program?)")
+        if self.record_fetches:
+            self.space.fetch(eip, INSTRUCTION_SIZE)
+        next_eip = eip + INSTRUCTION_SIZE
+        m = ins.mnemonic
+        ops = ins.operands
+
+        if m == "movl":
+            self.write_operand(ops[1], self.read_operand(ops[0]))
+        elif m == "movb":
+            self.write_byte_operand(ops[1], self.read_byte_operand(ops[0]))
+        elif m == "movzbl":
+            if not isinstance(ops[1], Register):
+                raise IllegalInstruction("movzbl destination must be a "
+                                         "32-bit register")
+            self.regs.set(ops[1].name, self.read_byte_operand(ops[0]))
+        elif m == "movsbl":
+            if not isinstance(ops[1], Register):
+                raise IllegalInstruction("movsbl destination must be a "
+                                         "32-bit register")
+            byte = self.read_byte_operand(ops[0])
+            self.regs.set(ops[1].name,
+                          byte - 0x100 if byte & 0x80 else byte)
+        elif m == "cmpb":
+            src = BitVector(self.read_byte_operand(ops[0]), 8)
+            dst = BitVector(self.read_byte_operand(ops[1]), 8)
+            self._set_flags_arith(_bsub(dst, src))
+        elif m == "leal":
+            if not isinstance(ops[0], Memory):
+                raise IllegalInstruction("leal source must be a memory operand")
+            self.write_operand(ops[1], self.effective_address(ops[0]))
+        elif m in ("addl", "subl", "cmpl"):
+            src = BitVector(self.read_operand(ops[0]), 32)
+            dst = BitVector(self.read_operand(ops[1]), 32)
+            result = _badd(dst, src) if m == "addl" else _bsub(dst, src)
+            self._set_flags_arith(result)
+            if m != "cmpl":
+                self.write_operand(ops[1], result.value.raw)
+        elif m == "imull":
+            src = BitVector(self.read_operand(ops[0]), 32)
+            dst = BitVector(self.read_operand(ops[1]), 32)
+            result = _bmul(dst, src, signed=True)
+            self._set_flags_arith(result)
+            self.write_operand(ops[1], result.value.raw)
+        elif m in ("andl", "orl", "xorl", "testl"):
+            src = self.read_operand(ops[0])
+            dst = self.read_operand(ops[1])
+            value = {"andl": dst & src, "orl": dst | src,
+                     "xorl": dst ^ src, "testl": dst & src}[m]
+            self._set_flags_logic(value)
+            if m != "testl":
+                self.write_operand(ops[1], value)
+        elif m in ("sall", "shll", "sarl", "shrl"):
+            count = self.read_operand(ops[0]) & 0x1F
+            raw = self.read_operand(ops[1])
+            if count:
+                if m in ("sall", "shll"):
+                    cf = bool((raw >> (32 - count)) & 1)
+                    value = (raw << count) & _MASK32
+                elif m == "shrl":
+                    cf = bool((raw >> (count - 1)) & 1)
+                    value = raw >> count
+                else:  # sarl
+                    cf = bool((raw >> (count - 1)) & 1)
+                    value = (_signed(raw) >> count) & _MASK32
+                self._set_flags_logic(value)
+                self.regs.flags.cf = cf
+                self.write_operand(ops[1], value)
+        elif m == "notl":
+            self.write_operand(ops[0], ~self.read_operand(ops[0]) & _MASK32)
+        elif m == "negl":
+            raw = self.read_operand(ops[0])
+            result = _bsub(BitVector(0, 32), BitVector(raw, 32))
+            self._set_flags_arith(result)
+            self.regs.flags.cf = raw != 0
+            self.write_operand(ops[0], result.value.raw)
+        elif m in ("incl", "decl"):
+            raw = BitVector(self.read_operand(ops[0]), 32)
+            one = BitVector(1, 32)
+            result = _badd(raw, one) if m == "incl" else _bsub(raw, one)
+            saved_cf = self.regs.flags.cf     # inc/dec preserve CF on x86
+            self._set_flags_arith(result)
+            self.regs.flags.cf = saved_cf
+            self.write_operand(ops[0], result.value.raw)
+        elif m == "idivl":
+            divisor = _signed(self.read_operand(ops[0]))
+            if divisor == 0:
+                raise MachineFault("divide error: division by zero")
+            dividend = (self.regs.get("edx") << 32) | self.regs.get("eax")
+            if dividend & (1 << 63):
+                dividend -= 1 << 64
+            quotient = abs(dividend) // abs(divisor)
+            if (dividend < 0) != (divisor < 0):
+                quotient = -quotient
+            remainder = dividend - quotient * divisor
+            if not -(1 << 31) <= quotient < (1 << 31):
+                raise MachineFault("divide error: quotient overflow")
+            self.regs.set("eax", quotient & _MASK32)
+            self.regs.set("edx", remainder & _MASK32)
+        elif m == "cltd":
+            self.regs.set("edx",
+                          _MASK32 if self.regs.get("eax") & 0x8000_0000 else 0)
+        elif m == "pushl":
+            self.push(self.read_operand(ops[0]))
+        elif m == "popl":
+            self.write_operand(ops[0], self.pop())
+        elif m == "jmp":
+            next_eip = self.read_operand(ops[0])
+        elif m in ("je", "jne", "jg", "jge", "jl", "jle",
+                   "ja", "jae", "jb", "jbe", "js", "jns"):
+            if self._condition(m):
+                next_eip = self.read_operand(ops[0])
+        elif m == "call":
+            self.push(next_eip)
+            next_eip = self.read_operand(ops[0])
+        elif m == "ret":
+            next_eip = self.pop()
+        elif m == "leave":
+            self.regs.set("esp", self.regs.get("ebp"))
+            self.regs.set("ebp", self.pop())
+        elif m == "nop":
+            pass
+        elif m == "halt":
+            self.halted = True
+        else:  # pragma: no cover - assembler rejects unknown mnemonics
+            raise IllegalInstruction(f"unimplemented mnemonic {m!r}")
+
+        if next_eip == SENTINEL_RETURN:
+            self.halted = True
+        self.regs.eip = next_eip & _MASK32
+        self.steps += 1
+        return ins
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run to completion; returns %eax as a signed int (C return value)."""
+        while not self.halted:
+            if self.steps >= max_steps:
+                raise MachineFault("step limit exceeded (infinite loop?)")
+            self.step()
+        return self.regs.get_signed("eax")
+
+    def call(self, label: str, *args: int, max_steps: int = 1_000_000) -> int:
+        """Invoke a function cdecl-style and return its (signed) result.
+
+        Pushes args right-to-left, pushes the sentinel return address, and
+        runs until the function returns to it.
+        """
+        if label not in self.program.labels:
+            raise MachineFault(f"no function labelled {label!r}")
+        saved_esp = self.regs.get("esp")
+        for a in reversed(args):
+            self.push(a & _MASK32)
+        self.push(SENTINEL_RETURN)
+        self.regs.eip = self.program.labels[label]
+        self.halted = False
+        result = self.run(max_steps=max_steps)
+        self.regs.set("esp", saved_esp)   # caller cleans up (cdecl)
+        return result

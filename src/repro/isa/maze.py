@@ -1,0 +1,152 @@
+"""Lab 5: the binary maze — decipher assembly with a debugger.
+
+"Inspired by the 'binary bomb lab' ... students work through a series of
+challenges ('floors' in a 'maze') for which they use GDB to decipher
+assembly functions. Each floor requires a specific input pattern to
+advance. Each successive floor increases in complexity." (§III-B)
+
+:class:`Maze` generates a seeded program with one function per floor,
+each guarding its exit with a different (and progressively harder) check
+scheme. Students get the assembled program and a debugger; the generator
+keeps the (hidden) solutions so graders — and our tests — can verify.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import MachineFault
+from repro.isa.assembler import assemble
+from repro.isa.debugger import Debugger
+from repro.isa.machine import Machine
+
+#: check schemes in order of increasing difficulty; floors cycle through
+SCHEMES = ("constant", "sum", "xor", "shift", "loop")
+
+
+@dataclass(frozen=True)
+class Floor:
+    """One maze floor: its function label, scheme, and hidden solution."""
+    number: int
+    label: str
+    scheme: str
+    solution: int
+
+
+def _emit_floor(n: int, scheme: str, rng: random.Random) -> tuple[str, int]:
+    """Assembly text for floor ``n`` plus its solution.
+
+    Every floor function takes the guess at 8(%ebp) and returns 1 (pass)
+    or 0 (fail) in %eax.
+    """
+    label = f"floor_{n}"
+    prologue = [f"{label}:", "  pushl %ebp", "  movl %esp, %ebp",
+                "  movl 8(%ebp), %eax"]
+    epilogue_pass = [f"{label}_ok:", "  movl $1, %eax", "  leave", "  ret"]
+    epilogue_fail = [f"{label}_no:", "  movl $0, %eax", "  leave", "  ret"]
+
+    if scheme == "constant":
+        key = rng.randrange(10, 100)
+        body = [f"  cmpl ${key}, %eax", f"  je {label}_ok",
+                f"  jmp {label}_no"]
+        solution = key
+    elif scheme == "sum":
+        a, b = rng.randrange(100, 500), rng.randrange(100, 500)
+        body = [f"  movl ${a}, %ebx", f"  addl ${b}, %ebx",
+                "  cmpl %ebx, %eax", f"  je {label}_ok", f"  jmp {label}_no"]
+        solution = a + b
+    elif scheme == "xor":
+        key = rng.randrange(1 << 8, 1 << 12)
+        lock = rng.randrange(1 << 8, 1 << 12)
+        body = [f"  xorl ${key}, %eax", f"  cmpl ${lock}, %eax",
+                f"  je {label}_ok", f"  jmp {label}_no"]
+        solution = key ^ lock
+    elif scheme == "shift":
+        key = rng.randrange(8, 64)
+        shift = rng.choice((1, 2, 3))
+        body = [f"  sarl ${shift}, %eax", f"  cmpl ${key}, %eax",
+                f"  je {label}_ok", f"  jmp {label}_no"]
+        solution = key << shift   # one valid answer among several
+    elif scheme == "loop":
+        # guess must equal sum(1..k), computed by an actual loop
+        k = rng.randrange(5, 12)
+        body = [
+            "  movl $0, %ebx",          # acc = 0
+            f"  movl ${k}, %ecx",       # i = k
+            f"{label}_top:",
+            "  cmpl $0, %ecx",
+            f"  je {label}_chk",
+            "  addl %ecx, %ebx",
+            "  decl %ecx",
+            f"  jmp {label}_top",
+            f"{label}_chk:",
+            "  cmpl %ebx, %eax",
+            f"  je {label}_ok",
+            f"  jmp {label}_no",
+        ]
+        solution = k * (k + 1) // 2
+    else:  # pragma: no cover
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    lines = prologue + body + epilogue_pass + epilogue_fail
+    return "\n".join(lines), solution
+
+
+class Maze:
+    """A seeded binary maze with ``floors`` challenges."""
+
+    def __init__(self, *, floors: int = 5, seed: int = 31) -> None:
+        if floors < 1:
+            raise ValueError("a maze needs at least one floor")
+        rng = random.Random(seed)
+        self.floors: list[Floor] = []
+        sources: list[str] = []
+        for n in range(1, floors + 1):
+            scheme = SCHEMES[(n - 1) % len(SCHEMES)]
+            text, solution = _emit_floor(n, scheme, rng)
+            sources.append(text)
+            self.floors.append(Floor(n, f"floor_{n}", scheme, solution))
+        # an entry stub so the program has a conventional `main`
+        sources.append("main:\n  movl $0, %eax\n  ret")
+        self.program = assemble("\n".join(sources))
+
+    @property
+    def num_floors(self) -> int:
+        return len(self.floors)
+
+    def fresh_machine(self) -> Machine:
+        return Machine(self.program)
+
+    def fresh_debugger(self) -> Debugger:
+        return Debugger(self.fresh_machine())
+
+    def enter(self, floor_number: int, guess: int) -> bool:
+        """Try one guess on one floor; True means the floor opens."""
+        floor = self._floor(floor_number)
+        machine = self.fresh_machine()
+        return machine.call(floor.label, guess) == 1
+
+    def attempt(self, guesses: list[int]) -> int:
+        """Run guesses floor by floor; returns how many floors were passed.
+
+        Like the real lab, one wrong input stops the run ("explosion").
+        """
+        passed = 0
+        for i, guess in enumerate(guesses[:self.num_floors], start=1):
+            if not self.enter(i, guess):
+                break
+            passed += 1
+        return passed
+
+    def escaped(self, guesses: list[int]) -> bool:
+        return self.attempt(guesses) == self.num_floors
+
+    def solutions(self) -> list[int]:
+        """The instructor's answer key (used by tests, not students)."""
+        return [f.solution for f in self.floors]
+
+    def _floor(self, number: int) -> Floor:
+        if not 1 <= number <= self.num_floors:
+            raise MachineFault(f"no floor {number}")
+        return self.floors[number - 1]

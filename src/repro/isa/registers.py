@@ -1,0 +1,117 @@
+"""The IA-32 register set, with 16- and 8-bit sub-register views.
+
+CS 31 "start[s] with introducing the IA-32 register set" (§III-A,
+*Assembly Programming*). :class:`RegisterSet` models the eight general
+purpose 32-bit registers, the program counter (%eip), and the four
+condition flags the course uses (ZF, SF, CF, OF). Writing %ax or %al
+updates the right slice of %eax, exactly as on hardware — the source of
+several classic homework questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+
+GP32 = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+#: 16-bit names and their parent 32-bit register
+SUB16 = {"ax": "eax", "cx": "ecx", "dx": "edx", "bx": "ebx",
+         "sp": "esp", "bp": "ebp", "si": "esi", "di": "edi"}
+#: 8-bit names → (parent, shift)
+SUB8 = {"al": ("eax", 0), "ah": ("eax", 8),
+        "cl": ("ecx", 0), "ch": ("ecx", 8),
+        "dl": ("edx", 0), "dh": ("edx", 8),
+        "bl": ("ebx", 0), "bh": ("ebx", 8)}
+
+_MASK32 = 0xFFFF_FFFF
+
+
+def register_width(name: str) -> int:
+    """Width in bits of a register name (without the % sigil)."""
+    if name in GP32 or name == "eip":
+        return 32
+    if name in SUB16:
+        return 16
+    if name in SUB8:
+        return 8
+    raise IsaError(f"unknown register %{name}")
+
+
+@dataclass
+class Flags:
+    """The condition codes conditional jumps read."""
+    zf: bool = False
+    sf: bool = False
+    cf: bool = False
+    of: bool = False
+
+    def __str__(self) -> str:
+        return (f"ZF={int(self.zf)} SF={int(self.sf)} "
+                f"CF={int(self.cf)} OF={int(self.of)}")
+
+
+@dataclass
+class RegisterSet:
+    """All machine registers. Values are stored as unsigned 32-bit."""
+    eip: int = 0
+    flags: Flags = field(default_factory=Flags)
+
+    def __post_init__(self) -> None:
+        self._regs: dict[str, int] = {r: 0 for r in GP32}
+
+    def get(self, name: str) -> int:
+        """Read a register by name (any width); returns unsigned."""
+        if name in self._regs:
+            return self._regs[name]
+        if name == "eip":
+            return self.eip
+        if name in SUB16:
+            return self._regs[SUB16[name]] & 0xFFFF
+        if name in SUB8:
+            parent, shift = SUB8[name]
+            return (self._regs[parent] >> shift) & 0xFF
+        raise IsaError(f"unknown register %{name}")
+
+    def set(self, name: str, value: int) -> None:
+        """Write a register; sub-register writes merge into the parent."""
+        if name in self._regs:
+            self._regs[name] = value & _MASK32
+            return
+        if name == "eip":
+            self.eip = value & _MASK32
+            return
+        if name in SUB16:
+            parent = SUB16[name]
+            self._regs[parent] = ((self._regs[parent] & 0xFFFF_0000)
+                                  | (value & 0xFFFF))
+            return
+        if name in SUB8:
+            parent, shift = SUB8[name]
+            mask = 0xFF << shift
+            self._regs[parent] = ((self._regs[parent] & (~mask & _MASK32))
+                                  | ((value & 0xFF) << shift))
+            return
+        raise IsaError(f"unknown register %{name}")
+
+    def get_signed(self, name: str) -> int:
+        """Two's-complement view at the register's width."""
+        width = register_width(name)
+        raw = self.get(name)
+        sign = 1 << (width - 1)
+        return raw - (1 << width) if raw & sign else raw
+
+    def snapshot(self) -> dict[str, int]:
+        """All 32-bit registers + eip, for the debugger's `info registers`."""
+        snap = dict(self._regs)
+        snap["eip"] = self.eip
+        return snap
+
+    def render(self) -> str:
+        rows = []
+        for name in GP32:
+            v = self._regs[name]
+            rows.append(f"%{name:<3} = {v:#010x} ({self.get_signed(name)})")
+        rows.append(f"%eip = {self.eip:#010x}")
+        rows.append(str(self.flags))
+        return "\n".join(rows)

@@ -1,0 +1,111 @@
+"""The Game of Life grid and its lab file format.
+
+Lab 6 "introduces students to more complex memory allocation in the form
+of two-dimensional arrays for the game's grid. It also requires them to
+read game parameters and an initial grid state from a file" (§III-B).
+
+File format (the lab's layout)::
+
+    rows
+    cols
+    iterations
+    num_live_pairs
+    r c          # one live-cell coordinate pair per line
+    ...
+
+Grids are numpy uint8 arrays (0 dead, 1 alive); both torus (wrap-around)
+and bounded edge semantics are supported by the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass
+class LifeConfig:
+    """Parsed game parameters from a lab input file."""
+    rows: int
+    cols: int
+    iterations: int
+    live_cells: list[tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ReproError("grid dimensions must be positive")
+        if self.iterations < 0:
+            raise ReproError("iterations cannot be negative")
+        for r, c in self.live_cells:
+            if not (0 <= r < self.rows and 0 <= c < self.cols):
+                raise ReproError(f"live cell ({r}, {c}) outside the grid")
+
+    def make_grid(self) -> np.ndarray:
+        grid = np.zeros((self.rows, self.cols), dtype=np.uint8)
+        for r, c in self.live_cells:
+            grid[r, c] = 1
+        return grid
+
+
+def parse_config(text: str) -> LifeConfig:
+    """Parse the lab file format (comments with '#' are allowed)."""
+    values: list[str] = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            values.extend(line.split())
+    if len(values) < 4:
+        raise ReproError("life file needs rows, cols, iterations, count")
+    try:
+        rows, cols, iters, count = (int(v) for v in values[:4])
+        coords = [int(v) for v in values[4:]]
+    except ValueError as exc:
+        raise ReproError(f"bad integer in life file: {exc}") from None
+    if len(coords) != 2 * count:
+        raise ReproError(
+            f"expected {count} coordinate pairs, got {len(coords) // 2}")
+    pairs = [(coords[2 * i], coords[2 * i + 1]) for i in range(count)]
+    return LifeConfig(rows, cols, iters, pairs)
+
+
+def load_config(path: str | Path) -> LifeConfig:
+    """Read and parse a lab input file from disk."""
+    return parse_config(Path(path).read_text())
+
+
+def save_config(config: LifeConfig, path: str | Path) -> None:
+    """Write a config back out in the lab file format."""
+    lines = [str(config.rows), str(config.cols), str(config.iterations),
+             str(len(config.live_cells))]
+    lines += [f"{r} {c}" for r, c in config.live_cells]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def config_from_grid(grid: np.ndarray, iterations: int) -> LifeConfig:
+    """Capture a live grid as a config (for saving checkpoints)."""
+    rows, cols = grid.shape
+    live = [(int(r), int(c)) for r, c in zip(*np.nonzero(grid))]
+    return LifeConfig(rows, cols, iterations, live)
+
+
+def random_grid(rows: int, cols: int, *, density: float = 0.3,
+                seed: int = 0) -> np.ndarray:
+    """A seeded random soup (the lab's stress-test input)."""
+    if not 0.0 <= density <= 1.0:
+        raise ReproError("density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    return (rng.random((rows, cols)) < density).astype(np.uint8)
+
+
+def population(grid: np.ndarray) -> int:
+    """Number of live cells."""
+    return int(grid.sum())
+
+
+def grids_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact cell-for-cell equality (shape included)."""
+    return a.shape == b.shape and bool(np.array_equal(a, b))

@@ -1,0 +1,217 @@
+"""Lab 10: parallel Game of Life with pthreads-style threads.
+
+"Students extend their lab 6 simulation to execute on multiple threads
+in parallel using pthreads. Their solutions must partition the game grid
+vertically or horizontally ... They use barriers to synchronize threads
+between rounds and a mutex to protect shared state." (§III-B)
+
+:class:`ParallelLife` is that program on the simulated machine: each
+thread owns a strip of the grid, pays cycles proportional to its cells,
+computes its strip into the next buffer, and meets the others at two
+barriers per round (compute-done, swap-done). A mutex protects the
+shared population counter. Knobs exist to *remove* the barrier (the
+race-condition demo) and to vary lock granularity (bench E9's ablation).
+
+A multiprocessing variant provides real parallel execution of the same
+partitioned computation for wall-clock measurements (bench E3).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.core.machine import (
+    Access,
+    BarrierWait,
+    Lock,
+    SimMachine,
+    SyncCosts,
+    Unlock,
+    Work,
+)
+from repro.core.partition import GridRegion, partition_grid
+from repro.core.sync import Barrier, Mutex
+from repro.errors import ReproError
+from repro.life.serial import EdgeMode, neighbor_counts, step
+
+#: simulated cycles to compute one cell for one round
+CELL_CYCLES = 1.0
+
+StatLocking = Literal["none", "per-round", "per-row"]
+
+
+def step_region(grid: np.ndarray, out: np.ndarray, region: GridRegion,
+                mode: EdgeMode = "torus") -> int:
+    """Compute one round for ``region`` into ``out``; returns live count.
+
+    Reads the whole ``grid`` (neighbours cross region boundaries) but
+    writes only its own cells — the Lab 10 kernel.
+    """
+    counts = neighbor_counts(grid, mode)[region.row_start:region.row_end,
+                                         region.col_start:region.col_end]
+    band = grid[region.row_start:region.row_end,
+                region.col_start:region.col_end]
+    result = (((band == 0) & (counts == 3))
+              | ((band == 1) & ((counts == 2) | (counts == 3)))
+              ).astype(np.uint8)
+    out[region.row_start:region.row_end,
+        region.col_start:region.col_end] = result
+    return int(result.sum())
+
+
+@dataclass
+class RoundStats:
+    """Shared state the mutex protects (population per round)."""
+    population: int = 0
+
+
+class ParallelLife:
+    """The Lab 10 program, parameterised for the paper's experiments."""
+
+    def __init__(self, grid: np.ndarray, *, threads: int,
+                 num_cores: int | None = None,
+                 orientation: str = "row",
+                 mode: EdgeMode = "torus",
+                 use_barrier: bool = True,
+                 stat_locking: StatLocking = "per-round",
+                 sync_costs: SyncCosts | None = None,
+                 race_detector=None) -> None:
+        if threads < 1:
+            raise ReproError("need at least one thread")
+        if stat_locking not in ("none", "per-round", "per-row"):
+            raise ReproError(f"unknown stat locking {stat_locking!r}")
+        self.current = grid.astype(np.uint8).copy()
+        self.next = np.zeros_like(self.current)
+        self.threads = threads
+        self.mode: EdgeMode = mode
+        self.use_barrier = use_barrier
+        self.stat_locking: StatLocking = stat_locking
+        self.regions = partition_grid(grid.shape[0], grid.shape[1],
+                                      threads, orientation)
+        self.machine = SimMachine(num_cores or threads,
+                                  costs=sync_costs,
+                                  race_detector=race_detector)
+        self.barrier = Barrier(threads, name="round-barrier")
+        self.stats_mutex = Mutex("stats.mutex")
+        self.round_populations: list[int] = []
+        self._round_stats = RoundStats()
+
+    # -- the thread body ---------------------------------------------------------
+
+    def _worker(self, index: int, region: GridRegion, rounds: int):
+        leader = index == 0
+        for _ in range(rounds):
+            # compute my strip (cycles proportional to my cells)
+            yield Work(region.cell_count * CELL_CYCLES)
+            yield Access("grid", "read")
+            live = step_region(self.current, self.next, region, self.mode)
+            # each thread writes a disjoint strip: model as distinct vars
+            yield Access(f"next-grid[{index}]", "write")
+
+            # update the shared population under the chosen locking
+            if self.stat_locking == "per-round":
+                yield Lock(self.stats_mutex)
+                self._round_stats.population += live
+                yield Access("round-stats", "write")
+                yield Unlock(self.stats_mutex)
+            elif self.stat_locking == "per-row":
+                rows = region.row_end - region.row_start
+                per_row = live / max(1, rows)
+                for _row in range(rows):
+                    yield Lock(self.stats_mutex)
+                    self._round_stats.population += per_row
+                    yield Access("round-stats", "write")
+                    yield Unlock(self.stats_mutex)
+
+            if self.use_barrier:
+                yield BarrierWait(self.barrier)     # everyone computed
+            if leader:
+                self.current, self.next = self.next, self.current
+                if self.stat_locking == "none":
+                    self._round_stats.population = int(self.current.sum())
+                self.round_populations.append(
+                    int(round(self._round_stats.population)))
+                self._round_stats.population = 0
+                yield Access("grid", "write")
+            if self.use_barrier:
+                yield BarrierWait(self.barrier)     # swap visible to all
+
+    # -- driving --------------------------------------------------------------------
+
+    def run(self, rounds: int) -> np.ndarray:
+        """Run ``rounds`` with ``threads`` threads; returns the final grid."""
+        if rounds < 0:
+            raise ReproError("rounds cannot be negative")
+        for i, region in enumerate(self.regions):
+            self.machine.spawn(self._worker, i, region, rounds,
+                               name=f"life-{i}")
+        self.machine.run()
+        return self.current
+
+    @property
+    def makespan(self) -> float:
+        return self.machine.makespan
+
+
+def run_serial_cycles(grid: np.ndarray, rounds: int) -> float:
+    """Simulated cycles a one-thread run takes (the speedup baseline)."""
+    return float(grid.size) * CELL_CYCLES * rounds
+
+
+def simulated_scaling(grid: np.ndarray, rounds: int,
+                      thread_counts: list[int], *,
+                      orientation: str = "row",
+                      sync_costs: SyncCosts | None = None
+                      ) -> dict[int, float]:
+    """Makespan at each thread count (cores == threads, the lab setup)."""
+    times: dict[int, float] = {}
+    for k in thread_counts:
+        game = ParallelLife(grid, threads=k, orientation=orientation,
+                            sync_costs=sync_costs)
+        game.run(rounds)
+        times[k] = game.makespan
+    return times
+
+
+# ---------------------------------------------------------------------------
+# Real parallelism: multiprocessing backend
+# ---------------------------------------------------------------------------
+
+def _mp_band(args: tuple) -> tuple[int, np.ndarray]:
+    grid, row_start, row_end, mode = args
+    counts = neighbor_counts(grid, mode)[row_start:row_end]
+    band = grid[row_start:row_end]
+    result = (((band == 0) & (counts == 3))
+              | ((band == 1) & ((counts == 2) | (counts == 3)))
+              ).astype(np.uint8)
+    return row_start, result
+
+
+def run_parallel_mp(grid: np.ndarray, rounds: int, *,
+                    workers: int, mode: EdgeMode = "torus") -> np.ndarray:
+    """Row-partitioned rounds on a process pool (real parallelism).
+
+    Semantically identical to the serial engine; wall-clock speedup is
+    bounded by physical cores and by per-round pool communication.
+    """
+    if workers < 1:
+        raise ReproError("need at least one worker")
+    current = grid.astype(np.uint8).copy()
+    if workers == 1:
+        for _ in range(rounds):
+            current = step(current, mode)
+        return current
+    bands = partition_grid(grid.shape[0], grid.shape[1], workers, "row")
+    with mp.Pool(processes=workers) as pool:
+        for _ in range(rounds):
+            tasks = [(current, b.row_start, b.row_end, mode)
+                     for b in bands if b.row_end > b.row_start]
+            out = np.zeros_like(current)
+            for row_start, result in pool.map(_mp_band, tasks):
+                out[row_start:row_start + result.shape[0]] = result
+            current = out
+    return current

@@ -1,0 +1,75 @@
+"""Canonical Game of Life patterns for tests and demos.
+
+Oscillators and spaceships with known periods let tests assert exact
+behaviour (a blinker must return to itself after 2 rounds; a glider must
+translate by (1, 1) every 4 rounds on a torus).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: name → (cells as (row, col) offsets, period, displacement per period)
+_PATTERNS: dict[str, tuple[list[tuple[int, int]], int, tuple[int, int]]] = {
+    "block": ([(0, 0), (0, 1), (1, 0), (1, 1)], 1, (0, 0)),
+    "beehive": ([(0, 1), (0, 2), (1, 0), (1, 3), (2, 1), (2, 2)], 1, (0, 0)),
+    "blinker": ([(0, 0), (0, 1), (0, 2)], 2, (0, 0)),
+    "toad": ([(0, 1), (0, 2), (0, 3), (1, 0), (1, 1), (1, 2)], 2, (0, 0)),
+    "beacon": ([(0, 0), (0, 1), (1, 0), (2, 3), (3, 2), (3, 3)], 2, (0, 0)),
+    "glider": ([(0, 1), (1, 2), (2, 0), (2, 1), (2, 2)], 4, (1, 1)),
+    "lwss": ([(0, 1), (0, 4), (1, 0), (2, 0), (2, 4),
+              (3, 0), (3, 1), (3, 2), (3, 3)], 4, (0, -2)),
+    "r-pentomino": ([(0, 1), (0, 2), (1, 0), (1, 1), (2, 1)], 0, (0, 0)),
+}
+
+
+def pattern_names() -> list[str]:
+    """All registered pattern names, sorted."""
+    return sorted(_PATTERNS)
+
+
+def pattern_cells(name: str) -> list[tuple[int, int]]:
+    """The (row, col) offsets of a pattern's live cells."""
+    try:
+        return list(_PATTERNS[name][0])
+    except KeyError:
+        raise ReproError(f"unknown pattern {name!r}") from None
+
+
+def pattern_period(name: str) -> int:
+    """Oscillator/spaceship period (0 = not periodic/chaotic)."""
+    if name not in _PATTERNS:
+        raise ReproError(f"unknown pattern {name!r}")
+    return _PATTERNS[name][1]
+
+
+def pattern_displacement(name: str) -> tuple[int, int]:
+    """(rows, cols) the pattern moves per period (spaceships)."""
+    if name not in _PATTERNS:
+        raise ReproError(f"unknown pattern {name!r}")
+    return _PATTERNS[name][2]
+
+
+def place(grid: np.ndarray, name: str, top: int, left: int) -> np.ndarray:
+    """Stamp a pattern onto a copy of ``grid`` at (top, left)."""
+    out = grid.copy()
+    rows, cols = grid.shape
+    for dr, dc in pattern_cells(name):
+        r, c = top + dr, left + dc
+        if not (0 <= r < rows and 0 <= c < cols):
+            raise ReproError(f"pattern {name!r} does not fit at "
+                             f"({top}, {left})")
+        out[r, c] = 1
+    return out
+
+
+def make(name: str, *, margin: int = 2) -> np.ndarray:
+    """A minimal grid containing just the pattern, with a margin."""
+    cells = pattern_cells(name)
+    height = max(r for r, _ in cells) + 1
+    width = max(c for _, c in cells) + 1
+    grid = np.zeros((height + 2 * margin, width + 2 * margin),
+                    dtype=np.uint8)
+    return place(grid, name, margin, margin)

@@ -1,0 +1,66 @@
+"""Memory hierarchy and caching (CS 31 §III-A, *Memory Hierarchy*, *Caching*).
+
+Storage-device models, analytical hierarchy/EAT computations, address
+division, the direct-mapped/set-associative cache simulator with
+replacement and write policies, access-trace generators for the course's
+loop-nest exercises, and temporal/spatial locality metrics.
+"""
+
+from repro.memory.address import AddressLayout, AddressParts
+from repro.memory.cache import (
+    AccessResult,
+    Cache,
+    CacheConfig,
+    CacheStats,
+    Line,
+    amat,
+)
+from repro.memory.devices import (
+    DRAM,
+    HDD,
+    HIERARCHY_ORDER,
+    L1_CACHE,
+    L2_CACHE,
+    L3_CACHE,
+    REGISTERS,
+    SSD,
+    TAPE,
+    StorageDevice,
+    classify,
+    comparison_table,
+    hierarchy_is_well_formed,
+    latency_ratio,
+)
+from repro.memory.hierarchy import (
+    Level,
+    MemoryHierarchy,
+    library_book_exercise,
+    speedup_from_hit_rate,
+)
+from repro.memory.locality import (
+    LocalityReport,
+    analyze,
+    dominant_stride,
+    entropy_of_blocks,
+    reuse_distances,
+    spatial_locality_score,
+    stride_histogram,
+    temporal_locality_score,
+)
+from repro.memory.multilevel import CacheHierarchy, HierarchyAccess
+from repro.memory import trace
+
+__all__ = [
+    "CacheHierarchy", "HierarchyAccess",
+    "AddressLayout", "AddressParts",
+    "Cache", "CacheConfig", "CacheStats", "AccessResult", "Line", "amat",
+    "StorageDevice", "HIERARCHY_ORDER", "REGISTERS", "L1_CACHE", "L2_CACHE",
+    "L3_CACHE", "DRAM", "SSD", "HDD", "TAPE", "classify", "latency_ratio",
+    "hierarchy_is_well_formed", "comparison_table",
+    "Level", "MemoryHierarchy", "speedup_from_hit_rate",
+    "library_book_exercise",
+    "reuse_distances", "temporal_locality_score", "spatial_locality_score",
+    "stride_histogram", "dominant_stride", "analyze", "LocalityReport",
+    "entropy_of_blocks",
+    "trace",
+]

@@ -1,0 +1,294 @@
+"""The cache simulator: direct-mapped and set-associative, as taught.
+
+Models exactly the machinery the caching homeworks trace by hand:
+valid/dirty bits per line, tag comparison after address division,
+LRU (and FIFO/random) replacement within a set, and the write policies
+(write-back vs write-through, with or without write-allocate). Every
+access returns a :class:`AccessResult` describing what happened, so a
+homework checker can compare a student's hand trace step by step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+from repro._util import is_power_of_two
+from repro.errors import CacheConfigError
+from repro.memory.address import AddressLayout, AddressParts
+
+ReplacementPolicy = Literal["lru", "fifo", "random"]
+WritePolicy = Literal["write-back", "write-through"]
+AccessKind = Literal["load", "store"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache geometry and policies.
+
+    ``num_lines`` is the total line count; associativity 1 is direct
+    mapped, ``num_lines`` fully associative.
+    """
+    num_lines: int = 64
+    block_size: int = 32
+    associativity: int = 1
+    replacement: ReplacementPolicy = "lru"
+    write_policy: WritePolicy = "write-back"
+    write_allocate: bool = True
+    address_bits: int = 32
+    hit_time: int = 1           # cycles, for AMAT computations
+    seed: int = 0               # for the random policy
+    #: on a load miss, also fill the next sequential block ("past
+    #: accesses as a predictor for future behavior", §III-A)
+    prefetch_next_line: bool = False
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_lines):
+            raise CacheConfigError("num_lines must be a power of two")
+        if not is_power_of_two(self.associativity):
+            raise CacheConfigError("associativity must be a power of two")
+        if self.associativity > self.num_lines:
+            raise CacheConfigError("associativity exceeds line count")
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_lines * self.block_size
+
+    @property
+    def layout(self) -> AddressLayout:
+        return AddressLayout(self.address_bits, self.block_size,
+                             self.num_sets)
+
+
+@dataclass
+class Line:
+    """One cache line's metadata (the data bytes don't matter here)."""
+    valid: bool = False
+    tag: int = 0
+    dirty: bool = False
+    last_used: int = 0     # LRU timestamp
+    loaded_at: int = 0     # FIFO timestamp
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """What one access did — the row of a homework trace table."""
+    address: int
+    kind: AccessKind
+    parts: AddressParts
+    hit: bool
+    evicted_tag: int | None = None   # tag replaced, if any
+    wrote_back: bool = False         # eviction flushed a dirty line
+    bypassed: bool = False           # store miss without write-allocate
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+@dataclass
+class CacheStats:
+    """Aggregated counters."""
+    load_hits: int = 0
+    load_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    memory_writes: int = 0   # write-through traffic + writebacks
+    prefetches: int = 0      # blocks filled speculatively
+
+    @property
+    def accesses(self) -> int:
+        return (self.load_hits + self.load_misses
+                + self.store_hits + self.store_misses)
+
+    @property
+    def hits(self) -> int:
+        return self.load_hits + self.store_hits
+
+    @property
+    def misses(self) -> int:
+        return self.load_misses + self.store_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+class Cache:
+    """A single cache level."""
+
+    def __init__(self, config: CacheConfig | None = None, **kwargs) -> None:
+        self.config = config or CacheConfig(**kwargs)
+        self.layout = self.config.layout
+        self.sets: list[list[Line]] = [
+            [Line() for _ in range(self.config.associativity)]
+            for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+        self._clock = 0
+        self._rng = random.Random(self.config.seed)
+
+    # -- core access ---------------------------------------------------------
+
+    def access(self, address: int, kind: AccessKind = "load") -> AccessResult:
+        """Perform one load/store; returns what happened (hit, eviction...)."""
+        self._clock += 1
+        parts = self.layout.divide(address)
+        ways = self.sets[parts.index]
+
+        # hit?
+        for line in ways:
+            if line.valid and line.tag == parts.tag:
+                line.last_used = self._clock
+                if kind == "store":
+                    self.stats.store_hits += 1
+                    if self.config.write_policy == "write-back":
+                        line.dirty = True
+                    else:
+                        self.stats.memory_writes += 1
+                else:
+                    self.stats.load_hits += 1
+                return AccessResult(address, kind, parts, hit=True)
+
+        # miss
+        if kind == "store":
+            self.stats.store_misses += 1
+            if not self.config.write_allocate:
+                self.stats.memory_writes += 1
+                return AccessResult(address, kind, parts, hit=False,
+                                    bypassed=True)
+        else:
+            self.stats.load_misses += 1
+
+        victim = self._choose_victim(ways)
+        evicted_tag = victim.tag if victim.valid else None
+        wrote_back = False
+        if victim.valid:
+            self.stats.evictions += 1
+            if victim.dirty:
+                wrote_back = True
+                self.stats.writebacks += 1
+                self.stats.memory_writes += 1
+        victim.valid = True
+        victim.tag = parts.tag
+        victim.last_used = self._clock
+        victim.loaded_at = self._clock
+        victim.dirty = False
+        if kind == "store":
+            if self.config.write_policy == "write-back":
+                victim.dirty = True
+            else:
+                self.stats.memory_writes += 1
+        if self.config.prefetch_next_line and kind == "load":
+            self._prefetch(address + self.config.block_size)
+        return AccessResult(address, kind, parts, hit=False,
+                            evicted_tag=evicted_tag, wrote_back=wrote_back)
+
+    def _prefetch(self, address: int) -> None:
+        """Fill a block without counting it as a demand access."""
+        if address >= (1 << self.config.address_bits):
+            return
+        parts = self.layout.divide(address)
+        ways = self.sets[parts.index]
+        for line in ways:
+            if line.valid and line.tag == parts.tag:
+                return   # already resident
+        victim = self._choose_victim(ways)
+        if victim.valid:
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                self.stats.memory_writes += 1
+        victim.valid = True
+        victim.tag = parts.tag
+        victim.dirty = False
+        # prefetched lines enter cold (LRU within the set), so a useless
+        # prefetch is the first thing evicted
+        victim.loaded_at = self._clock
+        victim.last_used = 0
+        self.stats.prefetches += 1
+
+    def _choose_victim(self, ways: list[Line]) -> Line:
+        for line in ways:
+            if not line.valid:
+                return line
+        policy = self.config.replacement
+        if policy == "lru":
+            return min(ways, key=lambda l: l.last_used)
+        if policy == "fifo":
+            return min(ways, key=lambda l: l.loaded_at)
+        return self._rng.choice(ways)
+
+    # -- drivers -----------------------------------------------------------------
+
+    def run_trace(self, accesses: Iterable[int | tuple[int, AccessKind]]
+                  ) -> list[AccessResult]:
+        """Run a whole trace; items are addresses or (address, kind)."""
+        results = []
+        for item in accesses:
+            if isinstance(item, tuple):
+                addr, kind = item
+            else:
+                addr, kind = item, "load"
+            results.append(self.access(addr, kind))
+        return results
+
+    def flush(self) -> int:
+        """Write back all dirty lines; returns how many were flushed."""
+        count = 0
+        for ways in self.sets:
+            for line in ways:
+                if line.valid and line.dirty:
+                    line.dirty = False
+                    count += 1
+                    self.stats.writebacks += 1
+                    self.stats.memory_writes += 1
+        return count
+
+    def reset_stats(self) -> None:
+        """Zero the counters without touching cache contents."""
+        self.stats = CacheStats()
+
+    # -- inspection ---------------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """True if the block holding ``address`` is resident."""
+        parts = self.layout.divide(address)
+        return any(l.valid and l.tag == parts.tag
+                   for l in self.sets[parts.index])
+
+    def set_state(self, index: int) -> list[tuple[bool, int, bool]]:
+        """(valid, tag, dirty) per way — what students draw per step."""
+        return [(l.valid, l.tag, l.dirty) for l in self.sets[index]]
+
+    def render_set(self, index: int) -> str:
+        """One set's per-way V/D/tag state as text (the homework drawing)."""
+        rows = []
+        for way, line in enumerate(self.sets[index]):
+            rows.append(f"set {index} way {way}: "
+                        f"V={int(line.valid)} D={int(line.dirty)} "
+                        f"tag={line.tag:#x}" if line.valid else
+                        f"set {index} way {way}: V=0")
+        return "\n".join(rows)
+
+
+def amat(levels: list[Cache], memory_latency: int) -> float:
+    """Average memory access time through a cache hierarchy.
+
+    AMAT = hit_time + miss_rate × (next level's AMAT), using each
+    level's observed stats. Levels are ordered L1 first.
+    """
+    time = float(memory_latency)
+    for cache in reversed(levels):
+        time = cache.config.hit_time + cache.stats.miss_rate * time
+    return time

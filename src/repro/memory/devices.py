@@ -1,0 +1,96 @@
+"""Storage device models: the motivation for the memory hierarchy.
+
+"We motivate our analysis of the memory hierarchy by describing the wide
+variety in performance characteristics (e.g., access latency, storage
+density, and cost) across storage devices" (§III-A, *Memory Hierarchy*).
+The catalog below carries representative figures of the kind the course
+quotes (orders of magnitude matter; exact vendor numbers don't).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro._util import format_table
+
+Category = Literal["primary", "secondary"]
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """One technology level, with the trade-off numbers the course compares."""
+    name: str
+    latency_ns: float          # typical access latency
+    capacity_bytes: int        # typical capacity in a desktop/laptop
+    dollars_per_gb: float      # cost density
+    category: Category
+    interface: str             # how a program reaches it
+    volatile: bool
+
+    @property
+    def capacity_gb(self) -> float:
+        return self.capacity_bytes / 2**30
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# A representative desktop, top (fast/small/expensive) to bottom.
+REGISTERS = StorageDevice("CPU registers", 0.3, 256, 0.0,
+                          "primary", "instruction operands", True)
+L1_CACHE = StorageDevice("L1 cache (SRAM)", 1.0, 64 * 2**10, 100.0,
+                         "primary", "memory bus (transparent)", True)
+L2_CACHE = StorageDevice("L2 cache (SRAM)", 4.0, 1 * 2**20, 50.0,
+                         "primary", "memory bus (transparent)", True)
+L3_CACHE = StorageDevice("L3 cache (SRAM)", 12.0, 16 * 2**20, 25.0,
+                         "primary", "memory bus (transparent)", True)
+DRAM = StorageDevice("main memory (DRAM)", 100.0, 16 * 2**30, 3.0,
+                     "primary", "memory bus (load/store)", True)
+SSD = StorageDevice("flash SSD", 100_000.0, 512 * 2**30, 0.10,
+                    "secondary", "OS system call", False)
+HDD = StorageDevice("hard disk (HDD)", 10_000_000.0, 4 * 2**40, 0.02,
+                    "secondary", "OS system call", False)
+TAPE = StorageDevice("tape archive", 60_000_000_000.0, 12 * 2**40, 0.004,
+                     "secondary", "OS system call (eventually)", False)
+
+HIERARCHY_ORDER: tuple[StorageDevice, ...] = (
+    REGISTERS, L1_CACHE, L2_CACHE, L3_CACHE, DRAM, SSD, HDD, TAPE,
+)
+
+
+def classify(device: StorageDevice) -> Category:
+    """Primary storage is CPU-addressable; secondary needs the OS."""
+    return device.category
+
+
+def latency_ratio(slower: StorageDevice, faster: StorageDevice) -> float:
+    """How many times slower — the numbers that shock students."""
+    return slower.latency_ns / faster.latency_ns
+
+
+def hierarchy_is_well_formed(devices: tuple[StorageDevice, ...] =
+                             HIERARCHY_ORDER) -> bool:
+    """Invariant: going down, latency and capacity rise, cost/GB falls."""
+    for above, below in zip(devices, devices[1:]):
+        if below.latency_ns < above.latency_ns:
+            return False
+        if below.capacity_bytes < above.capacity_bytes:
+            return False
+        if above.dollars_per_gb and below.dollars_per_gb > above.dollars_per_gb:
+            return False
+    return True
+
+
+def comparison_table(devices: tuple[StorageDevice, ...] =
+                     HIERARCHY_ORDER) -> str:
+    """The lecture's device-comparison slide as text."""
+    rows = []
+    for d in devices:
+        rows.append((d.name, f"{d.latency_ns:,.1f}",
+                     f"{d.capacity_gb:,.3f}", f"{d.dollars_per_gb:,.3f}",
+                     d.category, d.interface))
+    return format_table(
+        ["device", "latency (ns)", "capacity (GB)", "$/GB",
+         "category", "interface"],
+        rows, align_right=[False, True, True, True, False, False])

@@ -1,0 +1,99 @@
+"""The memory hierarchy as a quantitative model.
+
+Ties the device catalog and the cache simulator together: a stack of
+levels with hit latencies, effective-access-time computation (the formula
+taught with both caches and the TLB), and a "where should this data
+live?" cost explorer used in the in-class exercise about placing
+real-world objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Level:
+    """One hierarchy level for analytical modelling."""
+    name: str
+    hit_time: float            # cycles (or ns — any consistent unit)
+    hit_rate: float | None     # None for the terminal level (always hits)
+
+    def __post_init__(self) -> None:
+        if self.hit_rate is not None and not 0.0 <= self.hit_rate <= 1.0:
+            raise ReproError(f"hit rate {self.hit_rate} out of [0,1]")
+        if self.hit_time < 0:
+            raise ReproError("hit time cannot be negative")
+
+
+class MemoryHierarchy:
+    """An ordered stack of levels, fastest first, ending in a terminal
+    level (main memory or disk) that always hits."""
+
+    def __init__(self, levels: list[Level]) -> None:
+        if not levels:
+            raise ReproError("hierarchy needs at least one level")
+        if levels[-1].hit_rate is not None:
+            raise ReproError("terminal level must have hit_rate=None")
+        for lvl in levels[:-1]:
+            if lvl.hit_rate is None:
+                raise ReproError(
+                    f"non-terminal level {lvl.name!r} needs a hit rate")
+        self.levels = levels
+
+    def effective_access_time(self) -> float:
+        """EAT = hit_time + miss_rate × EAT(next), composed from the bottom.
+
+        With the course's convention that each level's hit time is paid on
+        every access that reaches it.
+        """
+        eat = self.levels[-1].hit_time
+        for lvl in reversed(self.levels[:-1]):
+            assert lvl.hit_rate is not None
+            eat = lvl.hit_time + (1.0 - lvl.hit_rate) * eat
+        return eat
+
+    def access_cost_if_found_at(self, level_index: int) -> float:
+        """Total latency when the data is resident at ``level_index``
+        (sum of hit times down to and including that level)."""
+        if not 0 <= level_index < len(self.levels):
+            raise ReproError(f"no level {level_index}")
+        return sum(l.hit_time for l in self.levels[:level_index + 1])
+
+    def table(self) -> str:
+        rows = []
+        for i, lvl in enumerate(self.levels):
+            rows.append((lvl.name, f"{lvl.hit_time:g}",
+                         "—" if lvl.hit_rate is None else f"{lvl.hit_rate:.2%}",
+                         f"{self.access_cost_if_found_at(i):g}"))
+        return format_table(
+            ["level", "hit time", "hit rate", "cost if found here"],
+            rows, align_right=[False, True, True, True])
+
+
+def speedup_from_hit_rate(hit_time: float, miss_penalty: float,
+                          hit_rate_a: float, hit_rate_b: float) -> float:
+    """How much faster hit rate B is than A for one cache level.
+
+    The lecture's punchline: small hit-rate changes swing performance
+    because the miss penalty is huge.
+    """
+    eat_a = hit_time + (1 - hit_rate_a) * miss_penalty
+    eat_b = hit_time + (1 - hit_rate_b) * miss_penalty
+    return eat_a / eat_b
+
+
+def library_book_exercise(shelf_time: float = 1.0, desk_time: float = 0.05,
+                          desk_hit_rate: float = 0.9) -> dict[str, float]:
+    """The course's motivating analogy as numbers: keeping hot library
+    books on your desk (cache) vs walking to the shelf (memory)."""
+    always_shelf = shelf_time
+    with_desk = desk_time + (1 - desk_hit_rate) * shelf_time
+    return {
+        "always_shelf": always_shelf,
+        "with_desk": with_desk,
+        "speedup": always_shelf / with_desk,
+    }

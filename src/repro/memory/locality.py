@@ -1,0 +1,120 @@
+"""Locality metrics: making "temporal" and "spatial" measurable.
+
+After the library-books exercise, the course "formalize[s] the notion of
+*locality* and differentiate[s] how future access predictions might be
+either temporal or spatial" (§III-A). These metrics quantify both for an
+address trace: LRU reuse distances for temporal locality, block-reuse and
+stride structure for spatial locality.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+
+def reuse_distances(addresses: list[int], *, granularity: int = 1
+                    ) -> list[int | None]:
+    """LRU stack distance per access (None for first-ever touches).
+
+    Distance k means: k distinct other items were touched since the last
+    access to this one. A cache of associativity ≥ k+1 (fully associative,
+    LRU) would hit. ``granularity`` coarsens addresses to blocks.
+    """
+    stack: list[int] = []   # most recent at the end
+    out: list[int | None] = []
+    for addr in addresses:
+        key = addr // granularity
+        try:
+            pos = len(stack) - 1 - stack[::-1].index(key)
+        except ValueError:
+            out.append(None)
+            stack.append(key)
+            continue
+        out.append(len(stack) - 1 - pos)
+        stack.pop(pos)
+        stack.append(key)
+    return out
+
+
+def temporal_locality_score(addresses: list[int], *, window: int = 32,
+                            granularity: int = 1) -> float:
+    """Fraction of accesses that re-touch something seen within ``window``
+    distinct items. 1.0 = perfect temporal locality, 0.0 = none."""
+    if not addresses:
+        return 0.0
+    dists = reuse_distances(addresses, granularity=granularity)
+    good = sum(1 for d in dists if d is not None and d < window)
+    return good / len(addresses)
+
+
+def spatial_locality_score(addresses: list[int], *, block_size: int = 64
+                           ) -> float:
+    """Fraction of accesses landing in the same block as the previous one
+    or an adjacent block — the course's 'nearby next' intuition."""
+    if len(addresses) < 2:
+        return 0.0
+    good = 0
+    prev_block = addresses[0] // block_size
+    for addr in addresses[1:]:
+        block = addr // block_size
+        if abs(block - prev_block) <= 1:
+            good += 1
+        prev_block = block
+    return good / (len(addresses) - 1)
+
+
+def stride_histogram(addresses: list[int]) -> Counter:
+    """Histogram of consecutive address deltas — loop structure shows up
+    as a single dominant stride."""
+    return Counter(b - a for a, b in zip(addresses, addresses[1:]))
+
+
+def dominant_stride(addresses: list[int]) -> int | None:
+    """The most common consecutive-access delta, or None if no pairs."""
+    hist = stride_histogram(addresses)
+    if not hist:
+        return None
+    return hist.most_common(1)[0][0]
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Both scores plus supporting structure, for the lecture demo."""
+    temporal: float
+    spatial: float
+    dominant_stride: int | None
+    unique_blocks: int
+    accesses: int
+
+    def render(self) -> str:
+        return (f"accesses={self.accesses} unique_blocks={self.unique_blocks}\n"
+                f"temporal locality (window 32): {self.temporal:.3f}\n"
+                f"spatial locality (64B blocks): {self.spatial:.3f}\n"
+                f"dominant stride: {self.dominant_stride}")
+
+
+def analyze(addresses: list[int], *, block_size: int = 64,
+            window: int = 32) -> LocalityReport:
+    """Compute the full locality report for a trace."""
+    blocks = {a // block_size for a in addresses}
+    return LocalityReport(
+        temporal=temporal_locality_score(addresses, window=window),
+        spatial=spatial_locality_score(addresses, block_size=block_size),
+        dominant_stride=dominant_stride(addresses),
+        unique_blocks=len(blocks),
+        accesses=len(addresses))
+
+
+def entropy_of_blocks(addresses: list[int], *, block_size: int = 64) -> float:
+    """Shannon entropy (bits) of the block-touch distribution.
+
+    Low entropy = concentrated working set (good locality); high entropy
+    = scattered accesses. A second, scale-free lens on the same idea.
+    """
+    if not addresses:
+        return 0.0
+    counts = Counter(a // block_size for a in addresses)
+    n = len(addresses)
+    return -sum((c / n) * math.log2(c / n) for c in counts.values())

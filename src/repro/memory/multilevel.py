@@ -1,0 +1,93 @@
+"""A multi-level cache hierarchy: L1 backed by L2 backed by memory.
+
+The course previews multi-level caches when introducing the hierarchy;
+this simulator composes :class:`~repro.memory.cache.Cache` levels the
+way hardware does: an access that misses L1 proceeds to L2 (and so on),
+and only a miss at the last level reaches memory. AMAT then follows
+from each level's *local* hit rate — the subtlety (global vs local miss
+rate) that upper-level courses pick up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import CacheConfigError
+from repro.memory.cache import AccessKind, Cache, CacheConfig
+
+
+@dataclass(frozen=True)
+class HierarchyAccess:
+    """Where an access was satisfied."""
+    address: int
+    kind: AccessKind
+    hit_level: int        # 0-based cache level, or -1 for memory
+
+
+class CacheHierarchy:
+    """An ordered stack of cache levels, L1 first."""
+
+    def __init__(self, configs: list[CacheConfig], *,
+                 memory_latency: int = 100) -> None:
+        if not configs:
+            raise CacheConfigError("hierarchy needs at least one level")
+        for upper, lower in zip(configs, configs[1:]):
+            if upper.capacity_bytes > lower.capacity_bytes:
+                raise CacheConfigError(
+                    "levels must grow (or stay equal) going down")
+        self.levels = [Cache(c) for c in configs]
+        self.memory_latency = memory_latency
+        self.memory_accesses = 0
+
+    def access(self, address: int, kind: AccessKind = "load"
+               ) -> HierarchyAccess:
+        """Probe levels in order; fill every missed level on the way."""
+        for i, cache in enumerate(self.levels):
+            result = cache.access(address, kind)
+            if result.hit:
+                return HierarchyAccess(address, kind, hit_level=i)
+        self.memory_accesses += 1
+        return HierarchyAccess(address, kind, hit_level=-1)
+
+    def run_trace(self, accesses: Iterable[int | tuple[int, AccessKind]]
+                  ) -> list[HierarchyAccess]:
+        out = []
+        for item in accesses:
+            if isinstance(item, tuple):
+                out.append(self.access(*item))
+            else:
+                out.append(self.access(item))
+        return out
+
+    # -- analysis --------------------------------------------------------------
+
+    def local_hit_rates(self) -> list[float]:
+        """Hit rate of each level among the accesses that reached it."""
+        return [c.stats.hit_rate for c in self.levels]
+
+    def global_miss_rate(self) -> float:
+        """Fraction of all accesses that reached main memory."""
+        total = self.levels[0].stats.accesses
+        return self.memory_accesses / total if total else 0.0
+
+    def amat(self) -> float:
+        """Average memory access time from observed local hit rates."""
+        time = float(self.memory_latency)
+        for cache in reversed(self.levels):
+            time = cache.config.hit_time + cache.stats.miss_rate * time
+        return time
+
+    def report(self) -> str:
+        lines = []
+        for i, cache in enumerate(self.levels):
+            s = cache.stats
+            lines.append(
+                f"L{i + 1}: {s.accesses} accesses, "
+                f"{s.hit_rate:.1%} local hit rate "
+                f"({cache.config.capacity_bytes} B, "
+                f"{cache.config.associativity}-way)")
+        lines.append(f"memory: {self.memory_accesses} accesses "
+                     f"(global miss rate {self.global_miss_rate():.1%})")
+        lines.append(f"AMAT: {self.amat():.2f} cycles")
+        return "\n".join(lines)

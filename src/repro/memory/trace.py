@@ -1,0 +1,108 @@
+"""Memory-access trace generators: the course's loop-nest exercises.
+
+The caching module ends with "an interactive exercise in which two code
+blocks containing nested for loops access memory in different stride
+patterns" (§III-A). These generators produce the address streams those
+code blocks make, so the cache simulator can quantify the difference —
+plus adapters to replay traces captured from a live
+:class:`~repro.clib.address_space.AddressSpace`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+import numpy as np
+
+from repro.clib.address_space import AddressSpace
+
+
+def row_major_traversal(rows: int, cols: int, *, elem_size: int = 4,
+                        base: int = 0) -> list[int]:
+    """``for i: for j: a[i][j]`` over a C (row-major) 2-D array.
+
+    This is the cache-friendly order: consecutive accesses are
+    ``elem_size`` bytes apart.
+    """
+    idx = np.arange(rows * cols, dtype=np.int64)
+    return list(base + idx * elem_size)
+
+
+def column_major_traversal(rows: int, cols: int, *, elem_size: int = 4,
+                           base: int = 0) -> list[int]:
+    """``for j: for i: a[i][j]`` — strides through memory by a whole row."""
+    i, j = np.meshgrid(np.arange(rows, dtype=np.int64),
+                       np.arange(cols, dtype=np.int64), indexing="xy")
+    addrs = base + (i * cols + j) * elem_size
+    return list(addrs.ravel())
+
+
+def stride_sweep(count: int, stride_bytes: int, *, base: int = 0,
+                 repeat: int = 1) -> list[int]:
+    """``count`` accesses ``stride_bytes`` apart, repeated ``repeat`` times."""
+    one_pass = base + np.arange(count, dtype=np.int64) * stride_bytes
+    return list(np.tile(one_pass, repeat))
+
+
+def random_access(count: int, span_bytes: int, *, elem_size: int = 4,
+                  base: int = 0, seed: int = 0) -> list[int]:
+    """Uniformly random element accesses — the locality-free baseline."""
+    rng = random.Random(seed)
+    n_elems = max(1, span_bytes // elem_size)
+    return [base + rng.randrange(n_elems) * elem_size for _ in range(count)]
+
+
+def matrix_sum_rowwise(n: int, *, elem_size: int = 4,
+                       base: int = 0) -> list[int]:
+    """The 'good' code block from the in-class exercise (n×n sum by rows)."""
+    return row_major_traversal(n, n, elem_size=elem_size, base=base)
+
+
+def matrix_sum_columnwise(n: int, *, elem_size: int = 4,
+                          base: int = 0) -> list[int]:
+    """The 'bad' code block (same work, column order)."""
+    return column_major_traversal(n, n, elem_size=elem_size, base=base)
+
+
+def repeated_working_set(set_bytes: int, passes: int, *, elem_size: int = 4,
+                         base: int = 0) -> list[int]:
+    """Sweep a working set repeatedly — temporal locality knob.
+
+    If the set fits in cache, every pass after the first hits.
+    """
+    n = max(1, set_bytes // elem_size)
+    addrs = base + np.arange(n, dtype=np.int64) * elem_size
+    return list(np.tile(addrs, passes))
+
+
+def from_address_space(space: AddressSpace,
+                       kinds: tuple[str, ...] = ("load", "store"),
+                       ) -> list[tuple[int, str]]:
+    """Adapt a recorded AddressSpace trace for the cache simulator.
+
+    Returns (address, kind) pairs with kind in {'load','store'}; fetches
+    are mapped to loads when requested.
+    """
+    out: list[tuple[int, str]] = []
+    for acc in space.trace:
+        if acc.kind in kinds:
+            out.append((acc.address, acc.kind))
+        elif acc.kind == "fetch" and "fetch" in kinds:
+            out.append((acc.address, "load"))
+    return out
+
+
+def interleave(*traces: list[int]) -> Iterator[int]:
+    """Round-robin merge of traces (a crude multi-thread access pattern)."""
+    iters = [iter(t) for t in traces]
+    alive = list(iters)
+    while alive:
+        next_alive = []
+        for it in alive:
+            try:
+                yield next(it)
+                next_alive.append(it)
+            except StopIteration:
+                pass
+        alive = next_alive

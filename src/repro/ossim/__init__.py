@@ -1,0 +1,52 @@
+"""The OS simulation (CS 31 §III-A, *Operating Systems*).
+
+A deterministic kernel with the process abstraction (fork/exec/wait/exit,
+zombies, orphan reparenting), round-robin timesharing with context
+switches, asynchronous signals with handlers (SIGCHLD), exhaustive
+"possible outputs" schedule exploration, the Lab 8 command parser, and
+the Lab 9 shell with foreground/background jobs and history.
+"""
+
+from repro.ossim.pcb import PCB, ProcessState, Signal
+from repro.ossim.programs import (
+    Compute,
+    Exec,
+    Exit,
+    Fork,
+    InstallHandler,
+    KillChild,
+    Op,
+    Pause,
+    Print,
+    ProgramImage,
+    ProgramRegistry,
+    Repeat,
+    Wait,
+    WaitPid,
+    standard_binaries,
+)
+from repro.ossim.kernel import INIT_PID, Kernel, KernelStats
+from repro.ossim.analysis import (
+    count_schedulable_outputs,
+    enumerate_outputs,
+    output_always,
+    output_possible,
+)
+from repro.ossim.parser import History, ParsedCommand, parse_command, tokenize
+from repro.ossim.shell import Job, Shell
+from repro.ossim import scheduling
+from repro.ossim.boot import BOOT_SEQUENCE, BootResult, BootStage, boot
+
+__all__ = [
+    "PCB", "ProcessState", "Signal",
+    "Op", "Print", "Compute", "Fork", "Exit", "Wait", "WaitPid", "Exec",
+    "KillChild", "InstallHandler", "Pause", "Repeat",
+    "ProgramImage", "ProgramRegistry", "standard_binaries",
+    "Kernel", "KernelStats", "INIT_PID",
+    "enumerate_outputs", "output_always", "output_possible",
+    "count_schedulable_outputs",
+    "parse_command", "tokenize", "ParsedCommand", "History",
+    "Shell", "Job",
+    "scheduling",
+    "boot", "BOOT_SEQUENCE", "BootStage", "BootResult",
+]

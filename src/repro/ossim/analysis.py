@@ -1,0 +1,67 @@
+"""Exhaustive schedule exploration: "identify possible outputs".
+
+The processes homework asks students to enumerate the outputs a program
+with fork/wait can produce under *any* scheduling. This module answers
+that mechanically: depth-first search over every choice of which
+runnable process executes the next unit, collecting the set of complete
+output strings. Used both to grade answers and to demonstrate why, e.g.,
+a ``wait()`` collapses the output set.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Sequence
+
+from repro.errors import OsError_
+from repro.ossim.kernel import Kernel
+from repro.ossim.programs import Op, ProgramRegistry
+
+
+def enumerate_outputs(ops: Sequence[Op], *,
+                      registry: ProgramRegistry | None = None,
+                      max_states: int = 200_000) -> set[str]:
+    """All output strings reachable under some schedule.
+
+    DFS over scheduler choices with one-unit granularity (the finest
+    preemption). ``max_states`` bounds the exploration; exceeding it
+    raises OsError_ so tests never silently under-approximate.
+    """
+    kernel = Kernel(timeslice=1, registry=registry)
+    kernel.spawn("main", ops)
+    outputs: set[str] = set()
+    budget = [max_states]
+
+    def explore(k: Kernel) -> None:
+        if budget[0] <= 0:
+            raise OsError_("schedule exploration exceeded max_states")
+        budget[0] -= 1
+        runnable = k.runnable_pids()
+        if not runnable:
+            if any(p.state.value == "blocked" for p in k.table.values()
+                   if p.pid != 1):
+                return   # deadlocked schedule produces no complete output
+            outputs.add(k.output_string())
+            return
+        for pid in runnable:
+            branch = copy.deepcopy(k)
+            branch.run_one(pid)
+            explore(branch)
+
+    explore(kernel)
+    return outputs
+
+
+def output_always(ops: Sequence[Op], text: str, **kwargs) -> bool:
+    """True if every schedule produces exactly ``text``."""
+    return enumerate_outputs(ops, **kwargs) == {text}
+
+
+def output_possible(ops: Sequence[Op], text: str, **kwargs) -> bool:
+    """True if some schedule produces ``text``."""
+    return text in enumerate_outputs(ops, **kwargs)
+
+
+def count_schedulable_outputs(ops: Sequence[Op], **kwargs) -> int:
+    """How many distinct outputs some schedule can produce."""
+    return len(enumerate_outputs(ops, **kwargs))

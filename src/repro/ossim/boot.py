@@ -1,0 +1,97 @@
+"""The boot story: how an OS gets onto the hardware.
+
+"As part of the demystification, we discuss a bit about how an OS boots
+onto the hardware and initializes itself to be prepared to run programs
+on the system." (§III-A, *Operating Systems*)
+
+A deterministic model of that narrative: firmware POST, bootloader,
+kernel initialization subsystem by subsystem, and finally the init
+process — producing a dmesg-style transcript and ending with a live
+:class:`~repro.ossim.kernel.Kernel` ready to run programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OsError_
+from repro.ossim.kernel import INIT_PID, Kernel
+
+
+@dataclass(frozen=True)
+class BootStage:
+    """One step of the boot sequence."""
+    name: str
+    actor: str        # 'firmware' | 'bootloader' | 'kernel'
+    message: str
+    duration_ms: float
+
+
+BOOT_SEQUENCE: tuple[BootStage, ...] = (
+    BootStage("post", "firmware",
+              "power-on self test: CPU, RAM, devices respond", 180.0),
+    BootStage("find-boot-device", "firmware",
+              "firmware locates the boot device and reads its first "
+              "block", 40.0),
+    BootStage("load-bootloader", "firmware",
+              "bootloader loaded into RAM; firmware jumps to it", 10.0),
+    BootStage("load-kernel", "bootloader",
+              "bootloader reads the kernel image from disk into RAM and "
+              "jumps to its entry point", 120.0),
+    BootStage("init-memory", "kernel",
+              "kernel sets up physical frame allocator and enables "
+              "virtual memory (its own page table first)", 25.0),
+    BootStage("init-interrupts", "kernel",
+              "interrupt vector table installed; timer ticking", 5.0),
+    BootStage("init-scheduler", "kernel",
+              "run queue and timeslice accounting initialised", 2.0),
+    BootStage("init-drivers", "kernel",
+              "console and disk drivers probe their devices", 90.0),
+    BootStage("mount-root", "kernel",
+              "root filesystem mounted read-write", 35.0),
+    BootStage("start-init", "kernel",
+              "process 1 (init) created; the kernel now waits for "
+              "work", 3.0),
+)
+
+
+@dataclass
+class BootResult:
+    """The transcript plus the live kernel the boot produced."""
+    kernel: Kernel
+    log: list[str] = field(default_factory=list)
+    total_ms: float = 0.0
+
+    def dmesg(self) -> str:
+        return "\n".join(self.log)
+
+
+def boot(*, timeslice: int = 2) -> BootResult:
+    """Run the boot sequence; returns a ready kernel and its dmesg."""
+    log: list[str] = []
+    elapsed = 0.0
+    for stage in BOOT_SEQUENCE:
+        elapsed += stage.duration_ms
+        log.append(f"[{elapsed / 1000:8.3f}] {stage.actor:>10}: "
+                   f"{stage.message}")
+    kernel = Kernel(timeslice=timeslice)
+    init = kernel.process(INIT_PID)
+    log.append(f"[{elapsed / 1000:8.3f}]     kernel: init is pid "
+               f"{init.pid}; boot complete")
+    return BootResult(kernel=kernel, log=log, total_ms=elapsed)
+
+
+def stage_named(name: str) -> BootStage:
+    for stage in BOOT_SEQUENCE:
+        if stage.name == name:
+            return stage
+    raise OsError_(f"no boot stage {name!r}")
+
+
+def actors_in_order() -> list[str]:
+    """The handoff chain (firmware → bootloader → kernel), deduplicated."""
+    out: list[str] = []
+    for stage in BOOT_SEQUENCE:
+        if not out or out[-1] != stage.actor:
+            out.append(stage.actor)
+    return out

@@ -1,0 +1,113 @@
+"""Lab 8: the command parser library.
+
+"The parser must tokenize a string and detect the presence of an
+ampersand character (indicating that the command should be run in the
+background)" (§III-B). This is that library: tokenization with quoting,
+background detection, and the small validations a shell needs before
+fork/exec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ShellError
+
+
+@dataclass(frozen=True)
+class ParsedCommand:
+    """One parsed command line."""
+    argv: tuple[str, ...]
+    background: bool = False
+
+    @property
+    def program(self) -> str:
+        return self.argv[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self.argv
+
+    def __str__(self) -> str:
+        tail = " &" if self.background else ""
+        return " ".join(self.argv) + tail
+
+
+def tokenize(line: str) -> list[str]:
+    """Whitespace tokenization with single/double-quote support."""
+    tokens: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for ch in line:
+        if quote:
+            if ch == quote:
+                quote = None
+            else:
+                current.append(ch)
+        elif ch in "'\"":
+            quote = ch
+        elif ch.isspace():
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if quote:
+        raise ShellError(f"unbalanced {quote} quote")
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def parse_command(line: str) -> ParsedCommand:
+    """Tokenize and strip a trailing '&' into the background flag."""
+    tokens = tokenize(line)
+    background = False
+    if tokens and tokens[-1] == "&":
+        background = True
+        tokens = tokens[:-1]
+    elif tokens and tokens[-1].endswith("&"):
+        background = True
+        tokens[-1] = tokens[-1][:-1]
+        if not tokens[-1]:
+            tokens = tokens[:-1]
+    if "&" in tokens:
+        raise ShellError("'&' is only valid at the end of a command")
+    return ParsedCommand(tuple(tokens), background)
+
+
+@dataclass
+class History:
+    """The simplified history mechanism Lab 9 requires.
+
+    Stores the last ``capacity`` commands; ``!n`` retrieves entry n and
+    ``!!`` the most recent.
+    """
+    capacity: int = 10
+    entries: list[tuple[int, str]] = field(default_factory=list)
+    _counter: int = 0
+
+    def add(self, line: str) -> int:
+        self._counter += 1
+        self.entries.append((self._counter, line))
+        if len(self.entries) > self.capacity:
+            self.entries.pop(0)
+        return self._counter
+
+    def expand(self, line: str) -> str:
+        """Resolve !n / !! references; other lines pass through."""
+        stripped = line.strip()
+        if stripped == "!!":
+            if not self.entries:
+                raise ShellError("history is empty")
+            return self.entries[-1][1]
+        if stripped.startswith("!") and stripped[1:].isdigit():
+            wanted = int(stripped[1:])
+            for number, text in self.entries:
+                if number == wanted:
+                    return text
+            raise ShellError(f"!{wanted}: event not found")
+        return line
+
+    def render(self) -> str:
+        return "\n".join(f"{n}  {text}" for n, text in self.entries)

@@ -1,0 +1,68 @@
+"""Process control blocks and process states.
+
+"We then introduce the process abstraction ... multiprogramming,
+timesharing, and process context switching" (§III-A, *Operating
+Systems*). A :class:`PCB` holds what the course's diagrams show: pid,
+parent, state, children, exit status, pending signals, and the process's
+remaining program (its continuation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ProcessState(enum.Enum):
+    """The five-state model the course draws."""
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    ZOMBIE = "zombie"        # exited, not yet reaped by parent
+    TERMINATED = "terminated"  # reaped; slot reusable
+
+
+class Signal(enum.IntEnum):
+    """The signals CS 31 discusses (SIGCHLD most of all)."""
+    SIGINT = 2
+    SIGKILL = 9
+    SIGUSR1 = 10
+    SIGALRM = 14
+    SIGCHLD = 17
+    SIGCONT = 18
+    SIGSTOP = 19
+
+
+@dataclass
+class PCB:
+    """One process's kernel bookkeeping."""
+    pid: int
+    ppid: int
+    name: str
+    #: the continuation: ops still to execute, front first
+    program: list = field(default_factory=list)
+    state: ProcessState = ProcessState.READY
+    exit_status: int | None = None
+    children: list[int] = field(default_factory=list)
+    #: pids of exited children not yet reaped
+    zombie_children: list[int] = field(default_factory=list)
+    #: signals delivered but not yet handled
+    pending_signals: list[Signal] = field(default_factory=list)
+    #: signal → handler ops (None = default action)
+    handlers: dict[Signal, list] = field(default_factory=dict)
+    #: True while blocked in wait()
+    waiting: bool = False
+    #: pid being waited for (None = any child)
+    wait_target: int | None = None
+    #: per-process output (what this process printf'd)
+    output: list[str] = field(default_factory=list)
+    #: CPU units consumed (for scheduler accounting)
+    cpu_time: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcessState.ZOMBIE,
+                                  ProcessState.TERMINATED)
+
+    def __str__(self) -> str:
+        return f"[{self.pid}] {self.name} ({self.state.value})"

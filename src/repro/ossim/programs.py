@@ -1,0 +1,187 @@
+"""The program mini-language executed by the simulated kernel.
+
+The processes homework asks students to "trace through C code examples
+with fork, exit, wait, draw process hierarchy, identify possible outputs
+from concurrent processes" (§III-B). Programs here are lists of
+structured ops that mirror those C idioms directly::
+
+    # printf("A"); if (fork() == 0) { printf("c"); exit(0); }
+    # else { wait(NULL); } printf("B");
+    prog = [Print("A"),
+            Fork(child=[Print("c"), Exit(0)], parent=[Wait()]),
+            Print("B")]
+
+``Fork(child=…, parent=…)`` is the ``if (pid == 0) … else …`` pattern:
+both branches fall through to the remaining ops unless they ``Exit``.
+Ops are immutable, so continuations can be shared and the schedule
+explorer can deep-copy kernels cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.ossim.pcb import Signal
+
+
+class Op:
+    """Base class for program operations (all are frozen dataclasses)."""
+
+
+@dataclass(frozen=True)
+class Print(Op):
+    """printf — appends to the process's and the kernel's output."""
+    text: str
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """CPU burn for ``units`` scheduler ticks (a loop doing work)."""
+    units: int = 1
+
+
+@dataclass(frozen=True)
+class Fork(Op):
+    """fork() with the C if/else idiom built in.
+
+    The child runs ``child`` then falls through to the enclosing
+    program's remaining ops; the parent runs ``parent`` then falls
+    through likewise.
+    """
+    child: tuple[Op, ...] = ()
+    parent: tuple[Op, ...] = ()
+
+    def __init__(self, child: Sequence[Op] = (),
+                 parent: Sequence[Op] = ()) -> None:
+        object.__setattr__(self, "child", tuple(child))
+        object.__setattr__(self, "parent", tuple(parent))
+
+
+@dataclass(frozen=True)
+class Exit(Op):
+    """exit(status) — becomes a zombie until the parent reaps it."""
+    status: int = 0
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """wait(NULL) — block until any child exits; reaps it."""
+
+
+@dataclass(frozen=True)
+class WaitPid(Op):
+    """waitpid for the n-th forked child (0-based birth order)."""
+    child_index: int = 0
+
+
+@dataclass(frozen=True)
+class Exec(Op):
+    """execvp — replace the continuation with a registered program.
+
+    ``argv`` is passed to argv-aware programs (factories); plain images
+    ignore it, as a real program ignores arguments it never reads.
+    """
+    program_name: str
+    argv: tuple[str, ...] = ()
+
+    def __init__(self, program_name: str,
+                 argv: Sequence[str] = ()) -> None:
+        object.__setattr__(self, "program_name", program_name)
+        object.__setattr__(self, "argv", tuple(argv))
+
+
+@dataclass(frozen=True)
+class KillChild(Op):
+    """kill(child_pid, sig) addressed by birth order (no pid variables)."""
+    child_index: int
+    signal: Signal = Signal.SIGINT
+
+
+@dataclass(frozen=True)
+class InstallHandler(Op):
+    """signal(sig, handler) — handler ops run on delivery."""
+    signal: Signal
+    handler: tuple[Op, ...] = ()
+
+    def __init__(self, signal: Signal, handler: Sequence[Op] = ()) -> None:
+        object.__setattr__(self, "signal", signal)
+        object.__setattr__(self, "handler", tuple(handler))
+
+
+@dataclass(frozen=True)
+class Pause(Op):
+    """pause() — block until any signal is delivered."""
+
+
+@dataclass(frozen=True)
+class Repeat(Op):
+    """A counted loop: ``for (i = 0; i < n; i++) { body }``."""
+    count: int
+    body: tuple[Op, ...] = ()
+
+    def __init__(self, count: int, body: Sequence[Op] = ()) -> None:
+        object.__setattr__(self, "count", count)
+        object.__setattr__(self, "body", tuple(body))
+
+
+# ---------------------------------------------------------------------------
+# A registry of "binaries" for Exec and the shell
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProgramImage:
+    """A named program: what exec loads and what the shell launches."""
+    name: str
+    ops: tuple[Op, ...]
+
+    def __init__(self, name: str, ops: Sequence[Op]) -> None:
+        self.name = name
+        self.ops = tuple(ops)
+
+
+class ProgramRegistry:
+    """The simulated filesystem's /bin.
+
+    Programs register either as fixed op lists or as *factories* taking
+    ``argv`` (like a real main(argc, argv)).
+    """
+
+    def __init__(self) -> None:
+        self._programs: dict[str, ProgramImage] = {}
+        self._factories: dict[str, object] = {}
+
+    def register(self, name: str, ops: Sequence[Op]) -> ProgramImage:
+        image = ProgramImage(name, ops)
+        self._programs[name] = image
+        return image
+
+    def register_factory(self, name: str, factory) -> None:
+        """``factory(argv: tuple[str, ...]) -> Sequence[Op]``."""
+        self._factories[name] = factory
+
+    def lookup(self, name: str,
+               argv: tuple[str, ...] = ()) -> ProgramImage | None:
+        factory = self._factories.get(name)
+        if factory is not None:
+            return ProgramImage(name, factory(argv or (name,)))
+        return self._programs.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(set(self._programs) | set(self._factories))
+
+
+def standard_binaries(registry: ProgramRegistry | None = None
+                      ) -> ProgramRegistry:
+    """A small /bin the shell lab can exercise."""
+    reg = registry or ProgramRegistry()
+    reg.register("true", [Exit(0)])
+    reg.register("false", [Exit(1)])
+    reg.register("hello", [Print("hello, world\n"), Exit(0)])
+    reg.register("spin", [Compute(5), Exit(0)])
+    reg.register("spin-long", [Compute(25), Exit(0)])
+    reg.register("yes3", [Repeat(3, [Print("y\n")]), Exit(0)])
+    reg.register_factory(
+        "echo",
+        lambda argv: (Print(" ".join(argv[1:]) + "\n"), Exit(0)))
+    return reg

@@ -1,0 +1,200 @@
+"""CPU scheduling policies: the "scheduling for efficiency" discussion.
+
+CS 31 "discuss[es] other system costs including the OS's role in
+scheduling for efficiency" (§II, theme 2), leaving policy depth to the
+upper-level OS course. This module is the bridge: a lecture-style job
+scheduler that runs the same workload under FCFS, SJF, and round-robin
+(with a context-switch cost), reporting the turnaround/waiting/response
+metrics those discussions compare. Bench E11 regenerates the comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.errors import OsError_
+
+
+@dataclass(frozen=True)
+class Job:
+    """One CPU-bound job."""
+    name: str
+    arrival: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.burst <= 0:
+            raise OsError_(f"job {self.name!r} needs positive burst")
+        if self.arrival < 0:
+            raise OsError_(f"job {self.name!r} has negative arrival")
+
+
+@dataclass
+class JobOutcome:
+    """Per-job results."""
+    job: Job
+    start: float = 0.0        # first time on the CPU
+    finish: float = 0.0
+
+    @property
+    def turnaround(self) -> float:
+        return self.finish - self.job.arrival
+
+    @property
+    def waiting(self) -> float:
+        return self.turnaround - self.job.burst
+
+    @property
+    def response(self) -> float:
+        return self.start - self.job.arrival
+
+
+@dataclass
+class ScheduleResult:
+    """A full run: outcomes plus aggregate metrics."""
+    policy: str
+    outcomes: list[JobOutcome]
+    context_switches: int
+    total_time: float
+
+    def _mean(self, attr: str) -> float:
+        if not self.outcomes:
+            return 0.0
+        return (sum(getattr(o, attr) for o in self.outcomes)
+                / len(self.outcomes))
+
+    @property
+    def mean_turnaround(self) -> float:
+        return self._mean("turnaround")
+
+    @property
+    def mean_waiting(self) -> float:
+        return self._mean("waiting")
+
+    @property
+    def mean_response(self) -> float:
+        return self._mean("response")
+
+
+def _validate(jobs: list[Job]) -> None:
+    if not jobs:
+        raise OsError_("no jobs to schedule")
+    names = [j.name for j in jobs]
+    if len(set(names)) != len(names):
+        raise OsError_("job names must be unique")
+
+
+def fcfs(jobs: list[Job]) -> ScheduleResult:
+    """First-come first-served, non-preemptive."""
+    _validate(jobs)
+    outcomes = []
+    time = 0.0
+    for job in sorted(jobs, key=lambda j: (j.arrival, j.name)):
+        start = max(time, job.arrival)
+        finish = start + job.burst
+        outcomes.append(JobOutcome(job, start, finish))
+        time = finish
+    return ScheduleResult("FCFS", outcomes,
+                          context_switches=max(0, len(jobs) - 1),
+                          total_time=time)
+
+
+def sjf(jobs: list[Job]) -> ScheduleResult:
+    """Shortest job first, non-preemptive, among arrived jobs."""
+    _validate(jobs)
+    pending = sorted(jobs, key=lambda j: (j.arrival, j.name))
+    ready: list[tuple[float, str, Job]] = []
+    outcomes = []
+    time = 0.0
+    i = 0
+    while i < len(pending) or ready:
+        while i < len(pending) and pending[i].arrival <= time:
+            heapq.heappush(ready, (pending[i].burst, pending[i].name,
+                                   pending[i]))
+            i += 1
+        if not ready:
+            time = pending[i].arrival
+            continue
+        _, _, job = heapq.heappop(ready)
+        start = max(time, job.arrival)
+        finish = start + job.burst
+        outcomes.append(JobOutcome(job, start, finish))
+        time = finish
+    return ScheduleResult("SJF", outcomes,
+                          context_switches=max(0, len(jobs) - 1),
+                          total_time=time)
+
+
+def round_robin(jobs: list[Job], *, quantum: float,
+                switch_cost: float = 0.0) -> ScheduleResult:
+    """Preemptive round-robin with a fixed timeslice.
+
+    ``switch_cost`` is charged whenever the CPU moves to a *different*
+    job — the overhead knob behind "smaller quantum = more responsive
+    but more overhead".
+    """
+    _validate(jobs)
+    if quantum <= 0:
+        raise OsError_("quantum must be positive")
+    if switch_cost < 0:
+        raise OsError_("switch cost cannot be negative")
+    pending = sorted(jobs, key=lambda j: (j.arrival, j.name))
+    queue: list[Job] = []
+    remaining = {j.name: j.burst for j in jobs}
+    started: dict[str, float] = {}
+    outcomes: dict[str, JobOutcome] = {}
+    time = 0.0
+    i = 0
+    last_job: str | None = None
+    switches = 0
+
+    def admit(until: float) -> None:
+        nonlocal i
+        while i < len(pending) and pending[i].arrival <= until:
+            queue.append(pending[i])
+            i += 1
+
+    admit(0.0)
+    while queue or i < len(pending):
+        if not queue:
+            time = pending[i].arrival
+            admit(time)
+            continue
+        job = queue.pop(0)
+        if last_job is not None and last_job != job.name:
+            switches += 1
+            time += switch_cost
+        last_job = job.name
+        if job.name not in started:
+            started[job.name] = time
+        slice_len = min(quantum, remaining[job.name])
+        time += slice_len
+        remaining[job.name] -= slice_len
+        admit(time)
+        if remaining[job.name] <= 1e-12:
+            outcomes[job.name] = JobOutcome(job, started[job.name], time)
+        else:
+            queue.append(job)
+    ordered = [outcomes[j.name] for j in jobs]
+    return ScheduleResult(f"RR(q={quantum:g})", ordered,
+                          context_switches=switches, total_time=time)
+
+
+def compare_policies(jobs: list[Job], *, quantum: float = 2.0,
+                     switch_cost: float = 0.0) -> list[ScheduleResult]:
+    """The lecture's side-by-side: FCFS vs SJF vs RR on one workload."""
+    return [fcfs(jobs), sjf(jobs),
+            round_robin(jobs, quantum=quantum, switch_cost=switch_cost)]
+
+
+def comparison_table(results: list[ScheduleResult]) -> str:
+    rows = [(r.policy, f"{r.mean_turnaround:.2f}",
+             f"{r.mean_waiting:.2f}", f"{r.mean_response:.2f}",
+             r.context_switches, f"{r.total_time:.2f}")
+            for r in results]
+    return format_table(
+        ["policy", "turnaround", "waiting", "response", "switches",
+         "makespan"],
+        rows, align_right=[False, True, True, True, True, True])

@@ -1,0 +1,173 @@
+"""Lab 9: the Unix shell over the simulated kernel.
+
+"Students build a shell that executes commands in the foreground and
+background. They use fork and execvp to start child processes and
+waitpid to reap terminated processes. We also require students to
+implement a simplified history mechanism." (§III-B)
+
+:class:`Shell` does exactly that against :class:`~repro.ossim.kernel.
+Kernel`: each command forks a child that execs the named program,
+foreground commands wait, background commands go into a job table that
+is reaped as the kernel reports SIGCHLD-style completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShellError
+from repro.ossim.kernel import INIT_PID, Kernel
+from repro.ossim.pcb import ProcessState
+from repro.ossim.parser import History, ParsedCommand, parse_command
+from repro.ossim.programs import Exec, ProgramRegistry, standard_binaries
+
+
+@dataclass
+class Job:
+    """One background job."""
+    job_id: int
+    pid: int
+    command: str
+    done: bool = False
+    exit_status: int | None = None
+
+
+class Shell:
+    """A scriptable shell: feed it lines, read back its transcript."""
+
+    BUILTINS = ("exit", "history", "jobs", "help", "ps")
+
+    def __init__(self, kernel: Kernel | None = None,
+                 registry: ProgramRegistry | None = None) -> None:
+        self.registry = registry or standard_binaries()
+        self.kernel = kernel or Kernel(registry=self.registry)
+        self.history = History()
+        self.jobs: list[Job] = []
+        self._next_job = 1
+        self.transcript: list[str] = []
+        self.exited = False
+        self.last_status: int | None = None
+        self._consumed = 0   # kernel output entries already in transcript
+
+    # -- the REPL entry point -------------------------------------------------
+
+    def run_line(self, line: str) -> str:
+        """Process one input line; returns the output it produced."""
+        if self.exited:
+            raise ShellError("shell has exited")
+        before = len(self.transcript)
+        try:
+            expanded = self.history.expand(line)
+        except ShellError as exc:
+            self._say(f"shell: {exc}")
+            return self._since(before)
+        if expanded.strip():
+            self.history.add(expanded)
+        try:
+            cmd = parse_command(expanded)
+        except ShellError as exc:
+            self._say(f"shell: {exc}")
+            return self._since(before)
+        if cmd.empty:
+            return self._since(before)
+        if cmd.program in self.BUILTINS:
+            self._builtin(cmd)
+        else:
+            self._launch(cmd)
+        self._reap_finished()
+        return self._since(before)
+
+    def run_script(self, lines: list[str]) -> str:
+        return "".join(self.run_line(l) for l in lines)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        self.transcript.append(text + "\n")
+
+    def _since(self, mark: int) -> str:
+        return "".join(self.transcript[mark:])
+
+    def _builtin(self, cmd: ParsedCommand) -> None:
+        if cmd.program == "exit":
+            self.exited = True
+            self._say("exit")
+        elif cmd.program == "history":
+            rendered = self.history.render()
+            if rendered:
+                self._say(rendered)
+        elif cmd.program == "jobs":
+            for job in self.jobs:
+                state = "Done" if job.done else "Running"
+                self._say(f"[{job.job_id}] {state}\t{job.command}")
+        elif cmd.program == "ps":
+            for pcb in self.kernel.processes():
+                self._say(f"{pcb.pid:>5}  {pcb.state.value:<8} "
+                          f"{pcb.name}")
+        elif cmd.program == "help":
+            self._say("builtins: " + " ".join(self.BUILTINS))
+            self._say("programs: " + " ".join(self.registry.names()))
+
+    def _launch(self, cmd: ParsedCommand) -> None:
+        if self.registry.lookup(cmd.program) is None:
+            self._say(f"shell: {cmd.program}: command not found")
+            self.last_status = 127
+            return
+        # fork + exec: the child's whole job is to exec the program image
+        pid = self.kernel.spawn(cmd.program,
+                                [Exec(cmd.program, cmd.argv)],
+                                ppid=INIT_PID)
+        if cmd.background:
+            job = Job(self._next_job, pid, str(cmd))
+            self._next_job += 1
+            self.jobs.append(job)
+            self._say(f"[{job.job_id}] {pid}")
+            # background jobs make progress whenever the shell runs the
+            # kernel; give the scheduler a chance without blocking
+            self._pump(limit=1)
+        else:
+            self._wait_foreground(pid)
+
+    def _wait_foreground(self, pid: int) -> None:
+        """Run the kernel until the foreground child terminates."""
+        while self.kernel.process(pid).alive:
+            runnable = self.kernel.runnable_pids()
+            if not runnable:
+                raise ShellError("foreground job blocked forever")
+            self.kernel.run_one(runnable[0])
+        self.last_status = self.kernel.exit_status_of(pid)
+        self._flush_program_output()
+
+    def _pump(self, limit: int = 100) -> None:
+        """Let background jobs run a bounded amount."""
+        for _ in range(limit):
+            runnable = self.kernel.runnable_pids()
+            if not runnable:
+                break
+            self.kernel.run_one(runnable[0])
+        self._flush_program_output()
+
+    def drain_background(self) -> None:
+        """Run the kernel until every background job finishes (tests)."""
+        while self.kernel.runnable_pids():
+            self.kernel.run_one(self.kernel.runnable_pids()[0])
+        self._reap_finished()
+
+    def _flush_program_output(self) -> None:
+        """Copy newly produced program output into the transcript."""
+        new = self.kernel.output[self._consumed:]
+        self._consumed = len(self.kernel.output)
+        for _, text in new:
+            self.transcript.append(text)
+
+    def _reap_finished(self) -> None:
+        """waitpid(..., WNOHANG) loop driven by job completion."""
+        self._flush_program_output()
+        for job in self.jobs:
+            if not job.done:
+                pcb = self.kernel.process(job.pid)
+                if pcb.state in (ProcessState.ZOMBIE,
+                                 ProcessState.TERMINATED):
+                    job.done = True
+                    job.exit_status = pcb.exit_status
+                    self._say(f"[{job.job_id}] Done\t{job.command}")

@@ -1,0 +1,21 @@
+"""Virtual memory (CS 31 §III-A, *Operating Systems*: the VM half).
+
+Single-level page tables, physical frames, swap, a TLB with flush-on-
+context-switch semantics, and an MMU that performs translation, page
+fault handling with global-LRU replacement, and effective-access-time
+analysis — the machinery behind homeworks VM-1 and VM-2 and bench E6.
+"""
+
+from repro.vm.mmu import CostModel, MMU, MmuStats, Translation
+from repro.vm.page_table import PageTable, PageTableEntry
+from repro.vm.physical import FrameInfo, PhysicalMemory
+from repro.vm.swap import SwapSpace
+from repro.vm.tlb import TLB, TlbStats
+
+__all__ = [
+    "MMU", "Translation", "MmuStats", "CostModel",
+    "PageTable", "PageTableEntry",
+    "PhysicalMemory", "FrameInfo",
+    "SwapSpace",
+    "TLB", "TlbStats",
+]

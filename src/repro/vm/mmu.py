@@ -1,0 +1,227 @@
+"""The MMU: translation, page faults, LRU replacement, context switches.
+
+This is the machinery behind homeworks VM-1 and VM-2: trace one or two
+processes' memory accesses through page tables, showing page faults,
+LRU eviction of frames, dirty write-backs to swap, the effect of context
+switches on the TLB, and the resulting effective access time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import is_power_of_two, log2_exact
+from repro.errors import VmError
+from repro.vm.page_table import PageTable
+from repro.vm.physical import PhysicalMemory
+from repro.vm.swap import SwapSpace
+from repro.vm.tlb import TLB
+
+
+@dataclass(frozen=True)
+class Translation:
+    """What one access did — the row of a VM homework trace."""
+    pid: int
+    vaddr: int
+    vpn: int
+    frame: int
+    paddr: int
+    tlb_hit: bool
+    page_fault: bool
+    evicted: tuple[int, int] | None = None   # (pid, vpn) pushed out
+    wrote_back: bool = False                 # eviction was dirty
+
+
+@dataclass
+class MmuStats:
+    accesses: int = 0
+    page_faults: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    context_switches: int = 0
+
+    @property
+    def fault_rate(self) -> float:
+        return self.page_faults / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency parameters for the effective-access-time lecture formula."""
+    memory_time: float = 100.0        # one RAM access (also page-table read)
+    tlb_time: float = 1.0             # TLB probe
+    fault_service_time: float = 8_000_000.0  # disk + handler
+
+
+class MMU:
+    """Per-process page tables over shared physical memory + swap + TLB."""
+
+    def __init__(self, physical: PhysicalMemory | None = None,
+                 *, page_size: int = 4096, tlb_entries: int = 16,
+                 tagged_tlb: bool = False, num_frames: int = 8,
+                 replacement: str = "lru") -> None:
+        if not is_power_of_two(page_size):
+            raise VmError("page size must be a power of two")
+        if replacement not in ("lru", "fifo"):
+            raise VmError(f"unknown replacement policy {replacement!r}")
+        self.replacement = replacement
+        self.page_size = page_size
+        self._offset_bits = log2_exact(page_size)
+        self.physical = physical or PhysicalMemory(num_frames, page_size)
+        if self.physical.frame_size != page_size:
+            raise VmError("frame size must equal page size")
+        self.swap = SwapSpace()
+        self.tlb = TLB(tlb_entries, tagged=tagged_tlb)
+        self.page_tables: dict[int, PageTable] = {}
+        self.current_pid: int | None = None
+        self.stats = MmuStats()
+        self._clock = 0
+
+    # -- process management ----------------------------------------------------
+
+    def create_process(self, pid: int, num_pages: int) -> PageTable:
+        """Give a new process an (empty) page table."""
+        if pid in self.page_tables:
+            raise VmError(f"pid {pid} already exists")
+        table = PageTable(num_pages)
+        self.page_tables[pid] = table
+        if self.current_pid is None:
+            self.current_pid = pid
+        return table
+
+    def destroy_process(self, pid: int) -> None:
+        """Process exit: release its frames, swap slots, and table."""
+        table = self._table(pid)
+        for vpn in table.resident_pages():
+            self.physical.release(table.entry(vpn).frame)
+        self.swap.discard_process(pid)
+        del self.page_tables[pid]
+        if self.current_pid == pid:
+            self.current_pid = next(iter(self.page_tables), None)
+            if not self.tlb.tagged:
+                self.tlb.flush()
+
+    def context_switch(self, pid: int) -> None:
+        """Switch the running process; an untagged TLB must flush."""
+        self._table(pid)
+        if pid != self.current_pid:
+            self.current_pid = pid
+            self.stats.context_switches += 1
+            if not self.tlb.tagged:
+                self.tlb.flush()
+
+    def _table(self, pid: int) -> PageTable:
+        table = self.page_tables.get(pid)
+        if table is None:
+            raise VmError(f"no such process {pid}")
+        return table
+
+    # -- translation -------------------------------------------------------------
+
+    def split(self, vaddr: int) -> tuple[int, int]:
+        """Virtual address → (virtual page number, offset)."""
+        return vaddr >> self._offset_bits, vaddr & (self.page_size - 1)
+
+    def access(self, vaddr: int, *, write: bool = False,
+               pid: int | None = None) -> Translation:
+        """Translate and 'perform' one access for the current process."""
+        if pid is not None:
+            self.context_switch(pid)
+        if self.current_pid is None:
+            raise VmError("no process is running")
+        pid = self.current_pid
+        table = self._table(pid)
+        vpn, offset = self.split(vaddr)
+        entry = table.check_access(vpn, write=write)
+        self._clock += 1
+        self.stats.accesses += 1
+
+        frame = self.tlb.lookup(pid, vpn)
+        tlb_hit = frame is not None
+        page_fault = False
+        evicted = None
+        wrote_back = False
+
+        if frame is None:
+            if entry.valid:
+                frame = entry.frame
+            else:
+                page_fault = True
+                self.stats.page_faults += 1
+                frame, evicted, wrote_back = self._handle_fault(pid, vpn)
+            self.tlb.insert(pid, vpn, frame)
+
+        self.physical.touch(frame, self._clock)
+        entry.referenced = True
+        if write:
+            entry.dirty = True
+        return Translation(pid, vaddr, vpn, frame,
+                           paddr=(frame << self._offset_bits) | offset,
+                           tlb_hit=tlb_hit, page_fault=page_fault,
+                           evicted=evicted, wrote_back=wrote_back)
+
+    def _handle_fault(self, pid: int, vpn: int
+                      ) -> tuple[int, tuple[int, int] | None, bool]:
+        """Bring (pid, vpn) into RAM, evicting the global-LRU frame if full."""
+        evicted = None
+        wrote_back = False
+        if self.physical.full:
+            victim_frame = (self.physical.lru_frame()
+                            if self.replacement == "lru"
+                            else self.physical.fifo_frame())
+            info = self.physical.release(victim_frame)
+            victim_table = self._table(info.pid)
+            victim_entry = victim_table.unmap_page(info.vpn)
+            self.tlb.invalidate(info.pid, info.vpn)
+            self.stats.evictions += 1
+            evicted = (info.pid, info.vpn)
+            if victim_entry.dirty:
+                self.swap.page_out(info.pid, info.vpn)
+                victim_entry.in_swap = True
+                wrote_back = True
+                self.stats.writebacks += 1
+
+        table = self._table(pid)
+        entry = table.entry(vpn)
+        if entry.in_swap:
+            self.swap.page_in(pid, vpn)
+            entry.in_swap = False
+        frame = self.physical.allocate(pid, vpn, self._clock)
+        table.map_page(vpn, frame)
+        return frame, evicted, wrote_back
+
+    # -- trace + analysis ------------------------------------------------------------
+
+    def run_trace(self, accesses: list[tuple[int, int, bool]]
+                  ) -> list[Translation]:
+        """Run (pid, vaddr, is_write) triples — the VM-2 homework format."""
+        return [self.access(vaddr, write=w, pid=pid)
+                for pid, vaddr, w in accesses]
+
+    def effective_access_time(self, cost: CostModel | None = None) -> float:
+        """EAT from observed TLB and fault behaviour.
+
+        TLB hit: tlb_time + memory_time.
+        TLB miss: tlb_time + memory_time (page-table walk) + memory_time.
+        Page fault adds fault_service_time.
+        """
+        c = cost or CostModel()
+        n = self.stats.accesses
+        if n == 0:
+            return 0.0
+        tlb_hit_rate = self.tlb.stats.hit_rate
+        fault_rate = self.stats.fault_rate
+        eat = (c.tlb_time + c.memory_time
+               + (1.0 - tlb_hit_rate) * c.memory_time
+               + fault_rate * c.fault_service_time)
+        return eat
+
+    def render_state(self) -> str:
+        """Page tables + RAM drawing, as the homework solutions show."""
+        parts = []
+        for pid in sorted(self.page_tables):
+            parts.append(f"process {pid} page table:")
+            parts.append(self.page_tables[pid].render())
+        parts.append("RAM:")
+        parts.append(self.physical.render())
+        return "\n".join(parts)

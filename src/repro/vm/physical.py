@@ -1,0 +1,97 @@
+"""Physical RAM: a fixed pool of page frames.
+
+The VM homeworks trace "effects on page table and RAM"; this model keeps
+the RAM side: which frames are free, and which (pid, virtual page) owns
+each allocated frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import is_power_of_two
+from repro.errors import VmError
+
+
+@dataclass
+class FrameInfo:
+    """Ownership record for one allocated frame."""
+    pid: int
+    vpn: int
+    loaded_at: int      # allocation timestamp
+    last_used: int      # for LRU replacement
+
+
+class PhysicalMemory:
+    """``num_frames`` frames of ``frame_size`` bytes each."""
+
+    def __init__(self, num_frames: int, frame_size: int = 4096) -> None:
+        if num_frames <= 0:
+            raise VmError("need at least one frame")
+        if not is_power_of_two(frame_size):
+            raise VmError("frame size must be a power of two")
+        self.num_frames = num_frames
+        self.frame_size = frame_size
+        self._free: list[int] = list(range(num_frames))
+        self.frames: dict[int, FrameInfo] = {}
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def full(self) -> bool:
+        return not self._free
+
+    def allocate(self, pid: int, vpn: int, now: int) -> int:
+        """Take a free frame for (pid, vpn); raises VmError if RAM is full
+        (the MMU must evict first)."""
+        if not self._free:
+            raise VmError("no free frames (eviction required)")
+        frame = self._free.pop(0)
+        self.frames[frame] = FrameInfo(pid, vpn, loaded_at=now, last_used=now)
+        return frame
+
+    def release(self, frame: int) -> FrameInfo:
+        info = self.frames.pop(frame, None)
+        if info is None:
+            raise VmError(f"frame {frame} is not allocated")
+        self._free.append(frame)
+        self._free.sort()
+        return info
+
+    def touch(self, frame: int, now: int) -> None:
+        info = self.frames.get(frame)
+        if info is None:
+            raise VmError(f"frame {frame} is not allocated")
+        info.last_used = now
+
+    def owner(self, frame: int) -> FrameInfo | None:
+        return self.frames.get(frame)
+
+    def lru_frame(self) -> int:
+        """The least recently used allocated frame (eviction victim)."""
+        if not self.frames:
+            raise VmError("no allocated frames")
+        return min(self.frames, key=lambda f: self.frames[f].last_used)
+
+    def fifo_frame(self) -> int:
+        """The oldest-loaded allocated frame (FIFO eviction victim)."""
+        if not self.frames:
+            raise VmError("no allocated frames")
+        return min(self.frames, key=lambda f: self.frames[f].loaded_at)
+
+    def frames_of(self, pid: int) -> list[int]:
+        return sorted(f for f, info in self.frames.items()
+                      if info.pid == pid)
+
+    def render(self) -> str:
+        """The homework 'RAM contents' drawing."""
+        rows = []
+        for f in range(self.num_frames):
+            info = self.frames.get(f)
+            if info is None:
+                rows.append(f"frame {f}: <free>")
+            else:
+                rows.append(f"frame {f}: pid {info.pid} page {info.vpn}")
+        return "\n".join(rows)

@@ -1,0 +1,57 @@
+"""Swap space: where evicted pages go.
+
+Models the secondary-storage side of virtual memory's "memory appears to
+have larger capacity than physical RAM": evicted pages get a slot, and a
+later page fault on the same page "reads" it back (and tells the caller,
+so fault costs can be charged).
+"""
+
+from __future__ import annotations
+
+from repro.errors import VmError
+
+
+class SwapSpace:
+    """Unbounded slot store keyed by (pid, vpn)."""
+
+    def __init__(self) -> None:
+        self._slots: dict[tuple[int, int], int] = {}
+        self._next_slot = 0
+        self.pages_out = 0
+        self.pages_in = 0
+
+    def page_out(self, pid: int, vpn: int) -> int:
+        """Store a page; returns its slot (idempotent per page version)."""
+        key = (pid, vpn)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = self._next_slot
+            self._next_slot += 1
+            self._slots[key] = slot
+        self.pages_out += 1
+        return slot
+
+    def contains(self, pid: int, vpn: int) -> bool:
+        return (pid, vpn) in self._slots
+
+    def page_in(self, pid: int, vpn: int) -> int:
+        """Fetch a page back; returns the slot it came from."""
+        slot = self._slots.get((pid, vpn))
+        if slot is None:
+            raise VmError(f"page (pid={pid}, vpn={vpn}) is not in swap")
+        self.pages_in += 1
+        return slot
+
+    def discard(self, pid: int, vpn: int) -> None:
+        self._slots.pop((pid, vpn), None)
+
+    def discard_process(self, pid: int) -> int:
+        """Drop all of a process's swapped pages (exit); returns count."""
+        keys = [k for k in self._slots if k[0] == pid]
+        for k in keys:
+            del self._slots[k]
+        return len(keys)
+
+    @property
+    def used_slots(self) -> int:
+        return len(self._slots)

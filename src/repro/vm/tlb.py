@@ -1,0 +1,74 @@
+"""The translation lookaside buffer.
+
+"...TLB caching of address translations to speed-up effective memory
+access time" (§III-A). A small fully-associative LRU cache of
+(pid, vpn) → frame mappings. Context switches either flush it or rely on
+the pid tag — the course teaches the flush model, so that's the default,
+but tagged mode is available to show why hardware grew ASIDs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import VmError
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """Fully-associative, LRU-replaced translation cache."""
+
+    def __init__(self, capacity: int = 16, *, tagged: bool = False) -> None:
+        if capacity <= 0:
+            raise VmError("TLB needs positive capacity")
+        self.capacity = capacity
+        self.tagged = tagged
+        self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self.stats = TlbStats()
+
+    def _key(self, pid: int, vpn: int) -> tuple[int, int]:
+        return (pid if self.tagged else 0, vpn)
+
+    def lookup(self, pid: int, vpn: int) -> int | None:
+        key = self._key(pid, vpn)
+        frame = self._entries.get(key)
+        if frame is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return frame
+
+    def insert(self, pid: int, vpn: int, frame: int) -> None:
+        key = self._key(pid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) == self.capacity:
+            self._entries.popitem(last=False)   # evict LRU
+        self._entries[key] = frame
+
+    def invalidate(self, pid: int, vpn: int) -> None:
+        self._entries.pop(self._key(pid, vpn), None)
+
+    def flush(self) -> None:
+        """Full flush — what an untagged TLB does on context switch."""
+        self._entries.clear()
+        self.stats.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,118 @@
+"""Unit tests for fixed-width arithmetic and flags (repro.binary.arith)."""
+
+from repro.binary import BitVector, add, add_worked, mul, neg, sub
+
+
+def u8(v):
+    return BitVector.from_unsigned(v, 8)
+
+
+def s8(v):
+    return BitVector.from_signed(v, 8)
+
+
+class TestAdd:
+    def test_simple(self):
+        r = add(u8(3), u8(4))
+        assert r.unsigned == 7
+        assert not r.flags.carry and not r.flags.overflow
+        assert not r.flags.zero and not r.flags.sign
+
+    def test_unsigned_overflow_sets_carry_not_overflow(self):
+        r = add(u8(200), u8(100))
+        assert r.unsigned == 44
+        assert r.flags.carry
+        # 200 and 100 as signed are -56 and 100 → sum 44, fits
+        assert not r.flags.overflow
+
+    def test_signed_overflow_sets_overflow_not_carry(self):
+        r = add(s8(100), s8(100))
+        assert r.signed == -56
+        assert r.flags.overflow
+        assert not r.flags.carry
+
+    def test_both_overflow(self):
+        r = add(s8(-128), s8(-128))
+        assert r.flags.carry and r.flags.overflow
+        assert r.flags.zero
+
+    def test_zero_flag(self):
+        r = add(s8(5), s8(-5))
+        assert r.flags.zero
+        assert r.flags.carry  # wraps past 2**8
+
+    def test_sign_flag(self):
+        assert add(s8(-3), s8(1)).flags.sign
+
+    def test_carry_in_chains(self):
+        r = add(u8(0xFF), u8(0x00), carry_in=1)
+        assert r.unsigned == 0 and r.flags.carry
+
+    def test_exhaustive_4bit_against_python(self):
+        for a in range(16):
+            for b in range(16):
+                r = add(BitVector(a, 4), BitVector(b, 4))
+                assert r.unsigned == (a + b) % 16
+                assert r.flags.carry == (a + b > 15)
+
+
+class TestSub:
+    def test_simple(self):
+        assert sub(u8(9), u8(4)).unsigned == 5
+
+    def test_borrow_sets_carry(self):
+        r = sub(u8(4), u8(9))
+        assert r.unsigned == 251
+        assert r.flags.carry          # borrow occurred (x86 convention)
+        assert r.signed == -5
+        assert not r.flags.overflow
+
+    def test_signed_overflow_on_sub(self):
+        r = sub(s8(-128), s8(1))
+        assert r.flags.overflow
+        assert r.signed == 127
+
+    def test_equal_gives_zero(self):
+        r = sub(u8(7), u8(7))
+        assert r.flags.zero and not r.flags.carry
+
+
+class TestNegMul:
+    def test_neg(self):
+        assert neg(s8(5)).signed == -5
+        assert neg(s8(-128)).signed == -128  # overflow edge
+
+    def test_neg_most_negative_overflows(self):
+        assert neg(s8(-128)).flags.overflow
+
+    def test_mul_unsigned(self):
+        r = mul(u8(10), u8(20), signed=False)
+        assert r.unsigned == 200 and not r.flags.carry
+
+    def test_mul_unsigned_overflow(self):
+        r = mul(u8(16), u8(16), signed=False)
+        assert r.unsigned == 0 and r.flags.carry
+
+    def test_mul_signed(self):
+        r = mul(s8(-5), s8(6), signed=True)
+        assert r.signed == -30 and not r.flags.overflow
+
+    def test_mul_signed_overflow(self):
+        r = mul(s8(64), s8(2), signed=True)
+        assert r.flags.overflow
+        assert r.signed == -128
+
+
+class TestWorked:
+    def test_add_worked_carries(self):
+        # 0110 + 0011: carries into bits 0..3 are 0,0,1,1; carry-out 0.
+        # Rendered MSB-first (carry-out leftmost): "01100".
+        work = add_worked(BitVector(0b0110, 4), BitVector(0b0011, 4))
+        assert work.result.unsigned == 9
+        assert work.carries == "01100"
+
+    def test_add_worked_render_includes_flags(self):
+        work = add_worked(BitVector(0b1111, 4), BitVector(0b0001, 4))
+        out = work.render()
+        assert "CF=1" in out
+        assert work.result.flags.zero

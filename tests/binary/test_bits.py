@@ -1,0 +1,167 @@
+"""Unit tests for repro.binary.bits.BitVector."""
+
+import pytest
+
+from repro.binary import BitVector
+from repro.errors import BinaryError, RangeError
+
+
+class TestConstruction:
+    def test_from_unsigned(self):
+        b = BitVector.from_unsigned(11, 4)
+        assert b.raw == 0b1011
+        assert b.width == 4
+
+    def test_from_unsigned_overflow(self):
+        with pytest.raises(RangeError):
+            BitVector.from_unsigned(16, 4)
+
+    def test_from_unsigned_negative(self):
+        with pytest.raises(RangeError):
+            BitVector.from_unsigned(-1, 4)
+
+    def test_from_signed_negative(self):
+        b = BitVector.from_signed(-5, 4)
+        assert b.raw == 0b1011
+
+    def test_from_signed_range_edges(self):
+        assert BitVector.from_signed(-8, 4).raw == 0b1000
+        assert BitVector.from_signed(7, 4).raw == 0b0111
+        with pytest.raises(RangeError):
+            BitVector.from_signed(8, 4)
+        with pytest.raises(RangeError):
+            BitVector.from_signed(-9, 4)
+
+    def test_from_bits_msb_first(self):
+        assert BitVector.from_bits([1, 0, 1, 1]).raw == 0b1011
+
+    def test_from_bits_rejects_non_bits(self):
+        with pytest.raises(BinaryError):
+            BitVector.from_bits([1, 2])
+
+    def test_from_bits_rejects_empty(self):
+        with pytest.raises(BinaryError):
+            BitVector.from_bits([])
+
+    def test_from_string(self):
+        assert BitVector.from_string("0b1010_0101").raw == 0xA5
+        assert BitVector.from_string("1010").width == 4
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(BinaryError):
+            BitVector.from_string("10x1")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(BinaryError):
+            BitVector(0, 0)
+
+
+class TestViews:
+    def test_signed_unsigned_same_pattern(self):
+        b = BitVector(0b1011, 4)
+        assert b.to_unsigned() == 11
+        assert b.to_signed() == -5
+
+    def test_positive_pattern_same_both_ways(self):
+        b = BitVector(0b0110, 4)
+        assert b.to_unsigned() == b.to_signed() == 6
+
+    def test_bit_indexing_lsb_zero(self):
+        b = BitVector(0b1000, 4)
+        assert b.bit(3) == 1
+        assert b.bit(0) == 0
+        assert b.msb == 1
+        assert b.lsb == 0
+
+    def test_bit_index_out_of_range(self):
+        with pytest.raises(BinaryError):
+            BitVector(0, 4).bit(4)
+
+    def test_bits_msb_first_and_iter(self):
+        b = BitVector(0b1011, 4)
+        assert b.bits_msb_first() == [1, 0, 1, 1]
+        assert list(b) == [1, 0, 1, 1]
+
+
+class TestStructure:
+    def test_slice(self):
+        b = BitVector(0b110101, 6)
+        assert b.slice(4, 2) == BitVector(0b101, 3)
+
+    def test_slice_full(self):
+        b = BitVector(0b1010, 4)
+        assert b.slice(3, 0) == b
+
+    def test_slice_bounds(self):
+        with pytest.raises(BinaryError):
+            BitVector(0, 4).slice(4, 0)
+
+    def test_concat(self):
+        hi = BitVector(0b10, 2)
+        lo = BitVector(0b11, 2)
+        assert hi.concat(lo) == BitVector(0b1011, 4)
+
+    def test_zero_extend(self):
+        assert BitVector(0b1011, 4).zero_extend(8) == BitVector(0x0B, 8)
+
+    def test_sign_extend_negative(self):
+        assert BitVector(0b1011, 4).sign_extend(8) == BitVector(0xFB, 8)
+
+    def test_sign_extend_positive(self):
+        assert BitVector(0b0011, 4).sign_extend(8) == BitVector(0x03, 8)
+
+    def test_sign_extend_preserves_signed_value(self):
+        for v in range(-8, 8):
+            b = BitVector.from_signed(v, 4)
+            assert b.sign_extend(12).to_signed() == v
+
+    def test_truncate(self):
+        assert BitVector(0x1AB, 9).truncate(8) == BitVector(0xAB, 8)
+
+    def test_truncate_wider_rejected(self):
+        with pytest.raises(BinaryError):
+            BitVector(0, 4).truncate(8)
+
+
+class TestBitwise:
+    def test_and_or_xor_not(self):
+        a = BitVector(0b1100, 4)
+        b = BitVector(0b1010, 4)
+        assert (a & b) == BitVector(0b1000, 4)
+        assert (a | b) == BitVector(0b1110, 4)
+        assert (a ^ b) == BitVector(0b0110, 4)
+        assert (~a) == BitVector(0b0011, 4)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(BinaryError):
+            BitVector(0, 4) & BitVector(0, 8)
+
+    def test_shift_left_drops_top(self):
+        assert BitVector(0b1001, 4).shift_left(1) == BitVector(0b0010, 4)
+
+    def test_shift_right_logical_fills_zero(self):
+        assert BitVector(0b1000, 4).shift_right_logical(3) == BitVector(1, 4)
+
+    def test_shift_right_arith_fills_sign(self):
+        assert BitVector(0b1000, 4).shift_right_arith(2) == BitVector(0b1110, 4)
+        assert BitVector(0b0100, 4).shift_right_arith(2) == BitVector(0b0001, 4)
+
+
+class TestFormatting:
+    def test_binary_string(self):
+        assert BitVector(0xA5, 8).to_binary_string() == "10100101"
+
+    def test_binary_string_grouped(self):
+        assert BitVector(0xA5, 8).to_binary_string(group=4) == "1010_0101"
+
+    def test_hex_string_pads(self):
+        assert BitVector(0x0F, 8).to_hex_string() == "0x0f"
+        assert BitVector(0x5, 12).to_hex_string() == "0x005"
+
+    def test_repr_roundtrip(self):
+        b = BitVector(0b101, 3)
+        assert BitVector.from_string("101") == b
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(BitVector(3, 4)) == hash(BitVector(3, 4))
+        assert BitVector(3, 4) != BitVector(3, 5)

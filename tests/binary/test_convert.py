@@ -1,0 +1,88 @@
+"""Unit tests for base conversion (repro.binary.convert)."""
+
+import pytest
+
+from repro.binary import (
+    binary_to_decimal,
+    binary_to_hex,
+    decimal_to_binary,
+    decimal_to_binary_worked,
+    decimal_to_hex,
+    hex_to_binary,
+    hex_to_decimal,
+    positional_expansion,
+)
+from repro.errors import BinaryError
+
+
+class TestDecimalBinary:
+    def test_zero(self):
+        assert decimal_to_binary(0) == "0"
+
+    def test_powers_of_two(self):
+        assert decimal_to_binary(1) == "1"
+        assert decimal_to_binary(8) == "1000"
+        assert decimal_to_binary(255) == "11111111"
+
+    def test_negative_rejected(self):
+        with pytest.raises(BinaryError):
+            decimal_to_binary(-1)
+
+    def test_binary_to_decimal(self):
+        assert binary_to_decimal("1011") == 11
+        assert binary_to_decimal("0b1011") == 11
+        assert binary_to_decimal("0000") == 0
+
+    def test_binary_to_decimal_rejects(self):
+        with pytest.raises(BinaryError):
+            binary_to_decimal("10ractor")
+
+    def test_roundtrip(self):
+        for n in [0, 1, 2, 5, 100, 4096, 123456789]:
+            assert binary_to_decimal(decimal_to_binary(n)) == n
+
+
+class TestHex:
+    def test_binary_to_hex_pads_top_nibble(self):
+        assert binary_to_hex("101011") == "0x2b"
+
+    def test_hex_to_binary_preserves_digits(self):
+        assert hex_to_binary("0x2b") == "00101011"
+
+    def test_decimal_hex_roundtrip(self):
+        for n in [0, 15, 16, 255, 1000000]:
+            assert hex_to_decimal(decimal_to_hex(n)) == n
+
+    def test_hex_case_insensitive(self):
+        assert hex_to_decimal("0xAB") == 171
+
+    def test_hex_rejects_garbage(self):
+        with pytest.raises(BinaryError):
+            hex_to_binary("0xg1")
+
+
+class TestWorked:
+    def test_worked_division_steps(self):
+        work = decimal_to_binary_worked(11)
+        assert work.binary == "1011"
+        assert [s.remainder for s in work.steps] == [1, 1, 0, 1]
+        assert [s.quotient_out for s in work.steps] == [5, 2, 1, 0]
+
+    def test_worked_zero(self):
+        assert decimal_to_binary_worked(0).binary == "0"
+
+    def test_render_mentions_result(self):
+        assert "0b1011" in decimal_to_binary_worked(11).render()
+
+    def test_positional_expansion_binary(self):
+        rows = positional_expansion("1011", 2)
+        assert rows == [(1, 8, 8), (0, 4, 0), (1, 2, 2), (1, 1, 1)]
+        assert sum(r[2] for r in rows) == 11
+
+    def test_positional_expansion_hex(self):
+        rows = positional_expansion("0x2b", 16)
+        assert sum(r[2] for r in rows) == 43
+
+    def test_positional_expansion_bad_base(self):
+        with pytest.raises(BinaryError):
+            positional_expansion("123", 10)

@@ -1,0 +1,117 @@
+"""Unit tests for the C integer type model (repro.binary.ctypes_model)."""
+
+import pytest
+
+from repro.binary import (
+    CHAR,
+    INT,
+    LONG,
+    LONG_LONG,
+    POINTER,
+    SHORT,
+    UCHAR,
+    UINT,
+    USHORT,
+    binary_op,
+    convert,
+    type_named,
+    usual_arithmetic_conversion,
+)
+from repro.errors import BinaryError
+
+
+class TestSizes:
+    def test_ilp32_sizes(self):
+        assert CHAR.size_bytes == 1
+        assert SHORT.size_bytes == 2
+        assert INT.size_bytes == 4
+        assert LONG.size_bytes == 4      # ILP32
+        assert LONG_LONG.size_bytes == 8
+        assert POINTER.size_bytes == 4   # 32-bit addresses
+
+    def test_ranges(self):
+        assert (INT.min_value, INT.max_value) == (-2**31, 2**31 - 1)
+        assert (UINT.min_value, UINT.max_value) == (0, 2**32 - 1)
+        assert CHAR.contains(-128) and not CHAR.contains(128)
+
+    def test_type_named(self):
+        assert type_named("unsigned int") is UINT
+        with pytest.raises(BinaryError):
+            type_named("float")
+
+
+class TestWrap:
+    def test_unsigned_wraps_modulo(self):
+        assert UINT.wrap(2**32) == 0
+        assert UINT.wrap(-1) == 2**32 - 1
+
+    def test_signed_wraps_twos_complement(self):
+        assert INT.wrap(2**31) == -2**31
+        assert CHAR.wrap(130) == -126
+
+    def test_bytes_little_endian(self):
+        assert INT.to_bytes(1) == b"\x01\x00\x00\x00"
+        assert INT.from_bytes(b"\xff\xff\xff\xff") == -1
+
+    def test_from_bytes_size_checked(self):
+        with pytest.raises(BinaryError):
+            INT.from_bytes(b"\x00")
+
+    def test_encode_width(self):
+        assert CHAR.encode(-1).width == 8
+        assert CHAR.encode(-1).raw == 0xFF
+
+
+class TestConversions:
+    def test_narrowing_truncates(self):
+        assert convert(0x1234, INT, CHAR) == 0x34
+        assert convert(300, INT, UCHAR) == 44
+
+    def test_widening_sign_extends(self):
+        assert convert(-1, CHAR, INT) == -1
+        assert convert(-1, CHAR, UINT) == 2**32 - 1
+
+    def test_usual_conversion_promotes_small_types(self):
+        assert usual_arithmetic_conversion(CHAR, CHAR) is INT
+        assert usual_arithmetic_conversion(USHORT, CHAR) is INT
+
+    def test_usual_conversion_unsigned_wins_at_equal_rank(self):
+        assert usual_arithmetic_conversion(INT, UINT) is UINT
+
+    def test_usual_conversion_wider_signed_wins(self):
+        assert usual_arithmetic_conversion(UINT, LONG_LONG) is LONG_LONG
+
+
+class TestBinaryOp:
+    def test_classic_minus_one_less_than_unsigned(self):
+        # the famous trap: (-1 < 1U) is false in C
+        value, t = binary_op("<", -1, INT, 1, UINT)
+        assert value == 0
+        assert t is INT
+
+    def test_add_wraps_in_int(self):
+        value, t = binary_op("+", 2**31 - 1, INT, 1, INT)
+        assert value == -2**31
+        assert t is INT
+
+    def test_division_truncates_toward_zero(self):
+        assert binary_op("/", -7, INT, 2, INT)[0] == -3
+        assert binary_op("/", 7, INT, -2, INT)[0] == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert binary_op("%", -7, INT, 2, INT)[0] == -1
+        assert binary_op("%", 7, INT, -2, INT)[0] == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            binary_op("/", 1, INT, 0, INT)
+        with pytest.raises(ZeroDivisionError):
+            binary_op("%", 1, INT, 0, INT)
+
+    def test_unsupported_operator(self):
+        with pytest.raises(BinaryError):
+            binary_op("**", 2, INT, 3, INT)
+
+    def test_comparisons(self):
+        assert binary_op("==", 5, INT, 5, INT)[0] == 1
+        assert binary_op(">=", 4, INT, 5, INT)[0] == 0

@@ -1,0 +1,80 @@
+"""Unit tests for binary32 floating point (repro.binary.floating)."""
+
+import math
+
+import pytest
+
+from repro.binary import BitVector
+from repro.binary.floating import decode, encode, fields, ulp_gap, value_from_fields
+from repro.errors import BinaryError
+
+
+class TestEncodeDecode:
+    def test_one(self):
+        b = encode(1.0)
+        assert b.raw == 0x3F800000
+        assert decode(b) == 1.0
+
+    def test_negative(self):
+        assert encode(-2.0).raw == 0xC0000000
+
+    def test_roundtrip_representable(self):
+        for v in [0.0, 0.5, 1.5, -0.25, 3.0, 1024.0]:
+            assert decode(encode(v)) == v
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(BinaryError):
+            decode(BitVector(0, 16))
+
+
+class TestFields:
+    def test_normal(self):
+        f = fields(encode(1.0))
+        assert (f.sign, f.exponent_raw, f.fraction) == (0, 127, 0)
+        assert f.category == "normal"
+        assert f.exponent == 0
+
+    def test_zero(self):
+        assert fields(encode(0.0)).category == "zero"
+
+    def test_infinity(self):
+        assert fields(encode(math.inf)).category == "infinity"
+
+    def test_nan(self):
+        assert fields(encode(math.nan)).category == "nan"
+
+    def test_subnormal(self):
+        tiny = BitVector(1, 32)  # smallest positive subnormal
+        assert fields(tiny).category == "subnormal"
+        assert decode(tiny) > 0
+
+
+class TestValueFromFields:
+    def test_matches_decode_for_normals(self):
+        for v in [1.0, -1.5, 0.75, 100.0]:
+            f = fields(encode(v))
+            assert value_from_fields(f.sign, f.exponent_raw, f.fraction) == v
+
+    def test_infinity_and_nan(self):
+        assert value_from_fields(0, 255, 0) == math.inf
+        assert math.isnan(value_from_fields(1, 255, 1))
+
+    def test_field_range_checks(self):
+        with pytest.raises(BinaryError):
+            value_from_fields(2, 0, 0)
+        with pytest.raises(BinaryError):
+            value_from_fields(0, 256, 0)
+        with pytest.raises(BinaryError):
+            value_from_fields(0, 0, 1 << 23)
+
+
+class TestUlp:
+    def test_gap_grows_with_magnitude(self):
+        assert ulp_gap(1.0) < ulp_gap(1e6)
+
+    def test_gap_for_one(self):
+        assert ulp_gap(1.0) == 2.0 ** -23
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(BinaryError):
+            ulp_gap(math.inf)

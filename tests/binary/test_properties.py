@@ -1,0 +1,114 @@
+"""Property-based tests for the binary substrate (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.binary import (
+    BitVector,
+    add,
+    binary_to_decimal,
+    decimal_to_binary,
+    decode,
+    encode,
+    hex_to_binary,
+    binary_to_hex,
+    mul,
+    negate,
+    sub,
+)
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def pattern(draw, width=None):
+    w = width if width is not None else draw(widths)
+    return BitVector(draw(st.integers(min_value=0, max_value=(1 << w) - 1)), w)
+
+
+@st.composite
+def same_width_pair(draw):
+    w = draw(widths)
+    return draw(pattern(width=w)), draw(pattern(width=w))
+
+
+@given(st.integers(min_value=0, max_value=10**18))
+def test_decimal_binary_roundtrip(n):
+    assert binary_to_decimal(decimal_to_binary(n)) == n
+
+
+@given(st.integers(min_value=0, max_value=10**18))
+def test_hex_binary_roundtrip(n):
+    b = decimal_to_binary(n)
+    assert binary_to_decimal(hex_to_binary(binary_to_hex(b))) == n
+
+
+@given(widths.flatmap(lambda w: st.tuples(
+    st.just(w), st.integers(min_value=-(1 << (w - 1)), max_value=(1 << (w - 1)) - 1))))
+def test_twos_complement_roundtrip(wv):
+    w, v = wv
+    assert decode(encode(v, w)) == v
+
+
+@given(pattern())
+def test_double_negation_is_identity(p):
+    assert negate(negate(p)) == p
+
+
+@given(pattern())
+def test_invert_then_add_one_is_negate(p):
+    one = BitVector(1, p.width)
+    assert add(~p, one).value == negate(p)
+
+
+@given(same_width_pair())
+def test_add_matches_python_modulo(pair):
+    a, b = pair
+    r = add(a, b)
+    assert r.unsigned == (a.to_unsigned() + b.to_unsigned()) % (1 << a.width)
+    assert r.flags.carry == (a.to_unsigned() + b.to_unsigned() >= (1 << a.width))
+
+
+@given(same_width_pair())
+def test_add_commutes(pair):
+    a, b = pair
+    assert add(a, b) == add(b, a)
+
+
+@given(same_width_pair())
+def test_sub_is_add_of_negation(pair):
+    a, b = pair
+    assert sub(a, b).value == add(a, negate(b)).value
+
+
+@given(same_width_pair())
+def test_sub_signed_matches_wrap(pair):
+    a, b = pair
+    w = a.width
+    exact = a.to_signed() - b.to_signed()
+    wrapped = ((exact + (1 << (w - 1))) % (1 << w)) - (1 << (w - 1))
+    assert sub(a, b).signed == wrapped
+
+
+@given(same_width_pair())
+def test_mul_unsigned_matches_python(pair):
+    a, b = pair
+    r = mul(a, b, signed=False)
+    assert r.unsigned == (a.to_unsigned() * b.to_unsigned()) % (1 << a.width)
+
+
+@given(pattern(), st.integers(min_value=0, max_value=70))
+def test_shift_left_matches_multiplication(p, n):
+    assert (p.shift_left(n).to_unsigned()
+            == (p.to_unsigned() << n) % (1 << p.width))
+
+
+@given(pattern())
+def test_sign_extend_then_truncate_is_identity(p):
+    assert p.sign_extend(p.width + 8).truncate(p.width) == p
+
+
+@given(pattern(), pattern())
+def test_concat_slice_recovers_parts(hi, lo):
+    joined = hi.concat(lo)
+    assert joined.slice(joined.width - 1, lo.width) == hi
+    assert joined.slice(lo.width - 1, 0) == lo

@@ -1,0 +1,84 @@
+"""Unit tests for two's-complement encode/decode and casts."""
+
+import pytest
+
+from repro.binary import (
+    BitVector,
+    decode,
+    encode,
+    fits_signed,
+    fits_unsigned,
+    negate,
+    negate_worked,
+    reinterpret_signed,
+    reinterpret_unsigned,
+    sign_extend_value,
+    signed_range,
+    unsigned_range,
+)
+from repro.errors import RangeError
+
+
+class TestRanges:
+    def test_signed_range_8(self):
+        assert signed_range(8) == (-128, 127)
+
+    def test_unsigned_range_8(self):
+        assert unsigned_range(8) == (0, 255)
+
+    def test_fits(self):
+        assert fits_signed(-128, 8) and not fits_signed(-129, 8)
+        assert fits_unsigned(255, 8) and not fits_unsigned(256, 8)
+        assert not fits_unsigned(-1, 8)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_8bit(self):
+        for v in range(-128, 128):
+            assert decode(encode(v, 8)) == v
+
+    def test_minus_one_is_all_ones(self):
+        assert encode(-1, 8).raw == 0xFF
+
+    def test_out_of_range(self):
+        with pytest.raises(RangeError):
+            encode(128, 8)
+
+
+class TestNegate:
+    def test_negate_basic(self):
+        assert negate(encode(5, 8)).to_signed() == -5
+        assert negate(encode(-5, 8)).to_signed() == 5
+
+    def test_negate_zero(self):
+        assert negate(encode(0, 8)).to_signed() == 0
+
+    def test_negate_most_negative_is_itself(self):
+        # the classic edge case the course calls out
+        m = encode(-128, 8)
+        assert negate(m) == m
+
+    def test_negate_worked_shows_flip_add_one(self):
+        work = negate_worked(encode(5, 4))
+        assert work.flipped == ~encode(5, 4)
+        assert work.result.to_signed() == -5
+        assert "+1" in work.render()
+
+
+class TestReinterpret:
+    def test_unsigned_view(self):
+        assert reinterpret_unsigned(encode(-1, 8)) == 255
+
+    def test_signed_view(self):
+        assert reinterpret_signed(255, 8) == -1
+        assert reinterpret_signed(127, 8) == 127
+
+    def test_signed_view_range_checked(self):
+        with pytest.raises(RangeError):
+            reinterpret_signed(256, 8)
+
+    def test_sign_extend_value(self):
+        assert sign_extend_value(0b1011, 4, 8) == 0xFB
+        assert sign_extend_value(0b0011, 4, 8) == 0x03
+        # raw input above from_width is masked first
+        assert sign_extend_value(0xFF, 4, 8) == 0xFF

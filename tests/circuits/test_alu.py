@@ -1,0 +1,81 @@
+"""Unit + property tests for the Lab 3 ALU (gate-level vs reference)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import ALU, ALUOp, alu_reference
+from repro.errors import CircuitError
+
+
+@pytest.fixture(scope="module")
+def alu8():
+    return ALU(width=8)
+
+
+class TestReferenceModel:
+    def test_add(self):
+        v, f = alu_reference(ALUOp.ADD, 200, 100, 8)
+        assert v == 44 and f.carry and not f.overflow
+
+    def test_sub_borrow(self):
+        v, f = alu_reference(ALUOp.SUB, 4, 9, 8)
+        assert v == 251 and f.carry and f.sign
+
+    def test_logic_ops_clear_cf_of(self):
+        for op in (ALUOp.AND, ALUOp.OR, ALUOp.XOR, ALUOp.NOT):
+            _, f = alu_reference(op, 0xF0, 0x0F, 8)
+            assert not f.carry and not f.overflow
+
+    def test_not_ignores_b(self):
+        v, _ = alu_reference(ALUOp.NOT, 0xF0, 0xAB, 8)
+        assert v == 0x0F
+
+    def test_shl_carry_is_msb(self):
+        v, f = alu_reference(ALUOp.SHL, 0x80, 0, 8)
+        assert v == 0 and f.carry and f.zero
+
+    def test_shr_carry_is_lsb(self):
+        v, f = alu_reference(ALUOp.SHR, 0x01, 0, 8)
+        assert v == 0 and f.carry and f.zero
+
+    def test_parity_even(self):
+        _, f = alu_reference(ALUOp.ADD, 1, 2, 8)   # 3 = 0b11 → even parity
+        assert f.parity
+        _, f = alu_reference(ALUOp.ADD, 1, 0, 8)   # 1 → odd
+        assert not f.parity
+
+
+class TestGateLevelMatchesReference:
+    OPS = list(ALUOp)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_spot_values(self, alu8, op):
+        for a, b in [(0, 0), (1, 1), (0xFF, 0x01), (0x80, 0x80),
+                     (0x7F, 0x01), (0x55, 0xAA), (200, 100)]:
+            got_v, got_f = alu8.compute(op, a, b)
+            exp_v, exp_f = alu_reference(op, a, b, 8)
+            assert got_v == exp_v, f"{op.name} value on {a},{b}"
+            assert got_f == exp_f, f"{op.name} flags on {a},{b}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(op=st.sampled_from(list(ALUOp)),
+           a=st.integers(min_value=0, max_value=255),
+           b=st.integers(min_value=0, max_value=255))
+    def test_random_agreement(self, alu8, op, a, b):
+        assert alu8.compute(op, a, b) == (
+            alu_reference(op, a, b, 8)[0], alu_reference(op, a, b, 8)[1])
+
+
+class TestALUStructure:
+    def test_width_check(self):
+        with pytest.raises(CircuitError):
+            ALU(width=1)
+
+    def test_is_built_from_gates(self, alu8):
+        # the whole point of Lab 3: it's gates all the way down
+        assert alu8.gate_count > 100
+
+    def test_narrow_alu(self):
+        alu = ALU(width=4)
+        v, f = alu.compute(ALUOp.ADD, 0xF, 0x1)
+        assert v == 0 and f.carry and f.zero

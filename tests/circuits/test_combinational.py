@@ -1,0 +1,196 @@
+"""Unit tests for adders, muxes, decoders, comparators, shifters."""
+
+import pytest
+
+from repro.circuits import (
+    Bus,
+    Circuit,
+    Decoder,
+    EqualityComparator,
+    FullAdder,
+    HalfAdder,
+    Mux2,
+    MuxN,
+    RippleCarryAdder,
+    ShiftLeftOne,
+    ShiftRightOne,
+    SignExtender,
+    Subtractor,
+    Wire,
+    ZeroDetector,
+)
+from repro.errors import WidthMismatch
+
+
+def settle(component):
+    c = Circuit()
+    c.add(component)
+    c.settle()
+
+
+class TestAdders:
+    def test_half_adder_table(self):
+        for a, b, (s, cy) in [(0, 0, (0, 0)), (0, 1, (1, 0)),
+                              (1, 0, (1, 0)), (1, 1, (0, 1))]:
+            wa, wb, ws, wc = Wire(), Wire(), Wire(), Wire()
+            ha = HalfAdder(wa, wb, ws, wc)
+            wa.set(a)
+            wb.set(b)
+            settle(ha)
+            assert (ws.value, wc.value) == (s, cy)
+
+    def test_full_adder_all_inputs(self):
+        for combo in range(8):
+            a, b, cin = (combo >> 2) & 1, (combo >> 1) & 1, combo & 1
+            wa, wb, wc, ws, wco = Wire(), Wire(), Wire(), Wire(), Wire()
+            fa = FullAdder(wa, wb, wc, ws, wco)
+            wa.set(a)
+            wb.set(b)
+            wc.set(cin)
+            settle(fa)
+            total = a + b + cin
+            assert ws.value == total & 1
+            assert wco.value == total >> 1
+
+    def test_ripple_adder_exhaustive_4bit(self):
+        a, b, s = Bus(4), Bus(4), Bus(4)
+        cin, cout = Wire(), Wire()
+        adder = RippleCarryAdder(a, b, cin, s, cout)
+        for x in range(16):
+            for y in range(16):
+                a.set(x)
+                b.set(y)
+                settle(adder)
+                assert s.value == (x + y) % 16
+                assert cout.value == int(x + y > 15)
+
+    def test_ripple_adder_carry_in(self):
+        a, b, s = Bus(4), Bus(4), Bus(4)
+        cin, cout = Wire(), Wire()
+        adder = RippleCarryAdder(a, b, cin, s, cout)
+        a.set(7)
+        b.set(8)
+        cin.set(1)
+        settle(adder)
+        assert s.value == 0 and cout.value == 1
+
+    def test_width_mismatch(self):
+        with pytest.raises(WidthMismatch):
+            RippleCarryAdder(Bus(4), Bus(5), Wire(), Bus(4), Wire())
+
+    def test_gate_count_grows_with_width(self):
+        small = RippleCarryAdder(Bus(4), Bus(4), Wire(), Bus(4), Wire())
+        big = RippleCarryAdder(Bus(8), Bus(8), Wire(), Bus(8), Wire())
+        assert big.gate_count == 2 * small.gate_count
+        assert small.gate_count == 4 * 5  # 5 gates per full adder
+
+
+class TestSubtractor:
+    def test_exhaustive_4bit(self):
+        a, b, d = Bus(4), Bus(4), Bus(4)
+        cout = Wire()
+        s = Subtractor(a, b, d, cout)
+        for x in range(16):
+            for y in range(16):
+                a.set(x)
+                b.set(y)
+                settle(s)
+                assert d.value == (x - y) % 16
+                # raw carry out == no borrow
+                assert cout.value == int(x >= y)
+
+
+class TestSignExtender:
+    def test_extends_negative(self):
+        i, o = Bus(4), Bus(8)
+        se = SignExtender(i, o)
+        i.set(0b1010)
+        settle(se)
+        assert o.value == 0xFA
+
+    def test_extends_positive(self):
+        i, o = Bus(4), Bus(8)
+        se = SignExtender(i, o)
+        i.set(0b0110)
+        settle(se)
+        assert o.value == 0x06
+
+    def test_narrower_output_rejected(self):
+        with pytest.raises(WidthMismatch):
+            SignExtender(Bus(8), Bus(4))
+
+
+class TestMuxDecoder:
+    def test_mux2(self):
+        a, b, sel, out = Wire(), Wire(), Wire(), Wire()
+        m = Mux2(a, b, sel, out)
+        a.set(1)
+        b.set(0)
+        sel.set(0)
+        settle(m)
+        assert out.value == 1
+        sel.set(1)
+        settle(m)
+        assert out.value == 0
+
+    def test_decoder_one_hot(self):
+        sel = Bus(2)
+        outs = [Wire(f"o{i}") for i in range(4)]
+        d = Decoder(sel, outs)
+        for code in range(4):
+            sel.set(code)
+            settle(d)
+            assert [w.value for w in outs] == [int(i == code) for i in range(4)]
+
+    def test_decoder_output_count_checked(self):
+        with pytest.raises(WidthMismatch):
+            Decoder(Bus(2), [Wire(), Wire()])
+
+    def test_mux8(self):
+        ins = [Wire(f"i{k}") for k in range(8)]
+        sel = Bus(3)
+        out = Wire()
+        m = MuxN(ins, sel, out)
+        ins[5].set(1)
+        for code in range(8):
+            sel.set(code)
+            settle(m)
+            assert out.value == int(code == 5)
+
+
+class TestComparatorsShifters:
+    def test_equality(self):
+        a, b, out = Bus(4), Bus(4), Wire()
+        eq = EqualityComparator(a, b, out)
+        a.set(9)
+        b.set(9)
+        settle(eq)
+        assert out.value == 1
+        b.set(8)
+        settle(eq)
+        assert out.value == 0
+
+    def test_zero_detector(self):
+        v, out = Bus(4), Wire()
+        z = ZeroDetector(v, out)
+        settle(z)
+        assert out.value == 1
+        v.set(1)
+        settle(z)
+        assert out.value == 0
+
+    def test_shift_left(self):
+        i, o, spill = Bus(4), Bus(4), Wire()
+        sh = ShiftLeftOne(i, o, spill)
+        i.set(0b1001)
+        settle(sh)
+        assert o.value == 0b0010
+        assert spill.value == 1
+
+    def test_shift_right(self):
+        i, o, spill = Bus(4), Bus(4), Wire()
+        sh = ShiftRightOne(i, o, spill)
+        i.set(0b1001)
+        settle(sh)
+        assert o.value == 0b0100
+        assert spill.value == 1

@@ -1,0 +1,173 @@
+"""Unit tests for the SimpleCPU, its ISA coding, and the assembler."""
+
+import pytest
+
+from repro.circuits import Instruction, Op, SimpleCPU, Stage, assemble
+from repro.circuits.regfile import RegisterFile
+from repro.errors import CircuitError, IllegalInstruction, MachineFault
+
+
+class TestRegisterFile:
+    def test_read_after_write_needs_edge(self):
+        rf = RegisterFile(8, 16)
+        rf.write(3, 42)
+        assert rf.read(3) == 0
+        rf.clock_edge()
+        assert rf.read(3) == 42
+
+    def test_masking_to_width(self):
+        rf = RegisterFile(4, 8)
+        rf.write(0, 0x1FF)
+        rf.clock_edge()
+        assert rf.read(0) == 0xFF
+
+    def test_bounds(self):
+        rf = RegisterFile(4, 8)
+        with pytest.raises(CircuitError):
+            rf.read(4)
+        with pytest.raises(CircuitError):
+            rf.write(-1, 0)
+
+    def test_bad_geometry(self):
+        with pytest.raises(CircuitError):
+            RegisterFile(0, 8)
+
+
+class TestInstructionCoding:
+    def test_roundtrip_r_format(self):
+        ins = Instruction(Op.ADD, rd=1, rs=2, rt=3)
+        assert Instruction.decode(ins.encode()) == ins
+
+    def test_roundtrip_loadi_negative(self):
+        ins = Instruction(Op.LOADI, rd=5, imm=-7)
+        assert Instruction.decode(ins.encode()) == ins
+
+    def test_roundtrip_memory_ops(self):
+        for op in (Op.LOAD, Op.STORE):
+            ins = Instruction(op, rd=2, rs=3, imm=5)
+            assert Instruction.decode(ins.encode()) == ins
+
+    def test_roundtrip_jump_branch(self):
+        assert Instruction.decode(Instruction(Op.JMP, imm=33).encode()).imm == 33
+        ins = Instruction(Op.BEQZ, rs=4, imm=-2)
+        assert Instruction.decode(ins.encode()) == ins
+
+    def test_decode_rejects_wide_word(self):
+        with pytest.raises(IllegalInstruction):
+            Instruction.decode(1 << 16)
+
+    def test_str_forms(self):
+        assert str(Instruction(Op.ADD, rd=1, rs=2, rt=3)) == "add r1, r2, r3"
+        assert str(Instruction(Op.LOADI, rd=0, imm=-3)) == "loadi r0, -3"
+        assert str(Instruction(Op.HALT)) == "halt"
+
+
+class TestAssembler:
+    def test_assemble_and_run_sum(self):
+        prog = assemble([
+            "loadi r1, 10",
+            "loadi r2, 20",
+            "add r3, r1, r2",
+            "halt",
+        ])
+        cpu = SimpleCPU(prog)
+        cpu.run()
+        assert cpu.regs.read(3) == 30
+
+    def test_comments_and_blanks_skipped(self):
+        prog = assemble(["# setup", "", "loadi r0, 1  # one", "halt"])
+        assert len(prog) == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IllegalInstruction):
+            assemble(["frobnicate r1"])
+
+    def test_bad_register(self):
+        with pytest.raises(IllegalInstruction):
+            assemble(["loadi r9, 1"])
+
+    def test_memory_syntax(self):
+        prog = assemble(["loadi r1, 20", "store [r1+2], r1",
+                         "load r2, [r1+2]", "halt"])
+        cpu = SimpleCPU(prog)
+        cpu.run()
+        assert cpu.regs.read(2) == 20
+        assert cpu.memory[22] == 20
+
+    def test_immediate_range_enforced(self):
+        with pytest.raises(IllegalInstruction):
+            assemble(["loadi r1, 50"])
+        with pytest.raises(IllegalInstruction):
+            assemble(["jmp 99"])
+        with pytest.raises(IllegalInstruction):
+            assemble(["load r1, [r2+9]"])
+
+
+class TestExecution:
+    def test_stages_cycle_in_order(self):
+        cpu = SimpleCPU(assemble(["loadi r0, 1", "halt"]))
+        ran = [cpu.tick() for _ in range(4)]
+        assert ran == [Stage.FETCH, Stage.DECODE, Stage.EXECUTE, Stage.STORE]
+
+    def test_cpi_is_four(self):
+        cpu = SimpleCPU(assemble(["loadi r0, 1", "loadi r1, 2", "halt"]))
+        cpu.run()
+        assert cpu.cpi == pytest.approx(4.0, abs=0.5)
+
+    def test_branch_loop_countdown(self):
+        # r0 = 3; loop: r0 -= 1; if r0 != 0 goto loop; halt
+        prog = assemble([
+            "loadi r0, 3",
+            "loadi r1, 1",
+            "sub r0, r0, r1",    # addr 2
+            "beqz r0, 1",        # skip the jmp when r0 == 0
+            "jmp 2",
+            "halt",
+        ])
+        cpu = SimpleCPU(prog)
+        cpu.run()
+        assert cpu.regs.read(0) == 0
+        assert cpu.halted
+
+    def test_mov_not_shift(self):
+        prog = assemble([
+            "loadi r1, 5",
+            "mov r2, r1",
+            "not r3, r1",
+            "shl r4, r1",
+            "shr r5, r1",
+            "halt",
+        ])
+        cpu = SimpleCPU(prog)
+        cpu.run()
+        assert cpu.regs.read(2) == 5
+        assert cpu.regs.read(3) == 0xFFFF ^ 5
+        assert cpu.regs.read(4) == 10
+        assert cpu.regs.read(5) == 2
+
+    def test_zero_flag_tracked(self):
+        cpu = SimpleCPU(assemble(["loadi r0, 1", "sub r1, r0, r0", "halt"]))
+        cpu.run()
+        assert cpu.flags_zero
+
+    def test_runaway_guard(self):
+        cpu = SimpleCPU(assemble(["jmp 0"]))
+        with pytest.raises(MachineFault):
+            cpu.run(max_instructions=50)
+
+    def test_memory_bounds_fault(self):
+        cpu = SimpleCPU(assemble(["loadi r1, 30", "shl r1, r1",
+                                  "shl r1, r1", "shl r1, r1",
+                                  "shl r1, r1", "load r2, [r1]", "halt"]),
+                        mem_words=64)
+        with pytest.raises(MachineFault):
+            cpu.run()
+
+    def test_program_too_big(self):
+        with pytest.raises(MachineFault):
+            SimpleCPU([0] * 10, mem_words=5)
+
+    def test_step_returns_none_after_halt(self):
+        cpu = SimpleCPU(assemble(["halt"]))
+        cpu.run()
+        assert cpu.step() is None

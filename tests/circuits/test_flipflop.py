@@ -1,0 +1,67 @@
+"""Tests for the gate-level master-slave D flip-flop."""
+
+from repro.circuits import Circuit, MasterSlaveDFlipFlop, Wire
+
+
+def make_ff():
+    d, clk, q, qb = Wire("d"), Wire("clk"), Wire("q"), Wire("qb")
+    c = Circuit()
+    c.add(MasterSlaveDFlipFlop(d, clk, q, qb))
+    # initialise to a known 0 state: clock in a 0
+    d.set(0)
+    clk.set(0)
+    c.settle()
+    clk.set(1)
+    c.settle()
+    clk.set(0)
+    c.settle()
+    return c, d, clk, q, qb
+
+
+class TestEdgeTriggering:
+    def test_captures_on_rising_edge(self):
+        c, d, clk, q, qb = make_ff()
+        d.set(1)
+        c.settle()
+        assert q.value == 0       # clock low: slave holds
+        clk.set(1)                # rising edge
+        c.settle()
+        assert q.value == 1
+        assert qb.value == 0
+
+    def test_ignores_d_while_clock_high(self):
+        c, d, clk, q, qb = make_ff()
+        d.set(1)
+        c.settle()                # master (transparent, clk low) sees 1
+        clk.set(1)
+        c.settle()
+        assert q.value == 1
+        d.set(0)                  # change D mid-high: master is opaque
+        c.settle()
+        assert q.value == 1
+
+    def test_holds_through_full_cycle(self):
+        c, d, clk, q, qb = make_ff()
+        d.set(1)
+        c.settle()                # master captures while clk low
+        clk.set(1)
+        c.settle()
+        clk.set(0)
+        c.settle()
+        d.set(0)                  # master follows, slave keeps old value
+        c.settle()
+        assert q.value == 1
+        clk.set(1)                # next rising edge: now it captures 0
+        c.settle()
+        assert q.value == 0
+
+    def test_outputs_complementary(self):
+        c, d, clk, q, qb = make_ff()
+        for val in (1, 0, 1):
+            clk.set(0)
+            c.settle()
+            d.set(val)
+            c.settle()
+            clk.set(1)
+            c.settle()
+            assert q.value == val and qb.value == 1 - val

@@ -1,0 +1,130 @@
+"""Unit tests for wires, buses, and basic gates."""
+
+import pytest
+
+from repro.binary import BitVector
+from repro.circuits import (
+    And, Buffer, Bus, Circuit, Nand, Nor, Not, Or, Wire, Xnor, Xor,
+    truth_table,
+)
+from repro.errors import CircuitError
+
+
+class TestWire:
+    def test_starts_low(self):
+        assert Wire().value == 0
+
+    def test_set_reports_change(self):
+        w = Wire("w")
+        assert w.set(1) is True
+        assert w.set(1) is False
+        assert w.set(0) is True
+
+    def test_rejects_non_bit(self):
+        with pytest.raises(CircuitError):
+            Wire().set(2)
+
+
+class TestBus:
+    def test_value_lsb_first(self):
+        b = Bus(4, "b")
+        b[1].set(1)
+        assert b.value == 2
+
+    def test_set_and_read(self):
+        b = Bus(8)
+        b.set(0xA5)
+        assert b.value == 0xA5
+        assert [w.value for w in b] == [1, 0, 1, 0, 0, 1, 0, 1]
+
+    def test_set_overflow_rejected(self):
+        with pytest.raises(CircuitError):
+            Bus(4).set(16)
+
+    def test_bits_roundtrip(self):
+        b = Bus(6)
+        b.set_bits(BitVector(0b101101, 6))
+        assert b.to_bits() == BitVector(0b101101, 6)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(CircuitError):
+            Bus(4).set_bits(BitVector(0, 5))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(CircuitError):
+            Bus(0)
+
+
+def _gate_table(cls, n=2):
+    return truth_table(lambda ins, out: cls(ins, out), n)
+
+
+class TestGateLogic:
+    def test_and(self):
+        assert _gate_table(And) == [((0, 0), 0), ((0, 1), 0),
+                                    ((1, 0), 0), ((1, 1), 1)]
+
+    def test_or(self):
+        assert _gate_table(Or) == [((0, 0), 0), ((0, 1), 1),
+                                   ((1, 0), 1), ((1, 1), 1)]
+
+    def test_nand_is_not_and(self):
+        assert [v for _, v in _gate_table(Nand)] == [1, 1, 1, 0]
+
+    def test_nor(self):
+        assert [v for _, v in _gate_table(Nor)] == [1, 0, 0, 0]
+
+    def test_xor(self):
+        assert [v for _, v in _gate_table(Xor)] == [0, 1, 1, 0]
+
+    def test_xnor(self):
+        assert [v for _, v in _gate_table(Xnor)] == [1, 0, 0, 1]
+
+    def test_not(self):
+        rows = truth_table(lambda ins, out: Not(ins[0], out), 1)
+        assert rows == [((0,), 1), ((1,), 0)]
+
+    def test_buffer(self):
+        rows = truth_table(lambda ins, out: Buffer(ins[0], out), 1)
+        assert rows == [((0,), 0), ((1,), 1)]
+
+    def test_three_input_and(self):
+        rows = _gate_table(And, 3)
+        assert sum(v for _, v in rows) == 1
+        assert rows[-1] == ((1, 1, 1), 1)
+
+    def test_three_input_xor_is_parity(self):
+        for bits, v in _gate_table(Xor, 3):
+            assert v == sum(bits) % 2
+
+    def test_min_inputs_enforced(self):
+        with pytest.raises(CircuitError):
+            And([Wire()], Wire())
+
+
+class TestCircuitSettle:
+    def test_chain_settles(self):
+        c = Circuit("chain")
+        a, b, mid, out = Wire("a"), Wire("b"), Wire("mid"), Wire("out")
+        c.add(And([a, b], mid))
+        c.add(Not(mid, out))
+        a.set(1)
+        b.set(1)
+        c.settle()
+        assert out.value == 0
+
+    def test_reverse_insertion_order_still_settles(self):
+        c = Circuit("rev")
+        a, mid, out = Wire("a"), Wire("mid"), Wire("out")
+        c.add(Not(mid, out))      # consumer added first
+        c.add(Buffer(a, mid))
+        a.set(1)
+        c.settle()
+        assert out.value == 0
+
+    def test_oscillator_detected(self):
+        c = Circuit("osc")
+        w = Wire("w")
+        c.add(Not(w, w))  # inverter feeding itself
+        with pytest.raises(CircuitError, match="settle"):
+            c.settle()

@@ -1,0 +1,106 @@
+"""Unit tests for the pipelining timing models (bench E7's engine)."""
+
+import pytest
+
+from repro.circuits import (
+    Instruction, Op, PipelineConfig, compare, simulate_multicycle,
+    simulate_pipeline,
+)
+from repro.circuits.pipeline import (
+    is_branch, is_load, register_written, registers_read,
+)
+
+
+def indep(n):
+    """n independent ALU instructions (different registers)."""
+    return [Instruction(Op.ADD, rd=i % 8, rs=i % 8, rt=i % 8)
+            for i in range(n)]
+
+
+class TestHazardMetadata:
+    def test_reads(self):
+        assert registers_read(Instruction(Op.ADD, rd=1, rs=2, rt=3)) == {2, 3}
+        assert registers_read(Instruction(Op.LOADI, rd=1, imm=5)) == set()
+        assert registers_read(Instruction(Op.STORE, rd=1, rs=2)) == {1, 2}
+
+    def test_writes(self):
+        assert register_written(Instruction(Op.ADD, rd=4, rs=0, rt=0)) == 4
+        assert register_written(Instruction(Op.STORE, rd=4, rs=0)) is None
+        assert register_written(Instruction(Op.BEQZ, rs=1)) is None
+
+    def test_classifiers(self):
+        assert is_branch(Instruction(Op.JMP))
+        assert is_load(Instruction(Op.LOAD, rd=1, rs=2))
+        assert not is_load(Instruction(Op.STORE, rd=1, rs=2))
+
+
+class TestMulticycle:
+    def test_cycles_scale_linearly(self):
+        assert simulate_multicycle(indep(10)).cycles == 40
+        assert simulate_multicycle(indep(10), 5).cycles == 50
+
+    def test_bad_cpi(self):
+        with pytest.raises(ValueError):
+            simulate_multicycle([], 0)
+
+
+class TestPipeline:
+    def test_ideal_ipc_approaches_one(self):
+        r = simulate_pipeline(indep(1000))
+        assert r.stalls == 0
+        assert r.ipc == pytest.approx(1.0, rel=0.01)
+
+    def test_empty_stream(self):
+        r = simulate_pipeline([])
+        assert r.cycles == 0 and r.ipc == 0.0
+
+    def test_load_use_stalls_once_with_forwarding(self):
+        stream = [
+            Instruction(Op.LOAD, rd=1, rs=0),
+            Instruction(Op.ADD, rd=2, rs=1, rt=1),  # needs r1 right away
+        ]
+        r = simulate_pipeline(stream)
+        assert r.stalls == 1
+
+    def test_alu_dependency_free_with_forwarding(self):
+        stream = [
+            Instruction(Op.ADD, rd=1, rs=0, rt=0),
+            Instruction(Op.ADD, rd=2, rs=1, rt=1),
+        ]
+        assert simulate_pipeline(stream).stalls == 0
+
+    def test_no_forwarding_costs_more(self):
+        stream = [
+            Instruction(Op.ADD, rd=1, rs=0, rt=0),
+            Instruction(Op.ADD, rd=2, rs=1, rt=1),
+        ]
+        no_fwd = simulate_pipeline(stream, PipelineConfig(forwarding=False))
+        fwd = simulate_pipeline(stream)
+        assert no_fwd.stalls > fwd.stalls
+
+    def test_branch_penalty_counted(self):
+        stream = indep(4) + [Instruction(Op.JMP, imm=0)] + indep(4)
+        cfg = PipelineConfig(branch_penalty=3)
+        r = simulate_pipeline(stream, cfg)
+        base = simulate_pipeline(indep(9))
+        assert r.branch_flushes == 1
+        assert r.cycles == base.cycles + 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(stages=1)
+        with pytest.raises(ValueError):
+            PipelineConfig(branch_penalty=-1)
+
+
+class TestComparison:
+    def test_pipeline_wins_on_long_streams(self):
+        cmp = compare(indep(500))
+        assert cmp.speedup > 3.0  # approaches 4x for CPI=4 baseline
+        assert cmp.pipelined.ipc > cmp.multicycle.ipc
+
+    def test_rows_shape(self):
+        rows = compare(indep(10)).rows()
+        assert len(rows) == 2
+        assert rows[0][0].startswith("multicycle")
+        assert rows[1][0].startswith("pipeline")

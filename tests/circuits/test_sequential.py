@@ -1,0 +1,149 @@
+"""Unit tests for latches, registers, and counters."""
+
+import pytest
+
+from repro.circuits import (
+    Bus, Circuit, ClockDivider, Counter, GatedDLatch, Register, RSLatch, Wire,
+)
+from repro.errors import CircuitError
+
+
+class TestRSLatch:
+    def _latch(self):
+        s, r, q, qb = Wire("s"), Wire("r"), Wire("q"), Wire("qb")
+        c = Circuit()
+        latch = RSLatch(s, r, q, qb)
+        c.add(latch)
+        # establish a known reset state first
+        r.set(1)
+        c.settle()
+        r.set(0)
+        c.settle()
+        return c, latch, s, r, q, qb
+
+    def test_set_then_hold(self):
+        c, latch, s, r, q, qb = self._latch()
+        s.set(1)
+        c.settle()
+        assert (q.value, qb.value) == (1, 0)
+        s.set(0)
+        c.settle()
+        assert (q.value, qb.value) == (1, 0)  # holds
+
+    def test_reset(self):
+        c, latch, s, r, q, qb = self._latch()
+        s.set(1)
+        c.settle()
+        s.set(0)
+        r.set(1)
+        c.settle()
+        assert (q.value, qb.value) == (0, 1)
+
+    def test_forbidden_input_detected(self):
+        c, latch, s, r, q, qb = self._latch()
+        s.set(1)
+        r.set(1)
+        c.settle()
+        assert latch.forbidden()
+        assert q.value == 0 and qb.value == 0  # both driven low
+
+
+class TestGatedDLatch:
+    def test_transparent_when_enabled(self):
+        d, en, q, qb = Wire("d"), Wire("en"), Wire("q"), Wire("qb")
+        c = Circuit()
+        c.add(GatedDLatch(d, en, q, qb))
+        en.set(1)
+        d.set(1)
+        c.settle()
+        assert q.value == 1
+        d.set(0)
+        c.settle()
+        assert q.value == 0
+
+    def test_holds_when_disabled(self):
+        d, en, q, qb = Wire("d"), Wire("en"), Wire("q"), Wire("qb")
+        c = Circuit()
+        c.add(GatedDLatch(d, en, q, qb))
+        en.set(1)
+        d.set(1)
+        c.settle()
+        en.set(0)
+        d.set(0)
+        c.settle()
+        assert q.value == 1  # value latched
+        assert qb.value == 0
+
+
+class TestRegister:
+    def test_captures_on_edge_only(self):
+        d, q = Bus(8), Bus(8)
+        c = Circuit()
+        c.add(Register(d, q))
+        d.set(0x42)
+        c.settle()
+        assert q.value == 0  # not yet clocked
+        c.tick()
+        assert q.value == 0x42
+
+    def test_write_enable(self):
+        d, q, we = Bus(8), Bus(8), Wire("we")
+        c = Circuit()
+        c.add(Register(d, q, write_enable=we))
+        d.set(0x11)
+        c.tick()
+        assert q.value == 0  # we low: hold
+        we.set(1)
+        c.tick()
+        assert q.value == 0x11
+
+    def test_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            Register(Bus(8), Bus(4))
+
+
+class TestCounter:
+    def test_counts_up(self):
+        q = Bus(4)
+        c = Circuit()
+        c.add(Counter(q))
+        for expected in range(1, 6):
+            c.tick()
+            assert q.value == expected
+
+    def test_wraps(self):
+        q = Bus(2)
+        c = Circuit()
+        c.add(Counter(q))
+        c.run(4)
+        assert q.value == 0
+
+    def test_load_overrides_increment(self):
+        q, d, load = Bus(4), Bus(4), Wire("load")
+        c = Circuit()
+        c.add(Counter(q, d, load))
+        c.tick()
+        assert q.value == 1
+        d.set(9)
+        load.set(1)
+        c.tick()
+        assert q.value == 9
+        load.set(0)
+        c.tick()
+        assert q.value == 10
+
+
+class TestClockDivider:
+    def test_toggles_each_period(self):
+        out = Wire("clk")
+        c = Circuit()
+        c.add(ClockDivider(out, period=2))
+        levels = []
+        for _ in range(8):
+            c.tick()
+            levels.append(out.value)
+        assert levels == [0, 1, 1, 0, 0, 1, 1, 0]
+
+    def test_bad_period(self):
+        with pytest.raises(CircuitError):
+            ClockDivider(Wire(), period=0)

@@ -1,0 +1,118 @@
+"""Unit tests for the address space model."""
+
+import pytest
+
+from repro.clib import (
+    AddressSpace, HEAP_BASE, MemoryRegion, STACK_TOP, TEXT_BASE,
+)
+from repro.errors import CMemoryError, SegmentationFault
+
+
+@pytest.fixture
+def space():
+    return AddressSpace.standard()
+
+
+class TestLayout:
+    def test_standard_regions(self, space):
+        names = [r.name for r in space.layout()]
+        assert names == ["text", "data", "heap", "stack"]
+
+    def test_text_below_stack(self, space):
+        assert space.region_named("text").start < space.region_named(
+            "stack").start
+
+    def test_overlap_rejected(self):
+        s = AddressSpace()
+        s.map_region(MemoryRegion("a", 0x1000, 0x1000))
+        with pytest.raises(CMemoryError):
+            s.map_region(MemoryRegion("b", 0x1800, 0x1000))
+
+    def test_bad_region_geometry(self):
+        with pytest.raises(CMemoryError):
+            MemoryRegion("x", 0, 0)
+        with pytest.raises(CMemoryError):
+            MemoryRegion("x", 2**32 - 4, 8)
+
+    def test_region_of_address(self, space):
+        assert space.region_of_address(HEAP_BASE) == "heap"
+        assert space.region_of_address(TEXT_BASE) == "text"
+        assert space.region_of_address(0x1000) is None
+
+    def test_region_named_missing(self, space):
+        with pytest.raises(CMemoryError):
+            space.region_named("bss")
+
+
+class TestAccess:
+    def test_write_read_roundtrip(self, space):
+        space.write(HEAP_BASE, b"hello")
+        assert space.read(HEAP_BASE, 5) == b"hello"
+
+    def test_unmapped_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.read(0x10, 1)
+        with pytest.raises(SegmentationFault):
+            space.write(0x10, b"x")
+
+    def test_fault_reports_address(self, space):
+        with pytest.raises(SegmentationFault) as e:
+            space.read(0x10, 1)
+        assert e.value.address == 0x10
+
+    def test_straddling_region_end_faults(self, space):
+        heap = space.region_named("heap")
+        with pytest.raises(SegmentationFault):
+            space.read(heap.end - 2, 4)
+
+    def test_text_not_writable(self, space):
+        with pytest.raises(SegmentationFault):
+            space.write(TEXT_BASE, b"\x90")
+
+    def test_heap_not_executable(self, space):
+        with pytest.raises(SegmentationFault):
+            space.fetch(HEAP_BASE, 1)
+
+    def test_text_fetchable(self, space):
+        assert space.fetch(TEXT_BASE, 4) == b"\x00" * 4
+
+
+class TestTypedAccess:
+    def test_uint_little_endian(self, space):
+        space.store_uint(HEAP_BASE, 0x01020304, 4)
+        assert space.read(HEAP_BASE, 4) == b"\x04\x03\x02\x01"
+        assert space.load_uint(HEAP_BASE, 4) == 0x01020304
+
+    def test_int_sign(self, space):
+        space.store_int(HEAP_BASE, -1, 4)
+        assert space.load_int(HEAP_BASE, 4) == -1
+        assert space.load_uint(HEAP_BASE, 4) == 0xFFFFFFFF
+
+    def test_cstring_roundtrip(self, space):
+        space.store_cstring(HEAP_BASE, "systems")
+        assert space.load_cstring(HEAP_BASE) == b"systems"
+
+    def test_unterminated_cstring_detected(self, space):
+        space.write(HEAP_BASE, b"x" * 64)
+        with pytest.raises(CMemoryError):
+            space.load_cstring(HEAP_BASE, limit=32)
+
+
+class TestTrace:
+    def test_trace_records_accesses(self):
+        s = AddressSpace.standard(trace=True)
+        s.write(HEAP_BASE, b"ab")
+        s.read(HEAP_BASE, 1)
+        kinds = [(a.kind, a.size) for a in s.trace]
+        assert kinds == [("store", 2), ("load", 1)]
+
+    def test_trace_disabled_by_default(self):
+        s = AddressSpace.standard()
+        s.write(HEAP_BASE, b"ab")
+        assert s.trace == []
+
+    def test_clear_trace(self):
+        s = AddressSpace.standard(trace=True)
+        s.write(HEAP_BASE, b"ab")
+        s.clear_trace()
+        assert s.trace == []

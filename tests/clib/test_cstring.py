@@ -1,0 +1,158 @@
+"""Unit tests for the Lab 7 C string library."""
+
+import pytest
+
+from repro.clib import AddressSpace, Heap, Memcheck, cstring
+
+
+@pytest.fixture
+def env():
+    space = AddressSpace.standard(heap_size=4096)
+    return space, Heap(space)
+
+
+def put(space, heap, text):
+    addr = heap.malloc(len(text) + 1)
+    space.store_cstring(addr, text)
+    return addr
+
+
+class TestStrlenStrcpy:
+    def test_strlen(self, env):
+        space, heap = env
+        s = put(space, heap, "hello")
+        assert cstring.strlen(space, s) == 5
+
+    def test_strlen_empty(self, env):
+        space, heap = env
+        assert cstring.strlen(space, put(space, heap, "")) == 0
+
+    def test_strcpy_copies_terminator(self, env):
+        space, heap = env
+        src = put(space, heap, "abc")
+        dst = heap.malloc(8)
+        assert cstring.strcpy(space, dst, src) == dst
+        assert space.load_cstring(dst) == b"abc"
+
+    def test_strncpy_pads_with_zeros(self, env):
+        space, heap = env
+        src = put(space, heap, "ab")
+        dst = heap.malloc(6)
+        space.write(dst, b"\xff" * 6)
+        cstring.strncpy(space, dst, src, 6)
+        assert space.read(dst, 6) == b"ab\x00\x00\x00\x00"
+
+    def test_strncpy_may_not_terminate(self, env):
+        space, heap = env
+        src = put(space, heap, "abcdef")
+        dst = heap.malloc(8)
+        cstring.strncpy(space, dst, src, 3)
+        assert space.read(dst, 3) == b"abc"  # no NUL within the 3 bytes
+
+
+class TestStrcat:
+    def test_strcat(self, env):
+        space, heap = env
+        dst = heap.malloc(16)
+        space.store_cstring(dst, "foo")
+        src = put(space, heap, "bar")
+        cstring.strcat(space, dst, src)
+        assert space.load_cstring(dst) == b"foobar"
+
+    def test_strncat_always_terminates(self, env):
+        space, heap = env
+        dst = heap.malloc(16)
+        space.store_cstring(dst, "ab")
+        src = put(space, heap, "cdef")
+        cstring.strncat(space, dst, src, 2)
+        assert space.load_cstring(dst) == b"abcd"
+
+
+class TestStrcmp:
+    def test_equal(self, env):
+        space, heap = env
+        assert cstring.strcmp(space, put(space, heap, "same"),
+                              put(space, heap, "same")) == 0
+
+    def test_ordering(self, env):
+        space, heap = env
+        a = put(space, heap, "apple")
+        b = put(space, heap, "banana")
+        assert cstring.strcmp(space, a, b) < 0
+        assert cstring.strcmp(space, b, a) > 0
+
+    def test_prefix_is_less(self, env):
+        space, heap = env
+        assert cstring.strcmp(space, put(space, heap, "ab"),
+                              put(space, heap, "abc")) < 0
+
+    def test_strncmp_stops_at_n(self, env):
+        space, heap = env
+        a = put(space, heap, "abcX")
+        b = put(space, heap, "abcY")
+        assert cstring.strncmp(space, a, b, 3) == 0
+        assert cstring.strncmp(space, a, b, 4) < 0
+
+
+class TestSearch:
+    def test_strchr_found(self, env):
+        space, heap = env
+        s = put(space, heap, "systems")
+        assert cstring.strchr(space, s, ord("t")) == s + 3
+
+    def test_strchr_terminator(self, env):
+        space, heap = env
+        s = put(space, heap, "abc")
+        assert cstring.strchr(space, s, 0) == s + 3
+
+    def test_strchr_missing_is_null(self, env):
+        space, heap = env
+        assert cstring.strchr(space, put(space, heap, "abc"), ord("z")) == 0
+
+    def test_strstr_found(self, env):
+        space, heap = env
+        h = put(space, heap, "parallel computing")
+        n = put(space, heap, "comp")
+        assert cstring.strstr(space, h, n) == h + 9
+
+    def test_strstr_empty_needle(self, env):
+        space, heap = env
+        h = put(space, heap, "xyz")
+        assert cstring.strstr(space, h, put(space, heap, "")) == h
+
+    def test_strstr_missing(self, env):
+        space, heap = env
+        assert cstring.strstr(space, put(space, heap, "short"),
+                              put(space, heap, "shortest")) == 0
+
+
+class TestMemOps:
+    def test_memset(self, env):
+        space, heap = env
+        a = heap.malloc(8)
+        cstring.memset(space, a, 0xAB, 8)
+        assert space.read(a, 8) == b"\xab" * 8
+
+    def test_memcpy(self, env):
+        space, heap = env
+        a = put(space, heap, "1234567")
+        b = heap.malloc(8)
+        cstring.memcpy(space, b, a, 8)
+        assert space.load_cstring(b) == b"1234567"
+
+    def test_strdup(self, env):
+        space, heap = env
+        s = put(space, heap, "dup me")
+        d = cstring.strdup(space, heap, s)
+        assert d != s and space.load_cstring(d) == b"dup me"
+
+
+class TestValgrindIntegration:
+    def test_overrunning_strcpy_is_flagged(self):
+        space = AddressSpace.standard(heap_size=4096)
+        mc = Memcheck(space)
+        src = mc.malloc(16)
+        space.store_cstring(src, "much too long")
+        dst = mc.malloc(4)
+        cstring.strcpy(space, dst, src)  # classic buffer overflow
+        assert any(f.kind == "invalid-write" for f in mc.findings)

@@ -1,0 +1,125 @@
+"""Unit tests for the malloc/free heap."""
+
+import pytest
+
+from repro.clib import ALIGNMENT, AddressSpace, Heap
+from repro.errors import HeapError
+
+
+@pytest.fixture
+def heap():
+    return Heap(AddressSpace.standard(heap_size=4096))
+
+
+class TestMalloc:
+    def test_returns_heap_address(self, heap):
+        addr = heap.malloc(16)
+        assert heap.space.region_of_address(addr) == "heap"
+
+    def test_distinct_blocks_disjoint(self, heap):
+        a = heap.malloc(10)
+        b = heap.malloc(10)
+        assert abs(a - b) >= 10
+
+    def test_alignment(self, heap):
+        for size in (1, 3, 7, 13):
+            assert heap.malloc(size) % ALIGNMENT == 0
+
+    def test_zero_size_rejected(self, heap):
+        with pytest.raises(HeapError):
+            heap.malloc(0)
+
+    def test_oom_returns_null(self, heap):
+        assert heap.malloc(8192) == 0
+
+    def test_exhaustion_then_reuse(self, heap):
+        a = heap.malloc(2048)
+        assert heap.malloc(4000) == 0
+        heap.free(a)
+        assert heap.malloc(4000) != 0
+
+    def test_calloc_zero_fills(self, heap):
+        a = heap.malloc(16)
+        heap.space.write(a, b"\xff" * 16)
+        heap.free(a)
+        b = heap.calloc(4, 4)
+        assert heap.space.read(b, 16) == bytes(16)
+
+
+class TestFree:
+    def test_free_null_is_noop(self, heap):
+        heap.free(0)
+
+    def test_double_free_detected(self, heap):
+        a = heap.malloc(8)
+        heap.free(a)
+        with pytest.raises(HeapError, match="double free"):
+            heap.free(a)
+
+    def test_free_of_wild_pointer_detected(self, heap):
+        with pytest.raises(HeapError, match="never returned"):
+            heap.free(heap._base + 24)
+
+    def test_coalescing_allows_big_realloc(self, heap):
+        blocks = [heap.malloc(512) for _ in range(7)]
+        for b in blocks:
+            heap.free(b)
+        assert heap.malloc(3500) != 0
+
+    def test_live_bytes_tracking(self, heap):
+        a = heap.malloc(100)
+        b = heap.malloc(50)
+        assert heap.live_bytes == 150
+        heap.free(a)
+        assert heap.live_bytes == 50
+        assert heap.peak_bytes == 150
+        heap.free(b)
+        assert heap.live_bytes == 0
+
+
+class TestRealloc:
+    def test_grow_preserves_data(self, heap):
+        a = heap.malloc(8)
+        heap.space.write(a, b"12345678")
+        b = heap.realloc(a, 64)
+        assert heap.space.read(b, 8) == b"12345678"
+
+    def test_shrink_truncates(self, heap):
+        a = heap.malloc(8)
+        heap.space.write(a, b"12345678")
+        b = heap.realloc(a, 4)
+        assert heap.space.read(b, 4) == b"1234"
+
+    def test_realloc_null_is_malloc(self, heap):
+        assert heap.realloc(0, 32) != 0
+
+    def test_realloc_freed_pointer_rejected(self, heap):
+        a = heap.malloc(8)
+        heap.free(a)
+        with pytest.raises(HeapError):
+            heap.realloc(a, 16)
+
+
+class TestInspection:
+    def test_owning_block(self, heap):
+        a = heap.malloc(10)
+        assert heap.owning_block(a + 5).address == a
+        assert heap.owning_block(a + 10) is None  # one past the end
+
+    def test_is_live(self, heap):
+        a = heap.malloc(10)
+        assert heap.is_live(a)
+        heap.free(a)
+        assert not heap.is_live(a)
+
+    def test_leak_report_counts(self, heap):
+        heap.malloc(100)
+        heap.malloc(28)
+        report = heap.leak_report()
+        assert "128" in report and "2 blocks" in report
+        assert "2 allocs, 0 frees" in report
+
+    def test_clean_leak_report(self, heap):
+        a = heap.malloc(4)
+        heap.free(a)
+        assert "0 blocks" in heap.leak_report()

@@ -1,0 +1,74 @@
+"""Stateful property tests: allocator invariants under random usage."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.clib import ALIGNMENT, AddressSpace, Heap
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """Drive malloc/free/realloc randomly; check allocator invariants."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.heap = Heap(AddressSpace.standard(heap_size=8192))
+        self.live: dict[int, int] = {}     # address → size
+        self.expected_live_bytes = 0
+
+    @rule(size=st.integers(min_value=1, max_value=512))
+    def malloc(self, size):
+        addr = self.heap.malloc(size)
+        if addr:
+            assert addr not in self.live
+            self.live[addr] = size
+            self.expected_live_bytes += size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_one(self, data):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        self.heap.free(addr)
+        self.expected_live_bytes -= self.live.pop(addr)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data(), new_size=st.integers(min_value=1, max_value=256))
+    def realloc_one(self, data, new_size):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        new_addr = self.heap.realloc(addr, new_size)
+        old_size = self.live.pop(addr)
+        self.expected_live_bytes -= old_size
+        if new_addr:
+            self.live[new_addr] = new_size
+            self.expected_live_bytes += new_size
+
+    @invariant()
+    def blocks_are_aligned(self):
+        for addr in self.live:
+            assert addr % ALIGNMENT == 0
+
+    @invariant()
+    def blocks_do_not_overlap(self):
+        spans = sorted((a, a + s) for a, s in self.live.items())
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    @invariant()
+    def live_byte_accounting_matches(self):
+        assert self.heap.live_bytes == self.expected_live_bytes
+
+    @invariant()
+    def owning_block_agrees(self):
+        for addr, size in self.live.items():
+            block = self.heap.owning_block(addr + size - 1)
+            assert block is not None and block.address == addr
+
+
+TestHeapStateful = HeapMachine.TestCase
+TestHeapStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,98 @@
+"""Unit tests for the Valgrind-style memcheck."""
+
+import pytest
+
+from repro.clib import AddressSpace, Memcheck
+from repro.errors import MemcheckError
+
+
+@pytest.fixture
+def mc():
+    return Memcheck(AddressSpace.standard(heap_size=4096))
+
+
+def kinds(mc):
+    return [f.kind for f in mc.all_findings()]
+
+
+class TestCleanPrograms:
+    def test_correct_usage_is_clean(self, mc):
+        a = mc.malloc(16)
+        mc.space.write(a, b"x" * 16)
+        assert mc.space.read(a, 16) == b"x" * 16
+        mc.free(a)
+        mc.assert_clean()
+
+    def test_calloc_read_is_initialised(self, mc):
+        a = mc.calloc(4, 4)
+        mc.space.read(a, 16)
+        mc.free(a)
+        mc.assert_clean()
+
+    def test_stack_accesses_not_flagged(self, mc):
+        stack = mc.space.region_named("stack")
+        mc.space.write(stack.start, b"hi")
+        mc.space.read(stack.start, 2)
+        mc.assert_clean()
+
+
+class TestFindings:
+    def test_uninitialised_read(self, mc):
+        a = mc.malloc(8)
+        mc.space.read(a, 4)
+        assert "uninitialised-read" in kinds(mc)
+
+    def test_invalid_write_outside_blocks(self, mc):
+        a = mc.malloc(8)
+        mc.free(a)
+        mc.space.write(a, b"z")  # use after free
+        assert "invalid-write" in kinds(mc)
+
+    def test_overflow_write_detected(self, mc):
+        a = mc.malloc(8)
+        mc.space.write(a + 6, b"xyz")  # 3 bytes starting 2 before the end
+        assert "invalid-write" in kinds(mc)
+
+    def test_overflow_read_detected(self, mc):
+        a = mc.malloc(8)
+        mc.space.write(a, b"w" * 8)
+        mc.space.read(a + 6, 4)
+        assert "invalid-read" in kinds(mc)
+
+    def test_double_free_recorded_not_raised(self, mc):
+        a = mc.malloc(8)
+        mc.free(a)
+        mc.free(a)
+        assert "double-free" in kinds(mc)
+
+    def test_invalid_free_recorded(self, mc):
+        mc.free(mc.heap._base + 8)
+        assert "invalid-free" in kinds(mc)
+
+    def test_leak_reported(self, mc):
+        mc.malloc(100)
+        leaks = [f for f in mc.all_findings() if f.kind == "leak"]
+        assert len(leaks) == 1 and leaks[0].size == 100
+
+    def test_assert_clean_raises_with_details(self, mc):
+        mc.malloc(10)
+        with pytest.raises(MemcheckError, match="leak"):
+            mc.assert_clean()
+
+    def test_report_counts(self, mc):
+        a = mc.malloc(8)
+        mc.space.read(a, 1)
+        report = mc.report()
+        assert "uninitialised-read" in report
+        assert "1 allocs" in report
+
+
+class TestShadowLifetimes:
+    def test_reused_block_is_uninitialised_again(self, mc):
+        a = mc.malloc(8)
+        mc.space.write(a, b"y" * 8)
+        mc.free(a)
+        b = mc.malloc(8)
+        assert b == a  # first fit reuses the hole
+        mc.space.read(b, 1)
+        assert "uninitialised-read" in kinds(mc)

@@ -1,0 +1,94 @@
+"""Unit tests for typed pointers and pointer arithmetic."""
+
+import pytest
+
+from repro.binary import CHAR, INT, SHORT
+from repro.clib import AddressSpace, Heap, Pointer, array_fill, array_read, null_pointer
+from repro.errors import SegmentationFault
+
+
+@pytest.fixture
+def space():
+    return AddressSpace.standard()
+
+
+@pytest.fixture
+def heap(space):
+    return Heap(space)
+
+
+class TestDereference:
+    def test_store_load(self, space, heap):
+        p = Pointer(space, INT, heap.malloc(4))
+        p.store(42)
+        assert p.load() == 42
+
+    def test_signed_wrap(self, space, heap):
+        p = Pointer(space, INT, heap.malloc(4))
+        p.store(-1)
+        assert p.load() == -1
+        assert p.cast(CHAR).load() == -1
+
+    def test_null_deref_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            null_pointer(space, INT).load()
+        with pytest.raises(SegmentationFault):
+            null_pointer(space, INT).store(1)
+
+    def test_wild_pointer_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            Pointer(space, INT, 0x20).load()
+
+
+class TestArithmetic:
+    def test_add_scales_by_sizeof(self, space, heap):
+        base = heap.malloc(16)
+        p = Pointer(space, INT, base)
+        assert (p + 1).address == base + 4
+        assert (p + 3).address == base + 12
+
+    def test_char_pointer_steps_by_one(self, space, heap):
+        base = heap.malloc(16)
+        p = Pointer(space, CHAR, base)
+        assert (p + 5).address == base + 5
+
+    def test_difference_in_elements(self, space, heap):
+        base = heap.malloc(16)
+        p = Pointer(space, INT, base)
+        assert (p + 3) - p == 3
+
+    def test_difference_requires_same_type(self, space, heap):
+        base = heap.malloc(16)
+        with pytest.raises(TypeError):
+            Pointer(space, INT, base) - Pointer(space, SHORT, base)
+
+    def test_unaligned_difference_rejected(self, space, heap):
+        base = heap.malloc(16)
+        with pytest.raises(TypeError):
+            Pointer(space, INT, base + 2) - Pointer(space, INT, base)
+
+    def test_sub_int(self, space, heap):
+        base = heap.malloc(16)
+        p = Pointer(space, INT, base + 8)
+        assert (p - 2).address == base
+
+
+class TestArrays:
+    def test_index_is_deref_of_offset(self, space, heap):
+        base = heap.malloc(40)
+        p = Pointer(space, INT, base)
+        array_fill(p, [10, 20, 30])
+        assert p.index(1) == 20
+        assert array_read(p, 3) == [10, 20, 30]
+
+    def test_set_index(self, space, heap):
+        p = Pointer(space, INT, heap.malloc(16))
+        p.set_index(2, 99)
+        assert (p + 2).load() == 99
+
+    def test_cast_reinterprets_bytes(self, space, heap):
+        p = Pointer(space, INT, heap.malloc(4))
+        p.store(0x01020304)
+        cp = p.cast(CHAR)
+        # little-endian: first byte is the low-order one
+        assert [cp.index(i) for i in range(4)] == [4, 3, 2, 1]

@@ -1,0 +1,109 @@
+"""Unit tests for the call-stack model."""
+
+import pytest
+
+from repro.binary import CHAR, INT
+from repro.clib import AddressSpace, CallStack
+from repro.errors import CMemoryError
+
+
+@pytest.fixture
+def stack():
+    return CallStack(AddressSpace.standard())
+
+
+class TestFrames:
+    def test_stack_grows_down(self, stack):
+        top_before = stack.sp
+        stack.push_frame("main")
+        assert stack.sp < top_before
+
+    def test_nested_frames(self, stack):
+        stack.push_frame("main")
+        stack.push_frame("helper", return_address=0x8048100)
+        assert stack.depth == 2
+        assert stack.frames[1].return_address == 0x8048100
+
+    def test_pop_restores_sp(self, stack):
+        stack.push_frame("main")
+        sp_main = stack.sp
+        stack.push_frame("f")
+        stack.declare_local("x")
+        stack.pop_frame()
+        assert stack.sp == sp_main
+        assert stack.depth == 1
+
+    def test_pop_empty_rejected(self, stack):
+        with pytest.raises(CMemoryError):
+            stack.pop_frame()
+
+    def test_overflow_detected(self):
+        st = CallStack(AddressSpace.standard(stack_size=256))
+        with pytest.raises(CMemoryError, match="overflow"):
+            for _ in range(100):
+                st.push_frame("recurse")
+
+
+class TestLocals:
+    def test_declare_and_use(self, stack):
+        stack.push_frame("main")
+        stack.declare_local("x", INT)
+        stack.set_local("x", -7)
+        assert stack.get_local("x") == -7
+
+    def test_locals_below_frame_base(self, stack):
+        stack.push_frame("main")
+        loc = stack.declare_local("x")
+        assert loc.address < stack.frames[0].base
+
+    def test_address_of(self, stack):
+        stack.push_frame("main")
+        stack.declare_local("x", INT)
+        addr = stack.address_of("x")
+        stack.space.store_uint(addr, 123, 4)
+        assert stack.get_local("x") == 123
+
+    def test_shadowing_inner_frame_wins(self, stack):
+        stack.push_frame("main")
+        stack.declare_local("x")
+        stack.set_local("x", 1)
+        stack.push_frame("f")
+        stack.declare_local("x")
+        stack.set_local("x", 2)
+        assert stack.get_local("x") == 2
+        stack.pop_frame()
+        assert stack.get_local("x") == 1
+
+    def test_duplicate_local_rejected(self, stack):
+        stack.push_frame("main")
+        stack.declare_local("x")
+        with pytest.raises(CMemoryError):
+            stack.declare_local("x")
+
+    def test_missing_local(self, stack):
+        stack.push_frame("main")
+        with pytest.raises(CMemoryError):
+            stack.get_local("nope")
+
+    def test_no_frame_rejected(self, stack):
+        with pytest.raises(CMemoryError):
+            stack.declare_local("x")
+
+    def test_char_local_gets_word_slot(self, stack):
+        stack.push_frame("main")
+        before = stack.sp
+        stack.declare_local("c", CHAR)
+        assert before - stack.sp == 4  # gcc -O0 style slot
+
+
+class TestRender:
+    def test_render_shows_frames_and_locals(self, stack):
+        stack.push_frame("main")
+        stack.declare_local("argc", INT)
+        stack.push_frame("compute")
+        out = stack.render()
+        assert out.index("compute") < out.index("main")  # top first
+        assert "argc" in out
+
+    def test_empty_render(self, stack):
+        assert "empty" in stack.render()

@@ -1,0 +1,71 @@
+"""Tests for stack-smashing detection (canaries) and argv-aware echo."""
+
+import pytest
+
+from repro.binary import INT
+from repro.clib import AddressSpace, CallStack, StackSmashError
+from repro.ossim import Shell
+
+
+class TestCanary:
+    def test_intact_by_default(self):
+        st = CallStack(AddressSpace.standard())
+        st.push_frame("main")
+        assert st.canary_intact()
+        st.pop_frame()   # no error
+
+    def test_overflowing_local_trips_canary(self):
+        """The classic bug: writing past a local toward the saved data."""
+        st = CallStack(AddressSpace.standard())
+        st.push_frame("vulnerable")
+        st.declare_local("buf", INT)
+        addr = st.address_of("buf")
+        # 'buf' is one word; writing two words runs into the canary
+        st.space.write(addr, b"A" * 8)
+        assert not st.canary_intact()
+        with pytest.raises(StackSmashError, match="smashing"):
+            st.pop_frame()
+
+    def test_in_bounds_writes_are_fine(self):
+        st = CallStack(AddressSpace.standard())
+        st.push_frame("ok")
+        st.declare_local("a", INT)
+        st.declare_local("b", INT)
+        st.set_local("a", -1)
+        st.set_local("b", 0x7FFFFFFF)
+        st.pop_frame()
+
+    def test_inner_frame_smash_detected_before_outer(self):
+        st = CallStack(AddressSpace.standard())
+        st.push_frame("outer")
+        st.push_frame("inner")
+        st.declare_local("x", INT)
+        st.space.write(st.address_of("x"), b"B" * 8)
+        with pytest.raises(StackSmashError, match="inner"):
+            st.pop_frame()
+
+    def test_no_frame(self):
+        st = CallStack(AddressSpace.standard())
+        with pytest.raises(Exception):
+            st.canary_intact()
+
+
+class TestArgvEcho:
+    def test_echo_prints_its_arguments(self):
+        sh = Shell()
+        out = sh.run_line("echo hello world")
+        assert "hello world\n" in out
+
+    def test_echo_with_quotes(self):
+        sh = Shell()
+        out = sh.run_line('echo "two words" tail')
+        assert "two words tail\n" in out
+
+    def test_echo_no_args(self):
+        sh = Shell()
+        out = sh.run_line("echo")
+        assert out.endswith("\n")
+
+    def test_factory_programs_listed_in_help(self):
+        sh = Shell()
+        assert "echo" in sh.run_line("help")

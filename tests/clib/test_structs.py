@@ -1,0 +1,143 @@
+"""Unit tests for struct layout, padding, and 2-D array addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binary import CHAR, INT, SHORT
+from repro.clib import (
+    AddressSpace,
+    ArrayField,
+    Heap,
+    StructLayout,
+    array2d_address,
+    reorder_to_minimize_padding,
+)
+from repro.errors import CMemoryError
+
+
+class TestLayoutRules:
+    def test_char_then_int_pads_to_eight(self):
+        s = StructLayout("pair", [("c", "char"), ("x", "int")])
+        assert s.offset_of("c") == 0
+        assert s.offset_of("x") == 4
+        assert s.size == 8
+        assert s.total_padding == 3
+
+    def test_int_then_char_pads_at_end(self):
+        s = StructLayout("pair", [("x", "int"), ("c", "char")])
+        assert s.offset_of("c") == 4
+        assert s.size == 8
+        assert s.trailing_padding == 3
+
+    def test_classic_exam_question(self):
+        # char a; int b; char c; → 12 bytes on ILP32
+        s = StructLayout("worst", [("a", "char"), ("b", "int"),
+                                   ("c", "char")])
+        assert s.size == 12
+        assert s.payload_bytes == 6
+
+    def test_shorts_align_to_two(self):
+        s = StructLayout("s", [("c", "char"), ("h", "short")])
+        assert s.offset_of("h") == 2
+        assert s.size == 4
+
+    def test_long_long_caps_alignment_at_four(self):
+        # ILP32 aligns 8-byte fields to 4 (i386 ABI)
+        s = StructLayout("t", [("c", "char"), ("v", "long long")])
+        assert s.offset_of("v") == 4
+        assert s.alignment == 4
+        assert s.size == 12
+
+    def test_array_field(self):
+        s = StructLayout("buf", [("n", "int"),
+                                 ("data", ArrayField(CHAR, 10))])
+        assert s.offset_of("data") == 4
+        assert s.size == 16   # 4 + 10 rounded up to alignment 4
+
+    def test_all_ints_no_padding(self):
+        s = StructLayout("clean", [("a", INT), ("b", INT), ("c", INT)])
+        assert s.total_padding == 0
+        assert s.size == 12
+
+    def test_validation(self):
+        with pytest.raises(CMemoryError):
+            StructLayout("empty", [])
+        with pytest.raises(CMemoryError):
+            StructLayout("dup", [("x", "int"), ("x", "char")])
+        with pytest.raises(CMemoryError):
+            StructLayout("bad", [("a", ArrayField(INT, 0))])
+        with pytest.raises(CMemoryError):
+            StructLayout("p", [("x", "int")]).offset_of("y")
+
+    def test_render_shows_padding(self):
+        out = StructLayout("pair", [("c", "char"), ("x", "int")]).render()
+        assert "<pad>" in out and "size 8" in out
+
+
+class TestReorderOptimization:
+    def test_sorting_removes_internal_padding(self):
+        bad = [("a", "char"), ("b", "int"), ("c", "char"),
+               ("d", "short")]
+        before = StructLayout("before", bad)
+        after = StructLayout("after", reorder_to_minimize_padding(bad))
+        assert after.size < before.size
+        assert after.size == 8   # 4+2+1+1
+
+    def test_already_optimal_unchanged_size(self):
+        fields = [("b", "int"), ("h", "short"), ("c", "char")]
+        s1 = StructLayout("s1", fields)
+        s2 = StructLayout("s2", reorder_to_minimize_padding(fields))
+        assert s2.size == s1.size
+
+
+class TestLiveInstances:
+    def test_read_write_fields_in_memory(self):
+        space = AddressSpace.standard()
+        heap = Heap(space)
+        layout = StructLayout("point", [("x", "int"), ("y", "int"),
+                                        ("tag", "char")])
+        base = heap.malloc(layout.size)
+        layout.write_field(space, base, "x", -5)
+        layout.write_field(space, base, "y", 17)
+        layout.write_field(space, base, "tag", ord("A"))
+        assert layout.read_field(space, base, "x") == -5
+        assert layout.read_field(space, base, "y") == 17
+        assert layout.read_field(space, base, "tag") == ord("A")
+
+    def test_fields_do_not_clobber_each_other(self):
+        space = AddressSpace.standard()
+        heap = Heap(space)
+        layout = StructLayout("mix", [("c", "char"), ("x", "int")])
+        base = heap.malloc(layout.size)
+        layout.write_field(space, base, "x", 0x01020304)
+        layout.write_field(space, base, "c", 0xFF)
+        assert layout.read_field(space, base, "x") == 0x01020304
+
+
+class TestArray2D:
+    def test_row_major_formula(self):
+        # int a[3][5]: &a[2][4] = base + (2*5+4)*4
+        assert array2d_address(0x1000, 2, 4, cols=5) == 0x1000 + 56
+
+    def test_first_element(self):
+        assert array2d_address(0x2000, 0, 0, cols=8) == 0x2000
+
+    def test_element_size(self):
+        assert array2d_address(0, 1, 1, cols=4, elem_size=2) == 10
+
+    def test_validation(self):
+        with pytest.raises(CMemoryError):
+            array2d_address(0, 0, 5, cols=5)
+        with pytest.raises(CMemoryError):
+            array2d_address(0, -1, 0, cols=5)
+        with pytest.raises(CMemoryError):
+            array2d_address(0, 0, 0, cols=0)
+
+    @given(i=st.integers(min_value=0, max_value=50),
+           j=st.integers(min_value=0, max_value=19),
+           cols=st.integers(min_value=20, max_value=40))
+    def test_property_rows_are_contiguous(self, i, j, cols):
+        a = array2d_address(0, i, j, cols=cols)
+        if j + 1 < cols:
+            assert array2d_address(0, i, j + 1, cols=cols) == a + 4
+        assert array2d_address(0, i + 1, j, cols=cols) == a + 4 * cols

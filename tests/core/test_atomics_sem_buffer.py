@@ -1,0 +1,108 @@
+"""Tests for atomic operations and the semaphore bounded buffer."""
+
+import pytest
+
+from repro.core import (
+    AtomicOp,
+    RaceDetector,
+    SemBoundedBuffer,
+    SharedCounter,
+    SimMachine,
+    SyncCosts,
+    Work,
+    run_producer_consumer,
+    run_producer_consumer_sem,
+)
+from repro.errors import ReproError
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+class TestAtomicCounter:
+    def _run(self, body_factory, threads=4, times=25, detector=None):
+        counter = SharedCounter()
+        m = SimMachine(threads, costs=FREE, race_detector=detector)
+        for _ in range(threads):
+            m.spawn(body_factory(counter, times))
+        m.run()
+        return counter, m
+
+    def test_atomic_increments_are_exact(self):
+        counter, _ = self._run(
+            lambda c, t: c.atomic_incrementer(t))
+        assert counter.value == 100
+
+    def test_unsafe_still_loses(self):
+        counter, _ = self._run(
+            lambda c, t: c.unsafe_incrementer(t))
+        assert counter.value < 100
+
+    def test_atomics_do_not_race_each_other(self):
+        det = RaceDetector()
+        self._run(lambda c, t: c.atomic_incrementer(t), detector=det)
+        assert det.race_count == 0
+
+    def test_atomic_vs_plain_access_is_a_race(self):
+        """Mixing atomic and non-atomic access to one variable races,
+        matching the C memory model's rule."""
+        det = RaceDetector()
+        counter = SharedCounter()
+        m = SimMachine(2, costs=FREE, race_detector=det)
+        m.spawn(counter.atomic_incrementer(5))
+        m.spawn(counter.unsafe_incrementer(5))
+        m.run()
+        assert det.race_count >= 1
+
+    def test_atomic_cost_charged(self):
+        counter = SharedCounter()
+        m = SimMachine(1, costs=FREE)
+
+        def one():
+            yield AtomicOp("c", lambda: None, cycles=7.0)
+
+        m.spawn(one)
+        assert m.run() == pytest.approx(7.0)
+
+    def test_atomic_cheaper_than_mutex_under_contention(self):
+        from repro.core import Mutex
+        atomic_counter, atomic_m = self._run(
+            lambda c, t: c.atomic_incrementer(t, work=10))
+        locked = SharedCounter()
+        mu = Mutex()
+        locked_m = SimMachine(4, costs=FREE)
+        for _ in range(4):
+            locked_m.spawn(locked.safe_incrementer(mu, 25, work=10))
+        locked_m.run()
+        assert atomic_m.makespan < locked_m.makespan
+        assert atomic_counter.value == locked.value == 100
+
+
+class TestSemaphoreBuffer:
+    def test_all_items_flow(self):
+        r = run_producer_consumer_sem(producers=2, consumers=2,
+                                      items_per_producer=12, capacity=4)
+        assert r.items == 24
+
+    def test_capacity_bound(self):
+        buf = SemBoundedBuffer(2)
+        m = SimMachine(4, costs=FREE)
+        m.spawn(buf.producer(20, produce_cost=1))
+        m.spawn(buf.consumer(20, consume_cost=30))
+        m.run()
+        assert buf.max_occupancy <= 2
+        assert buf.consumed == 20
+
+    def test_matches_condvar_formulation(self):
+        cv = run_producer_consumer(producers=2, consumers=2,
+                                   items_per_producer=10, capacity=4)
+        sem = run_producer_consumer_sem(producers=2, consumers=2,
+                                        items_per_producer=10, capacity=4)
+        assert cv.items == sem.items == 20
+        assert sem.max_occupancy <= 4 and cv.max_occupancy <= 4
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SemBoundedBuffer(0)
+        with pytest.raises(ReproError):
+            run_producer_consumer_sem(producers=1, consumers=3,
+                                      items_per_producer=10, capacity=2)

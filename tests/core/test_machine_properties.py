@@ -1,0 +1,86 @@
+"""Property tests: scheduling laws of the simulated multicore machine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SimMachine, SyncCosts, Work
+from repro.ossim import Exit, Kernel, Print
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+work_lists = st.lists(st.integers(min_value=1, max_value=500),
+                      min_size=1, max_size=12)
+
+
+def run_workers(costs, cores):
+    m = SimMachine(cores, costs=FREE)
+
+    def worker(c):
+        yield Work(c)
+
+    for c in costs:
+        m.spawn(worker, c)
+    m.run()
+    return m
+
+
+class TestSchedulingLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(costs=work_lists, cores=st.integers(min_value=1, max_value=8))
+    def test_makespan_bounds(self, costs, cores):
+        """max(longest job, total/cores) <= makespan <= total."""
+        m = run_workers(costs, cores)
+        total = sum(costs)
+        assert m.makespan <= total + 1e-9
+        assert m.makespan >= max(max(costs), total / cores) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(costs=work_lists)
+    def test_one_core_serializes_exactly(self, costs):
+        assert run_workers(costs, 1).makespan == pytest.approx(sum(costs))
+
+    @settings(max_examples=30, deadline=None)
+    @given(costs=work_lists, cores=st.integers(min_value=1, max_value=8))
+    def test_more_cores_never_slower(self, costs, cores):
+        slow = run_workers(costs, cores)
+        fast = run_workers(costs, cores + 1)
+        assert fast.makespan <= slow.makespan + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(costs=work_lists, cores=st.integers(min_value=1, max_value=8))
+    def test_deterministic_replay(self, costs, cores):
+        assert (run_workers(costs, cores).makespan
+                == run_workers(costs, cores).makespan)
+
+    @settings(max_examples=30, deadline=None)
+    @given(costs=work_lists, cores=st.integers(min_value=1, max_value=8))
+    def test_work_conservation(self, costs, cores):
+        m = run_workers(costs, cores)
+        assert m.total_work_cycles == pytest.approx(sum(costs))
+        assert 0.0 < m.utilization() <= 1.0 + 1e-9
+
+
+class TestKernelDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(texts=st.lists(st.sampled_from("abcd"), min_size=1,
+                          max_size=6),
+           timeslice=st.integers(min_value=1, max_value=4))
+    def test_same_program_same_output(self, texts, timeslice):
+        def build():
+            k = Kernel(timeslice=timeslice)
+            for i, t in enumerate(texts):
+                k.spawn(f"p{i}", [Print(t), Print(t), Exit(0)])
+            k.run()
+            return k.output_string()
+
+        assert build() == build()
+
+    @settings(max_examples=20, deadline=None)
+    @given(texts=st.lists(st.sampled_from("xyz"), min_size=1,
+                          max_size=5))
+    def test_all_output_produced(self, texts):
+        k = Kernel()
+        for i, t in enumerate(texts):
+            k.spawn(f"p{i}", [Print(t), Exit(0)])
+        k.run()
+        assert sorted(k.output_string()) == sorted(texts)

@@ -1,0 +1,114 @@
+"""Stress property: random well-formed thread programs always complete.
+
+Programs are deadlock-free by construction (locks taken in a global
+order, barriers involve every thread), so the machine must always run
+to completion, deterministically, with sane accounting — across random
+mixtures of every primitive.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Barrier,
+    BarrierWait,
+    Lock,
+    Mutex,
+    SemPost,
+    SemWait,
+    Semaphore,
+    SimMachine,
+    SyncCosts,
+    Unlock,
+    Work,
+)
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+N_LOCKS = 3
+
+
+@st.composite
+def program_spec(draw):
+    """Per-thread op specs; locks nested in global order, then released.
+
+    With barriers on, every thread runs the same number of rounds (one
+    barrier per round) — unequal counts would be a real deadlock, which
+    the machine (correctly) reports.
+    """
+    n_threads = draw(st.integers(min_value=1, max_value=5))
+    use_barrier = draw(st.booleans())
+    rounds = draw(st.integers(min_value=1, max_value=5))
+    threads = []
+    for _ in range(n_threads):
+        ops = []
+        for _ in range(rounds):
+            kind = draw(st.sampled_from(
+                ["work", "locked-work", "nested-locks", "sem-pulse"]))
+            ops.append((kind, draw(st.integers(min_value=1,
+                                               max_value=50))))
+            if use_barrier:
+                ops.append(("barrier", 0))
+        threads.append(ops)
+    return n_threads, use_barrier, threads
+
+
+def build_and_run(spec, cores):
+    n_threads, use_barrier, thread_specs = spec
+    locks = [Mutex(f"m{i}") for i in range(N_LOCKS)]
+    barrier = Barrier(n_threads)
+    sem = Semaphore(1, "s")
+
+    def body(ops):
+        def gen():
+            for kind, amount in ops:
+                if kind == "work":
+                    yield Work(amount)
+                elif kind == "locked-work":
+                    yield Lock(locks[0])
+                    yield Work(amount)
+                    yield Unlock(locks[0])
+                elif kind == "nested-locks":
+                    yield Lock(locks[1])
+                    yield Lock(locks[2])     # global order: m1 before m2
+                    yield Work(amount)
+                    yield Unlock(locks[2])
+                    yield Unlock(locks[1])
+                elif kind == "sem-pulse":
+                    yield SemWait(sem)
+                    yield Work(amount)
+                    yield SemPost(sem)
+                elif kind == "barrier":
+                    yield BarrierWait(barrier)
+        return gen
+
+    machine = SimMachine(cores, costs=FREE)
+    for ops in thread_specs:
+        machine.spawn(body(ops))
+    machine.run()
+    return machine
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=program_spec(), cores=st.integers(min_value=1, max_value=6))
+def test_well_formed_programs_always_complete(spec, cores):
+    machine = build_and_run(spec, cores)
+    assert all(t.state == "done" for t in machine.threads)
+    assert machine.makespan >= 0
+    assert 0.0 <= machine.utilization() <= 1.0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=program_spec(), cores=st.integers(min_value=1, max_value=6))
+def test_deterministic_replay(spec, cores):
+    a = build_and_run(spec, cores)
+    b = build_and_run(spec, cores)
+    assert a.makespan == b.makespan
+    assert a.timeline == b.timeline
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=program_spec())
+def test_single_core_makespan_is_total_busy_time(spec):
+    machine = build_and_run(spec, 1)
+    assert machine.makespan == pytest.approx(machine.total_work_cycles)

@@ -1,0 +1,176 @@
+"""Unit + property tests for speedup metrics and partitioning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ScalingPoint,
+    amdahl_limit,
+    amdahl_speedup,
+    balance_ratio,
+    block_partition,
+    cyclic_partition,
+    efficiency,
+    gustafson_speedup,
+    is_near_linear,
+    karp_flatt,
+    partition_grid,
+    scaling_table,
+    speedup,
+)
+from repro.errors import ReproError
+
+
+class TestSpeedupEfficiency:
+    def test_speedup(self):
+        assert speedup(100, 25) == 4.0
+
+    def test_efficiency(self):
+        assert efficiency(4.0, 4) == 1.0
+        assert efficiency(4.0, 8) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            speedup(0, 1)
+        with pytest.raises(ReproError):
+            speedup(1, 0)
+        with pytest.raises(ReproError):
+            efficiency(2, 0)
+
+
+class TestAmdahl:
+    def test_fully_parallel_is_linear(self):
+        assert amdahl_speedup(1.0, 16) == pytest.approx(16.0)
+
+    def test_fully_serial_is_one(self):
+        assert amdahl_speedup(0.0, 16) == 1.0
+
+    def test_textbook_example(self):
+        # 95% parallel on 8 cores
+        assert amdahl_speedup(0.95, 8) == pytest.approx(5.925, abs=0.01)
+
+    def test_limit(self):
+        assert amdahl_limit(0.95) == pytest.approx(20.0)
+        assert amdahl_limit(1.0) == float("inf")
+
+    def test_speedup_below_limit(self):
+        for n in (2, 8, 64, 1024):
+            assert amdahl_speedup(0.9, n) < amdahl_limit(0.9)
+
+    def test_monotone_in_workers(self):
+        values = [amdahl_speedup(0.9, n) for n in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            amdahl_speedup(1.5, 4)
+        with pytest.raises(ReproError):
+            amdahl_speedup(0.5, 0)
+
+    def test_gustafson_exceeds_amdahl_for_scaled_work(self):
+        assert gustafson_speedup(0.95, 64) > amdahl_speedup(0.95, 64)
+
+    def test_karp_flatt_recovers_serial_fraction(self):
+        # perfect Amdahl speedup → karp-flatt returns the serial fraction
+        s = amdahl_speedup(0.9, 8)
+        assert karp_flatt(s, 8) == pytest.approx(0.1)
+
+    def test_karp_flatt_validation(self):
+        with pytest.raises(ReproError):
+            karp_flatt(2.0, 1)
+
+
+class TestScalingTable:
+    def test_rows(self):
+        rows = scaling_table(100.0, {1: 100.0, 2: 50.0, 4: 30.0})
+        assert [r.workers for r in rows] == [1, 2, 4]
+        assert rows[1].speedup == 2.0
+        assert rows[2].efficiency == pytest.approx(100 / 30 / 4)
+
+    def test_is_near_linear(self):
+        good = [ScalingPoint(1, 100, 1.0, 1.0),
+                ScalingPoint(4, 27, 3.7, 0.925)]
+        bad = good + [ScalingPoint(16, 20, 5.0, 0.3125)]
+        assert is_near_linear(good)
+        assert not is_near_linear(bad)
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        parts = block_partition(8, 4)
+        assert [len(p) for p in parts] == [2, 2, 2, 2]
+
+    def test_remainder_goes_first(self):
+        parts = block_partition(10, 4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+    def test_covers_exactly(self):
+        parts = block_partition(17, 5)
+        flat = [i for p in parts for i in p]
+        assert flat == list(range(17))
+
+    def test_more_parts_than_items(self):
+        parts = block_partition(2, 5)
+        assert sum(len(p) for p in parts) == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            block_partition(5, 0)
+        with pytest.raises(ReproError):
+            block_partition(-1, 2)
+
+    @given(n=st.integers(min_value=0, max_value=500),
+           k=st.integers(min_value=1, max_value=40))
+    def test_property_cover_disjoint_balanced(self, n, k):
+        parts = block_partition(n, k)
+        flat = [i for p in parts for i in p]
+        assert flat == list(range(n))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestCyclicPartition:
+    def test_deal_round_robin(self):
+        assert cyclic_partition(7, 3) == [[0, 3, 6], [1, 4], [2, 5]]
+
+    @given(n=st.integers(min_value=0, max_value=300),
+           k=st.integers(min_value=1, max_value=20))
+    def test_property_cover_disjoint(self, n, k):
+        parts = cyclic_partition(n, k)
+        flat = sorted(i for p in parts for i in p)
+        assert flat == list(range(n))
+
+
+class TestGridPartition:
+    def test_row_strips(self):
+        regions = partition_grid(8, 6, 4, "row")
+        assert len(regions) == 4
+        assert all(r.col_start == 0 and r.col_end == 6 for r in regions)
+        assert sum(r.cell_count for r in regions) == 48
+
+    def test_col_strips(self):
+        regions = partition_grid(8, 6, 3, "col")
+        assert all(r.row_start == 0 and r.row_end == 8 for r in regions)
+        assert sum(r.cell_count for r in regions) == 48
+
+    def test_balance(self):
+        regions = partition_grid(100, 100, 16, "row")
+        assert balance_ratio(regions) <= 7 / 6 + 1e-9
+
+    def test_bad_orientation(self):
+        with pytest.raises(ReproError):
+            partition_grid(4, 4, 2, "diagonal")
+
+    @given(rows=st.integers(min_value=1, max_value=60),
+           cols=st.integers(min_value=1, max_value=60),
+           k=st.integers(min_value=1, max_value=17),
+           orient=st.sampled_from(["row", "col"]))
+    def test_property_exact_cover(self, rows, cols, k, orient):
+        regions = partition_grid(rows, cols, k, orient)
+        cells = set()
+        for r in regions:
+            for i in r.rows:
+                for j in r.cols:
+                    assert (i, j) not in cells
+                    cells.add((i, j))
+        assert len(cells) == rows * cols

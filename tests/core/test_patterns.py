@@ -1,0 +1,132 @@
+"""Unit tests for producer/consumer, shared counter, parallel map."""
+
+import pytest
+
+from repro.core import (
+    BoundedBuffer,
+    Mutex,
+    SharedCounter,
+    SimMachine,
+    SyncCosts,
+    amdahl_speedup,
+    parallel_map_cycles,
+    run_producer_consumer,
+)
+from repro.errors import ReproError
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+class TestBoundedBuffer:
+    def test_all_items_flow_through(self):
+        r = run_producer_consumer(producers=1, consumers=1,
+                                  items_per_producer=20, capacity=4)
+        assert r.items == 20
+        assert r.makespan > 0
+
+    def test_capacity_bound_respected(self):
+        buf = BoundedBuffer(3)
+        m = SimMachine(4, costs=FREE)
+        m.spawn(buf.producer(30, produce_cost=1))
+        m.spawn(buf.consumer(30, consume_cost=50))   # slow consumer
+        m.run()
+        assert buf.max_occupancy <= 3
+        assert buf.consumed == 30
+
+    def test_multiple_producers_and_consumers(self):
+        r = run_producer_consumer(producers=4, consumers=2,
+                                  items_per_producer=10, capacity=8)
+        assert r.items == 40
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ReproError):
+            run_producer_consumer(producers=1, consumers=3,
+                                  items_per_producer=10, capacity=4)
+
+    def test_bigger_buffer_helps_throughput(self):
+        tiny = run_producer_consumer(producers=2, consumers=2,
+                                     items_per_producer=20, capacity=1)
+        roomy = run_producer_consumer(producers=2, consumers=2,
+                                      items_per_producer=20, capacity=16)
+        assert roomy.makespan <= tiny.makespan
+
+    def test_capacity_validation(self):
+        with pytest.raises(ReproError):
+            BoundedBuffer(0)
+
+
+class TestSharedCounter:
+    def test_unsafe_increments_lose_updates(self):
+        counter = SharedCounter()
+        m = SimMachine(4, costs=FREE)
+        for _ in range(4):
+            m.spawn(counter.unsafe_incrementer(25))
+        m.run()
+        assert counter.value < 100   # the lecture's lost-update punchline
+
+    def test_safe_increments_are_exact(self):
+        counter = SharedCounter()
+        mu = Mutex("counter.lock")
+        m = SimMachine(4, costs=FREE)
+        for _ in range(4):
+            m.spawn(counter.safe_incrementer(mu, 25))
+        m.run()
+        assert counter.value == 100
+
+    def test_mutex_serializes_and_costs_time(self):
+        fast = SharedCounter()
+        m1 = SimMachine(4, costs=FREE)
+        for _ in range(4):
+            m1.spawn(fast.unsafe_incrementer(25))
+        m1.run()
+
+        slow = SharedCounter()
+        mu = Mutex()
+        m2 = SimMachine(4, costs=FREE)
+        for _ in range(4):
+            m2.spawn(slow.safe_incrementer(mu, 25))
+        m2.run()
+        # correctness costs wall-clock: the safe version is slower
+        assert m2.makespan > m1.makespan
+
+
+class TestParallelMapCycles:
+    def test_balanced_map_scales(self):
+        costs = [10.0] * 64
+        m = parallel_map_cycles(costs, workers=4, num_cores=4,
+                                sync_costs=FREE)
+        base = parallel_map_cycles(costs, workers=1, num_cores=1,
+                                   sync_costs=FREE)
+        assert base.makespan / m.makespan == pytest.approx(4.0, rel=0.05)
+
+    def test_serial_fraction_caps_speedup_amdahl_style(self):
+        costs = [10.0] * 128
+        t1 = parallel_map_cycles(costs, workers=1, num_cores=1,
+                                 serial_fraction=0.2,
+                                 sync_costs=FREE).makespan
+        t8 = parallel_map_cycles(costs, workers=8, num_cores=8,
+                                 serial_fraction=0.2,
+                                 sync_costs=FREE).makespan
+        measured = t1 / t8
+        predicted = amdahl_speedup(0.8, 8)
+        assert measured == pytest.approx(predicted, rel=0.1)
+
+    def test_default_costs_reduce_speedup_below_ideal(self):
+        """With real spawn/barrier overheads, speedup < ideal — the
+        course's synchronization-overhead lesson."""
+        costs = [10.0] * 64
+        m = parallel_map_cycles(costs, workers=4, num_cores=4)
+        base = parallel_map_cycles(costs, workers=1, num_cores=1)
+        assert base.makespan / m.makespan < 4.0
+
+    def test_skewed_costs_limit_speedup(self):
+        costs = [1000.0] + [1.0] * 63
+        m = parallel_map_cycles(costs, workers=8, num_cores=8)
+        assert m.makespan >= 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            parallel_map_cycles([1.0], workers=0, num_cores=1)
+        with pytest.raises(ReproError):
+            parallel_map_cycles([1.0], workers=1, num_cores=1,
+                                serial_fraction=1.0)

@@ -1,0 +1,230 @@
+"""Unit tests for the race detector and deadlock analysis."""
+
+import pytest
+
+from repro.core import (
+    Access,
+    Barrier,
+    BarrierWait,
+    Lock,
+    Mutex,
+    RaceDetector,
+    SimMachine,
+    SyncCosts,
+    Unlock,
+    WaitForGraph,
+    Work,
+    lock_order_violations,
+)
+from repro.errors import DeadlockError, RaceError
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+def run_with_detector(*bodies, cores=4):
+    det = RaceDetector()
+    m = SimMachine(cores, costs=FREE, race_detector=det)
+    for b in bodies:
+        m.spawn(b)
+    m.run()
+    return det
+
+
+class TestRaceDetector:
+    def test_unlocked_write_write_is_race(self):
+        def writer():
+            yield Work(10)
+            yield Access("x", "write")
+
+        det = run_with_detector(writer, writer)
+        assert det.race_count == 1
+        assert "data race on 'x'" in det.report()
+
+    def test_read_read_is_not_race(self):
+        def reader():
+            yield Access("x", "read")
+
+        det = run_with_detector(reader, reader)
+        assert det.race_count == 0
+
+    def test_locked_accesses_are_clean(self):
+        mu = Mutex("m")
+
+        def writer():
+            yield Lock(mu)
+            yield Access("x", "write")
+            yield Unlock(mu)
+
+        det = run_with_detector(writer, writer)
+        assert det.race_count == 0
+        det.assert_clean()
+
+    def test_different_locks_still_race(self):
+        m1, m2 = Mutex("m1"), Mutex("m2")
+
+        def w1():
+            yield Lock(m1)
+            yield Access("x", "write")
+            yield Unlock(m1)
+
+        def w2():
+            yield Lock(m2)
+            yield Access("x", "write")
+            yield Unlock(m2)
+
+        det = run_with_detector(w1, w2)
+        assert det.race_count == 1
+
+    def test_read_write_conflict(self):
+        def reader():
+            yield Access("x", "read")
+
+        def writer():
+            yield Access("x", "write")
+
+        det = run_with_detector(reader, writer)
+        assert det.race_count == 1
+
+    def test_different_variables_no_race(self):
+        def wa():
+            yield Access("a", "write")
+
+        def wb():
+            yield Access("b", "write")
+
+        det = run_with_detector(wa, wb)
+        assert det.race_count == 0
+
+    def test_barrier_orders_accesses(self):
+        """The Lab 10 pattern: write, barrier, read — no race."""
+        bar = Barrier(2)
+
+        def phase_writer():
+            yield Access("grid", "write")
+            yield BarrierWait(bar)
+
+        def phase_reader():
+            yield BarrierWait(bar)
+            yield Access("grid", "read")
+
+        det = run_with_detector(phase_writer, phase_reader, cores=2)
+        assert det.race_count == 0
+
+    def test_missing_barrier_is_race(self):
+        def phase_writer():
+            yield Access("grid", "write")
+
+        def phase_reader():
+            yield Access("grid", "read")
+
+        det = run_with_detector(phase_writer, phase_reader, cores=2)
+        assert det.race_count == 1
+
+    def test_same_thread_never_races_itself(self):
+        def busy():
+            yield Access("x", "write")
+            yield Access("x", "write")
+
+        det = run_with_detector(busy)
+        assert det.race_count == 0
+
+    def test_duplicate_pairs_reported_once(self):
+        def writer():
+            for _ in range(5):
+                yield Access("x", "write")
+
+        det = run_with_detector(writer, writer)
+        assert det.race_count == 1
+
+    def test_assert_clean_raises(self):
+        def writer():
+            yield Access("x", "write")
+
+        det = run_with_detector(writer, writer)
+        with pytest.raises(RaceError):
+            det.assert_clean()
+
+    def test_clean_report_text(self):
+        det = RaceDetector()
+        assert "no data races" in det.report()
+
+
+class TestDeadlock:
+    def test_ab_ba_deadlock_detected_with_cycle(self):
+        a, b = Mutex("A"), Mutex("B")
+
+        def t1():
+            yield Lock(a)
+            yield Work(50)
+            yield Lock(b)
+            yield Unlock(b)
+            yield Unlock(a)
+
+        def t2():
+            yield Lock(b)
+            yield Work(50)
+            yield Lock(a)
+            yield Unlock(a)
+            yield Unlock(b)
+
+        m = SimMachine(2, costs=FREE)
+        m.spawn(t1, name="t1")
+        m.spawn(t2, name="t2")
+        with pytest.raises(DeadlockError) as exc:
+            m.run()
+        assert "wait-for cycle" in str(exc.value)
+
+    def test_consistent_order_no_deadlock(self):
+        a, b = Mutex("A"), Mutex("B")
+
+        def t():
+            yield Lock(a)
+            yield Work(50)
+            yield Lock(b)
+            yield Unlock(b)
+            yield Unlock(a)
+
+        m = SimMachine(2, costs=FREE)
+        m.spawn(t)
+        m.spawn(t)
+        m.run()   # completes
+
+
+class TestWaitForGraph:
+    def test_cycle_found(self):
+        g = WaitForGraph()
+        g.add_edge("t1", "t2")
+        g.add_edge("t2", "t1")
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert g.has_deadlock
+
+    def test_dag_has_no_cycle(self):
+        g = WaitForGraph()
+        g.add_edge("t1", "t2")
+        g.add_edge("t2", "t3")
+        g.add_edge("t1", "t3")
+        assert g.find_cycle() is None
+
+    def test_three_cycle(self):
+        g = WaitForGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        cycle = g.find_cycle()
+        assert len(set(cycle)) == 3
+
+
+class TestLockOrderAnalysis:
+    def test_ab_ba_flagged(self):
+        violations = lock_order_violations([["A", "B"], ["B", "A"]])
+        assert violations == [("A", "B")]
+
+    def test_consistent_order_clean(self):
+        assert lock_order_violations([["A", "B"], ["A", "B"]]) == []
+
+    def test_three_locks(self):
+        violations = lock_order_violations(
+            [["A", "B", "C"], ["C", "A"]])
+        assert ("A", "C") in violations

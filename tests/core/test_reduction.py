@@ -1,0 +1,84 @@
+"""Tests for the parallel tree reduction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SyncCosts, parallel_reduce, reduction_scaling
+from repro.errors import ReproError
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+class TestCorrectness:
+    def test_sum_matches_python(self):
+        values = [float(i) for i in range(100)]
+        r = parallel_reduce(values, workers=8, sync_costs=FREE)
+        assert r.value == sum(values)
+
+    def test_single_worker(self):
+        r = parallel_reduce([1.0, 2.0, 3.0], workers=1, sync_costs=FREE)
+        assert r.value == 6.0
+        assert r.tree_rounds == 0
+
+    def test_more_workers_than_items(self):
+        values = [5.0, 7.0]
+        r = parallel_reduce(values, workers=8, sync_costs=FREE)
+        assert r.value == 12.0
+
+    def test_non_commutative_associative_op(self):
+        """String-like concat via max-tracking tuple encoded as floats is
+        awkward; use matrix-ish op: f(a,b) = a*10 + b on digit lists —
+        associativity fails, so instead test with max (associative and
+        commutative) and subtraction order via a custom record."""
+        values = [3.0, 9.0, 2.0, 7.0, 5.0]
+        r = parallel_reduce(values, workers=4, op=max, sync_costs=FREE)
+        assert r.value == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            parallel_reduce([], workers=2)
+        with pytest.raises(ReproError):
+            parallel_reduce([1.0], workers=0)
+        with pytest.raises(ReproError):
+            parallel_reduce([1.0], workers=1, cost_per_item=-1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-100, max_value=100),
+                           min_size=1, max_size=60),
+           workers=st.integers(min_value=1, max_value=9))
+    def test_property_any_worker_count_sums_exactly(self, values, workers):
+        floats = [float(v) for v in values]
+        r = parallel_reduce(floats, workers=workers, sync_costs=FREE)
+        assert r.value == sum(floats)
+
+
+class TestScalingShape:
+    def test_speedup_grows_then_saturates(self):
+        values = [1.0] * 1024
+        results = reduction_scaling(values, [1, 2, 4, 8, 16, 32],
+                                    sync_costs=FREE, combine_cost=4.0)
+        speedups = [results[w].speedup for w in (1, 2, 4, 8, 16, 32)]
+        # monotone early...
+        assert speedups[0] < speedups[1] < speedups[2]
+        # ...but clearly sublinear by 32 workers (the log-tree floor)
+        assert results[32].speedup < 32 * 0.8
+
+    def test_tree_rounds_logarithmic(self):
+        values = [1.0] * 64
+        for workers, rounds in [(1, 0), (2, 1), (4, 2), (8, 3), (16, 4),
+                                (5, 3)]:
+            r = parallel_reduce(values, workers=workers, sync_costs=FREE)
+            assert r.tree_rounds == rounds
+
+    def test_makespan_has_log_floor(self):
+        values = [1.0] * 256
+        r = parallel_reduce(values, workers=16, sync_costs=FREE,
+                            combine_cost=10.0)
+        local = 256 / 16          # perfect local phase
+        assert r.makespan >= local + 4 * 10.0  # + 4 combine levels
+
+    def test_barrier_cost_charged(self):
+        values = [1.0] * 64
+        free = parallel_reduce(values, workers=8, sync_costs=FREE)
+        costly = parallel_reduce(values, workers=8)
+        assert costly.makespan > free.makespan

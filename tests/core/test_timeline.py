@@ -1,0 +1,139 @@
+"""Tests for the execution timeline (ParaVis for threads)."""
+
+import pytest
+
+from repro.core import (
+    Lock,
+    Mutex,
+    SimMachine,
+    SyncCosts,
+    Unlock,
+    Work,
+    core_utilization,
+    render_gantt,
+    thread_spans,
+    utilization_table,
+)
+from repro.errors import ReproError
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+def worker(cycles):
+    yield Work(cycles)
+
+
+class TestTimelineRecording:
+    def test_segments_recorded(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 100, name="a")
+        m.spawn(worker, 100, name="b")
+        m.run()
+        assert len(m.timeline) == 2
+        cores = {c for c, _, _, _ in m.timeline}
+        assert cores == {0, 1}
+
+    def test_segments_cover_work_exactly(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 70, name="a")
+        m.spawn(worker, 30, name="b")
+        m.run()
+        total = sum(end - start for _, _, start, end in m.timeline)
+        assert total == pytest.approx(100)
+
+    def test_serialized_on_one_core(self):
+        m = SimMachine(1, costs=FREE)
+        m.spawn(worker, 50, name="a")
+        m.spawn(worker, 50, name="b")
+        m.run()
+        segs = sorted(m.timeline, key=lambda s: s[2])
+        assert segs[0][3] <= segs[1][2]   # no overlap on the single core
+
+    def test_thread_spans(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 40, name="a")
+        m.run()
+        spans = thread_spans(m)
+        assert spans["a"] == (0.0, 40.0)
+
+
+class TestUtilization:
+    def test_balanced_two_cores(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 100, name="a")
+        m.spawn(worker, 100, name="b")
+        m.run()
+        util = core_utilization(m)
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] == pytest.approx(1.0)
+
+    def test_imbalance_shows_idle_core(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 100, name="big")
+        m.spawn(worker, 10, name="small")
+        m.run()
+        util = core_utilization(m)
+        assert min(util.values()) == pytest.approx(0.1)
+
+    def test_table_renders(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 10)
+        m.run()
+        out = utilization_table(m)
+        assert "core 0" in out and "overall" in out
+
+    def test_unrun_machine(self):
+        util = core_utilization(SimMachine(2))
+        assert util == {0: 0.0, 1: 0.0}
+
+
+class TestGantt:
+    def test_renders_rows_per_core(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 100, name="a")
+        m.spawn(worker, 100, name="b")
+        m.run()
+        chart = render_gantt(m, width=20)
+        lines = chart.splitlines()
+        assert lines[0].startswith("core 0:")
+        assert lines[1].startswith("core 1:")
+        assert "legend:" in chart
+
+    def test_idle_columns_dotted(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 100, name="big")
+        m.spawn(worker, 10, name="small")
+        m.run()
+        chart = render_gantt(m, width=20)
+        # the core that ran 'small' is mostly idle
+        idle_line = [l for l in chart.splitlines()
+                     if l.startswith("core") and "." in l]
+        assert idle_line
+
+    def test_contention_is_visible(self):
+        mu = Mutex()
+
+        def critical(name_unused):
+            yield Lock(mu)
+            yield Work(50)
+            yield Unlock(mu)
+
+        m = SimMachine(2, costs=FREE)
+        m.spawn(critical, 0, name="t0")
+        m.spawn(critical, 0, name="t1")
+        m.run()
+        chart = render_gantt(m, width=20)
+        # serialized critical sections: both threads appear, never
+        # stacked in the same column on both cores simultaneously
+        assert "A" in chart and "B" in chart
+
+    def test_requires_run(self):
+        with pytest.raises(ReproError):
+            render_gantt(SimMachine(1))
+
+    def test_width_validated(self):
+        m = SimMachine(1, costs=FREE)
+        m.spawn(worker, 10)
+        m.run()
+        with pytest.raises(ReproError):
+            render_gantt(m, width=2)

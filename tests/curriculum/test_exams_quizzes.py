@@ -1,0 +1,130 @@
+"""Tests for the exam engine and the reading-quiz model."""
+
+import pytest
+
+from repro.curriculum import (
+    ReadingQuizQuestion,
+    administer,
+    build_final,
+    build_midterm,
+    quiz_is_well_designed,
+    simulate_quiz,
+)
+from repro.errors import ReproError
+
+
+class TestExams:
+    def test_midterm_covers_first_half_topics(self):
+        exam = build_midterm(seed=1)
+        topics = {q.topic for q in exam.questions}
+        assert {"binary", "C", "circuits", "assembly", "caching"} <= topics
+        assert "threads" not in topics
+
+    def test_final_is_cumulative_with_parallelism(self):
+        exam = build_final(seed=1)
+        topics = {q.topic for q in exam.questions}
+        assert {"processes", "VM", "threads"} <= topics
+        thread_points = sum(q.points for q in exam.questions
+                            if q.topic == "threads")
+        assert thread_points >= 25   # the emphasis
+
+    def test_deterministic_per_seed(self):
+        a, b = build_midterm(seed=7), build_midterm(seed=7)
+        assert a.render() == b.render()
+        assert a.answer_key() == b.answer_key()
+
+    def test_different_seeds_differ(self):
+        assert build_midterm(seed=1).answer_key() != \
+            build_midterm(seed=2).answer_key()
+
+    def test_perfect_score_with_answer_key(self):
+        exam = build_final(seed=3)
+        result = administer(exam, exam.answer_key())
+        assert result.earned == result.possible
+        assert result.percentage == 1.0
+
+    def test_partial_credit_by_points(self):
+        exam = build_midterm(seed=4)
+        answers = exam.answer_key()
+        answers[0] = "wrong"
+        result = administer(exam, answers)
+        assert result.earned == exam.total_points - exam.questions[0].points
+        assert result.per_question[0] is False
+
+    def test_answer_count_checked(self):
+        exam = build_midterm(seed=5)
+        with pytest.raises(ReproError):
+            administer(exam, [])
+
+    def test_render_shows_points(self):
+        out = build_midterm(seed=6).render()
+        assert "Midterm" in out and "pts" in out
+
+
+class TestReadingQuizzes:
+    def test_readers_score_high(self):
+        outcome = simulate_quiz(seed=1)
+        assert outcome.reader_mean > 0.8
+
+    def test_readers_beat_nonreaders(self):
+        outcome = simulate_quiz(seed=2)
+        assert outcome.separation > 0.25
+
+    def test_design_check_passes_for_standard_bank(self):
+        assert quiz_is_well_designed()
+
+    def test_design_check_fails_for_guessable_bank(self):
+        trivia = tuple(
+            ReadingQuizQuestion(f"q{i}", "x", p_reader=0.9, p_guess=0.85)
+            for i in range(6))
+        assert not quiz_is_well_designed(trivia)
+
+    def test_deterministic(self):
+        a, b = simulate_quiz(seed=9), simulate_quiz(seed=9)
+        assert a.reader_scores == b.reader_scores
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ReadingQuizQuestion("bad", "x", p_reader=0.3, p_guess=0.8)
+        with pytest.raises(ReproError):
+            simulate_quiz(readers=0)
+
+
+class TestPrefetching:
+    def test_sequential_trace_benefits(self):
+        from repro.memory import Cache, CacheConfig
+        from repro.memory.trace import stride_sweep
+        trace = stride_sweep(256, 4)
+        plain = Cache(CacheConfig(num_lines=16, block_size=16))
+        pf = Cache(CacheConfig(num_lines=16, block_size=16,
+                               prefetch_next_line=True))
+        plain.run_trace(trace)
+        pf.run_trace(trace)
+        assert pf.stats.hit_rate > plain.stats.hit_rate
+        assert pf.stats.prefetches > 0
+
+    def test_prefetch_not_counted_as_access(self):
+        from repro.memory import Cache, CacheConfig
+        pf = Cache(CacheConfig(num_lines=16, block_size=16,
+                               prefetch_next_line=True))
+        pf.access(0x0)
+        assert pf.stats.accesses == 1
+
+    def test_random_trace_not_helped(self):
+        from repro.memory import Cache, CacheConfig
+        from repro.memory.trace import random_access
+        trace = random_access(800, 1 << 18, seed=5)
+        plain = Cache(CacheConfig(num_lines=16, block_size=16))
+        pf = Cache(CacheConfig(num_lines=16, block_size=16,
+                               prefetch_next_line=True))
+        plain.run_trace(trace)
+        pf.run_trace(trace)
+        # random access: prefetching buys (almost) nothing
+        assert pf.stats.hit_rate <= plain.stats.hit_rate + 0.05
+
+    def test_prefetch_at_address_space_edge(self):
+        from repro.memory import Cache, CacheConfig
+        pf = Cache(CacheConfig(num_lines=4, block_size=16,
+                               address_bits=8, prefetch_next_line=True))
+        pf.access(0xF0)   # next block would be past 8-bit space: no-op
+        assert pf.stats.prefetches == 0

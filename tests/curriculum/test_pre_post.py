@@ -1,0 +1,48 @@
+"""Tests for the CS 43 pre/post survey — the paper's stated next step."""
+
+import pytest
+
+from repro.curriculum import (
+    CS43_REFRESHED_TOPICS,
+    SURVEY_TOPICS,
+    run_pre_post_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_pre_post_comparison(seed=43)
+
+
+class TestPrePost:
+    def test_deterministic(self, comparison):
+        again = run_pre_post_comparison(seed=43)
+        assert comparison.render() == again.render()
+
+    def test_refreshed_topics_exist_in_survey(self):
+        names = {t.name for t in SURVEY_TOPICS}
+        assert CS43_REFRESHED_TOPICS <= names
+
+    def test_refreshed_topics_recover(self, comparison):
+        """'We find student skill (and confidence in them) come back to
+        students quickly after this practice.' (§IV)"""
+        assert comparison.refreshed_topics_recover()
+
+    def test_recovery_gap_positive(self, comparison):
+        # the course-exercised topics gain more than untouched ones
+        assert comparison.recovery_gap() > 0.3
+
+    def test_untouched_topics_do_not_spike(self, comparison):
+        untouched = [t.name for t in SURVEY_TOPICS
+                     if t.name not in CS43_REFRESHED_TOPICS]
+        spikes = [t for t in untouched if comparison.delta(t) > 0.5]
+        assert not spikes
+
+    def test_render_marks_refreshed(self, comparison):
+        out = comparison.render()
+        assert "* C programming" in out
+        assert "delta" in out
+
+    def test_post_stays_on_scale(self, comparison):
+        for tr in comparison.post.results.values():
+            assert all(0 <= r <= 4 for r in tr.ratings)

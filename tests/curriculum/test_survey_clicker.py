@@ -1,0 +1,139 @@
+"""Unit tests for the Figure 1 survey model and the clicker model."""
+
+import pytest
+
+from repro.curriculum import (
+    BloomLevel,
+    COHORTS,
+    ClickerQuestion,
+    ClickerSession,
+    SURVEY_TOPICS,
+    clamp_rating,
+    describe,
+    run_survey,
+    scale_legend,
+    standard_question_bank,
+    summarize,
+)
+from repro.errors import ReproError
+
+
+class TestBloomScale:
+    def test_five_levels(self):
+        assert len(list(BloomLevel)) == 5
+        assert int(BloomLevel.APPLY) == 4
+
+    def test_descriptions_match_paper(self):
+        assert describe(0).startswith("do not recognize")
+        assert describe(BloomLevel.DEFINE) == "could define it"
+        assert "apply" in describe(4)
+
+    def test_bad_level(self):
+        with pytest.raises(ReproError):
+            describe(5)
+
+    def test_clamp(self):
+        assert clamp_rating(-1.3) is BloomLevel.DO_NOT_RECOGNIZE
+        assert clamp_rating(2.4) is BloomLevel.DEFINE
+        assert clamp_rating(9.0) is BloomLevel.APPLY
+
+    def test_legend(self):
+        legend = scale_legend()
+        assert legend.count("\n") == 4
+
+
+class TestSurveyModel:
+    def test_deterministic(self):
+        a = run_survey(seed=31)
+        b = run_survey(seed=31)
+        assert a.figure1_rows() == b.figure1_rows()
+
+    def test_respondent_count(self):
+        result = run_survey()
+        assert result.respondents == sum(c.students for c in COHORTS)
+
+    def test_every_topic_reported(self):
+        result = run_survey()
+        assert set(result.results) == {t.name for t in SURVEY_TOPICS}
+
+    def test_figure1_shape_all_recognized(self):
+        """'these data show that, on average, students recognized all of
+        these topics' (§IV)."""
+        assert run_survey().all_topics_recognized()
+
+    def test_figure1_shape_emphasis_orders_ratings(self):
+        """'For topics that CS 31 emphasizes heavily ... they rate their
+        understanding at deeper levels.'"""
+        assert run_survey().emphasized_topics_rate_deeper()
+
+    def test_figure1_shape_not_all_fours(self):
+        """'Expected results are not all 4s for all of these topics.'"""
+        assert run_survey().not_all_fours()
+
+    def test_memory_hierarchy_beats_coherency(self):
+        result = run_survey()
+        assert (result.mean_of("memory hierarchy")
+                > result.mean_of("cache coherency"))
+
+    def test_render_table(self):
+        out = run_survey().render()
+        assert "memory hierarchy" in out and "median" in out
+
+    def test_emphasis_validated(self):
+        from repro.curriculum import SurveyTopic
+        with pytest.raises(ReproError):
+            SurveyTopic("x", 1.5)
+
+    def test_ratings_in_scale(self):
+        result = run_survey()
+        for tr in result.results.values():
+            assert all(0 <= r <= 4 for r in tr.ratings)
+
+
+class TestClickerModel:
+    def test_deterministic(self):
+        bank = standard_question_bank()
+        a = ClickerSession(seed=5).run_question_bank(bank)
+        b = ClickerSession(seed=5).run_question_bank(bank)
+        assert [(o.first_vote_correct, o.revote_correct)
+                for o in a] == [(o.first_vote_correct, o.revote_correct)
+                                for o in b]
+
+    def test_peer_instruction_gain(self):
+        """The Porter et al. signature: discussion raises correctness."""
+        outcomes = ClickerSession(class_size=120, seed=31
+                                  ).run_question_bank(
+            standard_question_bank())
+        summary = summarize(outcomes)
+        assert summary["mean_revote"] > summary["mean_first_vote"]
+        assert summary["mean_gain"] > 0.05
+
+    def test_easy_questions_have_less_headroom(self):
+        session = ClickerSession(class_size=200, seed=7)
+        easy = session.ask(ClickerQuestion("easy", -1.5))
+        hard = session.ask(ClickerQuestion("hard", 1.2))
+        assert easy.first_vote_correct > hard.first_vote_correct
+        assert easy.gain <= hard.gain + 0.15   # most gain is on hard qs
+
+    def test_fractions_are_valid(self):
+        outcomes = ClickerSession(seed=2).run_question_bank(
+            standard_question_bank())
+        for o in outcomes:
+            assert 0.0 <= o.first_vote_correct <= 1.0
+            assert 0.0 <= o.revote_correct <= 1.0
+
+    def test_normalized_gain_bounds(self):
+        outcomes = ClickerSession(seed=3).run_question_bank(
+            standard_question_bank())
+        for o in outcomes:
+            assert o.normalized_gain <= 1.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ClickerSession(class_size=0)
+        with pytest.raises(ReproError):
+            ClickerSession(persuasion=2.0)
+
+    def test_question_bank_spans_topics(self):
+        topics = {q.topic for q in standard_question_bank()}
+        assert {"binary", "caching", "processes", "threads"} <= topics

@@ -1,0 +1,142 @@
+"""Unit tests for Table I coverage, the course model, and labs."""
+
+import pytest
+
+from repro.curriculum import (
+    HOMEWORKS,
+    LABS,
+    SCHEDULE,
+    TABLE_I,
+    THEMES,
+    TcppCategory,
+    category_counts,
+    coverage_check,
+    homework,
+    lab,
+    labs_covering,
+    prerequisite,
+    run_all_demos,
+    schedule_table,
+    table_i,
+    table_i_with_modules,
+    theme,
+    topics_in,
+    total_weeks,
+    units_for_theme,
+)
+from repro.curriculum.homework_registry import (
+    coverage_check as hw_coverage_check,
+)
+from repro.curriculum.labs import coverage_check as lab_coverage_check
+from repro.errors import ReproError
+
+
+class TestTableI:
+    def test_four_categories(self):
+        assert {t.category for t in TABLE_I} == set(TcppCategory)
+
+    def test_key_topics_present(self):
+        names = {t.name for t in TABLE_I}
+        for expected in ("concurrency", "multicore", "pthreads",
+                         "race conditions", "Amdahl's Law", "speedup",
+                         "caching", "signals"):
+            assert expected in names
+
+    def test_paper_topic_counts(self):
+        counts = category_counts()
+        assert counts["Pervasive"] == 4
+        assert counts["Architecture"] == 14
+        assert counts["Programming"] == 11
+        assert counts["Algorithms"] == 6
+
+    def test_every_topic_has_running_code(self):
+        status = coverage_check()
+        missing = [k for k, ok in status.items() if not ok]
+        assert missing == []
+
+    def test_render_contains_categories(self):
+        out = table_i()
+        for cat in TcppCategory:
+            assert cat.value in out
+
+    def test_modules_table(self):
+        out = table_i_with_modules()
+        assert "repro.core.metrics" in out
+
+    def test_topics_in(self):
+        assert all(t.category is TcppCategory.ALGORITHMS
+                   for t in topics_in(TcppCategory.ALGORITHMS))
+
+
+class TestCourseModel:
+    def test_three_themes(self):
+        assert len(THEMES) == 3
+        assert "parallel" in theme(3).title
+
+    def test_unknown_theme(self):
+        with pytest.raises(ReproError):
+            theme(4)
+
+    def test_schedule_order_matches_paper(self):
+        topics = [u.topic for u in SCHEDULE]
+        assert topics[0].startswith("binary")
+        assert topics[-1].startswith("shared memory")
+        # parallelism comes right after virtual memory (§III-A)
+        assert topics[-2].startswith("virtual memory")
+
+    def test_schedule_fits_a_semester(self):
+        assert 13 <= total_weeks() <= 16
+
+    def test_every_unit_has_package(self):
+        import importlib
+        for u in SCHEDULE:
+            importlib.import_module(u.package)
+
+    def test_units_for_theme(self):
+        t3 = units_for_theme(3)
+        assert any(u.package == "repro.core" for u in t3)
+
+    def test_prerequisite_is_cs1(self):
+        assert "CS1" in prerequisite()
+
+    def test_schedule_table_renders(self):
+        assert "binary" in schedule_table()
+
+
+class TestLabs:
+    def test_eleven_labs(self):
+        assert len(LABS) == 11
+        assert [l.number for l in LABS] == list(range(11))
+
+    def test_lab_lookup(self):
+        assert lab(10).title == "Parallel Game of Life"
+        with pytest.raises(ReproError):
+            lab(42)
+
+    def test_labs_covering(self):
+        assert any(l.number == 10 for l in labs_covering("pthreads"))
+
+    def test_coverage_check_all_green(self):
+        status = lab_coverage_check()
+        assert all(status.values()), status
+
+    def test_all_demos_run(self):
+        outputs = run_all_demos()
+        assert set(outputs) == set(range(11))
+        assert "CS 31" in outputs[7]          # strcat demo
+        assert "maze" in outputs[5]
+        assert "hello, world" in outputs[0]
+
+
+class TestHomeworkRegistry:
+    def test_twelve_areas_in_order(self):
+        assert [h.order for h in HOMEWORKS] == list(range(1, 13))
+
+    def test_lookup(self):
+        assert homework(12).title == "Threads"
+        with pytest.raises(ReproError):
+            homework(13)
+
+    def test_engines_exist(self):
+        status = hw_coverage_check()
+        assert all(status.values()), status

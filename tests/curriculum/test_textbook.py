@@ -1,0 +1,42 @@
+"""Tests for the Dive into Systems chapter map."""
+
+import importlib
+
+import pytest
+
+from repro.curriculum import (
+    CHAPTERS,
+    chapter,
+    chapters_for_package,
+    every_unit_has_reading,
+    reading_map,
+)
+from repro.errors import ReproError
+
+
+class TestChapterMap:
+    def test_every_unit_has_reading(self):
+        assert every_unit_has_reading()
+
+    def test_chapter_lookup(self):
+        assert chapter(14).title.startswith("Leveraging Shared Memory")
+        with pytest.raises(ReproError):
+            chapter(99)
+
+    def test_packages_importable(self):
+        for c in CHAPTERS:
+            for pkg in c.packages:
+                importlib.import_module(pkg)
+
+    def test_chapters_for_package(self):
+        found = chapters_for_package("repro.core")
+        assert any(c.number == 14 for c in found)
+
+    def test_reading_map_renders_in_course_order(self):
+        out = reading_map()
+        assert out.index("binary") < out.index("shared memory")
+        assert "ch. 8" in out
+
+    def test_chapter_numbers_unique(self):
+        numbers = [c.number for c in CHAPTERS]
+        assert len(set(numbers)) == len(numbers)

@@ -1,0 +1,272 @@
+"""Unit tests for the homework generators and checkers."""
+
+import pytest
+
+from repro.homework import Problem, check, grade, problem_set
+from repro.homework.assembly_hw import (
+    check_translation,
+    generate_condition_trace,
+    generate_register_trace,
+    generate_translation,
+)
+from repro.homework.binary_hw import (
+    generate_arithmetic,
+    generate_c_expression,
+    generate_conversion,
+    generate_pointer_trace,
+)
+from repro.homework.cache_hw import (
+    generate_address_division,
+    generate_cache_trace,
+    worksheet_solution,
+)
+from repro.homework.circuits_hw import (
+    generate_synthesis,
+    generate_truth_table,
+    simulate_table,
+    synthesize,
+)
+from repro.homework.processes_hw import (
+    generate_fork_count,
+    generate_fork_outputs,
+)
+from repro.homework.threads_hw import (
+    generate_amdahl,
+    generate_counter_outcome,
+    generate_producer_consumer,
+    generate_sync_placement,
+)
+from repro.homework.vm_hw import (
+    generate_translation_problem,
+    generate_vm_trace,
+)
+from repro.errors import ReproError
+
+
+class TestFramework:
+    def test_check_exact(self):
+        p = Problem("k", "?", 42)
+        assert check(p, 42) and not check(p, 41)
+
+    def test_check_float_tolerance(self):
+        p = Problem("k", "?", 0.1 + 0.2)
+        assert check(p, 0.3 + 1e-12)
+
+    def test_check_set_unordered(self):
+        p = Problem("k", "?", {"AB", "BA"})
+        assert check(p, ["BA", "AB"])
+        assert not check(p, ["AB"])
+        assert not check(p, 42)
+
+    def test_grade(self):
+        ps = [Problem("k", "?", i) for i in range(4)]
+        assert grade(ps, [0, 1, 9, 3]) == 0.75
+        with pytest.raises(ReproError):
+            grade(ps, [0])
+        assert grade([], []) == 0.0
+
+    def test_problem_set_distinct_seeds(self):
+        ps = problem_set(generate_conversion, 5, seed=3)
+        assert len({p.context["value"] for p in ps}) > 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("gen", [
+        generate_conversion, generate_arithmetic, generate_c_expression,
+        generate_pointer_trace, generate_truth_table, generate_synthesis,
+        generate_register_trace, generate_condition_trace,
+        generate_translation, generate_cache_trace,
+        generate_address_division, generate_fork_outputs,
+        generate_fork_count, generate_vm_trace,
+        generate_translation_problem, generate_counter_outcome,
+        generate_amdahl, generate_producer_consumer,
+    ])
+    def test_same_seed_same_problem(self, gen):
+        a, b = gen(seed=17), gen(seed=17)
+        assert a.prompt == b.prompt
+        assert a.answer == b.answer
+
+
+class TestBinaryEngines:
+    def test_conversion_answer_consistent(self):
+        p = generate_conversion(seed=1)
+        value = p.context["value"]
+        assert int(p.answer["binary"], 2) == value
+        assert int(p.answer["hex"], 16) == value
+
+    def test_arithmetic_flags_match_oracle(self):
+        from repro.binary import BitVector, add, sub
+        p = generate_arithmetic(seed=2)
+        a, b, w = p.context["a"], p.context["b"], p.context["width"]
+        fn = add if p.context["op"] == "add" else sub
+        r = fn(BitVector(a, w), BitVector(b, w))
+        assert p.answer["result"] == r.unsigned
+
+    def test_c_expression_type_in_answer(self):
+        p = generate_c_expression(seed=3)
+        assert p.answer["type"] in ("int", "unsigned int")
+
+    def test_pointer_trace_offsets(self):
+        p = generate_pointer_trace(seed=4)
+        i = p.context["i"]
+        assert p.answer["deref"] == p.context["values"][i]
+        assert p.answer["offset_after"] == i + 1
+
+
+class TestCircuitEngines:
+    def test_truth_table_length(self):
+        p = generate_truth_table(seed=5)
+        assert len(p.answer) == 8
+        assert all(v in (0, 1) for v in p.answer)
+
+    def test_synthesis_circuit_realizes_table(self):
+        p = generate_synthesis(seed=6)
+        outputs = p.context["outputs"]
+        sop, inputs, out = synthesize(outputs, p.context["n_inputs"])
+        assert simulate_table(sop, inputs, out) == outputs
+
+    def test_synthesis_all_zero_table(self):
+        sop, inputs, out = synthesize([0, 0, 0, 0], 2)
+        assert simulate_table(sop, inputs, out) == [0, 0, 0, 0]
+
+    def test_synthesis_all_one_table(self):
+        sop, inputs, out = synthesize([1, 1, 1, 1], 2)
+        assert simulate_table(sop, inputs, out) == [1, 1, 1, 1]
+
+    def test_synthesis_xor(self):
+        sop, inputs, out = synthesize([0, 1, 1, 0], 2)
+        assert simulate_table(sop, inputs, out) == [0, 1, 1, 0]
+
+
+class TestAssemblyEngines:
+    def test_register_trace_machine_is_oracle(self):
+        from repro.isa import Machine, assemble
+        p = generate_register_trace(seed=7)
+        assert Machine(assemble(p.context["source"])).run() == p.answer
+
+    def test_condition_trace_binary_answer(self):
+        p = generate_condition_trace(seed=8)
+        assert p.answer in (0, 1)
+
+    def test_translation_reference_grades_itself(self):
+        p = generate_translation(seed=9)
+        assert check_translation(p, p.answer)
+
+    def test_translation_rejects_wrong_asm(self):
+        p = generate_translation(seed=9)
+        wrong = f"{p.context['function']}:\n  movl $0, %eax\n  ret"
+        assert not check_translation(p, wrong)
+
+    def test_translation_rejects_garbage(self):
+        p = generate_translation(seed=9)
+        assert not check_translation(p, "not assembly at all")
+
+    def test_translation_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            check_translation(generate_amdahl(seed=1), "x")
+
+
+class TestCacheEngines:
+    def test_trace_matches_fresh_simulation(self):
+        from repro.memory import Cache
+        p = generate_cache_trace(seed=10, associativity=2)
+        cache = Cache(p.context["config"])
+        expected = ["hit" if cache.access(a, k).hit else "miss"
+                    for a, k in zip(p.context["addresses"],
+                                    p.context["kinds"])]
+        assert p.answer == expected
+
+    def test_first_access_is_miss(self):
+        p = generate_cache_trace(seed=11)
+        assert p.answer[0] == "miss"
+
+    def test_address_division_reassembles(self):
+        p = generate_address_division(seed=12)
+        a = p.answer
+        block, sets = p.context["block"], p.context["sets"]
+        reassembled = ((a["tag"] * sets + a["index"]) * block
+                       + a["offset"])
+        assert reassembled == p.context["address"]
+
+    def test_worksheet_solution_renders(self):
+        p = generate_cache_trace(seed=13)
+        out = worksheet_solution(p)
+        assert "->" in out and ("hit" in out or "miss" in out)
+
+
+class TestProcessEngines:
+    def test_fork_outputs_nonempty(self):
+        p = generate_fork_outputs(seed=14)
+        assert isinstance(p.answer, set) and p.answer
+
+    def test_wait_shape_single_output(self):
+        # find a seed generating the 'wait' shape
+        for seed in range(40):
+            p = generate_fork_outputs(seed=seed)
+            if p.context["shape"] == "wait":
+                assert len(p.answer) == 1
+                return
+        pytest.fail("no wait-shaped problem found")
+
+    def test_fork_count_power_of_two(self):
+        p = generate_fork_count(seed=15)
+        assert p.answer == 2 ** p.context["n_forks"]
+
+    def test_prompt_renders_c(self):
+        p = generate_fork_outputs(seed=16)
+        assert "printf" in p.prompt
+
+
+class TestVmEngines:
+    def test_vm_trace_fault_count_consistent(self):
+        p = generate_vm_trace(seed=17, processes=2)
+        assert sum(p.answer["faults"]) == p.answer["fault_count"]
+
+    def test_vm1_single_process(self):
+        p = generate_vm_trace(seed=18, processes=1)
+        assert set(p.answer["final_resident"]) == {1}
+
+    def test_resident_pages_fit_in_frames(self):
+        p = generate_vm_trace(seed=19, processes=2)
+        total = sum(len(pages)
+                    for pages in p.answer["final_resident"].values())
+        assert total <= p.context["frames"]
+
+    def test_translation_problem(self):
+        p = generate_translation_problem(seed=20)
+        assert p.answer >> 8 == p.context["frame"]
+
+
+class TestThreadEngines:
+    def test_locked_counter_is_nominal(self):
+        for seed in range(30):
+            p = generate_counter_outcome(seed=seed)
+            if p.context["locked"]:
+                assert p.answer == p.context["nominal"]
+                return
+        pytest.fail("no locked variant generated")
+
+    def test_unlocked_counter_loses_updates(self):
+        for seed in range(30):
+            p = generate_counter_outcome(seed=seed)
+            if not p.context["locked"]:
+                assert p.answer < p.context["nominal"]
+                return
+        pytest.fail("no unlocked variant generated")
+
+    def test_amdahl_answer(self):
+        from repro.core import amdahl_speedup
+        p = generate_amdahl(seed=21)
+        expected = amdahl_speedup(p.context["parallel_pct"] / 100,
+                                  p.context["cores"])
+        assert p.answer == round(expected, 3)
+
+    def test_producer_consumer_respects_capacity(self):
+        p = generate_producer_consumer(seed=22)
+        assert p.answer["max_occupancy"] <= p.context["capacity"]
+        assert p.answer["consumed"] == 16
+
+    def test_sync_placement(self):
+        p = generate_sync_placement()
+        assert check(p, {2, 3, 4})
+        assert not check(p, {1, 5})

@@ -1,0 +1,54 @@
+"""Tests for the struct-layout and 2-D-array homework generators."""
+
+import pytest
+
+from repro.clib.structs import StructLayout, array2d_address
+from repro.homework.binary_hw import (
+    generate_array2d_address,
+    generate_struct_layout,
+)
+
+
+class TestStructLayoutProblems:
+    def test_deterministic(self):
+        a, b = generate_struct_layout(seed=9), generate_struct_layout(seed=9)
+        assert a.prompt == b.prompt and a.answer == b.answer
+
+    def test_answer_matches_fresh_layout(self):
+        p = generate_struct_layout(seed=3)
+        layout = StructLayout("s", p.context["fields"])
+        assert p.answer["sizeof"] == layout.size
+        assert p.answer["offset"] == layout.offset_of(p.context["target"])
+
+    def test_prompt_mentions_fields(self):
+        p = generate_struct_layout(seed=4)
+        for name, ctype in p.context["fields"]:
+            assert f"{ctype} {name};" in p.prompt
+
+    def test_sizeof_is_multiple_of_alignment(self):
+        for seed in range(10):
+            p = generate_struct_layout(seed=seed)
+            layout = StructLayout("s", p.context["fields"])
+            assert p.answer["sizeof"] % layout.alignment == 0
+
+
+class TestArray2DProblems:
+    def test_deterministic(self):
+        assert (generate_array2d_address(seed=5).answer
+                == generate_array2d_address(seed=5).answer)
+
+    def test_answer_matches_formula(self):
+        p = generate_array2d_address(seed=6)
+        ctx = p.context
+        assert p.answer == array2d_address(
+            ctx["base"], ctx["i"], ctx["j"], cols=ctx["cols"])
+
+    def test_index_within_bounds(self):
+        for seed in range(10):
+            p = generate_array2d_address(seed=seed)
+            assert 0 <= p.context["i"] < p.context["rows"]
+            assert 0 <= p.context["j"] < p.context["cols"]
+
+    def test_answer_at_least_base(self):
+        p = generate_array2d_address(seed=7)
+        assert p.answer >= p.context["base"]

@@ -1,0 +1,98 @@
+"""Integration: OS + threads + homework engines working together."""
+
+import pytest
+
+from repro.core import Pthreads, SyncCosts, Work, BarrierWait
+from repro.homework import check, grade, problem_set
+from repro.homework.binary_hw import generate_conversion
+from repro.homework.cache_hw import generate_cache_trace
+from repro.homework.processes_hw import generate_fork_outputs
+from repro.life import GameOfLife, ParallelLife, grids_equal, random_grid
+from repro.ossim import (
+    Exec,
+    Exit,
+    Fork,
+    Kernel,
+    Print,
+    Shell,
+    Wait,
+)
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+class TestShellOverKernel:
+    def test_shell_launches_kernel_programs(self):
+        sh = Shell()
+        out = sh.run_script(["hello", "yes3"])
+        assert "hello, world" in out
+        assert out.count("y\n") == 3
+
+    def test_shell_background_with_foreground_interleaving(self):
+        sh = Shell()
+        sh.run_line("spin-long &")
+        out = sh.run_line("hello")
+        assert "hello, world" in out
+        sh.drain_background()
+        assert sh.jobs[0].exit_status == 0
+
+    def test_kernel_program_spawns_shell_like_pipeline(self):
+        """fork + exec the way the shell does, by hand."""
+        k = Kernel()
+        k.spawn("launcher", [
+            Print("launching\n"),
+            Fork(child=[Exec("hello")]),
+            Wait(),
+            Print("done\n"),
+            Exit(0),
+        ])
+        k.run()
+        out = k.output_string()
+        assert out.index("launching") < out.index("hello, world")
+        assert out.index("hello, world") < out.index("done")
+
+
+class TestLab10ViaPthreadsFacade:
+    def test_facade_runs_lab10_style_program(self):
+        grid = random_grid(16, 16, seed=8)
+        serial = GameOfLife(grid.copy())
+        serial.run(3)
+        game = ParallelLife(grid, threads=4)
+        result = game.run(3)
+        assert grids_equal(result, serial.grid)
+        # the facade exposes the same machinery for custom programs
+        pt = Pthreads(num_cores=4, costs=FREE)
+        bar = pt.barrier_init(4)
+
+        def phase_worker():
+            yield Work(25)
+            yield BarrierWait(bar)
+            yield Work(25)
+
+        for _ in range(4):
+            pt.create(phase_worker)
+        assert pt.join_all() == pytest.approx(50)
+
+
+class TestHomeworkGrading:
+    def test_oracle_answers_score_perfectly(self):
+        problems = problem_set(generate_conversion, 5, seed=1)
+        attempts = [p.reveal() for p in problems]
+        assert grade(problems, attempts) == 1.0
+
+    def test_wrong_answers_fail(self):
+        p = generate_cache_trace(seed=2)
+        wrong = ["hit"] * len(p.answer)
+        assert not check(p, wrong)
+
+    def test_fork_problem_grades_sets(self):
+        p = generate_fork_outputs(seed=3)
+        assert check(p, set(p.answer))
+        assert not check(p, set())
+
+    def test_mixed_problem_set_grade(self):
+        problems = (problem_set(generate_conversion, 3, seed=4)
+                    + problem_set(generate_cache_trace, 3, seed=5))
+        attempts = [p.reveal() for p in problems]
+        attempts[0] = {"binary": "0", "hex": "0x0"}   # one wrong
+        assert grade(problems, attempts) == pytest.approx(5 / 6)

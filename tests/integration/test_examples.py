@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs clean and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+EXPECT = {
+    "quickstart.py": ["near linear up to 16 threads: True",
+                      "fib(12) = 144"],
+    "parallel_game_of_life.py": ["parallel result identical to serial: "
+                                 "True", "race(s):"],
+    "unix_shell_session.py": ["hello, world", "with wait:"],
+    "binary_maze_walkthrough.py": ["escaped the maze: True"],
+    "cache_explorer.py": ["effective access time"],
+    "cpu_from_gates.py": ["pipelining speedup:"],
+    "course_evaluation.py": ["all topics recognized (mean >= 1): True"],
+    "homework_problem_set.py": ["score with one wrong answer: 90%",
+                                "a hardcoded-constant attempt passes: "
+                                "False"],
+    "os_internals.py": ["boot complete", "MORE frames, MORE faults!"],
+}
+
+
+def test_example_inventory():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3        # the deliverable floor
+    assert set(EXPECT) == names   # every example is smoke-checked
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in EXPECT[script.name]:
+        assert needle in proc.stdout, (needle, proc.stdout[-2000:])

@@ -1,0 +1,66 @@
+"""Integration: solving the Lab 5 maze the way a student does.
+
+The test plays student: it reads each floor's disassembly, extracts the
+constants, derives the expected input, and escapes — without touching
+the instructor's answer key (which is only used to cross-check at the
+end).
+"""
+
+import re
+
+from repro.isa import Maze, disassemble_function
+
+
+def _immediates(listing: str) -> list[int]:
+    """All $imm values appearing in cmpl/xorl/sarl/movl/addl lines."""
+    return [int(m) for m in re.findall(r"\$(-?\d+)", listing)]
+
+
+def solve_floor(maze: Maze, floor) -> int:
+    listing = disassemble_function(maze.program, floor.label)
+    imms = _immediates(listing)
+    if floor.scheme == "constant":
+        # cmpl $K, %eax
+        return imms[0]
+    if floor.scheme == "sum":
+        # movl $a; addl $b
+        return imms[0] + imms[1]
+    if floor.scheme == "xor":
+        # xorl $key; cmpl $lock
+        return imms[0] ^ imms[1]
+    if floor.scheme == "shift":
+        # sarl $s; cmpl $k → k << s
+        shift, k = imms[0], imms[1]
+        return k << shift
+    if floor.scheme == "loop":
+        # movl $0 (acc); movl $k (counter) → sum 1..k
+        k = [v for v in imms if v != 0][0]
+        return k * (k + 1) // 2
+    raise AssertionError(f"unknown scheme {floor.scheme}")
+
+
+class TestStudentSolve:
+    def test_escape_by_reading_disassembly(self):
+        maze = Maze(floors=5, seed=2024)
+        guesses = [solve_floor(maze, f) for f in maze.floors]
+        assert maze.escaped(guesses)
+        assert guesses == maze.solutions()   # cross-check vs answer key
+
+    def test_multiple_seeds(self):
+        for seed in (1, 17, 99):
+            maze = Maze(floors=5, seed=seed)
+            guesses = [solve_floor(maze, f) for f in maze.floors]
+            assert maze.escaped(guesses)
+
+    def test_debugger_breakpoint_confirms_entry(self):
+        maze = Maze(floors=2, seed=5)
+        dbg = maze.fresh_debugger()
+        dbg.break_at("floor_1")
+        machine = dbg.machine
+        machine.push(maze.solutions()[0])
+        machine.push(0xFFFF_FFF0)
+        machine.regs.eip = maze.program.labels["floor_1"]
+        # step through the floor and watch it return 1
+        while not machine.halted:
+            machine.step()
+        assert machine.regs.get_signed("eax") == 1

@@ -1,0 +1,88 @@
+"""Integration: the course's theme 1 — one program, every level.
+
+A C-subset program is compiled to IA-32, executed on the machine over a
+real address space with tracing on; the recorded memory accesses then
+flow into the cache simulator and the locality analyzer — the same
+vertical slice CS 31 walks students down.
+"""
+
+import pytest
+
+from repro.clib import AddressSpace
+from repro.isa import Machine, assemble, compile_c
+from repro.memory import Cache, CacheConfig, analyze
+from repro.memory.trace import from_address_space
+
+SUM_LOOP = """
+int sumto(int n) {
+    int total = 0;
+    int i = 1;
+    while (i <= n) { total = total + i; i = i + 1; }
+    return total;
+}
+"""
+
+
+class TestCompileExecute:
+    def test_compiled_c_matches_python(self):
+        program = assemble(compile_c(SUM_LOOP), entry="sumto")
+        machine = Machine(program)
+        for n in (0, 1, 10, 50):
+            assert machine.call("sumto", n) == n * (n + 1) // 2
+
+    def test_compiled_c_runs_on_traced_address_space(self):
+        space = AddressSpace.standard(trace=True)
+        program = assemble(compile_c(SUM_LOOP), entry="sumto")
+        machine = Machine(program, space)
+        assert machine.call("sumto", 10) == 55
+        assert len(space.trace) > 20   # stack traffic was recorded
+
+    def test_trace_feeds_cache_simulator(self):
+        space = AddressSpace.standard(trace=True)
+        program = assemble(compile_c(SUM_LOOP), entry="sumto")
+        Machine(program, space).call("sumto", 30)
+        pairs = from_address_space(space)
+        cache = Cache(CacheConfig(num_lines=16, block_size=16))
+        cache.run_trace(pairs)
+        # the loop hammers the same few stack slots: strong hit rate
+        assert cache.stats.hit_rate > 0.9
+
+    def test_trace_shows_temporal_locality(self):
+        space = AddressSpace.standard(trace=True)
+        program = assemble(compile_c(SUM_LOOP), entry="sumto")
+        Machine(program, space).call("sumto", 30)
+        addresses = [a for a, _ in from_address_space(space)]
+        report = analyze(addresses)
+        assert report.temporal > 0.8
+
+    def test_instruction_fetches_recordable(self):
+        space = AddressSpace.standard(trace=True)
+        program = assemble(compile_c(SUM_LOOP), entry="sumto")
+        machine = Machine(program, space, record_fetches=True)
+        machine.call("sumto", 5)
+        fetches = [a for a in space.trace if a.kind == "fetch"]
+        assert len(fetches) == machine.steps
+
+
+class TestCostsAcrossLevels:
+    """Theme 2: the same workload, costed at different levels."""
+
+    def test_bigger_cache_helps_the_same_program(self):
+        def run_with(lines):
+            space = AddressSpace.standard(trace=True)
+            program = assemble(compile_c(SUM_LOOP), entry="sumto")
+            Machine(program, space).call("sumto", 40)
+            cache = Cache(CacheConfig(num_lines=lines, block_size=8))
+            cache.run_trace(from_address_space(space))
+            return cache.stats.miss_rate
+
+        assert run_with(64) <= run_with(2)
+
+    def test_machine_steps_grow_linearly_with_n(self):
+        program = assemble(compile_c(SUM_LOOP), entry="sumto")
+        machine = Machine(program)
+        machine.call("sumto", 10)
+        small = machine.steps
+        machine.call("sumto", 20)
+        big = machine.steps - small
+        assert big > small

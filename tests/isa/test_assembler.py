@@ -1,0 +1,117 @@
+"""Unit tests for the AT&T-syntax assembler."""
+
+import pytest
+
+from repro.clib.address_space import TEXT_BASE
+from repro.errors import AssemblerError
+from repro.isa import (
+    Immediate, LabelRef, Memory, Register, assemble, parse_operand,
+)
+
+
+class TestOperandParsing:
+    def test_immediate(self):
+        assert parse_operand("$42") == Immediate(42)
+        assert parse_operand("$-7") == Immediate(-7)
+        assert parse_operand("$0x10") == Immediate(16)
+
+    def test_register(self):
+        assert parse_operand("%eax") == Register("eax")
+        assert parse_operand("%al") == Register("al")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            parse_operand("%rax")
+
+    def test_memory_base_only(self):
+        assert parse_operand("(%eax)") == Memory(0, "eax")
+
+    def test_memory_disp_base(self):
+        assert parse_operand("8(%ebp)") == Memory(8, "ebp")
+        assert parse_operand("-4(%ebp)") == Memory(-4, "ebp")
+
+    def test_memory_indexed(self):
+        m = parse_operand("(%eax,%ecx,4)")
+        assert m == Memory(0, "eax", "ecx", 4)
+
+    def test_memory_full_form(self):
+        m = parse_operand("-8(%ebp,%esi,2)")
+        assert m == Memory(-8, "ebp", "esi", 2)
+
+    def test_memory_bad_scale(self):
+        with pytest.raises(AssemblerError):
+            parse_operand("(%eax,%ecx,3)")
+
+    def test_absolute_address(self):
+        assert parse_operand("0x8049000") == Memory(displacement=0x8049000)
+
+    def test_label(self):
+        assert parse_operand("loop_top") == LabelRef("loop_top")
+
+    def test_garbage(self):
+        with pytest.raises(AssemblerError):
+            parse_operand("@!bad")
+
+
+class TestAssemble:
+    def test_layout_addresses(self):
+        p = assemble("main:\n  movl $1, %eax\n  ret")
+        assert p.labels["main"] == TEXT_BASE
+        assert [i.address for i in p.instructions] == [TEXT_BASE,
+                                                       TEXT_BASE + 4]
+
+    def test_comments_and_directives_skipped(self):
+        p = assemble(".text\nmain:\n  nop  # no-op\n  ret\n")
+        assert len(p.instructions) == 2
+
+    def test_label_resolution(self):
+        p = assemble("main:\n  jmp done\n  nop\ndone:\n  ret")
+        jmp = p.instructions[0]
+        target = jmp.operands[0]
+        assert isinstance(target, LabelRef)
+        assert target.address == p.labels["done"]
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("main:\n  jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\n  nop\na:\n  ret")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("main:\n  frob %eax")
+
+    def test_arity_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble("main:\n  movl %eax")
+        with pytest.raises(AssemblerError):
+            assemble("main:\n  ret %eax")
+
+    def test_immediate_destination_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("main:\n  movl %eax, $5")
+
+    def test_cmpl_allows_immediate_second(self):
+        p = assemble("main:\n  cmpl $0, %eax\n  ret")
+        assert p.instructions[0].mnemonic == "cmpl"
+
+    def test_push_pop_aliases(self):
+        p = assemble("main:\n  push %ebp\n  pop %ebp\n  ret")
+        assert p.instructions[0].mnemonic == "pushl"
+        assert p.instructions[1].mnemonic == "popl"
+
+    def test_entry_address(self):
+        p = assemble("helper:\n  ret\nmain:\n  ret")
+        assert p.entry_address == p.labels["main"]
+
+    def test_missing_entry(self):
+        p = assemble("helper:\n  ret")
+        with pytest.raises(AssemblerError):
+            p.entry_address
+
+    def test_listing_shows_labels(self):
+        p = assemble("main:\n  movl $1, %eax\n  ret")
+        listing = p.listing()
+        assert "main:" in listing and "movl $1, %eax" in listing

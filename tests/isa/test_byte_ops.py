@@ -1,0 +1,148 @@
+"""Tests for byte-width operations: movb, movzbl, movsbl, cmpb.
+
+These are the instructions the course's string-processing assembly
+(strlen in IA-32, the classic lab exercise) is built from, so the last
+test writes exactly that loop and runs it against the C string library's
+memory.
+"""
+
+import pytest
+
+from repro.clib import AddressSpace, Heap
+from repro.errors import IllegalInstruction
+from repro.isa import Machine, assemble
+
+
+def run(src, entry="main", space=None):
+    m = Machine(assemble(src, entry=entry), space)
+    return m.run(), m
+
+
+class TestMovb:
+    def test_immediate_to_byte_register(self):
+        result, m = run("main:\n  movb $0x7f, %al\n"
+                        "  movzbl %al, %eax\n  ret")
+        assert result == 0x7F
+
+    def test_byte_write_preserves_upper_bits(self):
+        src = """
+        main:
+          movl $0x11223344, %eax
+          movb $0xff, %al
+          ret
+        """
+        result, m = run(src)
+        assert m.regs.get("eax") == 0x112233FF
+
+    def test_ah_addresses_bits_8_to_15(self):
+        src = """
+        main:
+          movl $0, %eax
+          movb $0xab, %ah
+          ret
+        """
+        _, m = run(src)
+        assert m.regs.get("eax") == 0xAB00
+
+    def test_memory_byte_roundtrip(self):
+        src = """
+        main:
+          movb $0x5a, -1(%esp)
+          movzbl -1(%esp), %eax
+          ret
+        """
+        assert run(src)[0] == 0x5A
+
+    def test_wide_register_rejected(self):
+        with pytest.raises(IllegalInstruction):
+            run("main:\n  movb $1, %eax\n  ret")
+
+
+class TestExtensions:
+    def test_movzbl_zero_extends(self):
+        src = "main:\n  movb $0xff, %bl\n  movzbl %bl, %eax\n  ret"
+        result, m = run(src)
+        assert m.regs.get("eax") == 0xFF
+
+    def test_movsbl_sign_extends(self):
+        src = "main:\n  movb $0xff, %bl\n  movsbl %bl, %eax\n  ret"
+        assert run(src)[0] == -1
+
+    def test_movsbl_positive_byte(self):
+        src = "main:\n  movb $0x7f, %bl\n  movsbl %bl, %eax\n  ret"
+        assert run(src)[0] == 127
+
+    def test_movzbl_needs_register_destination(self):
+        with pytest.raises(IllegalInstruction):
+            run("main:\n  movzbl %al, -4(%esp)\n  ret")
+
+
+class TestCmpb:
+    def test_sets_zero_flag(self):
+        src = """
+        main:
+          movb $7, %al
+          cmpb $7, %al
+          je same
+          movl $0, %eax
+          ret
+        same:
+          movl $1, %eax
+          ret
+        """
+        assert run(src)[0] == 1
+
+    def test_null_byte_detection(self):
+        src = """
+        main:
+          movb $0, -1(%esp)
+          cmpb $0, -1(%esp)
+          je isnull
+          movl $0, %eax
+          ret
+        isnull:
+          movl $1, %eax
+          ret
+        """
+        assert run(src)[0] == 1
+
+
+class TestStrlenInAssembly:
+    """The classic exercise: strlen written in IA-32, over real memory."""
+
+    STRLEN = """
+    strlen:
+      pushl %ebp
+      movl %esp, %ebp
+      movl 8(%ebp), %ecx      # s
+      movl $0, %eax           # len = 0
+    loop:
+      movzbl (%ecx,%eax,1), %edx
+      cmpl $0, %edx
+      je done
+      incl %eax
+      jmp loop
+    done:
+      leave
+      ret
+    main:
+      ret
+    """
+
+    def test_matches_python_len(self):
+        space = AddressSpace.standard()
+        heap = Heap(space)
+        for text in ("", "a", "hello", "CS 31 systems!"):
+            addr = heap.malloc(len(text) + 1)
+            space.store_cstring(addr, text)
+            m = Machine(assemble(self.STRLEN), space)
+            assert m.call("strlen", addr) == len(text)
+
+    def test_agrees_with_cstring_library(self):
+        from repro.clib import cstring
+        space = AddressSpace.standard()
+        heap = Heap(space)
+        addr = heap.malloc(32)
+        space.store_cstring(addr, "parallel")
+        m = Machine(assemble(self.STRLEN), space)
+        assert m.call("strlen", addr) == cstring.strlen(space, addr)

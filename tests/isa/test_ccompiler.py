@@ -1,0 +1,184 @@
+"""Unit + differential tests for the tiny C compiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import CompileError, compile_c, run_c
+
+
+class TestBasics:
+    def test_return_constant(self):
+        assert run_c("int main() { return 42; }") == 42
+
+    def test_arithmetic_precedence(self):
+        assert run_c("int main() { return 2 + 3 * 4; }") == 14
+        assert run_c("int main() { return (2 + 3) * 4; }") == 20
+
+    def test_unary_minus_and_not(self):
+        assert run_c("int main() { return -5 + 6; }") == 1
+        assert run_c("int main() { return !0; }") == 1
+        assert run_c("int main() { return !7; }") == 0
+
+    def test_division_truncates_toward_zero(self):
+        assert run_c("int main() { return -7 / 2; }") == -3
+        assert run_c("int main() { return -7 % 2; }") == -1
+
+    def test_variables(self):
+        src = "int main() { int x = 10; int y; y = x * 3; return y - 5; }"
+        assert run_c(src) == 25
+
+    def test_implicit_return_zero(self):
+        assert run_c("int main() { int x = 5; x = x; }") == 0
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """
+        int classify(int n) {
+            if (n > 0) { return 1; } else {
+                if (n < 0) { return -1; } else { return 0; }
+            }
+        }
+        """
+        assert run_c(src, "classify", 10) == 1
+        assert run_c(src, "classify", -10) == -1
+        assert run_c(src, "classify", 0) == 0
+
+    def test_while_loop(self):
+        src = """
+        int sum_to(int n) {
+            int total = 0;
+            int i = 1;
+            while (i <= n) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        assert run_c(src, "sum_to", 10) == 55
+        assert run_c(src, "sum_to", 0) == 0
+
+    def test_comparisons(self):
+        src = "int f(int a, int b) { return (a < b) + (a == b) * 10 + (a > b) * 100; }"
+        assert run_c(src, "f", 1, 2) == 1
+        assert run_c(src, "f", 2, 2) == 10
+        assert run_c(src, "f", 3, 2) == 100
+
+    def test_logical_and_or(self):
+        src = "int f(int a, int b) { return a && b; }"
+        assert run_c(src, "f", 2, 3) == 1
+        assert run_c(src, "f", 2, 0) == 0
+        src = "int g(int a, int b) { return a || b; }"
+        assert run_c(src, "g", 0, 0) == 0
+        assert run_c(src, "g", 0, 9) == 1
+
+    def test_short_circuit_skips_division_by_zero(self):
+        src = "int f(int a) { return a != 0 && 10 / a > 1; }"
+        assert run_c(src, "f", 0) == 0  # must not evaluate 10/0
+
+
+class TestFunctions:
+    def test_call_with_args(self):
+        src = """
+        int add(int a, int b) { return a + b; }
+        int main() { return add(20, 22); }
+        """
+        assert run_c(src) == 42
+
+    def test_nested_calls(self):
+        src = """
+        int inc(int x) { return x + 1; }
+        int main() { return inc(inc(inc(0))); }
+        """
+        assert run_c(src) == 3
+
+    def test_recursion_fibonacci(self):
+        src = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        """
+        assert run_c(src, "fib", 10) == 55
+
+    def test_argument_order(self):
+        src = "int f(int a, int b) { return a - b; }"
+        assert run_c(src, "f", 10, 3) == 7
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_c("int main() { return ghost; }")
+
+    def test_undeclared_assignment(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_c("int main() { ghost = 1; return 0; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(CompileError, match="redeclaration"):
+            compile_c("int main() { int x; int x; return 0; }")
+
+    def test_duplicate_functions(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_c("int f() { return 1; } int f() { return 2; }")
+
+    def test_syntax_error(self):
+        with pytest.raises(CompileError):
+            compile_c("int main() { return ; }")
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            compile_c("int main() { return 1 @ 2; }")
+
+    def test_empty_program(self):
+        with pytest.raises(CompileError):
+            compile_c("   ")
+
+
+class TestCompilerOutput:
+    def test_emits_prologue_epilogue(self):
+        asm = compile_c("int main() { int x = 1; return x; }")
+        assert "pushl %ebp" in asm
+        assert "movl %esp, %ebp" in asm
+        assert "leave" in asm
+
+    def test_locals_reserved(self):
+        asm = compile_c("int main() { int a; int b; int c; return 0; }")
+        assert "subl $12, %esp" in asm
+
+    def test_comments_ignored(self):
+        assert run_c("int main() { // line\n /* block */ return 3; }") == 3
+
+
+class TestDifferential:
+    """Compiled code must agree with Python as the C oracle."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(min_value=-1000, max_value=1000),
+           b=st.integers(min_value=-1000, max_value=1000),
+           c=st.integers(min_value=1, max_value=50))
+    def test_polynomial(self, a, b, c):
+        src = "int f(int a, int b, int c) { return a * a - 3 * b + c * (a - b); }"
+        assert run_c(src, "f", a, b, c) == a * a - 3 * b + c * (a - b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=20))
+    def test_iterative_factorial(self, n):
+        src = """
+        int fact(int n) {
+            int r = 1;
+            while (n > 1) { r = r * n; n = n - 1; }
+            return r;
+        }
+        """
+        expected = 1
+        for i in range(2, n + 1):
+            expected *= i
+        if expected < 2**31:  # stay within int range
+            assert run_c(src, "fact", n) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=st.integers(min_value=-100, max_value=100),
+           y=st.integers(min_value=-100, max_value=100))
+    def test_max_function(self, x, y):
+        src = "int mx(int x, int y) { if (x > y) { return x; } return y; }"
+        assert run_c(src, "mx", x, y) == max(x, y)

@@ -1,0 +1,243 @@
+"""Tests for the C-subset extensions: arrays, pointers, for loops.
+
+These bring the compiler up to the Lab 4/Lab 6 material: statistics
+over arrays, pointer parameters, and counted loops.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import CompileError, compile_c, run_c
+
+
+class TestForLoops:
+    def test_basic_counted_loop(self):
+        src = """
+        int sumto(int n) {
+            int total = 0;
+            for (int i = 1; i <= n; i = i + 1) { total = total + i; }
+            return total;
+        }
+        """
+        assert run_c(src, "sumto", 10) == 55
+
+    def test_for_with_external_init(self):
+        src = """
+        int f(int n) {
+            int i = 0;
+            int acc = 0;
+            for (i = 0; i < n; i = i + 1) { acc = acc + 2; }
+            return acc + i;
+        }
+        """
+        assert run_c(src, "f", 5) == 15
+
+    def test_for_scope_is_local(self):
+        # i declared in the for header must not leak out
+        src = """
+        int f() {
+            for (int i = 0; i < 3; i = i + 1) { i = i; }
+            return i;
+        }
+        """
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_c(src)
+
+    def test_empty_update(self):
+        src = """
+        int f() {
+            int k = 0;
+            for (; k < 4;) { k = k + 1; }
+            return k;
+        }
+        """
+        assert run_c(src, "f") == 4
+
+    def test_nested_for(self):
+        src = """
+        int grid(int n) {
+            int count = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                for (int j = 0; j < n; j = j + 1) {
+                    count = count + 1;
+                }
+            }
+            return count;
+        }
+        """
+        assert run_c(src, "grid", 7) == 49
+
+
+class TestArrays:
+    def test_store_load(self):
+        src = """
+        int f() {
+            int a[4];
+            a[0] = 10;
+            a[3] = 40;
+            return a[0] + a[3];
+        }
+        """
+        assert run_c(src, "f") == 50
+
+    def test_computed_index(self):
+        src = """
+        int f(int i) {
+            int a[5];
+            for (int k = 0; k < 5; k = k + 1) { a[k] = k * k; }
+            return a[i];
+        }
+        """
+        assert run_c(src, "f", 3) == 9
+
+    def test_lab4_statistics_max(self):
+        """Lab 4's 'compute basic statistics' on an array."""
+        src = """
+        int maxof() {
+            int a[6];
+            a[0] = 3; a[1] = 17; a[2] = 5; a[3] = 17;
+            a[4] = 2; a[5] = 11;
+            int best = a[0];
+            for (int i = 1; i < 6; i = i + 1) {
+                if (a[i] > best) { best = a[i]; }
+            }
+            return best;
+        }
+        """
+        assert run_c(src, "maxof") == 17
+
+    def test_lab2_bubble_sort(self):
+        """Lab 2's O(N^2) sort, now expressible in the C subset."""
+        src = """
+        int sorted_at(int pos) {
+            int a[5];
+            a[0] = 9; a[1] = 1; a[2] = 7; a[3] = 3; a[4] = 5;
+            for (int i = 0; i < 4; i = i + 1) {
+                for (int j = 0; j < 4 - i; j = j + 1) {
+                    if (a[j] > a[j + 1]) {
+                        int t = a[j];
+                        a[j] = a[j + 1];
+                        a[j + 1] = t;
+                    }
+                }
+            }
+            return a[pos];
+        }
+        """
+        assert [run_c(src, "sorted_at", i) for i in range(5)] == \
+            [1, 3, 5, 7, 9]
+
+    def test_array_zero_size_rejected(self):
+        with pytest.raises(CompileError, match="positive size"):
+            compile_c("int f() { int a[0]; return 0; }")
+
+    def test_scalar_indexing_rejected(self):
+        with pytest.raises(CompileError, match="not an array"):
+            compile_c("int f() { int x; return x[0]; }")
+
+    def test_array_as_scalar_rejected(self):
+        with pytest.raises(CompileError, match="array, not a scalar"):
+            compile_c("int f() { int a[2]; a = 5; return 0; }")
+
+    def test_two_arrays_do_not_alias(self):
+        src = """
+        int f() {
+            int a[3];
+            int b[3];
+            for (int i = 0; i < 3; i = i + 1) { a[i] = 1; b[i] = 2; }
+            return a[0] + a[1] + a[2] + b[0] + b[1] + b[2];
+        }
+        """
+        assert run_c(src, "f") == 9
+
+
+class TestPointers:
+    def test_address_of_and_deref(self):
+        src = """
+        int f() {
+            int x = 41;
+            int p = &x;
+            *p = *p + 1;
+            return x;
+        }
+        """
+        assert run_c(src, "f") == 42
+
+    def test_pointer_into_array(self):
+        src = """
+        int f() {
+            int a[3];
+            a[1] = 7;
+            int p = &a[1];
+            return *p;
+        }
+        """
+        assert run_c(src, "f") == 7
+
+    def test_array_name_decays_to_address(self):
+        src = """
+        int f() {
+            int a[2];
+            a[0] = 99;
+            int p = a;
+            return *p;
+        }
+        """
+        assert run_c(src, "f") == 99
+
+    def test_swap_through_pointers(self):
+        """The classic Lab 4 exercise: swap via pointer parameters."""
+        src = """
+        int swap(int p, int q) {
+            int t = *p;
+            *p = *q;
+            *q = t;
+            return 0;
+        }
+        int f() {
+            int x = 1;
+            int y = 2;
+            swap(&x, &y);
+            return x * 10 + y;
+        }
+        """
+        assert run_c(src, "f") == 21
+
+    def test_output_parameter(self):
+        src = """
+        int fill(int out) { *out = 123; return 0; }
+        int f() { int x = 0; fill(&x); return x; }
+        """
+        assert run_c(src, "f") == 123
+
+
+class TestDifferentialExtended:
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-50, max_value=50),
+                           min_size=4, max_size=4))
+    def test_array_sum_matches_python(self, values):
+        assigns = "\n".join(f"a[{i}] = {v};"
+                            for i, v in enumerate(values))
+        src = f"""
+        int total() {{
+            int a[4];
+            {assigns}
+            int t = 0;
+            for (int i = 0; i < 4; i = i + 1) {{ t = t + a[i]; }}
+            return t;
+        }}
+        """
+        assert run_c(src, "total") == sum(values)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=12))
+    def test_for_factorial(self, n):
+        src = """
+        int fact(int n) {
+            int r = 1;
+            for (int i = 2; i <= n; i = i + 1) { r = r * i; }
+            return r;
+        }
+        """
+        import math
+        assert run_c(src, "fact", n) == math.factorial(n)

@@ -1,0 +1,82 @@
+"""Tests for global variables in the C subset."""
+
+import pytest
+
+from repro.isa import CompileError, compile_c, run_c
+
+
+class TestGlobals:
+    def test_read_initialized_global(self):
+        src = """
+        int base = 40;
+        int main() { return base + 2; }
+        """
+        assert run_c(src) == 42
+
+    def test_uninitialized_global_is_zero(self):
+        src = "int zero;\nint main() { return zero; }"
+        assert run_c(src) == 0
+
+    def test_negative_initializer(self):
+        src = "int level = -7;\nint main() { return level; }"
+        assert run_c(src) == -7
+
+    def test_write_global(self):
+        src = """
+        int counter = 0;
+        int bump() { counter = counter + 1; return counter; }
+        int main() { bump(); bump(); bump(); return counter; }
+        """
+        assert run_c(src) == 3
+
+    def test_global_shared_across_functions(self):
+        src = """
+        int acc = 0;
+        int add(int x) { acc = acc + x; return 0; }
+        int main() { add(5); add(7); return acc; }
+        """
+        assert run_c(src) == 12
+
+    def test_local_shadows_global(self):
+        src = """
+        int x = 100;
+        int main() { int x = 1; return x; }
+        """
+        assert run_c(src) == 1
+
+    def test_global_survives_recursion(self):
+        src = """
+        int calls = 0;
+        int fib(int n) {
+            calls = calls + 1;
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { fib(5); return calls; }
+        """
+        assert run_c(src) == 15   # fib(5) makes 15 calls
+
+    def test_address_of_global(self):
+        src = """
+        int g = 9;
+        int main() { int p = &g; *p = *p + 1; return g; }
+        """
+        assert run_c(src) == 10
+
+    def test_duplicate_global_and_function_rejected(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_c("int f = 1;\nint f() { return 0; }")
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_c("int g = 1;\nint g = 2;\nint main() { return 0; }")
+
+    def test_expression_initializer_rejected(self):
+        with pytest.raises(CompileError):
+            compile_c("int g = 1 + 2;\nint main() { return g; }")
+
+    def test_emits_data_section(self):
+        asm = compile_c("int g = 3;\nint main() { return g; }")
+        assert ".data" in asm and ".long 3" in asm
+
+    def test_program_with_only_globals_rejected(self):
+        with pytest.raises(CompileError, match="empty"):
+            compile_c("int g = 1;")

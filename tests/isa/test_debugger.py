@@ -1,0 +1,145 @@
+"""Unit tests for the GDB-like debugger and disassembler."""
+
+import pytest
+
+from repro.errors import MachineFault
+from repro.isa import (
+    Debugger, Machine, assemble, disassemble_function, function_bounds,
+)
+
+SRC = """
+main:
+  pushl %ebp
+  movl %esp, %ebp
+  pushl $5
+  call square
+  addl $4, %esp
+  leave
+  ret
+square:
+  pushl %ebp
+  movl %esp, %ebp
+  movl 8(%ebp), %eax
+  imull %eax, %eax
+  leave
+  ret
+"""
+
+
+@pytest.fixture
+def dbg():
+    return Debugger(Machine(assemble(SRC)))
+
+
+class TestBreakpoints:
+    def test_break_by_label_and_continue(self, dbg):
+        dbg.break_at("square")
+        assert dbg.cont() == "breakpoint"
+        assert dbg.machine.regs.eip == dbg.machine.program.labels["square"]
+
+    def test_run_to_completion(self, dbg):
+        assert dbg.cont() == "halted"
+        assert dbg.machine.regs.get_signed("eax") == 25
+
+    def test_delete_breakpoint(self, dbg):
+        dbg.break_at("square")
+        dbg.delete_breakpoint("square")
+        assert dbg.cont() == "halted"
+
+    def test_unknown_symbol(self, dbg):
+        with pytest.raises(MachineFault):
+            dbg.break_at("nothere")
+
+    def test_run_to_is_temporary(self, dbg):
+        assert dbg.run_to("square") == "breakpoint"
+        assert not dbg.breakpoints
+
+
+class TestStepping:
+    def test_stepi_traces(self, dbg):
+        lines = dbg.stepi(2)
+        assert len(lines) == 2
+        assert "pushl %ebp" in lines[0]
+        assert "<main+0>" in lines[0]
+
+    def test_stepi_stops_at_halt(self, dbg):
+        lines = dbg.stepi(1000)
+        assert dbg.machine.halted
+        assert len(lines) < 1000
+
+
+class TestInspection:
+    def test_info_registers(self, dbg):
+        dbg.stepi(1)
+        out = dbg.info_registers()
+        assert "%esp" in out and "%eip" in out
+
+    def test_examine_stack(self, dbg):
+        dbg.break_at("square")
+        dbg.cont()
+        esp = dbg.machine.regs.get("esp")
+        # [esp] = return address, [esp+4] = the pushed argument 5
+        vals = dbg.examine(esp, 2)
+        assert vals[1] == 5
+
+    def test_current_function_tracks_eip(self, dbg):
+        assert dbg.current_function() == "main"
+        dbg.break_at("square")
+        dbg.cont()
+        assert dbg.current_function() == "square"
+
+    def test_backtrace_inside_callee(self, dbg):
+        dbg.break_at("square")
+        dbg.cont()
+        dbg.stepi(2)   # execute square's prologue so its frame exists
+        frames = dbg.backtrace()
+        names = [f.function for f in frames]
+        assert names[0] == "square"
+        assert "main" in names
+
+
+class TestCommandInterpreter:
+    def test_session(self, dbg):
+        assert "Breakpoint" in dbg.execute_command("break square")
+        assert "breakpoint" in dbg.execute_command("continue")
+        out = dbg.execute_command("info registers")
+        assert "%eax" in out
+        assert dbg.execute_command("si")
+        assert "square" in dbg.execute_command("bt")
+
+    def test_examine_command(self, dbg):
+        dbg.execute_command("break square")
+        dbg.execute_command("continue")
+        esp = dbg.machine.regs.get("esp")
+        out = dbg.execute_command(f"x/2 {esp:#x}")
+        assert "0x00000005" in out
+
+    def test_disassemble_command(self, dbg):
+        out = dbg.execute_command("disas square")
+        assert "imull %eax, %eax" in out
+
+    def test_unknown_command(self, dbg):
+        with pytest.raises(MachineFault):
+            dbg.execute_command("quux")
+
+
+class TestDisassembler:
+    def test_function_bounds(self):
+        p = assemble(SRC)
+        start, end = function_bounds(p, "main")
+        assert start == p.labels["main"]
+        assert end == p.labels["square"]
+
+    def test_last_function_extends_to_end(self):
+        p = assemble(SRC)
+        start, end = function_bounds(p, "square")
+        assert end == p.instructions[-1].address + 4
+
+    def test_disassembly_offsets(self):
+        p = assemble(SRC)
+        text = disassemble_function(p, "square")
+        assert "<+0>" in text and "movl 8(%ebp), %eax" in text
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            function_bounds(assemble(SRC), "ghost")

@@ -1,0 +1,61 @@
+"""Coverage for the remaining disassembler helpers and run_threads."""
+
+import pytest
+
+from repro.core import SimMachine, SyncCosts, Work, run_threads
+from repro.isa import annotate, assemble, disassemble_range
+
+SRC = """
+main:
+  movl $1, %eax
+  addl $2, %eax
+  ret
+helper:
+  nop
+  ret
+"""
+
+
+class TestDisassembleRange:
+    def test_range_lists_instructions(self):
+        p = assemble(SRC)
+        lines = disassemble_range(p, p.labels["main"], 3)
+        assert len(lines) == 3
+        assert "movl $1, %eax" in lines[0]
+        assert "ret" in lines[2]
+
+    def test_range_stops_at_program_end(self):
+        p = assemble(SRC)
+        lines = disassemble_range(p, p.labels["helper"], 10)
+        assert len(lines) == 2
+
+    def test_range_from_bad_address_is_empty(self):
+        p = assemble(SRC)
+        assert disassemble_range(p, 0x1000, 4) == []
+
+
+class TestAnnotate:
+    def test_annotate_offsets_from_nearest_label(self):
+        p = assemble(SRC)
+        second = p.instructions[1]
+        out = annotate(p, second)
+        assert "<main+4>" in out
+        assert "addl" in out
+
+    def test_annotate_label_start(self):
+        p = assemble(SRC)
+        helper_first = p.at(p.labels["helper"])
+        assert "<helper+0>" in annotate(p, helper_first)
+
+
+class TestRunThreadsHelper:
+    def test_spawns_and_runs(self):
+        def worker(n):
+            yield Work(n)
+
+        machine = run_threads([(worker, (100,)), (worker, (100,))],
+                              num_cores=2,
+                              costs=SyncCosts(lock=0, unlock=0, barrier=0,
+                                              cond=0, sem=0, spawn=0))
+        assert machine.makespan == pytest.approx(100)
+        assert isinstance(machine, SimMachine)

@@ -1,0 +1,302 @@
+"""Unit tests for the IA-32-subset machine."""
+
+import pytest
+
+from repro.errors import MachineFault
+from repro.isa import Machine, assemble
+
+
+def run(source, entry="main", **kwargs):
+    return Machine(assemble(source, entry=entry), **kwargs).run()
+
+
+class TestDataMovement:
+    def test_mov_immediate(self):
+        assert run("main:\n  movl $42, %eax\n  ret") == 42
+
+    def test_mov_register(self):
+        assert run("main:\n  movl $7, %ebx\n  movl %ebx, %eax\n  ret") == 7
+
+    def test_mov_memory_roundtrip(self):
+        src = """
+        main:
+          movl $99, %ecx
+          movl %ecx, -4(%esp)
+          movl -4(%esp), %eax
+          ret
+        """
+        assert run(src) == 99
+
+    def test_indexed_addressing(self):
+        src = """
+        main:
+          movl %esp, %ebx
+          subl $32, %ebx
+          movl $2, %ecx
+          movl $55, (%ebx,%ecx,4)
+          movl 8(%ebx), %eax
+          ret
+        """
+        assert run(src) == 55
+
+    def test_leal_computes_address_without_access(self):
+        src = """
+        main:
+          movl $100, %ebx
+          movl $3, %ecx
+          leal 8(%ebx,%ecx,4), %eax
+          ret
+        """
+        assert run(src) == 100 + 12 + 8
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert run("main:\n  movl $10, %eax\n  addl $5, %eax\n"
+                   "  subl $3, %eax\n  ret") == 12
+
+    def test_imull(self):
+        assert run("main:\n  movl $-6, %eax\n  movl $7, %ecx\n"
+                   "  imull %ecx, %eax\n  ret") == -42
+
+    def test_negl_notl(self):
+        assert run("main:\n  movl $5, %eax\n  negl %eax\n  ret") == -5
+        assert run("main:\n  movl $0, %eax\n  notl %eax\n  ret") == -1
+
+    def test_incl_decl(self):
+        assert run("main:\n  movl $9, %eax\n  incl %eax\n  incl %eax\n"
+                   "  decl %eax\n  ret") == 10
+
+    def test_shifts(self):
+        assert run("main:\n  movl $3, %eax\n  sall $4, %eax\n  ret") == 48
+        assert run("main:\n  movl $-16, %eax\n  sarl $2, %eax\n  ret") == -4
+        assert run("main:\n  movl $-16, %eax\n  shrl $2, %eax\n  ret") \
+            == 0x3FFFFFFC
+
+    def test_division(self):
+        src = """
+        main:
+          movl $-43, %eax
+          cltd
+          movl $5, %ecx
+          idivl %ecx
+          ret
+        """
+        assert run(src) == -8  # C truncation toward zero
+
+    def test_division_remainder_in_edx(self):
+        src = """
+        main:
+          movl $43, %eax
+          cltd
+          movl $5, %ecx
+          idivl %ecx
+          movl %edx, %eax
+          ret
+        """
+        assert run(src) == 3
+
+    def test_divide_by_zero_faults(self):
+        src = "main:\n  movl $1, %eax\n  cltd\n  movl $0, %ecx\n" \
+              "  idivl %ecx\n  ret"
+        with pytest.raises(MachineFault, match="division by zero"):
+            run(src)
+
+
+class TestFlagsAndJumps:
+    def test_je_taken_on_equal(self):
+        src = """
+        main:
+          movl $5, %eax
+          cmpl $5, %eax
+          je yes
+          movl $0, %eax
+          ret
+        yes:
+          movl $1, %eax
+          ret
+        """
+        assert run(src) == 1
+
+    def test_signed_vs_unsigned_comparison(self):
+        # -1 < 1 signed (jl taken), but 0xFFFFFFFF > 1 unsigned (jb not)
+        signed = """
+        main:
+          movl $-1, %eax
+          cmpl $1, %eax
+          jl yes
+          movl $0, %eax
+          ret
+        yes:
+          movl $1, %eax
+          ret
+        """
+        unsigned = signed.replace("jl yes", "jb yes")
+        assert run(signed) == 1
+        assert run(unsigned) == 0
+
+    def test_jg_jle(self):
+        src = """
+        main:
+          movl $3, %eax
+          cmpl $7, %eax
+          jg big
+          movl $-1, %eax
+          ret
+        big:
+          movl $1, %eax
+          ret
+        """
+        assert run(src) == -1
+
+    def test_testl_sets_zf(self):
+        src = """
+        main:
+          movl $8, %eax
+          testl $7, %eax
+          je aligned
+          movl $0, %eax
+          ret
+        aligned:
+          movl $1, %eax
+          ret
+        """
+        assert run(src) == 1
+
+    def test_incl_preserves_carry(self):
+        # set CF via an overflowing add, then incl must not clear it
+        src = """
+        main:
+          movl $-1, %eax
+          addl $1, %eax      # CF=1, eax=0
+          incl %eax          # CF preserved
+          movl $0, %eax
+          jae no_carry
+          movl $1, %eax
+        no_carry:
+          ret
+        """
+        assert run(src) == 1
+
+    def test_loop_sums_one_to_ten(self):
+        src = """
+        main:
+          movl $0, %eax
+          movl $10, %ecx
+        top:
+          cmpl $0, %ecx
+          je done
+          addl %ecx, %eax
+          decl %ecx
+          jmp top
+        done:
+          ret
+        """
+        assert run(src) == 55
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        assert run("main:\n  pushl $77\n  popl %eax\n  ret") == 77
+
+    def test_call_ret(self):
+        src = """
+        main:
+          call helper
+          addl $1, %eax
+          ret
+        helper:
+          movl $41, %eax
+          ret
+        """
+        assert run(src) == 42
+
+    def test_frame_with_leave(self):
+        src = """
+        main:
+          pushl $20
+          call double_it
+          addl $4, %esp
+          ret
+        double_it:
+          pushl %ebp
+          movl %esp, %ebp
+          movl 8(%ebp), %eax
+          addl %eax, %eax
+          leave
+          ret
+        """
+        assert run(src) == 40
+
+    def test_call_helper_api(self):
+        src = """
+        addmul:
+          pushl %ebp
+          movl %esp, %ebp
+          movl 8(%ebp), %eax
+          addl 12(%ebp), %eax
+          imull 16(%ebp), %eax
+          leave
+          ret
+        main:
+          ret
+        """
+        m = Machine(assemble(src))
+        assert m.call("addmul", 2, 3, 10) == 50
+        # esp restored; a second call still works
+        assert m.call("addmul", -1, 1, 100) == 0
+
+    def test_call_unknown_function(self):
+        m = Machine(assemble("main:\n  ret"))
+        with pytest.raises(MachineFault):
+            m.call("nope")
+
+    def test_recursion_factorial(self):
+        src = """
+        fact:
+          pushl %ebp
+          movl %esp, %ebp
+          movl 8(%ebp), %eax
+          cmpl $1, %eax
+          jle base
+          movl %eax, %ebx
+          subl $1, %eax
+          pushl %ebx
+          pushl %eax
+          call fact
+          addl $4, %esp
+          popl %ebx
+          imull %ebx, %eax
+          leave
+          ret
+        base:
+          movl $1, %eax
+          leave
+          ret
+        main:
+          ret
+        """
+        m = Machine(assemble(src))
+        assert m.call("fact", 6) == 720
+
+
+class TestFaults:
+    def test_fall_off_program(self):
+        src = "main:\n  movl $1, %eax"  # no ret
+        with pytest.raises(MachineFault, match="fell off"):
+            run(src)
+
+    def test_step_limit(self):
+        with pytest.raises(MachineFault, match="infinite loop"):
+            Machine(assemble("main:\n  jmp main")).run(max_steps=100)
+
+    def test_halt_mnemonic(self):
+        m = Machine(assemble("main:\n  movl $5, %eax\n  halt"))
+        assert m.run() == 5
+        assert m.halted
+
+    def test_step_after_halt_rejected(self):
+        m = Machine(assemble("main:\n  halt"))
+        m.run()
+        with pytest.raises(MachineFault):
+            m.step()

@@ -1,0 +1,91 @@
+"""Unit tests for the Lab 5 binary maze."""
+
+import pytest
+
+from repro.errors import MachineFault
+from repro.isa import Debugger, Maze, SCHEMES
+
+
+class TestGeneration:
+    def test_default_floors(self):
+        assert Maze(seed=1).num_floors == 5
+
+    def test_floor_labels_present(self):
+        maze = Maze(floors=3, seed=2)
+        for n in range(1, 4):
+            assert f"floor_{n}" in maze.program.labels
+
+    def test_schemes_cycle_in_order(self):
+        maze = Maze(floors=7, seed=3)
+        schemes = [f.scheme for f in maze.floors]
+        assert schemes == [SCHEMES[i % len(SCHEMES)] for i in range(7)]
+
+    def test_deterministic_for_seed(self):
+        assert Maze(seed=9).solutions() == Maze(seed=9).solutions()
+
+    def test_different_seeds_differ(self):
+        # overwhelmingly likely for 5 floors of 3+ digit keys
+        assert Maze(seed=1).solutions() != Maze(seed=2).solutions()
+
+    def test_needs_a_floor(self):
+        with pytest.raises(ValueError):
+            Maze(floors=0)
+
+
+class TestSolving:
+    @pytest.mark.parametrize("seed", [1, 7, 31, 100])
+    def test_answer_key_escapes(self, seed):
+        maze = Maze(seed=seed)
+        assert maze.escaped(maze.solutions())
+
+    def test_wrong_guess_stops_run(self):
+        maze = Maze(seed=31)
+        sols = maze.solutions()
+        guesses = [sols[0], sols[1] + 1, sols[2]]
+        assert maze.attempt(guesses) == 1
+
+    def test_single_floor_entry(self):
+        maze = Maze(seed=31)
+        assert maze.enter(1, maze.solutions()[0])
+        assert not maze.enter(1, maze.solutions()[0] + 1)
+
+    def test_no_such_floor(self):
+        with pytest.raises(MachineFault):
+            Maze(seed=1).enter(99, 0)
+
+    def test_machines_are_independent(self):
+        maze = Maze(seed=31)
+        m1 = maze.fresh_machine()
+        m2 = maze.fresh_machine()
+        assert m1 is not m2 and m1.space is not m2.space
+
+
+class TestDebuggability:
+    def test_disassemble_reveals_constant_floor(self):
+        """The intended solve: read the disassembly, find the key."""
+        maze = Maze(seed=31)
+        floor = maze.floors[0]
+        assert floor.scheme == "constant"
+        dbg = maze.fresh_debugger()
+        text = dbg.disassemble("floor_1")
+        # the cmpl immediate in the listing IS the answer
+        assert f"${floor.solution}" in text
+
+    def test_loop_floor_actually_loops(self):
+        maze = Maze(floors=5, seed=31)
+        loop_floor = maze.floors[4]
+        assert loop_floor.scheme == "loop"
+        machine = maze.fresh_machine()
+        machine.call(loop_floor.label, loop_floor.solution)
+        assert machine.steps > 20  # it iterated
+
+    def test_breakpoint_on_floor(self):
+        maze = Maze(seed=31)
+        dbg = maze.fresh_debugger()
+        dbg.break_at("floor_2")
+        dbg.machine.regs.eip = maze.program.labels["main"]
+        # drive floor_2 via call and confirm we can stop inside it
+        dbg.machine.push(123)                 # argument
+        dbg.machine.push(0xFFFF_FFF0)         # sentinel return
+        dbg.machine.regs.eip = maze.program.labels["floor_2"]
+        assert dbg.machine.regs.eip in dbg.breakpoints

@@ -1,0 +1,82 @@
+"""Unit tests for the IA-32 register set."""
+
+import pytest
+
+from repro.isa import RegisterSet, register_width
+from repro.errors import IsaError
+
+
+@pytest.fixture
+def regs():
+    return RegisterSet()
+
+
+class TestBasics:
+    def test_start_zeroed(self, regs):
+        assert all(v == 0 for v in regs.snapshot().values())
+
+    def test_set_get_32(self, regs):
+        regs.set("eax", 0xDEADBEEF)
+        assert regs.get("eax") == 0xDEADBEEF
+
+    def test_wraps_to_32_bits(self, regs):
+        regs.set("ebx", 1 << 35)
+        assert regs.get("ebx") == 0
+
+    def test_unknown_register(self, regs):
+        with pytest.raises(IsaError):
+            regs.get("rax")
+        with pytest.raises(IsaError):
+            regs.set("xyz", 1)
+
+    def test_eip(self, regs):
+        regs.set("eip", 0x8048000)
+        assert regs.eip == 0x8048000
+        assert regs.get("eip") == 0x8048000
+
+
+class TestSubRegisters:
+    def test_ax_is_low_half(self, regs):
+        regs.set("eax", 0x12345678)
+        assert regs.get("ax") == 0x5678
+
+    def test_al_ah(self, regs):
+        regs.set("eax", 0x12345678)
+        assert regs.get("al") == 0x78
+        assert regs.get("ah") == 0x56
+
+    def test_write_al_preserves_rest(self, regs):
+        regs.set("eax", 0x12345678)
+        regs.set("al", 0xFF)
+        assert regs.get("eax") == 0x123456FF
+
+    def test_write_ah_preserves_rest(self, regs):
+        regs.set("eax", 0x12345678)
+        regs.set("ah", 0x00)
+        assert regs.get("eax") == 0x12340078
+
+    def test_write_ax_preserves_top(self, regs):
+        regs.set("ecx", 0xAABBCCDD)
+        regs.set("cx", 0x1122)
+        assert regs.get("ecx") == 0xAABB1122
+
+    def test_widths(self):
+        assert register_width("eax") == 32
+        assert register_width("sp") == 16
+        assert register_width("dl") == 8
+        with pytest.raises(IsaError):
+            register_width("zz")
+
+
+class TestSignedViews:
+    def test_signed_32(self, regs):
+        regs.set("eax", 0xFFFFFFFF)
+        assert regs.get_signed("eax") == -1
+
+    def test_signed_8(self, regs):
+        regs.set("al", 0x80)
+        assert regs.get_signed("al") == -128
+
+    def test_render_contains_registers_and_flags(self, regs):
+        out = regs.render()
+        assert "%eax" in out and "ZF=" in out

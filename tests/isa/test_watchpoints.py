@@ -1,0 +1,78 @@
+"""Tests for debugger watchpoints (GDB's `watch`)."""
+
+from repro.isa import Debugger, Machine, assemble
+
+SRC = """
+main:
+  movl %esp, %ebx
+  subl $64, %ebx        # a scratch slot well below esp
+  movl $0, (%ebx)
+  movl $5, %ecx
+loop:
+  cmpl $0, %ecx
+  je done
+  movl (%ebx), %eax
+  addl %ecx, %eax
+  movl %eax, (%ebx)     # each iteration writes the watched slot
+  decl %ecx
+  jmp loop
+done:
+  movl (%ebx), %eax
+  ret
+"""
+
+
+def make_dbg():
+    dbg = Debugger(Machine(assemble(SRC)))
+    # run past the initialisation, then watch the slot
+    dbg.stepi(3)
+    slot = dbg.machine.regs.get("ebx")
+    dbg.watch(slot)
+    return dbg, slot
+
+
+class TestWatchpoints:
+    def test_stops_on_each_change(self):
+        dbg, slot = make_dbg()
+        hits = []
+        while True:
+            reason = dbg.cont()
+            if reason != "watchpoint":
+                break
+            hits.append(dbg.last_watch_hit)
+        # the loop body writes 5, 9, 12, 14, 15
+        assert [new for _, _, new in hits] == [5, 9, 12, 14, 15]
+        assert [old for _, old, _ in hits] == [0, 5, 9, 12, 14]
+        assert all(addr == slot for addr, _, _ in hits)
+        assert dbg.machine.regs.get_signed("eax") == 15
+
+    def test_unwatch_stops_tripping(self):
+        dbg, slot = make_dbg()
+        assert dbg.cont() == "watchpoint"
+        dbg.unwatch(slot)
+        assert dbg.cont() == "halted"
+
+    def test_unchanged_watchpoint_never_fires(self):
+        dbg = Debugger(Machine(assemble("main:\n  movl $1, %eax\n  ret")))
+        esp = dbg.machine.regs.get("esp")
+        dbg.watch(esp - 128)   # nobody writes here
+        assert dbg.cont() == "halted"
+
+    def test_watch_command_in_interpreter(self):
+        dbg, slot = make_dbg()
+        dbg.unwatch(slot)
+        out = dbg.execute_command(f"watch {slot:#x}")
+        assert "Watchpoint" in out
+        assert dbg.execute_command("continue") == "stopped: watchpoint"
+
+    def test_breakpoint_and_watchpoint_coexist(self):
+        dbg, slot = make_dbg()
+        dbg.break_at("done")
+        reasons = []
+        for _ in range(20):
+            reason = dbg.cont()
+            reasons.append(reason)
+            if reason in ("halted", "breakpoint"):
+                break
+        assert reasons.count("watchpoint") == 5
+        assert reasons[-1] == "breakpoint"

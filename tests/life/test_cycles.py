@@ -1,0 +1,45 @@
+"""Tests for Game of Life cycle detection."""
+
+import numpy as np
+
+from repro.life import find_cycle, make, random_grid
+
+
+class TestFindCycle:
+    def test_still_life_is_period_one(self):
+        assert find_cycle(make("block")) == (0, 1)
+
+    def test_blinker_period_two(self):
+        assert find_cycle(make("blinker")) == (0, 2)
+
+    def test_toad_and_beacon(self):
+        assert find_cycle(make("toad"))[1] == 2
+        assert find_cycle(make("beacon"))[1] == 2
+
+    def test_empty_grid_is_fixed(self):
+        empty = np.zeros((5, 5), dtype=np.uint8)
+        assert find_cycle(empty) == (0, 1)
+
+    def test_glider_cycles_through_torus_translations(self):
+        # a glider moves one cell diagonally every 4 rounds, so on an
+        # n x n torus it returns to its exact cells after 4*n rounds
+        grid = make("glider", margin=2)    # 7x7
+        n = grid.shape[0]
+        start, period = find_cycle(grid, mode="torus")
+        assert (start, period) == (0, 4 * n)
+
+    def test_dying_pattern_reaches_empty_fixed_point(self):
+        lonely = np.zeros((4, 4), dtype=np.uint8)
+        lonely[1, 1] = 1
+        start, period = find_cycle(lonely)
+        assert (start, period) == (1, 1)
+
+    def test_bound_respected(self):
+        # r-pentomino on a big board won't settle in 3 rounds
+        assert find_cycle(make("r-pentomino", margin=20),
+                          max_rounds=3) is None
+
+    def test_deterministic(self):
+        g = random_grid(10, 10, seed=5)
+        assert find_cycle(g, max_rounds=200) == find_cycle(
+            g, max_rounds=200)

@@ -1,0 +1,125 @@
+"""Unit tests for grids, the lab file format, and patterns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.life import (
+    LifeConfig,
+    config_from_grid,
+    grids_equal,
+    load_config,
+    make,
+    parse_config,
+    pattern_cells,
+    pattern_displacement,
+    pattern_names,
+    pattern_period,
+    place,
+    population,
+    random_grid,
+    save_config,
+)
+
+
+class TestFileFormat:
+    TEXT = "4\n5\n10\n3\n0 1\n1 2\n2 0\n"
+
+    def test_parse(self):
+        cfg = parse_config(self.TEXT)
+        assert (cfg.rows, cfg.cols, cfg.iterations) == (4, 5, 10)
+        assert cfg.live_cells == [(0, 1), (1, 2), (2, 0)]
+
+    def test_make_grid(self):
+        grid = parse_config(self.TEXT).make_grid()
+        assert grid.shape == (4, 5)
+        assert population(grid) == 3
+        assert grid[1, 2] == 1
+
+    def test_comments_and_blank_lines(self):
+        cfg = parse_config("# game\n2\n2\n1\n\n1\n0 0  # corner\n")
+        assert cfg.live_cells == [(0, 0)]
+
+    def test_wrong_pair_count(self):
+        with pytest.raises(ReproError, match="pairs"):
+            parse_config("2\n2\n1\n2\n0 0\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(ReproError):
+            parse_config("2\n2\nx\n0\n")
+
+    def test_too_short(self):
+        with pytest.raises(ReproError):
+            parse_config("2\n2\n")
+
+    def test_cell_outside_grid(self):
+        with pytest.raises(ReproError, match="outside"):
+            LifeConfig(2, 2, 1, [(5, 5)])
+
+    def test_roundtrip_through_file(self, tmp_path):
+        cfg = parse_config(self.TEXT)
+        path = tmp_path / "game.txt"
+        save_config(cfg, path)
+        again = load_config(path)
+        assert again.live_cells == cfg.live_cells
+        assert (again.rows, again.cols) == (cfg.rows, cfg.cols)
+
+    def test_config_from_grid(self):
+        grid = np.zeros((3, 3), dtype=np.uint8)
+        grid[1, 1] = 1
+        cfg = config_from_grid(grid, 5)
+        assert cfg.live_cells == [(1, 1)]
+        assert cfg.iterations == 5
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LifeConfig(0, 2, 1, [])
+        with pytest.raises(ReproError):
+            LifeConfig(2, 2, -1, [])
+
+
+class TestRandomGrid:
+    def test_seeded_reproducible(self):
+        assert grids_equal(random_grid(10, 10, seed=4),
+                           random_grid(10, 10, seed=4))
+
+    def test_density(self):
+        g = random_grid(100, 100, density=0.5, seed=1)
+        assert 0.4 < population(g) / g.size < 0.6
+
+    def test_density_bounds(self):
+        with pytest.raises(ReproError):
+            random_grid(4, 4, density=1.5)
+
+
+class TestPatterns:
+    def test_names_include_classics(self):
+        names = pattern_names()
+        for classic in ("block", "blinker", "glider"):
+            assert classic in names
+
+    def test_period_metadata(self):
+        assert pattern_period("block") == 1
+        assert pattern_period("blinker") == 2
+        assert pattern_period("glider") == 4
+        assert pattern_displacement("glider") == (1, 1)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ReproError):
+            pattern_cells("flying-spaghetti")
+        with pytest.raises(ReproError):
+            pattern_period("nope")
+
+    def test_make_contains_pattern(self):
+        grid = make("blinker", margin=2)
+        assert population(grid) == 3
+
+    def test_place_out_of_bounds(self):
+        grid = np.zeros((3, 3), dtype=np.uint8)
+        with pytest.raises(ReproError):
+            place(grid, "glider", 2, 2)
+
+    def test_place_does_not_mutate(self):
+        grid = np.zeros((10, 10), dtype=np.uint8)
+        place(grid, "block", 1, 1)
+        assert population(grid) == 0

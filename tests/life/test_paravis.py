@@ -1,0 +1,84 @@
+"""Unit tests for the ParaVis terminal visualizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import partition_grid
+from repro.errors import ReproError
+from repro.life import (
+    animate,
+    frame_sequence,
+    make,
+    population_sparkline,
+    render,
+    render_regions,
+)
+
+
+class TestRender:
+    def test_plain_frame(self):
+        grid = np.zeros((2, 3), dtype=np.uint8)
+        grid[0, 1] = 1
+        assert render(grid) == ".@.\n..."
+
+    def test_custom_glyphs(self):
+        grid = np.ones((1, 2), dtype=np.uint8)
+        assert render(grid, live="#", dead=" ") == "##"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ReproError):
+            render(np.zeros(4, dtype=np.uint8))
+
+
+class TestRegions:
+    def test_colored_output_has_ansi(self):
+        grid = make("block")
+        regions = partition_grid(*grid.shape, 2, "row")
+        out = render_regions(grid, regions, color=True)
+        assert "\x1b[38;5;" in out
+
+    def test_digit_mode_shows_owner(self):
+        grid = np.ones((4, 2), dtype=np.uint8)
+        regions = partition_grid(4, 2, 2, "row")
+        out = render_regions(grid, regions, color=False)
+        lines = out.splitlines()
+        assert lines[0] == "00" and lines[3] == "11"
+
+    def test_dead_cells_uncolored(self):
+        grid = np.zeros((2, 2), dtype=np.uint8)
+        regions = partition_grid(2, 2, 2, "row")
+        assert render_regions(grid, regions) == "..\n.."
+
+
+class TestAnimate:
+    def test_frame_count(self):
+        frames = list(animate(make("blinker"), 3))
+        assert len(frames) == 4
+
+    def test_blinker_alternates(self):
+        frames = list(animate(make("blinker"), 2))
+        assert frames[0] == frames[2]
+        assert frames[0] != frames[1]
+
+    def test_with_regions(self):
+        grid = make("block")
+        regions = partition_grid(*grid.shape, 2, "row")
+        frames = list(animate(grid, 1, regions=regions, color=False))
+        assert len(frames) == 2
+
+    def test_frame_sequence_joins(self):
+        out = frame_sequence(["a", "b"], separator="|")
+        assert out == "a|b"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert population_sparkline([]) == ""
+
+    def test_length_capped(self):
+        line = population_sparkline(list(range(500)), width=40)
+        assert len(line) == 40
+
+    def test_monotone_history_rises(self):
+        line = population_sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert line[0] <= line[-1]

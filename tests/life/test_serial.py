@@ -1,0 +1,121 @@
+"""Unit + property tests for the serial Game of Life engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.life import (
+    GameOfLife,
+    grids_equal,
+    make,
+    pattern_displacement,
+    pattern_period,
+    pattern_names,
+    random_grid,
+    step,
+    step_reference,
+    step_rows,
+)
+
+
+class TestRules:
+    def test_lonely_cell_dies(self):
+        g = np.zeros((3, 3), dtype=np.uint8)
+        g[1, 1] = 1
+        assert step(g).sum() == 0
+
+    def test_block_is_still_life(self):
+        g = make("block")
+        assert grids_equal(step(g), g)
+
+    def test_blinker_oscillates(self):
+        g = make("blinker")
+        once = step(g)
+        assert not grids_equal(once, g)
+        assert grids_equal(step(once), g)
+
+    def test_birth_on_exactly_three(self):
+        g = np.zeros((3, 3), dtype=np.uint8)
+        g[0, 0] = g[0, 1] = g[1, 0] = 1
+        assert step(g)[1, 1] == 1
+
+    def test_overcrowding_kills(self):
+        g = np.ones((3, 3), dtype=np.uint8)
+        out = step(g, mode="bounded")
+        assert out[1, 1] == 0   # eight neighbours
+
+    def test_torus_wraps(self):
+        # a blinker crossing the edge still oscillates on a torus
+        g = np.zeros((5, 5), dtype=np.uint8)
+        g[0, 0] = g[0, 4] = g[0, 1] = 1   # horizontally contiguous mod 5
+        out = step(g, mode="torus")
+        assert out[0, 0] == 1             # centre survives
+        assert out[4, 0] == 1 and out[1, 0] == 1  # vertical pair born
+
+    def test_bounded_edge_differs_from_torus(self):
+        g = np.zeros((4, 4), dtype=np.uint8)
+        g[0, 0] = g[0, 1] = g[0, 2] = 1
+        assert not grids_equal(step(g, "torus"), step(g, "bounded"))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ReproError):
+            step(np.zeros((2, 2), dtype=np.uint8), "mobius")
+
+
+class TestPatternDynamics:
+    @pytest.mark.parametrize("name", ["block", "beehive", "blinker",
+                                      "toad", "beacon"])
+    def test_periodic_patterns_return(self, name):
+        g = make(name, margin=3)
+        period = pattern_period(name)
+        current = g
+        for _ in range(period):
+            current = step(current)
+        assert grids_equal(current, g)
+
+    def test_glider_translates_on_torus(self):
+        g = make("glider", margin=5)
+        current = g
+        for _ in range(4):
+            current = step(current, "torus")
+        dr, dc = pattern_displacement("glider")
+        expected = np.roll(np.roll(g, dr, axis=0), dc, axis=1)
+        assert grids_equal(current, expected)
+
+
+class TestNumpyVsReference:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           mode=st.sampled_from(["torus", "bounded"]))
+    def test_engines_agree(self, seed, mode):
+        g = random_grid(12, 9, density=0.4, seed=seed)
+        assert grids_equal(step(g, mode), step_reference(g, mode))
+
+    def test_step_rows_band_matches_full(self):
+        g = random_grid(16, 16, seed=3)
+        full = step(g)
+        out = np.zeros_like(g)
+        step_rows(g, out, 4, 9)
+        assert grids_equal(out[4:9], full[4:9])
+        assert out[:4].sum() == 0 and out[9:].sum() == 0
+
+
+class TestDriver:
+    def test_run_counts_rounds_and_population(self):
+        game = GameOfLife(make("blinker"))
+        game.run(4)
+        assert game.round == 4
+        assert len(game.population_history) == 5
+        assert game.population == 3
+
+    def test_extinction(self):
+        g = np.zeros((4, 4), dtype=np.uint8)
+        g[0, 0] = 1
+        game = GameOfLife(g)
+        game.run(1)
+        assert game.is_extinct()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ReproError):
+            GameOfLife(np.zeros(5, dtype=np.uint8))

@@ -1,0 +1,65 @@
+"""Unit + property tests for address division."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CacheConfigError
+from repro.memory import AddressLayout, AddressParts
+
+
+class TestDivision:
+    def test_example_from_lecture(self):
+        # 16-byte blocks, 4 sets: offset 4 bits, index 2 bits
+        layout = AddressLayout(16, 16, 4)
+        parts = layout.divide(0b1010_11_0110)
+        assert parts.offset == 0b0110
+        assert parts.index == 0b11
+        assert parts.tag == 0b1010
+
+    def test_direct_mapped_one_set_has_no_index(self):
+        layout = AddressLayout(32, 64, 1)
+        assert layout.index_bits == 0
+        parts = layout.divide(0x12345678)
+        assert parts.index == 0
+
+    def test_bits_sum_to_address_width(self):
+        layout = AddressLayout(32, 32, 128)
+        assert layout.tag_bits + layout.index_bits + layout.offset_bits == 32
+
+    def test_block_address_masks_offset(self):
+        layout = AddressLayout(32, 64, 8)
+        assert layout.block_address(0x12345) == 0x12340
+
+    def test_geometry_validation(self):
+        with pytest.raises(CacheConfigError):
+            AddressLayout(32, 24, 4)    # block size not a power of two
+        with pytest.raises(CacheConfigError):
+            AddressLayout(32, 16, 5)    # set count not a power of two
+        with pytest.raises(CacheConfigError):
+            AddressLayout(8, 256, 256)  # larger than the address space
+
+    def test_address_out_of_range(self):
+        with pytest.raises(CacheConfigError):
+            AddressLayout(8, 4, 4).divide(256)
+
+    def test_render_shows_fields(self):
+        layout = AddressLayout(16, 16, 4)
+        out = layout.render(0x2D6)
+        assert "tag=" in out and "index=" in out and "offset=" in out
+
+
+@given(address=st.integers(min_value=0, max_value=2**32 - 1),
+       block_pow=st.integers(min_value=0, max_value=8),
+       set_pow=st.integers(min_value=0, max_value=10))
+def test_divide_reassemble_roundtrip(address, block_pow, set_pow):
+    layout = AddressLayout(32, 2 ** block_pow, 2 ** set_pow)
+    parts = layout.divide(address)
+    assert layout.reassemble(parts) == address
+
+
+@given(address=st.integers(min_value=0, max_value=2**32 - 1))
+def test_same_block_same_index_and_tag(address):
+    layout = AddressLayout(32, 64, 16)
+    base = layout.block_address(address)
+    pa, pb = layout.divide(address), layout.divide(base)
+    assert (pa.tag, pa.index) == (pb.tag, pb.index)

@@ -1,0 +1,217 @@
+"""Unit + property tests for the cache simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CacheConfigError
+from repro.memory import Cache, CacheConfig, amat
+
+
+class TestConfig:
+    def test_geometry_checks(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(num_lines=48)
+        with pytest.raises(CacheConfigError):
+            CacheConfig(associativity=3)
+        with pytest.raises(CacheConfigError):
+            CacheConfig(num_lines=4, associativity=8)
+
+    def test_derived_sizes(self):
+        cfg = CacheConfig(num_lines=64, block_size=32, associativity=2)
+        assert cfg.num_sets == 32
+        assert cfg.capacity_bytes == 2048
+
+
+class TestDirectMapped:
+    def test_cold_miss_then_hit(self):
+        c = Cache(CacheConfig(num_lines=4, block_size=16))
+        assert c.access(0x100).miss
+        assert c.access(0x100).hit
+        assert c.access(0x104).hit  # same block
+
+    def test_conflict_eviction(self):
+        # 4 lines × 16B: addresses 0x000 and 0x040 share index 0
+        c = Cache(CacheConfig(num_lines=4, block_size=16))
+        c.access(0x000)
+        r = c.access(0x040)
+        assert r.miss and r.evicted_tag is not None
+        assert c.access(0x000).miss  # was evicted
+
+    def test_homework_style_trace(self):
+        # classic direct-mapped worksheet: 4 lines, 4-byte blocks
+        c = Cache(CacheConfig(num_lines=4, block_size=4))
+        seq = [0x0, 0x4, 0x8, 0x0, 0x10, 0x0]
+        results = [c.access(a) for a in seq]
+        # 0x0 miss, 0x4 miss, 0x8 miss, 0x0 hit, 0x10 miss (evicts 0x0),
+        # 0x0 miss again
+        assert [r.hit for r in results] == [False, False, False,
+                                            True, False, False]
+
+
+class TestSetAssociative:
+    def test_two_way_avoids_simple_conflict(self):
+        c = Cache(CacheConfig(num_lines=8, block_size=16, associativity=2))
+        # both map to the same set but fit in 2 ways
+        c.access(0x000)
+        c.access(0x040)
+        assert c.access(0x000).hit
+        assert c.access(0x040).hit
+
+    def test_lru_within_set(self):
+        c = Cache(CacheConfig(num_lines=2, block_size=16, associativity=2))
+        a, b, x = 0x000, 0x010, 0x020   # one set; three competing blocks
+        c.access(a)
+        c.access(b)
+        c.access(a)          # a is now most recent
+        r = c.access(x)      # must evict b (LRU)
+        assert r.miss
+        assert c.access(a).hit
+        assert c.access(b).miss
+
+    def test_fifo_ignores_recency(self):
+        c = Cache(CacheConfig(num_lines=2, block_size=16, associativity=2,
+                              replacement="fifo"))
+        a, b, x = 0x000, 0x010, 0x020
+        c.access(a)
+        c.access(b)
+        c.access(a)          # touch a again — FIFO doesn't care
+        c.access(x)          # evicts a (oldest load)
+        assert c.access(b).hit
+        assert c.access(a).miss
+
+    def test_random_policy_seeded(self):
+        cfg = CacheConfig(num_lines=2, block_size=16, associativity=2,
+                          replacement="random", seed=7)
+        c1, c2 = Cache(cfg), Cache(cfg)
+        seq = [0x0, 0x10, 0x20, 0x0, 0x30, 0x10]
+        assert [c1.access(a).hit for a in seq] == \
+               [c2.access(a).hit for a in seq]
+
+    def test_fully_associative_matches_lru_oracle(self):
+        """assoc == num_lines: behaves exactly like an LRU-managed set."""
+        c = Cache(CacheConfig(num_lines=4, block_size=16, associativity=4))
+        from collections import OrderedDict
+        oracle: OrderedDict[int, None] = OrderedDict()
+        import random
+        rng = random.Random(3)
+        for _ in range(500):
+            addr = rng.randrange(16) * 16
+            block = addr // 16
+            expect_hit = block in oracle
+            if expect_hit:
+                oracle.move_to_end(block)
+            else:
+                if len(oracle) == 4:
+                    oracle.popitem(last=False)
+                oracle[block] = None
+            assert c.access(addr).hit == expect_hit
+
+
+class TestWritePolicies:
+    def test_write_back_sets_dirty_and_writes_back_on_evict(self):
+        c = Cache(CacheConfig(num_lines=1, block_size=16))
+        c.access(0x00, "store")
+        assert c.stats.store_misses == 1
+        r = c.access(0x10, "load")     # evicts the dirty block
+        assert r.wrote_back
+        assert c.stats.writebacks == 1
+
+    def test_write_through_writes_memory_every_store(self):
+        c = Cache(CacheConfig(num_lines=4, block_size=16,
+                              write_policy="write-through"))
+        c.access(0x0, "store")
+        c.access(0x0, "store")
+        assert c.stats.memory_writes == 2
+        assert c.stats.writebacks == 0
+
+    def test_no_write_allocate_bypasses(self):
+        c = Cache(CacheConfig(num_lines=4, block_size=16,
+                              write_policy="write-through",
+                              write_allocate=False))
+        r = c.access(0x0, "store")
+        assert r.bypassed
+        assert c.access(0x0, "load").miss  # store did not fill the line
+
+    def test_flush_cleans_dirty_lines(self):
+        c = Cache(CacheConfig(num_lines=4, block_size=16))
+        c.access(0x00, "store")
+        c.access(0x10, "store")
+        assert c.flush() == 2
+        assert c.flush() == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = Cache(CacheConfig(num_lines=4, block_size=16))
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x0)
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+        assert c.stats.miss_rate == pytest.approx(1 / 3)
+
+    def test_empty_stats(self):
+        assert Cache(CacheConfig()).stats.hit_rate == 0.0
+
+    def test_run_trace_mixed_kinds(self):
+        c = Cache(CacheConfig(num_lines=4, block_size=16))
+        results = c.run_trace([0x0, (0x0, "store"), 0x20])
+        assert len(results) == 3
+        assert c.stats.store_hits == 1
+
+    def test_reset_stats(self):
+        c = Cache(CacheConfig())
+        c.access(0x0)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+
+    def test_contains_and_set_state(self):
+        c = Cache(CacheConfig(num_lines=4, block_size=16))
+        c.access(0x40)
+        assert c.contains(0x40)
+        assert not c.contains(0x80)
+        states = c.set_state(c.layout.divide(0x40).index)
+        assert any(valid for valid, _, _ in states)
+
+
+class TestAmat:
+    def test_single_level(self):
+        c = Cache(CacheConfig(num_lines=64, block_size=16, hit_time=1))
+        for _ in range(9):
+            c.access(0x0)
+        c.access(0x4000)  # one miss in ten
+        # 1 + 0.2*100: miss rate is 2/10
+        assert amat([c], memory_latency=100) == pytest.approx(1 + 0.2 * 100)
+
+    def test_better_hit_rate_lowers_amat(self):
+        good = Cache(CacheConfig(num_lines=64, block_size=64, hit_time=1))
+        bad = Cache(CacheConfig(num_lines=64, block_size=64, hit_time=1))
+        for a in range(0, 64 * 16, 4):
+            good.access(a)
+        for a in range(0, 64 * 64 * 8, 64):
+            bad.access(a)
+        assert amat([good], 100) < amat([bad], 100)
+
+
+@settings(max_examples=50, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                          min_size=1, max_size=200))
+def test_property_repeat_access_always_hits(addresses):
+    """Accessing the same address twice in a row: second is a hit."""
+    c = Cache(CacheConfig(num_lines=16, block_size=16))
+    for a in addresses:
+        c.access(a)
+        assert c.access(a).hit
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=0x3FF),
+                          min_size=1, max_size=300))
+def test_property_bigger_cache_never_more_misses(addresses):
+    """With the same block size and full associativity (LRU), a bigger
+    cache never misses more — the stack inclusion property."""
+    small = Cache(CacheConfig(num_lines=4, block_size=16, associativity=4))
+    big = Cache(CacheConfig(num_lines=16, block_size=16, associativity=16))
+    for a in addresses:
+        small.access(a)
+        big.access(a)
+    assert big.stats.misses <= small.stats.misses

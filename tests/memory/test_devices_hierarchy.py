@@ -1,0 +1,101 @@
+"""Unit tests for storage devices and the analytical hierarchy."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.memory import (
+    DRAM,
+    HDD,
+    HIERARCHY_ORDER,
+    L1_CACHE,
+    Level,
+    MemoryHierarchy,
+    REGISTERS,
+    SSD,
+    classify,
+    comparison_table,
+    hierarchy_is_well_formed,
+    latency_ratio,
+    library_book_exercise,
+    speedup_from_hit_rate,
+)
+
+
+class TestDevices:
+    def test_catalog_is_well_formed(self):
+        assert hierarchy_is_well_formed()
+
+    def test_classification(self):
+        assert classify(DRAM) == "primary"
+        assert classify(SSD) == "secondary"
+        assert classify(HDD) == "secondary"
+
+    def test_primary_uses_memory_bus(self):
+        for d in HIERARCHY_ORDER:
+            if d.category == "secondary":
+                assert "OS" in d.interface
+
+    def test_latency_ratio_is_dramatic(self):
+        # the lecture's point: disk is ~10^5 slower than DRAM
+        assert latency_ratio(HDD, DRAM) > 10_000
+
+    def test_comparison_table_renders(self):
+        out = comparison_table()
+        assert "DRAM" in out and "latency" in out
+
+    def test_registers_fastest(self):
+        assert min(HIERARCHY_ORDER, key=lambda d: d.latency_ns) is REGISTERS
+
+
+class TestHierarchyMath:
+    def test_two_level_eat(self):
+        h = MemoryHierarchy([Level("cache", 1, 0.9),
+                             Level("memory", 100, None)])
+        assert h.effective_access_time() == pytest.approx(1 + 0.1 * 100)
+
+    def test_three_level_eat(self):
+        h = MemoryHierarchy([
+            Level("L1", 1, 0.9),
+            Level("L2", 10, 0.8),
+            Level("mem", 100, None),
+        ])
+        assert h.effective_access_time() == pytest.approx(
+            1 + 0.1 * (10 + 0.2 * 100))
+
+    def test_perfect_cache(self):
+        h = MemoryHierarchy([Level("cache", 1, 1.0),
+                             Level("memory", 100, None)])
+        assert h.effective_access_time() == 1.0
+
+    def test_cost_if_found_at(self):
+        h = MemoryHierarchy([Level("L1", 1, 0.9), Level("mem", 100, None)])
+        assert h.access_cost_if_found_at(0) == 1
+        assert h.access_cost_if_found_at(1) == 101
+        with pytest.raises(ReproError):
+            h.access_cost_if_found_at(2)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MemoryHierarchy([])
+        with pytest.raises(ReproError):
+            MemoryHierarchy([Level("x", 1, 0.5)])  # terminal needs None
+        with pytest.raises(ReproError):
+            MemoryHierarchy([Level("a", 1, None), Level("b", 2, None)])
+        with pytest.raises(ReproError):
+            Level("bad", 1, 1.5)
+
+    def test_table_renders(self):
+        h = MemoryHierarchy([Level("L1", 1, 0.9), Level("mem", 100, None)])
+        assert "L1" in h.table()
+
+
+class TestLectureExamples:
+    def test_hit_rate_sensitivity(self):
+        # 90% → 99% hit rate is nearly a 5x speedup with 100-cycle misses
+        s = speedup_from_hit_rate(1, 100, 0.90, 0.99)
+        assert 4.0 < s < 6.0
+
+    def test_library_books(self):
+        r = library_book_exercise()
+        assert r["with_desk"] < r["always_shelf"]
+        assert r["speedup"] > 3

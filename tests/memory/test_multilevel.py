@@ -1,0 +1,96 @@
+"""Unit tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.memory import CacheConfig, CacheHierarchy
+from repro.memory.trace import repeated_working_set, stride_sweep
+
+
+def two_level(l1_lines=8, l2_lines=64, block=16):
+    return CacheHierarchy([
+        CacheConfig(num_lines=l1_lines, block_size=block, hit_time=1),
+        CacheConfig(num_lines=l2_lines, block_size=block, hit_time=10,
+                    associativity=4),
+    ], memory_latency=100)
+
+
+class TestStructure:
+    def test_needs_levels(self):
+        with pytest.raises(CacheConfigError):
+            CacheHierarchy([])
+
+    def test_shrinking_levels_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheHierarchy([CacheConfig(num_lines=64, block_size=16),
+                            CacheConfig(num_lines=4, block_size=16)])
+
+
+class TestAccessFlow:
+    def test_first_touch_reaches_memory(self):
+        h = two_level()
+        r = h.access(0x100)
+        assert r.hit_level == -1
+        assert h.memory_accesses == 1
+
+    def test_second_touch_hits_l1(self):
+        h = two_level()
+        h.access(0x100)
+        assert h.access(0x100).hit_level == 0
+
+    def test_l1_victim_still_hits_l2(self):
+        h = two_level(l1_lines=1, l2_lines=64)
+        h.access(0x000)
+        h.access(0x100)      # evicts 0x000 from the 1-line L1
+        r = h.access(0x000)  # gone from L1, still in L2
+        assert r.hit_level == 1
+
+    def test_miss_fills_all_levels(self):
+        h = two_level()
+        h.access(0x200)
+        assert h.levels[0].contains(0x200)
+        assert h.levels[1].contains(0x200)
+
+    def test_run_trace_mixed(self):
+        h = two_level()
+        results = h.run_trace([0x0, (0x0, "store"), 0x40])
+        assert [r.hit_level for r in results] == [-1, 0, -1]
+
+
+class TestAnalysis:
+    def test_working_set_between_l1_and_l2(self):
+        """A set larger than L1 but smaller than L2: L2 absorbs misses."""
+        h = two_level(l1_lines=4, l2_lines=64, block=16)
+        trace = repeated_working_set(32 * 16, 10, elem_size=16)
+        h.run_trace(trace)
+        l1_rate, l2_rate = h.local_hit_rates()
+        assert l1_rate < 0.5        # thrashes L1
+        assert l2_rate > 0.8        # lives in L2
+        assert h.global_miss_rate() < 0.2
+
+    def test_amat_between_l1_only_and_memory(self):
+        h = two_level()
+        h.run_trace(stride_sweep(64, 4, repeat=4))
+        assert 1.0 <= h.amat() <= 100.0
+
+    def test_l2_sees_only_l1_misses(self):
+        h = two_level()
+        h.run_trace(repeated_working_set(64, 5))
+        assert (h.levels[1].stats.accesses
+                == h.levels[0].stats.misses)
+
+    def test_report_renders(self):
+        h = two_level()
+        h.access(0x0)
+        out = h.report()
+        assert "L1" in out and "AMAT" in out and "memory" in out
+
+    def test_adding_l2_lowers_amat_for_medium_working_sets(self):
+        trace = repeated_working_set(48 * 16, 10, elem_size=16)
+        just_l1 = CacheHierarchy(
+            [CacheConfig(num_lines=4, block_size=16, hit_time=1)],
+            memory_latency=100)
+        with_l2 = two_level(l1_lines=4, l2_lines=64)
+        just_l1.run_trace(trace)
+        with_l2.run_trace(trace)
+        assert with_l2.amat() < just_l1.amat()

@@ -1,0 +1,139 @@
+"""Unit tests for trace generators and locality metrics."""
+
+import pytest
+
+from repro.clib import AddressSpace, HEAP_BASE
+from repro.memory import (
+    Cache,
+    CacheConfig,
+    analyze,
+    dominant_stride,
+    entropy_of_blocks,
+    reuse_distances,
+    spatial_locality_score,
+    stride_histogram,
+    temporal_locality_score,
+)
+from repro.memory.trace import (
+    column_major_traversal,
+    from_address_space,
+    interleave,
+    matrix_sum_columnwise,
+    matrix_sum_rowwise,
+    random_access,
+    repeated_working_set,
+    row_major_traversal,
+    stride_sweep,
+)
+
+
+class TestGenerators:
+    def test_row_major_is_unit_stride(self):
+        t = row_major_traversal(4, 8, elem_size=4)
+        assert dominant_stride(t) == 4
+        assert len(t) == 32
+
+    def test_column_major_strides_by_row(self):
+        t = column_major_traversal(4, 8, elem_size=4)
+        assert dominant_stride(t) == 8 * 4
+        assert len(t) == 32
+
+    def test_same_addresses_different_order(self):
+        r = row_major_traversal(6, 6)
+        c = column_major_traversal(6, 6)
+        assert sorted(r) == sorted(c)
+        assert r != c
+
+    def test_stride_sweep_repeat(self):
+        t = stride_sweep(4, 16, repeat=2)
+        assert t[:4] == t[4:]
+
+    def test_random_access_seeded(self):
+        assert random_access(50, 1024, seed=1) == random_access(
+            50, 1024, seed=1)
+        assert random_access(50, 1024, seed=1) != random_access(
+            50, 1024, seed=2)
+
+    def test_repeated_working_set(self):
+        t = repeated_working_set(64, 3, elem_size=4)
+        assert len(t) == 16 * 3
+
+    def test_base_offset(self):
+        t = row_major_traversal(2, 2, base=0x1000)
+        assert min(t) == 0x1000
+
+    def test_interleave_round_robin(self):
+        merged = list(interleave([1, 2, 3], [10, 20]))
+        assert merged == [1, 10, 2, 20, 3]
+
+    def test_from_address_space(self):
+        space = AddressSpace.standard(trace=True)
+        space.write(HEAP_BASE, b"abcd")
+        space.read(HEAP_BASE, 2)
+        pairs = from_address_space(space)
+        assert pairs == [(HEAP_BASE, "store"), (HEAP_BASE, "load")]
+
+
+class TestReuseDistance:
+    def test_first_touch_is_none(self):
+        assert reuse_distances([1, 2, 3]) == [None, None, None]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([5, 5]) == [None, 0]
+
+    def test_classic_example(self):
+        # a b c a : a's reuse distance is 2 (b and c in between)
+        assert reuse_distances([1, 2, 3, 1])[-1] == 2
+
+    def test_granularity_coarsens(self):
+        # adjacent bytes in the same 64B block count as the same item
+        d = reuse_distances([0, 8, 16], granularity=64)
+        assert d == [None, 0, 0]
+
+
+class TestScores:
+    def test_sequential_has_high_spatial_low_temporal(self):
+        t = row_major_traversal(32, 32)
+        assert spatial_locality_score(t) > 0.95
+        assert temporal_locality_score(t) < 0.1
+
+    def test_repeated_set_has_high_temporal(self):
+        t = repeated_working_set(16 * 4, 10)
+        assert temporal_locality_score(t, window=32) > 0.8
+
+    def test_random_has_low_spatial(self):
+        t = random_access(500, 1 << 20, seed=3)
+        assert spatial_locality_score(t) < 0.2
+
+    def test_empty_traces(self):
+        assert temporal_locality_score([]) == 0.0
+        assert spatial_locality_score([7]) == 0.0
+
+    def test_stride_histogram(self):
+        h = stride_histogram([0, 4, 8, 12])
+        assert h == {4: 3}
+
+    def test_analyze_report(self):
+        rep = analyze(row_major_traversal(8, 8))
+        assert rep.accesses == 64
+        assert rep.dominant_stride == 4
+        assert "temporal" in rep.render()
+
+    def test_entropy_ordering(self):
+        hot = repeated_working_set(64, 20)
+        cold = random_access(1000, 1 << 22, seed=1)
+        assert entropy_of_blocks(hot) < entropy_of_blocks(cold)
+        assert entropy_of_blocks([]) == 0.0
+
+
+class TestStrideExerciseShape:
+    """The in-class exercise: row-wise beats column-wise in the cache."""
+
+    def test_row_major_hit_rate_beats_column_major(self):
+        n = 64
+        cfg = CacheConfig(num_lines=64, block_size=32)
+        row_cache, col_cache = Cache(cfg), Cache(cfg)
+        row_cache.run_trace(matrix_sum_rowwise(n))
+        col_cache.run_trace(matrix_sum_columnwise(n))
+        assert row_cache.stats.hit_rate > 0.8
+        assert col_cache.stats.hit_rate < 0.3

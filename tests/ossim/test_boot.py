@@ -1,0 +1,47 @@
+"""Tests for the boot-sequence model."""
+
+import pytest
+
+from repro.errors import OsError_
+from repro.ossim import Exit, INIT_PID, Print, boot
+from repro.ossim.boot import BOOT_SEQUENCE, actors_in_order, stage_named
+
+
+class TestSequence:
+    def test_handoff_chain(self):
+        assert actors_in_order() == ["firmware", "bootloader", "kernel"]
+
+    def test_post_comes_first_init_last(self):
+        assert BOOT_SEQUENCE[0].name == "post"
+        assert BOOT_SEQUENCE[-1].name == "start-init"
+
+    def test_stage_lookup(self):
+        assert stage_named("mount-root").actor == "kernel"
+        with pytest.raises(OsError_):
+            stage_named("warp-drive")
+
+    def test_durations_positive(self):
+        assert all(s.duration_ms > 0 for s in BOOT_SEQUENCE)
+
+
+class TestBootResult:
+    def test_dmesg_has_one_line_per_stage_plus_summary(self):
+        result = boot()
+        assert len(result.log) == len(BOOT_SEQUENCE) + 1
+        assert "boot complete" in result.log[-1]
+
+    def test_timestamps_monotone(self):
+        result = boot()
+        times = [float(line.split("]")[0].strip("[ "))
+                 for line in result.log]
+        assert times == sorted(times)
+        assert result.total_ms == pytest.approx(
+            sum(s.duration_ms for s in BOOT_SEQUENCE))
+
+    def test_kernel_is_usable_after_boot(self):
+        result = boot()
+        assert result.kernel.process(INIT_PID).name == "init"
+        pid = result.kernel.spawn("first", [Print("up!\n"), Exit(0)])
+        result.kernel.run()
+        assert result.kernel.output_string() == "up!\n"
+        assert result.kernel.exit_status_of(pid) == 0

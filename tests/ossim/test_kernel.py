@@ -1,0 +1,222 @@
+"""Unit tests for the simulated kernel: fork/exec/wait/exit lifecycle."""
+
+import pytest
+
+from repro.errors import InvalidSyscall, NoSuchProcess, OsError_
+from repro.ossim import (
+    Compute,
+    Exec,
+    Exit,
+    Fork,
+    INIT_PID,
+    Kernel,
+    Print,
+    ProcessState,
+    Repeat,
+    Wait,
+    WaitPid,
+)
+
+
+class TestBasics:
+    def test_single_process_prints_and_exits(self):
+        k = Kernel()
+        pid = k.spawn("p", [Print("hi\n"), Exit(0)])
+        k.run()
+        assert k.output_string() == "hi\n"
+        assert k.exit_status_of(pid) == 0
+
+    def test_falling_off_end_is_exit_zero(self):
+        k = Kernel()
+        pid = k.spawn("p", [Print("x")])
+        k.run()
+        assert k.exit_status_of(pid) == 0
+        assert k.all_done()
+
+    def test_compute_consumes_units(self):
+        k = Kernel()
+        k.spawn("p", [Compute(5), Exit(0)])
+        k.run()
+        assert k.stats.total_units >= 5
+
+    def test_repeat_expands(self):
+        k = Kernel()
+        k.spawn("p", [Repeat(3, [Print("a")]), Exit(0)])
+        k.run()
+        assert k.output_string() == "aaa"
+
+    def test_no_such_process(self):
+        with pytest.raises(NoSuchProcess):
+            Kernel().process(99)
+
+    def test_bad_timeslice(self):
+        with pytest.raises(OsError_):
+            Kernel(timeslice=0)
+
+
+class TestFork:
+    def test_fork_creates_child_with_ppid(self):
+        k = Kernel()
+        parent = k.spawn("p", [Fork(child=[Exit(0)]), Wait(), Exit(0)])
+        k.run()
+        children = k.process(parent).children
+        assert len(children) == 1
+        assert k.process(children[0]).ppid == parent
+
+    def test_both_branches_fall_through(self):
+        # C: fork(); printf("B");  — both processes print B
+        k = Kernel()
+        k.spawn("p", [Fork(), Print("B"), Exit(0)])
+        k.run()
+        assert k.output_string() == "BB"
+
+    def test_child_branch_then_rest(self):
+        k = Kernel()
+        k.spawn("p", [
+            Fork(child=[Print("c")], parent=[Print("p")]),
+            Print("."),
+            Exit(0),
+        ])
+        k.run()
+        out = k.output_string()
+        assert sorted(out) == sorted("c.p.")
+
+    def test_fork_bomb_guard(self):
+        k = Kernel()
+        # each process forks forever via Repeat explosion
+        k.spawn("p", [Repeat(100, [Fork()]), Exit(0)])
+        with pytest.raises(OsError_, match="unit limit"):
+            k.run(max_units=2000)
+
+    def test_process_tree_rendering(self):
+        k = Kernel()
+        k.spawn("p", [Fork(child=[Compute(50), Exit(0)]), Wait(), Exit(0)])
+        # run a little so the fork happens but nobody exits
+        for _ in range(3):
+            pids = k.runnable_pids()
+            if pids:
+                k.run_one(pids[0])
+        tree = k.process_tree()
+        assert "init" in tree and tree.count("[") >= 3
+
+
+class TestWaitAndZombies:
+    def test_wait_reaps_child(self):
+        k = Kernel()
+        parent = k.spawn("p", [
+            Fork(child=[Print("c"), Exit(7)]),
+            Wait(),
+            Print("p"),
+            Exit(0),
+        ])
+        k.run()
+        assert k.output_string() == "cp"   # wait() orders the prints
+        child = k.process(parent).children[0]
+        assert k.process(child).state is ProcessState.TERMINATED
+        assert k.exit_status_of(child) == 7
+
+    def test_unreaped_child_is_zombie(self):
+        k = Kernel()
+        parent = k.spawn("p", [
+            Fork(child=[Exit(0)]),
+            Compute(20),     # parent busy, never waits, then exits
+            Exit(0),
+        ])
+        # run until the child exits but the parent is still computing
+        while True:
+            pids = k.runnable_pids()
+            if not pids:
+                break
+            k.run_one(pids[0])
+            child_pids = k.process(parent).children
+            if child_pids and not k.process(child_pids[0]).alive:
+                break
+        child = k.process(parent).children[0]
+        assert k.process(child).state is ProcessState.ZOMBIE
+        k.run()   # parent exits; orphaned zombie is reaped by init
+        assert k.process(child).state is ProcessState.TERMINATED
+
+    def test_wait_without_children_returns(self):
+        k = Kernel()
+        k.spawn("p", [Wait(), Print("done"), Exit(0)])
+        k.run()
+        assert k.output_string() == "done"
+
+    def test_waitpid_specific_child(self):
+        k = Kernel()
+        k.spawn("p", [
+            Fork(child=[Compute(3), Print("1"), Exit(0)]),
+            Fork(child=[Print("2"), Exit(0)]),
+            WaitPid(child_index=0),   # wait for the *first* child
+            Print("after-first"),
+            Wait(),
+            Exit(0),
+        ])
+        k.run()
+        out = k.output_string()
+        assert out.index("1") < out.index("after-first")
+
+    def test_waitpid_bad_index(self):
+        k = Kernel()
+        k.spawn("p", [WaitPid(child_index=0), Exit(0)])
+        with pytest.raises(InvalidSyscall):
+            k.run()
+
+    def test_orphan_adopted_by_init(self):
+        k = Kernel()
+        parent = k.spawn("p", [
+            Fork(child=[Compute(30), Exit(0)]),   # child outlives parent
+            Exit(0),
+        ])
+        k.run()
+        # the child finished under init's care
+        init_children = k.process(INIT_PID).children
+        grandchild = k.process(parent).children[0]
+        assert grandchild in init_children
+
+
+class TestExec:
+    def test_exec_replaces_image(self):
+        k = Kernel()
+        pid = k.spawn("p", [Print("before\n"), Exec("hello"), Print("never")])
+        k.run()
+        assert k.output_string() == "before\nhello, world\n"
+        assert k.process(pid).name == "hello"
+
+    def test_exec_unknown_program(self):
+        k = Kernel()
+        k.spawn("p", [Exec("no-such-binary")])
+        with pytest.raises(InvalidSyscall):
+            k.run()
+
+
+class TestScheduling:
+    def test_round_robin_interleaves(self):
+        k = Kernel(timeslice=1)
+        k.spawn("a", [Print("a"), Print("a"), Print("a"), Exit(0)])
+        k.spawn("b", [Print("b"), Print("b"), Print("b"), Exit(0)])
+        k.run()
+        assert k.output_string() == "ababab"
+
+    def test_larger_timeslice_runs_bursts(self):
+        k = Kernel(timeslice=3)
+        k.spawn("a", [Print("a"), Print("a"), Print("a"), Exit(0)])
+        k.spawn("b", [Print("b"), Print("b"), Print("b"), Exit(0)])
+        k.run()
+        assert k.output_string() == "aaabbb"
+
+    def test_context_switches_counted(self):
+        k = Kernel(timeslice=1)
+        k.spawn("a", [Compute(3), Exit(0)])
+        k.spawn("b", [Compute(3), Exit(0)])
+        k.run()
+        assert k.stats.context_switches >= 6
+
+    def test_blocked_everyone_detected(self):
+        k = Kernel()
+        # waits forever for a child that never exits... no child at all is
+        # immediate, so use Pause (no signal will ever arrive)
+        from repro.ossim import Pause
+        k.spawn("p", [Pause(), Exit(0)])
+        with pytest.raises(OsError_, match="blocked"):
+            k.run()

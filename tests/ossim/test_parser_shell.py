@@ -1,0 +1,185 @@
+"""Unit tests for the Lab 8 parser and Lab 9 shell."""
+
+import pytest
+
+from repro.errors import ShellError
+from repro.ossim import History, Shell, parse_command, tokenize
+
+
+class TestTokenize:
+    def test_simple_split(self):
+        assert tokenize("ls -l /tmp") == ["ls", "-l", "/tmp"]
+
+    def test_extra_whitespace(self):
+        assert tokenize("  echo   hi  ") == ["echo", "hi"]
+
+    def test_double_quotes_group(self):
+        assert tokenize('echo "hello world"') == ["echo", "hello world"]
+
+    def test_single_quotes(self):
+        assert tokenize("echo 'a b' c") == ["echo", "a b", "c"]
+
+    def test_unbalanced_quote(self):
+        with pytest.raises(ShellError):
+            tokenize('echo "oops')
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestParseCommand:
+    def test_foreground(self):
+        cmd = parse_command("spin")
+        assert cmd.program == "spin" and not cmd.background
+
+    def test_background_separate_token(self):
+        cmd = parse_command("spin &")
+        assert cmd.background and cmd.argv == ("spin",)
+
+    def test_background_attached(self):
+        cmd = parse_command("spin&")
+        assert cmd.background and cmd.argv == ("spin",)
+
+    def test_ampersand_mid_command_rejected(self):
+        with pytest.raises(ShellError):
+            parse_command("a & b")
+
+    def test_empty_line(self):
+        assert parse_command("   ").empty
+
+    def test_str_roundtrip(self):
+        assert str(parse_command("echo hi &")) == "echo hi &"
+
+
+class TestHistory:
+    def test_add_and_render(self):
+        h = History()
+        h.add("ls")
+        h.add("echo hi")
+        out = h.render()
+        assert "1  ls" in out and "2  echo hi" in out
+
+    def test_capacity(self):
+        h = History(capacity=2)
+        for i in range(5):
+            h.add(f"cmd{i}")
+        assert len(h.entries) == 2
+        assert h.entries[-1][1] == "cmd4"
+
+    def test_bang_bang(self):
+        h = History()
+        h.add("spin")
+        assert h.expand("!!") == "spin"
+
+    def test_bang_n(self):
+        h = History()
+        h.add("a")
+        h.add("b")
+        assert h.expand("!1") == "a"
+
+    def test_bang_missing(self):
+        h = History()
+        with pytest.raises(ShellError):
+            h.expand("!9")
+        with pytest.raises(ShellError):
+            h.expand("!!")
+
+    def test_plain_lines_pass_through(self):
+        assert History().expand("ls -l") == "ls -l"
+
+
+class TestShell:
+    def test_foreground_command_runs_to_completion(self):
+        sh = Shell()
+        out = sh.run_line("hello")
+        assert "hello, world" in out
+        assert sh.last_status == 0
+
+    def test_exit_status_tracked(self):
+        sh = Shell()
+        sh.run_line("false")
+        assert sh.last_status == 1
+
+    def test_command_not_found(self):
+        sh = Shell()
+        out = sh.run_line("nonesuch")
+        assert "command not found" in out
+        assert sh.last_status == 127
+
+    def test_background_job_listed_then_done(self):
+        sh = Shell()
+        out = sh.run_line("spin-long &")
+        assert out.startswith("[1] ")
+        jobs_out = sh.run_line("jobs")
+        assert "Running" in jobs_out or "Done" in jobs_out
+        sh.drain_background()
+        final = sh.run_line("jobs")
+        assert "Done" in final
+
+    def test_background_does_not_block_shell(self):
+        sh = Shell()
+        sh.run_line("spin-long &")
+        out = sh.run_line("hello")   # prompt is still responsive
+        assert "hello, world" in out
+
+    def test_history_builtin_and_expansion(self):
+        sh = Shell()
+        sh.run_line("hello")
+        out = sh.run_line("history")
+        assert "1  hello" in out
+        again = sh.run_line("!1")
+        assert "hello, world" in again
+
+    def test_repeated_via_bang_bang(self):
+        sh = Shell()
+        sh.run_line("hello")
+        assert "hello, world" in sh.run_line("!!")
+
+    def test_exit_builtin(self):
+        sh = Shell()
+        sh.run_line("exit")
+        assert sh.exited
+        with pytest.raises(ShellError):
+            sh.run_line("hello")
+
+    def test_help_lists_programs(self):
+        sh = Shell()
+        out = sh.run_line("help")
+        assert "hello" in out and "builtins" in out
+
+    def test_empty_line_is_noop(self):
+        sh = Shell()
+        assert sh.run_line("") == ""
+
+    def test_parse_error_reported_not_raised(self):
+        sh = Shell()
+        out = sh.run_line('echo "unclosed')
+        assert "shell:" in out
+
+    def test_script(self):
+        sh = Shell()
+        out = sh.run_script(["hello", "true", "jobs"])
+        assert "hello, world" in out
+
+    def test_ps_builtin_lists_processes(self):
+        sh = Shell()
+        sh.run_line("spin-long &")
+        out = sh.run_line("ps")
+        assert "init" in out
+        assert "spin-long" in out
+
+    def test_ps_shows_states(self):
+        sh = Shell()
+        sh.run_line("hello")     # runs to completion
+        out = sh.run_line("ps")
+        # the finished child is gone or terminated; init remains blocked
+        assert "blocked" in out
+
+    def test_multiple_background_jobs_get_ids(self):
+        sh = Shell()
+        o1 = sh.run_line("spin &")
+        o2 = sh.run_line("spin &")
+        assert o1.startswith("[1]") and o2.startswith("[2]")
+        sh.drain_background()
+        out = sh.run_line("jobs")
+        assert out.count("Done") == 2

@@ -1,0 +1,119 @@
+"""Unit tests for the CPU scheduling policies."""
+
+import pytest
+
+from repro.errors import OsError_
+from repro.ossim.scheduling import (
+    Job,
+    compare_policies,
+    comparison_table,
+    fcfs,
+    round_robin,
+    sjf,
+)
+
+#: the classic lecture workload: a long job arrives first
+CONVOY = [Job("long", 0, 10), Job("short1", 1, 1), Job("short2", 2, 1)]
+
+
+class TestValidation:
+    def test_job_checks(self):
+        with pytest.raises(OsError_):
+            Job("x", 0, 0)
+        with pytest.raises(OsError_):
+            Job("x", -1, 5)
+
+    def test_empty_and_duplicates(self):
+        with pytest.raises(OsError_):
+            fcfs([])
+        with pytest.raises(OsError_):
+            sjf([Job("a", 0, 1), Job("a", 0, 2)])
+
+    def test_rr_parameters(self):
+        with pytest.raises(OsError_):
+            round_robin(CONVOY, quantum=0)
+        with pytest.raises(OsError_):
+            round_robin(CONVOY, quantum=1, switch_cost=-1)
+
+
+class TestFcfs:
+    def test_order_and_times(self):
+        r = fcfs(CONVOY)
+        assert [o.job.name for o in r.outcomes] == ["long", "short1",
+                                                    "short2"]
+        assert r.outcomes[0].finish == 10
+        assert r.outcomes[1].start == 10   # convoy effect
+        assert r.total_time == 12
+
+    def test_idle_gap_respected(self):
+        r = fcfs([Job("a", 0, 1), Job("b", 5, 1)])
+        assert r.outcomes[1].start == 5
+        assert r.total_time == 6
+
+
+class TestSjf:
+    def test_shorter_jobs_jump_ahead(self):
+        r = sjf(CONVOY)
+        # long runs first (alone at t=0), then the two shorts
+        finish = {o.job.name: o.finish for o in r.outcomes}
+        assert finish["short1"] < finish["long"] or \
+            r.outcomes[0].job.name == "long"
+        assert r.mean_waiting <= fcfs(CONVOY).mean_waiting
+
+    def test_pure_sjf_ordering_when_all_arrive_at_zero(self):
+        jobs = [Job("c", 0, 3), Job("a", 0, 1), Job("b", 0, 2)]
+        r = sjf(jobs)
+        order = sorted(r.outcomes, key=lambda o: o.start)
+        assert [o.job.name for o in order] == ["a", "b", "c"]
+
+    def test_sjf_minimizes_mean_waiting(self):
+        jobs = [Job(f"j{i}", 0, b) for i, b in enumerate([6, 2, 8, 4])]
+        assert sjf(jobs).mean_waiting <= fcfs(jobs).mean_waiting
+
+
+class TestRoundRobin:
+    def test_preemption_improves_response(self):
+        rr = round_robin(CONVOY, quantum=1)
+        assert rr.mean_response < fcfs(CONVOY).mean_response
+
+    def test_total_work_conserved(self):
+        rr = round_robin(CONVOY, quantum=2)
+        assert rr.total_time == pytest.approx(12)
+
+    def test_switch_cost_extends_makespan(self):
+        cheap = round_robin(CONVOY, quantum=1, switch_cost=0)
+        pricey = round_robin(CONVOY, quantum=1, switch_cost=0.5)
+        assert pricey.total_time > cheap.total_time
+        assert pricey.context_switches == cheap.context_switches
+
+    def test_smaller_quantum_more_switches(self):
+        q1 = round_robin(CONVOY, quantum=1)
+        q4 = round_robin(CONVOY, quantum=4)
+        assert q1.context_switches > q4.context_switches
+
+    def test_huge_quantum_degenerates_to_fcfs(self):
+        rr = round_robin(CONVOY, quantum=100)
+        f = fcfs(CONVOY)
+        assert rr.mean_turnaround == pytest.approx(f.mean_turnaround)
+
+    def test_single_job(self):
+        r = round_robin([Job("only", 0, 5)], quantum=2)
+        assert r.outcomes[0].finish == 5
+        assert r.context_switches == 0
+
+
+class TestComparison:
+    def test_three_policies(self):
+        results = compare_policies(CONVOY, quantum=1)
+        assert [r.policy for r in results] == ["FCFS", "SJF", "RR(q=1)"]
+
+    def test_table_renders(self):
+        out = comparison_table(compare_policies(CONVOY))
+        assert "turnaround" in out and "FCFS" in out
+
+    def test_metrics_relationships(self):
+        for r in compare_policies(CONVOY, quantum=1):
+            for o in r.outcomes:
+                assert o.turnaround >= o.job.burst
+                assert o.waiting >= 0
+                assert o.response >= 0

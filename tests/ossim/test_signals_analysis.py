@@ -1,0 +1,169 @@
+"""Unit tests for signal handling and schedule exploration."""
+
+import pytest
+
+from repro.errors import OsError_
+from repro.ossim import (
+    Compute,
+    Exit,
+    Fork,
+    InstallHandler,
+    Kernel,
+    KillChild,
+    Pause,
+    Print,
+    ProcessState,
+    Signal,
+    Wait,
+    enumerate_outputs,
+    output_always,
+    output_possible,
+)
+
+
+class TestSignals:
+    def test_sigkill_terminates(self):
+        k = Kernel()
+        k.spawn("p", [
+            Fork(child=[Compute(100), Exit(0)]),
+            KillChild(0, Signal.SIGKILL),
+            Wait(),
+            Print("reaped"),
+            Exit(0),
+        ])
+        k.run()
+        assert "reaped" in k.output_string()
+
+    def test_sigint_default_terminates(self):
+        k = Kernel()
+        parent = k.spawn("p", [
+            Fork(child=[Compute(100), Exit(0)]),
+            KillChild(0, Signal.SIGINT),
+            Wait(),
+            Exit(0),
+        ])
+        k.run()
+        child = k.process(parent).children[0]
+        assert k.exit_status_of(child) == 128 + int(Signal.SIGINT)
+
+    def test_handler_runs_instead_of_default(self):
+        k = Kernel()
+        k.spawn("p", [
+            Fork(child=[
+                InstallHandler(Signal.SIGINT, [Print("caught!")]),
+                Compute(50),
+                Exit(0),
+            ]),
+            Compute(5),              # let the child install its handler
+            KillChild(0, Signal.SIGINT),
+            Wait(),
+            Exit(0),
+        ])
+        k.run()
+        assert "caught!" in k.output_string()
+
+    def test_sigchld_handler_fires_on_child_exit(self):
+        k = Kernel()
+        k.spawn("p", [
+            InstallHandler(Signal.SIGCHLD, [Print("[sigchld]")]),
+            Fork(child=[Print("child-done"), Exit(0)]),
+            Compute(10),
+            Exit(0),
+        ])
+        k.run()
+        out = k.output_string()
+        assert "[sigchld]" in out
+        assert out.index("child-done") < out.index("[sigchld]")
+
+    def test_sigchld_default_is_ignored(self):
+        k = Kernel()
+        k.spawn("p", [
+            Fork(child=[Exit(0)]),
+            Compute(10),
+            Print("survived"),
+            Exit(0),
+        ])
+        k.run()
+        assert "survived" in k.output_string()
+
+    def test_pause_wakes_on_signal(self):
+        k = Kernel()
+        k.spawn("p", [
+            Fork(child=[
+                InstallHandler(Signal.SIGUSR1, [Print("poked")]),
+                Pause(),
+                Print("resumed"),
+                Exit(0),
+            ]),
+            Compute(5),
+            KillChild(0, Signal.SIGUSR1),
+            Wait(),
+            Exit(0),
+        ])
+        k.run()
+        out = k.output_string()
+        assert "poked" in out and "resumed" in out
+
+    def test_sigkill_not_catchable(self):
+        k = Kernel()
+        parent = k.spawn("p", [
+            Fork(child=[
+                InstallHandler(Signal.SIGKILL, [Print("nope")]),
+                Compute(50),
+                Exit(0),
+            ]),
+            Compute(5),
+            KillChild(0, Signal.SIGKILL),
+            Wait(),
+            Exit(0),
+        ])
+        k.run()
+        assert "nope" not in k.output_string()
+
+
+class TestScheduleExploration:
+    def test_fork_print_has_two_interleavings(self):
+        # parent prints P, child prints C: both orders possible
+        ops = [Fork(child=[Print("C"), Exit(0)]), Print("P"), Exit(0)]
+        outs = enumerate_outputs(ops)
+        assert outs == {"PC", "CP"}
+
+    def test_wait_collapses_the_output_set(self):
+        ops = [Fork(child=[Print("C"), Exit(0)]), Wait(), Print("P"),
+               Exit(0)]
+        assert output_always(ops, "CP")
+
+    def test_sequential_is_deterministic(self):
+        ops = [Print("A"), Print("B"), Exit(0)]
+        assert enumerate_outputs(ops) == {"AB"}
+
+    def test_classic_homework_question(self):
+        """printf("A"); fork(); printf("B"); — what can print?
+
+        A exactly once first; then two Bs in either order (identical), so
+        the only output is ABB.
+        """
+        ops = [Print("A"), Fork(), Print("B"), Exit(0)]
+        assert enumerate_outputs(ops) == {"ABB"}
+
+    def test_two_children_six_interleavings(self):
+        ops = [
+            Fork(child=[Print("x"), Exit(0)]),
+            Fork(child=[Print("y"), Exit(0)]),
+            Print("z"),
+            Exit(0),
+        ]
+        outs = enumerate_outputs(ops)
+        # all 3 orderings of x,y,z with x,y in free order: 3! = 6 strings,
+        # but duplicates collapse; x/y/z all distinct => 6
+        assert outs == {"xyz", "xzy", "yxz", "yzx", "zxy", "zyx"}
+
+    def test_output_possible(self):
+        ops = [Fork(child=[Print("C"), Exit(0)]), Print("P"), Exit(0)]
+        assert output_possible(ops, "CP")
+        assert not output_possible(ops, "PP")
+
+    def test_state_budget_enforced(self):
+        ops = [Fork(), Fork(), Fork(), Print("."), Exit(0)]
+        with pytest.raises(OsError_, match="max_states"):
+            enumerate_outputs(ops, max_states=10)

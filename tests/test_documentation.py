@@ -1,0 +1,75 @@
+"""Documentation meta-tests: the public API is actually documented.
+
+Deliverable (e) requires doc comments on every public item; these tests
+make that a regression-checked invariant rather than a hope.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+SUBPACKAGES = [f"repro.{name}" for name in repro.__all__]
+
+
+def _public_modules():
+    mods = []
+    for pkg_name in SUBPACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        mods.append(pkg)
+        for info in pkgutil.iter_modules(pkg.__path__):
+            if not info.name.startswith("_"):
+                mods.append(importlib.import_module(
+                    f"{pkg_name}.{info.name}"))
+    return mods
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        undocumented = [m.__name__ for m in _public_modules()
+                        if not (m.__doc__ or "").strip()]
+        assert undocumented == []
+
+    def test_every_exported_class_and_function_documented(self):
+        missing = []
+        for pkg_name in SUBPACKAGES:
+            pkg = importlib.import_module(pkg_name)
+            for name in getattr(pkg, "__all__", []):
+                obj = getattr(pkg, name)
+                if inspect.ismodule(obj):
+                    continue
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not (inspect.getdoc(obj) or "").strip():
+                        missing.append(f"{pkg_name}.{name}")
+        assert missing == []
+
+    def test_public_methods_of_key_classes_documented(self):
+        from repro.core import SimMachine
+        from repro.isa import Machine
+        from repro.memory import Cache
+        from repro.ossim import Kernel
+        from repro.vm import MMU
+
+        missing = []
+        for cls in (SimMachine, Machine, Cache, Kernel, MMU):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member):
+                    if not (inspect.getdoc(member) or "").strip():
+                        missing.append(f"{cls.__name__}.{name}")
+        assert missing == []
+
+    def test_design_and_experiments_docs_exist(self):
+        import pathlib
+        root = pathlib.Path(repro.__file__).resolve().parents[2]
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            text = (root / doc).read_text()
+            assert len(text) > 1000, doc
+        # DESIGN's experiment index and EXPERIMENTS agree on ids
+        design = (root / "DESIGN.md").read_text()
+        experiments = (root / "EXPERIMENTS.md").read_text()
+        for exp_id in [f"E{i}" for i in range(1, 12)]:
+            assert exp_id in design, exp_id
+            assert exp_id in experiments, exp_id

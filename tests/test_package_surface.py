@@ -1,0 +1,81 @@
+"""Package-level surface tests: exports, entry point, shared utilities."""
+
+import importlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro._util import chunked, format_table, is_power_of_two, log2_exact, mask
+from repro import errors
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_every_declared_subpackage_imports(self):
+        for name in repro.__all__:
+            importlib.import_module(f"repro.{name}")
+
+    def test_all_exports_resolve(self):
+        """Every name in every subpackage's __all__ actually exists."""
+        for name in repro.__all__:
+            mod = importlib.import_module(f"repro.{name}")
+            for export in getattr(mod, "__all__", []):
+                assert hasattr(mod, export), f"repro.{name}.{export}"
+
+    def test_main_module_runs_and_succeeds(self):
+        proc = subprocess.run([sys.executable, "-m", "repro"],
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr[-1500:]
+        assert "near-linear up to 16 threads: True" in proc.stdout
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_root_at_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_segfault_formats_address(self):
+        e = errors.SegmentationFault(0xDEAD, "note")
+        assert "0xdead" in str(e) and "note" in str(e)
+
+
+class TestUtil:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(64) == 6
+        with pytest.raises(ValueError):
+            log2_exact(10)
+
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(8) == 0xFF
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    def test_chunked(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "n"], [("a", 1), ("bb", 22)],
+                           align_right=[False, True])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_format_table_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [("x", "y")])

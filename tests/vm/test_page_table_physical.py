@@ -1,0 +1,132 @@
+"""Unit tests for page tables, physical memory, and swap."""
+
+import pytest
+
+from repro.errors import ProtectionFault, VmError
+from repro.vm import PageTable, PhysicalMemory, SwapSpace
+
+
+class TestPageTable:
+    def test_starts_invalid(self):
+        t = PageTable(4)
+        assert t.resident_pages() == []
+        assert not t.entry(0).valid
+
+    def test_map_unmap(self):
+        t = PageTable(4)
+        t.map_page(2, frame=5)
+        assert t.entry(2).valid and t.entry(2).frame == 5
+        e = t.unmap_page(2)
+        assert not t.entry(2).valid
+        assert e.frame == 5
+
+    def test_unmap_invalid_rejected(self):
+        with pytest.raises(VmError):
+            PageTable(4).unmap_page(0)
+
+    def test_vpn_bounds(self):
+        t = PageTable(4)
+        with pytest.raises(VmError):
+            t.entry(4)
+        with pytest.raises(VmError):
+            t.entry(-1)
+
+    def test_protection(self):
+        t = PageTable(2)
+        t.entry(0).writable = False
+        with pytest.raises(ProtectionFault):
+            t.check_access(0, write=True)
+        t.check_access(0, write=False)  # reads fine
+
+    def test_render_shows_bits(self):
+        t = PageTable(2)
+        t.map_page(0, 3)
+        t.entry(0).dirty = True
+        out = t.render()
+        assert "frame=3" in out and "D=1" in out and "V=0" in out
+
+    def test_needs_pages(self):
+        with pytest.raises(VmError):
+            PageTable(0)
+
+
+class TestPhysicalMemory:
+    def test_allocate_release(self):
+        ram = PhysicalMemory(2)
+        f0 = ram.allocate(1, 0, now=1)
+        f1 = ram.allocate(1, 1, now=2)
+        assert {f0, f1} == {0, 1}
+        assert ram.full
+        ram.release(f0)
+        assert ram.free_count == 1
+
+    def test_allocate_when_full_rejected(self):
+        ram = PhysicalMemory(1)
+        ram.allocate(1, 0, now=1)
+        with pytest.raises(VmError):
+            ram.allocate(1, 1, now=2)
+
+    def test_release_unallocated_rejected(self):
+        with pytest.raises(VmError):
+            PhysicalMemory(2).release(0)
+
+    def test_lru_frame(self):
+        ram = PhysicalMemory(3)
+        ram.allocate(1, 0, now=1)
+        ram.allocate(1, 1, now=2)
+        ram.allocate(1, 2, now=3)
+        ram.touch(0, now=4)   # frame 0 is now most recent
+        assert ram.lru_frame() == 1
+
+    def test_lru_empty_rejected(self):
+        with pytest.raises(VmError):
+            PhysicalMemory(2).lru_frame()
+
+    def test_frames_of_pid(self):
+        ram = PhysicalMemory(4)
+        ram.allocate(1, 0, 1)
+        ram.allocate(2, 0, 2)
+        ram.allocate(1, 1, 3)
+        assert ram.frames_of(1) == [0, 2]
+
+    def test_render(self):
+        ram = PhysicalMemory(2)
+        ram.allocate(7, 3, 1)
+        out = ram.render()
+        assert "pid 7 page 3" in out and "<free>" in out
+
+    def test_geometry_validation(self):
+        with pytest.raises(VmError):
+            PhysicalMemory(0)
+        with pytest.raises(VmError):
+            PhysicalMemory(4, frame_size=100)
+
+
+class TestSwap:
+    def test_page_out_in_roundtrip(self):
+        swap = SwapSpace()
+        slot = swap.page_out(1, 5)
+        assert swap.contains(1, 5)
+        assert swap.page_in(1, 5) == slot
+
+    def test_page_in_missing_rejected(self):
+        with pytest.raises(VmError):
+            SwapSpace().page_in(1, 1)
+
+    def test_same_page_reuses_slot(self):
+        swap = SwapSpace()
+        assert swap.page_out(1, 5) == swap.page_out(1, 5)
+
+    def test_discard_process(self):
+        swap = SwapSpace()
+        swap.page_out(1, 0)
+        swap.page_out(1, 1)
+        swap.page_out(2, 0)
+        assert swap.discard_process(1) == 2
+        assert swap.used_slots == 1
+
+    def test_counters(self):
+        swap = SwapSpace()
+        swap.page_out(1, 0)
+        swap.page_in(1, 0)
+        assert swap.pages_out == 1 and swap.pages_in == 1

@@ -1,0 +1,80 @@
+"""FIFO vs LRU page replacement — including Belady's anomaly.
+
+The course teaches LRU; FIFO is the natural ablation, and the classic
+Belady reference string shows why "more memory always helps" is false
+for FIFO but true for stack algorithms like LRU.
+"""
+
+import pytest
+
+from repro.errors import VmError
+from repro.vm import MMU, PhysicalMemory
+
+PAGE = 256
+#: the canonical Belady string (page numbers)
+BELADY = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+
+
+def faults(policy: str, frames: int, pages: list[int]) -> int:
+    mmu = MMU(PhysicalMemory(frames, PAGE), page_size=PAGE,
+              tlb_entries=1, replacement=policy)
+    mmu.create_process(1, max(pages) + 1)
+    for p in pages:
+        mmu.access(p * PAGE)
+    return mmu.stats.page_faults
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(VmError):
+            MMU(PhysicalMemory(2, PAGE), page_size=PAGE,
+                replacement="clock")
+
+    def test_policies_agree_when_nothing_evicts(self):
+        trace = [0, 1, 0, 1, 0]
+        assert faults("lru", 4, trace) == faults("fifo", 4, trace) == 2
+
+    def test_lru_beats_fifo_on_looping_hot_page(self):
+        # page 0 is hot; FIFO eventually evicts it anyway
+        trace = [0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0]
+        assert faults("lru", 3, trace) <= faults("fifo", 3, trace)
+
+    def test_fifo_evicts_oldest_regardless_of_use(self):
+        mmu = MMU(PhysicalMemory(2, PAGE), page_size=PAGE,
+                  tlb_entries=1, replacement="fifo")
+        mmu.create_process(1, 4)
+        mmu.access(0 * PAGE)          # load page 0 (oldest)
+        mmu.access(1 * PAGE)          # load page 1
+        mmu.access(0 * PAGE)          # touch page 0 — FIFO doesn't care
+        t = mmu.access(2 * PAGE)      # evicts page 0 anyway
+        assert t.evicted == (1, 0)
+
+    def test_lru_respects_recency(self):
+        mmu = MMU(PhysicalMemory(2, PAGE), page_size=PAGE,
+                  tlb_entries=1, replacement="lru")
+        mmu.create_process(1, 4)
+        mmu.access(0 * PAGE)
+        mmu.access(1 * PAGE)
+        mmu.access(0 * PAGE)          # page 0 is now most recent
+        t = mmu.access(2 * PAGE)      # evicts page 1
+        assert t.evicted == (1, 1)
+
+
+class TestBeladyAnomaly:
+    def test_fifo_shows_the_anomaly(self):
+        """More frames, MORE faults under FIFO — the classic result."""
+        f3 = faults("fifo", 3, BELADY)
+        f4 = faults("fifo", 4, BELADY)
+        assert f3 == 9
+        assert f4 == 10
+        assert f4 > f3
+
+    def test_lru_is_a_stack_algorithm(self):
+        """LRU can never fault more with more frames (inclusion)."""
+        f3 = faults("lru", 3, BELADY)
+        f4 = faults("lru", 4, BELADY)
+        assert f4 <= f3
+
+    def test_lru_fault_counts_on_belady_string(self):
+        assert faults("lru", 3, BELADY) == 10
+        assert faults("lru", 4, BELADY) == 8

@@ -1,0 +1,70 @@
+"""Unit tests for the TLB."""
+
+import pytest
+
+from repro.errors import VmError
+from repro.vm import TLB
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        tlb = TLB(4)
+        assert tlb.lookup(1, 0) is None
+        tlb.insert(1, 0, frame=7)
+        assert tlb.lookup(1, 0) == 7
+        assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(2)
+        tlb.insert(1, 0, 10)
+        tlb.insert(1, 1, 11)
+        tlb.lookup(1, 0)          # 0 most recent
+        tlb.insert(1, 2, 12)      # evicts vpn 1
+        assert tlb.lookup(1, 1) is None
+        assert tlb.lookup(1, 0) == 10
+
+    def test_reinsert_updates(self):
+        tlb = TLB(2)
+        tlb.insert(1, 0, 10)
+        tlb.insert(1, 0, 99)
+        assert tlb.lookup(1, 0) == 99
+        assert len(tlb) == 1
+
+    def test_invalidate(self):
+        tlb = TLB(4)
+        tlb.insert(1, 0, 10)
+        tlb.invalidate(1, 0)
+        assert tlb.lookup(1, 0) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(VmError):
+            TLB(0)
+
+
+class TestContextSwitchSemantics:
+    def test_untagged_collides_across_pids(self):
+        """Without pid tags, two processes' vpn 0 alias — hence the flush."""
+        tlb = TLB(4, tagged=False)
+        tlb.insert(1, 0, 10)
+        assert tlb.lookup(2, 0) == 10  # wrong process, same slot!
+
+    def test_flush_clears(self):
+        tlb = TLB(4)
+        tlb.insert(1, 0, 10)
+        tlb.flush()
+        assert tlb.lookup(1, 0) is None
+        assert tlb.stats.flushes == 1
+
+    def test_tagged_keeps_processes_apart(self):
+        tlb = TLB(4, tagged=True)
+        tlb.insert(1, 0, 10)
+        tlb.insert(2, 0, 20)
+        assert tlb.lookup(1, 0) == 10
+        assert tlb.lookup(2, 0) == 20
+
+    def test_hit_rate(self):
+        tlb = TLB(4)
+        tlb.insert(1, 0, 1)
+        tlb.lookup(1, 0)
+        tlb.lookup(1, 1)
+        assert tlb.stats.hit_rate == 0.5
