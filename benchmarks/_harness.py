@@ -8,7 +8,15 @@ artifacts textually alongside the timing numbers.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 from repro._util import format_table
+
+#: machine-readable perf trajectory for the parallel backend; benches
+#: append rows here so future PRs can diff against past numbers
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
 def emit(title: str, headers, rows, align_right=None) -> None:
@@ -19,3 +27,25 @@ def emit(title: str, headers, rows, align_right=None) -> None:
 def emit_text(title: str, text: str) -> None:
     print(f"\n=== {title} ===")
     print(text)
+
+
+def emit_json(path, rows: list[dict]) -> None:
+    """Append ``rows`` (dicts) to the JSON array file at ``path``.
+
+    Creates the file if missing; a corrupt or non-array file is replaced
+    rather than crashing the bench.
+    """
+    path = os.fspath(path)
+    existing: list = []
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as f:
+                loaded = json.load(f)
+            if isinstance(loaded, list):
+                existing = loaded
+        except (json.JSONDecodeError, OSError):
+            existing = []
+    existing.extend(rows)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(existing, f, indent=1)
+        f.write("\n")

@@ -30,6 +30,7 @@ from repro.core.machine import (
 from repro.core.sync import Barrier, ConditionVariable, Mutex, Semaphore
 from repro.core.thread_api import Pthreads, measure_scaling
 from repro.core.metrics import (
+    OverheadBreakdown,
     ScalingPoint,
     amdahl_limit,
     amdahl_speedup,
@@ -41,11 +42,16 @@ from repro.core.metrics import (
     speedup,
 )
 from repro.core.partition import (
+    CHUNK_MODES,
     GridRegion,
     balance_ratio,
     block_partition,
+    chunk_indices,
     cyclic_partition,
+    dynamic_chunks,
+    guided_chunks,
     partition_grid,
+    schedule_makespan,
 )
 from repro.core.patterns import (
     BoundedBuffer,
@@ -70,6 +76,7 @@ from repro.core.timeline import (
     utilization_table,
 )
 from repro.core import mp_backend
+from repro.core.mp_backend import WorkerPool, get_pool, shutdown_pool
 
 __all__ = [
     "SimMachine", "SimThread", "SyncCosts", "run_threads",
@@ -79,9 +86,11 @@ __all__ = [
     "Pthreads", "measure_scaling",
     "speedup", "efficiency", "amdahl_speedup", "amdahl_limit",
     "gustafson_speedup", "karp_flatt", "scaling_table", "ScalingPoint",
-    "is_near_linear",
+    "is_near_linear", "OverheadBreakdown",
     "block_partition", "cyclic_partition", "partition_grid", "GridRegion",
-    "balance_ratio",
+    "balance_ratio", "CHUNK_MODES", "chunk_indices", "dynamic_chunks",
+    "guided_chunks", "schedule_makespan",
+    "WorkerPool", "get_pool", "shutdown_pool",
     "BoundedBuffer", "run_producer_consumer", "ProducerConsumerResult",
     "SemBoundedBuffer", "run_producer_consumer_sem",
     "SharedCounter", "parallel_map_cycles",

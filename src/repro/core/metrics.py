@@ -67,6 +67,46 @@ def karp_flatt(speedup_value: float, workers: int) -> float:
     return (1.0 / speedup_value - 1.0 / workers) / (1.0 - 1.0 / workers)
 
 
+@dataclass
+class OverheadBreakdown:
+    """Where a parallel call's wall-clock went (bench E12's rows).
+
+    The four buckets the course teaches students to look for when
+    measured speedup falls short of Amdahl's prediction:
+
+    * ``spawn``    — creating worker processes (zero on a warm pool)
+    * ``dispatch`` — serializing and submitting the task chunks
+    * ``compute``  — worker-side useful work, summed over workers (can
+      exceed ``wall`` on a multicore host; that's the parallelism)
+    * ``sync``     — wall time blocked on results beyond the ideal
+      ``compute / workers`` — imbalance plus result IPC
+
+    ``wall`` is the whole call as the caller saw it.
+    """
+    spawn: float = 0.0
+    dispatch: float = 0.0
+    compute: float = 0.0
+    sync: float = 0.0
+    wall: float = 0.0
+
+    @property
+    def overhead(self) -> float:
+        """Everything that is not useful work: spawn + dispatch + sync."""
+        return self.spawn + self.dispatch + self.sync
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of wall-clock lost to overhead (0.0 when wall is 0)."""
+        return self.overhead / self.wall if self.wall > 0 else 0.0
+
+    def __add__(self, other: "OverheadBreakdown") -> "OverheadBreakdown":
+        return OverheadBreakdown(self.spawn + other.spawn,
+                                 self.dispatch + other.dispatch,
+                                 self.compute + other.compute,
+                                 self.sync + other.sync,
+                                 self.wall + other.wall)
+
+
 @dataclass(frozen=True)
 class ScalingPoint:
     """One row of a strong-scaling experiment (bench E3's output rows)."""

@@ -7,7 +7,19 @@ simulated machine (:mod:`repro.core.machine`) carries the deterministic
 speedup experiments; this backend exists so the same partitioned
 workloads can run with actual OS-level parallelism on multicore hosts,
 and so measured wall-clock numbers can be reported alongside simulated
-ones (bench E3 does both).
+ones (benches E3 and E12 do both).
+
+The backend keeps a **persistent worker pool**: spawning processes costs
+tens of milliseconds, so a fresh pool per call buries small workloads in
+startup overhead — exactly the pitfall that makes students conclude
+"parallelism made it slower". :class:`WorkerPool` spawns lazily on first
+use, is reused warm across :func:`parallel_map` calls, and records an
+:class:`~repro.core.metrics.OverheadBreakdown` (spawn/dispatch/compute/
+sync seconds) per call so benchmarks can report *where* time goes.
+
+Chunk scheduling is pluggable (``block``, ``cyclic``, ``dynamic``,
+``guided`` — see :mod:`repro.core.partition`); the work-queue modes help
+imbalanced loads at the cost of more dispatch.
 
 Measured speedup here is bounded by the host's physical cores; on a
 single-core CI machine it will hover near (or below) 1×. That is the
@@ -16,13 +28,15 @@ expected, documented behaviour — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.core.partition import block_partition
+from repro.core.metrics import OverheadBreakdown
+from repro.core.partition import CHUNK_MODES, chunk_indices
 from repro.errors import ReproError
 
 
@@ -31,34 +45,209 @@ def available_cores() -> int:
 
 
 # Top-level so it can be pickled by multiprocessing.
-def _run_chunk(args: tuple) -> list:
-    fn, items = args
-    return [fn(x) for x in items]
+def _run_chunk(args: tuple) -> tuple:
+    fn, indices, items = args
+    t0 = time.perf_counter()
+    results = [fn(x) for x in items]
+    return indices, results, time.perf_counter() - t0
+
+
+class WorkerPool:
+    """A reusable process pool with pluggable chunk scheduling.
+
+    Lazy: no processes exist until the first :meth:`map`. Warm: later
+    calls reuse the same workers, so only the first call pays spawn cost
+    (``last_breakdown.spawn`` is 0.0 on a warm call). Start-method aware:
+    pass ``start_method="spawn"`` (or ``"fork"``/``"forkserver"``) to
+    override the platform default; under *spawn*, mapped functions and
+    items must be importable/picklable in a fresh interpreter.
+
+    Call :meth:`shutdown` (or use it as a context manager) when done;
+    the module-level default pool (:func:`get_pool`) is shut down at
+    interpreter exit automatically.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 start_method: str | None = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ReproError("workers must be positive")
+        self.workers = workers if workers is not None else available_cores()
+        self._ctx = mp.get_context(start_method)
+        self._pool: mp.pool.Pool | None = None
+        self.spawn_count = 0            # how many times workers were created
+        self.last_breakdown = OverheadBreakdown()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._pool is not None
+
+    def _ensure_started(self) -> float:
+        """Spawn the workers if needed; returns the spawn seconds paid."""
+        if self._pool is not None:
+            return 0.0
+        t0 = time.perf_counter()
+        self._pool = self._ctx.Pool(processes=self.workers)
+        self.spawn_count += 1
+        return time.perf_counter() - t0
+
+    def map(self, fn: Callable, items: Sequence, *,
+            chunk_mode: str = "block",
+            chunk_size: int | None = None) -> list:
+        """Map ``fn`` over ``items`` on the (possibly warm) pool.
+
+        Results keep input order for every chunk mode. The call's
+        overhead breakdown lands in :attr:`last_breakdown`.
+        """
+        if chunk_mode not in CHUNK_MODES:
+            raise ReproError(f"unknown chunk mode {chunk_mode!r}; "
+                             f"valid modes: {', '.join(CHUNK_MODES)}")
+        n = len(items)
+        wall0 = time.perf_counter()
+        if n == 0:
+            self.last_breakdown = OverheadBreakdown()
+            return []
+        if n == 1:
+            result = [fn(items[0])]
+            wall = time.perf_counter() - wall0
+            self.last_breakdown = OverheadBreakdown(compute=wall, wall=wall)
+            return result
+        spawn = self._ensure_started()
+
+        t0 = time.perf_counter()
+        chunks = [(fn, chunk, [items[i] for i in chunk])
+                  for chunk in chunk_indices(n, self.workers, chunk_mode,
+                                             chunk_size)
+                  if chunk]
+        assert self._pool is not None
+        # chunksize=1 so the pool's internal task queue *is* the work
+        # queue: idle workers pull the next chunk (dynamic scheduling);
+        # for block/cyclic there is exactly one chunk per worker anyway.
+        pending = self._pool.map_async(_run_chunk, chunks, chunksize=1)
+        dispatch = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parts = pending.get()
+        wait = time.perf_counter() - t0
+
+        out: list = [None] * n
+        compute = 0.0
+        for indices, results, seconds in parts:
+            compute += seconds
+            for i, r in zip(indices, results):
+                out[i] = r
+        self.last_breakdown = OverheadBreakdown(
+            spawn=spawn, dispatch=dispatch, compute=compute,
+            sync=max(0.0, wait - compute / self.workers),
+            wall=time.perf_counter() - wall0)
+        return out
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent). The pool can be restarted —
+        the next :meth:`map` lazily spawns fresh workers."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.close()
+            pool.join()
+        except Exception:
+            pool.terminate()
+            pool.join()
+            raise
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# -- the module-level default pool (warm reuse across parallel_map calls) --
+
+_default_pool: WorkerPool | None = None
+_last_breakdown = OverheadBreakdown()
+
+
+def get_pool(workers: int | None = None) -> WorkerPool:
+    """The shared persistent pool, (re)created to match ``workers``.
+
+    Repeated calls with the same worker count return the same warm pool;
+    asking for a different count shuts the old one down first.
+    """
+    global _default_pool
+    wanted = workers if workers is not None else available_cores()
+    if wanted <= 0:
+        raise ReproError("workers must be positive")
+    if _default_pool is None or _default_pool.workers != wanted:
+        if _default_pool is not None:
+            _default_pool.shutdown()
+        _default_pool = WorkerPool(wanted)
+    return _default_pool
+
+
+def shutdown_pool() -> None:
+    """Shut down the shared pool (idempotent; safe to call anytime)."""
+    global _default_pool
+    if _default_pool is not None:
+        _default_pool.shutdown()
+        _default_pool = None
+
+
+atexit.register(shutdown_pool)
+
+
+def last_breakdown() -> OverheadBreakdown:
+    """The overhead breakdown of the most recent :func:`parallel_map`."""
+    return _last_breakdown
 
 
 def parallel_map(fn: Callable, items: Sequence, *,
                  workers: int | None = None,
-                 chunk_mode: str = "block") -> list:
+                 chunk_mode: str = "block",
+                 chunk_size: int | None = None,
+                 pool: WorkerPool | None = None,
+                 reuse_pool: bool = True) -> list:
     """Map ``fn`` over ``items`` using a process pool.
 
     ``fn`` must be picklable (defined at module top level). Results keep
-    input order. With one worker (or one item) no pool is spawned.
+    input order under every ``chunk_mode`` (``block``, ``cyclic``,
+    ``dynamic``, ``guided`` — see :mod:`repro.core.partition`). With one
+    worker (or ≤1 item) no pool is touched.
+
+    By default the shared persistent pool (:func:`get_pool`) does the
+    work, so only the first call pays process spawn. Pass an explicit
+    ``pool`` to manage the lifecycle yourself, or ``reuse_pool=False``
+    to get the old cold-start behaviour (a fresh pool per call — kept
+    for the E12 overhead comparison; don't use it on hot paths).
     """
-    if chunk_mode not in ("block",):
-        raise ReproError(f"unknown chunk mode {chunk_mode!r}")
+    global _last_breakdown
+    if chunk_mode not in CHUNK_MODES:
+        raise ReproError(f"unknown chunk mode {chunk_mode!r}; "
+                         f"valid modes: {', '.join(CHUNK_MODES)}")
     if workers is not None and workers <= 0:
         raise ReproError("workers must be positive")
     n_workers = workers if workers is not None else available_cores()
     if n_workers == 1 or len(items) <= 1:
-        return [fn(x) for x in items]
-    chunks = [(fn, [items[i] for i in chunk])
-              for chunk in block_partition(len(items), n_workers)
-              if len(chunk)]
-    with mp.Pool(processes=n_workers) as pool:
-        parts = pool.map(_run_chunk, chunks)
-    out: list = []
-    for part in parts:
-        out.extend(part)
+        t0 = time.perf_counter()
+        out = [fn(x) for x in items]
+        wall = time.perf_counter() - t0
+        _last_breakdown = OverheadBreakdown(compute=wall, wall=wall)
+        return out
+    if pool is not None:
+        out = pool.map(fn, items, chunk_mode=chunk_mode,
+                       chunk_size=chunk_size)
+        _last_breakdown = pool.last_breakdown
+        return out
+    if reuse_pool:
+        shared = get_pool(n_workers)
+        out = shared.map(fn, items, chunk_mode=chunk_mode,
+                         chunk_size=chunk_size)
+        _last_breakdown = shared.last_breakdown
+        return out
+    with WorkerPool(n_workers) as throwaway:
+        out = throwaway.map(fn, items, chunk_mode=chunk_mode,
+                            chunk_size=chunk_size)
+        _last_breakdown = throwaway.last_breakdown
     return out
 
 
@@ -71,14 +260,17 @@ class MeasuredRun:
 
 def measure_parallel_map(fn: Callable, items: Sequence,
                          worker_counts: list[int],
-                         *, repeats: int = 1) -> list[MeasuredRun]:
+                         *, repeats: int = 1,
+                         chunk_mode: str = "block",
+                         reuse_pool: bool = True) -> list[MeasuredRun]:
     """Time parallel_map at several worker counts (best of ``repeats``)."""
     runs = []
     for w in worker_counts:
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
-            parallel_map(fn, items, workers=w)
+            parallel_map(fn, items, workers=w, chunk_mode=chunk_mode,
+                         reuse_pool=reuse_pool)
             best = min(best, time.perf_counter() - t0)
         runs.append(MeasuredRun(w, best))
     return runs

@@ -41,6 +41,95 @@ def cyclic_partition(n: int, parts: int) -> list[list[int]]:
     return [list(range(i, n, parts)) for i in range(parts)]
 
 
+#: chunk-scheduling policies the parallel backend understands (the OpenMP
+#: schedule() clauses at CS 31 depth: static block, static cyclic, and the
+#: work-queue policies for imbalanced loads)
+CHUNK_MODES = ("block", "cyclic", "dynamic", "guided")
+
+
+def dynamic_chunks(n: int, chunk_size: int) -> list[range]:
+    """Split ``range(n)`` into fixed-size chunks for a work queue.
+
+    Idle workers pull the next chunk as they finish — OpenMP's
+    ``schedule(dynamic, chunk_size)``. Smaller chunks balance better but
+    pay more dispatch overhead.
+    """
+    if chunk_size <= 0:
+        raise ReproError("chunk_size must be positive")
+    if n < 0:
+        raise ReproError("n cannot be negative")
+    return [range(i, min(i + chunk_size, n)) for i in range(0, n, chunk_size)]
+
+
+def guided_chunks(n: int, parts: int, *, min_chunk: int = 1) -> list[range]:
+    """Decreasing-size chunks: each is ``remaining / parts``, floored.
+
+    OpenMP's ``schedule(guided)``: big chunks up front keep dispatch
+    overhead low, small chunks at the tail absorb imbalance.
+    """
+    if parts <= 0:
+        raise ReproError("parts must be positive")
+    if min_chunk <= 0:
+        raise ReproError("min_chunk must be positive")
+    if n < 0:
+        raise ReproError("n cannot be negative")
+    out: list[range] = []
+    start = 0
+    while start < n:
+        size = max(min_chunk, (n - start) // parts)
+        size = min(size, n - start)
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+def chunk_indices(n: int, workers: int, mode: str,
+                  chunk_size: int | None = None) -> list[list[int]]:
+    """The task list a scheduling policy produces for ``range(n)``.
+
+    ``block``/``cyclic`` return exactly one chunk per worker (static
+    assignment); ``dynamic``/``guided`` return a longer queue that idle
+    workers drain. Chunks always cover ``range(n)`` exactly, each index
+    once.
+    """
+    if mode not in CHUNK_MODES:
+        raise ReproError(f"unknown chunk mode {mode!r}; "
+                         f"valid modes: {', '.join(CHUNK_MODES)}")
+    if workers <= 0:
+        raise ReproError("workers must be positive")
+    if mode == "block":
+        return [list(r) for r in block_partition(n, workers)]
+    if mode == "cyclic":
+        return cyclic_partition(n, workers)
+    if mode == "dynamic":
+        size = chunk_size if chunk_size is not None else max(
+            1, -(-n // (workers * 4)))
+        return [list(r) for r in dynamic_chunks(n, size)]
+    # guided
+    return [list(r) for r in guided_chunks(n, workers)]
+
+
+def schedule_makespan(costs: list[float], workers: int, mode: str,
+                      chunk_size: int | None = None) -> float:
+    """Deterministic makespan of a chunk schedule (the cost model).
+
+    Static modes pin chunk *i* to worker *i*; the work-queue modes play
+    greedy list scheduling — each chunk goes to the earliest-free worker,
+    which is what a shared task queue does. This is the analytic
+    counterpart of the real pool, used to show dynamic beating static on
+    skewed loads without needing a multicore host.
+    """
+    chunks = chunk_indices(len(costs), workers, mode, chunk_size)
+    chunk_costs = [sum(costs[i] for i in chunk) for chunk in chunks]
+    if mode in ("block", "cyclic"):
+        return max(chunk_costs, default=0.0)
+    finish = [0.0] * workers
+    for cost in chunk_costs:
+        slot = min(range(workers), key=finish.__getitem__)
+        finish[slot] += cost
+    return max(finish)
+
+
 @dataclass(frozen=True)
 class GridRegion:
     """A rectangular region of a 2-D grid (half-open bounds)."""

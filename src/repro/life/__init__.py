@@ -27,9 +27,11 @@ from repro.life.patterns import (
 )
 from repro.life.serial import (
     GameOfLife,
+    band_neighbor_counts,
     find_cycle,
     neighbor_counts,
     step,
+    step_band,
     step_reference,
     step_rows,
 )
@@ -37,6 +39,8 @@ from repro.life.parallel import (
     CELL_CYCLES,
     ParallelLife,
     run_parallel_mp,
+    run_parallel_pickled,
+    run_parallel_shm,
     run_serial_cycles,
     simulated_scaling,
     step_region,
@@ -54,9 +58,10 @@ __all__ = [
     "config_from_grid", "random_grid", "population", "grids_equal",
     "pattern_names", "pattern_cells", "pattern_period",
     "pattern_displacement", "place", "make",
-    "GameOfLife", "step", "step_reference", "step_rows", "neighbor_counts",
-    "find_cycle",
-    "ParallelLife", "step_region", "run_parallel_mp", "simulated_scaling",
+    "GameOfLife", "step", "step_reference", "step_rows", "step_band",
+    "neighbor_counts", "band_neighbor_counts", "find_cycle",
+    "ParallelLife", "step_region", "run_parallel_mp", "run_parallel_shm",
+    "run_parallel_pickled", "simulated_scaling",
     "run_serial_cycles", "CELL_CYCLES",
     "render", "render_regions", "animate", "frame_sequence",
     "population_sparkline",

@@ -52,19 +52,66 @@ def step(grid: np.ndarray, mode: EdgeMode = "torus") -> np.ndarray:
     return (born | survives).astype(np.uint8)
 
 
+def band_neighbor_counts(grid: np.ndarray, row_start: int, row_end: int,
+                         mode: EdgeMode = "torus") -> np.ndarray:
+    """Neighbour counts for rows [row_start, row_end) only.
+
+    Touches just the band plus one halo row each side, so a parallel
+    worker pays O(band) instead of the O(grid) a full
+    :func:`neighbor_counts` would cost it — the difference between a
+    partitioned kernel and one that secretly redoes everyone's work.
+    Agrees exactly with ``neighbor_counts(grid, mode)[row_start:row_end]``.
+    """
+    rows, cols = grid.shape
+    if not 0 <= row_start <= row_end <= rows:
+        raise ReproError("band rows out of range")
+    height = row_end - row_start
+    if height == 0:
+        return np.zeros((0, cols), dtype=np.int32)
+    padded = np.zeros((height + 2, cols + 2), dtype=np.int32)
+    if mode == "torus":
+        halo_rows = np.arange(row_start - 1, row_end + 1) % rows
+        padded[:, 1:-1] = grid[halo_rows]
+        padded[:, 0] = padded[:, -2]
+        padded[:, -1] = padded[:, 1]
+    elif mode == "bounded":
+        lo = max(0, row_start - 1)
+        hi = min(rows, row_end + 1)
+        padded[lo - (row_start - 1):hi - (row_start - 1), 1:-1] = grid[lo:hi]
+    else:
+        raise ReproError(f"unknown edge mode {mode!r}")
+    total = np.zeros((height, cols), dtype=np.int32)
+    for dr in (0, 1, 2):
+        for dc in (0, 1, 2):
+            if dr == 1 and dc == 1:
+                continue
+            total += padded[dr:dr + height, dc:dc + cols]
+    return total
+
+
+def step_band(grid: np.ndarray, out: np.ndarray, row_start: int,
+              row_end: int, mode: EdgeMode = "torus") -> None:
+    """One round for rows [row_start, row_end) into ``out``, O(band).
+
+    The strip-view kernel the shared-memory workers run in place every
+    generation: reads the band plus its halo rows from ``grid``, writes
+    only its own rows of ``out``, allocates nothing grid-sized.
+    """
+    n = band_neighbor_counts(grid, row_start, row_end, mode)
+    band = grid[row_start:row_end]
+    out[row_start:row_end] = (((band == 0) & (n == 3))
+                              | ((band == 1) & ((n == 2) | (n == 3))
+                                 )).astype(np.uint8)
+
+
 def step_rows(grid: np.ndarray, out: np.ndarray, row_start: int,
               row_end: int, mode: EdgeMode = "torus") -> None:
     """Compute one round for rows [row_start, row_end) into ``out``.
 
     This is the kernel a Lab 10 thread runs on its region: it reads the
-    whole ``grid`` (neighbours cross region boundaries!) but writes only
-    its own rows.
+    neighbouring rows across its boundaries but writes only its own rows.
     """
-    n = neighbor_counts(grid, mode)[row_start:row_end]
-    band = grid[row_start:row_end]
-    out[row_start:row_end] = (((band == 0) & (n == 3))
-                              | ((band == 1) & ((n == 2) | (n == 3))
-                                 )).astype(np.uint8)
+    step_band(grid, out, row_start, row_end, mode)
 
 
 def step_reference(grid: np.ndarray, mode: EdgeMode = "torus"

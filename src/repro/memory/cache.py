@@ -243,6 +243,88 @@ class Cache:
             results.append(self.access(addr, kind))
         return results
 
+    def access_many(self, accesses: Iterable[int | tuple[int, AccessKind]]
+                    ) -> CacheStats:
+        """Run a whole trace aggregating stats only — the fast path.
+
+        Exactly the state transitions :meth:`access` makes (same hits,
+        evictions, clock, RNG draws — tests assert bit-equality with the
+        step-by-step API), but without building an :class:`AccessResult`
+        or :class:`~repro.memory.address.AddressParts` per access, so
+        long benchmark traces don't churn a dataclass per address.
+        Returns the cache's cumulative :class:`CacheStats`. Keep using
+        :meth:`access`/:meth:`run_trace` when the per-access rows matter
+        (homework checkers).
+        """
+        config = self.config
+        stats = self.stats
+        sets = self.sets
+        offset_bits = self.layout.offset_bits
+        tag_shift = offset_bits + self.layout.index_bits
+        index_mask = config.num_sets - 1
+        address_limit = 1 << config.address_bits
+        write_back = config.write_policy == "write-back"
+        write_allocate = config.write_allocate
+        prefetch = config.prefetch_next_line
+        block_size = config.block_size
+        choose_victim = self._choose_victim
+        clock = self._clock
+        for item in accesses:
+            if isinstance(item, tuple):
+                address, kind = item
+            else:
+                address, kind = item, "load"
+            clock += 1     # ticks before validation, matching access()
+            if not 0 <= address < address_limit:
+                self._clock = clock
+                raise CacheConfigError(
+                    f"address {address:#x} exceeds "
+                    f"{config.address_bits} bits")
+            tag = address >> tag_shift
+            ways = sets[(address >> offset_bits) & index_mask]
+
+            for line in ways:
+                if line.valid and line.tag == tag:
+                    line.last_used = clock
+                    if kind == "store":
+                        stats.store_hits += 1
+                        if write_back:
+                            line.dirty = True
+                        else:
+                            stats.memory_writes += 1
+                    else:
+                        stats.load_hits += 1
+                    break
+            else:
+                if kind == "store":
+                    stats.store_misses += 1
+                    if not write_allocate:
+                        stats.memory_writes += 1
+                        continue
+                else:
+                    stats.load_misses += 1
+                victim = choose_victim(ways)
+                if victim.valid:
+                    stats.evictions += 1
+                    if victim.dirty:
+                        stats.writebacks += 1
+                        stats.memory_writes += 1
+                victim.valid = True
+                victim.tag = tag
+                victim.last_used = clock
+                victim.loaded_at = clock
+                victim.dirty = False
+                if kind == "store":
+                    if write_back:
+                        victim.dirty = True
+                    else:
+                        stats.memory_writes += 1
+                if prefetch and kind == "load":
+                    self._clock = clock
+                    self._prefetch(address + block_size)
+        self._clock = clock
+        return stats
+
     def flush(self) -> int:
         """Write back all dirty lines; returns how many were flushed."""
         count = 0

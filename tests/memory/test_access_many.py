@@ -1,0 +1,92 @@
+"""Cache.access_many must agree exactly with folding access().
+
+The acceptance bar: identical counts to the step-by-step homework API
+for every trace generator in repro.memory.trace, across geometries and
+policies (including the random replacement RNG and the prefetcher).
+"""
+
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.memory import Cache, CacheConfig
+from repro.memory.trace import (
+    interleave,
+    matrix_sum_columnwise,
+    matrix_sum_rowwise,
+    random_access,
+    repeated_working_set,
+    row_major_traversal,
+    stride_sweep,
+)
+
+TRACES = {
+    "rowwise": matrix_sum_rowwise(48),
+    "columnwise": matrix_sum_columnwise(48),
+    "row_major": row_major_traversal(32, 17),
+    "stride_sweep": stride_sweep(300, 24, repeat=2),
+    "random": random_access(600, 8192, seed=3),
+    "working_set": repeated_working_set(2048, 3),
+    "interleaved": list(interleave(stride_sweep(100, 4),
+                                   random_access(100, 4096, seed=9))),
+    "mixed_kinds": [(a, "store") if i % 3 == 0 else (a, "load")
+                    for i, a in enumerate(stride_sweep(240, 16))],
+    "empty": [],
+}
+
+CONFIGS = {
+    "direct-mapped": CacheConfig(num_lines=32, block_size=16),
+    "2-way-lru": CacheConfig(num_lines=32, block_size=32, associativity=2),
+    "4-way-fifo": CacheConfig(num_lines=32, block_size=16, associativity=4,
+                              replacement="fifo"),
+    "random-policy": CacheConfig(num_lines=16, block_size=16,
+                                 replacement="random", seed=7),
+    "write-through": CacheConfig(num_lines=32, block_size=16,
+                                 write_policy="write-through"),
+    "no-write-allocate": CacheConfig(num_lines=32, block_size=16,
+                                     write_allocate=False),
+    "prefetching": CacheConfig(num_lines=32, block_size=16,
+                               prefetch_next_line=True),
+}
+
+
+def _full_state(cache):
+    return [cache.set_state(i) for i in range(cache.config.num_sets)]
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+def test_fast_path_agrees(config_name, trace_name):
+    config, trace = CONFIGS[config_name], TRACES[trace_name]
+    fast, slow = Cache(config), Cache(config)
+    returned = fast.access_many(trace)
+    slow.run_trace(trace)
+    assert fast.stats == slow.stats
+    assert returned is fast.stats
+    assert _full_state(fast) == _full_state(slow)
+    assert fast._clock == slow._clock
+
+
+def test_incremental_mixing_of_both_apis():
+    """Interleaving the fast and slow paths stays consistent."""
+    config = CONFIGS["2-way-lru"]
+    a, b = Cache(config), Cache(config)
+    first, second = stride_sweep(100, 8), random_access(100, 2048, seed=1)
+    a.access_many(first)
+    for addr in second:
+        a.access(addr)
+    b.run_trace(first)
+    b.access_many(second)
+    assert a.stats == b.stats
+    assert _full_state(a) == _full_state(b)
+
+
+def test_out_of_range_address_raises_like_access():
+    cache = Cache(CacheConfig(num_lines=16, block_size=16, address_bits=16))
+    with pytest.raises(CacheConfigError):
+        cache.access_many([0, 1 << 16])
+    # the failing access still ticked the clock, like access() does
+    other = Cache(CacheConfig(num_lines=16, block_size=16, address_bits=16))
+    other.access(0)
+    with pytest.raises(CacheConfigError):
+        other.access(1 << 16)
+    assert cache._clock == other._clock
