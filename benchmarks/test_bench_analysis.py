@@ -1,0 +1,61 @@
+"""E13 — static-analysis precision/recall over the seeded corpus.
+
+``examples/buggy/`` plants one of every defect kind the analyzer knows,
+annotated ``EXPECT: kind`` on the offending line; ``examples/c/`` holds
+clean programs.  The bench runs ``repro.analysis`` over both, scores
+reported (line, kind) pairs against the annotations, prints the
+EXPERIMENTS.md E13 table, and appends the aggregate to
+``../BENCH_analysis.json`` so the analyzer's accuracy trajectory
+survives across PRs.
+"""
+
+from pathlib import Path
+
+from benchmarks._harness import emit, emit_json
+from repro.analysis import (
+    analyze_file,
+    expected_findings,
+    merge_scores,
+    reported_findings,
+    score,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = [REPO / "examples" / "buggy", REPO / "examples" / "c"]
+ANALYSIS_JSON = REPO / "BENCH_analysis.json"
+
+
+def run_corpus():
+    per_file = []
+    files = 0
+    for d in CORPUS:
+        for path in sorted(d.glob("*")):
+            files += 1
+            expected = expected_findings(path.read_text())
+            reported = reported_findings(analyze_file(path).findings)
+            per_file.append(score(expected, reported))
+    return files, merge_scores(per_file)
+
+
+def test_bench_analysis(benchmark):
+    files, totals = benchmark(run_corpus)
+
+    rows = [(k.kind, k.tp, k.fp, k.fn,
+             f"{k.precision:.2f}", f"{k.recall:.2f}")
+            for k in sorted(totals.values(), key=lambda k: k.kind)]
+    emit(f"E13 — analyzer vs the seeded corpus ({files} files)",
+         ["kind", "tp", "fp", "fn", "precision", "recall"],
+         rows, align_right=[False, True, True, True, True, True])
+
+    emit_json(ANALYSIS_JSON, [
+        {"bench": "analysis_corpus", "kind": k.kind, "tp": k.tp,
+         "fp": k.fp, "fn": k.fn, "precision": k.precision,
+         "recall": k.recall}
+        for k in sorted(totals.values(), key=lambda k: k.kind)])
+
+    # the acceptance bar: every planted defect found, nothing spurious
+    assert totals, "corpus produced no scores"
+    for k in totals.values():
+        assert k.fp == 0, f"false positive(s) for {k.kind}"
+        assert k.fn == 0, f"missed planted defect(s) for {k.kind}"
+        assert k.precision == 1.0 and k.recall == 1.0

@@ -1,0 +1,13 @@
+# Planted defects: one of every assembler-lint finding kind.
+.text
+main:
+    movl $1, %eax
+    jmp done
+    movl $2, %eax    # EXPECT: asm-unreachable
+done:
+    addl %eax        # EXPECT: asm-arity
+    movl %eax, $3    # EXPECT: asm-immediate-dest
+    jmp missing      # EXPECT: asm-undefined-label
+done:                # EXPECT: asm-duplicate-label
+    frob %eax        # EXPECT: asm-unknown-mnemonic
+    ret

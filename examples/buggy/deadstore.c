@@ -1,0 +1,11 @@
+// Planted defect: a store whose value no later path reads.
+int compute(int n) {
+    int total = n;
+    total = 0; // EXPECT: dead-store
+    total = n * 2;
+    return total;
+}
+
+int main() {
+    return compute(21);
+}

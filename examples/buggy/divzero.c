@@ -1,0 +1,9 @@
+// Planted defect: division by a value constant propagation proves zero.
+int ratio(int n) {
+    int d = 4 - 4;
+    return n / d; // EXPECT: const-div-zero
+}
+
+int main() {
+    return ratio(10);
+}

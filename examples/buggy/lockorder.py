@@ -1,0 +1,22 @@
+"""Planted defect: two thread bodies acquire locks in opposite order.
+
+The bodies below are never executed here — ``python -m repro analyze``
+inspects their source statically.  Running them on the simulated
+machine can deadlock: the classic AB/BA recipe.
+"""
+
+
+def transfer_forward(lock_a, lock_b):  # EXPECT: lock-order-cycle
+    yield Lock(lock_a)
+    yield Work(10)
+    yield Lock(lock_b)
+    yield Unlock(lock_b)
+    yield Unlock(lock_a)
+
+
+def transfer_backward(lock_a, lock_b):
+    yield Lock(lock_b)
+    yield Work(10)
+    yield Lock(lock_a)
+    yield Unlock(lock_a)
+    yield Unlock(lock_b)

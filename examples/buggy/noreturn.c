@@ -1,0 +1,10 @@
+// Planted defect: control can fall off the end without a return.
+int maybe(int flag) { // EXPECT: missing-return
+    if (flag) {
+        return 1;
+    }
+}
+
+int main() {
+    return maybe(1);
+}

@@ -1,0 +1,12 @@
+// Planted defect: constant array indices outside the declared bounds.
+int fill() {
+    int data[8];
+    int i = 4 + 4;
+    data[0] = 1;
+    data[i] = 5; // EXPECT: const-oob-index
+    return data[8]; // EXPECT: const-oob-index
+}
+
+int main() {
+    return fill();
+}

@@ -1,0 +1,11 @@
+"""Planted defect: unsynchronized accesses to a shared counter.
+
+Two threads running this body race on ``counter`` — the static
+analysis flags the candidate without executing a single schedule.
+"""
+
+
+def unsafe_increment(counter):
+    yield Access("counter", "read")  # EXPECT: race-candidate
+    yield Work(10)
+    yield Access("counter", "write")  # EXPECT: race-candidate

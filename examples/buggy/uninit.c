@@ -1,0 +1,12 @@
+// Planted defect: a local read before it is assigned on every path.
+int choose(int flag) {
+    int result;
+    if (flag) {
+        result = 1;
+    }
+    return result; // EXPECT: uninitialized-read
+}
+
+int main() {
+    return choose(0);
+}

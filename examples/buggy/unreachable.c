@@ -1,0 +1,19 @@
+// Planted defect: statements no path from function entry reaches.
+int early(int x) {
+    if (x > 0) {
+        return x;
+    }
+    return 0;
+    return 1; // EXPECT: unreachable-code
+}
+
+int debug_only() {
+    if (0) {
+        return 99; // EXPECT: unreachable-code
+    }
+    return 1;
+}
+
+int main() {
+    return early(3) + debug_only();
+}

@@ -1,0 +1,15 @@
+// Clean program: swap through pointers (address-of and dereference).
+int swap_demo() {
+    int x = 3;
+    int y = 5;
+    int px = &x;
+    int py = &y;
+    int tmp = *px;
+    *px = *py;
+    *py = tmp;
+    return x - y;
+}
+
+int main() {
+    return swap_demo();
+}

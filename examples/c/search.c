@@ -1,0 +1,20 @@
+// Clean program: linear search over a fixed table.
+int find(int target) {
+    int table[5];
+    int i;
+    for (i = 0; i < 5; i = i + 1) {
+        table[i] = i * i;
+    }
+    i = 0;
+    while (i < 5) {
+        if (table[i] == target) {
+            return i;
+        }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+int main() {
+    return find(9);
+}

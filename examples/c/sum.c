@@ -1,0 +1,16 @@
+// Clean program: sum of squares with a helper call and a for loop.
+int square(int x) {
+    return x * x;
+}
+
+int sum_of_squares(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        total = total + square(i);
+    }
+    return total;
+}
+
+int main() {
+    return sum_of_squares(10);
+}

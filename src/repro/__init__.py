@@ -19,6 +19,8 @@ vm          page tables, TLB, page faults, effective access time
 ossim       simulated kernel: processes, fork/exec/wait, signals, shell
 core        pthread-style threads on a simulated multicore; sync; speedup
 life        Conway's Game of Life labs, serial and parallel, with ParaVis
+analysis    static analysis: CFG/dataflow checks over the C subset, static
+            lock-order/race-candidate checking, assembler lint
 curriculum  TCPP coverage (Table I), labs/homework registry, survey (Fig. 1)
 homework    mechanical generators + checkers for the written homeworks
 """
@@ -27,5 +29,5 @@ __version__ = "1.0.0"
 
 __all__ = [
     "binary", "circuits", "isa", "clib", "memory", "vm", "ossim",
-    "core", "life", "curriculum", "homework",
+    "core", "life", "curriculum", "homework", "analysis",
 ]

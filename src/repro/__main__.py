@@ -3,9 +3,18 @@
 Prints the course's shape (themes, schedule, Table I category counts),
 runs each lab's miniature demo, and finishes with the headline speedup
 measurement, so a fresh checkout can prove itself in seconds.
+
+Subcommands::
+
+    python -m repro analyze FILE.c|FILE.s|FILE.py|DIR ...
+
+runs the static-analysis subsystem (see :mod:`repro.analysis`) instead
+of the tour.
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.core import is_near_linear, scaling_table
 from repro.curriculum import (
@@ -17,7 +26,11 @@ from repro.curriculum import (
 from repro.life import random_grid, run_serial_cycles, simulated_scaling
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "analyze":
+        from repro.analysis.cli import run
+        return run(argv[1:])
     print("repro: CS 31 as an executable systems library")
     print("=" * 52)
     print("\nthemes:")

@@ -1,0 +1,164 @@
+"""Assembler-level lint for the IA-32 subset (AT&T syntax).
+
+Where :func:`repro.isa.assembler.assemble` *rejects* a program at the
+first problem, the lint walks the whole source and reports every issue
+as a :class:`~repro.analysis.report.Finding`:
+
+* syntax/operand problems and unknown mnemonics (what the assembler
+  would raise, demoted to per-line findings);
+* arity violations per mnemonic class;
+* duplicate label definitions and references to undefined labels;
+* writes to a read-only operand (an immediate destination);
+* unreachable instructions — code after an unconditional ``jmp``,
+  ``ret``, or ``halt`` that no label makes addressable again.
+
+It shares the operand grammar and mnemonic tables with the real
+assembler, so the two can never disagree about what parses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.report import Finding, finding
+from repro.errors import AssemblerError
+from repro.isa.assembler import _split_operands, parse_operand
+from repro.isa.instructions import (
+    ALL_MNEMONICS,
+    ARITH1,
+    ARITH2,
+    CALLS,
+    Immediate,
+    JUMPS,
+    LabelImmediate,
+    LabelRef,
+    Register,
+    ZEROARY,
+)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.$]*):$")
+
+#: control never falls through these
+_NO_FALLTHROUGH = {"jmp", "ret", "halt"}
+
+#: one-operand mnemonics that write their operand
+_ARITH1_WRITES = {"notl", "negl", "incl", "decl", "popl"}
+
+#: two-operand mnemonics that only read their second operand
+_ARITH2_READONLY_DEST = {"cmpl", "testl", "cmpb"}
+
+
+def lint_asm(source: str, path: str = "") -> list[Finding]:
+    """Lint assembly source text; returns every finding (never raises)."""
+    findings: list[Finding] = []
+    defined: dict[str, int] = {}          # label -> defining line
+    used: list[tuple[str, int]] = []      # (label, line of use)
+    section = "text"
+    #: is the next instruction reachable by fall-through or a label?
+    reachable = True
+    reported_region = False
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line in (".data", ".text"):
+            section = line[1:]
+            reachable = True
+            reported_region = False
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in defined:
+                findings.append(finding(
+                    "asm-duplicate-label", "", lineno,
+                    f"label {name!r} already defined on line "
+                    f"{defined[name]}", path=path))
+            else:
+                defined[name] = lineno
+            reachable = True
+            reported_region = False
+            continue
+        if section == "data" or line.startswith("."):
+            continue                      # data directives: assembler's job
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic == "push":
+            mnemonic = "pushl"
+        elif mnemonic == "pop":
+            mnemonic = "popl"
+        if mnemonic not in ALL_MNEMONICS:
+            findings.append(finding(
+                "asm-unknown-mnemonic", "", lineno,
+                f"unknown mnemonic {mnemonic!r}", path=path))
+            continue
+
+        operand_text = parts[1] if len(parts) > 1 else ""
+        try:
+            operands = tuple(parse_operand(t)
+                             for t in _split_operands(operand_text))
+        except AssemblerError as exc:
+            findings.append(finding(
+                "asm-syntax", "", lineno, str(exc), path=path))
+            continue
+
+        if not reachable and not reported_region:
+            reported_region = True
+            findings.append(finding(
+                "asm-unreachable", "", lineno,
+                "instruction can never execute (follows an "
+                "unconditional jump/return with no label)", path=path))
+
+        findings.extend(_check_instruction(mnemonic, operands,
+                                           lineno, path))
+        for op in operands:
+            if isinstance(op, (LabelRef, LabelImmediate)):
+                used.append((op.name, lineno))
+
+        if mnemonic in _NO_FALLTHROUGH:
+            reachable = False
+
+    for name, lineno in used:
+        if name not in defined:
+            findings.append(finding(
+                "asm-undefined-label", "", lineno,
+                f"reference to undefined label {name!r}", path=path))
+
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _check_instruction(mnemonic, operands, lineno, path) -> list[Finding]:
+    out: list[Finding] = []
+
+    def add(kind: str, message: str) -> None:
+        out.append(finding(kind, "", lineno, message, path=path))
+
+    if mnemonic in ARITH2 and len(operands) != 2:
+        add("asm-arity", f"{mnemonic} takes two operands")
+    elif mnemonic in ARITH1 and len(operands) != 1:
+        add("asm-arity", f"{mnemonic} takes one operand")
+    elif mnemonic in JUMPS | CALLS:
+        if len(operands) != 1:
+            add("asm-arity", f"{mnemonic} takes one target")
+        elif not isinstance(operands[0], (LabelRef, Register)):
+            add("asm-arity",
+                f"{mnemonic} target must be a label (or register "
+                "for indirect)")
+    elif mnemonic in ZEROARY and operands:
+        add("asm-arity", f"{mnemonic} takes no operands")
+
+    # writes to a read-only operand: an immediate destination
+    if (mnemonic in ARITH2 and mnemonic not in _ARITH2_READONLY_DEST
+            and len(operands) == 2
+            and isinstance(operands[1], (Immediate, LabelImmediate))):
+        add("asm-immediate-dest",
+            f"{mnemonic} writes its destination, which cannot be an "
+            "immediate")
+    if (mnemonic in _ARITH1_WRITES and len(operands) == 1
+            and isinstance(operands[0], (Immediate, LabelImmediate))):
+        add("asm-immediate-dest",
+            f"{mnemonic} writes its operand, which cannot be an "
+            "immediate")
+    return out

@@ -1,0 +1,214 @@
+"""Dataflow-powered checkers for the C subset.
+
+:func:`analyze_c_source` parses a program with the course's
+:mod:`~repro.isa.ccompiler`, builds a CFG per function, and runs:
+
+* **uninitialized-read** — a use a bare ``int x;`` definition reaches
+  (may-analysis: a single uninitialized path is enough, like Valgrind's
+  "conditional jump depends on uninitialised value" but at compile time);
+* **dead-store** — an assignment whose value no later path reads;
+* **unreachable-code** — statements no path from function entry reaches
+  (after ``return``, in ``if (0)`` bodies, after ``while (1)``);
+* **const-oob-index** — ``a[k]`` with constant ``k`` outside the
+  declared bounds (via constant propagation, not just literals);
+* **const-div-zero** — ``/`` or ``%`` by a constant zero;
+* **missing-return** — control can fall off the end of a function (the
+  compiler silently supplies ``return 0``; the lint makes it loud).
+
+Variables whose address is taken, array elements, and globals are
+excluded from the scalar checks — the classic soundness/precision
+trade: never warn where a pointer store could have intervened.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import build_cfg, expr_nodes, stmt_exprs
+from repro.analysis.dataflow import (
+    ConstantPropagation,
+    Liveness,
+    ReachingDefinitions,
+    UNINIT,
+    eval_const,
+    solve,
+    stmt_facts,
+)
+from repro.analysis.report import Finding, finding
+from repro.isa.ccompiler import (
+    AddressOf,
+    Assign,
+    AssignIndex,
+    Binary,
+    CompileError,
+    Declare,
+    DeclareArray,
+    Function,
+    GlobalVar,
+    Index,
+    Var,
+    parse_c,
+)
+
+__all__ = ["analyze_c_source", "check_function", "build_cfg"]
+
+
+def _collect_scopes(fn: Function) -> tuple[dict[str, int], set[str], set[str]]:
+    """(array sizes, scalar locals, address-taken names) for ``fn``."""
+    arrays: dict[str, int] = {}
+    scalars: set[str] = set()
+    address_taken: set[str] = set()
+
+    def walk(stmts):
+        for s in stmts:
+            if isinstance(s, DeclareArray):
+                arrays[s.name] = s.size
+            elif isinstance(s, Declare):
+                scalars.add(s.name)
+            for e in stmt_exprs(s):
+                for node in expr_nodes(e):
+                    if isinstance(node, AddressOf):
+                        address_taken.add(node.name)
+            if hasattr(s, "then"):
+                walk(s.then)
+                walk(s.otherwise)
+            elif hasattr(s, "body"):
+                walk(s.body)
+
+    walk(fn.body)
+    return arrays, scalars, address_taken
+
+
+def _scalar_reads(stmt, trackable: set[str]) -> list[tuple[str, int]]:
+    """(name, line) for every rvalue read of a trackable scalar."""
+    reads = []
+    for e in stmt_exprs(stmt):
+        for node in expr_nodes(e):
+            if isinstance(node, Var) and node.name in trackable:
+                reads.append((node.name, node.line))
+    return reads
+
+
+def check_function(fn: Function, globals_: set[str]) -> list[Finding]:
+    """Run every intra-procedural checker on one function."""
+    cfg = build_cfg(fn)
+    arrays, scalars, address_taken = _collect_scopes(fn)
+    # scalars the dataflow checks can reason about exactly
+    trackable = scalars - address_taken - set(fn.params) - globals_
+    reachable = cfg.reachable()
+    findings: list[Finding] = []
+
+    # -- unreachable code (report the frontier block of each region) ----
+    for block in cfg.blocks:
+        if (block.bid not in reachable and block.stmts
+                and not block.preds):
+            findings.append(finding(
+                "unreachable-code", fn.name, block.first_line,
+                "statement can never execute"))
+
+    # -- missing return ------------------------------------------------
+    if any(bid in reachable for bid in cfg.fallthrough_from):
+        findings.append(finding(
+            "missing-return", fn.name, fn.line,
+            f"control can reach the end of {fn.name!r} without a "
+            f"return (the compiler supplies 'return 0')"))
+
+    # -- uninitialized reads -------------------------------------------
+    rd = ReachingDefinitions(list(fn.params))
+    rd_in, _ = solve(cfg, rd)
+    reported: set[tuple[str, int]] = set()
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            continue
+        for stmt, _site, fact in stmt_facts(rd, block, rd_in[block.bid]):
+            uninit_here = {v for (v, site) in fact if site == UNINIT}
+            for name, line in _scalar_reads(stmt, trackable):
+                if name in uninit_here and (name, line) not in reported:
+                    reported.add((name, line))
+                    findings.append(finding(
+                        "uninitialized-read", fn.name, line,
+                        f"{name!r} may be used uninitialized here"))
+
+    # -- dead stores ---------------------------------------------------
+    lv = Liveness()
+    lv_in, _ = solve(cfg, lv)
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            continue
+        for stmt, _site, live_after in stmt_facts(lv, block,
+                                                  lv_in[block.bid]):
+            if isinstance(stmt, Assign) and stmt.name in trackable:
+                if stmt.name not in live_after:
+                    findings.append(finding(
+                        "dead-store", fn.name, stmt.line,
+                        f"value assigned to {stmt.name!r} is never read"))
+
+    # -- constant-propagation checks (OOB index, division by zero) -----
+    cp = ConstantPropagation(list(fn.params), frozenset(address_taken))
+    cp_in, _ = solve(cfg, cp)
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            continue
+        for stmt, _site, fact in stmt_facts(cp, block, cp_in[block.bid]):
+            env = dict(fact)
+            findings.extend(_const_checks(stmt, env, arrays, fn.name))
+
+    return findings
+
+
+def _const_checks(stmt, env: dict, arrays: dict[str, int],
+                  fn_name: str) -> list[Finding]:
+    out: list[Finding] = []
+    targets: list[tuple[str, object, int, bool]] = []
+    if isinstance(stmt, AssignIndex) and stmt.name in arrays:
+        targets.append((stmt.name, stmt.index, stmt.line, False))
+    for e in stmt_exprs(stmt):
+        for node in expr_nodes(e):
+            if isinstance(node, Index) and node.name in arrays:
+                targets.append((node.name, node.index, node.line, False))
+            elif (isinstance(node, AddressOf) and node.index is not None
+                    and node.name in arrays):
+                # &a[size] (one past the end) is legal C
+                targets.append((node.name, node.index, node.line, True))
+            if isinstance(node, Binary) and node.op in ("/", "%"):
+                rv = eval_const(node.right, env)
+                if rv == 0:
+                    out.append(finding(
+                        "const-div-zero", fn_name, node.line,
+                        f"right operand of {node.op!r} is always zero"))
+    for name, index, line, one_past_ok in targets:
+        k = eval_const(index, env)
+        if k is None:
+            continue
+        size = arrays[name]
+        hi = size + 1 if one_past_ok else size
+        if k < 0 or k >= hi:
+            out.append(finding(
+                "const-oob-index", fn_name, line,
+                f"index {k} is out of bounds for {name!r}[{size}]"))
+    return out
+
+
+def analyze_c_source(source: str, path: str = "") -> list[Finding]:
+    """Parse + check a whole C-subset program; parse errors become a
+    single ``parse-error`` finding instead of raising."""
+    try:
+        items = parse_c(source)
+    except CompileError as exc:
+        return [finding("parse-error", "", _error_line(str(exc)),
+                        str(exc), path=path)]
+    globals_ = {i.name for i in items if isinstance(i, GlobalVar)}
+    findings: list[Finding] = []
+    for item in items:
+        if isinstance(item, Function):
+            findings.extend(check_function(item, globals_))
+    if path:
+        from repro.analysis.report import with_path
+        findings = with_path(findings, path)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _error_line(message: str) -> int:
+    if message.startswith("line "):
+        head = message[5:].split(":", 1)[0]
+        if head.isdigit():
+            return int(head)
+    return 0

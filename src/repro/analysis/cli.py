@@ -1,0 +1,115 @@
+"""The ``python -m repro analyze`` command-line driver.
+
+Dispatches on file suffix: ``.c`` runs the CFG/dataflow checkers,
+``.s`` the assembler lint, ``.py`` the static concurrency analysis
+(thread bodies found in the file).  Directories are walked recursively
+for those suffixes.  Exit status follows lint convention: 0 when every
+file is clean, 1 when any finding was reported, 2 on usage errors —
+inverted by ``--expect-findings`` for seeded-buggy corpora, where a
+file with *no* findings is the failure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.asmlint import lint_asm
+from repro.analysis.checks import analyze_c_source
+from repro.analysis.concurrency import analyze_python_source
+from repro.analysis.report import (
+    FileReport,
+    render_json,
+    render_text,
+)
+
+USAGE = """\
+usage: python -m repro analyze [--json] [--expect-findings] PATH [PATH...]
+
+Statically analyze C-subset (.c), assembly (.s), or thread-program
+(.py) sources.  Directories are searched recursively.
+
+  --json             emit findings as a JSON array instead of text
+  --expect-findings  invert the exit status: succeed only if every
+                     analyzed file has at least one finding (for
+                     seeded-buggy corpora)
+"""
+
+SUFFIXES = (".c", ".s", ".py")
+
+
+def analyze_file(path: Path) -> FileReport:
+    """Analyze one source file by suffix; unknown suffixes are clean."""
+    text = path.read_text(encoding="utf-8")
+    name = str(path)
+    if path.suffix == ".c":
+        return FileReport(name, analyze_c_source(text, name))
+    if path.suffix == ".s":
+        return FileReport(name, lint_asm(text, name))
+    if path.suffix == ".py":
+        return FileReport(name, analyze_python_source(text, name))
+    return FileReport(name, [])
+
+
+def gather_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(
+                f for f in p.rglob("*") if f.suffix in SUFFIXES))
+        else:
+            files.append(p)
+    return files
+
+
+def run(argv: list[str]) -> int:
+    """Parse CLI arguments, analyze every path, print the report.
+
+    Returns the process exit status (0 clean, 1 findings, 2 usage).
+    """
+    as_json = False
+    expect_findings = False
+    paths: list[str] = []
+    for arg in argv:
+        if arg == "--json":
+            as_json = True
+        elif arg == "--expect-findings":
+            expect_findings = True
+        elif arg in ("-h", "--help"):
+            print(USAGE)
+            return 0
+        elif arg.startswith("-"):
+            print(USAGE, file=sys.stderr)
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        print(USAGE, file=sys.stderr)
+        return 2
+
+    files = gather_files(paths)
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+
+    reports = [analyze_file(f) for f in files]
+    findings = [f for r in reports for f in r.findings]
+    if as_json:
+        print(render_json(findings))
+    else:
+        print(f"analyzed {len(files)} file(s)")
+        print(render_text(findings))
+
+    if expect_findings:
+        silent = [r.path for r in reports if r.clean]
+        if silent:
+            for p in silent:
+                print(f"expected findings but {p} is clean",
+                      file=sys.stderr)
+            return 1
+        return 0
+    return 1 if findings else 0

@@ -1,0 +1,332 @@
+"""Static lock-order and race-candidate analysis for thread programs.
+
+The dynamic tools — :class:`repro.core.race.RaceDetector` and
+:class:`repro.core.deadlock.WaitForGraph` — watch one *execution*.
+This module inspects thread bodies **without running them**: it parses
+the Python source of the generator functions the simulated machine
+executes (the ``yield Lock(m) / Access("x", "write") / Unlock(m)``
+vocabulary of :mod:`repro.core.machine`) and computes
+
+* a **must-hold lockset** per shared-variable access (branches
+  intersect, so only locks held on *every* path count), and
+* a **lock-order graph** with an edge ``a -> b`` whenever ``b`` is
+  acquired while ``a`` is held.
+
+A pair of accesses to the same variable, at least one a write, from
+different bodies (or a body that runs more than once), with disjoint
+must-hold locksets is a **race candidate**; a cycle in the lock-order
+graph — found by reusing :class:`WaitForGraph`, the same cycle finder
+the dynamic deadlock detector uses — is a **potential deadlock**, the
+AB/BA recipe :func:`repro.core.deadlock.lock_order_violations` teaches.
+
+Static analysis over-approximates: every race the dynamic detector can
+observe is a candidate here, but not every candidate manifests in a
+given schedule (see the integration test that asserts the superset
+property on the course's shared-counter example).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+
+from repro.analysis.report import Finding, finding
+from repro.core.deadlock import WaitForGraph, lock_order_violations
+
+#: machine-event constructors whose yields the analysis understands
+_LOCK_EVENTS = {"Lock"}
+_UNLOCK_EVENTS = {"Unlock"}
+_ACCESS_EVENTS = {"Access"}
+_ATOMIC_EVENTS = {"AtomicOp"}
+_SYNC_EVENTS = (_LOCK_EVENTS | _UNLOCK_EVENTS | _ACCESS_EVENTS
+                | _ATOMIC_EVENTS
+                | {"SemWait", "SemPost", "BarrierWait", "Join",
+                   "CondWait", "CondSignal", "CondBroadcast", "Work"})
+
+
+@dataclass(frozen=True)
+class StaticAccess:
+    """One shared-variable access found in a thread body's source."""
+    body: str              # thread-body (function) name
+    var: str
+    kind: str              # 'read' | 'write'
+    locks: frozenset       # must-hold lockset (lock names)
+    line: int
+
+
+@dataclass
+class ThreadSummary:
+    """What the static analysis extracted from one thread body."""
+    name: str
+    accesses: list[StaticAccess] = field(default_factory=list)
+    #: locks in the order the body acquires them (flattened paths)
+    acquisition_order: list[str] = field(default_factory=list)
+    #: (held, acquired) pairs: the lock-order graph's edges
+    lock_pairs: set[tuple[str, str]] = field(default_factory=set)
+    line: int = 0
+    uses_sync: bool = False
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """A statically possible data race (may not manifest at run time)."""
+    var: str
+    first: StaticAccess
+    second: StaticAccess
+
+    def __str__(self) -> str:
+        return (f"race candidate on {self.var!r}: "
+                f"{self.first.body} {self.first.kind} "
+                f"(locks={sorted(self.first.locks)}) vs "
+                f"{self.second.body} {self.second.kind} "
+                f"(locks={sorted(self.second.locks)})")
+
+
+# ---------------------------------------------------------------------------
+# Extracting summaries from Python source
+# ---------------------------------------------------------------------------
+
+def _event_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _lock_name(node: ast.expr) -> str:
+    """A stable name for a lock expression (``m``, ``self.m``, ...)."""
+    return ast.unparse(node)
+
+
+class _BodyWalker:
+    """Walks one function body tracking the must-hold lockset."""
+
+    def __init__(self, name: str) -> None:
+        self.summary = ThreadSummary(name)
+
+    def walk(self, stmts: list, held: set[str]) -> set[str]:
+        for stmt in stmts:
+            held = self._walk_stmt(stmt, held)
+        return held
+
+    def _walk_stmt(self, stmt, held: set[str]) -> set[str]:
+        if isinstance(stmt, ast.If):
+            then_held = self.walk(stmt.body, set(held))
+            else_held = self.walk(stmt.orelse, set(held))
+            return then_held & else_held
+        if isinstance(stmt, (ast.For, ast.While)):
+            # locks are assumed balanced across an iteration; keep the
+            # must-hold intersection to stay conservative
+            body_held = self.walk(stmt.body, set(held))
+            held = held & body_held
+            if stmt.orelse:
+                held = self.walk(stmt.orelse, set(held))
+            return held
+        if isinstance(stmt, ast.With):
+            return self.walk(stmt.body, held)
+        if isinstance(stmt, ast.Try):
+            body_held = self.walk(stmt.body, set(held))
+            final_held = self.walk(stmt.finalbody, set(body_held))
+            return final_held
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                held = self._handle_yield(node, held)
+        return held
+
+    def _handle_yield(self, node, held: set[str]) -> set[str]:
+        value = getattr(node, "value", None)
+        if not isinstance(value, ast.Call):
+            return held
+        name = _event_name(value)
+        if name is None or name not in _SYNC_EVENTS:
+            return held
+        self.summary.uses_sync = True
+        args = value.args
+        line = value.lineno
+        if name in _LOCK_EVENTS and args:
+            lock = _lock_name(args[0])
+            for h in held:
+                self.summary.lock_pairs.add((h, lock))
+            self.summary.acquisition_order.append(lock)
+            held = held | {lock}
+        elif name in _UNLOCK_EVENTS and args:
+            held = held - {_lock_name(args[0])}
+        elif name in _ACCESS_EVENTS and args:
+            var = self._const_str(args[0])
+            kind = "read"
+            if len(args) > 1:
+                kind = self._const_str(args[1])
+            for kw in value.keywords:
+                if kw.arg == "kind":
+                    kind = self._const_str(kw.value)
+            self.summary.accesses.append(StaticAccess(
+                self.summary.name, var, kind, frozenset(held), line))
+        elif name in _ATOMIC_EVENTS and args:
+            var = self._const_str(args[0])
+            # mirrors RaceDetector: a write under the implicit
+            # per-variable token lock, so atomics never race
+            self.summary.accesses.append(StaticAccess(
+                self.summary.name, var, "write",
+                frozenset(held) | {f"atomic:{var}"}, line))
+        return held
+
+    @staticmethod
+    def _const_str(node) -> str:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return f"<dynamic:{ast.unparse(node)}>"
+
+
+def _summarize_functiondef(node: ast.FunctionDef) -> ThreadSummary:
+    walker = _BodyWalker(node.name)
+    walker.summary.line = node.lineno
+    walker.walk(node.body, set())
+    return walker.summary
+
+
+def summarize_python_source(source: str) -> list[ThreadSummary]:
+    """Summaries for every function in ``source`` that yields machine
+    sync/access events (other functions are not thread bodies)."""
+    tree = ast.parse(textwrap.dedent(source))
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary = _summarize_functiondef(node)
+            if summary.uses_sync:
+                out.append(summary)
+    return out
+
+
+def summarize_body(body) -> ThreadSummary:
+    """Summary for one thread body given as a callable (closures from
+    the patterns library work: the source is read via ``inspect``)."""
+    source = textwrap.dedent(inspect.getsource(body))
+    summaries = summarize_python_source(source)
+    if not summaries:
+        return ThreadSummary(getattr(body, "__name__", "<body>"))
+    # innermost generator functions carry the yields; merge them all
+    merged = ThreadSummary(getattr(body, "__name__", summaries[0].name))
+    for s in summaries:
+        merged.accesses.extend(
+            StaticAccess(merged.name, a.var, a.kind, a.locks, a.line)
+            for a in s.accesses)
+        merged.acquisition_order.extend(s.acquisition_order)
+        merged.lock_pairs |= s.lock_pairs
+        merged.uses_sync = True
+        merged.line = merged.line or s.line
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+def race_candidates(summaries: list[ThreadSummary], *,
+                    instances: dict[str, int] | None = None
+                    ) -> list[RaceCandidate]:
+    """Statically possible races across (and within) thread bodies.
+
+    ``instances[name]`` is how many threads run body ``name``; unknown
+    bodies default to 2, over-approximating — a body that *could* run
+    twice can race with itself.
+    """
+    instances = instances or {}
+    out: list[RaceCandidate] = []
+    seen: set[tuple] = set()
+    for i, s1 in enumerate(summaries):
+        for s2 in summaries[i:]:
+            if s1 is s2 and instances.get(s1.name, 2) < 2:
+                continue
+            for a in s1.accesses:
+                for b in s2.accesses:
+                    if s1 is s2 and a.line > b.line:
+                        continue        # unordered pair: count once
+                    if a.var != b.var:
+                        continue
+                    if a.kind == "read" and b.kind == "read":
+                        continue
+                    if a.locks & b.locks:
+                        continue
+                    key = (a.var, s1.name, s2.name,
+                           frozenset((a.kind, b.kind)))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(RaceCandidate(a.var, a, b))
+    return out
+
+
+def lock_order_graph(summaries: list[ThreadSummary]) -> WaitForGraph:
+    """The acquisition-order graph over lock names, expressed with the
+    same :class:`WaitForGraph` the dynamic deadlock detector uses."""
+    graph = WaitForGraph()
+    for s in summaries:
+        for held, acquired in s.lock_pairs:
+            graph.add_edge(held, acquired)
+    return graph
+
+
+def analyze_summaries(summaries: list[ThreadSummary], *,
+                      instances: dict[str, int] | None = None
+                      ) -> list[Finding]:
+    """Findings for a set of thread-body summaries."""
+    findings: list[Finding] = []
+    for cand in race_candidates(summaries, instances=instances):
+        findings.append(finding(
+            "race-candidate", cand.first.body, cand.first.line,
+            str(cand)))
+    graph = lock_order_graph(summaries)
+    cycle = graph.find_cycle()
+    if cycle is not None:
+        line = min((s.line for s in summaries if s.line), default=0)
+        findings.append(finding(
+            "lock-order-cycle", "", line,
+            "locks are acquired in a cycle (potential deadlock): "
+            + " -> ".join(cycle)))
+    else:
+        # no cycle in the merged graph; still surface pairwise AB/BA
+        # disagreements between bodies, the course's written check
+        orders = [s.acquisition_order for s in summaries]
+        for a, b in lock_order_violations(orders):
+            line = min((s.line for s in summaries if s.line), default=0)
+            findings.append(finding(
+                "lock-order-violation", "", line,
+                f"threads disagree on the order of {a!r} and {b!r}"))
+    return findings
+
+
+def analyze_thread_bodies(bodies: list, *,
+                          instances: dict[str, int] | None = None
+                          ) -> list[Finding]:
+    """Static findings for runnable thread bodies (callables)."""
+    return analyze_summaries([summarize_body(b) for b in bodies],
+                             instances=instances)
+
+
+def static_race_vars(bodies: list, *,
+                     instances: dict[str, int] | None = None
+                     ) -> set[str]:
+    """The set of variables with at least one race candidate — the
+    static over-approximation the integration test compares against
+    the dynamic :class:`RaceDetector`'s reported races."""
+    summaries = [summarize_body(b) for b in bodies]
+    return {c.var for c in race_candidates(summaries,
+                                           instances=instances)}
+
+
+def analyze_python_source(source: str, path: str = "") -> list[Finding]:
+    """Analyze thread bodies found in Python source text."""
+    try:
+        summaries = summarize_python_source(source)
+    except SyntaxError as exc:
+        return [finding("parse-error", "", exc.lineno or 0,
+                        f"python syntax error: {exc.msg}", path=path)]
+    findings = analyze_summaries(summaries)
+    if path:
+        from repro.analysis.report import with_path
+        findings = with_path(findings, path)
+    return sorted(findings, key=Finding.sort_key)

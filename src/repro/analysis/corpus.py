@@ -1,0 +1,88 @@
+"""The EXPECT-annotation convention for the seeded-defect corpus.
+
+Files under ``examples/buggy/`` mark every planted defect with a
+trailing comment on the exact line the analyzer should flag::
+
+    return result; // EXPECT: uninitialized-read
+    yield Lock(b)  # EXPECT: lock-order-cycle
+
+making the corpus self-describing: the tests assert the analyzer
+reports *exactly* the annotated (line, kind) pairs, and the E13 bench
+computes precision/recall per kind from the same annotations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.report import Finding
+
+#: matches one annotation; several may share a line (comma-free)
+EXPECT_RE = re.compile(r"EXPECT:\s*([a-z][a-z-]*)")
+
+
+def expected_findings(source: str) -> set[tuple[int, str]]:
+    """The (line, kind) pairs a corpus file's EXPECT comments promise."""
+    out: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for m in EXPECT_RE.finditer(line):
+            out.add((lineno, m.group(1)))
+    return out
+
+
+def reported_findings(findings: list[Finding]) -> set[tuple[int, str]]:
+    """The (line, kind) pairs an analyzer run actually produced."""
+    return {(f.line, f.kind) for f in findings}
+
+
+@dataclass
+class KindScore:
+    """Precision/recall bookkeeping for one finding kind."""
+    kind: str
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 1.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 1.0
+
+
+def score(expected: set[tuple[int, str]],
+          reported: set[tuple[int, str]]) -> dict[str, KindScore]:
+    """Per-kind precision/recall of ``reported`` against ``expected``.
+
+    A reported (line, kind) matching an annotation is a true positive;
+    reported-but-not-annotated is a false positive; annotated-but-not-
+    reported a false negative.
+    """
+    scores: dict[str, KindScore] = {}
+
+    def of(kind: str) -> KindScore:
+        return scores.setdefault(kind, KindScore(kind))
+
+    for pair in reported & expected:
+        of(pair[1]).tp += 1
+    for pair in reported - expected:
+        of(pair[1]).fp += 1
+    for pair in expected - reported:
+        of(pair[1]).fn += 1
+    return scores
+
+
+def merge_scores(per_file: list[dict[str, KindScore]]
+                 ) -> dict[str, KindScore]:
+    """Aggregate per-file scores into one table keyed by kind."""
+    total: dict[str, KindScore] = {}
+    for scores in per_file:
+        for kind, s in scores.items():
+            t = total.setdefault(kind, KindScore(kind))
+            t.tp += s.tp
+            t.fp += s.fp
+            t.fn += s.fn
+    return total

@@ -35,8 +35,14 @@ class WaitForGraph:
             elif isinstance(target, SimThread):
                 graph.add_edge(t.name, target.name)
             elif isinstance(target, Semaphore):
-                # any thread that could post; conservatively no edge
-                graph.edges.setdefault(t.name, set())
+                if target.holders:
+                    # a waiter depends on every thread holding an
+                    # un-posted unit (binary-sem-as-lock usage); with
+                    # no holders any thread could post, so no edge
+                    for holder in target.holders:
+                        graph.add_edge(t.name, holder.name)
+                else:
+                    graph.edges.setdefault(t.name, set())
             else:
                 graph.edges.setdefault(t.name, set())
         return graph

@@ -289,7 +289,7 @@ class SimMachine:
         if isinstance(event, SemWait):
             return self._sem_wait(thread, event.sem, time)
         if isinstance(event, SemPost):
-            return self._sem_post(event.sem, time)
+            return self._sem_post(thread, event.sem, time)
         if isinstance(event, Join):
             return self._join(thread, event.thread, time)
         raise ConcurrencyError(f"thread yielded unknown event {event!r}")
@@ -393,15 +393,22 @@ class SimMachine:
         done = time + self.costs.sem
         if sem.value > 0:
             sem.value -= 1
+            sem.holders.append(thread)
             return done
         sem.waiters.append(thread)
         self._block(thread, sem, time)
         return None
 
-    def _sem_post(self, sem: Semaphore, time: float) -> float:
+    def _sem_post(self, thread: SimThread, sem: Semaphore,
+                  time: float) -> float:
         done = time + self.costs.sem
+        # a holder posting returns its unit (binary-sem-as-lock usage);
+        # a non-holder post (producer/consumer) mints a fresh unit
+        if thread in sem.holders:
+            sem.holders.remove(thread)
         if sem.waiters:
             waiter: SimThread = sem.waiters.popleft()
+            sem.holders.append(waiter)
             self._wake(waiter, done)
         else:
             sem.value += 1

@@ -86,6 +86,10 @@ class Semaphore:
     value: int = 0
     name: str = "sem"
     waiters: deque = field(default_factory=deque)
+    #: threads that decremented and have not posted back — the deadlock
+    #: detector draws waiter -> holder edges from this (a thread using
+    #: a binary semaphore as a lock "holds" its unit)
+    holders: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.value < 0:

@@ -27,7 +27,7 @@ from repro.isa.disassembler import (
 )
 from repro.isa.debugger import Debugger, StackFrameInfo
 from repro.isa.maze import Floor, Maze, SCHEMES
-from repro.isa.ccompiler import CompileError, compile_c, run_c
+from repro.isa.ccompiler import CompileError, compile_c, parse_c, run_c
 
 __all__ = [
     "RegisterSet", "Flags", "GP32", "register_width",
@@ -38,5 +38,5 @@ __all__ = [
     "disassemble_function", "disassemble_range", "function_bounds", "annotate",
     "Debugger", "StackFrameInfo",
     "Maze", "Floor", "SCHEMES",
-    "compile_c", "run_c", "CompileError",
+    "compile_c", "parse_c", "run_c", "CompileError",
 ]

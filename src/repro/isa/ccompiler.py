@@ -56,24 +56,28 @@ class Token:
     kind: str      # 'num' | 'name' | 'op' | 'kw' | 'eof'
     text: str
     pos: int
+    line: int = 1
 
 
 def tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     i = 0
+    line = 1
     while i < len(source):
         m = _TOKEN_RE.match(source, i)
         if not m:
-            raise CompileError(f"unexpected character {source[i]!r} at {i}")
+            raise CompileError(
+                f"line {line}: unexpected character {source[i]!r} at {i}")
         i = m.end()
         if m.lastgroup == "ws":
+            line += m.group().count("\n")
             continue
         kind = m.lastgroup
         text = m.group()
         if kind == "name" and text in KEYWORDS:
             kind = "kw"
-        tokens.append(Token(kind, text, m.start()))
-    tokens.append(Token("eof", "", len(source)))
+        tokens.append(Token(kind, text, m.start(), line))
+    tokens.append(Token("eof", "", len(source), line))
     return tokens
 
 
@@ -84,23 +88,27 @@ def tokenize(source: str) -> list[Token]:
 @dataclass
 class Num:
     value: int
+    line: int = 0
 
 
 @dataclass
 class Var:
     name: str
+    line: int = 0
 
 
 @dataclass
 class Call:
     name: str
     args: list
+    line: int = 0
 
 
 @dataclass
 class Unary:
     op: str
     operand: object
+    line: int = 0
 
 
 @dataclass
@@ -108,6 +116,7 @@ class Binary:
     op: str
     left: object
     right: object
+    line: int = 0
 
 
 @dataclass
@@ -115,6 +124,7 @@ class Index:
     """``a[i]`` as an rvalue."""
     name: str
     index: object
+    line: int = 0
 
 
 @dataclass
@@ -122,18 +132,21 @@ class AddressOf:
     """``&x`` or ``&a[i]``."""
     name: str
     index: object | None = None
+    line: int = 0
 
 
 @dataclass
 class Deref:
     """``*p`` as an rvalue (p any expression)."""
     pointer: object
+    line: int = 0
 
 
 @dataclass
 class Declare:
     name: str
     init: object | None
+    line: int = 0
 
 
 @dataclass
@@ -141,12 +154,14 @@ class DeclareArray:
     """``int a[n];`` — n must be a literal."""
     name: str
     size: int
+    line: int = 0
 
 
 @dataclass
 class Assign:
     name: str
     value: object
+    line: int = 0
 
 
 @dataclass
@@ -155,6 +170,7 @@ class AssignIndex:
     name: str
     index: object
     value: object
+    line: int = 0
 
 
 @dataclass
@@ -162,11 +178,13 @@ class AssignDeref:
     """``*p = e;`` (p any expression)."""
     pointer: object
     value: object
+    line: int = 0
 
 
 @dataclass
 class Return:
     value: object
+    line: int = 0
 
 
 @dataclass
@@ -174,17 +192,20 @@ class If:
     cond: object
     then: list
     otherwise: list
+    line: int = 0
 
 
 @dataclass
 class While:
     cond: object
     body: list
+    line: int = 0
 
 
 @dataclass
 class ExprStmt:
     expr: object
+    line: int = 0
 
 
 @dataclass
@@ -192,6 +213,7 @@ class Function:
     name: str
     params: list[str]
     body: list
+    line: int = 0
 
 
 @dataclass
@@ -199,6 +221,7 @@ class GlobalVar:
     """``int g = 5;`` at file scope (constant initializer only)."""
     name: str
     init: int = 0
+    line: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -223,7 +246,8 @@ class Parser:
         if tok.kind != kind or (text is not None and tok.text != text):
             want = text or kind
             raise CompileError(
-                f"expected {want!r} but found {tok.text!r} at {tok.pos}")
+                f"line {tok.line}: expected {want!r} but found "
+                f"{tok.text!r} at {tok.pos}")
         return tok
 
     def accept(self, kind: str, text: str) -> bool:
@@ -245,24 +269,24 @@ class Parser:
         return items
 
     def parse_top_level(self):
-        self.expect("kw", "int")
+        line = self.expect("kw", "int").line
         name = self.expect("name").text
         if self.peek().kind == "op" and self.peek().text == "(":
-            return self._parse_function_rest(name)
+            return self._parse_function_rest(name, line)
         init = 0
         if self.accept("op", "="):
             negative = self.accept("op", "-")
             num = self.expect("num")
             init = -int(num.text) if negative else int(num.text)
         self.expect("op", ";")
-        return GlobalVar(name, init)
+        return GlobalVar(name, init, line=line)
 
     def parse_function(self) -> Function:
-        self.expect("kw", "int")
+        line = self.expect("kw", "int").line
         name = self.expect("name").text
-        return self._parse_function_rest(name)
+        return self._parse_function_rest(name, line)
 
-    def _parse_function_rest(self, name: str) -> Function:
+    def _parse_function_rest(self, name: str, line: int = 0) -> Function:
         self.expect("op", "(")
         params: list[str] = []
         if not self.accept("op", ")"):
@@ -273,7 +297,7 @@ class Parser:
                     break
                 self.expect("op", ",")
         body = self.parse_block()
-        return Function(name, params, body)
+        return Function(name, params, body, line=line)
 
     def parse_block(self) -> list:
         self.expect("op", "{")
@@ -284,6 +308,7 @@ class Parser:
 
     def parse_statement(self):
         tok = self.peek()
+        line = tok.line
         if tok.kind == "kw" and tok.text == "int":
             decl = self._parse_declaration()
             self.expect("op", ";")
@@ -292,7 +317,7 @@ class Parser:
             self.next()
             value = self.parse_expr()
             self.expect("op", ";")
-            return Return(value)
+            return Return(value, line=line)
         if tok.kind == "kw" and tok.text == "if":
             self.next()
             self.expect("op", "(")
@@ -302,13 +327,13 @@ class Parser:
             otherwise = []
             if self.accept("kw", "else"):
                 otherwise = self.parse_block()
-            return If(cond, then, otherwise)
+            return If(cond, then, otherwise, line=line)
         if tok.kind == "kw" and tok.text == "while":
             self.next()
             self.expect("op", "(")
             cond = self.parse_expr()
             self.expect("op", ")")
-            return While(cond, self.parse_block())
+            return While(cond, self.parse_block(), line=line)
         if tok.kind == "kw" and tok.text == "for":
             return self._parse_for()
         if tok.kind == "op" and tok.text == "*":
@@ -318,7 +343,7 @@ class Parser:
             self.expect("op", "=")
             value = self.parse_expr()
             self.expect("op", ";")
-            return AssignDeref(pointer, value)
+            return AssignDeref(pointer, value, line=line)
         if (tok.kind == "name"
                 and self.tokens[self.i + 1].kind == "op"
                 and self.tokens[self.i + 1].text in ("=", "[")):
@@ -327,34 +352,36 @@ class Parser:
             return stmt
         expr = self.parse_expr()
         self.expect("op", ";")
-        return ExprStmt(expr)
+        return ExprStmt(expr, line=line)
 
     def _parse_declaration(self):
         """``int x``, ``int x = e``, or ``int a[n]`` (no trailing ';')."""
-        self.expect("kw", "int")
+        line = self.expect("kw", "int").line
         name = self.expect("name").text
         if self.accept("op", "["):
             size_tok = self.expect("num")
             self.expect("op", "]")
             size = int(size_tok.text)
             if size <= 0:
-                raise CompileError(f"array {name!r} needs positive size")
-            return DeclareArray(name, size)
+                raise CompileError(
+                    f"line {line}: array {name!r} needs positive size")
+            return DeclareArray(name, size, line=line)
         init = None
         if self.accept("op", "="):
             init = self.parse_expr()
-        return Declare(name, init)
+        return Declare(name, init, line=line)
 
     def _parse_assignment(self):
         """``x = e`` or ``a[i] = e`` (no trailing ';')."""
-        name = self.expect("name").text
+        tok = self.expect("name")
+        name, line = tok.text, tok.line
         if self.accept("op", "["):
             index = self.parse_expr()
             self.expect("op", "]")
             self.expect("op", "=")
-            return AssignIndex(name, index, self.parse_expr())
+            return AssignIndex(name, index, self.parse_expr(), line=line)
         self.expect("op", "=")
-        return Assign(name, self.parse_expr())
+        return Assign(name, self.parse_expr(), line=line)
 
     def _parse_for(self):
         """for (init; cond; update) block — desugared to a while loop.
@@ -362,7 +389,7 @@ class Parser:
         The init clause may be a declaration or assignment (or empty);
         the update clause an assignment (or empty).
         """
-        self.expect("kw", "for")
+        for_line = self.expect("kw", "for").line
         self.expect("op", "(")
         init = None
         if not self.accept("op", ";"):
@@ -371,7 +398,7 @@ class Parser:
             else:
                 init = self._parse_assignment()
             self.expect("op", ";")
-        cond = Num(1)
+        cond = Num(1, line=for_line)
         if not self.accept("op", ";"):
             cond = self.parse_expr()
             self.expect("op", ";")
@@ -381,9 +408,10 @@ class Parser:
             self.expect("op", ")")
         body = self.parse_block()
         loop_body = body + ([update] if update is not None else [])
-        loop = While(cond, loop_body)
-        return If(Num(1), ([init] if init is not None else []) + [loop],
-                  [])
+        loop = While(cond, loop_body, line=for_line)
+        return If(Num(1, line=for_line),
+                  ([init] if init is not None else []) + [loop],
+                  [], line=for_line)
 
     # expression precedence: || < && < (== !=) < (< > <= >=) < (+ -) < (* / %)
     def parse_expr(self):
@@ -392,8 +420,8 @@ class Parser:
     def _binary_level(self, sub, ops):
         node = sub()
         while self.peek().kind == "op" and self.peek().text in ops:
-            op = self.next().text
-            node = Binary(op, node, sub())
+            op_tok = self.next()
+            node = Binary(op_tok.text, node, sub(), line=op_tok.line)
         return node
 
     def parse_or(self):
@@ -419,24 +447,24 @@ class Parser:
         tok = self.peek()
         if tok.kind == "op" and tok.text in ("-", "!"):
             self.next()
-            return Unary(tok.text, self.parse_unary())
+            return Unary(tok.text, self.parse_unary(), line=tok.line)
         if tok.kind == "op" and tok.text == "*":
             self.next()
-            return Deref(self.parse_unary())
+            return Deref(self.parse_unary(), line=tok.line)
         if tok.kind == "op" and tok.text == "&":
             self.next()
             name = self.expect("name").text
             if self.accept("op", "["):
                 index = self.parse_expr()
                 self.expect("op", "]")
-                return AddressOf(name, index)
-            return AddressOf(name)
+                return AddressOf(name, index, line=tok.line)
+            return AddressOf(name, line=tok.line)
         return self.parse_primary()
 
     def parse_primary(self):
         tok = self.next()
         if tok.kind == "num":
-            return Num(int(tok.text))
+            return Num(int(tok.text), line=tok.line)
         if tok.kind == "name":
             if self.accept("op", "("):
                 args = []
@@ -446,17 +474,18 @@ class Parser:
                         if self.accept("op", ")"):
                             break
                         self.expect("op", ",")
-                return Call(tok.text, args)
+                return Call(tok.text, args, line=tok.line)
             if self.accept("op", "["):
                 index = self.parse_expr()
                 self.expect("op", "]")
-                return Index(tok.text, index)
-            return Var(tok.text)
+                return Index(tok.text, index, line=tok.line)
+            return Var(tok.text, line=tok.line)
         if tok.kind == "op" and tok.text == "(":
             e = self.parse_expr()
             self.expect("op", ")")
             return e
-        raise CompileError(f"unexpected token {tok.text!r} at {tok.pos}")
+        raise CompileError(
+            f"line {tok.line}: unexpected token {tok.text!r} at {tok.pos}")
 
 
 # ---------------------------------------------------------------------------
@@ -487,7 +516,8 @@ class CodeGen:
         offsets: dict[str, int] = {}
         for i, p in enumerate(fn.params):
             if p in offsets:
-                raise CompileError(f"duplicate parameter {p!r}")
+                raise CompileError(
+                    f"line {fn.line}: duplicate parameter {p!r}")
             offsets[p] = 8 + 4 * i
 
         local_count = self._count_locals(fn.body, set(fn.params))
@@ -508,12 +538,14 @@ class CodeGen:
         for s in stmts:
             if isinstance(s, Declare):
                 if s.name in seen:
-                    raise CompileError(f"redeclaration of {s.name!r}")
+                    raise CompileError(
+                        f"line {s.line}: redeclaration of {s.name!r}")
                 seen.add(s.name)
                 count += 1
             elif isinstance(s, DeclareArray):
                 if s.name in seen:
-                    raise CompileError(f"redeclaration of {s.name!r}")
+                    raise CompileError(
+                        f"line {s.line}: redeclaration of {s.name!r}")
                 seen.add(s.name)
                 count += s.size
             elif isinstance(s, If):
@@ -524,23 +556,27 @@ class CodeGen:
         return count
 
     @staticmethod
-    def _scalar_offset(scope: dict, name: str) -> int:
+    def _scalar_offset(scope: dict, name: str, line: int = 0) -> int:
         entry = scope.get(name)
         if entry is None:
-            raise CompileError(f"use of undeclared variable {name!r}")
+            raise CompileError(
+                f"line {line}: use of undeclared variable {name!r}")
         if isinstance(entry, tuple):
-            raise CompileError(f"{name!r} is an array, not a scalar")
+            raise CompileError(
+                f"line {line}: {name!r} is an array, not a scalar")
         return entry
 
     @staticmethod
-    def _array_entry(scope: dict, name: str) -> tuple[int, int]:
+    def _array_entry(scope: dict, name: str,
+                     line: int = 0) -> tuple[int, int]:
         """(base_offset, size) — scalars are usable too (int* values)."""
         entry = scope.get(name)
         if entry is None:
-            raise CompileError(f"use of undeclared variable {name!r}")
+            raise CompileError(
+                f"line {line}: use of undeclared variable {name!r}")
         if isinstance(entry, tuple):
             return entry[1], entry[2]
-        raise CompileError(f"{name!r} is not an array")
+        raise CompileError(f"line {line}: {name!r} is not an array")
 
     def _gen_block(self, stmts: list, scope: dict[str, int]) -> None:
         for s in stmts:
@@ -559,16 +595,17 @@ class CodeGen:
             self._next_local = base - 4
         elif isinstance(s, Assign):
             if s.name in scope:
-                offset = self._scalar_offset(scope, s.name)
+                offset = self._scalar_offset(scope, s.name, s.line)
                 self._gen_expr(s.value, scope)
                 self.emit(f"movl %eax, {offset}(%ebp)")
             elif s.name in self.globals:
                 self._gen_expr(s.value, scope)
                 self.emit(f"movl %eax, {s.name}")
             else:
-                raise CompileError(f"assignment to undeclared {s.name!r}")
+                raise CompileError(
+                    f"line {s.line}: assignment to undeclared {s.name!r}")
         elif isinstance(s, AssignIndex):
-            base, _size = self._array_entry(scope, s.name)
+            base, _size = self._array_entry(scope, s.name, s.line)
             self._gen_expr(s.value, scope)
             self.emit("pushl %eax")
             self._gen_expr(s.index, scope)
@@ -624,14 +661,15 @@ class CodeGen:
                 if e.name in self.globals:
                     self.emit(f"movl {e.name}, %eax")
                     return
-                raise CompileError(f"use of undeclared variable {e.name!r}")
+                raise CompileError(
+                    f"line {e.line}: use of undeclared variable {e.name!r}")
             if isinstance(entry, tuple):
                 # an array name decays to its base address
                 self.emit(f"leal {entry[1]}(%ebp), %eax")
             else:
                 self.emit(f"movl {entry}(%ebp), %eax")
         elif isinstance(e, Index):
-            base, _size = self._array_entry(scope, e.name)
+            base, _size = self._array_entry(scope, e.name, e.line)
             self._gen_expr(e.index, scope)
             self.emit("movl %eax, %ecx")
             self.emit(f"movl {base}(%ebp,%ecx,4), %eax")
@@ -643,11 +681,12 @@ class CodeGen:
                         self.emit(f"movl ${e.name}, %eax")
                         return
                     raise CompileError(
-                        f"use of undeclared variable {e.name!r}")
+                        f"line {e.line}: use of undeclared variable "
+                        f"{e.name!r}")
                 offset = entry[1] if isinstance(entry, tuple) else entry
                 self.emit(f"leal {offset}(%ebp), %eax")
             else:
-                base, _size = self._array_entry(scope, e.name)
+                base, _size = self._array_entry(scope, e.name, e.line)
                 self._gen_expr(e.index, scope)
                 self.emit("movl %eax, %ecx")
                 self.emit(f"leal {base}(%ebp,%ecx,4), %eax")
@@ -731,14 +770,28 @@ class CodeGen:
         self.emit(f"{end}:")
 
 
+def parse_c(source: str) -> list:
+    """Parse C-subset source to a line-annotated AST (top-level items).
+
+    The returned list holds :class:`Function` and :class:`GlobalVar`
+    nodes; every node carries the 1-based source ``line`` it started on.
+    This is the entry point ``repro.analysis`` builds its CFG from.
+    """
+    return Parser(tokenize(source)).parse_program()
+
+
 def compile_c(source: str) -> str:
     """Compile C-subset source to IA-32-subset assembly text."""
-    items = Parser(tokenize(source)).parse_program()
+    items = parse_c(source)
     functions = [i for i in items if isinstance(i, Function)]
     globals_ = [i for i in items if isinstance(i, GlobalVar)]
-    names = [f.name for f in functions] + [g.name for g in globals_]
-    if len(set(names)) != len(names):
-        raise CompileError("duplicate top-level definitions")
+    seen: dict[str, object] = {}
+    for item in functions + globals_:
+        if item.name in seen:
+            raise CompileError(
+                f"line {item.line}: duplicate top-level definitions "
+                f"({item.name!r})")
+        seen[item.name] = item
     gen = CodeGen({g.name for g in globals_})
     if globals_:
         gen.emit(".data")

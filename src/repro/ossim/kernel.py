@@ -11,7 +11,7 @@ exhaustively exploring schedules (see :mod:`repro.ossim.analysis`).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import InvalidSyscall, NoSuchProcess, OsError_

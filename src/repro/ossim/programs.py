@@ -19,7 +19,7 @@ explorer can deep-copy kernels cheaply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.ossim.pcb import Signal

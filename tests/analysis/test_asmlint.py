@@ -1,0 +1,113 @@
+"""Unit tests for the assembler lint."""
+
+from repro.analysis.asmlint import lint_asm
+from repro.isa import assemble
+
+
+def kinds(findings):
+    return {f.kind for f in findings}
+
+
+def lines_of(findings, kind):
+    return sorted(f.line for f in findings if f.kind == kind)
+
+
+CLEAN = """\
+.text
+main:
+    movl $5, %eax
+    addl $1, %eax
+    cmpl $6, %eax
+    je done
+    movl $0, %eax
+done:
+    ret
+"""
+
+
+class TestCleanSource:
+    def test_clean_program_no_findings(self):
+        assert lint_asm(CLEAN) == []
+
+    def test_lint_agrees_with_assembler(self):
+        """What the lint passes, the real assembler accepts."""
+        assert lint_asm(CLEAN) == []
+        assemble(CLEAN)        # must not raise
+
+    def test_comments_and_blanks_ignored(self):
+        src = "# header\n\n.text\nmain:\n    ret  # done\n"
+        assert lint_asm(src) == []
+
+
+class TestLabels:
+    def test_undefined_label(self):
+        src = ".text\nmain:\n    jmp nowhere\n"
+        fs = lint_asm(src)
+        assert lines_of(fs, "asm-undefined-label") == [3]
+
+    def test_duplicate_label(self):
+        src = ".text\nmain:\n    ret\nmain:\n    ret\n"
+        fs = lint_asm(src)
+        assert lines_of(fs, "asm-duplicate-label") == [4]
+        assert "already defined on line 2" in fs[0].message
+
+
+class TestReachability:
+    def test_code_after_jmp_flagged_once_per_region(self):
+        src = (".text\n"          # 1
+               "main:\n"          # 2
+               "    jmp out\n"    # 3
+               "    movl $1, %eax\n"   # 4 unreachable (reported)
+               "    movl $2, %eax\n"   # 5 same region (not reported)
+               "out:\n"           # 6
+               "    ret\n")       # 7
+        fs = lint_asm(src)
+        assert lines_of(fs, "asm-unreachable") == [4]
+
+    def test_label_restores_reachability(self):
+        src = ".text\nmain:\n    ret\nagain:\n    ret\n"
+        assert lint_asm(src) == []
+
+    def test_code_after_ret_flagged(self):
+        src = ".text\nmain:\n    ret\n    movl $1, %eax\n"
+        fs = lint_asm(src)
+        assert lines_of(fs, "asm-unreachable") == [4]
+
+
+class TestInstructionChecks:
+    def test_unknown_mnemonic(self):
+        fs = lint_asm(".text\nmain:\n    frobl %eax\n")
+        assert lines_of(fs, "asm-unknown-mnemonic") == [3]
+
+    def test_arity_error(self):
+        fs = lint_asm(".text\nmain:\n    addl %eax\n    ret\n")
+        assert lines_of(fs, "asm-arity") == [3]
+
+    def test_immediate_destination(self):
+        fs = lint_asm(".text\nmain:\n    movl %eax, $5\n    ret\n")
+        assert lines_of(fs, "asm-immediate-dest") == [3]
+
+    def test_cmpl_immediate_second_operand_ok(self):
+        # cmpl only reads both operands; $imm second is the course idiom
+        assert lint_asm(".text\nmain:\n    cmpl %eax, $5\n    ret\n") == []
+
+    def test_syntax_error_operand(self):
+        fs = lint_asm(".text\nmain:\n    movl %%%, %eax\n    ret\n")
+        assert lines_of(fs, "asm-syntax") == [3]
+
+    def test_multiple_findings_all_reported(self):
+        src = (".text\n"
+               "main:\n"
+               "    frobl %eax\n"
+               "    jmp missing\n"
+               "    movl $1, %eax\n")
+        fs = lint_asm(src)
+        ks = kinds(fs)
+        assert {"asm-unknown-mnemonic", "asm-undefined-label",
+                "asm-unreachable"} <= ks
+
+
+class TestDataSection:
+    def test_data_directives_skipped(self):
+        src = ".data\nvalue:\n    .long 42\n.text\nmain:\n    ret\n"
+        assert lint_asm(src) == []

@@ -1,0 +1,195 @@
+"""Unit tests for CFG construction and the generic dataflow engine."""
+
+from repro.analysis.cfg import (
+    CondTest,
+    build_cfg,
+    expr_reads,
+    stmt_defs,
+    stmt_uses,
+)
+from repro.analysis.dataflow import (
+    Liveness,
+    NAC,
+    ReachingDefinitions,
+    UNINIT,
+    eval_const,
+    solve,
+    stmt_facts,
+)
+from repro.isa.ccompiler import Num, parse_c
+
+
+def first_function(source):
+    from repro.isa.ccompiler import Function
+    for item in parse_c(source):
+        if isinstance(item, Function):
+            return item
+    raise AssertionError("no function in source")
+
+
+class TestBuildCfg:
+    def test_straight_line_is_two_real_blocks(self):
+        fn = first_function("int main() { int x = 1; return x; }")
+        cfg = build_cfg(fn)
+        assert cfg.entry != cfg.exit
+        # every statement landed in the entry block
+        assert len(cfg.block(cfg.entry).stmts) == 2
+        assert cfg.fallthrough_from == []
+
+    def test_if_produces_cond_test_and_join(self):
+        fn = first_function("""
+            int f(int a) {
+                if (a) { a = 1; } else { a = 2; }
+                return a;
+            }
+        """)
+        cfg = build_cfg(fn)
+        conds = [s for _, _, s in cfg.statements()
+                 if isinstance(s, CondTest)]
+        assert len(conds) == 1
+        # entry has two successors: then and else
+        assert len(cfg.block(cfg.entry).succs) == 2
+
+    def test_constant_false_branch_drops_edge(self):
+        fn = first_function("""
+            int f() {
+                if (0) { return 1; }
+                return 2;
+            }
+        """)
+        cfg = build_cfg(fn)
+        reachable = cfg.reachable()
+        dead = [b for b in cfg.blocks
+                if b.bid not in reachable and b.stmts]
+        assert len(dead) == 1          # the then-block
+
+    def test_code_after_return_is_unreachable(self):
+        fn = first_function("int f() { return 1; int x = 2; return x; }")
+        cfg = build_cfg(fn)
+        reachable = cfg.reachable()
+        dead = [b for b in cfg.blocks
+                if b.bid not in reachable and b.stmts]
+        assert dead and all(not b.preds for b in dead)
+
+    def test_while_has_back_edge(self):
+        fn = first_function("""
+            int f(int n) {
+                int i = 0;
+                while (i < n) { i = i + 1; }
+                return i;
+            }
+        """)
+        cfg = build_cfg(fn)
+        # some block's successor list points back to an earlier block
+        assert any(succ <= b.bid for b in cfg.blocks for succ in b.succs)
+
+    def test_fallthrough_recorded_without_return(self):
+        fn = first_function("int f() { int x = 1; }")
+        cfg = build_cfg(fn)
+        assert cfg.fallthrough_from != []
+
+    def test_while_one_body_reachable_after_unreachable(self):
+        fn = first_function("""
+            int f() {
+                while (1) { int x = 1; }
+                return 0;
+            }
+        """)
+        cfg = build_cfg(fn)
+        reachable = cfg.reachable()
+        # the loop body is reachable; the after-loop code is not
+        dead = [b for b in cfg.blocks
+                if b.bid not in reachable and b.stmts]
+        assert len(dead) == 1
+
+
+class TestWalkers:
+    def test_stmt_uses_and_defs(self):
+        fn = first_function("int f(int a) { int b = a + 1; return b; }")
+        decl, ret = fn.body
+        assert stmt_uses(decl) == {"a"}
+        assert stmt_defs(decl) == {"b"}
+        assert stmt_uses(ret) == {"b"}
+        assert stmt_defs(ret) == set()
+
+    def test_expr_reads_sees_through_index(self):
+        fn = first_function("""
+            int f(int i) { int a[4]; return a[i + 1]; }
+        """)
+        ret = fn.body[-1]
+        assert expr_reads(ret.value) == {"a", "i"}
+
+
+class TestReachingDefinitions:
+    def test_uninit_def_reaches_use(self):
+        fn = first_function("int f() { int x; return x; }")
+        cfg = build_cfg(fn)
+        rd = ReachingDefinitions(list(fn.params))
+        rd_in, _ = solve(cfg, rd)
+        block = cfg.block(cfg.entry)
+        facts = stmt_facts(rd, block, rd_in[block.bid])
+        ret_fact = facts[-1][2]
+        assert ("x", UNINIT) in ret_fact
+
+    def test_assignment_kills_uninit(self):
+        fn = first_function("int f() { int x; x = 1; return x; }")
+        cfg = build_cfg(fn)
+        rd = ReachingDefinitions(list(fn.params))
+        rd_in, _ = solve(cfg, rd)
+        block = cfg.block(cfg.entry)
+        ret_fact = stmt_facts(rd, block, rd_in[block.bid])[-1][2]
+        assert ("x", UNINIT) not in ret_fact
+
+    def test_one_uninit_branch_still_reaches(self):
+        fn = first_function("""
+            int f(int c) {
+                int x;
+                if (c) { x = 1; }
+                return x;
+            }
+        """)
+        cfg = build_cfg(fn)
+        rd = ReachingDefinitions(list(fn.params))
+        rd_in, _ = solve(cfg, rd)
+        # find the block containing the return
+        from repro.isa.ccompiler import Return
+        for b in cfg.blocks:
+            for stmt, _site, fact in stmt_facts(rd, b, rd_in[b.bid]):
+                if isinstance(stmt, Return):
+                    assert ("x", UNINIT) in fact
+                    return
+        raise AssertionError("return not found")
+
+
+class TestLiveness:
+    def test_dead_after_last_use(self):
+        fn = first_function("int f() { int x = 1; return x; }")
+        cfg = build_cfg(fn)
+        lv = Liveness()
+        lv_in, _ = solve(cfg, lv)
+        block = cfg.block(cfg.entry)
+        # backward replay: statements come in reverse source order
+        facts = stmt_facts(lv, block, lv_in[block.bid])
+        ret_live_after = facts[0][2]
+        assert "x" not in ret_live_after     # nothing after the return
+        decl_live_after = facts[1][2]
+        assert "x" in decl_live_after        # read by the return
+
+
+class TestEvalConst:
+    def test_c_division_truncates_toward_zero(self):
+        assert eval_const(Num(-7), {}) == -7
+        from repro.isa.ccompiler import Binary
+        assert eval_const(Binary("/", Num(-7), Num(2)), {}) == -3
+        assert eval_const(Binary("%", Num(-7), Num(2)), {}) == -1
+
+    def test_division_by_zero_is_unknown(self):
+        from repro.isa.ccompiler import Binary
+        assert eval_const(Binary("/", Num(1), Num(0)), {}) is None
+
+    def test_env_lookup_and_nac(self):
+        from repro.isa.ccompiler import Binary, Var
+        e = Binary("+", Var("a"), Num(1))
+        assert eval_const(e, {"a": 4}) == 5
+        assert eval_const(e, {"a": NAC}) is None
+        assert eval_const(e, {}) is None

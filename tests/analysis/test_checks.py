@@ -1,0 +1,230 @@
+"""Unit tests for the C-subset checkers (analyze_c_source)."""
+
+from repro.analysis.checks import analyze_c_source
+
+
+def kinds(findings):
+    return {f.kind for f in findings}
+
+
+def lines_of(findings, kind):
+    return sorted(f.line for f in findings if f.kind == kind)
+
+
+class TestUninitializedRead:
+    def test_plain_uninit_read(self):
+        src = "int main() {\n  int x;\n  return x;\n}\n"
+        fs = analyze_c_source(src)
+        assert kinds(fs) == {"uninitialized-read"}
+        assert lines_of(fs, "uninitialized-read") == [3]
+
+    def test_initialized_is_clean(self):
+        assert analyze_c_source("int main() { int x = 3; return x; }") == []
+
+    def test_one_bad_branch_flags(self):
+        src = ("int f(int c) {\n"
+               "  int x;\n"
+               "  if (c) { x = 1; }\n"
+               "  return x;\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "uninitialized-read") == [4]
+
+    def test_both_branches_init_is_clean(self):
+        src = ("int f(int c) {\n"
+               "  int x;\n"
+               "  if (c) { x = 1; } else { x = 2; }\n"
+               "  return x;\n"
+               "}\n")
+        assert analyze_c_source(src) == []
+
+    def test_late_init_in_loop_is_clean(self):
+        """The idiom `int i; for (i = 0; ...)` must not warn."""
+        src = ("int sum(int n) {\n"
+               "  int i;\n"
+               "  int total = 0;\n"
+               "  for (i = 0; i < n; i = i + 1) {\n"
+               "    total = total + i;\n"
+               "  }\n"
+               "  return total;\n"
+               "}\n")
+        assert analyze_c_source(src) == []
+
+    def test_address_taken_is_excluded(self):
+        src = ("int f() {\n"
+               "  int x;\n"
+               "  int p = &x;\n"
+               "  *p = 5;\n"
+               "  return x;\n"
+               "}\n")
+        assert analyze_c_source(src) == []
+
+
+class TestDeadStore:
+    def test_overwritten_store(self):
+        src = ("int f() {\n"
+               "  int x = 1;\n"
+               "  x = 2;\n"
+               "  x = 3;\n"
+               "  return x;\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "dead-store") == [3]
+
+    def test_store_read_later_is_live(self):
+        src = "int f() {\n  int x = 1;\n  x = 2;\n  return x;\n}\n"
+        fs = analyze_c_source(src)
+        assert "dead-store" not in kinds(fs)
+
+    def test_branch_keeps_store_alive(self):
+        src = ("int f(int c) {\n"
+               "  int x = 0;\n"
+               "  x = 1;\n"
+               "  if (c) { return x; }\n"
+               "  return 0;\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert "dead-store" not in kinds(fs)
+
+
+class TestUnreachableCode:
+    def test_code_after_return(self):
+        src = ("int f() {\n"
+               "  return 1;\n"
+               "  return 2;\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "unreachable-code") == [3]
+
+    def test_if_zero_body(self):
+        src = ("int f() {\n"
+               "  if (0) {\n"
+               "    return 9;\n"
+               "  }\n"
+               "  return 1;\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "unreachable-code") == [3]
+
+    def test_after_while_one(self):
+        src = ("int f() {\n"
+               "  while (1) { int x = 1; }\n"
+               "  return 7;\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "unreachable-code") == [3]
+        # while(1) with no return also means no missing-return warning
+        assert "missing-return" not in kinds(fs)
+
+    def test_for_loop_desugaring_not_flagged(self):
+        src = ("int f(int n) {\n"
+               "  int total = 0;\n"
+               "  for (int i = 0; i < n; i = i + 1) {\n"
+               "    total = total + i;\n"
+               "  }\n"
+               "  return total;\n"
+               "}\n")
+        assert analyze_c_source(src) == []
+
+
+class TestConstChecks:
+    def test_const_oob_literal(self):
+        src = ("int f() {\n"
+               "  int a[4];\n"
+               "  a[0] = 1;\n"
+               "  return a[4];\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "const-oob-index") == [4]
+
+    def test_const_oob_via_propagation(self):
+        src = ("int f() {\n"
+               "  int a[4];\n"
+               "  int i = 2 + 3;\n"
+               "  a[i] = 1;\n"
+               "  return 0;\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "const-oob-index") == [4]
+
+    def test_negative_index(self):
+        src = "int f() {\n  int a[4];\n  return a[0 - 1];\n}\n"
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "const-oob-index") == [3]
+
+    def test_in_bounds_clean(self):
+        src = "int f() {\n  int a[4];\n  a[3] = 1;\n  return a[3];\n}\n"
+        assert analyze_c_source(src) == []
+
+    def test_one_past_end_address_is_legal(self):
+        src = ("int f() {\n"
+               "  int a[4];\n"
+               "  int *end = &a[4];\n"
+               "  a[0] = 1;\n"
+               "  return a[0];\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert "const-oob-index" not in kinds(fs)
+
+    def test_const_div_zero(self):
+        src = "int f(int n) {\n  return n / (3 - 3);\n}\n"
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "const-div-zero") == [2]
+
+    def test_const_mod_zero(self):
+        src = "int f(int n) {\n  int z = 0;\n  return n % z;\n}\n"
+        fs = analyze_c_source(src)
+        assert lines_of(fs, "const-div-zero") == [3]
+
+    def test_nonzero_divisor_clean(self):
+        assert analyze_c_source("int f(int n) { return n / 2; }") == []
+
+
+class TestMissingReturn:
+    def test_fallthrough_flagged(self):
+        src = "int f(int a) {\n  int x = a;\n}\n"
+        fs = analyze_c_source(src)
+        assert "missing-return" in kinds(fs)
+
+    def test_all_paths_return_clean(self):
+        src = ("int f(int c) {\n"
+               "  if (c) { return 1; } else { return 2; }\n"
+               "}\n")
+        assert analyze_c_source(src) == []
+
+    def test_one_path_missing(self):
+        src = ("int f(int c) {\n"
+               "  if (c) { return 1; }\n"
+               "}\n")
+        fs = analyze_c_source(src)
+        assert "missing-return" in kinds(fs)
+
+
+class TestParseErrors:
+    def test_parse_error_single_finding_with_line(self):
+        fs = analyze_c_source("int f( { return 1; }")
+        assert len(fs) == 1
+        assert fs[0].kind == "parse-error"
+        assert fs[0].line == 1
+
+    def test_path_attached(self):
+        fs = analyze_c_source("int f() { int x; return x; }", path="t.c")
+        assert all(f.path == "t.c" for f in fs)
+
+
+class TestCleanPrograms:
+    def test_multi_function_program_clean(self):
+        src = ("int square(int x) { return x * x; }\n"
+               "int main() {\n"
+               "  int s = 0;\n"
+               "  for (int i = 0; i < 5; i = i + 1) {\n"
+               "    s = s + square(i);\n"
+               "  }\n"
+               "  return s;\n"
+               "}\n")
+        assert analyze_c_source(src) == []
+
+    def test_globals_excluded_from_scalar_checks(self):
+        src = ("int g;\n"
+               "int bump() { g = g + 1; return g; }\n")
+        assert analyze_c_source(src) == []

@@ -1,0 +1,173 @@
+"""Unit tests for the static lock-order / race-candidate analysis."""
+
+import textwrap
+
+from repro.analysis.concurrency import (
+    analyze_python_source,
+    analyze_summaries,
+    analyze_thread_bodies,
+    lock_order_graph,
+    race_candidates,
+    static_race_vars,
+    summarize_body,
+    summarize_python_source,
+)
+
+UNSAFE = """
+def writer():
+    yield Work(10)
+    yield Access("x", "write")
+"""
+
+SAFE = """
+def writer():
+    yield Lock(m)
+    yield Access("x", "write")
+    yield Unlock(m)
+"""
+
+AB_BA = """
+def t1():
+    yield Lock(a)
+    yield Lock(b)
+    yield Unlock(b)
+    yield Unlock(a)
+
+def t2():
+    yield Lock(b)
+    yield Lock(a)
+    yield Unlock(a)
+    yield Unlock(b)
+"""
+
+
+class TestSummaries:
+    def test_non_sync_function_skipped(self):
+        assert summarize_python_source("def f():\n    return 1\n") == []
+
+    def test_access_and_lockset_extracted(self):
+        (s,) = summarize_python_source(SAFE)
+        assert s.name == "writer"
+        (a,) = s.accesses
+        assert (a.var, a.kind) == ("x", "write")
+        assert a.locks == frozenset({"m"})
+
+    def test_branch_locksets_intersect(self):
+        src = """
+        def t(flag):
+            if flag:
+                yield Lock(m)
+            else:
+                yield Work(1)
+            yield Access("x", "write")
+        """
+        (s,) = summarize_python_source(textwrap.dedent(src))
+        (a,) = s.accesses
+        assert a.locks == frozenset()     # lock held on only one path
+
+    def test_acquisition_order_recorded(self):
+        s1, s2 = summarize_python_source(AB_BA)
+        assert s1.acquisition_order == ["a", "b"]
+        assert s2.acquisition_order == ["b", "a"]
+        assert ("a", "b") in s1.lock_pairs
+        assert ("b", "a") in s2.lock_pairs
+
+    def test_summarize_body_reads_closure_source(self):
+        from repro.core.patterns import SharedCounter
+        body = SharedCounter().unsafe_incrementer(3)
+        s = summarize_body(body)
+        assert s.uses_sync
+        assert {a.var for a in s.accesses} == {"counter"}
+
+
+class TestRaceCandidates:
+    def test_unsynchronized_write_races(self):
+        summaries = summarize_python_source(UNSAFE)
+        cands = race_candidates(summaries)
+        assert {c.var for c in cands} == {"x"}
+
+    def test_single_instance_body_cannot_self_race(self):
+        summaries = summarize_python_source(UNSAFE)
+        cands = race_candidates(summaries, instances={"writer": 1})
+        assert cands == []
+
+    def test_common_lock_prevents_race(self):
+        summaries = summarize_python_source(SAFE)
+        assert race_candidates(summaries) == []
+
+    def test_different_locks_race(self):
+        src = """
+        def w1():
+            yield Lock(m1)
+            yield Access("x", "write")
+            yield Unlock(m1)
+
+        def w2():
+            yield Lock(m2)
+            yield Access("x", "write")
+            yield Unlock(m2)
+        """
+        summaries = summarize_python_source(textwrap.dedent(src))
+        assert {c.var for c in race_candidates(summaries)} == {"x"}
+
+    def test_read_read_no_race(self):
+        src = """
+        def r():
+            yield Access("x", "read")
+        """
+        summaries = summarize_python_source(textwrap.dedent(src))
+        assert race_candidates(summaries) == []
+
+    def test_atomics_never_race(self):
+        src = """
+        def bumper():
+            yield Work(5)
+            yield AtomicOp("counter", bump)
+        """
+        summaries = summarize_python_source(textwrap.dedent(src))
+        assert race_candidates(summaries) == []
+
+
+class TestLockOrder:
+    def test_ab_ba_cycle_found(self):
+        summaries = summarize_python_source(AB_BA)
+        graph = lock_order_graph(summaries)
+        assert graph.has_deadlock
+        fs = analyze_summaries(summaries)
+        assert "lock-order-cycle" in {f.kind for f in fs}
+
+    def test_consistent_order_clean(self):
+        src = """
+        def t():
+            yield Lock(a)
+            yield Lock(b)
+            yield Unlock(b)
+            yield Unlock(a)
+        """
+        summaries = summarize_python_source(textwrap.dedent(src))
+        assert not lock_order_graph(summaries).has_deadlock
+        kinds = {f.kind for f in analyze_summaries(summaries)}
+        assert "lock-order-cycle" not in kinds
+        assert "lock-order-violation" not in kinds
+
+
+class TestDrivers:
+    def test_analyze_thread_bodies(self):
+        from repro.core.patterns import SharedCounter
+        c = SharedCounter()
+        fs = analyze_thread_bodies([c.unsafe_incrementer(2)])
+        assert {f.kind for f in fs} == {"race-candidate"}
+
+    def test_static_race_vars(self):
+        from repro.core.patterns import SharedCounter
+        c = SharedCounter()
+        assert static_race_vars([c.unsafe_incrementer(2)]) == {"counter"}
+
+    def test_analyze_python_source_syntax_error(self):
+        fs = analyze_python_source("def broken(:\n", path="bad.py")
+        assert len(fs) == 1
+        assert fs[0].kind == "parse-error"
+        assert fs[0].path == "bad.py"
+
+    def test_analyze_python_source_clean(self):
+        assert analyze_python_source(SAFE) == []

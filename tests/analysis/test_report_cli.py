@@ -1,0 +1,129 @@
+"""Unit tests for the Finding report types and the analyze CLI."""
+
+import json
+
+from repro.analysis.cli import analyze_file, gather_files, run
+from repro.analysis.report import (
+    KINDS,
+    Finding,
+    FileReport,
+    finding,
+    render_json,
+    render_text,
+    with_path,
+)
+
+BUGGY_C = "int f() {\n  int x;\n  return x;\n}\n"
+CLEAN_C = "int f() { return 1; }\n"
+BUGGY_S = ".text\nmain:\n    jmp nowhere\n"
+BUGGY_PY = ("def w():\n"
+            "    yield Access('x', 'write')\n")
+
+
+class TestFinding:
+    def test_every_kind_has_a_severity(self):
+        for kind, severity in KINDS.items():
+            f = finding(kind, "f", 1, "msg")
+            assert f.severity == severity
+
+    def test_str_format(self):
+        f = finding("dead-store", "main", 7, "never read", path="a.c")
+        assert str(f) == ("a.c:7: warning: [dead-store] never read "
+                          "(in main)")
+
+    def test_sort_key_orders_by_path_then_line(self):
+        a = finding("dead-store", "f", 9, "m", path="a.c")
+        b = finding("dead-store", "f", 2, "m", path="b.c")
+        assert sorted([b, a], key=Finding.sort_key) == [a, b]
+
+    def test_with_path_fills_only_empty(self):
+        f1 = finding("dead-store", "f", 1, "m")
+        f2 = finding("dead-store", "f", 2, "m", path="kept.c")
+        out = with_path([f1, f2], "new.c")
+        assert [f.path for f in out] == ["new.c", "kept.c"]
+
+    def test_render_text_has_summary_line(self):
+        text = render_text([finding("dead-store", "f", 1, "m")])
+        assert "1 finding" in text
+        text = render_text([])
+        assert "0 finding(s)" in text
+
+    def test_render_json_round_trips(self):
+        rows = json.loads(render_json(
+            [finding("dead-store", "f", 3, "m", path="x.c")]))
+        assert rows[0]["kind"] == "dead-store"
+        assert rows[0]["line"] == 3
+
+    def test_file_report_clean(self):
+        assert FileReport("a.c", []).clean
+        assert not FileReport("a.c", [finding("dead-store", "f", 1,
+                                              "m")]).clean
+
+
+class TestAnalyzeFile:
+    def test_dispatch_by_suffix(self, tmp_path):
+        c = tmp_path / "t.c"
+        c.write_text(BUGGY_C)
+        s = tmp_path / "t.s"
+        s.write_text(BUGGY_S)
+        p = tmp_path / "t.py"
+        p.write_text(BUGGY_PY)
+        assert {f.kind for f in analyze_file(c).findings} == {
+            "uninitialized-read"}
+        assert {f.kind for f in analyze_file(s).findings} == {
+            "asm-undefined-label"}
+        assert {f.kind for f in analyze_file(p).findings} == {
+            "race-candidate"}
+
+    def test_gather_walks_directories(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "a.c").write_text(CLEAN_C)
+        (tmp_path / "b.s").write_text(BUGGY_S)
+        (tmp_path / "notes.txt").write_text("ignored")
+        files = gather_files([str(tmp_path)])
+        assert [f.name for f in files] == ["b.s", "a.c"]
+
+
+class TestRunCli:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "ok.c"
+        f.write_text(CLEAN_C)
+        assert run([str(f)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        f = tmp_path / "bad.c"
+        f.write_text(BUGGY_C)
+        assert run([str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "uninitialized-read" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        f = tmp_path / "bad.c"
+        f.write_text(BUGGY_C)
+        assert run(["--json", str(f)]) == 1
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["kind"] == "uninitialized-read"
+
+    def test_expect_findings_inverts(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BUGGY_C)
+        ok = tmp_path / "ok.c"
+        ok.write_text(CLEAN_C)
+        assert run(["--expect-findings", str(bad)]) == 0
+        assert run(["--expect-findings", str(ok)]) == 1
+        capsys.readouterr()
+
+    def test_usage_errors(self, tmp_path, capsys):
+        assert run([]) == 2
+        assert run(["--bogus"]) == 2
+        assert run([str(tmp_path / "missing.c")]) == 2
+        assert run(["--help"]) == 0
+        capsys.readouterr()
+
+    def test_main_module_routes_analyze(self, tmp_path, capsys):
+        from repro.__main__ import main
+        f = tmp_path / "ok.c"
+        f.write_text(CLEAN_C)
+        assert main(["analyze", str(f)]) == 0
+        capsys.readouterr()

@@ -1,0 +1,64 @@
+"""Integration: the static race candidates over-approximate the dynamic
+detector.
+
+Static analysis sees every *possible* schedule, the dynamic
+:class:`~repro.core.race.RaceDetector` only the one that ran — so on the
+course's shared-counter example the statically computed race-variable
+set must be a superset of the dynamically observed one, and on the
+properly synchronized variants both must be empty.
+"""
+
+from repro.analysis.concurrency import static_race_vars
+from repro.core import Mutex, RaceDetector, SimMachine, SyncCosts
+from repro.core.patterns import SharedCounter
+
+FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
+
+
+def dynamic_race_vars(*bodies, cores=4):
+    det = RaceDetector()
+    m = SimMachine(cores, costs=FREE, race_detector=det)
+    for b in bodies:
+        m.spawn(b)
+    m.run()
+    return {r.var for r in det.races}
+
+
+class TestStaticSupersetOfDynamic:
+    def test_unsafe_counter_both_report_counter(self):
+        counter = SharedCounter()
+        bodies = [counter.unsafe_incrementer(5),
+                  counter.unsafe_incrementer(5)]
+        dynamic = dynamic_race_vars(*bodies)
+        static = static_race_vars(bodies)
+        assert dynamic == {"counter"}      # the race manifests
+        assert static >= dynamic           # the superset property
+        assert static == {"counter"}       # and nothing spurious here
+
+    def test_safe_counter_both_empty(self):
+        counter = SharedCounter()
+        mu = Mutex("m")
+        bodies = [counter.safe_incrementer(mu, 5),
+                  counter.safe_incrementer(mu, 5)]
+        assert dynamic_race_vars(*bodies) == set()
+        assert static_race_vars(bodies) == set()
+
+    def test_atomic_counter_both_empty(self):
+        counter = SharedCounter()
+        bodies = [counter.atomic_incrementer(5),
+                  counter.atomic_incrementer(5)]
+        assert dynamic_race_vars(*bodies) == set()
+        assert static_race_vars(bodies) == set()
+
+    def test_static_flags_races_a_lucky_schedule_misses(self):
+        """One unsafe body on one core: the schedule serializes the
+        increments, the dynamic detector may see the race anyway via
+        its vector clocks — but the *static* answer is schedule-free
+        and must still contain everything dynamic reports."""
+        counter = SharedCounter()
+        bodies = [counter.unsafe_incrementer(1),
+                  counter.unsafe_incrementer(1)]
+        dynamic = dynamic_race_vars(*bodies, cores=1)
+        static = static_race_vars(bodies)
+        assert static >= dynamic
+        assert static == {"counter"}

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.binary import (
-    BitVector,
     decode,
     encode,
     fits_signed,

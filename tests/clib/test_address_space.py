@@ -3,7 +3,7 @@
 import pytest
 
 from repro.clib import (
-    AddressSpace, HEAP_BASE, MemoryRegion, STACK_TOP, TEXT_BASE,
+    AddressSpace, HEAP_BASE, MemoryRegion, TEXT_BASE,
 )
 from repro.errors import CMemoryError, SegmentationFault
 

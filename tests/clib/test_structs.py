@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.binary import CHAR, INT, SHORT
+from repro.binary import CHAR, INT
 from repro.clib import (
     AddressSpace,
     ArrayField,

@@ -9,7 +9,6 @@ from repro.core import (
     SharedCounter,
     SimMachine,
     SyncCosts,
-    Work,
     run_producer_consumer,
     run_producer_consumer_sem,
 )

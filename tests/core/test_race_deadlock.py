@@ -6,9 +6,13 @@ from repro.core import (
     Access,
     Barrier,
     BarrierWait,
+    Join,
     Lock,
     Mutex,
     RaceDetector,
+    Semaphore,
+    SemPost,
+    SemWait,
     SimMachine,
     SyncCosts,
     Unlock,
@@ -16,6 +20,7 @@ from repro.core import (
     Work,
     lock_order_violations,
 )
+from repro.core.machine import SimThread
 from repro.errors import DeadlockError, RaceError
 
 FREE = SyncCosts(lock=0, unlock=0, barrier=0, cond=0, sem=0, spawn=0)
@@ -188,6 +193,176 @@ class TestDeadlock:
         m.spawn(t)
         m.spawn(t)
         m.run()   # completes
+
+
+class TestSemaphoreDeadlock:
+    """Binary semaphores used as locks must feed the wait-for graph."""
+
+    def test_ab_ba_semaphore_deadlock_has_cycle(self):
+        a, b = Semaphore(1, name="A"), Semaphore(1, name="B")
+
+        def t1():
+            yield SemWait(a)
+            yield Work(50)
+            yield SemWait(b)
+            yield SemPost(b)
+            yield SemPost(a)
+
+        def t2():
+            yield SemWait(b)
+            yield Work(50)
+            yield SemWait(a)
+            yield SemPost(a)
+            yield SemPost(b)
+
+        m = SimMachine(2, costs=FREE)
+        m.spawn(t1, name="t1")
+        m.spawn(t2, name="t2")
+        with pytest.raises(DeadlockError) as exc:
+            m.run()
+        assert "wait-for cycle" in str(exc.value)
+
+    def test_consistent_semaphore_order_completes(self):
+        a, b = Semaphore(1, name="A"), Semaphore(1, name="B")
+
+        def t():
+            yield SemWait(a)
+            yield Work(50)
+            yield SemWait(b)
+            yield SemPost(b)
+            yield SemPost(a)
+
+        m = SimMachine(2, costs=FREE)
+        m.spawn(t)
+        m.spawn(t)
+        m.run()   # completes
+        assert a.value == 1 and b.value == 1
+        assert a.holders == [] and b.holders == []
+
+    def test_starved_semaphore_deadlocks_without_false_cycle(self):
+        """No holder => no edge: still a deadlock, but not a cycle."""
+        sem = Semaphore(0, name="empty")
+
+        def waiter():
+            yield SemWait(sem)
+
+        m = SimMachine(1, costs=FREE)
+        m.spawn(waiter, name="w")
+        with pytest.raises(DeadlockError) as exc:
+            m.run()
+        assert "wait-for cycle" not in str(exc.value)
+
+    def test_producer_post_without_holding_mints_unit(self):
+        sem = Semaphore(0, name="items")
+        order = []
+
+        def consumer():
+            yield SemWait(sem)
+            order.append("consumed")
+
+        def producer():
+            yield Work(20)
+            order.append("produced")
+            yield SemPost(sem)
+
+        m = SimMachine(2, costs=FREE)
+        m.spawn(consumer)
+        m.spawn(producer)
+        m.run()
+        assert order == ["produced", "consumed"]
+
+    def test_woken_waiter_becomes_holder(self):
+        sem = Semaphore(1, name="S")
+        m = SimMachine(2, costs=FREE)
+
+        def holder_then_post():
+            yield SemWait(sem)
+            yield Work(50)
+            yield SemPost(sem)
+
+        def late_waiter():
+            yield Work(10)
+            yield SemWait(sem)
+            # holds forever; machine drains because thread finishes
+
+        m.spawn(holder_then_post, name="first")
+        late = m.spawn(late_waiter, name="second")
+        m.run()
+        assert sem.holders == [late]
+
+
+class TestJoinDeadlock:
+    def test_mutual_join_cycle(self):
+        m = SimMachine(2, costs=FREE)
+        handles = {}
+
+        def t1():
+            yield Join(handles["t2"])
+
+        def t2():
+            yield Join(handles["t1"])
+
+        handles["t1"] = m.spawn(t1, name="t1")
+        handles["t2"] = m.spawn(t2, name="t2")
+        with pytest.raises(DeadlockError) as exc:
+            m.run()
+        assert "wait-for cycle" in str(exc.value)
+        assert "t1" in str(exc.value) and "t2" in str(exc.value)
+
+    def test_join_chain_completes(self):
+        m = SimMachine(2, costs=FREE)
+        done = []
+
+        def worker():
+            yield Work(30)
+            done.append("worker")
+
+        w = m.spawn(worker, name="worker")
+
+        def joiner():
+            yield Join(w)
+            done.append("joiner")
+
+        m.spawn(joiner, name="joiner")
+        m.run()
+        assert done == ["worker", "joiner"]
+
+
+class TestWaitForGraphFromThreads:
+    """from_threads edge construction for every blocking target kind."""
+
+    @staticmethod
+    def _fake(name):
+        return SimThread(0, name, iter(()))
+
+    def test_semaphore_waiter_points_at_holders(self):
+        holder, waiter = self._fake("holder"), self._fake("waiter")
+        sem = Semaphore(0, name="S", holders=[holder])
+        waiter.waiting_on = sem
+        g = WaitForGraph.from_threads([waiter])
+        assert g.edges["waiter"] == {"holder"}
+
+    def test_semaphore_without_holders_has_no_edge(self):
+        waiter = self._fake("waiter")
+        waiter.waiting_on = Semaphore(0, name="S")
+        g = WaitForGraph.from_threads([waiter])
+        assert g.edges["waiter"] == set()
+        assert not g.has_deadlock
+
+    def test_join_edge_points_waiter_to_target(self):
+        target, waiter = self._fake("target"), self._fake("waiter")
+        waiter.waiting_on = target
+        g = WaitForGraph.from_threads([waiter])
+        assert g.edges["waiter"] == {"target"}
+
+    def test_mixed_mutex_and_semaphore_cycle(self):
+        t1, t2 = self._fake("t1"), self._fake("t2")
+        mu = Mutex("M", owner=t2)
+        sem = Semaphore(0, name="S", holders=[t1])
+        t1.waiting_on = mu
+        t2.waiting_on = sem
+        g = WaitForGraph.from_threads([t1, t2])
+        assert g.has_deadlock
 
 
 class TestWaitForGraph:

@@ -1,6 +1,5 @@
 """Tests for the struct-layout and 2-D-array homework generators."""
 
-import pytest
 
 from repro.clib.structs import StructLayout, array2d_address
 from repro.homework.binary_hw import (

@@ -7,7 +7,6 @@ actual machine-level memory trace is replayed through the cache
 simulator.
 """
 
-import pytest
 
 from repro.clib import AddressSpace
 from repro.isa import Machine, assemble, compile_c

@@ -4,7 +4,6 @@ The strongest correctness evidence in a simulator repo: two components
 built separately must agree wherever their semantics overlap.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import run_producer_consumer, run_producer_consumer_sem

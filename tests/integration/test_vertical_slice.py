@@ -6,7 +6,6 @@ flow into the cache simulator and the locality analyzer — the same
 vertical slice CS 31 walks students down.
 """
 
-import pytest
 
 from repro.clib import AddressSpace
 from repro.isa import Machine, assemble, compile_c

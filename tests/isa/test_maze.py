@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import MachineFault
-from repro.isa import Debugger, Maze, SCHEMES
+from repro.isa import Maze, SCHEMES
 
 
 class TestGeneration:

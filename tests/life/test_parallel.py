@@ -1,13 +1,11 @@
 """Unit + property tests for the Lab 10 parallel engine."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import RaceDetector, SyncCosts, is_near_linear, scaling_table
 from repro.errors import ReproError
 from repro.life import (
-    CELL_CYCLES,
     GameOfLife,
     ParallelLife,
     grids_equal,

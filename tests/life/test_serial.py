@@ -11,7 +11,6 @@ from repro.life import (
     make,
     pattern_displacement,
     pattern_period,
-    pattern_names,
     random_grid,
     step,
     step_reference,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import CacheConfigError
-from repro.memory import AddressLayout, AddressParts
+from repro.memory import AddressLayout
 
 
 class TestDivision:

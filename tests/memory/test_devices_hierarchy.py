@@ -7,7 +7,6 @@ from repro.memory import (
     DRAM,
     HDD,
     HIERARCHY_ORDER,
-    L1_CACHE,
     Level,
     MemoryHierarchy,
     REGISTERS,

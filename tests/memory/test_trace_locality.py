@@ -1,6 +1,5 @@
 """Unit tests for trace generators and locality metrics."""
 
-import pytest
 
 from repro.clib import AddressSpace, HEAP_BASE
 from repro.memory import (

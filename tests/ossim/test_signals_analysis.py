@@ -12,7 +12,6 @@ from repro.ossim import (
     KillChild,
     Pause,
     Print,
-    ProcessState,
     Signal,
     Wait,
     enumerate_outputs,
