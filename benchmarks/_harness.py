@@ -18,6 +18,10 @@ from repro._util import format_table
 #: append rows here so future PRs can diff against past numbers
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
+#: perf trajectory for the vectorized trace engines (E14): cache batch
+#: simulation, MMU batch translation, and the predecoded ISA fast path
+BENCH_MEMORY = Path(__file__).resolve().parent.parent / "BENCH_memory.json"
+
 
 def emit(title: str, headers, rows, align_right=None) -> None:
     print(f"\n=== {title} ===")

@@ -124,9 +124,18 @@ class Program:
     entry: str = "main"
     data_image: bytes = b""
     data_base: int = 0
+    #: decode-once handler table built lazily by the machine's run loop
+    #: (address → compiled handler); shared by every Machine executing
+    #: this program — see repro.isa.machine._compile_instruction
+    predecoded: dict | None = field(default=None, init=False,
+                                    repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.by_address = {ins.address: ins for ins in self.instructions}
+
+    def invalidate_predecode(self) -> None:
+        """Drop the cached handler table (after patching instructions)."""
+        self.predecoded = None
 
     @property
     def entry_address(self) -> int:

@@ -26,7 +26,7 @@ from repro.isa.instructions import (
     Program,
     Register,
 )
-from repro.isa.registers import RegisterSet
+from repro.isa.registers import GP32, RegisterSet
 
 _MASK32 = 0xFFFF_FFFF
 
@@ -37,6 +37,30 @@ SENTINEL_RETURN = 0xFFFF_FFF0
 def _signed(value: int) -> int:
     value &= _MASK32
     return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+#: flag predicates for the conditional jumps, shared by the step-by-step
+#: interpreter and the predecoded handler compiler
+_JUMP_CONDITIONS = {
+    "je": lambda f: f.zf,
+    "jne": lambda f: not f.zf,
+    "jg": lambda f: not f.zf and f.sf == f.of,
+    "jge": lambda f: f.sf == f.of,
+    "jl": lambda f: f.sf != f.of,
+    "jle": lambda f: f.zf or f.sf != f.of,
+    "ja": lambda f: not f.cf and not f.zf,
+    "jae": lambda f: not f.cf,
+    "jb": lambda f: f.cf,
+    "jbe": lambda f: f.cf or f.zf,
+    "js": lambda f: f.sf,
+    "jns": lambda f: not f.sf,
+}
+
+
+def _fell_off(eip: int, steps: int) -> str:
+    """Both execution paths report the faulting %eip the same way."""
+    return (f"no instruction at eip={eip:#010x} after {steps} steps "
+            "(fell off the program?)")
 
 
 class Machine:
@@ -153,22 +177,7 @@ class Machine:
         f.sf = bool(value & 0x8000_0000)
 
     def _condition(self, mnemonic: str) -> bool:
-        f = self.regs.flags
-        table: dict[str, Callable[[], bool]] = {
-            "je": lambda: f.zf,
-            "jne": lambda: not f.zf,
-            "jg": lambda: not f.zf and f.sf == f.of,
-            "jge": lambda: f.sf == f.of,
-            "jl": lambda: f.sf != f.of,
-            "jle": lambda: f.zf or f.sf != f.of,
-            "ja": lambda: not f.cf and not f.zf,
-            "jae": lambda: not f.cf,
-            "jb": lambda: f.cf,
-            "jbe": lambda: f.cf or f.zf,
-            "js": lambda: f.sf,
-            "jns": lambda: not f.sf,
-        }
-        return table[mnemonic]()
+        return _JUMP_CONDITIONS[mnemonic](self.regs.flags)
 
     # -- execution --------------------------------------------------------------------
 
@@ -179,8 +188,7 @@ class Machine:
         eip = self.regs.eip
         ins = self.program.at(eip)
         if ins is None:
-            raise MachineFault(f"no instruction at {eip:#010x} "
-                               "(fell off the program?)")
+            raise MachineFault(_fell_off(eip, self.steps))
         if self.record_fetches:
             self.space.fetch(eip, INSTRUCTION_SIZE)
         next_eip = eip + INSTRUCTION_SIZE
@@ -313,15 +321,59 @@ class Machine:
         self.steps += 1
         return ins
 
-    def run(self, max_steps: int = 1_000_000) -> int:
-        """Run to completion; returns %eax as a signed int (C return value)."""
-        while not self.halted:
-            if self.steps >= max_steps:
-                raise MachineFault("step limit exceeded (infinite loop?)")
-            self.step()
-        return self.regs.get_signed("eax")
+    def _predecode(self) -> dict[int, Callable]:
+        """The program's decode-once handler table, built lazily.
 
-    def call(self, label: str, *args: int, max_steps: int = 1_000_000) -> int:
+        Cached on the :class:`Program` itself, so every machine (and
+        every :meth:`call`) executing the same program shares one
+        compilation. Operand decoding — the ``isinstance`` dispatch and
+        addressing-mode analysis the interpreter repeats on every step
+        — happens here exactly once per instruction.
+        """
+        handlers = self.program.predecoded
+        if handlers is None:
+            handlers = {addr: _compile_instruction(ins)
+                        for addr, ins in self.program.by_address.items()}
+            self.program.predecoded = handlers
+        return handlers
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run to completion; returns %eax as a signed int (C return value).
+
+        Dispatches through the predecoded handler table rather than
+        :meth:`step`'s interpreting ``if/elif`` chain; the
+        ``record_fetches`` branch is resolved once outside the loop.
+        :meth:`step` remains the step-by-step oracle — the differential
+        tests pin both paths to identical final state, faults, and
+        fetch traces.
+        """
+        handlers = self._predecode()
+        regs = self.regs
+        record = self.record_fetches
+        fetch = self.space.fetch
+        steps = self.steps
+        try:
+            while not self.halted:
+                if steps >= max_steps:
+                    raise MachineFault(
+                        "step limit exceeded (infinite loop?)")
+                eip = regs.eip
+                handler = handlers.get(eip)
+                if handler is None:
+                    raise MachineFault(_fell_off(eip, steps))
+                if record:
+                    fetch(eip, INSTRUCTION_SIZE)
+                next_eip = handler(self, eip + INSTRUCTION_SIZE)
+                if next_eip == SENTINEL_RETURN:
+                    self.halted = True
+                regs.eip = next_eip & _MASK32
+                steps += 1
+        finally:
+            self.steps = steps
+        return regs.get_signed("eax")
+
+    def call(self, label: str, *args: int,
+             max_steps: int = 1_000_000) -> int:
         """Invoke a function cdecl-style and return its (signed) result.
 
         Pushes args right-to-left, pushes the sentinel return address, and
@@ -338,3 +390,415 @@ class Machine:
         result = self.run(max_steps=max_steps)
         self.regs.set("esp", saved_esp)   # caller cleans up (cdecl)
         return result
+
+
+# -- the predecoded fast path ------------------------------------------------
+#
+# One compiled closure per instruction, built once per Program and cached
+# on it (Program.predecoded). Each closure takes (machine, fall_through)
+# and returns the next %eip. Operand readers/writers are specialized per
+# operand *kind* at compile time, so the hot loop never repeats the
+# isinstance dispatch, addressing-mode analysis, or mnemonic chain the
+# step-by-step interpreter performs. Operand evaluation order — visible
+# through the address-space access trace — matches step() exactly.
+
+def _compile_ea(op: Memory) -> Callable[[Machine], int]:
+    disp, base, index, scale = op.displacement, op.base, op.index, op.scale
+    if base and index:
+        return lambda m: ((disp + m.regs.get(base)
+                           + m.regs.get(index) * scale) & _MASK32)
+    if base:
+        if disp:
+            return lambda m: (disp + m.regs.get(base)) & _MASK32
+        return lambda m: m.regs.get(base)
+    if index:
+        return lambda m: (disp + m.regs.get(index) * scale) & _MASK32
+    absolute = disp & _MASK32
+    return lambda m: absolute
+
+
+def _compile_read(op: Operand) -> Callable[[Machine], int]:
+    if isinstance(op, Immediate):
+        value = op.value & _MASK32
+        return lambda m: value
+    if isinstance(op, Register):
+        name = op.name
+        if name in GP32:        # skip the width-dispatch chain in get()
+            return lambda m: m.regs._regs[name]
+        return lambda m: m.regs.get(name)
+    if isinstance(op, Memory):
+        ea = _compile_ea(op)
+        return lambda m: m.space.load_uint(ea(m), 4)
+    if isinstance(op, LabelRef):
+        if op.address is None:
+            name = op.name
+
+            def unresolved(m: Machine) -> int:
+                raise MachineFault(f"unresolved label {name!r}")
+            return unresolved
+        address = op.address
+        return lambda m: address
+    return lambda m: m.read_operand(op)     # raises the scalar error
+
+
+def _compile_write(op: Operand) -> Callable[[Machine, int], None]:
+    if isinstance(op, Register):
+        name = op.name
+        if name in GP32:
+            def wr32(m: Machine, v: int, _name: str = name) -> None:
+                m.regs._regs[_name] = v & _MASK32
+            return wr32
+        return lambda m, v: m.regs.set(name, v)
+    if isinstance(op, Memory):
+        ea = _compile_ea(op)
+        return lambda m, v: m.space.store_uint(ea(m), v, 4)
+    return lambda m, v: m.write_operand(op, v)   # raises the scalar error
+
+
+def _compile_read_byte(op: Operand) -> Callable[[Machine], int]:
+    from repro.isa.registers import register_width
+    if isinstance(op, Immediate):
+        value = op.value & 0xFF
+        return lambda m: value
+    if isinstance(op, Register):
+        name = op.name
+        if register_width(name) != 8:
+            def bad_width(m: Machine) -> int:
+                raise IllegalInstruction(
+                    f"byte operation needs an 8-bit register, got %{name}")
+            return bad_width
+        return lambda m: m.regs.get(name)
+    if isinstance(op, Memory):
+        ea = _compile_ea(op)
+        return lambda m: m.space.load_uint(ea(m), 1)
+    return lambda m: m.read_byte_operand(op)
+
+
+def _compile_write_byte(op: Operand) -> Callable[[Machine, int], None]:
+    from repro.isa.registers import register_width
+    if isinstance(op, Register):
+        name = op.name
+        if register_width(name) != 8:
+            def bad_width(m: Machine, v: int) -> None:
+                raise IllegalInstruction(
+                    f"byte operation needs an 8-bit register, got %{name}")
+            return bad_width
+        return lambda m, v: m.regs.set(name, v & 0xFF)
+    if isinstance(op, Memory):
+        ea = _compile_ea(op)
+        return lambda m, v: m.space.store_uint(ea(m), v & 0xFF, 1)
+    return lambda m, v: m.write_byte_operand(op, v)
+
+
+def _raiser(exc: Exception) -> Callable[[Machine, int], int]:
+    """A handler that faults when (and only when) it executes."""
+    def handler(m: Machine, nxt: int) -> int:
+        raise exc
+    return handler
+
+
+def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
+    """Compile one decoded instruction to a (machine, nxt) -> eip closure."""
+    m_ = ins.mnemonic
+    ops = ins.operands
+
+    if m_ == "movl":
+        rd, wr = _compile_read(ops[0]), _compile_write(ops[1])
+
+        def movl(m: Machine, nxt: int) -> int:
+            wr(m, rd(m))
+            return nxt
+        return movl
+
+    if m_ == "movb":
+        rdb, wrb = _compile_read_byte(ops[0]), _compile_write_byte(ops[1])
+
+        def movb(m: Machine, nxt: int) -> int:
+            wrb(m, rdb(m))
+            return nxt
+        return movb
+
+    if m_ in ("movzbl", "movsbl"):
+        if not isinstance(ops[1], Register):
+            return _raiser(IllegalInstruction(
+                f"{m_} destination must be a 32-bit register"))
+        rdb = _compile_read_byte(ops[0])
+        dest = ops[1].name
+        if m_ == "movzbl":
+            def movzbl(m: Machine, nxt: int) -> int:
+                m.regs.set(dest, rdb(m))
+                return nxt
+            return movzbl
+
+        def movsbl(m: Machine, nxt: int) -> int:
+            byte = rdb(m)
+            m.regs.set(dest, byte - 0x100 if byte & 0x80 else byte)
+            return nxt
+        return movsbl
+
+    if m_ == "cmpb":
+        rd0, rd1 = _compile_read_byte(ops[0]), _compile_read_byte(ops[1])
+
+        def cmpb(m: Machine, nxt: int) -> int:
+            src = rd0(m)
+            dst = rd1(m)
+            value = (dst - src) & 0xFF
+            f = m.regs.flags
+            f.cf = dst < src
+            f.of = bool((dst ^ src) & (dst ^ value) & 0x80)
+            f.zf = value == 0
+            f.sf = bool(value & 0x80)
+            return nxt
+        return cmpb
+
+    if m_ == "leal":
+        if not isinstance(ops[0], Memory):
+            return _raiser(IllegalInstruction(
+                "leal source must be a memory operand"))
+        ea, wr = _compile_ea(ops[0]), _compile_write(ops[1])
+
+        def leal(m: Machine, nxt: int) -> int:
+            wr(m, ea(m))
+            return nxt
+        return leal
+
+    if m_ in ("addl", "subl", "cmpl"):
+        rd0, rd1 = _compile_read(ops[0]), _compile_read(ops[1])
+        wr = None if m_ == "cmpl" else _compile_write(ops[1])
+        # flags computed inline with int arithmetic — same definitions as
+        # repro.binary.arith.add/sub, minus the BitVector object traffic
+        if m_ == "addl":
+            def addl(m: Machine, nxt: int) -> int:
+                src = rd0(m)
+                dst = rd1(m)
+                wide = dst + src
+                value = wide & _MASK32
+                f = m.regs.flags
+                f.cf = wide > _MASK32
+                f.of = bool(~(dst ^ src) & (dst ^ value) & 0x8000_0000)
+                f.zf = value == 0
+                f.sf = bool(value & 0x8000_0000)
+                wr(m, value)
+                return nxt
+            return addl
+
+        def subl(m: Machine, nxt: int) -> int:
+            src = rd0(m)
+            dst = rd1(m)
+            value = (dst - src) & _MASK32
+            f = m.regs.flags
+            f.cf = dst < src
+            f.of = bool((dst ^ src) & (dst ^ value) & 0x8000_0000)
+            f.zf = value == 0
+            f.sf = bool(value & 0x8000_0000)
+            if wr is not None:
+                wr(m, value)
+            return nxt
+        return subl
+
+    if m_ == "imull":
+        rd0, rd1 = _compile_read(ops[0]), _compile_read(ops[1])
+        wr = _compile_write(ops[1])
+
+        def imull(m: Machine, nxt: int) -> int:
+            src = _signed(rd0(m))
+            dst = _signed(rd1(m))
+            exact = dst * src
+            value = exact & _MASK32
+            lost = not -0x8000_0000 <= exact <= 0x7FFF_FFFF
+            f = m.regs.flags
+            f.cf = lost
+            f.of = lost
+            f.zf = value == 0
+            f.sf = bool(value & 0x8000_0000)
+            wr(m, value)
+            return nxt
+        return imull
+
+    if m_ in ("andl", "orl", "xorl", "testl"):
+        rd0, rd1 = _compile_read(ops[0]), _compile_read(ops[1])
+        bitop = {"andl": lambda d, s: d & s, "orl": lambda d, s: d | s,
+                 "xorl": lambda d, s: d ^ s,
+                 "testl": lambda d, s: d & s}[m_]
+        wr = None if m_ == "testl" else _compile_write(ops[1])
+
+        def logic(m: Machine, nxt: int) -> int:
+            value = bitop(rd1(m), rd0(m))
+            f = m.regs.flags
+            f.cf = False
+            f.of = False
+            f.zf = value == 0
+            f.sf = bool(value & 0x8000_0000)
+            if wr is not None:
+                wr(m, value)
+            return nxt
+        return logic
+
+    if m_ in ("sall", "shll", "sarl", "shrl"):
+        rd0, rd1 = _compile_read(ops[0]), _compile_read(ops[1])
+        wr = _compile_write(ops[1])
+        left = m_ in ("sall", "shll")
+        arithmetic = m_ == "sarl"
+
+        def shift(m: Machine, nxt: int) -> int:
+            count = rd0(m) & 0x1F
+            raw = rd1(m)
+            if count:
+                if left:
+                    cf = bool((raw >> (32 - count)) & 1)
+                    value = (raw << count) & _MASK32
+                elif arithmetic:
+                    cf = bool((raw >> (count - 1)) & 1)
+                    value = (_signed(raw) >> count) & _MASK32
+                else:
+                    cf = bool((raw >> (count - 1)) & 1)
+                    value = raw >> count
+                f = m.regs.flags
+                f.cf = cf
+                f.of = False
+                f.zf = (value & _MASK32) == 0
+                f.sf = bool(value & 0x8000_0000)
+                wr(m, value)
+            return nxt
+        return shift
+
+    if m_ == "notl":
+        rd, wr = _compile_read(ops[0]), _compile_write(ops[0])
+
+        def notl(m: Machine, nxt: int) -> int:
+            wr(m, ~rd(m) & _MASK32)
+            return nxt
+        return notl
+
+    if m_ == "negl":
+        rd, wr = _compile_read(ops[0]), _compile_write(ops[0])
+
+        def negl(m: Machine, nxt: int) -> int:
+            raw = rd(m)
+            value = (0 - raw) & _MASK32
+            f = m.regs.flags
+            f.cf = raw != 0
+            f.of = bool(raw & value & 0x8000_0000)
+            f.zf = value == 0
+            f.sf = bool(value & 0x8000_0000)
+            wr(m, value)
+            return nxt
+        return negl
+
+    if m_ in ("incl", "decl"):
+        rd, wr = _compile_read(ops[0]), _compile_write(ops[0])
+        if m_ == "incl":
+            def incl(m: Machine, nxt: int) -> int:
+                dst = rd(m)
+                value = (dst + 1) & _MASK32
+                f = m.regs.flags       # inc/dec preserve CF on x86
+                f.of = bool(~(dst ^ 1) & (dst ^ value) & 0x8000_0000)
+                f.zf = value == 0
+                f.sf = bool(value & 0x8000_0000)
+                wr(m, value)
+                return nxt
+            return incl
+
+        def decl(m: Machine, nxt: int) -> int:
+            dst = rd(m)
+            value = (dst - 1) & _MASK32
+            f = m.regs.flags           # inc/dec preserve CF on x86
+            f.of = bool((dst ^ 1) & (dst ^ value) & 0x8000_0000)
+            f.zf = value == 0
+            f.sf = bool(value & 0x8000_0000)
+            wr(m, value)
+            return nxt
+        return decl
+
+    if m_ == "idivl":
+        rd = _compile_read(ops[0])
+
+        def idivl(m: Machine, nxt: int) -> int:
+            divisor = _signed(rd(m))
+            if divisor == 0:
+                raise MachineFault("divide error: division by zero")
+            dividend = (m.regs.get("edx") << 32) | m.regs.get("eax")
+            if dividend & (1 << 63):
+                dividend -= 1 << 64
+            quotient = abs(dividend) // abs(divisor)
+            if (dividend < 0) != (divisor < 0):
+                quotient = -quotient
+            remainder = dividend - quotient * divisor
+            if not -(1 << 31) <= quotient < (1 << 31):
+                raise MachineFault("divide error: quotient overflow")
+            m.regs.set("eax", quotient & _MASK32)
+            m.regs.set("edx", remainder & _MASK32)
+            return nxt
+        return idivl
+
+    if m_ == "cltd":
+        def cltd(m: Machine, nxt: int) -> int:
+            m.regs.set("edx",
+                       _MASK32 if m.regs.get("eax") & 0x8000_0000 else 0)
+            return nxt
+        return cltd
+
+    if m_ == "pushl":
+        rd = _compile_read(ops[0])
+
+        def pushl(m: Machine, nxt: int) -> int:
+            m.push(rd(m))
+            return nxt
+        return pushl
+
+    if m_ == "popl":
+        wr = _compile_write(ops[0])
+
+        def popl(m: Machine, nxt: int) -> int:
+            wr(m, m.pop())
+            return nxt
+        return popl
+
+    if m_ == "jmp":
+        rd = _compile_read(ops[0])
+
+        def jmp(m: Machine, nxt: int) -> int:
+            return rd(m)
+        return jmp
+
+    if m_ in _JUMP_CONDITIONS:
+        cond = _JUMP_CONDITIONS[m_]
+        rd = _compile_read(ops[0])
+
+        def jcc(m: Machine, nxt: int) -> int:
+            return rd(m) if cond(m.regs.flags) else nxt
+        return jcc
+
+    if m_ == "call":
+        rd = _compile_read(ops[0])
+
+        def call(m: Machine, nxt: int) -> int:
+            m.push(nxt)
+            return rd(m)
+        return call
+
+    if m_ == "ret":
+        def ret(m: Machine, nxt: int) -> int:
+            return m.pop()
+        return ret
+
+    if m_ == "leave":
+        def leave(m: Machine, nxt: int) -> int:
+            m.regs.set("esp", m.regs.get("ebp"))
+            m.regs.set("ebp", m.pop())
+            return nxt
+        return leave
+
+    if m_ == "nop":
+        def nop(m: Machine, nxt: int) -> int:
+            return nxt
+        return nop
+
+    if m_ == "halt":
+        def halt(m: Machine, nxt: int) -> int:
+            m.halted = True
+            return nxt
+        return halt
+
+    # pragma: no cover - the assembler rejects unknown mnemonics
+    return _raiser(IllegalInstruction(f"unimplemented mnemonic {m_!r}"))

@@ -49,6 +49,8 @@ from repro.memory.locality import (
 )
 from repro.memory.multilevel import CacheHierarchy, HierarchyAccess
 from repro.memory import trace
+from repro.memory import vectorcache
+from repro.memory.vectorcache import as_trace_arrays
 
 __all__ = [
     "CacheHierarchy", "HierarchyAccess",
@@ -63,4 +65,5 @@ __all__ = [
     "stride_histogram", "dominant_stride", "analyze", "LocalityReport",
     "entropy_of_blocks",
     "trace",
+    "vectorcache", "as_trace_arrays",
 ]

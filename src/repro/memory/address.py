@@ -16,7 +16,7 @@ from repro._util import is_power_of_two, log2_exact
 from repro.errors import CacheConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AddressParts:
     """One divided address."""
     tag: int
@@ -65,6 +65,26 @@ class AddressLayout:
         index = (address >> self.offset_bits) & (self.num_sets - 1)
         tag = address >> (self.offset_bits + self.index_bits)
         return AddressParts(tag, index, offset)
+
+    def divide_many(self, addresses):
+        """Vectorized :meth:`divide`: one numpy pass over a whole trace.
+
+        ``addresses`` is any int array-like; returns ``(tags, indexes,
+        offsets)`` int64 arrays. Raises on the first out-of-range
+        address, like :meth:`divide` — but before returning anything.
+        """
+        import numpy as np
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if addrs.size:
+            bad = (addrs < 0) | (addrs >= (1 << self.address_bits))
+            if bad.any():
+                first = int(addrs[bad][0])
+                raise CacheConfigError(
+                    f"address {first:#x} exceeds {self.address_bits} bits")
+        offsets = addrs & (self.block_size - 1)
+        indexes = (addrs >> self.offset_bits) & (self.num_sets - 1)
+        tags = addrs >> (self.offset_bits + self.index_bits)
+        return tags, indexes, offsets
 
     def reassemble(self, parts: AddressParts) -> int:
         """Inverse of :meth:`divide` (used by the property tests)."""

@@ -38,7 +38,9 @@ class CacheConfig:
     write_allocate: bool = True
     address_bits: int = 32
     hit_time: int = 1           # cycles, for AMAT computations
-    seed: int = 0               # for the random policy
+    #: base seed for the random policy; each set derives its own stream
+    #: from it, so victim choices depend only on that set's history
+    seed: int = 0
     #: on a load miss, also fill the next sequential block ("past
     #: accesses as a predictor for future behavior", §III-A)
     prefetch_next_line: bool = False
@@ -65,7 +67,7 @@ class CacheConfig:
                              self.num_sets)
 
 
-@dataclass
+@dataclass(slots=True)
 class Line:
     """One cache line's metadata (the data bytes don't matter here)."""
     valid: bool = False
@@ -75,7 +77,7 @@ class Line:
     loaded_at: int = 0     # FIFO timestamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """What one access did — the row of a homework trace table."""
     address: int
@@ -136,7 +138,7 @@ class Cache:
             for _ in range(self.config.num_sets)]
         self.stats = CacheStats()
         self._clock = 0
-        self._rng = random.Random(self.config.seed)
+        self._set_rngs: dict[int, random.Random] = {}
 
     # -- core access ---------------------------------------------------------
 
@@ -170,7 +172,7 @@ class Cache:
         else:
             self.stats.load_misses += 1
 
-        victim = self._choose_victim(ways)
+        victim = self._choose_victim(ways, parts.index)
         evicted_tag = victim.tag if victim.valid else None
         wrote_back = False
         if victim.valid:
@@ -203,7 +205,7 @@ class Cache:
         for line in ways:
             if line.valid and line.tag == parts.tag:
                 return   # already resident
-        victim = self._choose_victim(ways)
+        victim = self._choose_victim(ways, parts.index)
         if victim.valid:
             self.stats.evictions += 1
             if victim.dirty:
@@ -218,7 +220,23 @@ class Cache:
         victim.last_used = 0
         self.stats.prefetches += 1
 
-    def _choose_victim(self, ways: list[Line]) -> Line:
+    def _set_rng(self, index: int) -> random.Random:
+        """The ``random`` policy's per-set RNG stream.
+
+        Each set draws victims from its own stream seeded by
+        ``(config.seed, set index)``, so the k-th replacement in a set
+        picks the same way no matter how accesses to *other* sets are
+        interleaved — scalar, :meth:`access_many`, and the vectorized
+        per-set engine all reproduce identical victim choices.
+        """
+        index = int(index)     # numpy ints can't seed random.Random
+        rng = self._set_rngs.get(index)
+        if rng is None:
+            rng = self._set_rngs[index] = random.Random(
+                self.config.seed * 1_000_003 + index)
+        return rng
+
+    def _choose_victim(self, ways: list[Line], index: int) -> Line:
         for line in ways:
             if not line.valid:
                 return line
@@ -227,7 +245,7 @@ class Cache:
             return min(ways, key=lambda l: l.last_used)
         if policy == "fifo":
             return min(ways, key=lambda l: l.loaded_at)
-        return self._rng.choice(ways)
+        return ways[self._set_rng(index).randrange(len(ways))]
 
     # -- drivers -----------------------------------------------------------------
 
@@ -281,7 +299,8 @@ class Cache:
                     f"address {address:#x} exceeds "
                     f"{config.address_bits} bits")
             tag = address >> tag_shift
-            ways = sets[(address >> offset_bits) & index_mask]
+            set_index = (address >> offset_bits) & index_mask
+            ways = sets[set_index]
 
             for line in ways:
                 if line.valid and line.tag == tag:
@@ -303,7 +322,7 @@ class Cache:
                         continue
                 else:
                     stats.load_misses += 1
-                victim = choose_victim(ways)
+                victim = choose_victim(ways, set_index)
                 if victim.valid:
                     stats.evictions += 1
                     if victim.dirty:
@@ -324,6 +343,29 @@ class Cache:
                     self._prefetch(address + block_size)
         self._clock = clock
         return stats
+
+    def simulate_trace(self, accesses) -> CacheStats:
+        """Run a whole trace through the vectorized engine.
+
+        Same cumulative :class:`CacheStats` — and the same final set
+        state, clock, and (for the ``random`` policy) victim choices —
+        as :meth:`access`/:meth:`access_many`, but computed in numpy
+        batch per set instead of per access, so 100k-address traces run
+        at array speed (see :mod:`repro.memory.vectorcache` and bench
+        E14). Accepts the same trace shapes as :meth:`run_trace` plus
+        plain numpy address arrays.
+
+        Prefetching caches fall back to :meth:`access_many` (a prefetch
+        reaches into a *different* set, which breaks the engine's
+        per-set independence). Unlike the scalar paths, the whole trace
+        is validated against ``address_bits`` before any state changes.
+        """
+        from repro.memory import vectorcache
+        if self.config.prefetch_next_line:
+            return self.access_many(accesses)
+        addrs, stores = vectorcache.as_trace_arrays(accesses)
+        vectorcache.simulate_arrays(self, addrs, stores)
+        return self.stats
 
     def flush(self) -> int:
         """Write back all dirty lines; returns how many were flushed."""

@@ -60,6 +60,42 @@ class CacheHierarchy:
                 out.append(self.access(item))
         return out
 
+    def simulate_trace(self, accesses):
+        """Vectorized :meth:`run_trace`: whole-trace hierarchy simulation.
+
+        Every level runs the batch engine over the miss stream of the
+        level above — the same access sequence each level sees in the
+        scalar model — so all per-level stats (and therefore
+        :meth:`amat`, :meth:`local_hit_rates`, :meth:`global_miss_rate`)
+        come out identical. Returns a per-access int8 array of hit
+        levels (0-based; ``-1`` = main memory), the vector analogue of
+        the ``hit_level`` field. Levels configured with
+        ``prefetch_next_line`` fall back to the scalar engine for that
+        level only.
+        """
+        import numpy as np
+
+        from repro.memory import vectorcache
+        addrs, stores = vectorcache.as_trace_arrays(accesses)
+        hit_level = np.full(len(addrs), -1, dtype=np.int8)
+        remaining = np.arange(len(addrs))
+        for i, cache in enumerate(self.levels):
+            if not addrs.size:
+                break
+            if cache.config.prefetch_next_line:
+                hits = np.fromiter(
+                    (cache.access(int(a), "store" if s else "load").hit
+                     for a, s in zip(addrs, stores)),
+                    dtype=bool, count=len(addrs))
+            else:
+                hits = vectorcache.simulate_arrays(cache, addrs, stores)
+            hit_level[remaining[hits]] = i
+            misses = ~hits
+            addrs, stores = addrs[misses], stores[misses]
+            remaining = remaining[misses]
+        self.memory_accesses += int(addrs.size)
+        return hit_level
+
     # -- analysis --------------------------------------------------------------
 
     def local_hit_rates(self) -> list[float]:

@@ -6,14 +6,20 @@ fault handling with global-LRU replacement, and effective-access-time
 analysis — the machinery behind homeworks VM-1 and VM-2 and bench E6.
 """
 
-from repro.vm.mmu import CostModel, MMU, MmuStats, Translation
+from repro.vm.mmu import (
+    BatchTranslation,
+    CostModel,
+    MMU,
+    MmuStats,
+    Translation,
+)
 from repro.vm.page_table import PageTable, PageTableEntry
 from repro.vm.physical import FrameInfo, PhysicalMemory
 from repro.vm.swap import SwapSpace
 from repro.vm.tlb import TLB, TlbStats
 
 __all__ = [
-    "MMU", "Translation", "MmuStats", "CostModel",
+    "MMU", "Translation", "BatchTranslation", "MmuStats", "CostModel",
     "PageTable", "PageTableEntry",
     "PhysicalMemory", "FrameInfo",
     "SwapSpace",

@@ -18,7 +18,7 @@ from repro.vm.swap import SwapSpace
 from repro.vm.tlb import TLB
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Translation:
     """What one access did — the row of a VM homework trace."""
     pid: int
@@ -30,6 +30,32 @@ class Translation:
     page_fault: bool
     evicted: tuple[int, int] | None = None   # (pid, vpn) pushed out
     wrote_back: bool = False                 # eviction was dirty
+
+
+@dataclass(frozen=True, slots=True)
+class BatchTranslation:
+    """What a :meth:`MMU.translate_many` batch did, in aggregate.
+
+    ``paddrs`` is the per-access physical address array (the same
+    values ``Translation.paddr`` would carry, computed vectorized); the
+    counters are this batch's deltas against :class:`MmuStats` /
+    :class:`~repro.vm.tlb.TlbStats`.
+    """
+    pid: int
+    paddrs: "object"        # np.ndarray[int64]
+    accesses: int
+    tlb_hits: int
+    page_faults: int
+    evictions: int
+    writebacks: int
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        return self.tlb_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def fault_rate(self) -> float:
+        return self.page_faults / self.accesses if self.accesses else 0.0
 
 
 @dataclass
@@ -189,6 +215,91 @@ class MMU:
         frame = self.physical.allocate(pid, vpn, self._clock)
         table.map_page(vpn, frame)
         return frame, evicted, wrote_back
+
+    def translate_many(self, vaddrs, *, writes=None,
+                       pid: int | None = None) -> BatchTranslation:
+        """Batch-translate a whole address trace for one process.
+
+        The vectorized analogue of calling :meth:`access` per address:
+        page numbers and offsets are extracted in one numpy pass, and
+        runs of consecutive accesses to the same page — the common case
+        for ``from_address_space``-style traces — collapse into a
+        single page walk at the run head plus bulk-accounted TLB hits
+        (:meth:`~repro.vm.tlb.TLB.record_repeat_hits`), so faults batch
+        to one handler invocation per run instead of a per-address
+        Python round trip. Stats, TLB contents and recency order, page
+        tables, frame metadata, and the returned physical addresses are
+        all identical to the scalar walk; a :class:`ProtectionFault`
+        surfaces at exactly the access where the scalar walk would
+        raise it, with all earlier accesses already applied.
+
+        ``writes`` is an optional bool array-like (default: all loads).
+        Returns a :class:`BatchTranslation` with the per-access
+        physical addresses and this batch's stat deltas.
+        """
+        import numpy as np
+        if pid is not None:
+            self.context_switch(pid)
+        if self.current_pid is None:
+            raise VmError("no process is running")
+        pid = self.current_pid
+        table = self._table(pid)
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        if writes is None:
+            writes = np.zeros(len(vaddrs), dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape != vaddrs.shape:
+                raise VmError("writes mask must match vaddrs in length")
+        vpns = vaddrs >> self._offset_bits
+        offsets = vaddrs & (self.page_size - 1)
+        frames = np.zeros(len(vaddrs), dtype=np.int64)
+
+        accesses0 = self.stats.accesses
+        faults0 = self.stats.page_faults
+        evictions0 = self.stats.evictions
+        writebacks0 = self.stats.writebacks
+        tlb_hits0 = self.tlb.stats.hits
+
+        if len(vaddrs):
+            heads = np.flatnonzero(np.r_[True, vpns[1:] != vpns[:-1]])
+            ends = np.r_[heads[1:], len(vaddrs)]
+            for start, end in zip(heads.tolist(), ends.tolist()):
+                vpn = int(vpns[start])
+                run_writes = writes[start:end]
+                entry = table.entry(vpn)
+                if not entry.writable and bool(run_writes.any()):
+                    # a write will protection-fault somewhere in this
+                    # run: replay it scalar so the fault lands exactly
+                    # where the per-address walk raises it
+                    for i in range(start, end):
+                        frames[i] = self.access(int(vaddrs[i]),
+                                                write=bool(writes[i])).frame
+                    continue
+                first = self.access(int(vaddrs[start]),
+                                    write=bool(run_writes[0]))
+                frames[start:end] = first.frame
+                rest = end - start - 1
+                if rest:
+                    # the page is now resident and most-recent in the
+                    # TLB; the remaining accesses of the run are pure
+                    # TLB hits — account them in bulk
+                    self.stats.accesses += rest
+                    self._clock += rest
+                    self.tlb.record_repeat_hits(pid, vpn, rest)
+                    self.physical.touch(first.frame, self._clock)
+                    entry.referenced = True
+                    if bool(run_writes[1:].any()):
+                        entry.dirty = True
+
+        paddrs = (frames << self._offset_bits) | offsets
+        return BatchTranslation(
+            pid=pid, paddrs=paddrs,
+            accesses=self.stats.accesses - accesses0,
+            tlb_hits=self.tlb.stats.hits - tlb_hits0,
+            page_faults=self.stats.page_faults - faults0,
+            evictions=self.stats.evictions - evictions0,
+            writebacks=self.stats.writebacks - writebacks0)
 
     # -- trace + analysis ------------------------------------------------------------
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.errors import ProtectionFault, VmError
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """One row of the page table."""
     valid: bool = False        # page resident in RAM?

@@ -13,7 +13,7 @@ from repro._util import is_power_of_two
 from repro.errors import VmError
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameInfo:
     """Ownership record for one allocated frame."""
     pid: int

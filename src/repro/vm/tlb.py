@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.errors import VmError
 
 
-@dataclass
+@dataclass(slots=True)
 class TlbStats:
     hits: int = 0
     misses: int = 0
@@ -61,6 +61,25 @@ class TLB:
         elif len(self._entries) == self.capacity:
             self._entries.popitem(last=False)   # evict LRU
         self._entries[key] = frame
+
+    def record_repeat_hits(self, pid: int, vpn: int, count: int) -> None:
+        """Account ``count`` repeated hits to a resident entry at once.
+
+        The batch translation path
+        (:meth:`~repro.vm.mmu.MMU.translate_many`) collapses a run of
+        accesses to one page into a single walk plus ``count`` TLB
+        hits; this applies those hits in one step — the entry moves to
+        most-recently-used (a no-op when it already is, exactly as
+        ``count`` scalar lookups would leave it) and the hit counter
+        advances by ``count``.
+        """
+        if count < 0:
+            raise VmError("hit count cannot be negative")
+        key = self._key(pid, vpn)
+        if key not in self._entries:
+            raise VmError(f"page {vpn} of pid {pid} is not in the TLB")
+        self._entries.move_to_end(key)
+        self.stats.hits += count
 
     def invalidate(self, pid: int, vpn: int) -> None:
         self._entries.pop(self._key(pid, vpn), None)
