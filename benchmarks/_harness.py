@@ -22,6 +22,10 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 #: simulation, MMU batch translation, and the predecoded ISA fast path
 BENCH_MEMORY = Path(__file__).resolve().parent.parent / "BENCH_memory.json"
 
+#: perf trajectory for the observability layer (E15): disabled-path
+#: overhead and the cost of recording, per simulator hot loop
+BENCH_TRACE = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
 
 def emit(title: str, headers, rows, align_right=None) -> None:
     print(f"\n=== {title} ===")

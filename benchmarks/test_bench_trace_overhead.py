@@ -1,0 +1,137 @@
+"""E15 — observability overhead: tracing off, tracing on, per hot loop.
+
+The observability layer's contract (see ``repro.obs``) is that the
+*disabled* path is near-free — every instrumented simulator guards its
+hooks on ``recorder.enabled`` and the ISA ``run()`` resolves the choice
+once, outside the loop — and that enabling tracing changes *nothing*
+but the time it takes.
+
+This bench drives three instrumented hot loops (ISA predecoded run,
+cache trace replay, kernel process mix) twice: ``recorder=None``
+(disabled) and a live :class:`TraceRecorder` (traced). Stats equality
+between the two runs is asserted on every row — that's the oracle.
+Timings are *recorded* (stdout + BENCH_trace.json), never asserted, so
+CI stays deterministic on shared runners; the JSON trajectory is what
+future PRs diff against to catch instrumentation creep on the disabled
+path. ``E15_OPS`` shrinks the workloads for smoke runs.
+"""
+
+import os
+import pathlib
+import random
+import time
+
+from benchmarks._harness import BENCH_TRACE, emit, emit_json
+from repro.isa.assembler import assemble
+from repro.isa.ccompiler import compile_c
+from repro.isa.machine import Machine
+from repro.memory import Cache, CacheConfig
+from repro.obs import TraceRecorder
+from repro.ossim.kernel import Kernel
+from repro.ossim.programs import Compute, Exit, Fork, Repeat, Wait
+
+OPS = int(os.environ.get("E15_OPS", "20000"))
+REPEATS = 3     # best-of timing; the JSON keeps the minimum
+
+
+def _best_of(fn):
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def bench_isa():
+    source = (pathlib.Path(__file__, "../../examples/c/sum.c")
+              .resolve().read_text())
+    program = assemble(compile_c(source))
+    reps = max(1, OPS // 1000)
+
+    def run(recorder):
+        m = None
+        for _ in range(reps):
+            m = Machine(program, recorder=recorder)
+            m.run()
+        return m
+
+    off, off_s = _best_of(lambda: run(None))
+    rec = TraceRecorder()
+    on, on_s = _best_of(lambda: (rec.clear(), run(rec))[1])
+    assert on.regs.snapshot() == off.regs.snapshot()
+    assert on.steps == off.steps
+    return [("isa: predecoded run()", off.steps * reps,
+             off_s, on_s, len(rec))]
+
+
+def bench_cache():
+    rng = random.Random(42)
+    trace = [rng.randrange(1 << 18) for _ in range(OPS)]
+    config = CacheConfig(num_lines=256, block_size=32, associativity=4)
+
+    def run(recorder):
+        cache = Cache(config, recorder=recorder)
+        cache.run_trace(trace)
+        return cache
+
+    off, off_s = _best_of(lambda: run(None))
+    rec = TraceRecorder()
+    on, on_s = _best_of(lambda: (rec.clear(), run(rec))[1])
+    assert on.stats == off.stats
+    return [("cache: run_trace", len(trace), off_s, on_s, len(rec))]
+
+
+def bench_kernel():
+    procs = max(2, OPS // 2000)
+    prog = [Fork(child=[Repeat(5, body=[Compute(2)]), Exit(0)],
+                 parent=[Wait()]),
+            Repeat(5, body=[Compute(1)]), Exit(0)]
+
+    def run(recorder):
+        kernel = Kernel(timeslice=2, recorder=recorder)
+        for i in range(procs):
+            kernel.spawn(f"job{i}", prog)
+        kernel.run()
+        return kernel
+
+    off, off_s = _best_of(lambda: run(None))
+    rec = TraceRecorder()
+    on, on_s = _best_of(lambda: (rec.clear(), run(rec))[1])
+    assert on.output == off.output
+    assert on.stats == off.stats
+    return [("kernel: fork/wait mix", on.stats.total_units,
+             off_s, on_s, len(rec))]
+
+
+def test_bench_trace_overhead():
+    rows = bench_isa() + bench_cache() + bench_kernel()
+
+    table = [(label, f"{n:,}", f"{off_s * 1e3:.1f}",
+              f"{on_s * 1e3:.1f}", f"{on_s / off_s:.2f}x",
+              f"{events:,}")
+             for label, n, off_s, on_s, events in rows]
+    emit(f"E15: tracing overhead, disabled vs enabled ({OPS:,} ops)",
+         ["hot loop", "ops", "off ms", "on ms", "on/off", "events"],
+         table, align_right=[False, True, True, True, True, True])
+
+    emit_json(BENCH_TRACE, [
+        {"experiment": "E15", "loop": label, "ops": n,
+         "disabled_s": round(off_s, 6), "traced_s": round(on_s, 6),
+         "traced_over_disabled": round(on_s / off_s, 3),
+         "events": events, "ops_env": OPS}
+        for label, n, off_s, on_s, events in rows])
+
+
+def test_ring_buffer_bounds_memory():
+    """A tiny-capacity recorder keeps the newest events and counts drops
+    (stats, not timings — deterministic, so asserted)."""
+    source = (pathlib.Path(__file__, "../../examples/c/sum.c")
+              .resolve().read_text())
+    program = assemble(compile_c(source))
+    rec = TraceRecorder(capacity=64)
+    Machine(program, recorder=rec).run()
+    assert len(rec) == 64
+    assert rec.dropped > 0
+    events = rec.events()
+    assert events[-1].name == "ret" or events[-1].ph in "XiC"

@@ -21,6 +21,7 @@ core        pthread-style threads on a simulated multicore; sync; speedup
 life        Conway's Game of Life labs, serial and parallel, with ParaVis
 analysis    static analysis: CFG/dataflow checks over the C subset, static
             lock-order/race-candidate checking, assembler lint
+obs         shared event tracing/counters, Chrome-trace export, profiles
 curriculum  TCPP coverage (Table I), labs/homework registry, survey (Fig. 1)
 homework    mechanical generators + checkers for the written homeworks
 """
@@ -29,5 +30,5 @@ __version__ = "1.0.0"
 
 __all__ = [
     "binary", "circuits", "isa", "clib", "memory", "vm", "ossim",
-    "core", "life", "curriculum", "homework", "analysis",
+    "core", "life", "curriculum", "homework", "analysis", "obs",
 ]

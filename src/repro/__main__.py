@@ -7,9 +7,12 @@ measurement, so a fresh checkout can prove itself in seconds.
 Subcommands::
 
     python -m repro analyze FILE.c|FILE.s|FILE.py|DIR ...
+    python -m repro trace DEMO [--chrome OUT.json] [--top N]
 
-runs the static-analysis subsystem (see :mod:`repro.analysis`) instead
-of the tour.
+``analyze`` runs the static-analysis subsystem (see
+:mod:`repro.analysis`); ``trace`` runs a demo workload under the
+observability layer (see :mod:`repro.obs`) and prints a profile,
+optionally exporting a Chrome trace. Either replaces the tour.
 """
 
 from __future__ import annotations
@@ -30,6 +33,9 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "analyze":
         from repro.analysis.cli import run
+        return run(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import run
         return run(argv[1:])
     print("repro: CS 31 as an executable systems library")
     print("=" * 52)

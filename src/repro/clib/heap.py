@@ -29,12 +29,14 @@ class Block:
     address: int      # address returned to the user (payload start)
     size: int         # payload size as requested (unaligned)
     live: bool
+    alloc_ts: int = 0  # recorder logical time of the malloc (tracing)
 
 
 class Heap:
     """First-fit allocator over an :class:`AddressSpace`'s heap region."""
 
-    def __init__(self, space: AddressSpace) -> None:
+    def __init__(self, space: AddressSpace, *, recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         self.space = space
         region = space.region_named("heap")
         self._base = region.start
@@ -47,6 +49,8 @@ class Heap:
         self.total_freed = 0
         self.peak_bytes = 0
         self._live_bytes = 0
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
 
     # -- allocation ---------------------------------------------------------
 
@@ -61,12 +65,29 @@ class Heap:
                     del self._free[i]
                 else:
                     self._free[i] = (start + need, hole - need)
-                self.blocks[start] = Block(start, size, live=True)
+                block = Block(start, size, live=True)
+                self.blocks[start] = block
                 self.total_allocated += 1
                 self._live_bytes += size
                 self.peak_bytes = max(self.peak_bytes, self._live_bytes)
+                if self.recorder.enabled:
+                    block.alloc_ts = self.recorder.now()
+                    self.recorder.instant(
+                        "malloc", ts=block.alloc_ts, pid="clib",
+                        tid="heap", cat="heap",
+                        args={"addr": start, "size": size})
+                    self._record_counters(block.alloc_ts)
                 return start
+        if self.recorder.enabled:
+            self.recorder.instant("malloc-oom", pid="clib", tid="heap",
+                                  cat="heap", args={"size": size})
         return 0  # NULL: out of memory
+
+    def _record_counters(self, ts: float) -> None:
+        self.recorder.counter(
+            "heap", {"live_bytes": self._live_bytes,
+                     "live_blocks": len(self.live_blocks)},
+            ts=ts, pid="clib", tid="heap", cat="heap")
 
     def calloc(self, count: int, size: int) -> int:
         """malloc + zero fill (the heap starts zeroed, but blocks may be reused)."""
@@ -89,6 +110,14 @@ class Heap:
         self.total_freed += 1
         self._live_bytes -= block.size
         self._insert_hole(address, _align(block.size))
+        if self.recorder.enabled:
+            # the block's whole lifetime as one span on the heap track
+            now = self.recorder.now()
+            self.recorder.complete(
+                f"block {address:#x}", ts=block.alloc_ts,
+                dur=now - block.alloc_ts, pid="clib", tid="heap",
+                cat="heap", args={"size": block.size})
+            self._record_counters(now)
 
     def _insert_hole(self, start: int, size: int) -> None:
         """Add a hole and coalesce with adjacent holes."""

@@ -43,17 +43,34 @@ class Finding:
 
 
 class Memcheck:
-    """Shadow-memory checker attached to an address space + heap."""
+    """Shadow-memory checker attached to an address space + heap.
 
-    def __init__(self, space: AddressSpace, heap: Heap | None = None) -> None:
+    With a :mod:`repro.obs` recorder attached, every finding is also
+    emitted as an instant event on the ``clib/memcheck`` track, so
+    invalid accesses line up with the heap's block-lifetime spans.
+    """
+
+    def __init__(self, space: AddressSpace, heap: Heap | None = None,
+                 *, recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         self.space = space
-        self.heap = heap or Heap(space)
+        self.heap = heap or Heap(space, recorder=recorder)
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
         heap_region = space.region_named("heap")
         self._heap_lo = heap_region.start
         self._heap_hi = heap_region.end
         self._initialised: set[int] = set()
         self.findings: list[Finding] = []
         space.add_watcher(self)
+
+    def _found(self, finding: Finding) -> None:
+        self.findings.append(finding)
+        if self.recorder.enabled:
+            self.recorder.instant(
+                finding.kind, pid="clib", tid="memcheck", cat="memcheck",
+                args={"addr": finding.address, "size": finding.size,
+                      "note": finding.note})
 
     # -- allocation interposition ---------------------------------------------
 
@@ -76,7 +93,7 @@ class Memcheck:
         except HeapError as exc:
             kind: FindingKind = ("double-free" if "double" in str(exc)
                                  else "invalid-free")
-            self.findings.append(Finding(kind, address, 0, str(exc)))
+            self._found(Finding(kind, address, 0, str(exc)))
 
     # -- watcher hooks (called by AddressSpace on every access) -----------------
 
@@ -88,18 +105,18 @@ class Memcheck:
             return
         block = self.heap.owning_block(address)
         if block is None:
-            self.findings.append(Finding(
+            self._found(Finding(
                 "invalid-read", address, size,
                 "address is not inside any live malloc block"))
             return
         if address + size > block.address + block.size:
-            self.findings.append(Finding(
+            self._found(Finding(
                 "invalid-read", address, size,
                 f"read past the end of a {block.size}-byte block"))
         for a in range(address, min(address + size,
                                     block.address + block.size)):
             if a not in self._initialised:
-                self.findings.append(Finding(
+                self._found(Finding(
                     "uninitialised-read", address, size,
                     "heap memory used before being written"))
                 break
@@ -108,11 +125,11 @@ class Memcheck:
         if self._in_heap(address):
             block = self.heap.owning_block(address)
             if block is None:
-                self.findings.append(Finding(
+                self._found(Finding(
                     "invalid-write", address, size,
                     "address is not inside any live malloc block"))
             elif address + size > block.address + block.size:
-                self.findings.append(Finding(
+                self._found(Finding(
                     "invalid-write", address, size,
                     f"write past the end of a {block.size}-byte block"))
         self._initialised.update(range(address, address + size))

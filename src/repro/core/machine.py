@@ -162,12 +162,15 @@ class SimMachine:
 
     def __init__(self, num_cores: int = 1,
                  costs: SyncCosts | None = None,
-                 race_detector=None) -> None:
+                 race_detector=None, recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         if num_cores < 1:
             raise ConcurrencyError("need at least one core")
         self.num_cores = num_cores
         self.costs = costs or SyncCosts()
         self.race_detector = race_detector
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
         self.threads: list[SimThread] = []
         #: (free-at time, core id) heap — identity kept for the timeline
         self._cores: list[tuple[float, int]] = [(0.0, i)
@@ -218,6 +221,12 @@ class SimMachine:
             end = self._advance(thread, start)
             if end > start:
                 self.timeline.append((core_id, thread.name, start, end))
+                if self.recorder.enabled:
+                    # the gantt segment: thread ran on this core
+                    self.recorder.complete(
+                        thread.name, ts=start, dur=end - start,
+                        pid="threads", tid=f"core {core_id}",
+                        cat="threads")
             heapq.heappush(self._cores, (end, core_id))
             self.makespan = max(self.makespan, end)
         blocked = [t for t in self.threads if t.state == "blocked"]
@@ -303,6 +312,13 @@ class SimMachine:
 
     def _wake(self, thread: SimThread, time: float) -> None:
         thread.blocked_cycles += time - thread.block_start
+        if self.recorder.enabled:
+            # the blocked interval, on the thread's own track
+            self.recorder.complete(
+                "blocked", ts=thread.block_start,
+                dur=time - thread.block_start, pid="threads",
+                tid=thread.name, cat="threads",
+                args={"on": repr(thread.waiting_on)})
         thread.state = "ready"
         thread.waiting_on = None
         self._schedule(thread, time)
@@ -317,6 +333,11 @@ class SimMachine:
             mutex.owner = thread
             mutex.acquisitions += 1
             thread.locks_held.add(mutex)
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "lock-acquire", ts=done, pid="threads",
+                    tid=thread.name, cat="threads",
+                    args={"mutex": mutex.name})
             return done
         mutex.waiters.append(thread)
         self._block(thread, mutex, time)
@@ -329,12 +350,21 @@ class SimMachine:
                 f"{thread.name} unlocking {mutex.name} it does not hold")
         done = time + self.costs.unlock
         thread.locks_held.discard(mutex)
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "lock-release", ts=done, pid="threads", tid=thread.name,
+                cat="threads", args={"mutex": mutex.name})
         if mutex.waiters:
             next_owner: SimThread = mutex.waiters.popleft()
             mutex.owner = next_owner
             mutex.acquisitions += 1
             next_owner.locks_held.add(mutex)
             mutex.contention_cycles += done - next_owner.block_start
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "lock-acquire", ts=done, pid="threads",
+                    tid=next_owner.name, cat="threads",
+                    args={"mutex": mutex.name, "contended": True})
             self._wake(next_owner, done)
         else:
             mutex.owner = None

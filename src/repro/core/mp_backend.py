@@ -68,7 +68,8 @@ class WorkerPool:
     """
 
     def __init__(self, workers: int | None = None, *,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None, recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         if workers is not None and workers <= 0:
             raise ReproError("workers must be positive")
         self.workers = workers if workers is not None else available_cores()
@@ -76,6 +77,8 @@ class WorkerPool:
         self._pool: mp.pool.Pool | None = None
         self.spawn_count = 0            # how many times workers were created
         self.last_breakdown = OverheadBreakdown()
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
 
     @property
     def is_alive(self) -> bool:
@@ -139,7 +142,29 @@ class WorkerPool:
             spawn=spawn, dispatch=dispatch, compute=compute,
             sync=max(0.0, wait - compute / self.workers),
             wall=time.perf_counter() - wall0)
+        if self.recorder.enabled:
+            self._record_map(len(chunks), chunk_mode, spawn, dispatch, wait)
         return out
+
+    def _record_map(self, n_chunks: int, chunk_mode: str,
+                    spawn: float, dispatch: float, wait: float) -> None:
+        """Emit the call's phases as back-to-back spans on the mp track.
+
+        Wall-clock seconds become microsecond durations (the Chrome
+        trace unit) laid out from the recorder's logical clock, so one
+        map() call reads as spawn → dispatch → wait in the viewer.
+        """
+        ts = self.recorder.now()
+        phases = [("dispatch", dispatch), ("wait", wait)]
+        if spawn:
+            phases.insert(0, ("spawn", spawn))
+        for name, seconds in phases:
+            dur = seconds * 1e6
+            self.recorder.complete(
+                name, ts=ts, dur=dur, pid="mp", tid="pool", cat="mp",
+                args={"seconds": seconds, "workers": self.workers,
+                      "chunks": n_chunks, "chunk_mode": chunk_mode})
+            ts += dur
 
     def shutdown(self) -> None:
         """Stop the workers (idempotent). The pool can be restarted —

@@ -142,3 +142,11 @@ class SyncUsageError(ConcurrencyError):
 
 class RaceError(ConcurrencyError):
     """A data race detected by the race checker, promoted to an error."""
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+class ObsError(ReproError):
+    """Tracing misuse or an invalid exported trace (unmatched spans...)."""

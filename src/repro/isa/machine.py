@@ -67,11 +67,14 @@ class Machine:
     """Executes a :class:`Program` over an :class:`AddressSpace`."""
 
     def __init__(self, program: Program, space: AddressSpace | None = None,
-                 *, record_fetches: bool = False) -> None:
+                 *, record_fetches: bool = False, recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         self.program = program
         self.space = space or AddressSpace.standard()
         self.regs = RegisterSet()
         self.record_fetches = record_fetches
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
         self.regs.set("esp", STACK_TOP - 16)
         self.regs.eip = program.entry_address
         self.halted = False
@@ -188,9 +191,18 @@ class Machine:
         eip = self.regs.eip
         ins = self.program.at(eip)
         if ins is None:
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "fault", ts=self.steps, pid="isa", tid="cpu",
+                    cat="isa", args={"eip": eip,
+                                     "what": _fell_off(eip, self.steps)})
             raise MachineFault(_fell_off(eip, self.steps))
         if self.record_fetches:
             self.space.fetch(eip, INSTRUCTION_SIZE)
+            if self.recorder.enabled:
+                self.recorder.instant("fetch", ts=self.steps, pid="isa",
+                                      tid="cpu", cat="isa",
+                                      args={"eip": eip})
         next_eip = eip + INSTRUCTION_SIZE
         m = ins.mnemonic
         ops = ins.operands
@@ -317,6 +329,10 @@ class Machine:
 
         if next_eip == SENTINEL_RETURN:
             self.halted = True
+        if self.recorder.enabled:
+            self.recorder.complete(m, ts=self.steps, dur=1, pid="isa",
+                                   tid="cpu", cat="isa",
+                                   args={"eip": eip})
         self.regs.eip = next_eip & _MASK32
         self.steps += 1
         return ins
@@ -348,6 +364,8 @@ class Machine:
         fetch traces.
         """
         handlers = self._predecode()
+        if self.recorder.enabled:
+            return self._run_traced(handlers, max_steps)
         regs = self.regs
         record = self.record_fetches
         fetch = self.space.fetch
@@ -364,6 +382,54 @@ class Machine:
                 if record:
                     fetch(eip, INSTRUCTION_SIZE)
                 next_eip = handler(self, eip + INSTRUCTION_SIZE)
+                if next_eip == SENTINEL_RETURN:
+                    self.halted = True
+                regs.eip = next_eip & _MASK32
+                steps += 1
+        finally:
+            self.steps = steps
+        return regs.get_signed("eax")
+
+    def _run_traced(self, handlers, max_steps: int) -> int:
+        """The :meth:`run` loop with per-instruction span recording.
+
+        Identical state transitions to the untraced loop (the oracle
+        tests pin both); kept separate so a disabled recorder costs the
+        hot loop exactly one branch, outside it.
+        """
+        regs = self.regs
+        record = self.record_fetches
+        fetch = self.space.fetch
+        rec = self.recorder
+        mnemonics = {addr: ins.mnemonic
+                     for addr, ins in self.program.by_address.items()}
+        steps = self.steps
+        try:
+            while not self.halted:
+                if steps >= max_steps:
+                    raise MachineFault(
+                        "step limit exceeded (infinite loop?)")
+                eip = regs.eip
+                handler = handlers.get(eip)
+                if handler is None:
+                    rec.instant("fault", ts=steps, pid="isa", tid="cpu",
+                                cat="isa",
+                                args={"eip": eip,
+                                      "what": _fell_off(eip, steps)})
+                    raise MachineFault(_fell_off(eip, steps))
+                if record:
+                    fetch(eip, INSTRUCTION_SIZE)
+                    rec.instant("fetch", ts=steps, pid="isa", tid="cpu",
+                                cat="isa", args={"eip": eip})
+                try:
+                    next_eip = handler(self, eip + INSTRUCTION_SIZE)
+                except MachineFault as exc:
+                    rec.instant("fault", ts=steps, pid="isa", tid="cpu",
+                                cat="isa",
+                                args={"eip": eip, "what": str(exc)})
+                    raise
+                rec.complete(mnemonics[eip], ts=steps, dur=1, pid="isa",
+                             tid="cpu", cat="isa", args={"eip": eip})
                 if next_eip == SENTINEL_RETURN:
                     self.halted = True
                 regs.eip = next_eip & _MASK32

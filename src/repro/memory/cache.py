@@ -130,7 +130,10 @@ class CacheStats:
 class Cache:
     """A single cache level."""
 
-    def __init__(self, config: CacheConfig | None = None, **kwargs) -> None:
+    def __init__(self, config: CacheConfig | None = None, *,
+                 recorder=None, trace_name: str = "cache",
+                 **kwargs) -> None:
+        from repro.obs.recorder import coalesce
         self.config = config or CacheConfig(**kwargs)
         self.layout = self.config.layout
         self.sets: list[list[Line]] = [
@@ -139,6 +142,23 @@ class Cache:
         self.stats = CacheStats()
         self._clock = 0
         self._set_rngs: dict[int, random.Random] = {}
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
+        self.trace_name = trace_name
+
+    def _record_counters(self, *, evicted: bool = False) -> None:
+        """Counter sample (+ eviction instant) after a traced access."""
+        stats = self.stats
+        if evicted:
+            self.recorder.instant(
+                "eviction", ts=self._clock, pid="memory",
+                tid=self.trace_name, cat="cache")
+        self.recorder.counter(
+            self.trace_name,
+            {"hits": stats.hits, "misses": stats.misses,
+             "evictions": stats.evictions},
+            ts=self._clock, pid="memory", tid=self.trace_name,
+            cat="cache")
 
     # -- core access ---------------------------------------------------------
 
@@ -160,6 +180,8 @@ class Cache:
                         self.stats.memory_writes += 1
                 else:
                     self.stats.load_hits += 1
+                if self.recorder.enabled:
+                    self._record_counters()
                 return AccessResult(address, kind, parts, hit=True)
 
         # miss
@@ -167,6 +189,8 @@ class Cache:
             self.stats.store_misses += 1
             if not self.config.write_allocate:
                 self.stats.memory_writes += 1
+                if self.recorder.enabled:
+                    self._record_counters()
                 return AccessResult(address, kind, parts, hit=False,
                                     bypassed=True)
         else:
@@ -193,6 +217,8 @@ class Cache:
                 self.stats.memory_writes += 1
         if self.config.prefetch_next_line and kind == "load":
             self._prefetch(address + self.config.block_size)
+        if self.recorder.enabled:
+            self._record_counters(evicted=evicted_tag is not None)
         return AccessResult(address, kind, parts, hit=False,
                             evicted_tag=evicted_tag, wrote_back=wrote_back)
 
@@ -342,6 +368,8 @@ class Cache:
                     self._clock = clock
                     self._prefetch(address + block_size)
         self._clock = clock
+        if self.recorder.enabled:
+            self._record_counters()     # one sample per batch
         return stats
 
     def simulate_trace(self, accesses) -> CacheStats:
@@ -365,6 +393,8 @@ class Cache:
             return self.access_many(accesses)
         addrs, stores = vectorcache.as_trace_arrays(accesses)
         vectorcache.simulate_arrays(self, addrs, stores)
+        if self.recorder.enabled:
+            self._record_counters()     # one sample per batch
         return self.stats
 
     def flush(self) -> int:

@@ -29,14 +29,17 @@ class CacheHierarchy:
     """An ordered stack of cache levels, L1 first."""
 
     def __init__(self, configs: list[CacheConfig], *,
-                 memory_latency: int = 100) -> None:
+                 memory_latency: int = 100, recorder=None) -> None:
         if not configs:
             raise CacheConfigError("hierarchy needs at least one level")
         for upper, lower in zip(configs, configs[1:]):
             if upper.capacity_bytes > lower.capacity_bytes:
                 raise CacheConfigError(
                     "levels must grow (or stay equal) going down")
-        self.levels = [Cache(c) for c in configs]
+        # one trace track per cache level (L1, L2, ...)
+        self.levels = [Cache(c, recorder=recorder,
+                             trace_name=f"L{i + 1}")
+                       for i, c in enumerate(configs)]
         self.memory_latency = memory_latency
         self.memory_accesses = 0
 

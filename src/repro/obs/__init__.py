@@ -1,0 +1,57 @@
+"""Unified observability: event tracing shared by every simulator.
+
+Every simulator in the library accepts a ``recorder=`` keyword; pass one
+:class:`TraceRecorder` to several of them and their events interleave on
+a common timeline — per-instruction ISA spans next to kernel context
+switches next to cache-miss counters. The trace renders two ways:
+
+* :func:`to_chrome` / :func:`write_chrome` — Chrome trace-event JSON,
+  loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``,
+  one named track per ``(pid, tid)`` pair;
+* :func:`profile_report` — a plain-text profile (hot instructions,
+  span latencies, miss attribution) built on the same tables the rest
+  of the library prints.
+
+Tracing never changes simulator behaviour (the oracle tests pin
+traced == untraced, bit for bit), and the disabled path is bounded by
+bench E15: pass ``recorder=None`` (or nothing) and every hook reduces
+to one attribute check against :data:`NULL_RECORDER`.
+
+Try it from the shell::
+
+    python -m repro trace all --chrome trace.json
+"""
+
+from repro.obs.chrome import to_chrome, validate, write_chrome
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    coalesce,
+)
+from repro.obs.report import (
+    final_counters,
+    hot_instructions,
+    instant_counts,
+    miss_attribution,
+    profile_report,
+    span_latency,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceEvent",
+    "TraceRecorder",
+    "coalesce",
+    "final_counters",
+    "hot_instructions",
+    "instant_counts",
+    "miss_attribution",
+    "profile_report",
+    "span_latency",
+    "to_chrome",
+    "validate",
+    "write_chrome",
+]

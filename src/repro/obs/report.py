@@ -1,0 +1,128 @@
+"""Text profile reports over a recorded trace.
+
+The terminal-friendly rendering of what Perfetto would show: where the
+simulated time went. Three lenses, all built on
+:func:`~repro._util.format_table` like every bench harness:
+
+* **hot spots** — top-N instruction addresses by executed count (the
+  ISA machine's per-instruction spans carry their ``eip``);
+* **span latency** — per event name: count, total and mean duration
+  (context switches, syscalls, lock holds, worker dispatch…);
+* **counters** — final value of every counter series (cache hit/miss
+  totals, TLB accounting, live heap bytes) with miss attribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro._util import format_table
+from repro.obs.recorder import NullRecorder, TraceRecorder
+
+
+def hot_instructions(recorder: TraceRecorder | NullRecorder,
+                     top: int = 10) -> list[tuple[int, str, int]]:
+    """(eip, mnemonic, count) rows for the most-executed instructions."""
+    counts: Counter[tuple[int, str]] = Counter()
+    for ev in recorder.events():
+        if ev.ph == "X" and ev.args and "eip" in ev.args:
+            counts[(ev.args["eip"], ev.name)] += 1
+    return [(eip, name, n)
+            for (eip, name), n in counts.most_common(top)]
+
+
+def span_latency(recorder: TraceRecorder | NullRecorder
+                 ) -> list[tuple[str, str, int, float, float]]:
+    """(track, name, count, total dur, mean dur) per span name."""
+    totals: dict[tuple[str, str], list[float]] = defaultdict(list)
+    for ev in recorder.events():
+        if ev.ph == "X":
+            totals[(f"{ev.pid}/{ev.tid}", ev.name)].append(ev.dur or 0.0)
+    rows = []
+    for (track, name), durs in sorted(totals.items()):
+        total = sum(durs)
+        rows.append((track, name, len(durs), total, total / len(durs)))
+    rows.sort(key=lambda r: -r[3])
+    return rows
+
+
+def instant_counts(recorder: TraceRecorder | NullRecorder
+                   ) -> list[tuple[str, str, int]]:
+    """(track, name, count) for instants — faults, switches, signals."""
+    counts: Counter[tuple[str, str]] = Counter()
+    for ev in recorder.events():
+        if ev.ph == "i":
+            counts[(f"{ev.pid}/{ev.tid}", ev.name)] += 1
+    return [(track, name, n)
+            for (track, name), n in counts.most_common()]
+
+
+def final_counters(recorder: TraceRecorder | NullRecorder
+                   ) -> dict[tuple[str, str], dict[str, float]]:
+    """The last sampled value of every counter series, by (track, name)."""
+    finals: dict[tuple[str, str], dict[str, float]] = {}
+    for ev in recorder.events():
+        if ev.ph == "C" and ev.args is not None:
+            finals[(f"{ev.pid}/{ev.tid}", ev.name)] = dict(ev.args)
+    return finals
+
+
+def miss_attribution(recorder: TraceRecorder | NullRecorder
+                     ) -> list[tuple[str, float, float, float]]:
+    """(series, hits, misses, miss share) across all hit/miss counters.
+
+    The "where do the misses come from" table: every counter series
+    carrying ``hits``/``misses`` keys (caches, TLB) contributes a row;
+    the share column attributes the total misses across series.
+    """
+    rows = []
+    for (track, name), values in sorted(final_counters(recorder).items()):
+        if "hits" in values and "misses" in values:
+            rows.append((f"{track}:{name}",
+                         float(values["hits"]), float(values["misses"])))
+    total_misses = sum(r[2] for r in rows)
+    return [(series, hits, misses,
+             misses / total_misses if total_misses else 0.0)
+            for series, hits, misses in rows]
+
+
+def profile_report(recorder: TraceRecorder | NullRecorder, *,
+                   top: int = 10) -> str:
+    """The full text profile: hot spots, latencies, misses, instants."""
+    sections = [f"trace profile — {len(recorder)} events buffered, "
+                f"{recorder.dropped} dropped"]
+
+    hot = hot_instructions(recorder, top)
+    if hot:
+        sections.append("hot instructions (by eip):")
+        sections.append(format_table(
+            ["eip", "mnemonic", "count"],
+            [(f"{eip:#010x}", name, n) for eip, name, n in hot],
+            align_right=[False, False, True]))
+
+    spans = span_latency(recorder)
+    if spans:
+        sections.append("span latency:")
+        sections.append(format_table(
+            ["track", "span", "count", "total", "mean"],
+            [(t, n, c, f"{tot:g}", f"{mean:.3g}")
+             for t, n, c, tot, mean in spans[:top]],
+            align_right=[False, False, True, True, True]))
+
+    misses = miss_attribution(recorder)
+    if misses:
+        sections.append("miss attribution:")
+        sections.append(format_table(
+            ["series", "hits", "misses", "miss share"],
+            [(s, f"{h:g}", f"{m:g}", f"{share:.1%}")
+             for s, h, m, share in misses],
+            align_right=[False, True, True, True]))
+
+    instants = instant_counts(recorder)
+    if instants:
+        sections.append("instants:")
+        sections.append(format_table(
+            ["track", "event", "count"], instants[:top],
+            align_right=[False, False, True]))
+
+    return "\n\n".join(sections)

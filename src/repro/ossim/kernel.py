@@ -51,11 +51,15 @@ class Kernel:
     """One machine's worth of processes."""
 
     def __init__(self, *, timeslice: int = 2,
-                 registry: ProgramRegistry | None = None) -> None:
+                 registry: ProgramRegistry | None = None,
+                 recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         if timeslice < 1:
             raise OsError_("timeslice must be >= 1")
         self.timeslice = timeslice
         self.registry = registry or standard_binaries()
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
         self.table: dict[int, PCB] = {}
         self.ready: deque[int] = deque()
         self.output: list[tuple[int, str]] = []
@@ -134,6 +138,11 @@ class Kernel:
     def _dispatch(self, pid: int) -> None:
         if pid != self._last_ran:
             self.stats.context_switches += 1
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "context-switch", ts=self.stats.total_units,
+                    pid="ossim", tid="kernel", cat="ossim",
+                    args={"from": self._last_ran, "to": pid})
             self._last_ran = pid
         try:
             self.ready.remove(pid)
@@ -165,6 +174,12 @@ class Kernel:
         op = pcb.program.pop(0)
         pcb.cpu_time += 1
         self.stats.total_units += 1
+        if self.recorder.enabled:
+            # each unit is a 1-wide span on the process's own track
+            self.recorder.complete(
+                type(op).__name__, ts=self.stats.total_units - 1, dur=1,
+                pid="ossim", tid=f"pid {pcb.pid}", cat="ossim",
+                args={"name": pcb.name})
         return self._execute(pcb, op)
 
     def _execute(self, pcb: PCB, op: Op) -> bool:
@@ -204,6 +219,11 @@ class Kernel:
                                      f"{op.program_name!r}")
             pcb.program = list(image.ops)   # replace the whole image
             pcb.name = op.program_name
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "exec", ts=self.stats.total_units, pid="ossim",
+                    tid=f"pid {pcb.pid}", cat="ossim",
+                    args={"program": op.program_name})
             return True
         if isinstance(op, InstallHandler):
             pcb.handlers[op.signal] = list(op.handler)
@@ -230,8 +250,18 @@ class Kernel:
         parent.program[:0] = list(op.parent)
         self.ready.append(child.pid)
         self.stats.forks += 1
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "fork", ts=self.stats.total_units, pid="ossim",
+                tid=f"pid {parent.pid}", cat="ossim",
+                args={"child": child.pid})
 
     def _do_exit(self, pcb: PCB, status: int) -> None:
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "exit", ts=self.stats.total_units, pid="ossim",
+                tid=f"pid {pcb.pid}", cat="ossim",
+                args={"status": status})
         pcb.exit_status = status
         pcb.state = ProcessState.ZOMBIE
         if pcb.pid in self.ready:
@@ -283,6 +313,11 @@ class Kernel:
         pcb.state = ProcessState.BLOCKED
         pcb.waiting = True
         pcb.wait_target = target
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "wait-blocked", ts=self.stats.total_units, pid="ossim",
+                tid=f"pid {pcb.pid}", cat="ossim",
+                args={"target": target})
         return False
 
     def _complete_wait(self, parent: PCB) -> None:
@@ -309,6 +344,10 @@ class Kernel:
             return
         pcb.pending_signals.append(sig)
         self.stats.signals_delivered += 1
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "signal", ts=self.stats.total_units, pid="ossim",
+                tid=f"pid {pid}", cat="ossim", args={"sig": sig.name})
         # signals interrupt Pause (and wake BLOCKED processes that have a
         # handler or a terminating default)
         if pcb.state is ProcessState.BLOCKED and not pcb.waiting:
@@ -320,6 +359,13 @@ class Kernel:
         while pcb.pending_signals and pcb.alive:
             sig = pcb.pending_signals.pop(0)
             handler = pcb.handlers.get(sig)
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "signal-delivered", ts=self.stats.total_units,
+                    pid="ossim", tid=f"pid {pcb.pid}", cat="ossim",
+                    args={"sig": sig.name,
+                          "disposition": ("handler" if handler is not None
+                                          else "default")})
             if sig == Signal.SIGKILL:         # cannot be caught
                 self._do_exit(pcb, 128 + int(sig))
                 return

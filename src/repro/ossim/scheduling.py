@@ -11,6 +11,7 @@ metrics those discussions compare. Bench E11 regenerates the comparison.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
 
 from repro._util import format_table
@@ -86,6 +87,18 @@ def _validate(jobs: list[Job]) -> None:
         raise OsError_("job names must be unique")
 
 
+def _transitions(outcomes: list[JobOutcome]) -> int:
+    """Job-to-job transitions in execution order.
+
+    A non-preemptive schedule switches exactly when the CPU moves from
+    one job to a *different* one; an idle gap between two jobs still
+    separates them, but a single-job workload reports 0 — the same
+    semantics as the round-robin switch counter.
+    """
+    return sum(1 for prev, nxt in zip(outcomes, outcomes[1:])
+               if prev.job.name != nxt.job.name)
+
+
 def fcfs(jobs: list[Job]) -> ScheduleResult:
     """First-come first-served, non-preemptive."""
     _validate(jobs)
@@ -97,7 +110,7 @@ def fcfs(jobs: list[Job]) -> ScheduleResult:
         outcomes.append(JobOutcome(job, start, finish))
         time = finish
     return ScheduleResult("FCFS", outcomes,
-                          context_switches=max(0, len(jobs) - 1),
+                          context_switches=_transitions(outcomes),
                           total_time=time)
 
 
@@ -123,7 +136,7 @@ def sjf(jobs: list[Job]) -> ScheduleResult:
         outcomes.append(JobOutcome(job, start, finish))
         time = finish
     return ScheduleResult("SJF", outcomes,
-                          context_switches=max(0, len(jobs) - 1),
+                          context_switches=_transitions(outcomes),
                           total_time=time)
 
 
@@ -131,9 +144,13 @@ def round_robin(jobs: list[Job], *, quantum: float,
                 switch_cost: float = 0.0) -> ScheduleResult:
     """Preemptive round-robin with a fixed timeslice.
 
-    ``switch_cost`` is charged whenever the CPU moves to a *different*
-    job — the overhead knob behind "smaller quantum = more responsive
-    but more overhead".
+    ``switch_cost`` is charged whenever the CPU moves *directly* from
+    one job to a different one — the overhead knob behind "smaller
+    quantum = more responsive but more overhead". An idle CPU has
+    nothing to switch from: when the ready queue drains and the clock
+    jumps to the next arrival, that job starts at its arrival time with
+    no switch charged. Jobs arriving while a switch is in progress are
+    admitted at the post-switch timestamp, before the slice runs.
     """
     _validate(jobs)
     if quantum <= 0:
@@ -141,7 +158,7 @@ def round_robin(jobs: list[Job], *, quantum: float,
     if switch_cost < 0:
         raise OsError_("switch cost cannot be negative")
     pending = sorted(jobs, key=lambda j: (j.arrival, j.name))
-    queue: list[Job] = []
+    queue: deque[Job] = deque()
     remaining = {j.name: j.burst for j in jobs}
     started: dict[str, float] = {}
     outcomes: dict[str, JobOutcome] = {}
@@ -159,13 +176,17 @@ def round_robin(jobs: list[Job], *, quantum: float,
     admit(0.0)
     while queue or i < len(pending):
         if not queue:
+            # the CPU idles until the next arrival; the idle gap is not
+            # a context switch, so the next dispatch is charge-free
             time = pending[i].arrival
+            last_job = None
             admit(time)
             continue
-        job = queue.pop(0)
+        job = queue.popleft()
         if last_job is not None and last_job != job.name:
             switches += 1
             time += switch_cost
+            admit(time)   # arrivals during the switch window enqueue now
         last_job = job.name
         if job.name not in started:
             started[job.name] = time

@@ -85,7 +85,8 @@ class MMU:
     def __init__(self, physical: PhysicalMemory | None = None,
                  *, page_size: int = 4096, tlb_entries: int = 16,
                  tagged_tlb: bool = False, num_frames: int = 8,
-                 replacement: str = "lru") -> None:
+                 replacement: str = "lru", recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         if not is_power_of_two(page_size):
             raise VmError("page size must be a power of two")
         if replacement not in ("lru", "fifo"):
@@ -97,7 +98,9 @@ class MMU:
         if self.physical.frame_size != page_size:
             raise VmError("frame size must equal page size")
         self.swap = SwapSpace()
-        self.tlb = TLB(tlb_entries, tagged=tagged_tlb)
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
+        self.tlb = TLB(tlb_entries, tagged=tagged_tlb, recorder=recorder)
         self.page_tables: dict[int, PageTable] = {}
         self.current_pid: int | None = None
         self.stats = MmuStats()
@@ -131,6 +134,11 @@ class MMU:
         """Switch the running process; an untagged TLB must flush."""
         self._table(pid)
         if pid != self.current_pid:
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "context-switch", ts=self._clock, pid="vm",
+                    tid="mmu", cat="vm",
+                    args={"from": self.current_pid, "to": pid})
             self.current_pid = pid
             self.stats.context_switches += 1
             if not self.tlb.tagged:
@@ -175,12 +183,26 @@ class MMU:
                 page_fault = True
                 self.stats.page_faults += 1
                 frame, evicted, wrote_back = self._handle_fault(pid, vpn)
+                if self.recorder.enabled:
+                    self.recorder.instant(
+                        "page-fault", ts=self._clock, pid="vm",
+                        tid="mmu", cat="vm",
+                        args={"pid": pid, "vpn": vpn,
+                              "evicted": evicted,
+                              "wrote_back": wrote_back})
             self.tlb.insert(pid, vpn, frame)
 
         self.physical.touch(frame, self._clock)
         entry.referenced = True
         if write:
             entry.dirty = True
+        if self.recorder.enabled:
+            self.recorder.counter(
+                "vm", {"accesses": self.stats.accesses,
+                       "page_faults": self.stats.page_faults,
+                       "evictions": self.stats.evictions,
+                       "writebacks": self.stats.writebacks},
+                ts=self._clock, pid="vm", tid="mmu", cat="vm")
         return Translation(pid, vaddr, vpn, frame,
                            paddr=(frame << self._offset_bits) | offset,
                            tlb_hit=tlb_hit, page_fault=page_fault,

@@ -33,13 +33,23 @@ class TlbStats:
 class TLB:
     """Fully-associative, LRU-replaced translation cache."""
 
-    def __init__(self, capacity: int = 16, *, tagged: bool = False) -> None:
+    def __init__(self, capacity: int = 16, *, tagged: bool = False,
+                 recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         if capacity <= 0:
             raise VmError("TLB needs positive capacity")
         self.capacity = capacity
         self.tagged = tagged
         self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
         self.stats = TlbStats()
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
+
+    def _record_counters(self) -> None:
+        self.recorder.counter(
+            "tlb", {"hits": self.stats.hits, "misses": self.stats.misses,
+                    "flushes": self.stats.flushes},
+            pid="vm", tid="tlb", cat="vm")
 
     def _key(self, pid: int, vpn: int) -> tuple[int, int]:
         return (pid if self.tagged else 0, vpn)
@@ -49,9 +59,13 @@ class TLB:
         frame = self._entries.get(key)
         if frame is None:
             self.stats.misses += 1
+            if self.recorder.enabled:
+                self._record_counters()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self.recorder.enabled:
+            self._record_counters()
         return frame
 
     def insert(self, pid: int, vpn: int, frame: int) -> None:
@@ -80,6 +94,8 @@ class TLB:
             raise VmError(f"page {vpn} of pid {pid} is not in the TLB")
         self._entries.move_to_end(key)
         self.stats.hits += count
+        if self.recorder.enabled:
+            self._record_counters()
 
     def invalidate(self, pid: int, vpn: int) -> None:
         self._entries.pop(self._key(pid, vpn), None)
@@ -88,6 +104,10 @@ class TLB:
         """Full flush — what an untagged TLB does on context switch."""
         self._entries.clear()
         self.stats.flushes += 1
+        if self.recorder.enabled:
+            self.recorder.instant("tlb-flush", pid="vm", tid="tlb",
+                                  cat="vm")
+            self._record_counters()
 
     def __len__(self) -> int:
         return len(self._entries)

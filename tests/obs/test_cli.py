@@ -1,0 +1,55 @@
+"""Tests for ``python -m repro trace`` (the obs CLI)."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome import validate
+from repro.obs.cli import DEMOS, run
+
+
+class TestDemos:
+    @pytest.mark.parametrize("demo", sorted(DEMOS))
+    def test_each_demo_runs(self, demo, capsys):
+        assert run([demo]) == 0
+        out = capsys.readouterr().out
+        assert f"{demo}:" in out
+        assert "trace profile" in out
+
+    def test_all_runs_every_demo(self, capsys):
+        assert run(["all"]) == 0
+        out = capsys.readouterr().out
+        for demo in DEMOS:
+            assert f"{demo}:" in out
+
+    def test_chrome_export_validates(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert run(["all", "--chrome", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert validate(doc) > 0
+
+    def test_top_limits_tables(self, capsys):
+        assert run(["isa", "--top", "2"]) == 0
+
+
+class TestArgs:
+    def test_no_demo_prints_usage(self, capsys):
+        assert run([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_unknown_demo_rejected(self, capsys):
+        assert run(["nope"]) == 2
+        assert "unknown demo" in capsys.readouterr().out
+
+    def test_unknown_option_rejected(self, capsys):
+        assert run(["isa", "--frobnicate"]) == 2
+
+    def test_chrome_needs_path(self, capsys):
+        assert run(["isa", "--chrome"]) == 2
+
+    def test_top_needs_integer(self, capsys):
+        assert run(["isa", "--top", "lots"]) == 2
+
+    def test_help(self, capsys):
+        assert run(["--help"]) == 0
+        assert "usage:" in capsys.readouterr().out

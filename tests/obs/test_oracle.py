@@ -1,0 +1,142 @@
+"""Oracle tests: tracing must never change simulator behaviour.
+
+Every simulator runs the same deterministic workload three ways — no
+recorder, :class:`NullRecorder`, and a live :class:`TraceRecorder` —
+and the observable results (return values, stats, final state) must be
+bit-identical. This is the design rule the whole observability layer
+rests on: attach a recorder, get events, change nothing.
+"""
+
+from repro.clib.address_space import AddressSpace
+from repro.clib.memcheck import Memcheck
+from repro.core import Lock, Mutex, SimMachine, Unlock, Work
+from repro.isa import Machine, assemble
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.multilevel import CacheHierarchy
+from repro.obs import NullRecorder, TraceRecorder
+from repro.ossim.kernel import Kernel
+from repro.ossim.programs import Compute, Exit, Fork, Print, Wait
+from repro.vm.mmu import MMU
+from repro.vm.physical import PhysicalMemory
+
+RECORDERS = (lambda: None, NullRecorder, TraceRecorder)
+
+ISA_SOURCE = """
+main:
+  movl $0, %eax
+  movl $25, %ecx
+loop:
+  addl %ecx, %eax
+  subl $1, %ecx
+  cmpl $0, %ecx
+  jne loop
+  ret
+"""
+
+
+def run_isa(recorder):
+    m = Machine(assemble(ISA_SOURCE), recorder=recorder)
+    result = m.run()
+    return result, m.steps, m.regs.snapshot()
+
+
+def run_kernel(recorder):
+    kernel = Kernel(timeslice=2, recorder=recorder)
+    prog = [Print("A"),
+            Fork(child=[Compute(3), Print("c"), Exit(0)],
+                 parent=[Compute(1), Wait()]),
+            Print("B"), Exit(0)]
+    kernel.spawn("demo", prog)
+    kernel.run()
+    return kernel.output, kernel.stats
+
+
+def run_threads(recorder):
+    machine = SimMachine(num_cores=2, recorder=recorder)
+    mutex = Mutex("m")
+
+    def worker(rounds):
+        for _ in range(rounds):
+            yield Work(10)
+            yield Lock(mutex)
+            yield Work(3)
+            yield Unlock(mutex)
+
+    for i in range(3):
+        machine.spawn(worker, 2, name=f"w{i}")
+    makespan = machine.run()
+    return makespan, machine.timeline
+
+
+def run_cache(recorder):
+    cache = Cache(CacheConfig(num_lines=4, block_size=16,
+                              associativity=2), recorder=recorder)
+    results = [cache.access(addr % 256).hit
+               for addr in range(0, 1024, 16)]
+    return results, cache.stats
+
+
+def run_hierarchy(recorder):
+    h = CacheHierarchy(
+        [CacheConfig(num_lines=4, block_size=16),
+         CacheConfig(num_lines=16, block_size=16)], recorder=recorder)
+    trace = [i * 16 for i in range(12)] * 2
+    levels = [h.access(a).hit_level for a in trace]
+    return levels, [c.stats for c in h.levels], h.memory_accesses
+
+
+def run_vm(recorder):
+    mmu = MMU(PhysicalMemory(4, 256), page_size=256, tlb_entries=4,
+              recorder=recorder)
+    mmu.create_process(1, 8)
+    mmu.create_process(2, 8)
+    for pid in (1, 2, 1):
+        mmu.context_switch(pid)
+        for vpn in range(3):
+            mmu.access(vpn * 256 + 16)
+            mmu.access(vpn * 256 + 32)
+    return mmu.stats, mmu.tlb.stats
+
+
+def run_heap(recorder):
+    mc = Memcheck(AddressSpace.standard(heap_size=4096),
+                  recorder=recorder)
+    a = mc.malloc(64)
+    b = mc.malloc(32)
+    mc.space.write(a, bytes(range(64)))
+    mc.space.read(a, 16)
+    mc.space.read(b, 4)
+    mc.free(a)
+    mc.free(a)
+    return mc.all_findings(), mc.heap.leak_report()
+
+
+WORKLOADS = [run_isa, run_kernel, run_threads, run_cache,
+             run_hierarchy, run_vm, run_heap]
+
+
+class TestTracedEqualsUntraced:
+    def test_every_simulator_is_recorder_invariant(self):
+        for workload in WORKLOADS:
+            baseline, nulled, traced = (workload(make())
+                                        for make in RECORDERS)
+            assert baseline == nulled, workload.__name__
+            assert baseline == traced, workload.__name__
+
+    def test_traced_runs_actually_record(self):
+        for workload in WORKLOADS:
+            rec = TraceRecorder()
+            workload(rec)
+            assert len(rec) > 0, workload.__name__
+
+    def test_isa_records_one_span_per_step(self):
+        rec = TraceRecorder()
+        _, steps, _ = run_isa(rec)
+        spans = [e for e in rec.events() if e.ph == "X"]
+        assert len(spans) == steps
+
+    def test_null_recorder_stays_empty(self):
+        null = NullRecorder()
+        for workload in WORKLOADS:
+            workload(null)
+        assert null.events() == [] and null.dropped == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the trace recorder (ring buffer + logical clock)."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import NULL_RECORDER, NullRecorder, TraceRecorder, coalesce
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        rec = TraceRecorder()
+        rec.instant("a", ts=1)
+        rec.complete("b", ts=2, dur=3)
+        rec.counter("c", {"x": 1}, ts=4)
+        assert [e.name for e in rec.events()] == ["a", "b", "c"]
+        assert [e.ph for e in rec.events()] == ["i", "X", "C"]
+        assert len(rec) == 3
+
+    def test_auto_timestamps_use_logical_clock(self):
+        rec = TraceRecorder()
+        rec.instant("a")
+        rec.instant("b")
+        ts = [e.ts for e in rec.events()]
+        assert ts == sorted(ts) and ts[0] < ts[1]
+
+    def test_now_monotonic(self):
+        rec = TraceRecorder()
+        ticks = [rec.now() for _ in range(5)]
+        assert ticks == sorted(ticks) and len(set(ticks)) == 5
+
+    def test_ring_buffer_keeps_newest(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.instant(f"e{i}", ts=i)
+        assert len(rec) == 4
+        assert rec.dropped == 6
+        assert [e.name for e in rec.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_wraparound_order_is_oldest_first(self):
+        rec = TraceRecorder(capacity=3)
+        for i in range(5):
+            rec.instant(f"e{i}", ts=i)
+        ts = [e.ts for e in rec.events()]
+        assert ts == sorted(ts)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObsError):
+            TraceRecorder(capacity=0)
+
+    def test_negative_duration_rejected(self):
+        rec = TraceRecorder()
+        with pytest.raises(ObsError):
+            rec.complete("bad", ts=5, dur=-1)
+
+    def test_counter_values_are_copied(self):
+        rec = TraceRecorder()
+        values = {"hits": 1}
+        rec.counter("c", values)
+        values["hits"] = 99
+        assert rec.events()[0].args == {"hits": 1}
+
+    def test_clear_resets_buffer_and_dropped(self):
+        rec = TraceRecorder(capacity=2)
+        for i in range(5):
+            rec.instant(f"e{i}")
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.dropped == 0
+        assert rec.events() == []
+
+    def test_iteration_matches_events(self):
+        rec = TraceRecorder()
+        rec.instant("a")
+        rec.instant("b")
+        assert list(rec) == rec.events()
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        null = NullRecorder()
+        assert null.enabled is False
+        null.instant("a")
+        null.begin("b")
+        null.end("b")
+        null.complete("c", ts=0, dur=1)
+        null.counter("d", {"x": 1})
+        assert null.events() == []
+        assert len(null) == 0
+        assert list(null) == []
+        assert null.now() == 0
+
+    def test_coalesce(self):
+        assert coalesce(None) is NULL_RECORDER
+        rec = TraceRecorder()
+        assert coalesce(rec) is rec

@@ -1,0 +1,69 @@
+"""Text profile report tests."""
+
+from repro.obs import (
+    TraceRecorder,
+    final_counters,
+    hot_instructions,
+    instant_counts,
+    miss_attribution,
+    profile_report,
+    span_latency,
+)
+
+
+def traced_workload():
+    rec = TraceRecorder()
+    for i in range(5):
+        rec.complete("addl", ts=i, dur=1, pid="isa", tid="cpu",
+                     args={"eip": 0x100})
+    rec.complete("movl", ts=5, dur=1, pid="isa", tid="cpu",
+                 args={"eip": 0x104})
+    rec.instant("page-fault", ts=6, pid="vm", tid="mmu")
+    rec.instant("page-fault", ts=7, pid="vm", tid="mmu")
+    rec.counter("cache", {"hits": 6, "misses": 2}, ts=8,
+                pid="memory", tid="L1")
+    rec.counter("cache", {"hits": 9, "misses": 3}, ts=9,
+                pid="memory", tid="L1")
+    rec.counter("tlb", {"hits": 4, "misses": 1}, ts=9, pid="vm", tid="tlb")
+    return rec
+
+
+class TestSections:
+    def test_hot_instructions_ranked(self):
+        rows = hot_instructions(traced_workload())
+        assert rows[0] == (0x100, "addl", 5)
+        assert rows[1] == (0x104, "movl", 1)
+
+    def test_hot_instructions_top_n(self):
+        assert len(hot_instructions(traced_workload(), top=1)) == 1
+
+    def test_span_latency_totals(self):
+        rows = span_latency(traced_workload())
+        track, name, count, total, mean = rows[0]
+        assert (track, name, count, total, mean) == \
+            ("isa/cpu", "addl", 5, 5.0, 1.0)
+
+    def test_instant_counts(self):
+        assert instant_counts(traced_workload()) == \
+            [("vm/mmu", "page-fault", 2)]
+
+    def test_final_counters_take_last_sample(self):
+        finals = final_counters(traced_workload())
+        assert finals[("memory/L1", "cache")] == {"hits": 9, "misses": 3}
+
+    def test_miss_attribution_shares_sum_to_one(self):
+        rows = miss_attribution(traced_workload())
+        assert {r[0] for r in rows} == {"memory/L1:cache", "vm/tlb:tlb"}
+        assert sum(r[3] for r in rows) == 1.0
+
+
+class TestProfileReport:
+    def test_mentions_every_section(self):
+        text = profile_report(traced_workload())
+        for heading in ("trace profile", "hot instructions",
+                        "span latency", "miss attribution", "instants"):
+            assert heading in text
+
+    def test_empty_recorder_still_reports(self):
+        text = profile_report(TraceRecorder())
+        assert "0 events buffered" in text

@@ -117,3 +117,60 @@ class TestComparison:
                 assert o.turnaround >= o.job.burst
                 assert o.waiting >= 0
                 assert o.response >= 0
+
+
+class TestTimeAccountingFixes:
+    """Regressions for the scheduler time-accounting bugs (see E11)."""
+
+    def test_idle_gap_charges_no_switch_cost(self):
+        # the CPU idles 9 units between a and b: dispatching b after an
+        # idle gap is not a context switch, so b starts at its arrival
+        r = round_robin([Job("a", 0, 1), Job("b", 10, 1)],
+                        quantum=2, switch_cost=5)
+        by_name = {o.job.name: o for o in r.outcomes}
+        assert by_name["b"].start == 10.0
+        assert by_name["b"].finish == 11.0
+        assert r.context_switches == 0
+
+    def test_idle_gap_without_switch_cost_unchanged(self):
+        r = round_robin([Job("a", 0, 1), Job("b", 10, 1)], quantum=2)
+        assert r.total_time == 11.0
+
+    def test_arrival_during_switch_window_is_admitted(self):
+        # b arrives at t=2, inside the a→c switch window [1, 4): it must
+        # join the queue before c's slice, keeping FIFO arrival order
+        jobs = [Job("a", 0, 1), Job("c", 0.5, 1), Job("b", 2, 1)]
+        r = round_robin(jobs, quantum=4, switch_cost=3)
+        by_name = {o.job.name: o for o in r.outcomes}
+        assert by_name["b"].start < by_name["b"].finish
+        assert r.total_time == pytest.approx(
+            sum(j.burst for j in jobs) + 2 * 3)
+
+    def test_single_job_has_zero_transitions(self):
+        assert fcfs([Job("solo", 0, 4)]).context_switches == 0
+        assert sjf([Job("solo", 0, 4)]).context_switches == 0
+
+    def test_nonpreemptive_transitions_count_job_changes(self):
+        assert fcfs(CONVOY).context_switches == 2
+        assert sjf(CONVOY).context_switches == 2
+
+    def test_rr_degenerate_case_equals_fcfs(self):
+        # the acceptance property: with an infinite quantum and free
+        # switches, round-robin IS first-come first-served
+        import random
+        rng = random.Random(31)
+        for trial in range(50):
+            jobs = [Job(f"j{i}", rng.randrange(0, 20),
+                        rng.randrange(1, 10))
+                    for i in range(rng.randrange(1, 8))]
+            rr = round_robin(jobs, quantum=float("inf"), switch_cost=0)
+            f = fcfs(jobs)
+            rr_by_name = {o.job.name: (o.start, o.finish)
+                          for o in rr.outcomes}
+            f_by_name = {o.job.name: (o.start, o.finish)
+                         for o in f.outcomes}
+            assert rr_by_name == f_by_name, f"trial {trial}: {jobs}"
+            assert rr.total_time == f.total_time
+            # RR never charges a dispatch after an idle gap; FCFS's
+            # transition count still separates jobs across one
+            assert rr.context_switches <= f.context_switches
