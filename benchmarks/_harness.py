@@ -26,6 +26,10 @@ BENCH_MEMORY = Path(__file__).resolve().parent.parent / "BENCH_memory.json"
 #: overhead and the cost of recording, per simulator hot loop
 BENCH_TRACE = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
 
+#: full-system runs over the memory bus (E16): end-to-end CPI and the
+#: miss/fault breakdown per bus configuration
+BENCH_SYSTEM = Path(__file__).resolve().parent.parent / "BENCH_system.json"
+
 
 def emit(title: str, headers, rows, align_right=None) -> None:
     print(f"\n=== {title} ===")

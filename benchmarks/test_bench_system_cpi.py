@@ -1,0 +1,94 @@
+"""E16 — end-to-end CPI of one program across memory-bus configurations.
+
+The full-system bus (``repro.system``) runs the same compiled program
+over three hierarchies: flat (every access pays RAM latency), cached
+(the caching homework's L1/L2 in front), and virtual (per-pid page
+tables, TLB, then the caches — here timeshared as two kernel
+processes). The lecture story is quantitative: caches should collapse
+CPI, and translation should buy isolation for a visible but modest
+premium on a warm TLB.
+
+Assertions are stats-equality only (deterministic on any host): every
+bus computes the same answer, executes the same per-process instruction
+stream, and moves the same traffic; CPI values are *recorded* to
+``BENCH_system.json``, never asserted, so the trajectory across PRs is
+the regression signal. ``E16_PROCS`` scales the virtual-bus process
+count for smoke runs.
+"""
+
+import os
+import pathlib
+
+from benchmarks._harness import BENCH_SYSTEM, emit, emit_json
+from repro.system import load_program, run_system
+
+PROCS = int(os.environ.get("E16_PROCS", "2"))
+SUM_C = pathlib.Path(__file__, "../../examples/c/sum.c").resolve()
+
+
+def test_bench_system_cpi():
+    program = load_program(SUM_C)
+    flat = run_system(program, bus="flat")
+    cached = run_system(program, bus="cached")
+    virtual = run_system(program, bus="virtual", procs=PROCS,
+                         timeslice=1, batch=50)
+
+    # oracle: every hierarchy computes the same answer...
+    statuses = (set(flat.exit_statuses.values())
+                | set(cached.exit_statuses.values())
+                | set(virtual.exit_statuses.values()))
+    assert statuses == {285}
+    # ...from the same instruction stream (virtual runs PROCS copies)...
+    assert flat.instructions == cached.instructions
+    assert virtual.instructions == flat.instructions * PROCS
+    # ...moving the same traffic (flat vs cached: identical accesses)
+    for key in ("bus_loads", "bus_stores", "bus_fetches"):
+        assert flat.counters()[key] == cached.counters()[key]
+    # caches must actually help; translation must actually cost
+    assert cached.cpi < flat.cpi
+    assert virtual.tlb["flushes"] > 0
+
+    reports = [("flat", flat), ("cached", cached),
+               (f"virtual x{PROCS}", virtual)]
+    emit("E16: full-system CPI by bus configuration (sum.c)",
+         ["bus", "procs", "instructions", "cycles", "CPI",
+          "L1 hit", "TLB hit", "page faults"],
+         [(label,
+           len(r.exit_statuses),
+           f"{r.instructions:,}",
+           f"{r.cycles:,.0f}",
+           f"{r.cpi:.2f}",
+           f"{r.cache_levels[0]['hit_rate']:.1%}" if r.cache_levels else "-",
+           f"{r.tlb['hit_rate']:.1%}" if r.tlb else "-",
+           str(r.vm["page_faults"]) if r.vm else "-")
+          for label, r in reports],
+         align_right=[False, True, True, True, True, True, True, True])
+
+    emit_json(BENCH_SYSTEM, [
+        {"experiment": "E16", "bus": label.split()[0],
+         "procs": len(r.exit_statuses),
+         "instructions": r.instructions, "cycles": round(r.cycles, 1),
+         "cpi": round(r.cpi, 3),
+         "l1_hit_rate": (round(r.cache_levels[0]["hit_rate"], 4)
+                         if r.cache_levels else None),
+         "tlb_hit_rate": (round(r.tlb["hit_rate"], 4) if r.tlb else None),
+         "page_faults": r.vm["page_faults"] if r.vm else None,
+         "tlb_flushes": r.tlb["flushes"] if r.tlb else None}
+        for label, r in reports])
+
+
+def test_report_counters_internally_consistent():
+    """The report's cycle breakdown must sum to its cycle total
+    (deterministic, so asserted on every bus kind)."""
+    program = load_program(SUM_C)
+    for kind, kwargs in (("flat", {}), ("cached", {}),
+                         ("virtual", {"procs": 2, "timeslice": 1,
+                                      "batch": 50})):
+        report = run_system(program, bus=kind, **kwargs)
+        counters = report.counters()
+        breakdown = sum(v for k, v in counters.items()
+                        if k.startswith("bus_cycles_"))
+        assert breakdown == counters["bus_cycles"], kind
+        assert counters["bus_accesses"] == (counters["bus_loads"]
+                                            + counters["bus_stores"]
+                                            + counters["bus_fetches"])

@@ -8,11 +8,14 @@ Subcommands::
 
     python -m repro analyze FILE.c|FILE.s|FILE.py|DIR ...
     python -m repro trace DEMO [--chrome OUT.json] [--top N]
+    python -m repro run PROG.c [--bus flat|cached|virtual] [--procs N]
 
 ``analyze`` runs the static-analysis subsystem (see
 :mod:`repro.analysis`); ``trace`` runs a demo workload under the
 observability layer (see :mod:`repro.obs`) and prints a profile,
-optionally exporting a Chrome trace. Either replaces the tour.
+optionally exporting a Chrome trace; ``run`` compiles a program and
+executes it over a pluggable memory bus (see :mod:`repro.system`).
+Any subcommand replaces the tour.
 """
 
 from __future__ import annotations
@@ -36,6 +39,9 @@ def main(argv: list[str] | None = None) -> int:
         return run(argv[1:])
     if argv and argv[0] == "trace":
         from repro.obs.cli import run
+        return run(argv[1:])
+    if argv and argv[0] == "run":
+        from repro.system.cli import run
         return run(argv[1:])
     print("repro: CS 31 as an executable systems library")
     print("=" * 52)

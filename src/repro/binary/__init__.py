@@ -37,6 +37,7 @@ from repro.binary.ctypes_model import (
     usual_arithmetic_conversion,
 )
 from repro.binary.twos_complement import (
+    MASK32,
     decode,
     encode,
     fits_signed,
@@ -45,6 +46,7 @@ from repro.binary.twos_complement import (
     negate_worked,
     reinterpret_signed,
     reinterpret_unsigned,
+    sign32,
     sign_extend_value,
     signed_range,
     unsigned_range,
@@ -62,4 +64,5 @@ __all__ = [
     "encode", "decode", "negate", "negate_worked", "signed_range",
     "unsigned_range", "fits_signed", "fits_unsigned", "reinterpret_signed",
     "reinterpret_unsigned", "sign_extend_value", "floating",
+    "MASK32", "sign32",
 ]

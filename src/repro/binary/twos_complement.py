@@ -13,6 +13,22 @@ from repro.errors import RangeError
 from repro.binary.bits import BitVector
 
 
+#: the 32-bit all-ones mask — the machine word every simulator above the
+#: binary module (ISA, registers, address space) truncates to
+MASK32 = mask(32)
+
+
+def sign32(value: int) -> int:
+    """Reinterpret the low 32 bits of ``value`` as a signed int.
+
+    The one-line special case of :func:`reinterpret_signed` the ISA
+    machine applies on nearly every arithmetic instruction; defined here
+    once so the sign test (`& 0x8000_0000`) isn't duplicated per module.
+    """
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
 def signed_range(width: int) -> tuple[int, int]:
     """Inclusive (min, max) representable in ``width``-bit two's complement."""
     return -(1 << (width - 1)), (1 << (width - 1)) - 1

@@ -9,6 +9,7 @@ model for the stack-drawing homeworks.
 from repro.clib.address_space import (
     Access,
     AddressSpace,
+    ByteAddressable,
     DATA_BASE,
     HEAP_BASE,
     MemoryRegion,
@@ -29,7 +30,7 @@ from repro.clib.structs import (
 from repro.clib import cstring
 
 __all__ = [
-    "AddressSpace", "MemoryRegion", "Access",
+    "AddressSpace", "ByteAddressable", "MemoryRegion", "Access",
     "TEXT_BASE", "DATA_BASE", "HEAP_BASE", "STACK_TOP",
     "Heap", "Block", "ALIGNMENT",
     "Memcheck", "Finding",

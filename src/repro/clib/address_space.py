@@ -71,7 +71,61 @@ class MemoryRegion:
                 f"{self.end:#010x}, {perms})")
 
 
-class AddressSpace:
+class ByteAddressable:
+    """Typed access over a raw ``read``/``write`` byte seam.
+
+    Everything that looks like memory — :class:`AddressSpace` itself and
+    every :class:`repro.system.bus.MemoryBus` implementation — derives
+    the typed loads/stores (ints, C strings) from the raw byte methods
+    defined here exactly once. The ISA machine, the debugger, and the
+    pointer/heap/stack models only ever call this interface, which is
+    what lets a cache- or MMU-backed bus drop in for a flat space.
+    """
+
+    def read(self, address: int, size: int) -> bytes:
+        raise NotImplementedError
+
+    def write(self, address: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def fetch(self, address: int, size: int) -> bytes:
+        raise NotImplementedError
+
+    # -- typed access -------------------------------------------------------------
+
+    def load_uint(self, address: int, size: int) -> int:
+        return int.from_bytes(self.read(address, size), "little")
+
+    def store_uint(self, address: int, value: int, size: int) -> None:
+        self.write(address, (value & ((1 << (8 * size)) - 1))
+                   .to_bytes(size, "little"))
+
+    def load_int(self, address: int, size: int) -> int:
+        raw = self.load_uint(address, size)
+        sign = 1 << (8 * size - 1)
+        return raw - (1 << (8 * size)) if raw & sign else raw
+
+    def store_int(self, address: int, value: int, size: int) -> None:
+        self.store_uint(address, value, size)
+
+    def load_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read bytes up to (not including) the NUL terminator."""
+        out = bytearray()
+        addr = address
+        while len(out) < limit:
+            b = self.read(addr, 1)[0]
+            if b == 0:
+                return bytes(out)
+            out.append(b)
+            addr += 1
+        raise CMemoryError("unterminated C string (no NUL within limit)")
+
+    def store_cstring(self, address: int, text: bytes | str) -> None:
+        data = text.encode() if isinstance(text, str) else text
+        self.write(address, data + b"\x00")
+
+
+class AddressSpace(ByteAddressable):
     """A sparse 32-bit address space built from named regions.
 
     ``trace=True`` records every access (for cache/VM replay); watchers
@@ -124,8 +178,24 @@ class AddressSpace:
         raise SegmentationFault(address, "unmapped address")
 
     def add_watcher(self, watcher) -> None:
-        """Attach an object with on_read/on_write(address, size) hooks."""
+        """Attach an object with on_read/on_write(address, size) hooks.
+
+        Watchers see every access in attach order; attaching the same
+        watcher twice means it sees each access twice.
+        """
         self._watchers.append(watcher)
+
+    def remove_watcher(self, watcher) -> None:
+        """Detach a watcher (first occurrence); missing watchers are a no-op."""
+        try:
+            self._watchers.remove(watcher)
+        except ValueError:
+            pass
+
+    @property
+    def watchers(self) -> tuple:
+        """The attached watchers, in notification order (read-only view)."""
+        return tuple(self._watchers)
 
     # -- raw access ------------------------------------------------------------
 
@@ -162,39 +232,6 @@ class AddressSpace:
         self._record("fetch", address, size)
         off = address - region.start
         return bytes(region.data[off:off + size])
-
-    # -- typed access -------------------------------------------------------------
-
-    def load_uint(self, address: int, size: int) -> int:
-        return int.from_bytes(self.read(address, size), "little")
-
-    def store_uint(self, address: int, value: int, size: int) -> None:
-        self.write(address, (value & ((1 << (8 * size)) - 1))
-                   .to_bytes(size, "little"))
-
-    def load_int(self, address: int, size: int) -> int:
-        raw = self.load_uint(address, size)
-        sign = 1 << (8 * size - 1)
-        return raw - (1 << (8 * size)) if raw & sign else raw
-
-    def store_int(self, address: int, value: int, size: int) -> None:
-        self.store_uint(address, value, size)
-
-    def load_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
-        """Read bytes up to (not including) the NUL terminator."""
-        out = bytearray()
-        addr = address
-        while len(out) < limit:
-            b = self.read(addr, 1)[0]
-            if b == 0:
-                return bytes(out)
-            out.append(b)
-            addr += 1
-        raise CMemoryError("unterminated C string (no NUL within limit)")
-
-    def store_cstring(self, address: int, text: bytes | str) -> None:
-        data = text.encode() if isinstance(text, str) else text
-        self.write(address, data + b"\x00")
 
     # -- introspection ---------------------------------------------------------
 

@@ -150,3 +150,11 @@ class RaceError(ConcurrencyError):
 
 class ObsError(ReproError):
     """Tracing misuse or an invalid exported trace (unmatched spans...)."""
+
+
+# ---------------------------------------------------------------------------
+# Full-system bus
+# ---------------------------------------------------------------------------
+
+class BusError(ReproError):
+    """Memory-bus misconfiguration (unknown kind, missing pid/process...)."""

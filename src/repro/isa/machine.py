@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.binary.arith import add as _badd, mul as _bmul, sub as _bsub
 from repro.binary.bits import BitVector
+from repro.binary.twos_complement import MASK32, sign32
 from repro.clib.address_space import AddressSpace, STACK_TOP
 from repro.errors import IllegalInstruction, MachineFault
 from repro.isa.instructions import (
@@ -28,15 +29,8 @@ from repro.isa.instructions import (
 )
 from repro.isa.registers import GP32, RegisterSet
 
-_MASK32 = 0xFFFF_FFFF
-
 #: "return address" of the outermost frame; reaching it ends the program
 SENTINEL_RETURN = 0xFFFF_FFF0
-
-
-def _signed(value: int) -> int:
-    value &= _MASK32
-    return value - (1 << 32) if value & 0x8000_0000 else value
 
 
 #: flag predicates for the conditional jumps, shared by the step-by-step
@@ -64,12 +58,27 @@ def _fell_off(eip: int, steps: int) -> str:
 
 
 class Machine:
-    """Executes a :class:`Program` over an :class:`AddressSpace`."""
+    """Executes a :class:`Program` over an :class:`AddressSpace` or bus.
+
+    ``space`` may be anything byte-addressable — a plain address space
+    (the default, unchanged behaviour) or any
+    :class:`repro.system.bus.MemoryBus` view. Alternatively pass
+    ``bus=`` (with ``pid=`` for a per-process
+    :class:`~repro.system.bus.VirtualBus`) and the machine binds its
+    view itself; every load, store, and instruction fetch then travels
+    the bus seam and is accounted there.
+    """
 
     def __init__(self, program: Program, space: AddressSpace | None = None,
-                 *, record_fetches: bool = False, recorder=None) -> None:
+                 *, bus=None, pid: int | None = None,
+                 record_fetches: bool = False, recorder=None) -> None:
         from repro.obs.recorder import coalesce
+        if bus is not None:
+            if space is not None:
+                raise MachineFault("pass either space= or bus=, not both")
+            space = bus.view(pid)
         self.program = program
+        self.bus = bus
         self.space = space or AddressSpace.standard()
         self.regs = RegisterSet()
         self.record_fetches = record_fetches
@@ -93,12 +102,12 @@ class Machine:
             addr += self.regs.get(op.base)
         if op.index:
             addr += self.regs.get(op.index) * op.scale
-        return addr & _MASK32
+        return addr & MASK32
 
     def read_operand(self, op: Operand) -> int:
         """Evaluate a 32-bit source operand to its unsigned value."""
         if isinstance(op, Immediate):
-            return op.value & _MASK32
+            return op.value & MASK32
         if isinstance(op, Register):
             return self.regs.get(op.name)
         if isinstance(op, Memory):
@@ -152,7 +161,7 @@ class Machine:
 
     def push(self, value: int) -> None:
         """pushl: decrement %esp by 4 and store the value there."""
-        esp = (self.regs.get("esp") - 4) & _MASK32
+        esp = (self.regs.get("esp") - 4) & MASK32
         self.regs.set("esp", esp)
         self.space.store_uint(esp, value, 4)
 
@@ -160,7 +169,7 @@ class Machine:
         """popl: load from %esp and increment it by 4."""
         esp = self.regs.get("esp")
         value = self.space.load_uint(esp, 4)
-        self.regs.set("esp", (esp + 4) & _MASK32)
+        self.regs.set("esp", (esp + 4) & MASK32)
         return value
 
     # -- flags ---------------------------------------------------------------------
@@ -176,7 +185,7 @@ class Machine:
         f = self.regs.flags
         f.cf = False
         f.of = False
-        f.zf = (value & _MASK32) == 0
+        f.zf = (value & MASK32) == 0
         f.sf = bool(value & 0x8000_0000)
 
     def _condition(self, mnemonic: str) -> bool:
@@ -258,18 +267,18 @@ class Machine:
             if count:
                 if m in ("sall", "shll"):
                     cf = bool((raw >> (32 - count)) & 1)
-                    value = (raw << count) & _MASK32
+                    value = (raw << count) & MASK32
                 elif m == "shrl":
                     cf = bool((raw >> (count - 1)) & 1)
                     value = raw >> count
                 else:  # sarl
                     cf = bool((raw >> (count - 1)) & 1)
-                    value = (_signed(raw) >> count) & _MASK32
+                    value = (sign32(raw) >> count) & MASK32
                 self._set_flags_logic(value)
                 self.regs.flags.cf = cf
                 self.write_operand(ops[1], value)
         elif m == "notl":
-            self.write_operand(ops[0], ~self.read_operand(ops[0]) & _MASK32)
+            self.write_operand(ops[0], ~self.read_operand(ops[0]) & MASK32)
         elif m == "negl":
             raw = self.read_operand(ops[0])
             result = _bsub(BitVector(0, 32), BitVector(raw, 32))
@@ -285,7 +294,7 @@ class Machine:
             self.regs.flags.cf = saved_cf
             self.write_operand(ops[0], result.value.raw)
         elif m == "idivl":
-            divisor = _signed(self.read_operand(ops[0]))
+            divisor = sign32(self.read_operand(ops[0]))
             if divisor == 0:
                 raise MachineFault("divide error: division by zero")
             dividend = (self.regs.get("edx") << 32) | self.regs.get("eax")
@@ -297,11 +306,11 @@ class Machine:
             remainder = dividend - quotient * divisor
             if not -(1 << 31) <= quotient < (1 << 31):
                 raise MachineFault("divide error: quotient overflow")
-            self.regs.set("eax", quotient & _MASK32)
-            self.regs.set("edx", remainder & _MASK32)
+            self.regs.set("eax", quotient & MASK32)
+            self.regs.set("edx", remainder & MASK32)
         elif m == "cltd":
             self.regs.set("edx",
-                          _MASK32 if self.regs.get("eax") & 0x8000_0000 else 0)
+                          MASK32 if self.regs.get("eax") & 0x8000_0000 else 0)
         elif m == "pushl":
             self.push(self.read_operand(ops[0]))
         elif m == "popl":
@@ -333,7 +342,7 @@ class Machine:
             self.recorder.complete(m, ts=self.steps, dur=1, pid="isa",
                                    tid="cpu", cat="isa",
                                    args={"eip": eip})
-        self.regs.eip = next_eip & _MASK32
+        self.regs.eip = next_eip & MASK32
         self.steps += 1
         return ins
 
@@ -384,7 +393,7 @@ class Machine:
                 next_eip = handler(self, eip + INSTRUCTION_SIZE)
                 if next_eip == SENTINEL_RETURN:
                     self.halted = True
-                regs.eip = next_eip & _MASK32
+                regs.eip = next_eip & MASK32
                 steps += 1
         finally:
             self.steps = steps
@@ -432,7 +441,7 @@ class Machine:
                              tid="cpu", cat="isa", args={"eip": eip})
                 if next_eip == SENTINEL_RETURN:
                     self.halted = True
-                regs.eip = next_eip & _MASK32
+                regs.eip = next_eip & MASK32
                 steps += 1
         finally:
             self.steps = steps
@@ -449,7 +458,7 @@ class Machine:
             raise MachineFault(f"no function labelled {label!r}")
         saved_esp = self.regs.get("esp")
         for a in reversed(args):
-            self.push(a & _MASK32)
+            self.push(a & MASK32)
         self.push(SENTINEL_RETURN)
         self.regs.eip = self.program.labels[label]
         self.halted = False
@@ -472,20 +481,20 @@ def _compile_ea(op: Memory) -> Callable[[Machine], int]:
     disp, base, index, scale = op.displacement, op.base, op.index, op.scale
     if base and index:
         return lambda m: ((disp + m.regs.get(base)
-                           + m.regs.get(index) * scale) & _MASK32)
+                           + m.regs.get(index) * scale) & MASK32)
     if base:
         if disp:
-            return lambda m: (disp + m.regs.get(base)) & _MASK32
+            return lambda m: (disp + m.regs.get(base)) & MASK32
         return lambda m: m.regs.get(base)
     if index:
-        return lambda m: (disp + m.regs.get(index) * scale) & _MASK32
-    absolute = disp & _MASK32
+        return lambda m: (disp + m.regs.get(index) * scale) & MASK32
+    absolute = disp & MASK32
     return lambda m: absolute
 
 
 def _compile_read(op: Operand) -> Callable[[Machine], int]:
     if isinstance(op, Immediate):
-        value = op.value & _MASK32
+        value = op.value & MASK32
         return lambda m: value
     if isinstance(op, Register):
         name = op.name
@@ -512,7 +521,7 @@ def _compile_write(op: Operand) -> Callable[[Machine, int], None]:
         name = op.name
         if name in GP32:
             def wr32(m: Machine, v: int, _name: str = name) -> None:
-                m.regs._regs[_name] = v & _MASK32
+                m.regs._regs[_name] = v & MASK32
             return wr32
         return lambda m, v: m.regs.set(name, v)
     if isinstance(op, Memory):
@@ -638,9 +647,9 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
                 src = rd0(m)
                 dst = rd1(m)
                 wide = dst + src
-                value = wide & _MASK32
+                value = wide & MASK32
                 f = m.regs.flags
-                f.cf = wide > _MASK32
+                f.cf = wide > MASK32
                 f.of = bool(~(dst ^ src) & (dst ^ value) & 0x8000_0000)
                 f.zf = value == 0
                 f.sf = bool(value & 0x8000_0000)
@@ -651,7 +660,7 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
         def subl(m: Machine, nxt: int) -> int:
             src = rd0(m)
             dst = rd1(m)
-            value = (dst - src) & _MASK32
+            value = (dst - src) & MASK32
             f = m.regs.flags
             f.cf = dst < src
             f.of = bool((dst ^ src) & (dst ^ value) & 0x8000_0000)
@@ -667,10 +676,10 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
         wr = _compile_write(ops[1])
 
         def imull(m: Machine, nxt: int) -> int:
-            src = _signed(rd0(m))
-            dst = _signed(rd1(m))
+            src = sign32(rd0(m))
+            dst = sign32(rd1(m))
             exact = dst * src
-            value = exact & _MASK32
+            value = exact & MASK32
             lost = not -0x8000_0000 <= exact <= 0x7FFF_FFFF
             f = m.regs.flags
             f.cf = lost
@@ -712,17 +721,17 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
             if count:
                 if left:
                     cf = bool((raw >> (32 - count)) & 1)
-                    value = (raw << count) & _MASK32
+                    value = (raw << count) & MASK32
                 elif arithmetic:
                     cf = bool((raw >> (count - 1)) & 1)
-                    value = (_signed(raw) >> count) & _MASK32
+                    value = (sign32(raw) >> count) & MASK32
                 else:
                     cf = bool((raw >> (count - 1)) & 1)
                     value = raw >> count
                 f = m.regs.flags
                 f.cf = cf
                 f.of = False
-                f.zf = (value & _MASK32) == 0
+                f.zf = (value & MASK32) == 0
                 f.sf = bool(value & 0x8000_0000)
                 wr(m, value)
             return nxt
@@ -732,7 +741,7 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
         rd, wr = _compile_read(ops[0]), _compile_write(ops[0])
 
         def notl(m: Machine, nxt: int) -> int:
-            wr(m, ~rd(m) & _MASK32)
+            wr(m, ~rd(m) & MASK32)
             return nxt
         return notl
 
@@ -741,7 +750,7 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
 
         def negl(m: Machine, nxt: int) -> int:
             raw = rd(m)
-            value = (0 - raw) & _MASK32
+            value = (0 - raw) & MASK32
             f = m.regs.flags
             f.cf = raw != 0
             f.of = bool(raw & value & 0x8000_0000)
@@ -756,7 +765,7 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
         if m_ == "incl":
             def incl(m: Machine, nxt: int) -> int:
                 dst = rd(m)
-                value = (dst + 1) & _MASK32
+                value = (dst + 1) & MASK32
                 f = m.regs.flags       # inc/dec preserve CF on x86
                 f.of = bool(~(dst ^ 1) & (dst ^ value) & 0x8000_0000)
                 f.zf = value == 0
@@ -767,7 +776,7 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
 
         def decl(m: Machine, nxt: int) -> int:
             dst = rd(m)
-            value = (dst - 1) & _MASK32
+            value = (dst - 1) & MASK32
             f = m.regs.flags           # inc/dec preserve CF on x86
             f.of = bool((dst ^ 1) & (dst ^ value) & 0x8000_0000)
             f.zf = value == 0
@@ -780,7 +789,7 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
         rd = _compile_read(ops[0])
 
         def idivl(m: Machine, nxt: int) -> int:
-            divisor = _signed(rd(m))
+            divisor = sign32(rd(m))
             if divisor == 0:
                 raise MachineFault("divide error: division by zero")
             dividend = (m.regs.get("edx") << 32) | m.regs.get("eax")
@@ -792,15 +801,15 @@ def _compile_instruction(ins: Instruction) -> Callable[[Machine, int], int]:
             remainder = dividend - quotient * divisor
             if not -(1 << 31) <= quotient < (1 << 31):
                 raise MachineFault("divide error: quotient overflow")
-            m.regs.set("eax", quotient & _MASK32)
-            m.regs.set("edx", remainder & _MASK32)
+            m.regs.set("eax", quotient & MASK32)
+            m.regs.set("edx", remainder & MASK32)
             return nxt
         return idivl
 
     if m_ == "cltd":
         def cltd(m: Machine, nxt: int) -> int:
             m.regs.set("edx",
-                       _MASK32 if m.regs.get("eax") & 0x8000_0000 else 0)
+                       MASK32 if m.regs.get("eax") & 0x8000_0000 else 0)
             return nxt
         return cltd
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.binary.twos_complement import MASK32
 from repro.errors import IsaError
 
 GP32 = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
@@ -23,9 +24,6 @@ SUB8 = {"al": ("eax", 0), "ah": ("eax", 8),
         "cl": ("ecx", 0), "ch": ("ecx", 8),
         "dl": ("edx", 0), "dh": ("edx", 8),
         "bl": ("ebx", 0), "bh": ("ebx", 8)}
-
-_MASK32 = 0xFFFF_FFFF
-
 
 def register_width(name: str) -> int:
     """Width in bits of a register name (without the % sigil)."""
@@ -76,10 +74,10 @@ class RegisterSet:
     def set(self, name: str, value: int) -> None:
         """Write a register; sub-register writes merge into the parent."""
         if name in self._regs:
-            self._regs[name] = value & _MASK32
+            self._regs[name] = value & MASK32
             return
         if name == "eip":
-            self.eip = value & _MASK32
+            self.eip = value & MASK32
             return
         if name in SUB16:
             parent = SUB16[name]
@@ -89,7 +87,7 @@ class RegisterSet:
         if name in SUB8:
             parent, shift = SUB8[name]
             mask = 0xFF << shift
-            self._regs[parent] = ((self._regs[parent] & (~mask & _MASK32))
+            self._regs[parent] = ((self._regs[parent] & (~mask & MASK32))
                                   | ((value & 0xFF) << shift))
             return
         raise IsaError(f"unknown register %{name}")

@@ -21,6 +21,7 @@ from repro.ossim.programs import (
     ProgramImage,
     ProgramRegistry,
     Repeat,
+    RunBinary,
     Wait,
     WaitPid,
     standard_binaries,
@@ -40,7 +41,7 @@ from repro.ossim.boot import BOOT_SEQUENCE, BootResult, BootStage, boot
 __all__ = [
     "PCB", "ProcessState", "Signal",
     "Op", "Print", "Compute", "Fork", "Exit", "Wait", "WaitPid", "Exec",
-    "KillChild", "InstallHandler", "Pause", "Repeat",
+    "KillChild", "InstallHandler", "Pause", "Repeat", "RunBinary",
     "ProgramImage", "ProgramRegistry", "standard_binaries",
     "Kernel", "KernelStats", "INIT_PID",
     "enumerate_outputs", "output_always", "output_possible",

@@ -14,7 +14,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.errors import InvalidSyscall, NoSuchProcess, OsError_
+from repro.errors import (
+    CMemoryError,
+    InvalidSyscall,
+    IsaError,
+    NoSuchProcess,
+    OsError_,
+)
 from repro.ossim.pcb import PCB, ProcessState, Signal
 from repro.ossim.programs import (
     Compute,
@@ -28,6 +34,7 @@ from repro.ossim.programs import (
     Print,
     ProgramRegistry,
     Repeat,
+    RunBinary,
     Wait,
     WaitPid,
     standard_binaries,
@@ -63,6 +70,12 @@ class Kernel:
         self.table: dict[int, PCB] = {}
         self.ready: deque[int] = deque()
         self.output: list[tuple[int, str]] = []
+        #: compiled-program processes: pid → the ISA machine running it
+        #: (kept after exit so reports can read final registers/steps)
+        self.machines: dict[int, object] = {}
+        #: pid → the VirtualBus owing that pid an address space; popped
+        #: (and the bus told to destroy_process) when the process exits
+        self._binary_buses: dict[int, object] = {}
         self.stats = KernelStats()
         self._next_pid = INIT_PID
         self._last_ran: int | None = None
@@ -94,6 +107,31 @@ class Kernel:
         parent.children.append(pcb.pid)
         self.ready.append(pcb.pid)
         return pcb.pid
+
+    def exec_binary(self, name: str, program, *, bus,
+                    ppid: int = INIT_PID, batch: int = 100,
+                    recorder=None) -> int:
+        """Load a compiled ISA :class:`~repro.isa.instructions.Program`
+        as a process running over a :class:`~repro.system.bus.VirtualBus`.
+
+        The bus gives the pid its own page table and backing address
+        space; the machine binds that per-pid view, so every fetch,
+        load, and store the program performs is translated by the MMU
+        as this process (the first access after a context switch goes
+        through ``MMU.context_switch`` — an untagged TLB flushes).
+        Each scheduler unit executes ``batch`` instructions. On halt
+        the process exits with ``%eax``; the bus then releases its
+        frames via ``destroy_process``.
+        """
+        from repro.isa.machine import Machine
+        pid = self.spawn(name, [], ppid=ppid)
+        bus.create_process(pid)
+        machine = Machine(program, bus=bus, pid=pid,
+                          record_fetches=True, recorder=recorder)
+        self.process(pid).program = [RunBinary(machine, batch)]
+        self.machines[pid] = machine
+        self._binary_buses[pid] = bus
+        return pid
 
     def processes(self) -> list[PCB]:
         """All PCBs still occupying a process-table slot."""
@@ -238,7 +276,43 @@ class Kernel:
         if isinstance(op, Pause):
             pcb.state = ProcessState.BLOCKED
             return False
+        if isinstance(op, RunBinary):
+            return self._run_binary(pcb, op)
         raise InvalidSyscall(f"unknown op {op!r}")
+
+    # -- compiled programs (the full-system path) ----------------------------
+
+    def _run_binary(self, pcb: PCB, op: RunBinary) -> bool:
+        machine = op.machine
+        try:
+            for _ in range(op.batch):
+                if machine.halted:
+                    break
+                machine.step()
+        except (IsaError, CMemoryError) as exc:
+            # the program crashed (segfault, divide error, bad fetch):
+            # the kernel kills it, SIGSEGV-style
+            pcb.fault = str(exc)
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "crash", ts=self.stats.total_units, pid="ossim",
+                    tid=f"pid {pcb.pid}", cat="ossim",
+                    args={"what": str(exc)})
+            self._binary_teardown(pcb.pid)
+            self._do_exit(pcb, 128 + int(Signal.SIGKILL))
+            return False
+        if machine.halted:
+            self._binary_teardown(pcb.pid)
+            self._do_exit(pcb, machine.regs.get_signed("eax"))
+            return False
+        pcb.program.insert(0, op)      # still running: stay loaded
+        return True
+
+    def _binary_teardown(self, pid: int) -> None:
+        """Release the pid's bus-side state (frames, page table, bytes)."""
+        bus = self._binary_buses.pop(pid, None)
+        if bus is not None:
+            bus.destroy_process(pid)
 
     # -- fork / exit / wait ------------------------------------------------------------
 

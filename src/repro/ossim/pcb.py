@@ -58,6 +58,8 @@ class PCB:
     output: list[str] = field(default_factory=list)
     #: CPU units consumed (for scheduler accounting)
     cpu_time: int = 0
+    #: why the kernel killed this process (compiled programs only)
+    fault: str | None = None
 
     @property
     def alive(self) -> bool:

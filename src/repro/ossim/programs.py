@@ -114,6 +114,21 @@ class Pause(Op):
     """pause() — block until any signal is delivered."""
 
 
+@dataclass(frozen=True, eq=False)
+class RunBinary(Op):
+    """A compiled ISA program as this process's image (the full-system path).
+
+    Each scheduler unit executes up to ``batch`` machine instructions;
+    the kernel re-queues the op until the machine halts, at which point
+    the process exits with ``%eax`` as its status (a crash exits
+    128 + SIGSEGV-style). Built by :meth:`repro.ossim.kernel.Kernel.exec_binary`,
+    which also binds the machine to its
+    :class:`~repro.system.bus.VirtualBus` view.
+    """
+    machine: object       # repro.isa.Machine (kept untyped: no isa import)
+    batch: int = 100
+
+
 @dataclass(frozen=True)
 class Repeat(Op):
     """A counted loop: ``for (i = 0; i < n; i++) { body }``."""

@@ -1,0 +1,46 @@
+"""Full-system composition: one pluggable memory bus under the ISA machine.
+
+This package is where the course's strands meet: the same compiled
+program runs over a :class:`FlatBus` (plain memory, today's behaviour,
+bit-identical), a :class:`CachedBus` (the cache hierarchy in front of
+memory), or a :class:`VirtualBus` (per-process page tables, TLB and MMU
+translation, then caches) — and the kernel timeshares compiled binaries
+as real processes over the virtual bus. ``python -m repro run`` is the
+command-line face of :func:`run_system`.
+"""
+
+from repro.system.bus import (
+    BUS_KINDS,
+    BusStats,
+    CachedBus,
+    CostModel,
+    FlatBus,
+    MemoryBus,
+    ProcessView,
+    VirtualBus,
+    default_hierarchy,
+    make_bus,
+)
+from repro.system.runner import (
+    RunReport,
+    load_program,
+    program_from_source,
+    run_system,
+)
+
+__all__ = [
+    "BUS_KINDS",
+    "BusStats",
+    "CachedBus",
+    "CostModel",
+    "FlatBus",
+    "MemoryBus",
+    "ProcessView",
+    "RunReport",
+    "VirtualBus",
+    "default_hierarchy",
+    "load_program",
+    "make_bus",
+    "program_from_source",
+    "run_system",
+]

@@ -1,0 +1,483 @@
+"""The memory bus: one pluggable seam between the CPU and its memory.
+
+The course's whole point is the *vertical slice* — one program travels
+C → assembly → memory hierarchy → caches → OS/VM — but the simulators
+were silos: :class:`~repro.isa.machine.Machine` executed over a flat
+:class:`~repro.clib.address_space.AddressSpace` while the cache and VM
+simulators replayed detached traces. :class:`MemoryBus` is the seam
+that joins them: every load/store/fetch the machine performs goes
+through a bus, and the bus decides what sits behind it.
+
+Three composable implementations:
+
+* :class:`FlatBus` — today's behaviour, bit-identical: accesses go
+  straight to an :class:`AddressSpace`; each costs one RAM access.
+* :class:`CachedBus` — a :class:`~repro.memory.multilevel.CacheHierarchy`
+  sits in front of memory; latency follows from which level hits.
+* :class:`VirtualBus` — per-pid page tables: each access is translated
+  by the existing :class:`~repro.vm.mmu.MMU` (TLB probe, page walk,
+  fault service, frame allocation), the resulting *physical* address
+  probes the caches, and the bytes live in a per-process address space
+  (the paged regions' backing store). Context switches happen through
+  ``MMU.context_switch`` — an untagged TLB flushes — and process exit
+  releases frames via ``MMU.destroy_process``.
+
+Timing is accounted in :class:`BusStats.cycles` against one unified
+:class:`CostModel`, so a run on any bus yields a cycles/CPI breakdown
+the :mod:`repro.system.runner` report can compare across
+configurations. Recording (``recorder=``) follows the :mod:`repro.obs`
+rules: hooks guard on ``recorder.enabled`` and never change behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.clib.address_space import AddressSpace, ByteAddressable
+from repro.errors import BusError
+from repro.memory.cache import CacheConfig
+from repro.memory.multilevel import CacheHierarchy
+from repro.vm.mmu import MMU
+from repro.vm.physical import PhysicalMemory
+
+#: bus kinds the CLI and the runner accept
+BUS_KINDS = ("flat", "cached", "virtual")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unified latency parameters for the whole pipeline (in cycles).
+
+    One model covers what :class:`~repro.vm.mmu.CostModel` and the cache
+    configs' ``hit_time`` previously modelled separately, so a single
+    run can report CPI: each instruction costs ``instruction_time`` plus
+    whatever its memory traffic costs on the bus it runs over.
+    ``fault_service_time`` is deliberately smaller than the lecture
+    formula's 8 ms-as-cycles value so CPI stays readable in demos; pass
+    your own model to reproduce the EAT homework numbers exactly.
+    """
+    instruction_time: float = 1.0     # base cost of executing one instruction
+    memory_time: float = 100.0        # one RAM access (also a page-table walk)
+    tlb_time: float = 1.0             # TLB probe
+    fault_service_time: float = 8_000.0   # page-fault handler + disk
+
+
+@dataclass
+class BusStats:
+    """What travelled over the bus, and what it cost."""
+    loads: int = 0
+    stores: int = 0
+    fetches: int = 0
+    cycles: float = 0.0
+    #: cycles broken down by where they went
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores + self.fetches
+
+    def charge(self, where: str, cycles: float) -> None:
+        self.cycles += cycles
+        self.breakdown[where] = self.breakdown.get(where, 0.0) + cycles
+
+    def counters(self) -> dict[str, float]:
+        """A flat dict for reports and stats-equality assertions."""
+        out: dict[str, float] = {"loads": self.loads, "stores": self.stores,
+                                 "fetches": self.fetches,
+                                 "accesses": self.accesses,
+                                 "cycles": self.cycles}
+        for where, cycles in sorted(self.breakdown.items()):
+            out[f"cycles_{where}"] = cycles
+        return out
+
+
+@runtime_checkable
+class MemoryBus(Protocol):
+    """What the ISA machine (and the debugger) require of memory.
+
+    Structurally, a bus is a :class:`ByteAddressable` plus ``view`` and
+    accounting: ``read``/``write``/``fetch`` move bytes, ``view(pid)``
+    binds a process identity for per-pid buses, and :attr:`stats`
+    accumulates the traffic and its cycle cost. A plain
+    :class:`AddressSpace` satisfies the byte seam but not the
+    accounting — wrap it in a :class:`FlatBus` to get both.
+    """
+
+    kind: str
+    stats: BusStats
+
+    def read(self, address: int, size: int) -> bytes: ...
+
+    def write(self, address: int, data: bytes) -> None: ...
+
+    def fetch(self, address: int, size: int) -> bytes: ...
+
+    def view(self, pid: int | None = None) -> ByteAddressable: ...
+
+
+def default_hierarchy(*, recorder=None) -> CacheHierarchy:
+    """The two-level cache stack the cached/virtual buses use by default."""
+    return CacheHierarchy(
+        [CacheConfig(num_lines=64, block_size=16, associativity=2,
+                     hit_time=1),
+         CacheConfig(num_lines=256, block_size=16, associativity=4,
+                     hit_time=10)],
+        recorder=recorder)
+
+
+class FlatBus(ByteAddressable):
+    """Today's model, behind the seam: one address space, no translation.
+
+    Bit-identical to handing the :class:`AddressSpace` to the machine
+    directly — same region/permission faults, same access trace, same
+    watcher notifications — plus traffic and cycle accounting (each
+    access costs one ``memory_time``).
+    """
+
+    kind = "flat"
+
+    def __init__(self, space: AddressSpace | None = None, *,
+                 cost: CostModel | None = None) -> None:
+        self.space = space or AddressSpace.standard()
+        self.cost = cost or CostModel()
+        self.stats = BusStats()
+
+    def view(self, pid: int | None = None) -> "FlatBus":
+        """A flat bus has no per-process state; every view is the bus."""
+        return self
+
+    def read(self, address: int, size: int) -> bytes:
+        data = self.space.read(address, size)
+        self.stats.loads += 1
+        self.stats.charge("memory", self.cost.memory_time)
+        return data
+
+    def write(self, address: int, data: bytes) -> None:
+        self.space.write(address, data)
+        self.stats.stores += 1
+        self.stats.charge("memory", self.cost.memory_time)
+
+    def fetch(self, address: int, size: int) -> bytes:
+        data = self.space.fetch(address, size)
+        self.stats.fetches += 1
+        self.stats.charge("memory", self.cost.memory_time)
+        return data
+
+    def describe(self) -> str:
+        return "flat: address space -> RAM (no caches, no translation)"
+
+
+class CachedBus(ByteAddressable):
+    """A cache hierarchy in front of physical memory.
+
+    Bytes still live in (and faults still come from) the backing
+    address space; the hierarchy models *timing*: an access probes L1,
+    then L2..., and only a last-level miss pays ``memory_time``. The
+    cache simulators are the very ones the caching homeworks trace, so
+    their stats (per-level hit rates, AMAT) stay available on
+    :attr:`hierarchy`.
+    """
+
+    kind = "cached"
+
+    def __init__(self, space: AddressSpace | None = None, *,
+                 hierarchy: CacheHierarchy | None = None,
+                 cost: CostModel | None = None, recorder=None) -> None:
+        self.space = space or AddressSpace.standard()
+        self.cost = cost or CostModel()
+        self.hierarchy = hierarchy or default_hierarchy(recorder=recorder)
+        self.stats = BusStats()
+
+    def view(self, pid: int | None = None) -> "CachedBus":
+        """Caches are shared hardware; every view is the bus."""
+        return self
+
+    # one probe per CPU access, at the access's first byte — the same
+    # granularity the course's trace replays use
+    def _account(self, address: int, kind: str) -> None:
+        result = self.hierarchy.access(address, kind)
+        cycles = 0.0
+        for i, level in enumerate(self.hierarchy.levels):
+            cycles += level.config.hit_time
+            if result.hit_level == i:
+                break
+        else:
+            cycles += self.cost.memory_time
+        self.stats.charge("cache" if result.hit_level >= 0 else "memory",
+                          cycles)
+
+    def read(self, address: int, size: int) -> bytes:
+        data = self.space.read(address, size)
+        self.stats.loads += 1
+        self._account(address, "load")
+        return data
+
+    def write(self, address: int, data: bytes) -> None:
+        self.space.write(address, data)
+        self.stats.stores += 1
+        self._account(address, "store")
+
+    def fetch(self, address: int, size: int) -> bytes:
+        data = self.space.fetch(address, size)
+        self.stats.fetches += 1
+        self._account(address, "load")    # i-fetch probes like a load
+        return data
+
+    def describe(self) -> str:
+        levels = " -> ".join(
+            f"L{i + 1}({c.config.capacity_bytes}B/"
+            f"{c.config.associativity}-way)"
+            for i, c in enumerate(self.hierarchy.levels))
+        return f"cached: {levels} -> RAM"
+
+
+class _Segment:
+    """One mapped region's place in a process's linear page space."""
+
+    __slots__ = ("start", "end", "base_vpn")
+
+    def __init__(self, start: int, end: int, base_vpn: int) -> None:
+        self.start = start
+        self.end = end
+        self.base_vpn = base_vpn
+
+
+class _Process:
+    """Per-pid state: backing bytes plus the region→page mapping."""
+
+    __slots__ = ("space", "segments", "num_pages")
+
+    def __init__(self, space: AddressSpace, page_size: int) -> None:
+        self.space = space
+        self.segments: list[_Segment] = []
+        vpn = 0
+        for region in space.layout():
+            if region.start % page_size or region.size % page_size:
+                raise BusError(
+                    f"region {region.name!r} is not page-aligned "
+                    f"(page size {page_size})")
+            self.segments.append(_Segment(region.start, region.end, vpn))
+            vpn += region.size // page_size
+        self.num_pages = vpn
+
+    def segment_for(self, address: int) -> _Segment:
+        for seg in self.segments:
+            if seg.start <= address < seg.end:
+                return seg
+        # out-of-range addresses fault in the address space with the
+        # standard message; translation never sees them
+        raise BusError(f"address {address:#010x} is outside every segment")
+
+
+class ProcessView(ByteAddressable):
+    """A :class:`VirtualBus` with the pid baked in.
+
+    This is what the machine (and the debugger) hold: the same
+    byte-addressable interface an :class:`AddressSpace` offers, with
+    every access routed through the owning bus as this process.
+    """
+
+    def __init__(self, bus: "VirtualBus", pid: int) -> None:
+        self.bus = bus
+        self.pid = pid
+        #: the backing space — exposed so watchers/trace attach per-pid
+        self.space = bus.space_of(pid)
+
+    kind = "virtual-view"
+
+    @property
+    def stats(self) -> BusStats:
+        return self.bus.stats
+
+    def view(self, pid: int | None = None) -> "ProcessView":
+        return self if pid in (None, self.pid) else self.bus.view(pid)
+
+    def read(self, address: int, size: int) -> bytes:
+        return self.bus.read_for(self.pid, address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        self.bus.write_for(self.pid, address, data)
+
+    def fetch(self, address: int, size: int) -> bytes:
+        return self.bus.fetch_for(self.pid, address, size)
+
+
+class VirtualBus:
+    """Per-pid page tables → TLB/MMU → caches → physical frames.
+
+    Each process gets its own page table (one entry per page of its
+    mapped regions) and its own backing :class:`AddressSpace` — that
+    isolation is the point: two processes reading the *same virtual
+    address* see their own bytes, exactly the course's VM story. The
+    existing :class:`~repro.vm.mmu.MMU` does all translation work
+    (TLB probe, page walk, fault handling, LRU frame eviction, untagged
+    TLB flush on context switch); the *physical* address it returns is
+    what probes the shared cache hierarchy, so cache contention between
+    processes is visible after a switch.
+
+    Accesses that span a page boundary translate each touched page, as
+    hardware does. Permissions stay with the regions (the page-table
+    ``writable`` bit is left permissive), so a stray store faults with
+    the same :class:`~repro.errors.SegmentationFault` a flat run raises.
+    """
+
+    kind = "virtual"
+
+    def __init__(self, *, mmu: MMU | None = None,
+                 hierarchy: CacheHierarchy | None = None,
+                 cost: CostModel | None = None,
+                 page_size: int = 4096, num_frames: int = 64,
+                 tlb_entries: int = 16, trace: bool = False,
+                 recorder=None) -> None:
+        self.cost = cost or CostModel()
+        self.mmu = mmu or MMU(PhysicalMemory(num_frames, page_size),
+                              page_size=page_size, tlb_entries=tlb_entries,
+                              recorder=recorder)
+        self.page_size = self.mmu.page_size
+        self.hierarchy = hierarchy or default_hierarchy(recorder=recorder)
+        self.trace = trace
+        self.stats = BusStats()
+        self._procs: dict[int, _Process] = {}
+
+    # -- process lifecycle -------------------------------------------------
+
+    def create_process(self, pid: int,
+                       space: AddressSpace | None = None) -> ProcessView:
+        """Give ``pid`` a page table and a backing address space."""
+        if pid in self._procs:
+            raise BusError(f"pid {pid} already has an address space")
+        proc = _Process(space or AddressSpace.standard(trace=self.trace),
+                        self.page_size)
+        self.mmu.create_process(pid, proc.num_pages)
+        self._procs[pid] = proc
+        return ProcessView(self, pid)
+
+    def destroy_process(self, pid: int) -> None:
+        """Process exit: release frames, swap slots, table, and bytes."""
+        self._proc(pid)
+        self.mmu.destroy_process(pid)
+        del self._procs[pid]
+
+    def view(self, pid: int | None = None) -> ProcessView:
+        if pid is None:
+            raise BusError("a virtual bus needs a pid "
+                           "(use bus.view(pid) / Machine(..., pid=...))")
+        self._proc(pid)
+        return ProcessView(self, pid)
+
+    def space_of(self, pid: int) -> AddressSpace:
+        """The backing bytes of one process (its private regions)."""
+        return self._proc(pid).space
+
+    def pids(self) -> list[int]:
+        return sorted(self._procs)
+
+    def _proc(self, pid: int) -> _Process:
+        proc = self._procs.get(pid)
+        if proc is None:
+            raise BusError(f"no process {pid} on this bus "
+                           "(create_process first)")
+        return proc
+
+    # -- translation + accounting ------------------------------------------
+
+    def _account(self, pid: int, address: int, size: int, kind: str) -> None:
+        """Translate every page the access touches; charge its latency."""
+        proc = self._procs[pid]
+        write = kind == "store"
+        offset_bits = self.page_size.bit_length() - 1
+        offset_mask = self.page_size - 1
+        addr = address
+        end = address + size
+        while addr < end:
+            # linear address in the process's page space: pages are
+            # numbered contiguously segment by segment, so the page
+            # table covers only the mapped regions
+            seg = proc.segment_for(addr)
+            vpn = seg.base_vpn + ((addr - seg.start) >> offset_bits)
+            linear = (vpn << offset_bits) | (addr & offset_mask)
+            t = self.mmu.access(linear, write=write, pid=pid)
+            cycles = self.cost.tlb_time
+            where = "tlb"
+            if not t.tlb_hit:
+                cycles += self.cost.memory_time      # page-table walk
+                where = "walk"
+            self.stats.charge(where, cycles)
+            if t.page_fault:
+                self.stats.charge("fault", self.cost.fault_service_time)
+            self._probe_cache(t.paddr, kind)
+            addr = (addr | offset_mask) + 1          # next page (if any)
+
+    def _probe_cache(self, paddr: int, kind: str) -> None:
+        result = self.hierarchy.access(paddr, kind)
+        cycles = 0.0
+        for i, level in enumerate(self.hierarchy.levels):
+            cycles += level.config.hit_time
+            if result.hit_level == i:
+                break
+        else:
+            cycles += self.cost.memory_time
+        self.stats.charge("cache" if result.hit_level >= 0 else "memory",
+                          cycles)
+
+    # -- current-process access (the MemoryBus protocol face) ----------------
+    # The CPU is always running *some* process; un-pidded accesses route
+    # to whichever one last ran, exactly as the hardware bus would.
+
+    def _current(self) -> int:
+        pid = self.mmu.current_pid
+        if pid is None:
+            raise BusError("no process on this bus (create_process first)")
+        return pid
+
+    def read(self, address: int, size: int) -> bytes:
+        return self.read_for(self._current(), address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        self.write_for(self._current(), address, data)
+
+    def fetch(self, address: int, size: int) -> bytes:
+        return self.fetch_for(self._current(), address, size)
+
+    # -- per-pid byte access ------------------------------------------------
+
+    def read_for(self, pid: int, address: int, size: int) -> bytes:
+        data = self._proc(pid).space.read(address, size)
+        self.stats.loads += 1
+        self._account(pid, address, size, "load")
+        return data
+
+    def write_for(self, pid: int, address: int, data: bytes) -> None:
+        self._proc(pid).space.write(address, data)
+        self.stats.stores += 1
+        self._account(pid, address, len(data), "store")
+
+    def fetch_for(self, pid: int, address: int, size: int) -> bytes:
+        data = self._proc(pid).space.fetch(address, size)
+        self.stats.fetches += 1
+        self._account(pid, address, size, "load")
+        return data
+
+    def describe(self) -> str:
+        levels = " -> ".join(
+            f"L{i + 1}" for i in range(len(self.hierarchy.levels)))
+        return (f"virtual: page tables ({self.page_size}B pages) -> TLB"
+                f"({self.mmu.tlb.capacity}) -> {levels} -> "
+                f"{self.mmu.physical.num_frames} frames")
+
+
+def make_bus(kind: str, *, cost: CostModel | None = None,
+             trace: bool = False, recorder=None, **kwargs):
+    """Build a bus by name — the CLI's ``--bus {flat,cached,virtual}``."""
+    if kind == "flat":
+        return FlatBus(AddressSpace.standard(trace=trace),
+                       cost=cost, **kwargs)
+    if kind == "cached":
+        return CachedBus(AddressSpace.standard(trace=trace),
+                         cost=cost, recorder=recorder, **kwargs)
+    if kind == "virtual":
+        return VirtualBus(cost=cost, trace=trace, recorder=recorder,
+                          **kwargs)
+    raise BusError(f"unknown bus kind {kind!r} "
+                   f"(choose from {', '.join(BUS_KINDS)})")

@@ -1,0 +1,99 @@
+"""``python -m repro run`` — run a compiled program over a chosen bus.
+
+The whole-course demo in one command: compile a ``.c`` (or assemble a
+``.s``) file, execute it over the flat, cached, or virtual memory bus,
+and print the full-system report (CPI, cache/TLB/fault breakdown,
+per-process exit statuses)::
+
+    python -m repro run examples/c/sum.c
+    python -m repro run examples/c/sum.c --bus cached
+    python -m repro run examples/c/sum.c --bus virtual --procs 2 \\
+        --chrome run.json
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.system.bus import BUS_KINDS
+from repro.system.runner import load_program, run_system
+
+USAGE = """\
+usage: python -m repro run PROG.c|PROG.s [options]
+
+options:
+  --bus {flat,cached,virtual}   memory bus to run over (default: flat)
+  --procs N                     processes to timeshare (virtual bus only)
+  --timeslice N                 scheduler units per quantum (default: 2)
+  --batch N                     instructions per scheduler unit (default: 100)
+  --max-steps N                 per-run instruction cap (default: 1000000)
+  --entry NAME                  entry label (default: main)
+  --chrome OUT.json             also write a Chrome trace of the run
+
+Compiles PROG with the course's C-subset compiler, runs it through the
+selected memory hierarchy, and prints instructions, cycles, CPI, and
+the cache/TLB/page-fault breakdown from the same run."""
+
+_INT_OPTS = {"--procs": "procs", "--timeslice": "timeslice",
+             "--batch": "batch", "--max-steps": "max_steps"}
+
+
+def run(argv: list[str]) -> int:
+    prog_path = None
+    chrome_path = None
+    kwargs: dict = {"bus": "flat"}
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg in ("-h", "--help"):
+            print(USAGE)
+            return 0
+        if arg == "--bus":
+            if not args or args[0] not in BUS_KINDS:
+                print(f"error: --bus needs one of {', '.join(BUS_KINDS)}")
+                return 2
+            kwargs["bus"] = args.pop(0)
+        elif arg == "--entry":
+            if not args:
+                print("error: --entry needs a label name")
+                return 2
+            kwargs["entry"] = args.pop(0)
+        elif arg == "--chrome":
+            if not args:
+                print("error: --chrome needs a file path")
+                return 2
+            chrome_path = args.pop(0)
+        elif arg in _INT_OPTS:
+            if not args or not args[0].isdigit():
+                print(f"error: {arg} needs a positive integer")
+                return 2
+            kwargs[_INT_OPTS[arg]] = int(args.pop(0))
+        elif arg.startswith("-"):
+            print(f"error: unknown option {arg!r}\n{USAGE}")
+            return 2
+        elif prog_path is None:
+            prog_path = arg
+        else:
+            print(f"error: unexpected argument {arg!r}\n{USAGE}")
+            return 2
+    if prog_path is None:
+        print(USAGE)
+        return 2
+
+    recorder = None
+    if chrome_path is not None:
+        from repro.obs.recorder import TraceRecorder
+        recorder = TraceRecorder()
+    try:
+        program = load_program(prog_path,
+                               entry=kwargs.get("entry", "main"))
+        report = run_system(program, recorder=recorder, **kwargs)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    print(report.render())
+    if chrome_path is not None:
+        from repro.obs.chrome import write_chrome
+        count = write_chrome(recorder, chrome_path)
+        print(f"\nwrote {count} Chrome trace events to {chrome_path} "
+              "(load in https://ui.perfetto.dev)")
+    return 0

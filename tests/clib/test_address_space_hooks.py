@@ -1,0 +1,123 @@
+"""Direct tests for AddressSpace's observation hooks.
+
+The memory bus, memcheck, and the cache replay all hang off two seams:
+watchers (live on_read/on_write callbacks) and the access trace. These
+tests pin down attach/detach ordering and exactly what the trace
+captures, independent of any higher layer.
+"""
+
+import pytest
+
+from repro.clib.address_space import HEAP_BASE, TEXT_BASE, AddressSpace
+from repro.errors import SegmentationFault
+
+
+class Spy:
+    """A watcher that logs every notification with its own tag."""
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.events = []
+
+    def on_read(self, address, size):
+        self.events.append((self.tag, "read", address, size))
+
+    def on_write(self, address, size):
+        self.events.append((self.tag, "write", address, size))
+
+
+@pytest.fixture
+def space():
+    return AddressSpace.standard()
+
+
+class TestWatchers:
+    def test_watchers_see_reads_and_writes(self, space):
+        spy = Spy("a")
+        space.add_watcher(spy)
+        space.write(HEAP_BASE, b"hi")
+        space.read(HEAP_BASE, 2)
+        assert spy.events == [("a", "write", HEAP_BASE, 2),
+                              ("a", "read", HEAP_BASE, 2)]
+
+    def test_notification_follows_attach_order(self, space):
+        log = []
+        first, second = Spy("1"), Spy("2")
+        first.events = second.events = log       # shared log: order visible
+        space.add_watcher(first)
+        space.add_watcher(second)
+        space.read(HEAP_BASE, 1)
+        assert [tag for tag, *_ in log] == ["1", "2"]
+
+    def test_remove_watcher_stops_notifications(self, space):
+        spy = Spy("a")
+        space.add_watcher(spy)
+        space.read(HEAP_BASE, 1)
+        space.remove_watcher(spy)
+        space.read(HEAP_BASE, 1)
+        assert len(spy.events) == 1
+
+    def test_remove_missing_watcher_is_noop(self, space):
+        space.remove_watcher(Spy("ghost"))       # must not raise
+        assert space.watchers == ()
+
+    def test_remove_detaches_one_instance(self, space):
+        spy = Spy("a")
+        space.add_watcher(spy)
+        space.add_watcher(spy)                   # attached twice: sees double
+        space.read(HEAP_BASE, 1)
+        assert len(spy.events) == 2
+        space.remove_watcher(spy)
+        space.read(HEAP_BASE, 1)
+        assert len(spy.events) == 3              # still attached once
+        assert space.watchers == (spy,)
+
+    def test_watchers_property_is_a_snapshot(self, space):
+        spy = Spy("a")
+        space.add_watcher(spy)
+        view = space.watchers
+        assert view == (spy,)
+        space.remove_watcher(spy)
+        assert view == (spy,)                    # old snapshot unchanged
+        assert space.watchers == ()
+
+    def test_faulting_access_does_not_notify(self, space):
+        spy = Spy("a")
+        space.add_watcher(spy)
+        with pytest.raises(SegmentationFault):
+            space.write(TEXT_BASE, b"x")         # text is read-only
+        assert spy.events == []
+
+
+class TestTrace:
+    def test_trace_captures_load_store_fetch(self):
+        space = AddressSpace.standard(trace=True)
+        space.write(HEAP_BASE, b"abcd")
+        space.read(HEAP_BASE + 1, 2)
+        space.fetch(TEXT_BASE, 4)
+        assert [(a.kind, a.address, a.size) for a in space.trace] == [
+            ("store", HEAP_BASE, 4),
+            ("load", HEAP_BASE + 1, 2),
+            ("fetch", TEXT_BASE, 4),
+        ]
+
+    def test_trace_disabled_by_default(self, space):
+        space.write(HEAP_BASE, b"x")
+        space.read(HEAP_BASE, 1)
+        assert space.trace == []
+
+    def test_clear_trace(self):
+        space = AddressSpace.standard(trace=True)
+        space.read(HEAP_BASE, 1)
+        assert space.trace
+        space.clear_trace()
+        assert space.trace == []
+        space.read(HEAP_BASE, 1)
+        assert len(space.trace) == 1             # still recording after clear
+
+    def test_typed_access_traces_underlying_bytes(self):
+        space = AddressSpace.standard(trace=True)
+        space.store_uint(HEAP_BASE, 0xDEADBEEF, 4)
+        assert space.load_uint(HEAP_BASE, 4) == 0xDEADBEEF
+        assert [(a.kind, a.size) for a in space.trace] == [
+            ("store", 4), ("load", 4)]

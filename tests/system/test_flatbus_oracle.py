@@ -1,0 +1,101 @@
+"""Oracle: a Machine on a FlatBus is bit-identical to one on a plain space.
+
+The bus refactor's contract is "today's behaviour, behind the seam":
+for any program, registers, flags, memory trace, step count, and fault
+messages must match the pre-refactor Machine exactly — on both the
+step() interpreter and the predecoded run() fast path.
+"""
+
+import pytest
+
+from repro.clib.address_space import AddressSpace
+from repro.errors import SegmentationFault
+from repro.isa.assembler import assemble
+from repro.isa.ccompiler import compile_c
+from repro.isa.machine import Machine
+from repro.system.bus import FlatBus
+
+SUM_C = """
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 10; i = i + 1) {
+        total = total + i * i;
+    }
+    return total;
+}
+"""
+
+STORE_TO_TEXT = """
+main:
+  movl $0x08048000, %eax
+  movl $1, (%eax)
+  ret
+"""
+
+
+@pytest.fixture(scope="module")
+def sum_program():
+    return assemble(compile_c(SUM_C), entry="main")
+
+
+def machine_pair(program, **kwargs):
+    """One machine on a bare space, one behind a FlatBus, both tracing."""
+    plain = Machine(program, space=AddressSpace.standard(trace=True),
+                    **kwargs)
+    bus = FlatBus(AddressSpace.standard(trace=True))
+    routed = Machine(program, bus=bus, **kwargs)
+    return plain, routed, bus
+
+
+def assert_identical(plain, routed, trace_of):
+    assert plain.regs.snapshot() == routed.regs.snapshot()
+    assert str(plain.regs.flags) == str(routed.regs.flags)
+    assert plain.steps == routed.steps
+    assert plain.halted == routed.halted
+    assert plain.space.trace == trace_of.trace
+
+
+def test_run_fast_path_identical(sum_program):
+    plain, routed, bus = machine_pair(sum_program)
+    assert plain.run() == routed.run() == 385       # sum of squares 1..10
+    assert_identical(plain, routed, bus.space)
+
+
+def test_step_interpreter_identical(sum_program):
+    plain, routed, bus = machine_pair(sum_program)
+    while not plain.halted:
+        plain.step()
+    while not routed.halted:
+        routed.step()
+    assert_identical(plain, routed, bus.space)
+    assert plain.regs.get_signed("eax") == 385
+
+
+def test_record_fetches_identical(sum_program):
+    plain, routed, bus = machine_pair(sum_program, record_fetches=True)
+    assert plain.run() == routed.run()
+    assert_identical(plain, routed, bus.space)
+    kinds = {a.kind for a in bus.space.trace}
+    assert "fetch" in kinds                          # fetches really recorded
+
+
+def test_fault_messages_identical():
+    program = assemble(STORE_TO_TEXT, entry="main")
+    plain, routed, _ = machine_pair(program)
+    with pytest.raises(SegmentationFault) as plain_exc:
+        plain.run()
+    with pytest.raises(SegmentationFault) as routed_exc:
+        routed.run()
+    assert str(plain_exc.value) == str(routed_exc.value)
+    assert "not writable" in str(routed_exc.value)
+    assert plain.steps == routed.steps
+
+
+def test_bus_counts_traffic_on_top(sum_program):
+    _, routed, bus = machine_pair(sum_program, record_fetches=True)
+    routed.run()
+    trace = bus.space.trace
+    assert bus.stats.loads == sum(a.kind == "load" for a in trace)
+    assert bus.stats.stores == sum(a.kind == "store" for a in trace)
+    assert bus.stats.fetches == sum(a.kind == "fetch" for a in trace)
+    assert bus.stats.cycles == bus.stats.accesses * bus.cost.memory_time
