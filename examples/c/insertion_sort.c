@@ -1,0 +1,24 @@
+// Loop-heavy program: insertion sort over a descending array — the
+// worst case, so the inner while shifts every prefix and the run is
+// quadratic (~100k instructions from 96 elements). Exercises
+// data-dependent branches (the JIT's side exits) and short-circuit &&.
+int main() {
+    int a[96];
+    for (int i = 0; i < 96; i = i + 1) {
+        a[i] = 96 - i;
+    }
+    for (int i = 1; i < 96; i = i + 1) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) {
+            a[j + 1] = a[j];
+            j = j - 1;
+        }
+        a[j + 1] = key;
+    }
+    int check = 0;
+    for (int i = 0; i < 96; i = i + 1) {
+        check = check + a[i] * (i + 1);
+    }
+    return check % 256;
+}

@@ -1,0 +1,13 @@
+// Loop-heavy program: nested counted loops, register-friendly body.
+// Big enough (~190k instructions) that CPI and instructions/sec are
+// measured over real work, not prologue noise — the E17 JIT bench and
+// the cache/TLB demos all want a workload of this size.
+int main() {
+    int total = 0;
+    for (int i = 0; i < 120; i = i + 1) {
+        for (int j = 0; j < 120; j = j + 1) {
+            total = total + i * j;
+        }
+    }
+    return total % 251;
+}

@@ -1,0 +1,20 @@
+// Loop-heavy program: memset/memcpy-style stride loops over arrays.
+// Streams two 256-int arrays repeatedly, so unlike nested_sum the
+// instruction mix is store/load heavy — the interesting case for the
+// cached bus (spatial locality in 16-byte lines) and for the JIT's
+// block-batched bus accounting.
+int main() {
+    int src[256];
+    int dst[256];
+    for (int i = 0; i < 256; i = i + 1) {
+        src[i] = i * 3;
+    }
+    int sum = 0;
+    for (int pass = 0; pass < 16; pass = pass + 1) {
+        for (int i = 0; i < 256; i = i + 1) {
+            dst[i] = src[i];
+        }
+        sum = sum + dst[pass * 16];
+    }
+    return sum % 256;
+}

@@ -1,4 +1,5 @@
-"""Basic-block control-flow graphs over the C-subset AST.
+"""Basic-block control-flow graphs — over the C-subset AST *and* over
+assembled programs.
 
 :func:`build_cfg` lowers one :class:`~repro.isa.ccompiler.Function` into
 a :class:`CFG` of :class:`BasicBlock`\\ s.  Structured statements are
@@ -12,6 +13,13 @@ exactly what the unreachable-code check looks for.
 The graph also records *fall-through* edges into the synthetic exit
 block (control reaching the end of the function without ``return``),
 feeding the missing-return check.
+
+:func:`build_asm_cfg` is the same idea lifted one layer down, over an
+assembled :class:`~repro.isa.instructions.Program`: leaders are the
+entry, every label, every static branch/call target, and every
+instruction after a control transfer; each :class:`AsmBlock` is the
+straight-line run from a leader to its terminator. This is the block
+vocabulary the superblock JIT (:mod:`repro.isa.jit`) compiles from.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from repro.isa.ccompiler import (
     Var,
     While,
 )
+from repro.isa.instructions import CALLS, INSTRUCTION_SIZE, JUMPS, LabelRef
 
 
 @dataclass
@@ -256,3 +265,186 @@ def stmt_defs(stmt) -> set[str]:
     if isinstance(stmt, Assign):
         return {stmt.name}
     return set()
+
+
+# ---------------------------------------------------------------------------
+# CFGs over assembled programs (the JIT's block vocabulary)
+# ---------------------------------------------------------------------------
+
+#: terminator kinds an :class:`AsmBlock` can end with
+ASM_TERMINATORS = ("fall", "jmp", "jcc", "call", "ret", "halt", "indirect")
+
+
+@dataclass
+class AsmBlock:
+    """A straight-line instruction run in an assembled program.
+
+    ``terminator`` says how control leaves:
+
+    * ``"fall"`` — runs into the next address (block split by a leader,
+      or the last instruction of the text: falling off faults).
+    * ``"jmp"`` — unconditional jump to a static ``target``.
+    * ``"jcc"`` — conditional jump: ``target`` if taken, ``fall`` if not.
+    * ``"call"`` — transfers to ``target`` (``None`` when indirect) and
+      eventually returns to ``fall``.
+    * ``"ret"`` / ``"halt"`` — no static successor.
+    * ``"indirect"`` — a register-target ``jmp``; successor unknown.
+    """
+    start: int
+    instructions: list = field(default_factory=list)
+    terminator: str = "fall"
+    target: int | None = None      # static branch/call target address
+    fall: int | None = None        # fall-through address (next instruction)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """One past the last instruction's address slot."""
+        if not self.instructions:
+            return self.start
+        return self.instructions[-1].address + INSTRUCTION_SIZE
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class AsmCFG:
+    """Basic blocks of one assembled :class:`Program`, keyed by address."""
+    program: object
+    blocks: dict[int, AsmBlock]
+    #: instruction address -> leader address of its block
+    _containing: dict[int, int] = field(default_factory=dict)
+
+    def block_at(self, address: int) -> AsmBlock | None:
+        return self.blocks.get(address)
+
+    def block_containing(self, address: int) -> AsmBlock | None:
+        """The block whose instruction run covers ``address``, if any."""
+        block = self.blocks.get(self._containing.get(address, -1))
+        return block
+
+    def run_from(self, address: int
+                 ) -> tuple[list, str, int | None, int | None] | None:
+        """The straight-line rest of the block from ``address`` on.
+
+        Returns ``(instructions, terminator, target, fall)`` — the
+        suffix of the containing block starting at ``address`` — or
+        ``None`` when ``address`` is not an instruction. This is what
+        lets the JIT start a superblock at *any* hot address, not just
+        at leaders.
+        """
+        leader = self._containing.get(address)
+        if leader is None:
+            return None
+        block = self.blocks[leader]
+        if address == block.start:
+            instrs = block.instructions
+        else:
+            index = (address - block.start) // 4
+            instrs = block.instructions[index:]
+        return instrs, block.terminator, block.target, block.fall
+
+    def reachable_from(self, address: int) -> set[int]:
+        """Leader addresses reachable from ``address`` via static edges."""
+        start = self._containing.get(address)
+        if start is None:
+            return set()
+        seen = {start}
+        work = [start]
+        while work:
+            for succ in self.blocks[work.pop()].succs:
+                if succ in self.blocks and succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+
+def _static_target(ins) -> int | None:
+    """The resolved address of a jump/call operand, if static."""
+    if ins.operands and isinstance(ins.operands[0], LabelRef):
+        return ins.operands[0].address
+    return None
+
+
+def build_asm_cfg(program) -> AsmCFG:
+    """Build the basic-block CFG of an assembled :class:`Program`.
+
+    Works on addresses, not label names, so it covers compiler output
+    and hand-written assembly alike. Blocks end at every control
+    transfer (``jmp``/conditional jumps/``call``/``ret``/``halt``) and
+    before every leader; edges follow the static successors only
+    (indirect jumps contribute none).
+    """
+    by_address = program.by_address
+    addresses = sorted(by_address)
+    if not addresses:
+        return AsmCFG(program, {})
+
+    enders = JUMPS | CALLS | {"ret", "halt"}
+    leaders: set[int] = {addresses[0]}
+    leaders.update(a for a in program.labels.values() if a in by_address)
+    for addr in addresses:
+        ins = by_address[addr]
+        if ins.mnemonic in enders:
+            target = _static_target(ins)
+            if target is not None and target in by_address:
+                leaders.add(target)
+            nxt = addr + INSTRUCTION_SIZE
+            if nxt in by_address:
+                leaders.add(nxt)
+
+    blocks: dict[int, AsmBlock] = {}
+    containing: dict[int, int] = {}
+    current: AsmBlock | None = None
+    for addr in addresses:
+        if current is None or addr in leaders or \
+                addr != current.end:
+            current = AsmBlock(addr)
+            blocks[addr] = current
+        ins = by_address[addr]
+        current.instructions.append(ins)
+        containing[addr] = current.start
+        m = ins.mnemonic
+        if m in enders:
+            nxt = addr + INSTRUCTION_SIZE
+            target = _static_target(ins)
+            if m == "jmp":
+                current.terminator = "jmp" if target is not None \
+                    else "indirect"
+                current.target = target
+            elif m in JUMPS:               # conditional
+                current.terminator = "jcc"
+                current.target = target
+                current.fall = nxt
+            elif m in CALLS:
+                current.terminator = "call"
+                current.target = target
+                current.fall = nxt
+            elif m == "ret":
+                current.terminator = "ret"
+            else:
+                current.terminator = "halt"
+                current.fall = nxt
+            current = None
+
+    # close fall-through blocks split by a leader (or by end of text)
+    for block in blocks.values():
+        if block.terminator == "fall":
+            block.fall = block.end
+
+    # static edges (call edges go to the *return site*: intra-procedural)
+    for block in blocks.values():
+        succs = []
+        if block.terminator in ("jmp", "jcc") and block.target is not None:
+            succs.append(block.target)
+        if block.terminator in ("fall", "jcc", "call") \
+                and block.fall is not None:
+            succs.append(block.fall)
+        block.succs = [s for s in succs if s in blocks]
+    for block in blocks.values():
+        for succ in block.succs:
+            blocks[succ].preds.append(block.start)
+
+    return AsmCFG(program, blocks, containing)

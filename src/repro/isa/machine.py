@@ -71,7 +71,8 @@ class Machine:
 
     def __init__(self, program: Program, space: AddressSpace | None = None,
                  *, bus=None, pid: int | None = None,
-                 record_fetches: bool = False, recorder=None) -> None:
+                 record_fetches: bool = False, recorder=None,
+                 jit: bool = False, jit_threshold: int = 8) -> None:
         from repro.obs.recorder import coalesce
         if bus is not None:
             if space is not None:
@@ -82,6 +83,9 @@ class Machine:
         self.space = space or AddressSpace.standard()
         self.regs = RegisterSet()
         self.record_fetches = record_fetches
+        self.jit = jit
+        self.jit_threshold = jit_threshold
+        self._jit_engine = None       # built lazily; False = unsupported
         #: shared trace recorder (see repro.obs); NULL_RECORDER when off
         self.recorder = coalesce(recorder)
         self.regs.set("esp", STACK_TOP - 16)
@@ -362,7 +366,29 @@ class Machine:
             self.program.predecoded = handlers
         return handlers
 
-    def run(self, max_steps: int = 1_000_000) -> int:
+    def _jit(self):
+        """This machine's JIT engine, or None when JIT can't apply here
+        (unsupported space type, or an enabled recorder — the traced
+        loop needs per-instruction spans)."""
+        if self.recorder.enabled:
+            return None
+        if self._jit_engine is None:
+            from repro.isa import jit as _jitmod
+            if _jitmod.supports(self.space):
+                self._jit_engine = _jitmod.JitEngine(
+                    self, threshold=self.jit_threshold)
+            else:
+                self._jit_engine = False
+        return self._jit_engine or None
+
+    @property
+    def jit_stats(self):
+        """JitStats once the JIT has been engaged, else None."""
+        engine = self._jit_engine
+        return engine.stats if engine else None
+
+    def run(self, max_steps: int = 1_000_000, *,
+            jit: bool | None = None) -> int:
         """Run to completion; returns %eax as a signed int (C return value).
 
         Dispatches through the predecoded handler table rather than
@@ -371,7 +397,17 @@ class Machine:
         :meth:`step` remains the step-by-step oracle — the differential
         tests pin both paths to identical final state, faults, and
         fetch traces.
+
+        With ``jit=True`` (or a machine built with ``jit=True``) hot
+        code additionally compiles to superblocks (see
+        :mod:`repro.isa.jit`) — same observable behaviour, pinned by
+        the same oracle tests.
         """
+        use_jit = self.jit if jit is None else jit
+        if use_jit:
+            engine = self._jit()
+            if engine is not None:
+                return engine.run(max_steps)
         handlers = self._predecode()
         if self.recorder.enabled:
             return self._run_traced(handlers, max_steps)
@@ -446,6 +482,25 @@ class Machine:
         finally:
             self.steps = steps
         return regs.get_signed("eax")
+
+    def run_slice(self, limit: int, *, jit: bool | None = None) -> int:
+        """Execute up to ``limit`` instructions; returns how many ran.
+
+        The kernel's timeslice primitive: stops early on halt, raises
+        on faults like :meth:`step`, and never raises for hitting the
+        limit. With JIT enabled, whole superblocks execute per
+        dispatch, so a slice costs far fewer Python-level iterations.
+        """
+        before = self.steps
+        use_jit = self.jit if jit is None else jit
+        if use_jit:
+            engine = self._jit()
+            if engine is not None:
+                engine.run(before + limit, raise_on_limit=False)
+                return self.steps - before
+        while not self.halted and self.steps - before < limit:
+            self.step()
+        return self.steps - before
 
     def call(self, label: str, *args: int,
              max_steps: int = 1_000_000) -> int:

@@ -110,7 +110,7 @@ class Kernel:
 
     def exec_binary(self, name: str, program, *, bus,
                     ppid: int = INIT_PID, batch: int = 100,
-                    recorder=None) -> int:
+                    recorder=None, jit: bool = False) -> int:
         """Load a compiled ISA :class:`~repro.isa.instructions.Program`
         as a process running over a :class:`~repro.system.bus.VirtualBus`.
 
@@ -127,8 +127,8 @@ class Kernel:
         pid = self.spawn(name, [], ppid=ppid)
         bus.create_process(pid)
         machine = Machine(program, bus=bus, pid=pid,
-                          record_fetches=True, recorder=recorder)
-        self.process(pid).program = [RunBinary(machine, batch)]
+                          record_fetches=True, recorder=recorder, jit=jit)
+        self.process(pid).program = [RunBinary(machine, batch, jit)]
         self.machines[pid] = machine
         self._binary_buses[pid] = bus
         return pid
@@ -285,10 +285,13 @@ class Kernel:
     def _run_binary(self, pcb: PCB, op: RunBinary) -> bool:
         machine = op.machine
         try:
-            for _ in range(op.batch):
-                if machine.halted:
-                    break
-                machine.step()
+            if op.jit:
+                machine.run_slice(op.batch)
+            else:
+                for _ in range(op.batch):
+                    if machine.halted:
+                        break
+                    machine.step()
         except (IsaError, CMemoryError) as exc:
             # the program crashed (segfault, divide error, bad fetch):
             # the kernel kills it, SIGSEGV-style

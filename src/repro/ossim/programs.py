@@ -127,6 +127,7 @@ class RunBinary(Op):
     """
     machine: object       # repro.isa.Machine (kept untyped: no isa import)
     batch: int = 100
+    jit: bool = False     # execute slices through the superblock JIT
 
 
 @dataclass(frozen=True)

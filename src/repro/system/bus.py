@@ -31,7 +31,9 @@ rules: hooks guard on ``recorder.enabled`` and never change behaviour.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Protocol, runtime_checkable
 
 from repro.clib.address_space import AddressSpace, ByteAddressable
@@ -116,6 +118,37 @@ class MemoryBus(Protocol):
     def view(self, pid: int | None = None) -> ByteAddressable: ...
 
 
+def _charge_hit_levels(stats: BusStats, hierarchy: CacheHierarchy,
+                       cost: CostModel, hit_level) -> None:
+    """Charge a batch of cache probes from their per-access hit levels.
+
+    The batch analogue of ``_account``'s per-probe charging: a hit at
+    level *i* costs the cumulative hit times through *i* (bucket
+    ``cache``); a full miss costs every level plus ``memory_time``
+    (bucket ``memory``). With the default integer-valued cost models,
+    ``count * cycles`` equals the scalar path's repeated additions
+    exactly, so stats-equality asserts hold bit-for-bit.
+    """
+    import numpy as np
+    levels = hierarchy.levels
+    counts = np.bincount(np.asarray(hit_level, dtype=np.int64) + 1,
+                         minlength=len(levels) + 1)
+    cum = 0.0
+    cache_cycles = 0.0
+    hits = 0
+    for i, level in enumerate(levels):
+        cum += level.config.hit_time
+        c = int(counts[i + 1])
+        if c:
+            cache_cycles += c * cum
+            hits += c
+    misses = int(counts[0])
+    if hits:
+        stats.charge("cache", cache_cycles)
+    if misses:
+        stats.charge("memory", misses * (cum + cost.memory_time))
+
+
 def default_hierarchy(*, recorder=None) -> CacheHierarchy:
     """The two-level cache stack the cached/virtual buses use by default."""
     return CacheHierarchy(
@@ -163,6 +196,22 @@ class FlatBus(ByteAddressable):
         self.stats.fetches += 1
         self.stats.charge("memory", self.cost.memory_time)
         return data
+
+    def replay_block(self, accesses) -> None:
+        """Account a block of deferred ``(kind, address, size)`` accesses.
+
+        The JIT moves a compiled block's bytes through the backing
+        space directly and hands the accounting here in one call; on a
+        flat bus only the counts matter (every access costs one
+        ``memory_time``), so the whole block charges at once.
+        """
+        if not accesses:
+            return
+        kinds = Counter(map(itemgetter(0), accesses))
+        self.stats.loads += kinds["load"]
+        self.stats.stores += kinds["store"]
+        self.stats.fetches += kinds["fetch"]
+        self.stats.charge("memory", len(accesses) * self.cost.memory_time)
 
     def describe(self) -> str:
         return "flat: address space -> RAM (no caches, no translation)"
@@ -223,6 +272,33 @@ class CachedBus(ByteAddressable):
         self.stats.fetches += 1
         self._account(address, "load")    # i-fetch probes like a load
         return data
+
+    def replay_block(self, accesses) -> None:
+        """Account a block of deferred ``(kind, address, size)`` accesses.
+
+        One :meth:`CacheHierarchy.simulate_trace` call replaces the
+        per-access scalar probes; the hierarchy sees the identical
+        probe sequence (fetches probe like loads, as in :meth:`fetch`),
+        so level stats, final set state, and cycle charges match the
+        scalar path exactly.
+        """
+        if not accesses:
+            return
+        loads = stores = fetches = 0
+        probes = []
+        for kind, address, _ in accesses:
+            if kind == "load":
+                loads += 1
+            elif kind == "store":
+                stores += 1
+            else:
+                fetches += 1
+            probes.append((address, "store" if kind == "store" else "load"))
+        self.stats.loads += loads
+        self.stats.stores += stores
+        self.stats.fetches += fetches
+        _charge_hit_levels(self.stats, self.hierarchy, self.cost,
+                           self.hierarchy.simulate_trace(probes))
 
     def describe(self) -> str:
         levels = " -> ".join(
@@ -301,6 +377,9 @@ class ProcessView(ByteAddressable):
 
     def fetch(self, address: int, size: int) -> bytes:
         return self.bus.fetch_for(self.pid, address, size)
+
+    def replay_block(self, accesses) -> None:
+        self.bus.replay_block_for(self.pid, accesses)
 
 
 class VirtualBus:
@@ -458,6 +537,63 @@ class VirtualBus:
         self.stats.fetches += 1
         self._account(pid, address, size, "load")
         return data
+
+    def replay_block_for(self, pid: int, accesses) -> None:
+        """Account a block of deferred ``(kind, address, size)`` accesses.
+
+        The batch analogue of :meth:`_account` over a whole block: one
+        :meth:`MMU.translate_many` call covers every touched page (same
+        TLB/page-table/frame transitions as the scalar walk, pinned by
+        the MMU's own tests), and the resulting physical addresses
+        probe the caches through one ``simulate_trace`` call. MMU and
+        cache state are independent, and each sees its exact scalar
+        sequence, so end state and charges are identical even though
+        translation and probing are no longer interleaved.
+        """
+        if not accesses:
+            return
+        proc = self._proc(pid)
+        offset_bits = self.page_size.bit_length() - 1
+        offset_mask = self.page_size - 1
+        linears: list[int] = []
+        writes: list[bool] = []
+        probe_kinds: list[str] = []
+        loads = stores = fetches = 0
+        for kind, address, size in accesses:
+            write = kind == "store"
+            probe = "store" if write else "load"
+            if kind == "load":
+                loads += 1
+            elif kind == "store":
+                stores += 1
+            else:
+                fetches += 1
+            addr = address
+            end = address + size
+            while addr < end:
+                seg = proc.segment_for(addr)
+                vpn = seg.base_vpn + ((addr - seg.start) >> offset_bits)
+                linears.append((vpn << offset_bits) | (addr & offset_mask))
+                writes.append(write)
+                probe_kinds.append(probe)
+                addr = (addr | offset_mask) + 1
+        self.stats.loads += loads
+        self.stats.stores += stores
+        self.stats.fetches += fetches
+        t = self.mmu.translate_many(linears, writes=writes, pid=pid)
+        hits = t.tlb_hits
+        misses = t.accesses - hits
+        if hits:
+            self.stats.charge("tlb", hits * self.cost.tlb_time)
+        if misses:
+            self.stats.charge(
+                "walk", misses * (self.cost.tlb_time + self.cost.memory_time))
+        if t.page_faults:
+            self.stats.charge(
+                "fault", t.page_faults * self.cost.fault_service_time)
+        probes = list(zip(t.paddrs.tolist(), probe_kinds))
+        _charge_hit_levels(self.stats, self.hierarchy, self.cost,
+                           self.hierarchy.simulate_trace(probes))
 
     def describe(self) -> str:
         levels = " -> ".join(

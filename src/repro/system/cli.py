@@ -27,6 +27,9 @@ options:
   --batch N                     instructions per scheduler unit (default: 100)
   --max-steps N                 per-run instruction cap (default: 1000000)
   --entry NAME                  entry label (default: main)
+  --jit / --no-jit              superblock-JIT hot code (default: on;
+                                every reported number is identical
+                                either way, only wall-clock changes)
   --chrome OUT.json             also write a Chrome trace of the run
 
 Compiles PROG with the course's C-subset compiler, runs it through the
@@ -57,6 +60,10 @@ def run(argv: list[str]) -> int:
                 print("error: --entry needs a label name")
                 return 2
             kwargs["entry"] = args.pop(0)
+        elif arg == "--jit":
+            kwargs["jit"] = True
+        elif arg == "--no-jit":
+            kwargs["jit"] = False
         elif arg == "--chrome":
             if not args:
                 print("error: --chrome needs a file path")

@@ -63,6 +63,11 @@ class RunReport:
     vm: dict | None = None
     kernel: dict | None = None
     faults: dict[int, str] = field(default_factory=dict)  # pid → crash msg
+    #: superblock-JIT stats (blocks compiled, side exits, coverage);
+    #: None when the run interpreted everything. Deliberately NOT part
+    #: of counters() — JIT on/off must not change the stats-equality
+    #: currency the benches compare.
+    jit: dict | None = None
 
     @property
     def cpi(self) -> float:
@@ -108,6 +113,14 @@ class RunReport:
             lines.append(
                 f"kernel: {self.kernel['context_switches']} context "
                 f"switches over {self.kernel['total_units']} units")
+        if self.jit:
+            covered = self.jit["jit_steps"] / self.instructions \
+                if self.instructions else 0.0
+            lines.append(
+                f"jit: {self.jit['blocks_compiled']} blocks compiled, "
+                f"{self.jit['entries']} entries, "
+                f"{self.jit['side_exits']} side exits, "
+                f"{covered:.1%} of instructions in compiled blocks")
         for pid, status in sorted(self.exit_statuses.items()):
             who = f"pid {pid}" if pid else "program"
             crash = f"  [killed: {self.faults[pid]}]" \
@@ -127,7 +140,7 @@ def run_system(program: Program | str, *, bus: str = "flat",
                procs: int = 1, cost: CostModel | None = None,
                recorder=None, timeslice: int = 2, batch: int = 100,
                max_steps: int = 1_000_000, entry: str = "main",
-               **bus_kwargs) -> RunReport:
+               jit: bool = True, **bus_kwargs) -> RunReport:
     """Execute ``program`` over the chosen bus and report the trip.
 
     ``program`` is an assembled :class:`Program` or C-subset source
@@ -136,6 +149,12 @@ def run_system(program: Program | str, *, bus: str = "flat",
     and runs ``procs`` copies of the program as timeshared processes,
     each with its own page table on one shared
     :class:`~repro.system.bus.VirtualBus`.
+
+    ``jit`` (default on) compiles hot superblocks per machine (see
+    :mod:`repro.isa.jit`); every reported number except wall-clock time
+    is identical either way — the differential tests pin that. Runs
+    with an enabled recorder interpret regardless (per-instruction
+    spans need the scalar loop).
     """
     if isinstance(program, str):
         program = program_from_source(program, entry=entry)
@@ -154,10 +173,11 @@ def run_system(program: Program | str, *, bus: str = "flat",
         from repro.ossim.kernel import Kernel
         kernel = Kernel(timeslice=timeslice, recorder=recorder)
         pids = [kernel.exec_binary(f"{entry}#{i}", program, bus=the_bus,
-                                   batch=batch, recorder=recorder)
+                                   batch=batch, recorder=recorder, jit=jit)
                 for i in range(procs)]
         kernel.run(max_units=max(max_steps // batch, 1) * procs + procs)
         instructions = sum(kernel.machines[pid].steps for pid in pids)
+        jit_stats = _fold_jit_stats(kernel.machines[pid] for pid in pids)
         exit_statuses = {pid: kernel.exit_status_of(pid) for pid in pids}
         faults = {pid: kernel.process(pid).fault for pid in pids
                   if kernel.process(pid).fault}
@@ -178,9 +198,10 @@ def run_system(program: Program | str, *, bus: str = "flat",
         cache_levels = _cache_level_stats(the_bus.hierarchy)
     else:
         machine = Machine(program, bus=the_bus, record_fetches=True,
-                          recorder=recorder)
+                          recorder=recorder, jit=jit)
         status = machine.run(max_steps=max_steps)
         instructions = machine.steps
+        jit_stats = _fold_jit_stats([machine])
         exit_statuses = {0: status}
         faults = {}
         kernel_stats = None
@@ -198,4 +219,17 @@ def run_system(program: Program | str, *, bus: str = "flat",
         cache_levels=cache_levels,
         tlb=tlb, vm=vm, kernel=kernel_stats,
         faults=faults,
+        jit=jit_stats,
     )
+
+
+def _fold_jit_stats(machines) -> dict | None:
+    """Sum per-machine JitStats into one report dict (None if no JIT)."""
+    total: dict[str, int] = {}
+    for machine in machines:
+        stats = machine.jit_stats
+        if stats is None:
+            continue
+        for key, value in stats.as_dict().items():
+            total[key] = total.get(key, 0) + value
+    return total or None

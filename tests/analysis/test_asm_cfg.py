@@ -1,0 +1,148 @@
+"""Basic-block CFGs over assembled programs (``build_asm_cfg``).
+
+The asm-level CFG is the superblock JIT's block vocabulary, so the
+properties pinned here are the ones the JIT leans on: every instruction
+belongs to exactly one block, blocks end at control transfers and before
+leaders, ``run_from`` gives the straight-line suffix from any mid-block
+address, and static edges are complete.
+"""
+
+import pathlib
+
+from repro.analysis.cfg import ASM_TERMINATORS, build_asm_cfg
+from repro.isa.assembler import assemble
+from repro.isa.ccompiler import compile_c
+from repro.isa.instructions import INSTRUCTION_SIZE
+
+EXAMPLES = sorted(pathlib.Path(__file__, "../../../examples/c")
+                  .resolve().glob("*.c"))
+
+LOOP = """
+main:
+  movl $0, %eax
+  movl $0, %ecx
+loop:
+  cmpl $10, %ecx
+  jge done
+  addl %ecx, %eax
+  incl %ecx
+  jmp loop
+done:
+  ret
+"""
+
+
+class TestLoopShape:
+    def setup_method(self):
+        self.program = assemble(LOOP)
+        self.cfg = build_asm_cfg(self.program)
+        self.entry = self.program.entry_address
+
+    def test_block_starts_and_terminators(self):
+        kinds = {a - self.entry: b.terminator
+                 for a, b in self.cfg.blocks.items()}
+        assert kinds == {0: "fall",      # main: two movls, split by `loop:`
+                         8: "jcc",       # cmpl; jge
+                         16: "jmp",      # body + back edge
+                         28: "ret"}      # done:
+
+    def test_edges(self):
+        succ = {a - self.entry: sorted(s - self.entry for s in b.succs)
+                for a, b in self.cfg.blocks.items()}
+        assert succ == {0: [8], 8: [16, 28], 16: [8], 28: []}
+        head = self.cfg.blocks[self.entry + 8]
+        assert sorted(p - self.entry for p in head.preds) == [0, 16]
+
+    def test_jcc_records_both_successors(self):
+        head = self.cfg.blocks[self.entry + 8]
+        assert head.target == self.entry + 28   # done:
+        assert head.fall == self.entry + 16     # loop body
+
+    def test_run_from_mid_block(self):
+        body = self.cfg.blocks[self.entry + 16]
+        instrs, term, target, fall = self.cfg.run_from(self.entry + 20)
+        assert term == "jmp" and target == self.entry + 8 and fall is None
+        assert instrs == body.instructions[1:]
+        assert self.cfg.run_from(self.entry + 2) is None   # not an address
+
+    def test_reachable(self):
+        assert self.cfg.reachable_from(self.entry) == set(self.cfg.blocks)
+        # from the ret block nothing else is reachable
+        assert self.cfg.reachable_from(self.entry + 28) == {self.entry + 28}
+
+
+class TestPartitionInvariants:
+    def check(self, program):
+        cfg = build_asm_cfg(program)
+        covered = []
+        for block in cfg.blocks.values():
+            assert block.terminator in ASM_TERMINATORS
+            assert len(block) >= 1
+            # blocks are contiguous instruction runs
+            for i, ins in enumerate(block.instructions):
+                assert ins.address == block.start + i * INSTRUCTION_SIZE
+                covered.append(ins.address)
+            for succ in block.succs:
+                assert succ in cfg.blocks
+                assert block.start in cfg.blocks[succ].preds
+            # no leader in the middle of a block
+            for ins in block.instructions[1:]:
+                assert ins.address not in cfg.blocks
+        assert sorted(covered) == sorted(program.by_address)
+        # run_from at a block start returns the whole block
+        for addr, block in cfg.blocks.items():
+            instrs, term, target, fall = cfg.run_from(addr)
+            assert instrs == block.instructions and term == block.terminator
+        return cfg
+
+    def test_every_example_program(self):
+        assert EXAMPLES, "examples/c/*.c missing?"
+        for path in EXAMPLES:
+            self.check(assemble(compile_c(path.read_text())))
+
+    def test_call_block_falls_to_return_site(self):
+        program = assemble("""
+main:
+  movl $3, %eax
+  call double
+  ret
+double:
+  addl %eax, %eax
+  ret
+""")
+        cfg = self.check(program)
+        entry = program.entry_address
+        caller = cfg.blocks[entry]
+        assert caller.terminator == "call"
+        assert caller.target == program.labels["double"]
+        assert caller.fall == entry + 2 * INSTRUCTION_SIZE
+        # the call edge is intra-procedural: to the return site
+        assert caller.succs == [caller.fall]
+
+    def test_indirect_jump_has_no_static_successor(self):
+        program = assemble("""
+main:
+  movl $target, %eax
+  jmp %eax
+target:
+  halt
+""")
+        cfg = self.check(program)
+        entry = program.entry_address
+        assert cfg.blocks[entry].terminator == "indirect"
+        assert cfg.blocks[entry].succs == []
+
+    def test_halt_and_trailing_fall(self):
+        program = assemble("main:\n  halt\n  movl $1, %eax\n")
+        cfg = self.check(program)
+        entry = program.entry_address
+        assert cfg.blocks[entry].terminator == "halt"
+        tail = cfg.blocks[entry + INSTRUCTION_SIZE]
+        # last block falls off the end of the text
+        assert tail.terminator == "fall" and tail.fall == tail.end
+        assert tail.succs == []
+
+    def test_empty_program(self):
+        cfg = build_asm_cfg(assemble("main:\n"))
+        assert cfg.blocks == {}
+        assert cfg.run_from(0) is None
