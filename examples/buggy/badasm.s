@@ -10,4 +10,7 @@ done:
     jmp missing      # EXPECT: asm-undefined-label
 done:                # EXPECT: asm-duplicate-label
     frob %eax        # EXPECT: asm-unknown-mnemonic
+    movl %ecx, %ecx  # EXPECT: asm-self-move
+    movl $1, -4(%ebp)    # EXPECT: asm-dead-store
+    movl $2, -4(%ebp)
     ret

@@ -19,7 +19,15 @@ memory, :class:`repro.core.race.RaceDetector` and
 ``asmlint``
     assembler-level lint sharing :mod:`repro.isa.assembler`'s grammar —
     undefined/duplicate labels, unreachable code after ``jmp``/``ret``,
-    writes to read-only operands;
+    writes to read-only operands, self-moves, dead stores;
+``opt`` / ``verify``
+    the translation-validated assembly optimizer: a four-pass pipeline
+    (constant folding, local value numbering, liveness-driven dead-code
+    elimination, jump threading) over the assembled program, a
+    value-range analysis on the :class:`~repro.analysis.dataflow.Interval`
+    lattice that proves stack bounds for the JIT, and the symbolic
+    block validator that proves every rewrite preserves the machine's
+    observable behaviour (or reverts it);
 ``report`` / ``cli``
     the shared :class:`Finding` vocabulary, text/JSON renderers, and
     the ``python -m repro analyze`` driver.
@@ -60,6 +68,15 @@ from repro.analysis.concurrency import (
     summarize_python_source,
 )
 from repro.analysis.asmlint import lint_asm
+from repro.analysis.opt import (
+    OptBlock,
+    OptResult,
+    Rejection,
+    asm_liveness,
+    optimize_program,
+    stack_ranges,
+)
+from repro.analysis.verify import SymState, validate_blocks
 from repro.analysis.corpus import (
     KindScore,
     expected_findings,
@@ -82,6 +99,9 @@ __all__ = [
     "lock_order_graph", "analyze_summaries", "analyze_thread_bodies",
     "analyze_python_source", "static_race_vars",
     "lint_asm",
+    "OptBlock", "OptResult", "Rejection", "asm_liveness",
+    "optimize_program", "stack_ranges",
+    "SymState", "validate_blocks",
     "KindScore", "expected_findings", "reported_findings", "score",
     "merge_scores",
     "analyze_file", "run_cli",

@@ -24,15 +24,24 @@ from repro.analysis.report import (
 )
 
 USAGE = """\
-usage: python -m repro analyze [--json] [--expect-findings] PATH [PATH...]
+usage: python -m repro analyze [--json] [--expect-findings]
+                               [--fail-on-findings] [--opt] PATH [PATH...]
 
 Statically analyze C-subset (.c), assembly (.s), or thread-program
 (.py) sources.  Directories are searched recursively.
 
-  --json             emit findings as a JSON array instead of text
-  --expect-findings  invert the exit status: succeed only if every
-                     analyzed file has at least one finding (for
-                     seeded-buggy corpora)
+  --json              emit findings as a JSON array instead of text
+  --expect-findings   invert the exit status: succeed only if every
+                      analyzed file has at least one finding (for
+                      seeded-buggy corpora)
+  --fail-on-findings  exit 1 on any finding (this is already the
+                      default; the flag states the gate explicitly
+                      for CI scripts and rejects --expect-findings)
+  --opt               instead of linting, run each .c/.s file through
+                      the translation-validated optimizer pipeline
+                      (repro.analysis.opt) and report what it did:
+                      per-pass rewrite counts, static instruction
+                      delta, proved-safe accesses, validator verdicts
 """
 
 SUFFIXES = (".c", ".s", ".py")
@@ -70,12 +79,18 @@ def run(argv: list[str]) -> int:
     """
     as_json = False
     expect_findings = False
+    fail_on_findings = False
+    opt_mode = False
     paths: list[str] = []
     for arg in argv:
         if arg == "--json":
             as_json = True
         elif arg == "--expect-findings":
             expect_findings = True
+        elif arg == "--fail-on-findings":
+            fail_on_findings = True
+        elif arg == "--opt":
+            opt_mode = True
         elif arg in ("-h", "--help"):
             print(USAGE)
             return 0
@@ -88,6 +103,10 @@ def run(argv: list[str]) -> int:
     if not paths:
         print(USAGE, file=sys.stderr)
         return 2
+    if fail_on_findings and expect_findings:
+        print("--fail-on-findings and --expect-findings conflict",
+              file=sys.stderr)
+        return 2
 
     files = gather_files(paths)
     missing = [f for f in files if not f.is_file()]
@@ -95,6 +114,9 @@ def run(argv: list[str]) -> int:
         for f in missing:
             print(f"no such file: {f}", file=sys.stderr)
         return 2
+
+    if opt_mode:
+        return _run_opt(files)
 
     reports = [analyze_file(f) for f in files]
     findings = [f for r in reports for f in r.findings]
@@ -113,3 +135,35 @@ def run(argv: list[str]) -> int:
             return 1
         return 0
     return 1 if findings else 0
+
+
+def _run_opt(files: list[Path]) -> int:
+    """``--opt`` mode: optimize each .c/.s file and report the passes.
+
+    Exit 0 when every file optimized with no validator rejections,
+    1 when any block was rejected (the program still ran — rejected
+    blocks are reverted, so this is a report, not a failure of the
+    tool), 2 when a file could not be compiled/assembled at all.
+    """
+    from repro.analysis.opt import optimize_program
+    from repro.errors import ReproError
+    from repro.system.runner import load_program
+
+    status = 0
+    for f in files:
+        if f.suffix not in (".c", ".s"):
+            print(f"{f}: skipped (--opt handles .c and .s)")
+            continue
+        try:
+            program = load_program(f)
+        except (ReproError, OSError) as exc:
+            print(f"{f}: error: {exc}", file=sys.stderr)
+            return 2
+        result = optimize_program(program)
+        print(f"{f}: {result.summary()}")
+        for name, count in result.pass_stats.items():
+            print(f"  {name}: {count} rewrites")
+        for rej in result.rejections:
+            print(f"  rejected {rej}")
+            status = 1
+    return status

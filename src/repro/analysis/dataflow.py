@@ -300,3 +300,104 @@ def _exprs_of(stmt):
 def _nodes(expr):
     from repro.analysis.cfg import expr_nodes
     return expr_nodes(expr)
+
+
+# ---------------------------------------------------------------------------
+# Value-range lattice
+# ---------------------------------------------------------------------------
+
+#: unbounded endpoints of the interval lattice
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+class Interval:
+    """A closed integer interval ``[lo, hi]`` — the value-range lattice.
+
+    Endpoints are ints or ±inf; ``TOP`` is the full line, ``BOTTOM``
+    (lo > hi) is the empty interval.  Arithmetic is exact interval
+    arithmetic on the endpoints (mul only by a constant — that is all
+    the asm range analysis needs), ``join`` is the convex hull, and
+    ``widen`` jumps unstable endpoints straight to ±inf so loops
+    converge in one extra pass.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo=NEG_INF, hi=POS_INF) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def const(cls, value: int) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(NEG_INF, POS_INF)
+
+    @classmethod
+    def bottom(cls) -> "Interval":
+        return cls(1, 0)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == NEG_INF and self.hi == POS_INF
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_bottom and other.is_bottom:
+            return True
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        if self.is_bottom:
+            return hash(("interval", "bottom"))
+        return hash(("interval", self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        if self.is_bottom:
+            return "Interval(⊥)"
+        return f"Interval({self.lo}, {self.hi})"
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def mul_const(self, k: int) -> "Interval":
+        if self.is_bottom:
+            return Interval.bottom()
+        a, b = self.lo * k, self.hi * k
+        return Interval(min(a, b), max(a, b))
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Widening: endpoints that moved since ``self`` go to ±inf."""
+        if self.is_bottom:
+            return newer
+        if newer.is_bottom:
+            return self
+        lo = self.lo if newer.lo >= self.lo else NEG_INF
+        hi = self.hi if newer.hi <= self.hi else POS_INF
+        return Interval(lo, hi)
+
+    def contains(self, lo: int, hi: int) -> bool:
+        """True when the whole interval lies within ``[lo, hi]``."""
+        return not self.is_bottom and self.lo >= lo and self.hi <= hi

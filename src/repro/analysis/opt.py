@@ -1,0 +1,1577 @@
+"""An optimizing pass pipeline over assembled programs.
+
+The dataflow engine (PR 2) finally pays its way in performance: this
+module rewrites an assembled :class:`~repro.isa.instructions.Program`
+into a faster, behaviourally identical one.  The pipeline runs four
+passes (twice, so simplifications cascade), each structure-preserving
+— the block list, block count, and every label survive, only the
+instructions inside blocks change:
+
+* :func:`fold_constants` — intra-block constant propagation/folding
+  over registers *and* concrete flag values: ``movl $c`` chains fold
+  forward, arithmetic on two known constants folds to a ``movl``, and
+  a conditional jump whose deciding ``cmpl`` happened earlier in the
+  same block becomes a ``jmp`` (or disappears).
+* :func:`local_values` — local value numbering: copy propagation,
+  store-to-load forwarding, redundant-load elimination, dead
+  store-then-overwrite elimination, self-move removal, and the big
+  one for compiled code: push/pop pair elimination (the naive codegen
+  parenthesizes every binary expression with ``pushl``/``popl``; the
+  popped value is rematerialized from the register, constant, or
+  memory slot that still holds it).
+* :func:`eliminate_dead` — global liveness (registers *and* the four
+  flags individually) driven dead-code elimination; dead loads are
+  deleted only when the value-range analysis proves the address sits
+  in the stack (so no fault or watcher-visible access disappears
+  from an address we can't bound).
+* :func:`thread_jumps` — jump threading through trivial blocks,
+  ``jmp``-to-next deletion, and unreachable-block emptying.
+
+Every pass is *translation-validated*: :mod:`repro.analysis.verify`
+symbolically executes each rewritten block against its original and
+the pass's output for a block is thrown away unless the effects are
+provably equal.  See ``verify`` for the trust model (the only trusted
+analysis input is the value-range bounds, used for fault reasoning,
+never for values).
+
+The value-range analysis itself (:func:`stack_ranges`, built on the
+:class:`~repro.analysis.dataflow.Interval` lattice) tracks which
+registers are provably ``entry-%esp + [lo, hi]``.  Its facts feed the
+JIT: :func:`optimize_program` stamps ``program.stack_safe`` with the
+addresses of instructions whose every memory access is proved inside
+``[esp0 - STACK_HEADROOM, esp0 + SAFE_HI]``, and
+:class:`repro.isa.jit.JitEngine` elides the per-access bounds guard
+for exactly those instructions.
+
+The optimized program behaves identically *when executed from its
+entry point* — unreachable-from-entry code may be dropped, so don't
+optimize programs you intend to enter at arbitrary labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.cfg import build_asm_cfg
+from repro.analysis.dataflow import Interval
+from repro.isa.instructions import (
+    CALLS,
+    INSTRUCTION_SIZE,
+    JUMPS,
+    Immediate,
+    Instruction,
+    LabelImmediate,
+    LabelRef,
+    Memory,
+    Program,
+    Register,
+)
+
+__all__ = [
+    "OptBlock", "OptResult", "Rejection", "STACK_HEADROOM",
+    "SAFE_LO", "SAFE_HI", "extract_blocks", "rebuild", "stack_ranges",
+    "fold_constants", "local_values", "eliminate_dead", "thread_jumps",
+    "asm_liveness", "optimize_program",
+]
+
+MASK32 = 0xFFFF_FFFF
+SIGN_BIT = 0x8000_0000
+
+#: how far below the entry %esp an access may sit and still be "proved
+#: on the stack" — the JIT checks at runtime that the stack region
+#: actually covers this much headroom before trusting the facts
+STACK_HEADROOM = 4096
+SAFE_LO = -STACK_HEADROOM
+SAFE_HI = 12
+
+GP = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+FLAG_NAMES = ("zf", "sf", "cf", "of")
+
+#: mnemonics the symbolic machinery models; byte-ops freeze their block
+BYTE_OPS = frozenset({"movb", "movzbl", "movsbl", "cmpb"})
+_SHIFT_OPS = frozenset({"sall", "shll", "sarl", "shrl"})
+_SETS_ALL_FLAGS = frozenset({"addl", "subl", "cmpl", "cmpb", "imull",
+                             "andl", "orl", "xorl", "testl", "negl"})
+_SETS_NO_CF = frozenset({"incl", "decl"})
+_BLOCK_ENDERS = JUMPS | CALLS | {"ret", "halt"}
+
+#: which flags each conditional jump reads (mirrors machine.py's
+#: _JUMP_CONDITIONS — the verify module pins the agreement)
+JCC_READS = {
+    "je": ("zf",), "jne": ("zf",),
+    "jg": ("zf", "sf", "of"), "jge": ("sf", "of"),
+    "jl": ("sf", "of"), "jle": ("zf", "sf", "of"),
+    "ja": ("cf", "zf"), "jae": ("cf",), "jb": ("cf",),
+    "jbe": ("cf", "zf"), "js": ("sf",), "jns": ("sf",),
+}
+
+
+# ---------------------------------------------------------------------------
+# instruction effect tables
+# ---------------------------------------------------------------------------
+
+def _mem_regs(op) -> set[str]:
+    regs = set()
+    if isinstance(op, Memory):
+        if op.base:
+            regs.add(op.base)
+        if op.index:
+            regs.add(op.index)
+    return regs
+
+
+def regs_read(ins: Instruction) -> set[str]:
+    """Register names this instruction reads (addresses included)."""
+    m, ops = ins.mnemonic, ins.operands
+    r: set[str] = set()
+    for op in ops:
+        r |= _mem_regs(op)
+    def src(op):
+        if isinstance(op, Register):
+            r.add(op.name)
+    if m in ("movl", "movb", "movzbl", "movsbl"):
+        src(ops[0])
+    elif m in ("addl", "subl", "imull", "andl", "orl", "xorl",
+               "cmpl", "testl", "cmpb") or m in _SHIFT_OPS:
+        src(ops[0])
+        src(ops[1])
+    elif m in ("notl", "negl", "incl", "decl", "idivl"):
+        src(ops[0])
+        if m == "idivl":
+            r |= {"eax", "edx"}
+    elif m == "pushl":
+        r.add("esp")
+        src(ops[0])
+    elif m == "popl":
+        r.add("esp")
+    elif m == "cltd":
+        r.add("eax")
+    elif m == "leave":
+        r.add("ebp")
+    elif m == "ret":
+        r.add("esp")
+    elif m in CALLS or m == "jmp":
+        if ops:
+            src(ops[0])
+        if m in CALLS:
+            r.add("esp")
+    return r
+
+
+def regs_written(ins: Instruction) -> set[str]:
+    """Register names this instruction writes."""
+    m, ops = ins.mnemonic, ins.operands
+    if m in ("movl", "movb", "movzbl", "movsbl", "leal", "addl", "subl",
+             "imull", "andl", "orl", "xorl") or m in _SHIFT_OPS:
+        dst = ops[1]
+        return {dst.name} if isinstance(dst, Register) else set()
+    if m in ("notl", "negl", "incl", "decl"):
+        return {ops[0].name} if isinstance(ops[0], Register) else set()
+    if m == "idivl":
+        return {"eax", "edx"}
+    if m == "cltd":
+        return {"edx"}
+    if m == "pushl":
+        return {"esp"}
+    if m == "popl":
+        w = {"esp"}
+        if isinstance(ops[0], Register):
+            w.add(ops[0].name)
+        return w
+    if m == "leave":
+        return {"esp", "ebp"}
+    if m == "ret":
+        return {"esp"}
+    if m in CALLS:
+        return {"esp"}
+    return set()
+
+
+def flags_written(ins: Instruction) -> set[str]:
+    """Flags this instruction *definitely* overwrites."""
+    m = ins.mnemonic
+    if m in _SETS_ALL_FLAGS:
+        return set(FLAG_NAMES)
+    if m in _SETS_NO_CF:
+        return {"zf", "sf", "of"}
+    if m in _SHIFT_OPS:
+        op = ins.operands[0]
+        if isinstance(op, Immediate):
+            return set(FLAG_NAMES) if (op.value & 31) else set()
+        return set()          # dynamic count: may or may not write
+    return set()
+
+
+def flags_may_written(ins: Instruction) -> set[str]:
+    """Flags this instruction *may* overwrite (shifts by a register)."""
+    if ins.mnemonic in _SHIFT_OPS:
+        return set(FLAG_NAMES)
+    return flags_written(ins)
+
+
+def flags_read(ins: Instruction) -> set[str]:
+    return set(JCC_READS.get(ins.mnemonic, ()))
+
+
+def has_mem_write(ins: Instruction) -> bool:
+    """Does this instruction store to memory (explicit or stack)?"""
+    m, ops = ins.mnemonic, ins.operands
+    if m in ("pushl",) or m in CALLS:
+        return True
+    if m in ("movl", "movb", "addl", "subl", "imull", "andl", "orl",
+             "xorl", "notl", "negl", "incl", "decl", "popl") \
+            or m in _SHIFT_OPS:
+        dst = ops[-1] if m != "popl" else ops[0]
+        return isinstance(dst, Memory)
+    return False
+
+
+def has_mem_read(ins: Instruction) -> bool:
+    """Does this instruction load from memory (explicit or stack)?"""
+    m, ops = ins.mnemonic, ins.operands
+    if m in ("popl", "ret", "leave"):
+        return True
+    if m == "leal":
+        return False
+    if m in ("movl", "movb", "movzbl", "movsbl", "pushl", "idivl",
+             "notl", "negl", "incl", "decl"):
+        return isinstance(ops[0], Memory)
+    if m in ("addl", "subl", "imull", "andl", "orl", "xorl", "cmpl",
+             "testl", "cmpb") or m in _SHIFT_OPS:
+        return any(isinstance(o, Memory) for o in ops)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# block extraction / rebuild
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OptBlock:
+    """One basic block in the optimizer's working form.
+
+    Blocks live in an ordered list that partitions the instruction
+    stream; falling off the end of a block means running into the
+    next one.  ``frozen`` blocks contain byte-width operations the
+    symbolic validator doesn't model — passes leave them untouched.
+    """
+    labels: list[str] = field(default_factory=list)
+    instrs: list[Instruction] = field(default_factory=list)
+    frozen: bool = False
+
+    def copy(self) -> "OptBlock":
+        return OptBlock(list(self.labels), list(self.instrs), self.frozen)
+
+
+@dataclass
+class Rejection:
+    """One block the translation validator refused."""
+    block: int
+    pass_name: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"block {self.block} [{self.pass_name}]: {self.reason}"
+
+
+@dataclass
+class OptResult:
+    """What :func:`optimize_program` did."""
+    program: Program              # the optimized (or original) program
+    original: Program
+    blocks: int = 0
+    static_before: int = 0
+    static_after: int = 0
+    proved_safe: int = 0          # instructions with proved stack bounds
+    pass_stats: dict = field(default_factory=dict)   # pass -> rewrites
+    rejections: list = field(default_factory=list)
+    bailed: str | None = None     # why the program was left alone
+
+    def summary(self) -> str:
+        if self.bailed:
+            return f"not optimized: {self.bailed}"
+        delta = self.static_before - self.static_after
+        pct = delta / self.static_before * 100 if self.static_before else 0
+        parts = [f"{self.static_before} -> {self.static_after} "
+                 f"instructions (-{pct:.0f}% static)",
+                 f"{self.proved_safe} proved stack-safe"]
+        if self.rejections:
+            parts.append(f"{len(self.rejections)} blocks rejected "
+                         "by the validator")
+        return ", ".join(parts)
+
+
+def extract_blocks(program: Program) -> tuple[list[OptBlock], str | None]:
+    """Partition a program into ordered :class:`OptBlock`\\ s.
+
+    Returns ``(blocks, None)`` or ``([], reason)`` when the program
+    can't be safely optimized: indirect jumps/calls make the CFG (and
+    therefore reachability and jump threading) unknowable, and a
+    ``$label`` immediate naming *code* means instruction addresses
+    escape into data — renumbering would break them.
+    """
+    if not program.instructions:
+        return [], "empty program"
+    text_addrs = set(program.by_address)
+    for ins in program.instructions:
+        if ins.mnemonic == "jmp" or ins.mnemonic in CALLS:
+            if not isinstance(ins.operands[0], LabelRef):
+                return [], f"indirect {ins.mnemonic} at {ins.address:#x}"
+        if ins.mnemonic in JUMPS and \
+                not isinstance(ins.operands[0], LabelRef):
+            return [], f"indirect {ins.mnemonic} at {ins.address:#x}"
+        for op in ins.operands:
+            if isinstance(op, LabelImmediate) and op.address in text_addrs:
+                return [], f"address-taken code label {op.name!r}"
+        if ins.mnemonic in _BLOCK_ENDERS and ins.mnemonic != "halt":
+            if ins.mnemonic != "ret" and isinstance(ins.operands[0],
+                                                    LabelRef):
+                tgt = ins.operands[0].address
+                if tgt not in text_addrs:
+                    return [], (f"{ins.mnemonic} to non-code address "
+                                f"{tgt:#x}" if tgt is not None else
+                                f"unresolved {ins.mnemonic} target")
+    cfg = build_asm_cfg(program)
+    labels_at: dict[int, list[str]] = {}
+    for name, addr in program.labels.items():
+        labels_at.setdefault(addr, []).append(name)
+    blocks = []
+    for start in sorted(cfg.blocks):
+        asm = cfg.blocks[start]
+        b = OptBlock(labels=labels_at.get(start, []),
+                     instrs=list(asm.instructions))
+        b.frozen = any(i.mnemonic in BYTE_OPS or
+                       (i.mnemonic in _SHIFT_OPS and
+                        not isinstance(i.operands[0], Immediate))
+                       for i in b.instrs)
+        blocks.append(b)
+    if program.entry_address not in cfg.blocks:
+        return [], "entry is not a block leader"
+    return blocks, None
+
+
+def block_index_map(blocks: list[OptBlock]) -> dict[str, int]:
+    """label name -> index of the block it names."""
+    out = {}
+    for i, b in enumerate(blocks):
+        for name in b.labels:
+            out[name] = i
+    return out
+
+
+def block_succs(blocks: list[OptBlock], i: int,
+                labels: dict[str, int]) -> list[int]:
+    """Successor block indices (jump target first, fall-through last).
+
+    ``call`` contributes both its target (the callee runs) and its
+    fall-through (the callee eventually returns there)."""
+    b = blocks[i]
+    nxt = [i + 1] if i + 1 < len(blocks) else []
+    if not b.instrs:
+        return nxt
+    last = b.instrs[-1]
+    m = last.mnemonic
+    if m == "jmp":
+        t = labels.get(last.operands[0].name)
+        return [t] if t is not None else []
+    if m in JUMPS or m in CALLS:
+        t = labels.get(last.operands[0].name)
+        return ([t] if t is not None else []) + nxt
+    if m in ("ret", "halt"):
+        return []
+    return nxt
+
+
+def reachable_blocks(blocks: list[OptBlock], entry: int) -> set[int]:
+    labels = block_index_map(blocks)
+    seen = {entry}
+    work = [entry]
+    while work:
+        for s in block_succs(blocks, work.pop(), labels):
+            if s not in seen:
+                seen.add(s)
+                work.append(s)
+    return seen
+
+
+def rebuild(blocks: list[OptBlock], program: Program) -> Program:
+    """Renumber the surviving instructions into a fresh Program.
+
+    Text labels move with their blocks; labels that pointed at the
+    original end-of-text track the new end; data labels are copied
+    verbatim (the data image never moves)."""
+    base = program.instructions[0].address
+    old_end = program.instructions[-1].address + INSTRUCTION_SIZE
+    new_labels: dict[str, int] = {}
+    new_instrs: list[Instruction] = []
+    addr = base
+    for b in blocks:
+        for name in b.labels:
+            new_labels[name] = addr
+        for k, ins in enumerate(b.instrs):
+            name = b.labels[0] if k == 0 and b.labels else None
+            new_instrs.append(replace(ins, address=addr, label=name))
+            addr += INSTRUCTION_SIZE
+    new_end = addr
+    for name, old in program.labels.items():
+        if name in new_labels:
+            continue
+        new_labels[name] = new_end if old == old_end else old
+    resolved = []
+    for ins in new_instrs:
+        ops = tuple(
+            type(op)(op.name, new_labels.get(op.name, op.address))
+            if isinstance(op, (LabelRef, LabelImmediate)) else op
+            for op in ins.operands)
+        resolved.append(replace(ins, operands=ops))
+    out = Program(instructions=resolved, labels=new_labels,
+                  entry=program.entry, data_image=program.data_image,
+                  data_base=program.data_base)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# value-range analysis: which registers are entry-%esp + [lo, hi]?
+# ---------------------------------------------------------------------------
+
+def _range_transfer(ins: Instruction, env: dict) -> dict:
+    """One instruction over the esp-relative interval environment."""
+    m, ops = ins.mnemonic, ins.operands
+    env = dict(env)
+
+    def drop_written():
+        for r in regs_written(ins):
+            env.pop(r, None)
+
+    if m == "movl" and isinstance(ops[1], Register):
+        src = ops[0]
+        if isinstance(src, Register) and src.name in env:
+            env[ops[1].name] = env[src.name]
+        else:
+            env.pop(ops[1].name, None)
+        return env
+    if m == "leal" and isinstance(ops[0], Memory):
+        mem = ops[0]
+        if mem.base in env and mem.index is None:
+            env[ops[1].name] = env[mem.base].add(
+                Interval.const(mem.displacement))
+        else:
+            env.pop(ops[1].name, None)
+        return env
+    if m in ("addl", "subl") and isinstance(ops[1], Register) \
+            and isinstance(ops[0], Immediate):
+        r = ops[1].name
+        if r in env:
+            k = Interval.const(ops[0].value)
+            env[r] = env[r].add(k) if m == "addl" else env[r].sub(k)
+        return env
+    if m in ("incl", "decl") and isinstance(ops[0], Register):
+        r = ops[0].name
+        if r in env:
+            env[r] = env[r].add(Interval.const(1 if m == "incl" else -1))
+        return env
+    if m == "pushl":
+        if "esp" in env:
+            env["esp"] = env["esp"].add(Interval.const(-4))
+        return env
+    if m == "popl":
+        if isinstance(ops[0], Register):
+            env.pop(ops[0].name, None)
+        if "esp" in env and not (isinstance(ops[0], Register)
+                                 and ops[0].name == "esp"):
+            env["esp"] = env["esp"].add(Interval.const(4))
+        return env
+    if m == "ret":
+        if "esp" in env:
+            env["esp"] = env["esp"].add(Interval.const(4))
+        return env
+    if m == "leave":
+        ebp = env.get("ebp")
+        env.pop("ebp", None)
+        if ebp is not None:
+            env["esp"] = ebp.add(Interval.const(4))
+        else:
+            env.pop("esp", None)
+        return env
+    drop_written()
+    return env
+
+
+def _range_meet(a: dict, b: dict) -> dict:
+    out = {}
+    for r in a:
+        if r in b:
+            out[r] = a[r].join(b[r])
+    return out
+
+
+def _access_intervals(ins: Instruction, env: dict) -> list | None:
+    """Esp-relative intervals of every data access, None = unbounded.
+
+    Returns a list of :class:`Interval` (one per load/store the
+    instruction performs, explicit memory operands and implicit stack
+    accesses alike); any access we can't bound yields ``None``."""
+    m, ops = ins.mnemonic, ins.operands
+    out = []
+
+    def mem_interval(op: Memory):
+        if op.index is not None or op.base is None:
+            return None
+        base = env.get(op.base)
+        if base is None:
+            return None
+        return base.add(Interval.const(op.displacement))
+
+    for op in ops:
+        if isinstance(op, Memory) and m != "leal":
+            iv = mem_interval(op)
+            if iv is None:
+                return None
+            out.append(iv)
+    esp = env.get("esp")
+    if m == "pushl" or m in CALLS:
+        if esp is None:
+            return None
+        out.append(esp.add(Interval.const(-4)))
+    elif m in ("popl", "ret"):
+        if esp is None:
+            return None
+        out.append(esp)
+    elif m == "leave":
+        ebp = env.get("ebp")
+        if ebp is None:
+            return None
+        out.append(ebp)
+    return out
+
+
+#: effect record for a call target the analysis could not certify
+_NO_EFFECT = {"balanced": False, "preserves_ebp": False}
+
+
+def _ranges_fixpoint(blocks: list[OptBlock], labels: dict, entry: int,
+                     init_env: dict, effects: dict):
+    """Worklist interval analysis from ``entry`` with ``init_env``.
+
+    ``effects`` (call target -> calling-convention record, see
+    :func:`function_effects`) decides what survives a ``call``: the
+    fall-through keeps ``esp`` across provably balanced callees and
+    ``ebp`` across callees proved to preserve it, else starts unknown.
+    """
+    n = len(blocks)
+    envs: list[dict | None] = [None] * n        # None = unvisited
+    envs[entry] = dict(init_env)
+    visits = [0] * n
+    work = [entry]
+    while work:
+        i = work.pop(0)
+        env = envs[i]
+        if env is None:
+            continue
+        out = dict(env)
+        before_last = out
+        term = None
+        for ins in blocks[i].instrs:
+            before_last = out
+            out = _range_transfer(ins, out)
+            term = ins.mnemonic
+        succ_envs: list[tuple[int, dict]] = []
+        last = blocks[i].instrs[-1] if blocks[i].instrs else None
+        if last is not None and term in CALLS:
+            t = labels.get(last.operands[0].name)
+            callee = {}
+            if "esp" in before_last:
+                # the call pushes its return address before the callee
+                # sees %esp
+                callee["esp"] = before_last["esp"].add(Interval.const(-4))
+            if "ebp" in before_last:
+                callee["ebp"] = before_last["ebp"]
+            if t is not None:
+                succ_envs.append((t, callee))
+            if i + 1 < n:
+                ce = effects.get(t, _NO_EFFECT)
+                fall_env = {}
+                if ce["balanced"] and "esp" in before_last:
+                    fall_env["esp"] = before_last["esp"]
+                if ce["preserves_ebp"] and "ebp" in before_last:
+                    fall_env["ebp"] = before_last["ebp"]
+                succ_envs.append((i + 1, fall_env))
+        elif last is not None and term == "jmp":
+            t = labels.get(last.operands[0].name)
+            if t is not None:
+                succ_envs.append((t, out))
+        elif last is not None and term in JUMPS:
+            t = labels.get(last.operands[0].name)
+            if t is not None:
+                succ_envs.append((t, out))
+            if i + 1 < n:
+                succ_envs.append((i + 1, out))
+        elif last is not None and term in ("ret", "halt"):
+            pass
+        else:
+            if i + 1 < n:
+                succ_envs.append((i + 1, out))
+        for s, e in succ_envs:
+            if envs[s] is None:
+                envs[s] = dict(e)
+                work.append(s)
+                continue
+            merged = _range_meet(envs[s], e)
+            visits[s] += 1
+            if visits[s] > 8:
+                merged = {r: envs[s][r].widen(merged[r])
+                          for r in merged if r in envs[s]}
+            if merged != envs[s]:
+                envs[s] = merged
+                work.append(s)
+    at = {}
+    entry_env = {}
+    for i, b in enumerate(blocks):
+        env = envs[i] if envs[i] is not None else {}
+        entry_env[i] = dict(env)
+        cur = dict(env)
+        for j, ins in enumerate(b.instrs):
+            at[(i, j)] = dict(cur)
+            cur = _range_transfer(ins, cur)
+    return at, entry_env
+
+
+def _intra_region(blocks: list[OptBlock], labels: dict, f: int) -> set:
+    """Blocks reachable from ``f`` without descending into callees —
+    a function body, approximately (falling past a ``ret``-less end
+    into the next function over-approximates, which only weakens
+    facts)."""
+    n = len(blocks)
+    seen = {f}
+    work = [f]
+    while work:
+        i = work.pop()
+        b = blocks[i]
+        succs: list[int] = []
+        last = b.instrs[-1] if b.instrs else None
+        m = last.mnemonic if last else None
+        if last is None or m in CALLS or m not in _BLOCK_ENDERS:
+            if i + 1 < n:
+                succs = [i + 1]
+        elif m in JUMPS:
+            t = labels.get(last.operands[0].name)
+            if t is not None:
+                succs.append(t)
+            if m != "jmp" and i + 1 < n:
+                succs.append(i + 1)
+        for s in succs:
+            if s not in seen:
+                seen.add(s)
+                work.append(s)
+    return seen
+
+
+def _check_function(blocks: list[OptBlock], f: int, region: set,
+                    at: dict) -> tuple[bool, bool]:
+    """Does the function at block ``f`` provably (balance %esp,
+    preserve %ebp)?  ``at`` is the range environment computed from
+    ``f`` with entry ``esp = [0, 0]``."""
+    balanced = True
+    keeps = True
+    head = blocks[f].instrs
+    if len(head) < 2 \
+            or head[0].mnemonic != "pushl" \
+            or head[0].operands != (Register("ebp"),) \
+            or head[1].mnemonic != "movl" \
+            or head[1].operands != (Register("esp"), Register("ebp")):
+        keeps = False
+    for i in region:
+        b = blocks[i]
+        for j, ins in enumerate(b.instrs):
+            m = ins.mnemonic
+            env = at.get((i, j), {})
+            if m == "ret":
+                esp = env.get("esp")
+                if esp is None or esp.is_bottom \
+                        or not esp.lo == esp.hi == 0:
+                    balanced = False
+                if j == 0 or b.instrs[j - 1].mnemonic != "leave":
+                    keeps = False
+            elif "ebp" in regs_written(ins) and m != "leave" \
+                    and not (i == f and j == 1):
+                keeps = False
+            if keeps and has_mem_write(ins) and not (i == f and j == 0):
+                accs = _access_intervals(ins, env)
+                if accs is None:
+                    keeps = False
+                else:
+                    # the saved %ebp lives at [-4, -1] — every store
+                    # must provably miss it
+                    for iv in accs:
+                        if iv.is_bottom or not (iv.hi <= -8
+                                                or iv.lo >= 0):
+                            keeps = False
+    return balanced, keeps
+
+
+def function_effects(blocks: list[OptBlock], labels: dict) -> dict:
+    """Verify the calling convention per call target.
+
+    Maps each ``call`` target block to ``{"balanced", "preserves_ebp"}``:
+    whether every reachable ``ret`` provably fires with ``esp`` exactly
+    back at the return address, and whether ``%ebp`` provably survives
+    the call (standard frame prologue, ``leave; ret`` exits, no store
+    can hit the saved slot).  The fixpoint starts optimistic and
+    shrinks, which is sound by induction on completed calls; nothing
+    here is *assumed* — a function that can't be proved well-behaved
+    simply invalidates its callers' facts after each call site.
+    """
+    ents = set()
+    for b in blocks:
+        if b.instrs and b.instrs[-1].mnemonic in CALLS:
+            t = labels.get(b.instrs[-1].operands[0].name)
+            if t is not None:
+                ents.add(t)
+    effects = {f: {"balanced": True, "preserves_ebp": True}
+               for f in ents}
+    changed = True
+    while changed:
+        changed = False
+        for f in ents:
+            old = effects[f]
+            if not old["balanced"] and not old["preserves_ebp"]:
+                continue
+            region = _intra_region(blocks, labels, f)
+            at, _ = _ranges_fixpoint(blocks, labels, f,
+                                     {"esp": Interval.const(0)}, effects)
+            bal, keeps = _check_function(blocks, f, region, at)
+            new = {"balanced": bal and old["balanced"],
+                   "preserves_ebp": keeps and old["preserves_ebp"]}
+            if new != old:
+                effects[f] = new
+                changed = True
+    return effects
+
+
+def stack_ranges(blocks: list[OptBlock], entry: int):
+    """Forward interval analysis: reg -> entry-%esp-relative Interval.
+
+    Returns ``(at, entry_env)``: ``at[(block, instr)]`` is the
+    environment *before* that instruction, ``entry_env[block]`` the
+    environment at block entry.  A ``call`` edge carries ``esp - 4``
+    (and the caller's ``ebp``) to the callee; what the fall-through
+    block keeps depends on :func:`function_effects` — facts survive a
+    call only past callees *proved* to honour the calling convention.
+    Recursion widens ``esp`` to an unbounded-below interval, which
+    simply proves less.
+    """
+    labels = block_index_map(blocks)
+    effects = function_effects(blocks, labels)
+    return _ranges_fixpoint(blocks, labels, entry,
+                            {"esp": Interval.const(0)}, effects)
+
+
+@dataclass
+class OptContext:
+    """Per-pass analysis context handed to every pass function."""
+    at: dict                      # (block, instr) -> reg -> Interval
+    entry_env: dict               # block -> reg -> Interval
+    entry: int                    # entry block index
+    labels: dict                  # label name -> block index
+
+
+# ---------------------------------------------------------------------------
+# pass 1: intra-block constant propagation / folding
+# ---------------------------------------------------------------------------
+
+def _signed(v: int) -> int:
+    v &= MASK32
+    return v - (1 << 32) if v & SIGN_BIT else v
+
+
+def _const_flags(m: str, dst: int, src: int) -> dict | None:
+    """Concrete flag values of an ALU op on two known 32-bit values.
+
+    Mirrors the machine's semantics exactly (the validator re-derives
+    the same facts symbolically, so a mistake here is caught)."""
+    dst &= MASK32
+    src &= MASK32
+    if m in ("addl",):
+        wide = dst + src
+        v = wide & MASK32
+        return {"zf": v == 0, "sf": bool(v & SIGN_BIT),
+                "cf": wide > MASK32,
+                "of": bool(~(dst ^ src) & (dst ^ v) & SIGN_BIT)}
+    if m in ("subl", "cmpl"):
+        v = (dst - src) & MASK32
+        return {"zf": v == 0, "sf": bool(v & SIGN_BIT),
+                "cf": dst < src,
+                "of": bool((dst ^ src) & (dst ^ v) & SIGN_BIT)}
+    if m in ("andl", "orl", "xorl", "testl"):
+        v = {"andl": dst & src, "orl": dst | src, "xorl": dst ^ src,
+             "testl": dst & src}[m]
+        return {"zf": v == 0, "sf": bool(v & SIGN_BIT),
+                "cf": False, "of": False}
+    if m == "imull":
+        wide = _signed(dst) * _signed(src)
+        v = wide & MASK32
+        return {"zf": v == 0, "sf": bool(v & SIGN_BIT),
+                "cf": not -SIGN_BIT <= wide <= SIGN_BIT - 1,
+                "of": not -SIGN_BIT <= wide <= SIGN_BIT - 1}
+    return None
+
+
+def _const_alu(m: str, dst: int, src: int) -> int | None:
+    dst &= MASK32
+    src &= MASK32
+    if m == "addl":
+        return (dst + src) & MASK32
+    if m == "subl":
+        return (dst - src) & MASK32
+    if m == "imull":
+        return (_signed(dst) * _signed(src)) & MASK32
+    if m == "andl":
+        return dst & src
+    if m == "orl":
+        return dst | src
+    if m == "xorl":
+        return dst ^ src
+    return None
+
+
+#: conditional-jump predicates over concrete flags — the intra-block
+#: jcc folder; mirrors machine._JUMP_CONDITIONS
+JCC_TAKEN = {
+    "je": lambda f: f["zf"], "jne": lambda f: not f["zf"],
+    "jg": lambda f: not f["zf"] and f["sf"] == f["of"],
+    "jge": lambda f: f["sf"] == f["of"],
+    "jl": lambda f: f["sf"] != f["of"],
+    "jle": lambda f: f["zf"] or f["sf"] != f["of"],
+    "ja": lambda f: not f["cf"] and not f["zf"],
+    "jae": lambda f: not f["cf"], "jb": lambda f: f["cf"],
+    "jbe": lambda f: f["cf"] or f["zf"],
+    "js": lambda f: f["sf"], "jns": lambda f: not f["sf"],
+}
+
+
+def _flags_dead_after(instrs: list, j: int) -> bool:
+    """Are all four flags definitely overwritten before any reader,
+    looking only at the rest of this block?  (Past the block end we
+    must assume a successor reads them.)"""
+    needed = set(FLAG_NAMES)
+    for ins in instrs[j + 1:]:
+        if flags_read(ins) & needed:
+            return False
+        needed -= flags_written(ins)
+        if not needed:
+            return True
+    return False
+
+
+def fold_constants(blocks: list[OptBlock],
+                   ctx: OptContext) -> tuple[list[OptBlock], int]:
+    """Intra-block constant propagation, folding, and jcc resolution.
+
+    Register constants established inside a block flow forward into
+    later source operands and fold through the ALU; concrete flag
+    values (for instance from ``cmpl`` of two constants) turn a
+    conditional jump into a ``jmp`` or delete it.  %esp/%ebp are never
+    treated as constants — stack addresses stay symbolic.
+    """
+    count = 0
+    out_blocks = []
+    for b in blocks:
+        if b.frozen:
+            out_blocks.append(b.copy())
+            continue
+        consts: dict[str, int] = {}
+        flags: dict[str, bool] = {}
+        out: list[Instruction] = []
+
+        def reg_const(op):
+            return consts.get(op.name) if isinstance(op, Register) \
+                else op.value & MASK32 if isinstance(op, Immediate) else None
+
+        for j, ins in enumerate(b.instrs):
+            m, ops = ins.mnemonic, ins.operands
+            changed = False
+            # fold known-constant source registers into immediates and
+            # known-constant address registers into displacements
+            if m in ("movl", "addl", "subl", "imull", "andl", "orl",
+                     "xorl", "cmpl", "testl", "pushl"):
+                src = ops[0]
+                v = consts.get(src.name) if isinstance(src, Register) \
+                    else None
+                if v is not None:
+                    ops = (Immediate(v),) + ops[1:]
+                    changed = True
+            new_ops = []
+            for op in ops:
+                if isinstance(op, Memory) and op.base in consts:
+                    op = Memory(displacement=(op.displacement
+                                              + consts[op.base]) & MASK32,
+                                index=op.index, scale=op.scale)
+                    changed = True
+                if isinstance(op, Memory) and op.index in consts:
+                    op = Memory(displacement=(op.displacement + op.scale
+                                              * consts[op.index]) & MASK32,
+                                base=op.base)
+                    changed = True
+                new_ops.append(op)
+            ops = tuple(new_ops)
+
+            # resolve a conditional jump whose flags are all known
+            if m in JCC_TAKEN and all(f in flags for f in JCC_READS[m]):
+                count += 1
+                if JCC_TAKEN[m](flags):
+                    out.append(replace(ins, mnemonic="jmp", operands=ops))
+                # not taken: drop it, fall through
+                continue
+
+            # fold an ALU op on two known constants into a movl, when
+            # its flag results are provably never observed
+            folded = False
+            if m in ("addl", "subl", "imull", "andl", "orl", "xorl") \
+                    and isinstance(ops[1], Register) \
+                    and ops[1].name not in ("esp", "ebp"):
+                sv, dv = reg_const(ops[0]), consts.get(ops[1].name)
+                if sv is not None and dv is not None:
+                    res = _const_alu(m, dv, sv)
+                    fl = _const_flags(m, dv, sv)
+                    flags = dict(fl)
+                    consts[ops[1].name] = res
+                    if _flags_dead_after(b.instrs, j):
+                        out.append(replace(ins, mnemonic="movl",
+                                           operands=(Immediate(res),
+                                                     ops[1])))
+                        count += 1
+                        continue
+                    folded = True
+            if not folded and m in ("cmpl", "testl"):
+                sv = reg_const(ops[0])
+                dv = reg_const(ops[1]) if not isinstance(ops[1], Memory) \
+                    else None
+                if sv is not None and dv is not None:
+                    flags = dict(_const_flags(m, dv, sv))
+                    folded = True
+
+            if changed:
+                count += 1
+                ins = replace(ins, operands=ops)
+            out.append(ins)
+
+            # -- update the environment past this instruction --------
+            if not folded:
+                for f in flags_may_written(ins):
+                    flags.pop(f, None)
+                if m == "movl" and isinstance(ops[1], Register) \
+                        and isinstance(ops[0], Immediate) \
+                        and ops[1].name not in ("esp", "ebp"):
+                    consts[ops[1].name] = ops[0].value & MASK32
+                else:
+                    for r in regs_written(ins):
+                        consts.pop(r, None)
+            else:
+                for r in regs_written(ins) - {ops[1].name
+                                              if len(ops) > 1 and
+                                              isinstance(ops[1], Register)
+                                              else ""}:
+                    consts.pop(r, None)
+        nb = OptBlock(list(b.labels), out, b.frozen)
+        out_blocks.append(nb)
+    return out_blocks, count
+
+
+# ---------------------------------------------------------------------------
+# pass 2: local value numbering (copies, loads/stores, push/pop pairs)
+# ---------------------------------------------------------------------------
+
+class _Pair:
+    """A pending ``pushl`` awaiting its ``popl``."""
+    __slots__ = ("idx", "slot", "vn", "dirty")
+
+    def __init__(self, idx, slot, vn):
+        self.idx = idx
+        self.slot = slot
+        self.vn = vn
+        self.dirty = slot is None
+
+
+def _keys_alias(a, b) -> bool:
+    """May two memory keys overlap?  (None = unknown address.)"""
+    if a is None or b is None:
+        return True
+    if a[0] == "abs" and b[0] == "abs":
+        return abs(a[1] - b[1]) < 4
+    if a[0] != "abs" and b[0] != "abs" and a[0] == b[0]:
+        return abs(a[1] - b[1]) < 4
+    return True
+
+
+def local_values(blocks: list[OptBlock],
+                 ctx: OptContext) -> tuple[list[OptBlock], int]:
+    """Local value numbering over each block.
+
+    Tracks a symbolic value number per register and per known memory
+    slot, and uses them for copy propagation, store-to-load
+    forwarding, redundant self-moves, dead store-then-overwrite
+    elimination, and — the naive codegen's signature pattern —
+    push/pop pair elimination with the popped value rematerialized
+    from wherever it still lives (a register, a constant, or the
+    memory slot it was loaded from).
+
+    Memory slots are named either concretely (``entry-%esp + k``, when
+    the value-range analysis pins the base register to a single value)
+    or relative to a register's block-entry value; two slots with the
+    same root and offsets 4 apart are provably disjoint, everything
+    else conservatively aliases.
+    """
+    count = 0
+    out_blocks = []
+    for bi, b in enumerate(blocks):
+        if b.frozen:
+            out_blocks.append(b.copy())
+            continue
+        tok = iter(range(1, 1 << 30))
+        reg_val = {r: ("r0", r) for r in GP}
+        mem: dict = {}
+        load_info: dict = {}
+        last_store: dict = {}          # key -> (out index, Memory operand)
+        pairs: list[_Pair] = []
+        out: list = []
+
+        def opq():
+            return ("opq", next(tok))
+
+        def lin_vn(root_vn, delta):
+            delta &= MASK32
+            if root_vn[0] == "const":
+                return ("const", (root_vn[1] + delta) & MASK32)
+            if root_vn[0] == "lin":
+                root, d = root_vn[1], root_vn[2]
+                delta = (d + delta) & MASK32
+            elif root_vn[0] == "r0":
+                root = root_vn
+            else:
+                return None
+            return root if delta == 0 else ("lin", root, delta)
+
+        def key_of(op: Memory, j):
+            env = ctx.at.get((bi, j), {})
+            rel = op.displacement
+            concrete = op.base is not None or op.index is not None
+            for reg, scale in ((op.base, 1), (op.index, op.scale)):
+                if reg is None:
+                    continue
+                iv = env.get(reg)
+                if iv is not None and not iv.is_bottom and iv.lo == iv.hi:
+                    rel += scale * int(iv.lo)
+                else:
+                    concrete = False
+            if concrete:
+                return ("abs", rel)
+            if op.index is not None or op.base is None:
+                return None
+            bvn = reg_val[op.base]
+            lv = lin_vn(bvn, op.displacement)
+            if lv is None or lv[0] == "const":
+                return None
+            if lv[0] == "r0":
+                return (lv, 0)
+            return (lv[1], _signed(lv[2]))
+
+        def esp_slot(j, delta):
+            """Key of the stack slot at current %esp + delta."""
+            env = ctx.at.get((bi, j), {})
+            iv = env.get("esp")
+            if iv is not None and not iv.is_bottom and iv.lo == iv.hi:
+                return ("abs", int(iv.lo) + delta)
+            lv = lin_vn(reg_val["esp"], delta)
+            if lv is None or lv[0] == "const":
+                return None
+            if lv[0] == "r0":
+                return (lv, 0)
+            return (lv[1], _signed(lv[2]))
+
+        def note_read(key):
+            """A load from ``key`` happened: earlier stores to it are
+            live, and a pushed slot it may overlap can't disappear."""
+            for k in [k for k in last_store if _keys_alias(k, key)]:
+                del last_store[k]
+            for p in pairs:
+                if _keys_alias(p.slot, key):
+                    p.dirty = True
+
+        def note_store(key, vn):
+            for k in [k for k in mem if _keys_alias(k, key)]:
+                del mem[k]
+            if key is not None:
+                mem[key] = vn
+            for p in pairs:
+                if key is None or _keys_alias(p.slot, key):
+                    p.dirty = True
+            if key is None:
+                last_store.clear()
+
+        def in_stack(op: Memory, j) -> bool:
+            env = ctx.at.get((bi, j), {})
+            if op.base is None or op.index is not None:
+                return False
+            iv = env.get(op.base)
+            if iv is None:
+                return False
+            return iv.add(Interval.const(op.displacement)).contains(
+                SAFE_LO, SAFE_HI)
+
+        def vn_of(op, j):
+            if isinstance(op, Immediate):
+                return ("const", op.value & MASK32)
+            if isinstance(op, LabelImmediate) and op.address is not None:
+                return ("const", op.address & MASK32)
+            if isinstance(op, Register):
+                return reg_val[op.name]
+            if isinstance(op, Memory):
+                key = key_of(op, j)
+                note_read(key)
+                if key is not None and key in mem:
+                    return mem[key]
+                t = next(tok)
+                deps = tuple(reg_val[r] for r in (op.base, op.index) if r)
+                load_info[t] = (op, deps)
+                v = ("load", t)
+                if key is not None:
+                    mem[key] = v
+                return v
+            return opq()
+
+        def holder_of(vn, exclude=()):
+            for r in GP:
+                if r not in exclude and reg_val[r] == vn:
+                    return r
+            return None
+
+        def generic(ins, j):
+            """Conservative state update for unmodelled instructions."""
+            mem_ops = [o for o in ins.operands if isinstance(o, Memory)]
+            if has_mem_read(ins) or has_mem_write(ins):
+                keys = [key_of(o, j) for o in mem_ops]
+                if has_mem_read(ins):
+                    for k in keys or [None]:
+                        note_read(k)
+                if has_mem_write(ins):
+                    for k in keys or [None]:
+                        note_store(k, opq())
+            for r in regs_written(ins):
+                reg_val[r] = opq()
+
+        for j, ins in enumerate(b.instrs):
+            m, ops = ins.mnemonic, ins.operands
+
+            if m == "movl" and isinstance(ops[1], Register):
+                src, dst = ops
+                if isinstance(src, Register) and src.name == dst.name:
+                    count += 1            # self-move
+                    continue
+                can_forward = isinstance(src, (Register, Immediate)) or \
+                    (isinstance(src, Memory) and in_stack(src, j))
+                sv = vn_of(src, j)
+                if reg_val[dst.name] == sv and can_forward \
+                        and dst.name != "esp":
+                    count += 1            # destination already holds it
+                    continue
+                if isinstance(src, Memory) and can_forward:
+                    if sv[0] == "const":
+                        out.append(replace(ins, operands=(
+                            Immediate(sv[1]), dst)))
+                        reg_val[dst.name] = sv
+                        count += 1
+                        continue
+                    r = holder_of(sv)
+                    if r is not None:
+                        out.append(replace(ins, operands=(
+                            Register(r), dst)))
+                        reg_val[dst.name] = sv
+                        count += 1
+                        continue
+                out.append(ins)
+                reg_val[dst.name] = sv
+                continue
+
+            if m == "movl" and isinstance(ops[1], Memory):
+                sv = vn_of(ops[0], j)
+                key = key_of(ops[1], j)
+                if key is not None and key in last_store \
+                        and last_store[key][1] == ops[1]:
+                    out[last_store[key][0]] = None   # store-then-overwrite
+                    count += 1
+                out.append(ins)
+                note_store(key, sv)
+                if key is not None:
+                    last_store[key] = (len(out) - 1, ops[1])
+                continue
+
+            if m == "pushl":
+                sv = vn_of(ops[0], j)
+                slot = esp_slot(j, -4)
+                out.append(ins)
+                note_store(slot, sv)
+                if slot is not None:
+                    last_store.pop(slot, None)
+                pairs.append(_Pair(len(out) - 1, slot, sv))
+                reg_val["esp"] = lin_vn(reg_val["esp"], -4) or opq()
+                continue
+
+            if m == "popl" and isinstance(ops[0], Register):
+                dst = ops[0].name
+                slot = esp_slot(j, 0)
+                pair = pairs.pop() if pairs else None
+                done = False
+                if pair is not None and not pair.dirty \
+                        and slot is not None and pair.slot == slot:
+                    vn = pair.vn
+                    if reg_val[dst] == vn and dst != "esp":
+                        out[pair.idx] = None
+                        done = True
+                    elif vn[0] == "const" and dst != "esp":
+                        out[pair.idx] = None
+                        out.append(Instruction(
+                            "movl", (Immediate(vn[1]), Register(dst)),
+                            ins.address, ins.source_line))
+                        done = True
+                    else:
+                        r = holder_of(vn, exclude=("esp",))
+                        if r is not None and dst != "esp":
+                            out[pair.idx] = None
+                            out.append(Instruction(
+                                "movl", (Register(r), Register(dst)),
+                                ins.address, ins.source_line))
+                            done = True
+                        elif vn[0] == "load" and dst != "esp":
+                            memop, deps = load_info[vn[1]]
+                            now = tuple(reg_val[r] for r in
+                                        (memop.base, memop.index) if r)
+                            lk = key_of(memop, j)
+                            if now == deps and lk is not None \
+                                    and mem.get(lk) == vn:
+                                out[pair.idx] = None
+                                out.append(Instruction(
+                                    "movl", (memop, Register(dst)),
+                                    ins.address, ins.source_line))
+                                done = True
+                    if done:
+                        count += 1
+                        reg_val[dst] = vn
+                        if dst != "esp":
+                            reg_val["esp"] = lin_vn(reg_val["esp"], 4) \
+                                or opq()
+                        mem.pop(pair.slot, None)
+                        continue
+                # unmatched or unmaterializable: a plain pop
+                vn = mem.get(slot) if slot is not None else None
+                if vn is None:
+                    vn = opq()
+                note_read(slot)
+                out.append(ins)
+                reg_val[dst] = vn
+                if dst != "esp":
+                    reg_val["esp"] = lin_vn(reg_val["esp"], 4) or opq()
+                continue
+
+            if m == "popl" and isinstance(ops[0], Memory):
+                slot = esp_slot(j, 0)
+                note_read(slot)
+                if pairs:
+                    pairs.pop()
+                vn = mem.get(slot) if slot is not None else None
+                key = key_of(ops[0], j)
+                out.append(ins)
+                note_store(key, vn if vn is not None else opq())
+                reg_val["esp"] = lin_vn(reg_val["esp"], 4) or opq()
+                continue
+
+            if m == "leal" and isinstance(ops[0], Memory) \
+                    and isinstance(ops[1], Register):
+                memop = ops[0]
+                vn = None
+                if memop.index is None and memop.base is not None:
+                    vn = lin_vn(reg_val[memop.base], memop.displacement)
+                elif memop.base is None and memop.index is None:
+                    vn = ("const", memop.displacement & MASK32)
+                out.append(ins)
+                reg_val[ops[1].name] = vn or opq()
+                continue
+
+            if m in ("addl", "subl") and isinstance(ops[0], Immediate) \
+                    and isinstance(ops[1], Register):
+                d = ops[0].value if m == "addl" else -ops[0].value
+                out.append(ins)
+                reg_val[ops[1].name] = lin_vn(reg_val[ops[1].name], d) \
+                    or opq()
+                continue
+
+            if m in ("incl", "decl") and isinstance(ops[0], Register):
+                out.append(ins)
+                reg_val[ops[0].name] = lin_vn(
+                    reg_val[ops[0].name], 1 if m == "incl" else -1) or opq()
+                continue
+
+            out.append(ins)
+            generic(ins, j)
+
+        nb = OptBlock(list(b.labels),
+                      [i for i in out if i is not None], b.frozen)
+        out_blocks.append(nb)
+    return out_blocks, count
+
+
+# ---------------------------------------------------------------------------
+# pass 3: global liveness + dead code elimination
+# ---------------------------------------------------------------------------
+
+def asm_liveness(blocks: list[OptBlock]) -> list[frozenset]:
+    """Backward may-liveness of registers *and* individual flags.
+
+    Returns ``live_out`` per block.  Conservative boundaries: a block
+    with no static successors (``ret``/``halt``/jump out of the text)
+    and every ``call`` leave everything live — the callee, the
+    caller's continuation, and the final machine state may observe any
+    register or flag.  Both the optimizer's DCE and the translation
+    validator use this same function, so they can never disagree about
+    what "dead" means.
+    """
+    labels = block_index_map(blocks)
+    n = len(blocks)
+    everything = frozenset(GP) | frozenset(FLAG_NAMES)
+    live_in = [frozenset()] * n
+    live_out = [frozenset()] * n
+
+    def transfer(b: OptBlock, live: frozenset) -> frozenset:
+        for ins in reversed(b.instrs):
+            live = frozenset(
+                (live - regs_written(ins) - flags_written(ins))
+                | regs_read(ins) | flags_read(ins))
+        return live
+
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            succs = block_succs(blocks, i, labels)
+            last = blocks[i].instrs[-1] if blocks[i].instrs else None
+            if not succs or (last is not None and last.mnemonic in CALLS):
+                lo = everything
+            else:
+                lo = frozenset().union(*(live_in[s] for s in succs))
+            li = transfer(blocks[i], lo)
+            if lo != live_out[i] or li != live_in[i]:
+                live_out[i], live_in[i] = lo, li
+                changed = True
+    return live_out
+
+
+#: mnemonics dead-code elimination never deletes
+_KEEP = JUMPS | CALLS | {"pushl", "popl", "idivl", "leave", "ret", "halt"}
+
+
+def eliminate_dead(blocks: list[OptBlock],
+                   ctx: OptContext) -> tuple[list[OptBlock], int]:
+    """Delete instructions whose every effect is provably unobserved.
+
+    An instruction dies when all registers it writes and all flags it
+    may write are dead, it stores nothing, and — if it loads — the
+    value-range analysis bounds every loaded address inside the stack
+    (so no fault and no watcher-visible access disappears from an
+    address we can't account for).
+    """
+    live_out = asm_liveness(blocks)
+    count = 0
+    out_blocks = []
+    for bi, b in enumerate(blocks):
+        if b.frozen:
+            out_blocks.append(b.copy())
+            continue
+        live = set(live_out[bi])
+        kept_rev = []
+        for j in range(len(b.instrs) - 1, -1, -1):
+            ins = b.instrs[j]
+            m = ins.mnemonic
+            deletable = (
+                m not in _KEEP
+                and not has_mem_write(ins)
+                and not (regs_written(ins) & live)
+                and not (flags_may_written(ins) & live))
+            if deletable and has_mem_read(ins):
+                accs = _access_intervals(ins, ctx.at.get((bi, j), {}))
+                deletable = accs is not None and all(
+                    iv.contains(SAFE_LO, SAFE_HI) for iv in accs)
+            if deletable:
+                count += 1
+                continue
+            kept_rev.append(ins)
+            live -= regs_written(ins) | flags_written(ins)
+            live |= regs_read(ins) | flags_read(ins)
+        out_blocks.append(OptBlock(list(b.labels), kept_rev[::-1],
+                                   b.frozen))
+    return out_blocks, count
+
+
+# ---------------------------------------------------------------------------
+# pass 4: jump threading + unreachable code removal
+# ---------------------------------------------------------------------------
+
+def thread_jumps(blocks: list[OptBlock],
+                 ctx: OptContext) -> tuple[list[OptBlock], int]:
+    """Retarget jumps through trivial blocks; drop jumps to the next
+    block; empty blocks no path from the entry reaches.
+
+    A *trivial* block is empty (pure fall-through) or a single
+    ``jmp``.  Unreachable blocks keep their labels — the label simply
+    comes to rest on whatever instruction follows — so every
+    reference stays resolvable.
+    """
+    new_blocks = [b.copy() for b in blocks]
+    labels = block_index_map(new_blocks)
+    n = len(new_blocks)
+    count = 0
+
+    def resolve(i, *, empty_only: bool = False):
+        seen = set()
+        while i is not None and 0 <= i < n and i not in seen:
+            seen.add(i)
+            b = new_blocks[i]
+            if not b.instrs:
+                i = i + 1 if i + 1 < n else None
+                continue
+            if not empty_only and len(b.instrs) == 1 \
+                    and b.instrs[0].mnemonic == "jmp":
+                t = labels.get(b.instrs[0].operands[0].name)
+                if t is None:
+                    break
+                i = t
+                continue
+            break
+        return i
+
+    for i, nb in enumerate(new_blocks):
+        if not nb.instrs:
+            continue
+        last = nb.instrs[-1]
+        m = last.mnemonic
+        if m not in JUMPS:
+            continue
+        t0 = labels.get(last.operands[0].name)
+        t = resolve(t0)
+        if t is not None and t != t0:
+            name = new_blocks[t].labels[0] if new_blocks[t].labels else None
+            if name is None:
+                name = f".opt{t}"
+                while name in labels:
+                    name += "x"
+                new_blocks[t].labels.append(name)
+                labels[name] = t
+            nb.instrs[-1] = replace(last,
+                                    operands=(LabelRef(name, None),))
+            count += 1
+            t0 = t
+        fall = resolve(i + 1, empty_only=True)
+        if t0 is not None and resolve(t0, empty_only=True) == fall:
+            # target and fall-through meet: the jump is a no-op
+            nb.instrs.pop()
+            count += 1
+
+    reach = reachable_blocks(new_blocks, ctx.entry)
+    for i, nb in enumerate(new_blocks):
+        if i not in reach and nb.instrs:
+            nb.instrs = []
+            count += 1
+    return new_blocks, count
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+PIPELINE = (fold_constants, local_values, eliminate_dead, thread_jumps)
+
+
+def stack_safe_addresses(program: Program) -> frozenset:
+    """Instruction addresses whose every memory access is proved
+    within ``[esp0 + SAFE_LO, esp0 + SAFE_HI]`` of the entry %esp."""
+    blocks, bail = extract_blocks(program)
+    if bail:
+        return frozenset()
+    entry = None
+    for i, b in enumerate(blocks):
+        if b.instrs and b.instrs[0].address == program.entry_address:
+            entry = i
+    if entry is None:
+        return frozenset()
+    at, _ = stack_ranges(blocks, entry)
+    safe = set()
+    for (bi, j), env in at.items():
+        ins = blocks[bi].instrs[j]
+        accs = _access_intervals(ins, env)
+        if accs and all(iv.contains(SAFE_LO, SAFE_HI) for iv in accs):
+            safe.add(ins.address)
+    return frozenset(safe)
+
+
+def optimize_program(program: Program, *, validate: bool = True,
+                     passes=None, rounds: int = 2) -> OptResult:
+    """Run the pass pipeline over ``program``; every rewritten block is
+    translation-validated against its original and reverted on any
+    doubt.  Returns an :class:`OptResult` whose ``program`` behaves
+    identically to the input when executed from its entry point.
+
+    The result's program carries ``stack_safe`` — the range-analysis
+    facts the JIT consumes to elide per-access stack guards.
+    """
+    passes = PIPELINE if passes is None else passes
+    blocks, bail = extract_blocks(program)
+    result = OptResult(program=program, original=program,
+                       static_before=len(program.instructions),
+                       static_after=len(program.instructions))
+    if bail:
+        result.bailed = bail
+        return result
+    entry = None
+    for i, b in enumerate(blocks):
+        if b.instrs and b.instrs[0].address == program.entry_address:
+            entry = i
+    if entry is None:
+        result.bailed = "entry not at a block boundary"
+        return result
+    result.blocks = len(blocks)
+
+    if validate:
+        from repro.analysis.verify import validate_blocks
+
+    for _ in range(max(1, rounds)):
+        for passfn in passes:
+            at, entry_env = stack_ranges(blocks, entry)
+            ctx = OptContext(at, entry_env, entry,
+                             block_index_map(blocks))
+            new_blocks, n = passfn(blocks, ctx)
+            name = getattr(passfn, "__name__", "pass")
+            result.pass_stats[name] = result.pass_stats.get(name, 0) + n
+            if validate:
+                rejs = validate_blocks(blocks, new_blocks,
+                                       entry_index=entry,
+                                       entry_bounds=entry_env)
+                for r in rejs:
+                    r.pass_name = name
+                result.rejections.extend(rejs)
+                bad = {r.block for r in rejs}
+                merged = []
+                for i in range(len(blocks)):
+                    if i in bad:
+                        keep = blocks[i].copy()
+                        keep.labels = list(new_blocks[i].labels)
+                        merged.append(keep)
+                    else:
+                        merged.append(new_blocks[i])
+                blocks = merged
+            else:
+                blocks = new_blocks
+
+    optimized = rebuild(blocks, program)
+    optimized.stack_safe = stack_safe_addresses(optimized)
+    result.program = optimized
+    result.static_after = len(optimized.instructions)
+    result.proved_safe = len(optimized.stack_safe)
+    return result

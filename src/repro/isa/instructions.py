@@ -129,6 +129,12 @@ class Program:
     #: this program — see repro.isa.machine._compile_instruction
     predecoded: dict | None = field(default=None, init=False,
                                     repr=False, compare=False)
+    #: addresses of instructions whose every memory access the
+    #: optimizer's value-range analysis proved inside the stack
+    #: (repro.analysis.opt stamps this; the JIT elides per-access
+    #: bounds guards for exactly these instructions)
+    stack_safe: frozenset | None = field(default=None, init=False,
+                                         repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.by_address = {ins.address: ins for ins in self.instructions}

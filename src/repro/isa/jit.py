@@ -99,11 +99,13 @@ class JitStats:
     side_exits: int = 0          # exits before a block's final instruction
     jit_steps: int = 0           # instructions executed inside blocks
     failures: int = 0            # addresses that could not be compiled
+    guards_elided: int = 0       # accesses compiled without a bounds check
 
     def as_dict(self) -> dict[str, int]:
         return {"blocks_compiled": self.blocks_compiled,
                 "entries": self.entries, "side_exits": self.side_exits,
-                "jit_steps": self.jit_steps, "failures": self.failures}
+                "jit_steps": self.jit_steps, "failures": self.failures,
+                "guards_elided": self.guards_elided}
 
 
 class CompiledBlock:
@@ -146,7 +148,8 @@ def supports(space) -> bool:
 
 class _Writer:
     def __init__(self, *, record: bool, bus: bool, trace: bool,
-                 fast: bool = False) -> None:
+                 fast: bool = False,
+                 safe: frozenset = frozenset()) -> None:
         self.body: list[str] = []
         self.addresses: list[int] = []
         self.used: set[str] = set()
@@ -154,6 +157,12 @@ class _Writer:
         self.bus = bus
         self.trace = trace
         self.fast = fast
+        # instruction addresses whose memory accesses the optimizer's
+        # range analysis proved inside the stack region — those compile
+        # without the bounds compare (watcher check only)
+        self.safe = safe
+        self.cur_safe = False
+        self.elided = 0
         self._t = 0
         self.closed = False
         # deferred fetch accounting: consecutive fetch-only instructions
@@ -168,16 +177,17 @@ class _Writer:
         self._t += 1
         return f"{prefix}{self._t}"
 
-    def mark(self) -> tuple[int, int, int, int]:
+    def mark(self) -> tuple[int, int, int, int, int]:
         return (len(self.body), len(self.addresses),
-                len(self._frun), len(self.segs))
+                len(self._frun), len(self.segs), self.elided)
 
-    def rollback(self, mark: tuple[int, int, int, int]) -> None:
+    def rollback(self, mark: tuple[int, int, int, int, int]) -> None:
         """Drop everything emitted since ``mark`` (unsupported ins)."""
         del self.body[mark[0]:]
         del self.addresses[mark[1]:]
         del self._frun[mark[2]:]
         del self.segs[mark[3]:]
+        self.elided = mark[4]
 
     def reg(self, name: str) -> str:
         if name not in GP32:
@@ -209,14 +219,22 @@ class _Writer:
         whose (static) permissions allow it, and the scalar path keeps
         handling everything else: other regions, faults, and any
         attached watcher (``W`` is the live watcher list, so attaching
-        one mid-run disables the shortcut for every later access)."""
+        one mid-run disables the shortcut for every later access).
+
+        When the optimizer's range analysis proved this instruction's
+        accesses inside the stack region (``cur_safe``), the bounds
+        compare is elided — only the watcher check remains."""
         v = self.temp("v")
         if not self.fast:
             self.emit(f"{v} = load({a}, 4)")
             return v
         o = self.temp("o")
         self.emit(f"{o} = {a} - SB")
-        self.emit(f"if W or not 0 <= {o} <= SL:")
+        if self.cur_safe:
+            self.elided += 1
+            self.emit("if W:")
+        else:
+            self.emit(f"if W or not 0 <= {o} <= SL:")
         self.emit(f"    {v} = load({a}, 4)")
         self.emit("else:")
         self.emit(f"    {v} = ifb(SD[{o}:{o} + 4], 'little')")
@@ -231,7 +249,11 @@ class _Writer:
             return
         o = self.temp("o")
         self.emit(f"{o} = {a} - SB")
-        self.emit(f"if W or not 0 <= {o} <= SL:")
+        if self.cur_safe:
+            self.elided += 1
+            self.emit("if W:")
+        else:
+            self.emit(f"if W or not 0 <= {o} <= SL:")
         self.emit(f"    store({a}, {value}, 4)")
         self.emit("else:")
         self.emit(f"    SD[{o}:{o} + 4] = ({value}).to_bytes(4, 'little')")
@@ -300,6 +322,7 @@ class _Writer:
         """
         i = len(self.addresses)
         self.addresses.append(ins.address)
+        self.cur_safe = ins.address in self.safe
         if self.record:
             self._frun.append(i)
         if risky:
@@ -678,6 +701,21 @@ class JitEngine:
                     and region.contains(esp, 1):
                 self.stack_region = region
                 break
+        #: instruction addresses whose guards may be elided: only when
+        #: the optimizer stamped its proof on the program, the machine
+        #: is still at the entry state the proof assumed (step 0, eip at
+        #: the entry point), and the stack region actually covers the
+        #: analysis's safe envelope around the entry %esp
+        self.safe: frozenset = frozenset()
+        proved = getattr(machine.program, "stack_safe", None)
+        if proved and self.stack_region is not None \
+                and machine.steps == 0 \
+                and machine.regs.eip == machine.program.entry_address:
+            from repro.analysis.opt import SAFE_HI, SAFE_LO
+            region = self.stack_region
+            if region.contains(esp + SAFE_LO, 1) \
+                    and region.contains(esp + SAFE_HI + 3, 1):
+                self.safe = frozenset(proved)
         if replay is None:
             self.flush = None
         else:
@@ -790,12 +828,14 @@ class JitEngine:
         record = m.record_fetches
         writer = _Writer(record=record, bus=self.flush is not None,
                          trace=self.backing.trace_enabled,
-                         fast=self.stack_region is not None)
+                         fast=self.stack_region is not None,
+                         safe=self.safe)
         self._form(writer, entry)
         if not writer.addresses:
             return None
         if record and not self._fetchable(writer.addresses):
             return None               # the interpreter faults identically
+        self.stats.guards_elided += writer.elided
         return self._finish(writer, entry)
 
     def _fetchable(self, addresses: list[int]) -> bool:

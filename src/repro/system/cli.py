@@ -30,6 +30,9 @@ options:
   --jit / --no-jit              superblock-JIT hot code (default: on;
                                 every reported number is identical
                                 either way, only wall-clock changes)
+  --opt / --no-opt              run the translation-validated optimizer
+                                pipeline first (default: off; final
+                                machine state is proved unchanged)
   --chrome OUT.json             also write a Chrome trace of the run
 
 Compiles PROG with the course's C-subset compiler, runs it through the
@@ -64,6 +67,10 @@ def run(argv: list[str]) -> int:
             kwargs["jit"] = True
         elif arg == "--no-jit":
             kwargs["jit"] = False
+        elif arg == "--opt":
+            kwargs["opt"] = True
+        elif arg == "--no-opt":
+            kwargs["opt"] = False
         elif arg == "--chrome":
             if not args:
                 print("error: --chrome needs a file path")

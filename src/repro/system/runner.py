@@ -68,6 +68,11 @@ class RunReport:
     #: of counters() — JIT on/off must not change the stats-equality
     #: currency the benches compare.
     jit: dict | None = None
+    #: optimizer summary (per-pass rewrite counts, validator verdicts)
+    #: when the run was given ``opt=True``; None otherwise. Also not in
+    #: counters() — the *effect* of optimizing shows up there already,
+    #: as fewer instructions/cycles.
+    opt: dict | None = None
 
     @property
     def cpi(self) -> float:
@@ -121,6 +126,11 @@ class RunReport:
                 f"{self.jit['entries']} entries, "
                 f"{self.jit['side_exits']} side exits, "
                 f"{covered:.1%} of instructions in compiled blocks")
+            if self.jit.get("guards_elided"):
+                lines.append(f"jit: {self.jit['guards_elided']} bounds "
+                             "guards elided (proved stack-safe)")
+        if self.opt:
+            lines.append(f"opt: {self.opt['summary']}")
         for pid, status in sorted(self.exit_statuses.items()):
             who = f"pid {pid}" if pid else "program"
             crash = f"  [killed: {self.faults[pid]}]" \
@@ -140,7 +150,8 @@ def run_system(program: Program | str, *, bus: str = "flat",
                procs: int = 1, cost: CostModel | None = None,
                recorder=None, timeslice: int = 2, batch: int = 100,
                max_steps: int = 1_000_000, entry: str = "main",
-               jit: bool = True, **bus_kwargs) -> RunReport:
+               jit: bool = True, opt: bool = False,
+               **bus_kwargs) -> RunReport:
     """Execute ``program`` over the chosen bus and report the trip.
 
     ``program`` is an assembled :class:`Program` or C-subset source
@@ -155,9 +166,29 @@ def run_system(program: Program | str, *, bus: str = "flat",
     is identical either way — the differential tests pin that. Runs
     with an enabled recorder interpret regardless (per-instruction
     spans need the scalar loop).
+
+    ``opt`` (default off) runs the program through the translation-
+    validated optimizer pipeline (:mod:`repro.analysis.opt`) first;
+    the report's ``opt`` field carries the pass summary. Final machine
+    state is unchanged by construction — every rewritten block is
+    proved equivalent or reverted.
     """
     if isinstance(program, str):
         program = program_from_source(program, entry=entry)
+    opt_stats = None
+    if opt:
+        from repro.analysis.opt import optimize_program
+        result = optimize_program(program)
+        program = result.program
+        opt_stats = {
+            "summary": result.summary(),
+            "static_before": result.static_before,
+            "static_after": result.static_after,
+            "proved_safe": result.proved_safe,
+            "pass_stats": dict(result.pass_stats),
+            "rejections": [str(r) for r in result.rejections],
+            "bailed": result.bailed,
+        }
     if bus not in BUS_KINDS:
         raise BusError(f"unknown bus kind {bus!r} "
                        f"(choose from {', '.join(BUS_KINDS)})")
@@ -220,6 +251,7 @@ def run_system(program: Program | str, *, bus: str = "flat",
         tlb=tlb, vm=vm, kernel=kernel_stats,
         faults=faults,
         jit=jit_stats,
+        opt=opt_stats,
     )
 
 

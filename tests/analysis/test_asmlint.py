@@ -111,3 +111,82 @@ class TestDataSection:
     def test_data_directives_skipped(self):
         src = ".data\nvalue:\n    .long 42\n.text\nmain:\n    ret\n"
         assert lint_asm(src) == []
+
+
+class TestSelfMove:
+    def test_register_self_move_flagged(self):
+        fs = lint_asm(".text\nmain:\n    movl %eax, %eax\n    ret\n")
+        assert lines_of(fs, "asm-self-move") == [3]
+
+    def test_distinct_registers_clean(self):
+        assert lint_asm(".text\nmain:\n    movl %eax, %ebx\n    ret\n") == []
+
+    def test_memory_roundtrip_not_a_self_move(self):
+        # same *location* through memory is covered by asm-dead-store,
+        # not the register rule
+        src = ".text\nmain:\n    movl -4(%ebp), %eax\n    ret\n"
+        assert lines_of(lint_asm(src), "asm-self-move") == []
+
+
+class TestDeadStore:
+    def test_store_then_overwrite_flagged_at_first_store(self):
+        src = (".text\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "    movl $2, -4(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == [3]
+
+    def test_intervening_read_keeps_store(self):
+        src = (".text\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "    movl -4(%ebp), %eax\n"
+               "    movl $2, -4(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == []
+
+    def test_any_memory_read_clears_tracking(self):
+        # aliasing is out of scope: a read of *any* location intervenes
+        src = (".text\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "    movl -8(%ebp), %eax\n"
+               "    movl $2, -4(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == []
+
+    def test_label_boundary_clears_tracking(self):
+        src = (".text\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "loop:\n"
+               "    movl $2, -4(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == []
+
+    def test_base_register_write_clears_tracking(self):
+        src = (".text\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "    movl %esp, %ebp\n"
+               "    movl $2, -4(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == []
+
+    def test_different_displacements_both_kept(self):
+        src = (".text\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "    movl $2, -8(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == []
+
+    def test_mixed_width_overwrite_not_flagged(self):
+        src = (".text\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "    movb $2, -4(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == []
+
+    def test_call_clears_tracking(self):
+        src = (".text\nf:\n    ret\nmain:\n"
+               "    movl $1, -4(%ebp)\n"
+               "    call f\n"
+               "    movl $2, -4(%ebp)\n"
+               "    ret\n")
+        assert lines_of(lint_asm(src), "asm-dead-store") == []

@@ -25,7 +25,7 @@ EXPECTED_KINDS = {
     "race-candidate", "lock-order-cycle",
     "asm-unreachable", "asm-arity", "asm-immediate-dest",
     "asm-undefined-label", "asm-duplicate-label",
-    "asm-unknown-mnemonic",
+    "asm-unknown-mnemonic", "asm-self-move", "asm-dead-store",
 }
 
 

@@ -1,0 +1,116 @@
+"""Differential fuzzing of the optimizer.
+
+Randomized (seeded, so deterministic) C-subset programs are compiled
+once and executed four ways; two equivalence groups pin soundness:
+
+* **unoptimized vs. optimized**, interpreted: identical exit status,
+  final registers, flags, and memory image (the data region in full,
+  the stack from the final %esp up — anything below is scratch).
+* **optimized interpreted vs. optimized + JIT**, on all three buses:
+  identical :meth:`RunReport.counters` — the bus/cache/TLB numbers are
+  derived from the full access trace, so equality here is trace
+  equality — and identical exit statuses.
+
+The generator stays inside the course grammar (ints, fixed-bound
+loops, arrays, address-of/deref, calls, ``/`` and ``%`` by nonzero
+constants) so every program terminates and never faults.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.opt import optimize_program
+from repro.isa.machine import Machine
+from repro.system.runner import program_from_source, run_system
+
+SEEDS = range(10)
+
+
+def gen_source(seed: int) -> str:
+    rng = random.Random(seed)
+    n = rng.randint(4, 8)
+    lines = [
+        "int helper(int x, int y) {",
+        f"    int t = x * {rng.randint(1, 5)} + y;",
+    ]
+    if rng.random() < 0.7:
+        lines += [
+            f"    if (t > {rng.randint(0, 40)}) {{",
+            f"        t = t - {rng.randint(1, 9)};",
+            "    } else {",
+            f"        t = t + {rng.randint(1, 9)};",
+            "    }",
+        ]
+    lines += [
+        f"    return t % {rng.randint(3, 9)} + t / {rng.randint(2, 7)};",
+        "}",
+        "",
+        "int main() {",
+        f"    int a[{n}];",
+        "    int s = 0;",
+        f"    for (int i = 0; i < {n}; i = i + 1) {{",
+        f"        a[i] = i * {rng.randint(1, 7)} + {rng.randint(0, 9)};",
+        "    }",
+        "    int j = 0;",
+        f"    while (j < {n}) {{",
+        f"        s = s + helper(a[j], j) * {rng.randint(1, 3)};",
+        "        j = j + 1;",
+        "    }",
+        "    int p = &s;",
+        f"    *p = *p + {rng.randint(1, 20)};",
+    ]
+    if rng.random() < 0.5:
+        lines += [
+            f"    if (s % {rng.randint(2, 5)} == 0) {{",
+            f"        s = s + a[{rng.randint(0, n - 1)}];",
+            "    }",
+        ]
+    lines += ["    return s % 256;", "}"]
+    return "\n".join(lines) + "\n"
+
+
+def final_state(program):
+    """(status, regs, flags, memory-above-esp + data regions)."""
+    machine = Machine(program)
+    status = machine.run()
+    regs = machine.regs.snapshot()
+    flags = machine.regs.flags
+    esp = machine.regs.get("esp")
+    memory = []
+    for region in machine.space.regions:
+        if not region.writable:
+            continue
+        data = bytes(region.data)
+        if region.contains(esp, 1):
+            data = data[esp - region.start:]
+        memory.append((region.start, data))
+    return status, regs, (flags.zf, flags.sf, flags.cf, flags.of), memory
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_optimized_program_is_observably_identical(seed):
+    src = gen_source(seed)
+    result = optimize_program(program_from_source(src))
+    s0, regs0, flags0, mem0 = final_state(program_from_source(src))
+    s1, regs1, flags1, mem1 = final_state(result.program)
+    assert s1 == s0
+    assert regs1 == regs0
+    assert flags1 == flags0
+    assert mem1 == mem0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("bus", ["flat", "cached", "virtual"])
+def test_opt_jit_trace_equal_on_every_bus(seed, bus):
+    src = gen_source(seed)
+    program = optimize_program(program_from_source(src)).program
+    interp = run_system(program, bus=bus, jit=False)
+    jitted = run_system(program, bus=bus, jit=True)
+    assert jitted.counters() == interp.counters()
+    assert jitted.exit_statuses == interp.exit_statuses
+
+
+def test_generator_is_deterministic():
+    assert gen_source(3) == gen_source(3)
+    assert gen_source(3) != gen_source(4)

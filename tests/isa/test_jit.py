@@ -288,7 +288,7 @@ class TestJitMachinery:
         assert stats is not None
         d = stats.as_dict()
         assert set(d) == {"blocks_compiled", "entries", "side_exits",
-                          "jit_steps", "failures"}
+                          "jit_steps", "failures", "guards_elided"}
         assert d["jit_steps"] <= machine.steps
         assert d["entries"] >= d["blocks_compiled"]
 
