@@ -51,6 +51,7 @@ class Heap:
         self._live_bytes = 0
         #: shared trace recorder (see repro.obs); NULL_RECORDER when off
         self.recorder = coalesce(recorder)
+        self._ctr_series = None   # trace handle, resolved on first use
 
     # -- allocation ---------------------------------------------------------
 
@@ -84,10 +85,12 @@ class Heap:
         return 0  # NULL: out of memory
 
     def _record_counters(self, ts: float) -> None:
-        self.recorder.counter(
-            "heap", {"live_bytes": self._live_bytes,
-                     "live_blocks": len(self.live_blocks)},
-            ts=ts, pid="clib", tid="heap", cat="heap")
+        if self._ctr_series is None:
+            self._ctr_series = self.recorder.counter_series(
+                "heap", ("live_bytes", "live_blocks"),
+                pid="clib", tid="heap", cat="heap")
+        self._ctr_series.sample(
+            ts, (self._live_bytes, len(self.live_blocks)))
 
     def calloc(self, count: int, size: int) -> int:
         """malloc + zero fill (the heap starts zeroed, but blocks may be reused)."""

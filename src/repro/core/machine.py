@@ -186,6 +186,8 @@ class SimMachine:
         self.makespan = 0.0
         self.total_work_cycles = 0.0
         self._ran = False
+        #: (core id, thread name) → gantt span series (trace handles)
+        self._gantt_series: dict[tuple[int, str], object] = {}
 
     # -- thread management ------------------------------------------------------
 
@@ -222,11 +224,16 @@ class SimMachine:
             if end > start:
                 self.timeline.append((core_id, thread.name, start, end))
                 if self.recorder.enabled:
-                    # the gantt segment: thread ran on this core
-                    self.recorder.complete(
-                        thread.name, ts=start, dur=end - start,
-                        pid="threads", tid=f"core {core_id}",
-                        cat="threads")
+                    # the gantt segment: thread ran on this core (the
+                    # span handle is resolved once per core × thread)
+                    key = (core_id, thread.name)
+                    series = self._gantt_series.get(key)
+                    if series is None:
+                        series = self.recorder.span_series(
+                            thread.name, pid="threads",
+                            tid=f"core {core_id}", cat="threads")
+                        self._gantt_series[key] = series
+                    series.add(start, end - start)
             heapq.heappush(self._cores, (end, core_id))
             self.makespan = max(self.makespan, end)
         blocked = [t for t in self.threads if t.state == "blocked"]

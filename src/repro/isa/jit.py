@@ -39,8 +39,18 @@ constraint, pinned by the differential tests:
   hierarchy always sees the exact scalar access sequence.
 
 The JIT declines work instead of approximating it: byte-width
-instructions, sub-register operands, unknown space types, and enabled
-recorders all fall back to the predecoded interpreter.
+instructions, sub-register operands, and unknown space types fall back
+to the predecoded interpreter.
+
+An enabled recorder composes with the JIT instead of disabling it:
+every block execution records one complete-span (``block 0x...`` on
+the ``isa/cpu`` track, ``dur`` and ``args["instructions"]`` = the
+instructions it retired, including partial side-exit and fault runs),
+and instructions the dispatcher still interprets record one span each
+— all batched through the recorder's bulk-append path, so tracing
+costs the dispatch loop two list appends per block entry. That is the
+JIT's span granularity: per-instruction ``eip`` args (and fetch
+instants) exist only on the interpreter paths.
 """
 
 from __future__ import annotations
@@ -67,6 +77,8 @@ DEFAULT_THRESHOLD = 8
 MAX_BLOCK = 64
 #: pending bus-accounting entries that force a flush at a block boundary
 FLUSH_LIMIT = 1 << 16
+#: pending trace spans per bulk append when the recorder is enabled
+TRACE_CHUNK = 4096
 
 _M32 = "4294967295"          # MASK32
 _SIGN = "2147483648"         # 0x8000_0000
@@ -109,12 +121,15 @@ class JitStats:
 
 
 class CompiledBlock:
-    __slots__ = ("entry", "length", "fn")
+    __slots__ = ("entry", "length", "fn", "name_id")
 
-    def __init__(self, entry: int, length: int, fn) -> None:
+    def __init__(self, entry: int, length: int, fn,
+                 name_id: int = -1) -> None:
         self.entry = entry
         self.length = length
         self.fn = fn
+        #: the block's interned trace label (-1 when tracing is off)
+        self.name_id = name_id
 
 
 def _bind(space):
@@ -687,6 +702,7 @@ class JitEngine:
         self.pending: list[tuple] = []
         self.fault_steps: int | None = None
         self._cfg = None
+        self._trace_ids: dict[int, int] | None = None
         self.backing, replay = _bind(machine.space)
         if self.backing is None:
             raise MachineFault(
@@ -736,6 +752,12 @@ class JitEngine:
         through the predecoded handlers one instruction at a time, with
         pending bus accounting flushed first so the memory hierarchy
         sees accesses in exact program order.
+
+        With the recorder enabled, block executions and interpreted
+        instructions append (name, ts, instructions) triples to one
+        pending stream, bulk-flushed every :data:`TRACE_CHUNK` events
+        (and before any fault instant), so buffer order follows
+        execution order at a few list appends per dispatch.
         """
         m = self.machine
         regs = m.regs
@@ -752,6 +774,27 @@ class JitEngine:
         fetch = space.fetch
         steps = m.steps
         entries = side_exits = jit_steps = 0
+        rec = m.recorder
+        traced = rec.enabled
+        if traced:
+            if self._trace_ids is None:
+                self._trace_ids = {
+                    addr: rec.intern(ins.mnemonic)
+                    for addr, ins in m.program.by_address.items()}
+            ids = self._trace_ids
+            t_track = rec.intern_track("isa", "cpu")
+            t_cat = rec.intern("isa")
+            t_key = rec.intern("instructions")
+            p_names: list[int] = []
+            p_ts: list[int] = []
+            p_ins: list[int] = []
+
+            def rflush() -> None:
+                rec.complete_batch(p_names, p_ts, p_ins, track_id=t_track,
+                                   cat_id=t_cat, key_id=t_key, vals=p_ins)
+                p_names.clear()
+                p_ts.clear()
+                p_ins.clear()
         try:
             while not m.halted:
                 eip = regs.eip
@@ -759,6 +802,12 @@ class JitEngine:
                 if blk is not None:
                     if steps + blk.length <= max_steps:
                         next_eip, executed = blk.fn()
+                        if traced:
+                            p_names.append(blk.name_id)
+                            p_ts.append(steps)
+                            p_ins.append(executed)
+                            if len(p_names) >= TRACE_CHUNK:
+                                rflush()
                         steps += executed
                         entries += 1
                         jit_steps += executed
@@ -798,16 +847,32 @@ class JitEngine:
                 if record:
                     fetch(eip, INSTRUCTION_SIZE)
                 next_eip = handler(m, eip + INSTRUCTION_SIZE)
+                if traced:
+                    p_names.append(ids[eip])
+                    p_ts.append(steps)
+                    p_ins.append(1)
+                    if len(p_names) >= TRACE_CHUNK:
+                        rflush()
                 if next_eip == SENTINEL_RETURN:
                     m.halted = True
                 regs.eip = next_eip & MASK32
                 steps += 1
-        except BaseException:
+        except BaseException as exc:
             if self.fault_steps is not None:
+                if traced:
+                    # the faulting block's partial run, span included
+                    p_names.append(blk.name_id)
+                    p_ts.append(steps)
+                    p_ins.append(self.fault_steps)
                 steps += self.fault_steps
                 jit_steps += self.fault_steps
                 entries += 1
                 self.fault_steps = None
+            if traced:
+                rflush()
+                rec.instant("fault", ts=steps, pid="isa", tid="cpu",
+                            cat="isa",
+                            args={"eip": regs.eip, "what": str(exc)})
             raise
         finally:
             m.steps = steps
@@ -816,6 +881,8 @@ class JitEngine:
             stats.jit_steps += jit_steps
             if pending:
                 flush()
+            if traced and p_names:
+                rflush()
         return regs.get_signed("eax")
 
     # -- compilation ------------------------------------------------------
@@ -934,4 +1001,6 @@ class JitEngine:
         fn = namespace["_make"](self.machine, self, addresses,
                                 fetch_tuples, fetch_accesses,
                                 fetch_segs, access_segs, MachineFault)
-        return CompiledBlock(entry, len(addresses), fn)
+        rec = self.machine.recorder
+        name_id = rec.intern(f"block {entry:#x}") if rec.enabled else -1
+        return CompiledBlock(entry, len(addresses), fn, name_id)

@@ -368,10 +368,9 @@ class Machine:
 
     def _jit(self):
         """This machine's JIT engine, or None when JIT can't apply here
-        (unsupported space type, or an enabled recorder — the traced
-        loop needs per-instruction spans)."""
-        if self.recorder.enabled:
-            return None
+        (unsupported space type). An enabled recorder no longer falls
+        back to the interpreter: the engine records one complete-span
+        per superblock execution instead of per-instruction spans."""
         if self._jit_engine is None:
             from repro.isa import jit as _jitmod
             if _jitmod.supports(self.space):
@@ -435,20 +434,52 @@ class Machine:
             self.steps = steps
         return regs.get_signed("eax")
 
+    #: pending per-instruction events per bulk flush in the traced loop
+    TRACE_CHUNK = 4096
+
     def _run_traced(self, handlers, max_steps: int) -> int:
         """The :meth:`run` loop with per-instruction span recording.
 
         Identical state transitions to the untraced loop (the oracle
-        tests pin both); kept separate so a disabled recorder costs the
-        hot loop exactly one branch, outside it.
+        tests pin both). The per-step cost is two list appends: spans
+        (and fetch instants, when ``record_fetches``) accumulate in
+        plain lists and land in the recorder's structured-array ring in
+        :attr:`TRACE_CHUNK`-sized bulk appends — one numpy slice
+        assignment per column instead of one event object per step.
+        Flushes happen before any fault instant and on exit, so event
+        order in the buffer still follows execution order.
         """
         regs = self.regs
         record = self.record_fetches
         fetch = self.space.fetch
         rec = self.recorder
-        mnemonics = {addr: ins.mnemonic
-                     for addr, ins in self.program.by_address.items()}
+        ids = {addr: rec.intern(ins.mnemonic)
+               for addr, ins in self.program.by_address.items()}
+        track = rec.intern_track("isa", "cpu")
+        cat = rec.intern("isa")
+        eip_key = rec.intern("eip")
+        fetch_id = rec.intern("fetch") if record else -1
+        chunk = self.TRACE_CHUNK
+        pending: list[int] = []                      # eips, in step order
+        append = pending.append
         steps = self.steps
+        base = steps                                 # ts of pending[0]
+        flush_at = base + chunk
+
+        def flush() -> None:
+            nonlocal base, flush_at
+            if pending:
+                if record:
+                    rec.instant_run(fetch_id, base, track_id=track,
+                                    cat_id=cat, key_id=eip_key,
+                                    vals=pending)
+                rec.complete_run(list(map(ids.__getitem__, pending)),
+                                 base, track_id=track, cat_id=cat,
+                                 key_id=eip_key, vals=pending)
+                pending.clear()
+            base = steps
+            flush_at = base + chunk
+
         try:
             while not self.halted:
                 if steps >= max_steps:
@@ -457,6 +488,7 @@ class Machine:
                 eip = regs.eip
                 handler = handlers.get(eip)
                 if handler is None:
+                    flush()
                     rec.instant("fault", ts=steps, pid="isa", tid="cpu",
                                 cat="isa",
                                 args={"eip": eip,
@@ -464,23 +496,24 @@ class Machine:
                     raise MachineFault(_fell_off(eip, steps))
                 if record:
                     fetch(eip, INSTRUCTION_SIZE)
-                    rec.instant("fetch", ts=steps, pid="isa", tid="cpu",
-                                cat="isa", args={"eip": eip})
                 try:
                     next_eip = handler(self, eip + INSTRUCTION_SIZE)
                 except MachineFault as exc:
+                    flush()
                     rec.instant("fault", ts=steps, pid="isa", tid="cpu",
                                 cat="isa",
                                 args={"eip": eip, "what": str(exc)})
                     raise
-                rec.complete(mnemonics[eip], ts=steps, dur=1, pid="isa",
-                             tid="cpu", cat="isa", args={"eip": eip})
+                steps += 1
+                append(eip)
+                if steps >= flush_at:
+                    flush()
                 if next_eip == SENTINEL_RETURN:
                     self.halted = True
                 regs.eip = next_eip & MASK32
-                steps += 1
         finally:
             self.steps = steps
+            flush()
         return regs.get_signed("eax")
 
     def run_slice(self, limit: int, *, jit: bool | None = None) -> int:

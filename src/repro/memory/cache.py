@@ -145,20 +145,26 @@ class Cache:
         #: shared trace recorder (see repro.obs); NULL_RECORDER when off
         self.recorder = coalesce(recorder)
         self.trace_name = trace_name
+        # trace handles, resolved on first traced access (the recorder
+        # may be attached after construction by the bus wiring)
+        self._ctr_series = None
+        self._ev_series = None
 
     def _record_counters(self, *, evicted: bool = False) -> None:
         """Counter sample (+ eviction instant) after a traced access."""
         stats = self.stats
+        if self._ctr_series is None:
+            rec = self.recorder
+            self._ctr_series = rec.counter_series(
+                self.trace_name, ("hits", "misses", "evictions"),
+                pid="memory", tid=self.trace_name, cat="cache")
+            self._ev_series = rec.instant_series(
+                "eviction", pid="memory", tid=self.trace_name,
+                cat="cache")
         if evicted:
-            self.recorder.instant(
-                "eviction", ts=self._clock, pid="memory",
-                tid=self.trace_name, cat="cache")
-        self.recorder.counter(
-            self.trace_name,
-            {"hits": stats.hits, "misses": stats.misses,
-             "evictions": stats.evictions},
-            ts=self._clock, pid="memory", tid=self.trace_name,
-            cat="cache")
+            self._ev_series.hit(self._clock)
+        self._ctr_series.sample(
+            self._clock, (stats.hits, stats.misses, stats.evictions))
 
     # -- core access ---------------------------------------------------------
 

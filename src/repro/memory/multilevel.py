@@ -92,6 +92,8 @@ class CacheHierarchy:
                     dtype=bool, count=len(addrs))
             else:
                 hits = vectorcache.simulate_arrays(cache, addrs, stores)
+            if cache.recorder.enabled:
+                cache._record_counters()     # one sample per level batch
             hit_level[remaining[hits]] = i
             misses = ~hits
             addrs, stores = addrs[misses], stores[misses]

@@ -24,7 +24,10 @@ Try it from the shell::
 
 from repro.obs.chrome import to_chrome, validate, write_chrome
 from repro.obs.recorder import (
+    DEFAULT_POLICIES,
     NULL_RECORDER,
+    POLICY_ALL,
+    POLICY_COUNTERS,
     NullRecorder,
     TraceEvent,
     TraceRecorder,
@@ -40,7 +43,10 @@ from repro.obs.report import (
 )
 
 __all__ = [
+    "DEFAULT_POLICIES",
     "NULL_RECORDER",
+    "POLICY_ALL",
+    "POLICY_COUNTERS",
     "NullRecorder",
     "TraceEvent",
     "TraceRecorder",

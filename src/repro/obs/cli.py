@@ -19,12 +19,21 @@ from repro.obs.report import profile_report
 
 USAGE = """\
 usage: python -m repro trace DEMO [--chrome OUT.json] [--top N]
+                                  [--sample N] [--counters-only]
+                                  [--capacity K]
 
 demos: {demos}
 
 Runs the demo with a trace recorder attached to every simulator it
 touches, prints the text profile, and (with --chrome) writes a
-Perfetto-loadable Chrome trace-event JSON file."""
+Perfetto-loadable Chrome trace-event JSON file.
+
+Recording policy (see repro.obs.recorder):
+  --sample N        keep 1 in N events per category (exact dropped
+                    accounting; durable B/E nesting always kept)
+  --counters-only   fold every category into aggregate counters —
+                    near-zero storage, final values still exact
+  --capacity K      ring-buffer capacity in events (default 65536)"""
 
 
 # -- demo workloads (each returns a one-line summary) -----------------------
@@ -146,6 +155,9 @@ def run(argv: list[str]) -> int:
     demo = None
     chrome_path = None
     top = 10
+    sample = None
+    counters_only = False
+    capacity = 65536
     args = list(argv)
     while args:
         arg = args.pop(0)
@@ -162,6 +174,18 @@ def run(argv: list[str]) -> int:
                 print("error: --top needs an integer")
                 return 2
             top = int(args.pop(0))
+        elif arg == "--sample":
+            if not args or not args[0].isdigit() or int(args[0]) < 2:
+                print("error: --sample needs an integer >= 2")
+                return 2
+            sample = int(args.pop(0))
+        elif arg == "--counters-only":
+            counters_only = True
+        elif arg == "--capacity":
+            if not args or not args[0].isdigit() or int(args[0]) < 1:
+                print("error: --capacity needs a positive integer")
+                return 2
+            capacity = int(args.pop(0))
         elif arg.startswith("-"):
             print(f"error: unknown option {arg!r}\n{usage}")
             return 2
@@ -177,7 +201,15 @@ def run(argv: list[str]) -> int:
         print(f"error: unknown demo {demo!r}\n{usage}")
         return 2
 
-    recorder = TraceRecorder()
+    if counters_only and sample is not None:
+        print("error: --sample and --counters-only are exclusive")
+        return 2
+    policies = None
+    if counters_only:
+        policies = {"*": "counters"}
+    elif sample is not None:
+        policies = {"*": sample}
+    recorder = TraceRecorder(capacity=capacity, policies=policies)
     names = list(DEMOS) if demo == "all" else [demo]
     for name in names:
         print(DEMOS[name](recorder))

@@ -10,6 +10,11 @@ simulated time went. Three lenses, all built on
   (context switches, syscalls, lock holds, worker dispatch…);
 * **counters** — final value of every counter series (cache hit/miss
   totals, TLB accounting, live heap bytes) with miss attribution.
+
+Events folded by the recorder's ``"counters"`` policy arrive as one
+synthetic event per series whose ``args["count"]`` carries how many
+emits it stands for; the span/instant tables weight by it so the
+profile reads the same whether a category was stored or folded.
 """
 
 from __future__ import annotations
@@ -35,13 +40,17 @@ def span_latency(recorder: TraceRecorder | NullRecorder
                  ) -> list[tuple[str, str, int, float, float]]:
     """(track, name, count, total dur, mean dur) per span name."""
     totals: dict[tuple[str, str], list[float]] = defaultdict(list)
+    weights: Counter[tuple[str, str]] = Counter()
     for ev in recorder.events():
         if ev.ph == "X":
-            totals[(f"{ev.pid}/{ev.tid}", ev.name)].append(ev.dur or 0.0)
+            key = (f"{ev.pid}/{ev.tid}", ev.name)
+            totals[key].append(ev.dur or 0.0)
+            weights[key] += ev.args.get("count", 1) if ev.args else 1
     rows = []
     for (track, name), durs in sorted(totals.items()):
         total = sum(durs)
-        rows.append((track, name, len(durs), total, total / len(durs)))
+        count = weights[(track, name)]
+        rows.append((track, name, count, total, total / count))
     rows.sort(key=lambda r: -r[3])
     return rows
 
@@ -52,7 +61,8 @@ def instant_counts(recorder: TraceRecorder | NullRecorder
     counts: Counter[tuple[str, str]] = Counter()
     for ev in recorder.events():
         if ev.ph == "i":
-            counts[(f"{ev.pid}/{ev.tid}", ev.name)] += 1
+            counts[(f"{ev.pid}/{ev.tid}", ev.name)] += \
+                ev.args.get("count", 1) if ev.args else 1
     return [(track, name, n)
             for (track, name), n in counts.most_common()]
 

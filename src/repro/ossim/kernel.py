@@ -79,6 +79,17 @@ class Kernel:
         self.stats = KernelStats()
         self._next_pid = INIT_PID
         self._last_ran: int | None = None
+        # hot-path trace handles, resolved once per identity so the
+        # per-unit cost is one dict hit + one handle call (and nothing
+        # at all when the recorder is disabled): pid → {op class →
+        # span emitter} with the running pid's map pre-selected at
+        # dispatch, (event name, pid) → instant series, plus the
+        # kernel's context-switch instant series
+        self._traced = self.recorder.enabled
+        self._op_emit: dict = {}
+        self._cur_emit: dict = {}
+        self._inst_series: dict = {}
+        self._cs_series = None
         # init: adopts orphans, auto-reaps, never scheduled
         init = self._new_pcb("init", ppid=0, ops=[])
         init.state = ProcessState.BLOCKED
@@ -173,14 +184,36 @@ class Kernel:
                 if not self._step_one(pid):
                     break
 
+    def _instant(self, name: str, pid: int, args: "dict | None") -> None:
+        """Emit a lifecycle instant on a process's track via a cached
+        handle (fork, exit, signal… — call only when recorder.enabled)."""
+        key = (name, pid)
+        series = self._inst_series.get(key)
+        if series is None:
+            series = self.recorder.instant_series(
+                name, pid="ossim", tid=f"pid {pid}", cat="ossim")
+            self._inst_series[key] = series
+        series.hit(self.stats.total_units, args)
+
     def _dispatch(self, pid: int) -> None:
         if pid != self._last_ran:
             self.stats.context_switches += 1
-            if self.recorder.enabled:
-                self.recorder.instant(
-                    "context-switch", ts=self.stats.total_units,
-                    pid="ossim", tid="kernel", cat="ossim",
-                    args={"from": self._last_ran, "to": pid})
+            if self._traced:
+                series = self._cs_series
+                if series is None:
+                    series = self._cs_series = self.recorder.instant_series(
+                        "context-switch", pid="ossim", tid="kernel",
+                        cat="ossim")
+                series.hit(
+                    self.stats.total_units,
+                    {"from": self._last_ran, "to": pid}
+                    if series.wants_args else None)
+                # point the per-unit fast path at this pid's emitter
+                # map so _step_one never allocates a lookup key
+                cur = self._op_emit.get(pid)
+                if cur is None:
+                    cur = self._op_emit[pid] = {}
+                self._cur_emit = cur
             self._last_ran = pid
         try:
             self.ready.remove(pid)
@@ -211,14 +244,32 @@ class Kernel:
             return False
         op = pcb.program.pop(0)
         pcb.cpu_time += 1
-        self.stats.total_units += 1
-        if self.recorder.enabled:
-            # each unit is a 1-wide span on the process's own track
-            self.recorder.complete(
-                type(op).__name__, ts=self.stats.total_units - 1, dur=1,
-                pid="ossim", tid=f"pid {pcb.pid}", cat="ossim",
-                args={"name": pcb.name})
+        units = self.stats.total_units + 1
+        self.stats.total_units = units
+        if self._traced:
+            # each unit is a 1-wide span on the process's own track;
+            # the emitter is resolved once per (op class, pid) and the
+            # running pid's map is pre-selected at dispatch, so the
+            # per-unit cost is one allocation-free dict get plus the
+            # handle call (for folded series, its bound add())
+            emit = self._cur_emit.get(op.__class__)
+            if emit is None:
+                emit = self._make_op_emit(op, pcb)
+            emit(units - 1)
         return self._execute(pcb, op)
+
+    def _make_op_emit(self, op: Op, pcb: PCB):
+        """Resolve (and cache) the span emitter for one (op class, pid)."""
+        series = self.recorder.span_series(
+            op.__class__.__name__, pid="ossim",
+            tid=f"pid {pcb.pid}", cat="ossim")
+        if series.wants_args:
+            def emit(ts, _add=series.add, _pcb=pcb):
+                _add(ts, 1.0, {"name": _pcb.name})
+        else:
+            emit = series.add
+        self._cur_emit[op.__class__] = emit
+        return emit
 
     def _execute(self, pcb: PCB, op: Op) -> bool:
         if isinstance(op, Print):
@@ -257,11 +308,9 @@ class Kernel:
                                      f"{op.program_name!r}")
             pcb.program = list(image.ops)   # replace the whole image
             pcb.name = op.program_name
-            if self.recorder.enabled:
-                self.recorder.instant(
-                    "exec", ts=self.stats.total_units, pid="ossim",
-                    tid=f"pid {pcb.pid}", cat="ossim",
-                    args={"program": op.program_name})
+            if self._traced:
+                self._instant("exec", pcb.pid,
+                              {"program": op.program_name})
             return True
         if isinstance(op, InstallHandler):
             pcb.handlers[op.signal] = list(op.handler)
@@ -296,11 +345,8 @@ class Kernel:
             # the program crashed (segfault, divide error, bad fetch):
             # the kernel kills it, SIGSEGV-style
             pcb.fault = str(exc)
-            if self.recorder.enabled:
-                self.recorder.instant(
-                    "crash", ts=self.stats.total_units, pid="ossim",
-                    tid=f"pid {pcb.pid}", cat="ossim",
-                    args={"what": str(exc)})
+            if self._traced:
+                self._instant("crash", pcb.pid, {"what": str(exc)})
             self._binary_teardown(pcb.pid)
             self._do_exit(pcb, 128 + int(Signal.SIGKILL))
             return False
@@ -327,18 +373,12 @@ class Kernel:
         parent.program[:0] = list(op.parent)
         self.ready.append(child.pid)
         self.stats.forks += 1
-        if self.recorder.enabled:
-            self.recorder.instant(
-                "fork", ts=self.stats.total_units, pid="ossim",
-                tid=f"pid {parent.pid}", cat="ossim",
-                args={"child": child.pid})
+        if self._traced:
+            self._instant("fork", parent.pid, {"child": child.pid})
 
     def _do_exit(self, pcb: PCB, status: int) -> None:
-        if self.recorder.enabled:
-            self.recorder.instant(
-                "exit", ts=self.stats.total_units, pid="ossim",
-                tid=f"pid {pcb.pid}", cat="ossim",
-                args={"status": status})
+        if self._traced:
+            self._instant("exit", pcb.pid, {"status": status})
         pcb.exit_status = status
         pcb.state = ProcessState.ZOMBIE
         if pcb.pid in self.ready:
@@ -390,11 +430,8 @@ class Kernel:
         pcb.state = ProcessState.BLOCKED
         pcb.waiting = True
         pcb.wait_target = target
-        if self.recorder.enabled:
-            self.recorder.instant(
-                "wait-blocked", ts=self.stats.total_units, pid="ossim",
-                tid=f"pid {pcb.pid}", cat="ossim",
-                args={"target": target})
+        if self._traced:
+            self._instant("wait-blocked", pcb.pid, {"target": target})
         return False
 
     def _complete_wait(self, parent: PCB) -> None:
@@ -421,10 +458,8 @@ class Kernel:
             return
         pcb.pending_signals.append(sig)
         self.stats.signals_delivered += 1
-        if self.recorder.enabled:
-            self.recorder.instant(
-                "signal", ts=self.stats.total_units, pid="ossim",
-                tid=f"pid {pid}", cat="ossim", args={"sig": sig.name})
+        if self._traced:
+            self._instant("signal", pid, {"sig": sig.name})
         # signals interrupt Pause (and wake BLOCKED processes that have a
         # handler or a terminating default)
         if pcb.state is ProcessState.BLOCKED and not pcb.waiting:
@@ -436,13 +471,12 @@ class Kernel:
         while pcb.pending_signals and pcb.alive:
             sig = pcb.pending_signals.pop(0)
             handler = pcb.handlers.get(sig)
-            if self.recorder.enabled:
-                self.recorder.instant(
-                    "signal-delivered", ts=self.stats.total_units,
-                    pid="ossim", tid=f"pid {pcb.pid}", cat="ossim",
-                    args={"sig": sig.name,
-                          "disposition": ("handler" if handler is not None
-                                          else "default")})
+            if self._traced:
+                self._instant(
+                    "signal-delivered", pcb.pid,
+                    {"sig": sig.name,
+                     "disposition": ("handler" if handler is not None
+                                     else "default")})
             if sig == Signal.SIGKILL:         # cannot be caught
                 self._do_exit(pcb, 128 + int(sig))
                 return

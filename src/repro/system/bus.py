@@ -171,10 +171,14 @@ class FlatBus(ByteAddressable):
     kind = "flat"
 
     def __init__(self, space: AddressSpace | None = None, *,
-                 cost: CostModel | None = None) -> None:
+                 cost: CostModel | None = None, recorder=None) -> None:
+        from repro.obs.recorder import coalesce
         self.space = space or AddressSpace.standard()
         self.cost = cost or CostModel()
         self.stats = BusStats()
+        #: shared trace recorder (see repro.obs); NULL_RECORDER when off
+        self.recorder = coalesce(recorder)
+        self._ctr_series = None   # trace handle, resolved on first use
 
     def view(self, pid: int | None = None) -> "FlatBus":
         """A flat bus has no per-process state; every view is the bus."""
@@ -212,6 +216,16 @@ class FlatBus(ByteAddressable):
         self.stats.stores += kinds["store"]
         self.stats.fetches += kinds["fetch"]
         self.stats.charge("memory", len(accesses) * self.cost.memory_time)
+        if self.recorder.enabled:
+            # one cumulative sample per replayed block, so JIT-batched
+            # runs stay visible in the trace
+            if self._ctr_series is None:
+                self._ctr_series = self.recorder.counter_series(
+                    "bus", ("loads", "stores", "fetches"),
+                    pid="memory", tid="bus", cat="cache")
+            self._ctr_series.sample(
+                self.recorder.now(),
+                (self.stats.loads, self.stats.stores, self.stats.fetches))
 
     def describe(self) -> str:
         return "flat: address space -> RAM (no caches, no translation)"
@@ -608,7 +622,7 @@ def make_bus(kind: str, *, cost: CostModel | None = None,
     """Build a bus by name — the CLI's ``--bus {flat,cached,virtual}``."""
     if kind == "flat":
         return FlatBus(AddressSpace.standard(trace=trace),
-                       cost=cost, **kwargs)
+                       cost=cost, recorder=recorder, **kwargs)
     if kind == "cached":
         return CachedBus(AddressSpace.standard(trace=trace),
                          cost=cost, recorder=recorder, **kwargs)

@@ -163,9 +163,10 @@ def run_system(program: Program | str, *, bus: str = "flat",
 
     ``jit`` (default on) compiles hot superblocks per machine (see
     :mod:`repro.isa.jit`); every reported number except wall-clock time
-    is identical either way — the differential tests pin that. Runs
-    with an enabled recorder interpret regardless (per-instruction
-    spans need the scalar loop).
+    is identical either way — the differential tests pin that. Tracing
+    composes with the JIT: an enabled recorder gets one complete-span
+    per compiled-block execution (per-instruction spans only where the
+    interpreter runs), with identical reported stats either way.
 
     ``opt`` (default off) runs the program through the translation-
     validated optimizer pipeline (:mod:`repro.analysis.opt`) first;

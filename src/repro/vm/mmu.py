@@ -105,6 +105,7 @@ class MMU:
         self.current_pid: int | None = None
         self.stats = MmuStats()
         self._clock = 0
+        self._ctr_series = None   # trace handle, resolved on first use
 
     # -- process management ----------------------------------------------------
 
@@ -197,16 +198,23 @@ class MMU:
         if write:
             entry.dirty = True
         if self.recorder.enabled:
-            self.recorder.counter(
-                "vm", {"accesses": self.stats.accesses,
-                       "page_faults": self.stats.page_faults,
-                       "evictions": self.stats.evictions,
-                       "writebacks": self.stats.writebacks},
-                ts=self._clock, pid="vm", tid="mmu", cat="vm")
+            self._record_counters()
         return Translation(pid, vaddr, vpn, frame,
                            paddr=(frame << self._offset_bits) | offset,
                            tlb_hit=tlb_hit, page_fault=page_fault,
                            evicted=evicted, wrote_back=wrote_back)
+
+    def _record_counters(self) -> None:
+        """One cumulative "vm" counter sample at the current clock."""
+        if self._ctr_series is None:
+            self._ctr_series = self.recorder.counter_series(
+                "vm", ("accesses", "page_faults", "evictions",
+                       "writebacks"),
+                pid="vm", tid="mmu", cat="vm")
+        stats = self.stats
+        self._ctr_series.sample(
+            self._clock, (stats.accesses, stats.page_faults,
+                          stats.evictions, stats.writebacks))
 
     def _handle_fault(self, pid: int, vpn: int
                       ) -> tuple[int, tuple[int, int] | None, bool]:
@@ -314,6 +322,10 @@ class MMU:
                     if bool(run_writes[1:].any()):
                         entry.dirty = True
 
+        if self.recorder.enabled:
+            # bulk-accounted repeat hits advanced the stats without a
+            # per-access sample; one cumulative sample closes the batch
+            self._record_counters()
         paddrs = (frames << self._offset_bits) | offsets
         return BatchTranslation(
             pid=pid, paddrs=paddrs,

@@ -44,12 +44,17 @@ class TLB:
         self.stats = TlbStats()
         #: shared trace recorder (see repro.obs); NULL_RECORDER when off
         self.recorder = coalesce(recorder)
+        self._ctr_series = None   # trace handle, resolved on first use
 
     def _record_counters(self) -> None:
-        self.recorder.counter(
-            "tlb", {"hits": self.stats.hits, "misses": self.stats.misses,
-                    "flushes": self.stats.flushes},
-            pid="vm", tid="tlb", cat="vm")
+        if self._ctr_series is None:
+            self._ctr_series = self.recorder.counter_series(
+                "tlb", ("hits", "misses", "flushes"),
+                pid="vm", tid="tlb", cat="vm")
+        stats = self.stats
+        self._ctr_series.sample(
+            self.recorder.now(),
+            (stats.hits, stats.misses, stats.flushes))
 
     def _key(self, pid: int, vpn: int) -> tuple[int, int]:
         return (pid if self.tagged else 0, vpn)

@@ -1,0 +1,238 @@
+"""Policy and ring-buffer regressions for the structured-array recorder.
+
+Three behaviours carry the "near-zero overhead" contract and get pinned
+here exactly:
+
+* **1-in-N sampling** — kept/skipped counts are exact (``sampled_out``
+  per category, ``dropped`` including ring overwrites), through the
+  scalar emitters, series handles, and bulk appends alike;
+* **"counters" folding** — high-rate categories store nothing per
+  event, materialize one summary event each on read, and reset cleanly
+  through live series handles on ``clear()``;
+* **ring wraparound** — bulk appends larger than the whole buffer keep
+  exactly the newest ``capacity`` events in emission order, with the
+  interned label table unharmed.
+"""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import POLICY_ALL, POLICY_COUNTERS, TraceRecorder
+
+
+class TestSamplingPolicy:
+    def test_scalar_one_in_n_exact_counts(self):
+        rec = TraceRecorder(policies={"hot": 4})
+        for i in range(10):
+            rec.instant("tick", ts=i, cat="hot")
+        # seq 0, 4, 8 are kept
+        assert [e.ts for e in rec.events()] == [0, 4, 8]
+        assert rec.sampled_out == {"hot": 7}
+        assert rec.dropped == 7
+
+    def test_sequence_is_shared_across_names_in_a_category(self):
+        rec = TraceRecorder(policies={"hot": 2})
+        for i in range(6):
+            rec.instant(f"e{i}", ts=i, cat="hot")
+        assert [e.name for e in rec.events()] == ["e0", "e2", "e4"]
+
+    def test_series_handles_sample_with_exact_accounting(self):
+        rec = TraceRecorder(policies={"hot": 3})
+        span = rec.span_series("op", cat="hot")
+        for i in range(9):
+            span.add(i)
+        assert len(rec) == 3
+        assert rec.sampled_out == {"hot": 6}
+
+    def test_bulk_run_samples_with_exact_accounting(self):
+        rec = TraceRecorder(policies={"hot": 5})
+        nid = rec.intern("step")
+        track = rec.intern_track("p", "t")
+        cat = rec.intern("hot")
+        rec.complete_run([nid] * 23, 0.0, track_id=track, cat_id=cat)
+        assert len(rec) == 5               # seq 0, 5, 10, 15, 20
+        assert rec.sampled_out == {"hot": 18}
+        assert [e.ts for e in rec.events()] == [0, 5, 10, 15, 20]
+
+    def test_sampling_sequence_continues_across_bulk_and_scalar(self):
+        rec = TraceRecorder(policies={"hot": 4})
+        nid = rec.intern("step")
+        track = rec.intern_track("p", "t")
+        cat = rec.intern("hot")
+        rec.complete_run([nid] * 3, 0.0, track_id=track, cat_id=cat)
+        rec.complete("step", ts=3.0, dur=1.0, cat="hot")  # seq 3: skipped
+        rec.complete("step", ts=4.0, dur=1.0, cat="hot")  # seq 4: kept
+        assert [e.ts for e in rec.events()] == [0.0, 4.0]
+        assert rec.sampled_out == {"hot": 3}
+
+    def test_begin_end_bypass_sampling(self):
+        rec = TraceRecorder(policies={"hot": 1000})
+        for i in range(4):
+            rec.begin("frame", ts=2 * i, cat="hot")
+            rec.end("frame", ts=2 * i + 1, cat="hot")
+        assert [e.ph for e in rec.events()] == ["B", "E"] * 4
+        assert rec.dropped == 0
+
+    def test_dropped_sums_overwrites_and_sampled_out(self):
+        rec = TraceRecorder(capacity=2, policies={"hot": 2})
+        for i in range(8):
+            rec.instant("tick", ts=i, cat="hot")
+        # 4 sampled out, 4 stored of which 2 overwritten
+        assert rec.sampled_out == {"hot": 4}
+        assert rec.dropped == 6
+        assert len(rec) == 2
+
+    def test_bad_policies_rejected(self):
+        for bad in ("sometimes", 0, -3, True, 1.5):
+            with pytest.raises(ObsError):
+                TraceRecorder(policies={"hot": bad})
+        with pytest.raises(ObsError):
+            TraceRecorder(policies={"*": "nope"})
+
+
+class TestCountersPolicy:
+    def test_spans_fold_to_count_and_total_duration(self):
+        rec = TraceRecorder(policies={"hot": POLICY_COUNTERS})
+        span = rec.span_series("op", cat="hot")
+        for i in range(5):
+            span.add(10 + i, 2.0)
+        events = rec.events()
+        assert len(events) == 1
+        (e,) = events
+        assert e.ph == "X" and e.ts == 10 and e.dur == 10.0
+        assert e.args == {"count": 5}
+
+    def test_instants_fold_to_counts(self):
+        rec = TraceRecorder(policies={"hot": POLICY_COUNTERS})
+        rec.instant("fault", ts=3, cat="hot")
+        rec.instant("fault", ts=9, cat="hot")
+        (e,) = rec.events()
+        assert e.ph == "i" and e.ts == 9 and e.args == {"count": 2}
+
+    def test_counters_keep_latest_cumulative_values(self):
+        rec = TraceRecorder(policies={"hot": POLICY_COUNTERS})
+        ctr = rec.counter_series("c", ("hits", "misses"), cat="hot")
+        ctr.sample(1, (1, 0))
+        ctr.sample(2, (5, 3))
+        (e,) = rec.events()
+        assert e.ph == "C" and e.ts == 2
+        assert e.args == {"hits": 5, "misses": 3}
+
+    def test_default_categories_fold_without_explicit_policies(self):
+        rec = TraceRecorder()
+        for cat in ("ossim", "cache", "vm"):
+            assert rec.policy_for(cat) == POLICY_COUNTERS
+        assert rec.policy_for("isa") == POLICY_ALL
+        assert rec.policy_for(None) == POLICY_ALL
+
+    def test_star_policy_replaces_defaults(self):
+        rec = TraceRecorder(policies={"*": POLICY_ALL})
+        assert rec.policy_for("ossim") == POLICY_ALL
+        rec = TraceRecorder(policies={"*": POLICY_COUNTERS})
+        assert rec.policy_for("isa") == POLICY_COUNTERS
+        assert rec.policy_for(None) == POLICY_COUNTERS
+
+    def test_bulk_run_folds_per_name(self):
+        rec = TraceRecorder(policies={"hot": POLICY_COUNTERS})
+        a, b = rec.intern("add"), rec.intern("sub")
+        track = rec.intern_track("p", "t")
+        cat = rec.intern("hot")
+        rec.complete_run([a, b, a, a, b], 100.0, track_id=track,
+                         cat_id=cat, dur=1.0)
+        by_name = {e.name: e for e in rec.events()}
+        assert by_name["add"].args == {"count": 3}
+        assert by_name["add"].ts == 100.0 and by_name["add"].dur == 3.0
+        assert by_name["sub"].args == {"count": 2}
+
+    def test_clear_resets_folds_through_live_handles(self):
+        rec = TraceRecorder(policies={"hot": POLICY_COUNTERS})
+        span = rec.span_series("op", cat="hot")
+        span.add(1)
+        rec.clear()
+        assert len(rec) == 0 and rec.events() == []
+        span.add(7, 2.0)        # the pre-clear handle still works
+        (e,) = rec.events()
+        assert e.ts == 7 and e.args == {"count": 1}
+
+
+class TestSeriesHandles:
+    def test_args_free_series_are_memoized(self):
+        rec = TraceRecorder()
+        a = rec.span_series("op", pid="p", tid="t", cat="isa")
+        b = rec.span_series("op", pid="p", tid="t", cat="isa")
+        assert a is b
+        assert rec.span_series("op", pid="p", tid="t2", cat="isa") is not a
+
+    def test_baked_args_series_are_not_memoized(self):
+        rec = TraceRecorder()
+        a = rec.span_series("op", args={"who": "a"})
+        b = rec.span_series("op", args={"who": "b"})
+        assert a is not b
+        a.add(1)
+        b.add(2)
+        assert [e.args for e in rec.events()] == [{"who": "a"},
+                                                 {"who": "b"}]
+
+    def test_wants_args_matches_policy(self):
+        rec = TraceRecorder(policies={"s": 2})
+        assert rec.span_series("op", cat="isa").wants_args is True
+        assert rec.span_series("op", cat="s").wants_args is True
+        assert rec.span_series("op", cat="ossim").wants_args is False
+        from repro.obs import NullRecorder
+        assert NullRecorder().span_series("op").wants_args is False
+
+
+class TestBulkWraparound:
+    def test_bulk_larger_than_capacity_keeps_newest(self):
+        rec = TraceRecorder(capacity=8)
+        nid = rec.intern("step")
+        track = rec.intern_track("p", "t")
+        rec.complete_run([nid] * 20, 0.0, track_id=track)
+        assert len(rec) == 8
+        assert rec.dropped == 12
+        assert [e.ts for e in rec.events()] == list(range(12, 20))
+
+    def test_repeated_bulk_appends_stay_in_order(self):
+        rec = TraceRecorder(capacity=10)
+        nid = rec.intern("step")
+        track = rec.intern_track("p", "t")
+        for chunk in range(5):
+            rec.complete_run([nid] * 4, chunk * 4.0, track_id=track)
+        ts = [e.ts for e in rec.events()]
+        assert ts == list(range(10, 20))
+        assert rec.dropped == 10
+
+    def test_bulk_wrap_preserves_per_event_columns(self):
+        rec = TraceRecorder(capacity=4)
+        ids = [rec.intern(f"n{i}") for i in range(6)]
+        track = rec.intern_track("p", "t")
+        key = rec.intern("eip")
+        rec.complete_run(ids, 0.0, track_id=track, key_id=key,
+                         vals=[10 * i for i in range(6)])
+        events = rec.events()
+        assert [e.name for e in events] == ["n2", "n3", "n4", "n5"]
+        assert [e.args for e in events] == [{"eip": 20}, {"eip": 30},
+                                            {"eip": 40}, {"eip": 50}]
+
+    def test_interning_is_stable_across_wrap_and_clear(self):
+        rec = TraceRecorder(capacity=2)
+        before = rec.intern("label")
+        for i in range(5):
+            rec.instant("label", ts=i)
+        assert rec.intern("label") == before
+        rec.clear()
+        assert rec.intern("label") == before
+        rec.instant("label", ts=99)
+        assert rec.events()[0].name == "label"
+
+    def test_mixed_scalar_and_bulk_wrap_order(self):
+        rec = TraceRecorder(capacity=6)
+        nid = rec.intern("bulk")
+        track = rec.intern_track("p", "t")
+        rec.instant("first", ts=0)
+        rec.complete_run([nid] * 4, 1.0, track_id=track)
+        rec.instant("last", ts=5)
+        rec.complete_run([nid] * 3, 6.0, track_id=track)
+        ts = [e.ts for e in rec.events()]
+        assert ts == [3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        assert rec.dropped == 3
