@@ -9,12 +9,15 @@ Subcommands::
     python -m repro analyze FILE.c|FILE.s|FILE.py|DIR ...
     python -m repro trace DEMO [--chrome OUT.json] [--top N]
     python -m repro run PROG.c [--bus flat|cached|virtual] [--procs N]
+    python -m repro gil [--threads N] [--probe] [--chrome OUT.json]
 
 ``analyze`` runs the static-analysis subsystem (see
 :mod:`repro.analysis`); ``trace`` runs a demo workload under the
 observability layer (see :mod:`repro.obs`) and prints a profile,
 optionally exporting a Chrome trace; ``run`` compiles a program and
-executes it over a pluggable memory bus (see :mod:`repro.system`).
+executes it over a pluggable memory bus (see :mod:`repro.system`);
+``gil`` demos the simulated interpreter lock ablation and probes the
+host's real executor backends (see :mod:`repro.core.backends`).
 Any subcommand replaces the tour.
 """
 
@@ -42,6 +45,9 @@ def main(argv: list[str] | None = None) -> int:
         return run(argv[1:])
     if argv and argv[0] == "run":
         from repro.system.cli import run
+        return run(argv[1:])
+    if argv and argv[0] == "gil":
+        from repro.core.cli import run
         return run(argv[1:])
     print("repro: CS 31 as an executable systems library")
     print("=" * 52)

@@ -16,6 +16,9 @@ from repro.core.machine import (
     CondBroadcast,
     CondSignal,
     CondWait,
+    GilConfig,
+    GilStats,
+    IoWait,
     Join,
     Lock,
     SemPost,
@@ -77,9 +80,22 @@ from repro.core.timeline import (
 )
 from repro.core import mp_backend
 from repro.core.mp_backend import WorkerPool, get_pool, shutdown_pool
+from repro.core.backends import (
+    BACKEND_NAMES,
+    BackendCapability,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    SubinterpreterBackend,
+    ThreadBackend,
+    get_backend,
+    gil_enabled,
+    probe_backends,
+)
 
 __all__ = [
     "SimMachine", "SimThread", "SyncCosts", "run_threads",
+    "GilConfig", "GilStats", "IoWait",
     "Work", "Lock", "Unlock", "BarrierWait", "CondWait", "CondSignal",
     "CondBroadcast", "SemWait", "SemPost", "Join", "Access", "AtomicOp",
     "Mutex", "Barrier", "ConditionVariable", "Semaphore",
@@ -91,6 +107,10 @@ __all__ = [
     "balance_ratio", "CHUNK_MODES", "chunk_indices", "dynamic_chunks",
     "guided_chunks", "schedule_makespan",
     "WorkerPool", "get_pool", "shutdown_pool",
+    "BACKEND_NAMES", "BackendCapability", "ExecutorBackend",
+    "SerialBackend", "ThreadBackend", "ProcessBackend",
+    "SubinterpreterBackend", "get_backend", "gil_enabled",
+    "probe_backends",
     "BoundedBuffer", "run_producer_consumer", "ProducerConsumerResult",
     "SemBoundedBuffer", "run_producer_consumer_sem",
     "SharedCounter", "parallel_map_cycles",

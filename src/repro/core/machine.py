@@ -28,6 +28,7 @@ Example::
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable
 
@@ -41,12 +42,30 @@ from repro.core.sync import Barrier, ConditionVariable, Mutex, Semaphore
 
 @dataclass(frozen=True)
 class Work:
-    """Occupy a core for ``cycles`` cycles."""
+    """Occupy a core for ``cycles`` cycles.
+
+    ``io=True`` marks the cycles as blocking I/O rather than
+    interpreter work: the thread leaves its core (any number of I/O
+    operations overlap) and, on a machine with a GIL, releases the
+    interpreter lock for the duration — exactly what CPython does
+    around blocking syscalls. Equivalent to yielding :class:`IoWait`.
+    """
     cycles: float
+    io: bool = False
 
     def __post_init__(self) -> None:
         if self.cycles < 0:
             raise ConcurrencyError("work cycles cannot be negative")
+
+
+@dataclass(frozen=True)
+class IoWait:
+    """Block in the kernel for ``cycles`` cycles (releases core + GIL)."""
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ConcurrencyError("io cycles cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -132,6 +151,47 @@ class SyncCosts:
     spawn: float = 100.0
 
 
+@dataclass(frozen=True)
+class GilConfig:
+    """CPython's interpreter lock, deterministically.
+
+    With ``gil=GilConfig(...)`` the machine runs the *new GIL*
+    (3.2+) protocol: at most one thread executes interpreter events at
+    a time regardless of ``num_cores``; :class:`Work` events are sliced
+    at ``switch_interval_cycles`` (the ``sys.setswitchinterval``
+    analogue) and the holder hands the lock to the longest-waiting
+    thread at a slice boundary whenever someone is waiting; blocking
+    I/O (:class:`IoWait` / ``Work(io=True)``) and blocked sync events
+    release the lock. Every handoff charges ``acquire_cost`` cycles to
+    the new holder.
+
+    The two lessons this reproduces measurably (rohan-varma's GIL
+    post): CPU-bound threads do not scale past one core, and I/O-bound
+    threads still overlap — plus the convoy effect, where an I/O thread
+    keeps waiting up to a full switch interval behind a CPU hog after
+    every I/O completion.
+    """
+    switch_interval_cycles: float = 100.0
+    acquire_cost: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.switch_interval_cycles <= 0:
+            raise ConcurrencyError("switch interval must be positive")
+        if self.acquire_cost < 0:
+            raise ConcurrencyError("acquire cost cannot be negative")
+
+
+@dataclass
+class GilStats:
+    """What the interpreter lock did during a run."""
+    acquisitions: int = 0     # times the lock was granted
+    handoffs: int = 0         # preemptive switch-interval transfers
+    slices: int = 0           # work slices executed under the lock
+    hold_cycles: float = 0.0  # total cycles the lock was held
+    wait_cycles: float = 0.0  # thread-cycles spent waiting for the lock
+    io_cycles: float = 0.0    # cycles spent in I/O with the lock free
+
+
 # ---------------------------------------------------------------------------
 # Threads
 # ---------------------------------------------------------------------------
@@ -149,6 +209,11 @@ class SimThread:
     joiners: list = field(default_factory=list)
     busy_cycles: float = 0.0
     blocked_cycles: float = 0.0
+    io_cycles: float = 0.0
+    #: cycles left of the Work event currently being GIL-sliced
+    gil_work_left: float = 0.0
+    #: when this thread started waiting for the GIL (stats only)
+    gil_wait_start: float = 0.0
 
     def __hash__(self) -> int:
         return self.tid
@@ -162,13 +227,23 @@ class SimMachine:
 
     def __init__(self, num_cores: int = 1,
                  costs: SyncCosts | None = None,
-                 race_detector=None, recorder=None) -> None:
+                 race_detector=None, recorder=None,
+                 gil: GilConfig | None = None) -> None:
         from repro.obs.recorder import coalesce
         if num_cores < 1:
             raise ConcurrencyError("need at least one core")
         self.num_cores = num_cores
         self.costs = costs or SyncCosts()
         self.race_detector = race_detector
+        #: None = the default free-threaded machine (bit-identical to
+        #: the pre-GIL seed); a GilConfig serializes interpreter work
+        self.gil = gil
+        self.gil_stats = GilStats()
+        self._gil_holder: SimThread | None = None
+        self._gil_queue: deque[SimThread] = deque()
+        self._gil_free_at = 0.0
+        self._gil_acquired_at = 0.0
+        self._gil_quantum_left = 0.0
         #: shared trace recorder (see repro.obs); NULL_RECORDER when off
         self.recorder = coalesce(recorder)
         self.threads: list[SimThread] = []
@@ -209,6 +284,8 @@ class SimMachine:
 
     def run(self, *, max_events: int = 10_000_000) -> float:
         """Run until every thread finishes; returns the makespan."""
+        if self.gil is not None:
+            return self._run_gil(max_events=max_events)
         events = 0
         while self._pending:
             events += 1
@@ -274,7 +351,11 @@ class SimMachine:
                 time: float) -> float | None:
         """Returns the completion time, or None if the thread blocked."""
         if isinstance(event, Work):
+            if event.io:
+                return self._io_wait(thread, event.cycles, time)
             return time + event.cycles
+        if isinstance(event, IoWait):
+            return self._io_wait(thread, event.cycles, time)
         if isinstance(event, Access):
             if self.race_detector is not None:
                 self.race_detector.record(
@@ -329,6 +410,22 @@ class SimMachine:
         thread.state = "ready"
         thread.waiting_on = None
         self._schedule(thread, time)
+
+    def _io_wait(self, thread: SimThread, cycles: float,
+                 time: float) -> None:
+        """Blocking I/O: the thread sleeps in the kernel until
+        ``time + cycles``, occupying no core — any number of I/O
+        operations overlap. Returns None (the core is released); the
+        thread re-enters the ready queue at completion."""
+        end = time + cycles
+        thread.io_cycles += cycles
+        self.gil_stats.io_cycles += cycles
+        if self.recorder.enabled:
+            self.recorder.complete(
+                "io-wait", ts=time, dur=cycles, pid="threads",
+                tid=thread.name, cat="threads")
+        self._schedule(thread, end)
+        return None
 
     def _lock(self, thread: SimThread, mutex: Mutex,
               time: float) -> float | None:
@@ -478,6 +575,182 @@ class SimMachine:
             self._wake(joiner, time)
         thread.joiners.clear()
 
+    # -- the GIL --------------------------------------------------------------------
+    #
+    # A second event loop, used only when ``gil`` is set, so the default
+    # machine stays bit-identical to the seed (pinned by the golden
+    # oracle in tests/core/test_gil_oracle.py). The lock is FIFO: the
+    # holder runs interpreter events, slicing Work at the switch
+    # interval; at a slice boundary with waiters present it hands off
+    # (and requeues itself if unfinished). Blocking sync events and I/O
+    # release the lock outright.
+
+    def _run_gil(self, *, max_events: int) -> float:
+        events = 0
+        while self._pending:
+            events += 1
+            if events > max_events:
+                raise ConcurrencyError("event limit exceeded")
+            ready_time, _, thread = heapq.heappop(self._pending)
+            if thread.state == "done":
+                continue
+            if thread is not self._gil_holder:
+                # anything a thread does needs the interpreter lock
+                if self._gil_holder is None:
+                    at = max(ready_time, self._gil_free_at)
+                    self.gil_stats.wait_cycles += at - ready_time
+                    self._gil_grant(thread, at)
+                else:
+                    thread.gil_wait_start = ready_time
+                    self._gil_queue.append(thread)
+                continue
+            self.now = ready_time
+            self._gil_step(thread, ready_time)
+        blocked = [t for t in self.threads if t.state == "blocked"]
+        if blocked:
+            raise self._deadlock_error(blocked)
+        self._ran = True
+        return self.makespan
+
+    def _gil_grant(self, thread: SimThread, at: float) -> None:
+        """Give ``thread`` the lock at ``at``; it runs after paying
+        ``acquire_cost`` cycles."""
+        self._gil_holder = thread
+        self._gil_quantum_left = self.gil.switch_interval_cycles
+        self.gil_stats.acquisitions += 1
+        start = at + self.gil.acquire_cost
+        self._gil_acquired_at = start
+        self._schedule(thread, start)
+
+    def _gil_release(self, thread: SimThread, time: float, *,
+                     requeue: bool = False) -> None:
+        """The holder gives the lock up at ``time``. With ``requeue``
+        (a switch-interval handoff) it rejoins the wait queue at the
+        tail; either way the longest-waiting thread is granted next."""
+        held = time - self._gil_acquired_at
+        self.gil_stats.hold_cycles += held
+        if self.recorder.enabled and held > 0:
+            # the holder span: who had the interpreter, when
+            self.recorder.complete(
+                thread.name, ts=self._gil_acquired_at, dur=held,
+                pid="threads", tid="GIL", cat="gil")
+        self._gil_holder = None
+        self._gil_free_at = time
+        if requeue:
+            thread.gil_wait_start = time
+            self._gil_queue.append(thread)
+        if self._gil_queue:
+            nxt = self._gil_queue.popleft()
+            self.gil_stats.wait_cycles += time - nxt.gil_wait_start
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "gil-handoff", ts=time, pid="threads", tid="GIL",
+                    cat="gil", args={"from": thread.name,
+                                     "to": nxt.name})
+            self._gil_grant(nxt, time)
+
+    def _gil_occupy(self, thread: SimThread, start: float,
+                    end: float) -> None:
+        """Charge ``[start, end)`` as interpreter time on a core (the
+        GIL serializes, so a core is always free by ``start``)."""
+        core_free, core_id = heapq.heappop(self._cores)
+        self.timeline.append((core_id, thread.name, start, end))
+        if self.recorder.enabled:
+            key = (core_id, thread.name)
+            series = self._gantt_series.get(key)
+            if series is None:
+                series = self.recorder.span_series(
+                    thread.name, pid="threads",
+                    tid=f"core {core_id}", cat="threads")
+                self._gantt_series[key] = series
+            series.add(start, end - start)
+        heapq.heappush(self._cores, (max(end, core_free), core_id))
+        self.makespan = max(self.makespan, end)
+
+    def _gil_step(self, thread: SimThread, start: float) -> None:
+        """Run the holder for one quantum/event starting at ``start``."""
+        # slice boundary: yield to waiters, or refresh the quantum
+        if self._gil_quantum_left <= 0:
+            if self._gil_queue:
+                self.gil_stats.handoffs += 1
+                self._gil_release(thread, start, requeue=True)
+                return
+            self._gil_quantum_left = self.gil.switch_interval_cycles
+        if thread.gil_work_left > 0:
+            self._gil_run_slice(thread, start)
+            return
+        zero_cost_run = 0
+        time = start
+        while True:
+            try:
+                event = next(thread.gen)
+            except StopIteration:
+                self._finish(thread, time)
+                self._gil_release(thread, time)
+                self.makespan = max(self.makespan, time)
+                return
+            io_cycles = None
+            if isinstance(event, IoWait):
+                io_cycles = event.cycles
+            elif isinstance(event, Work) and event.io:
+                io_cycles = event.cycles
+            if io_cycles is not None:
+                # blocking I/O: the lock is free for the whole wait
+                thread.io_cycles += io_cycles
+                self.gil_stats.io_cycles += io_cycles
+                if self.recorder.enabled:
+                    self.recorder.complete(
+                        "io-wait", ts=time, dur=io_cycles, pid="threads",
+                        tid=thread.name, cat="threads")
+                self._gil_release(thread, time)
+                self._schedule(thread, time + io_cycles)
+                self.makespan = max(self.makespan, time + io_cycles)
+                return
+            if isinstance(event, Work):
+                if event.cycles == 0:
+                    zero_cost_run += 1
+                    if zero_cost_run > self.MAX_ZERO_COST_RUN:
+                        raise ConcurrencyError(
+                            f"{thread.name} ran {zero_cost_run} "
+                            "zero-cost events without blocking or "
+                            "working (infinite loop?)")
+                    continue
+                thread.gil_work_left = event.cycles
+                self._gil_run_slice(thread, time)
+                return
+            end = self._handle(thread, event, time)
+            if end is None:
+                # blocked: the lock is released where the block began
+                self._gil_release(thread, thread.block_start)
+                return
+            if end > time:
+                dur = end - time
+                thread.busy_cycles += dur
+                self.total_work_cycles += dur
+                self._gil_quantum_left -= dur
+                self._gil_occupy(thread, time, end)
+                self._schedule(thread, end)
+                return
+            zero_cost_run += 1
+            if zero_cost_run > self.MAX_ZERO_COST_RUN:
+                raise ConcurrencyError(
+                    f"{thread.name} ran {zero_cost_run} zero-cost "
+                    "events without blocking or working (infinite "
+                    "loop?)")
+            time = end
+
+    def _gil_run_slice(self, thread: SimThread, start: float) -> None:
+        """Execute one switch-interval slice of the pending Work."""
+        dur = min(thread.gil_work_left, self._gil_quantum_left)
+        end = start + dur
+        thread.gil_work_left -= dur
+        self._gil_quantum_left -= dur
+        thread.busy_cycles += dur
+        self.total_work_cycles += dur
+        self.gil_stats.slices += 1
+        self._gil_occupy(thread, start, end)
+        self._schedule(thread, end)
+
     # -- deadlock reporting ----------------------------------------------------------
 
     def _deadlock_error(self, blocked: list[SimThread]) -> DeadlockError:
@@ -499,22 +772,38 @@ class SimMachine:
         return self.total_work_cycles
 
     def speedup_vs_serial(self) -> float:
-        """serial cycles / parallel makespan, the §III-A measurement."""
-        if not self._ran or self.makespan == 0:
+        """serial cycles / parallel makespan, the §III-A measurement.
+
+        A machine that ran but finished at makespan 0 (all events were
+        zero-cost) gets the degenerate speedup 1.0 — serial execution
+        would also take zero cycles. Only a machine that never ran
+        raises.
+        """
+        if not self._ran:
             raise ConcurrencyError("run() the machine first")
+        if self.makespan == 0:
+            return 1.0
         return self.total_work_cycles / self.makespan
 
     def utilization(self) -> float:
-        """Busy fraction of all core-cycles within the makespan."""
+        """Busy fraction of all core-cycles within the makespan.
+
+        Raises for a machine that never ran (mirroring
+        :meth:`speedup_vs_serial`); a ran machine with makespan 0 did
+        no work in no time, reported as 0.0.
+        """
+        if not self._ran:
+            raise ConcurrencyError("run() the machine first")
         if self.makespan == 0:
             return 0.0
         return self.total_work_cycles / (self.num_cores * self.makespan)
 
 
 def run_threads(bodies: Iterable[tuple[ThreadBody, tuple]], *,
-                num_cores: int, costs: SyncCosts | None = None) -> SimMachine:
+                num_cores: int, costs: SyncCosts | None = None,
+                gil: GilConfig | None = None) -> SimMachine:
     """Convenience: spawn each (body, args) pair, run, return the machine."""
-    machine = SimMachine(num_cores, costs=costs)
+    machine = SimMachine(num_cores, costs=costs, gil=gil)
     for body, args in bodies:
         machine.spawn(body, *args)
     machine.run()

@@ -110,9 +110,20 @@ class WorkerPool:
             self.last_breakdown = OverheadBreakdown()
             return []
         if n == 1:
+            # Deliberate inline fast path: one item never spawns or
+            # touches workers (pinned by tests), so the whole call is
+            # compute — but it must still announce itself on the mp
+            # track, or span-based comparisons (E12/E19) silently lose
+            # warm-up calls.
             result = [fn(items[0])]
             wall = time.perf_counter() - wall0
             self.last_breakdown = OverheadBreakdown(compute=wall, wall=wall)
+            if self.recorder.enabled:
+                self.recorder.complete(
+                    "inline", ts=self.recorder.now(), dur=wall * 1e6,
+                    pid="mp", tid="pool", cat="mp",
+                    args={"seconds": wall, "items": 1,
+                          "chunk_mode": chunk_mode})
             return result
         spawn = self._ensure_started()
 
@@ -138,9 +149,14 @@ class WorkerPool:
             compute += seconds
             for i, r in zip(indices, results):
                 out[i] = r
+        # the ideal wait is compute spread over the chunks that actually
+        # ran, not the pool width: short queues (fewer chunks than
+        # workers) can't use every worker, and dividing by self.workers
+        # would book that idle width as compute rather than sync
+        k = min(self.workers, len(chunks))
         self.last_breakdown = OverheadBreakdown(
             spawn=spawn, dispatch=dispatch, compute=compute,
-            sync=max(0.0, wait - compute / self.workers),
+            sync=max(0.0, wait - compute / k),
             wall=time.perf_counter() - wall0)
         if self.recorder.enabled:
             self._record_map(len(chunks), chunk_mode, spawn, dispatch, wait)
@@ -231,7 +247,8 @@ def parallel_map(fn: Callable, items: Sequence, *,
                  chunk_mode: str = "block",
                  chunk_size: int | None = None,
                  pool: WorkerPool | None = None,
-                 reuse_pool: bool = True) -> list:
+                 reuse_pool: bool = True,
+                 backend: str | None = None) -> list:
     """Map ``fn`` over ``items`` using a process pool.
 
     ``fn`` must be picklable (defined at module top level). Results keep
@@ -244,8 +261,21 @@ def parallel_map(fn: Callable, items: Sequence, *,
     ``pool`` to manage the lifecycle yourself, or ``reuse_pool=False``
     to get the old cold-start behaviour (a fresh pool per call — kept
     for the E12 overhead comparison; don't use it on hot paths).
+
+    ``backend`` selects an executor by name instead (``serial`` /
+    ``thread`` / ``process`` / ``subinterpreter`` — see
+    :mod:`repro.core.backends`); unavailable backends fall back
+    gracefully, and the backend's breakdown lands in
+    :func:`last_breakdown` like any other call.
     """
     global _last_breakdown
+    if backend is not None and backend != "process":
+        from repro.core.backends import get_backend
+        with get_backend(backend, workers) as chosen:
+            out = chosen.map(fn, items, chunk_mode=chunk_mode,
+                             chunk_size=chunk_size)
+            _last_breakdown = chosen.last_breakdown
+        return out
     if chunk_mode not in CHUNK_MODES:
         raise ReproError(f"unknown chunk mode {chunk_mode!r}; "
                          f"valid modes: {', '.join(CHUNK_MODES)}")

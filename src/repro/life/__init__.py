@@ -38,6 +38,7 @@ from repro.life.serial import (
 from repro.life.parallel import (
     CELL_CYCLES,
     ParallelLife,
+    run_parallel_backend,
     run_parallel_mp,
     run_parallel_pickled,
     run_parallel_shm,
@@ -61,7 +62,7 @@ __all__ = [
     "GameOfLife", "step", "step_reference", "step_rows", "step_band",
     "neighbor_counts", "band_neighbor_counts", "find_cycle",
     "ParallelLife", "step_region", "run_parallel_mp", "run_parallel_shm",
-    "run_parallel_pickled", "simulated_scaling",
+    "run_parallel_pickled", "run_parallel_backend", "simulated_scaling",
     "run_serial_cycles", "CELL_CYCLES",
     "render", "render_regions", "animate", "frame_sequence",
     "population_sparkline",

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.machine import (
     Access,
     BarrierWait,
+    GilConfig,
     Lock,
     SimMachine,
     SyncCosts,
@@ -80,6 +81,7 @@ class ParallelLife:
                  use_barrier: bool = True,
                  stat_locking: StatLocking = "per-round",
                  sync_costs: SyncCosts | None = None,
+                 gil: GilConfig | None = None,
                  race_detector=None) -> None:
         if threads < 1:
             raise ReproError("need at least one thread")
@@ -93,8 +95,11 @@ class ParallelLife:
         self.stat_locking: StatLocking = stat_locking
         self.regions = partition_grid(grid.shape[0], grid.shape[1],
                                       threads, orientation)
+        # gil=GilConfig(...) runs the same program under the simulated
+        # interpreter lock — the E19 ablation's "what if Lab 10 were
+        # written in GIL-ful Python" arm; gil=None is the pthreads model
         self.machine = SimMachine(num_cores or threads,
-                                  costs=sync_costs,
+                                  costs=sync_costs, gil=gil,
                                   race_detector=race_detector)
         self.barrier = Barrier(threads, name="round-barrier")
         self.stats_mutex = Mutex("stats.mutex")
@@ -166,13 +171,19 @@ def run_serial_cycles(grid: np.ndarray, rounds: int) -> float:
 def simulated_scaling(grid: np.ndarray, rounds: int,
                       thread_counts: list[int], *,
                       orientation: str = "row",
-                      sync_costs: SyncCosts | None = None
+                      sync_costs: SyncCosts | None = None,
+                      gil: GilConfig | None = None
                       ) -> dict[int, float]:
-    """Makespan at each thread count (cores == threads, the lab setup)."""
+    """Makespan at each thread count (cores == threads, the lab setup).
+
+    Pass ``gil=GilConfig(...)`` for the interpreter-lock arm of the E19
+    ablation: the same curve flattens at ~1× because only one thread
+    computes at a time.
+    """
     times: dict[int, float] = {}
     for k in thread_counts:
         game = ParallelLife(grid, threads=k, orientation=orientation,
-                            sync_costs=sync_costs)
+                            sync_costs=sync_costs, gil=gil)
         game.run(rounds)
         times[k] = game.makespan
     return times
@@ -350,19 +361,62 @@ def run_parallel_shm(grid: np.ndarray, rounds: int, *,
         shm_b.unlink()
 
 
+def run_parallel_backend(grid: np.ndarray, rounds: int, *,
+                         workers: int, backend: str = "process",
+                         mode: EdgeMode = "torus",
+                         strict: bool = False) -> np.ndarray:
+    """Row-partitioned rounds on a named executor backend.
+
+    The same per-round band computation as :func:`run_parallel_pickled`,
+    but the mapping runs on any :mod:`repro.core.backends` executor —
+    ``serial`` / ``thread`` / ``process`` / ``subinterpreter`` — so E19
+    can put the identical workload on every backend the host supports.
+    The ``thread`` arm shares the grid by reference (no pickling), yet
+    on a GIL-ful build still shows speedup ≈ 1 for this CPU-bound
+    kernel: that contrast with ``process`` is the measured counterpart
+    of the simulated-GIL ablation. Unavailable backends fall back per
+    :func:`~repro.core.backends.get_backend` unless ``strict``.
+    """
+    from repro.core.backends import get_backend
+    if workers < 1:
+        raise ReproError("need at least one worker")
+    if rounds < 0:
+        raise ReproError("rounds cannot be negative")
+    current = grid.astype(np.uint8).copy()
+    if rounds == 0:
+        return current
+    bands = [b for b in partition_grid(grid.shape[0], grid.shape[1],
+                                       workers, "row")
+             if b.row_end > b.row_start]
+    with get_backend(backend, workers, strict=strict) as chosen:
+        for _ in range(rounds):
+            tasks = [(current, b.row_start, b.row_end, mode)
+                     for b in bands]
+            out = np.zeros_like(current)
+            for row_start, result in chosen.map(_mp_band, tasks):
+                out[row_start:row_start + result.shape[0]] = result
+            current = out
+    return current
+
+
 def run_parallel_mp(grid: np.ndarray, rounds: int, *,
                     workers: int, mode: EdgeMode = "torus",
                     method: str = "shared") -> np.ndarray:
     """Row-partitioned rounds with real OS-level parallelism.
 
     ``method="shared"`` (default) is the zero-copy shared-memory engine;
-    ``method="pickled"`` is the per-round pool baseline. Both are
-    semantically identical to the serial engine; wall-clock speedup is
-    bounded by physical cores.
+    ``method="pickled"`` is the per-round pool baseline; ``method=
+    "thread"`` runs the same bands on a thread pool (GIL-bound on stock
+    CPython — the negative control). All are semantically identical to
+    the serial engine; wall-clock speedup is bounded by physical cores
+    and, for threads, by the interpreter lock.
     """
-    if method not in ("shared", "pickled"):
+    if method not in ("shared", "pickled", "thread"):
         raise ReproError(f"unknown method {method!r}; "
-                         "valid methods: shared, pickled")
+                         "valid methods: shared, pickled, thread")
     if method == "shared":
         return run_parallel_shm(grid, rounds, workers=workers, mode=mode)
+    if method == "thread":
+        return run_parallel_backend(grid, rounds, workers=workers,
+                                    backend="thread", mode=mode)
     return run_parallel_pickled(grid, rounds, workers=workers, mode=mode)

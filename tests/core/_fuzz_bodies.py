@@ -1,0 +1,139 @@
+"""Deterministic fuzzed thread programs for the gil=None oracle.
+
+Each seed expands into a complete, deadlock-free thread program: a
+thread count, a core count, sync costs, and one action script per
+thread. Scripts are generated *up front* (the bodies are pure replays),
+every cycle cost is an integer-valued float (exact arithmetic), and the
+constructs are chosen so the program always terminates:
+
+* lock/unlock and sem_wait/sem_post are emitted as complete pairs and
+  never cross-nested, so no hold-and-wait cycles exist;
+* every thread passes the shared barrier the same number of times;
+* joins only target lower thread ids, so the join graph is acyclic.
+
+The fingerprint digests everything the scheduler decides — the
+(core, thread, start, end) timeline, per-thread finish/busy/blocked
+accounting, and mutex contention — so any change to event ordering,
+float arithmetic, or tie-breaking shows up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.core.machine import (
+    Access,
+    BarrierWait,
+    Join,
+    Lock,
+    SemPost,
+    SemWait,
+    SimMachine,
+    SyncCosts,
+    Unlock,
+    Work,
+)
+from repro.core.sync import Barrier, Mutex, Semaphore
+
+#: fuzz seeds the oracle pins (golden digests generated from the seed
+#: repo state — see tests/core/test_gil_oracle.py)
+ORACLE_SEEDS = list(range(24))
+
+
+def build_program(seed: int):
+    """Expand ``seed`` into (n_threads, cores, costs, make_spawner).
+
+    ``make_spawner(machine)`` spawns every thread on ``machine``; sync
+    objects are created fresh per call so a program can be replayed on
+    several machines.
+    """
+    rng = random.Random(seed)
+    n_threads = rng.randint(2, 5)
+    cores = rng.randint(1, 4)
+    costs = SyncCosts(lock=float(rng.choice([0, 5, 10])),
+                      unlock=float(rng.choice([0, 5])),
+                      barrier=float(rng.choice([0, 25, 50])),
+                      cond=10.0,
+                      sem=float(rng.choice([0, 10])),
+                      spawn=float(rng.choice([0, 100])))
+    barrier_rounds = rng.randint(0, 3)
+
+    scripts: list[list[tuple]] = []
+    for tid in range(n_threads):
+        script: list[tuple] = []
+        for round_no in range(barrier_rounds + 1):
+            for _ in range(rng.randint(0, 6)):
+                kind = rng.randrange(5)
+                if kind == 0:
+                    script.append(("work", float(rng.randint(0, 300))))
+                elif kind == 1:
+                    script.append(("access", rng.choice(["x", "y"]),
+                                   rng.choice(["read", "write"])))
+                elif kind == 2:
+                    script.append(("lock",))
+                    script.append(("work", float(rng.randint(0, 50))))
+                    script.append(("unlock",))
+                elif kind == 3:
+                    script.append(("sem_wait",))
+                    script.append(("work", float(rng.randint(0, 50))))
+                    script.append(("sem_post",))
+                else:
+                    script.append(("work", 0.0))
+            if round_no < barrier_rounds:
+                script.append(("barrier",))
+        if tid > 0 and rng.random() < 0.4:
+            script.append(("join", rng.randrange(tid)))
+        scripts.append(script)
+
+    def make_spawner(machine: SimMachine) -> list:
+        mutex = Mutex("m")
+        barrier = Barrier(n_threads, name="b")
+        # value < n_threads so semaphore waits genuinely block sometimes
+        sem = Semaphore(max(1, n_threads - 1), name="s")
+        threads: list = []
+
+        def body(script):
+            for action in script:
+                if action[0] == "work":
+                    yield Work(action[1])
+                elif action[0] == "access":
+                    yield Access(action[1], action[2])
+                elif action[0] == "lock":
+                    yield Lock(mutex)
+                elif action[0] == "unlock":
+                    yield Unlock(mutex)
+                elif action[0] == "sem_wait":
+                    yield SemWait(sem)
+                elif action[0] == "sem_post":
+                    yield SemPost(sem)
+                elif action[0] == "barrier":
+                    yield BarrierWait(barrier)
+                elif action[0] == "join":
+                    yield Join(threads[action[1]])
+
+        for i, script in enumerate(scripts):
+            threads.append(machine.spawn(body, script, name=f"fuzz-{i}"))
+        return threads
+
+    return n_threads, cores, costs, make_spawner
+
+
+def fingerprint(machine: SimMachine) -> str:
+    """SHA-256 digest of every scheduling decision the machine made."""
+    parts = [repr(machine.makespan), repr(machine.total_work_cycles)]
+    for seg in machine.timeline:
+        parts.append(repr(seg))
+    for t in machine.threads:
+        parts.append(f"{t.tid}|{t.name}|{t.state}|{t.finish_time!r}"
+                     f"|{t.busy_cycles!r}|{t.blocked_cycles!r}")
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def run_fuzzed(seed: int, **machine_kwargs) -> SimMachine:
+    """Build and run the fuzzed program for ``seed``; returns the machine."""
+    n_threads, cores, costs, make_spawner = build_program(seed)
+    machine = SimMachine(cores, costs=costs, **machine_kwargs)
+    make_spawner(machine)
+    machine.run()
+    return machine

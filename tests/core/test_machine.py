@@ -92,6 +92,30 @@ class TestWorkScheduling:
         with pytest.raises(ConcurrencyError):
             SimMachine(1).speedup_vs_serial()
 
+    def test_speedup_after_zero_makespan_run_is_one(self):
+        """Regression: a machine that *did* run but had makespan 0 (all
+        work was zero-cost) used to raise "run() the machine first";
+        the degenerate speedup is defined as 1.0 — serial would also
+        take zero cycles."""
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 0)
+        m.run()
+        assert m.makespan == 0.0
+        assert m.speedup_vs_serial() == 1.0
+
+    def test_utilization_requires_run(self):
+        """Regression: utilization() used to answer 0.0 for a machine
+        that never ran, disagreeing with speedup_vs_serial() on the
+        same not-run state."""
+        with pytest.raises(ConcurrencyError):
+            SimMachine(2).utilization()
+
+    def test_utilization_after_zero_makespan_run_is_zero(self):
+        m = SimMachine(2, costs=FREE)
+        m.spawn(worker, 0)
+        m.run()
+        assert m.utilization() == 0.0
+
     def test_unknown_event_rejected(self):
         def bad():
             yield "what"

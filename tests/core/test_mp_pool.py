@@ -196,6 +196,40 @@ class TestWorkerPool:
         b = a + a
         assert b.spawn == 2.0 and b.wall == 20.0
 
+    def test_sync_measured_against_actual_chunk_count(self):
+        """Regression: with fewer chunks than workers, sync used to be
+        computed as ``wait - compute / workers`` — under-attributing
+        sync by ``compute * (1/k - 1/workers)``. The breakdown
+        invariant is ``spawn + dispatch + compute/k + sync ≈ wall``
+        where k is the number of chunks actually produced."""
+        with WorkerPool(4) as pool:
+            pool.map(burn, [700_000, 700_000])   # block mode → 2 chunks
+            bd = pool.last_breakdown
+            k = 2
+            model = bd.spawn + bd.dispatch + bd.compute / k + bd.sync
+            assert model == pytest.approx(bd.wall, rel=0.15)
+
+    def test_single_item_inline_path_is_accounted(self):
+        """Regression: the single-item fast path used to bypass the
+        recorder entirely — a warm-up ``map`` with one item left no
+        trace span, corrupting E12/E19 span comparisons. The inline
+        path is deliberate (no workers are spawned: that stays pinned
+        by test_empty_and_single_item_touch_no_workers); it must now
+        announce itself with an ``inline`` span."""
+        from repro.obs.recorder import TraceRecorder
+        rec = TraceRecorder()
+        with WorkerPool(2, recorder=rec) as pool:
+            pool.map(burn, [2_000])
+            assert not pool.is_alive
+            bd = pool.last_breakdown
+            assert bd.compute > 0.0
+            assert bd.wall == bd.compute
+            assert bd.spawn == 0.0 and bd.dispatch == 0.0
+        inline = [e for e in rec.events() if e.name == "inline"]
+        assert len(inline) == 1
+        assert inline[0].args["items"] == 1
+        assert inline[0].args["seconds"] == pytest.approx(bd.compute)
+
 
 class TestModulePool:
     def test_same_workers_same_pool(self):

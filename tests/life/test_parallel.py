@@ -3,7 +3,13 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import RaceDetector, SyncCosts, is_near_linear, scaling_table
+from repro.core import (
+    GilConfig,
+    RaceDetector,
+    SyncCosts,
+    is_near_linear,
+    scaling_table,
+)
 from repro.errors import ReproError
 from repro.life import (
     GameOfLife,
@@ -11,6 +17,7 @@ from repro.life import (
     grids_equal,
     make,
     random_grid,
+    run_parallel_backend,
     run_parallel_mp,
     run_serial_cycles,
     simulated_scaling,
@@ -154,3 +161,60 @@ class TestMultiprocessing:
     def test_mp_validation(self):
         with pytest.raises(ReproError):
             run_parallel_mp(make("block"), 1, workers=0)
+
+
+class TestGilArm:
+    """ParallelLife under the simulated interpreter lock (E19)."""
+
+    def test_gil_run_still_correct(self):
+        grid = random_grid(16, 16, seed=9)
+        serial = GameOfLife(grid.copy())
+        serial.run(3)
+        game = ParallelLife(grid, threads=4, sync_costs=FREE,
+                            gil=GilConfig(switch_interval_cycles=64,
+                                          acquire_cost=0))
+        game.run(3)
+        assert grids_equal(game.current, serial.grid)
+
+    def test_gil_flattens_the_speedup_curve(self):
+        grid = random_grid(32, 32, seed=9)
+        nogil = simulated_scaling(grid, 2, [1, 4], sync_costs=FREE)
+        gil = simulated_scaling(grid, 2, [1, 4], sync_costs=FREE,
+                                gil=GilConfig(switch_interval_cycles=128,
+                                              acquire_cost=0))
+        assert nogil[1] / nogil[4] > 3.0          # near-linear without
+        assert gil[1] / gil[4] <= 1.1             # flat with the lock
+
+
+class TestBackendRunner:
+    def test_backend_matches_serial(self):
+        grid = random_grid(20, 20, seed=6)
+        serial = GameOfLife(grid.copy())
+        serial.run(3)
+        for backend in ("serial", "thread"):
+            result = run_parallel_backend(grid, 3, workers=2,
+                                          backend=backend)
+            assert grids_equal(result, serial.grid)
+
+    def test_thread_method_matches_serial(self):
+        grid = random_grid(18, 18, seed=2)
+        serial = GameOfLife(grid.copy())
+        serial.run(2)
+        result = run_parallel_mp(grid, 2, workers=2, method="thread")
+        assert grids_equal(result, serial.grid)
+
+    def test_zero_rounds_is_identity(self):
+        grid = random_grid(8, 8, seed=1)
+        assert grids_equal(run_parallel_backend(grid, 0, workers=2,
+                                                backend="thread"), grid)
+
+    def test_validation(self):
+        grid = make("block")
+        with pytest.raises(ReproError):
+            run_parallel_backend(grid, 1, workers=0)
+        with pytest.raises(ReproError):
+            run_parallel_backend(grid, -1, workers=2)
+        with pytest.raises(ReproError):
+            run_parallel_backend(grid, 1, workers=2, backend="gpu")
+        with pytest.raises(ReproError):
+            run_parallel_mp(grid, 1, workers=2, method="fiber")
