@@ -30,6 +30,10 @@ BENCH_TRACE = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
 #: miss/fault breakdown per bus configuration
 BENCH_SYSTEM = Path(__file__).resolve().parent.parent / "BENCH_system.json"
 
+#: distributed-cluster runs over the simulated network (E20): banded
+#: Life scaling with per-node comm/compute attribution
+BENCH_CLUSTER = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
 
 def emit(title: str, headers, rows, align_right=None) -> None:
     print(f"\n=== {title} ===")

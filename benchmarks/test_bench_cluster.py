@@ -1,0 +1,120 @@
+"""E20 — distributed banded Life over the simulated network.
+
+The cluster analogue of the headline Lab 10 curve: the same grid, the
+same generations, but the workers are message-passing *nodes* instead
+of shared-memory threads. Three claims, all deterministic:
+
+* **correctness**: the N-node sharded run is bit-identical to the
+  serial oracle at every node count (the halo exchange is exact);
+* **scaling**: simulated speedup grows monotonically 1 → 2 → 4 → 8
+  nodes on the default network, with the per-node comm/compute
+  breakdown showing where the lost efficiency went;
+* **sensitivity**: a slow interconnect shifts cycles from compute to
+  comm and flattens the curve — communication cost, not Amdahl serial
+  fraction, is the distributed bottleneck.
+
+``E20_N`` caps the grid for CI smoke runs (default 128). Rows land in
+``BENCH_cluster.json`` so future PRs can diff the trajectory.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks._harness import BENCH_CLUSTER, emit, emit_json
+from repro.cluster import NetworkCostModel, cluster_scaling
+from repro.life.grid import random_grid
+from repro.life.serial import step
+
+E20_N = int(os.environ.get("E20_N", "128"))
+ROUNDS = 5
+NODE_COUNTS = [1, 2, 4, 8]
+
+
+def _oracle(grid, rounds, mode="torus"):
+    g = grid.astype(np.uint8)
+    for _ in range(rounds):
+        g = step(g, mode)
+    return g
+
+
+def test_bench_cluster_life_scaling(benchmark):
+    """The acceptance rows: monotone speedup with comm attribution."""
+    grid = random_grid(E20_N, E20_N, seed=20)
+
+    results = benchmark.pedantic(
+        lambda: cluster_scaling(grid, ROUNDS, NODE_COUNTS),
+        rounds=1, iterations=1)
+
+    oracle = _oracle(grid, ROUNDS)
+    rows = []
+    json_rows = []
+    prev = 0.0
+    for n in NODE_COUNTS:
+        res = results[n]
+        # every configuration computes the exact same grid
+        assert np.array_equal(res.grid, oracle), n
+        assert res.speedup > prev, f"speedup not monotone at {n} nodes"
+        prev = res.speedup
+        comm = sum(c["cycles"] - c.get("cycles_compute", 0.0)
+                   for c in res.node_counters)
+        compute = sum(c.get("cycles_compute", 0.0)
+                      for c in res.node_counters)
+        rows.append((n, f"{res.makespan:.0f}", f"{res.speedup:.2f}x",
+                     f"{res.comm_fraction:.1%}",
+                     f"{res.net_counters['messages']:.0f}",
+                     f"{res.net_counters['bytes']:.0f}"))
+        json_rows.append({
+            "bench": "E20_cluster_life", "ts": time.time(),
+            "grid": E20_N, "rounds": ROUNDS, "nodes": n,
+            "makespan": res.makespan, "speedup": res.speedup,
+            "compute_cycles": compute, "comm_cycles": comm,
+            "comm_fraction": res.comm_fraction,
+            "net_messages": res.net_counters["messages"],
+            "net_bytes": res.net_counters["bytes"],
+        })
+    emit(f"E20 banded-Life cluster scaling, {E20_N}x{E20_N} grid, "
+         f"{ROUNDS} rounds (bit-identical to serial oracle at every N)",
+         ["nodes", "makespan", "speedup", "comm%", "msgs", "bytes"],
+         rows, align_right=[True] * 6)
+    emit_json(BENCH_CLUSTER, json_rows)
+
+    # headline acceptance: real scaling by 8 nodes on the default net
+    # (smoke-capped grids carry proportionally more halo per cell, so
+    # the floor relaxes with E20_N)
+    floor = 3.0 if E20_N >= 96 else 1.5
+    assert results[8].speedup > floor
+    assert 0.0 < results[8].comm_fraction < 0.9
+
+
+def test_bench_cluster_network_sensitivity(benchmark):
+    """A slow interconnect flattens the curve; the answer never changes."""
+    grid = random_grid(min(E20_N, 96), min(E20_N, 96), seed=20)
+    nets = {
+        "fast": NetworkCostModel(latency=10.0, bandwidth=64.0),
+        "default": NetworkCostModel(),
+        "slow": NetworkCostModel(latency=2000.0, bandwidth=1.0),
+    }
+
+    def run():
+        return {name: cluster_scaling(grid, 3, [4], net_cost=cost)[4]
+                for name, cost in nets.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    oracle = _oracle(grid, 3)
+    rows = []
+    for name, res in results.items():
+        assert np.array_equal(res.grid, oracle), name
+        rows.append((name, f"{res.speedup:.2f}x",
+                     f"{res.comm_fraction:.1%}"))
+    emit("E20 network sensitivity, 4 nodes: interconnect speed vs "
+         "speedup (same bits every time)",
+         ["network", "speedup", "comm%"], rows)
+    assert results["fast"].speedup > results["slow"].speedup
+    assert results["slow"].comm_fraction > results["default"].comm_fraction
+    emit_json(BENCH_CLUSTER, [
+        {"bench": "E20_network_sensitivity", "ts": time.time(),
+         "grid": int(min(E20_N, 96)), "nodes": 4, "network": name,
+         "speedup": res.speedup, "comm_fraction": res.comm_fraction}
+        for name, res in results.items()])

@@ -22,6 +22,9 @@ life        Conway's Game of Life labs, serial and parallel, with ParaVis
 analysis    static analysis: CFG/dataflow checks over the C subset, static
             lock-order/race-candidate checking, assembler lint
 obs         shared event tracing/counters, Chrome-trace export, profiles
+system      full-system memory bus (flat/cached/virtual) + shared costing
+cluster     shardable nodes over a simulated network: halo-exchange Life,
+            map-reduce trace engines, distributed producer/consumer
 curriculum  TCPP coverage (Table I), labs/homework registry, survey (Fig. 1)
 homework    mechanical generators + checkers for the written homeworks
 """
@@ -31,4 +34,5 @@ __version__ = "1.0.0"
 __all__ = [
     "binary", "circuits", "isa", "clib", "memory", "vm", "ossim",
     "core", "life", "curriculum", "homework", "analysis", "obs",
+    "system", "cluster",
 ]

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro trace DEMO [--chrome OUT.json] [--top N]
     python -m repro run PROG.c [--bus flat|cached|virtual] [--procs N]
     python -m repro gil [--threads N] [--probe] [--chrome OUT.json]
+    python -m repro cluster [life|mapreduce|pipeline] [--nodes N] ...
 
 ``analyze`` runs the static-analysis subsystem (see
 :mod:`repro.analysis`); ``trace`` runs a demo workload under the
@@ -17,8 +18,10 @@ observability layer (see :mod:`repro.obs`) and prints a profile,
 optionally exporting a Chrome trace; ``run`` compiles a program and
 executes it over a pluggable memory bus (see :mod:`repro.system`);
 ``gil`` demos the simulated interpreter lock ablation and probes the
-host's real executor backends (see :mod:`repro.core.backends`).
-Any subcommand replaces the tour.
+host's real executor backends (see :mod:`repro.core.backends`);
+``cluster`` runs the sharded distributed workloads over the simulated
+network and reports speedup with a comm/compute breakdown (see
+:mod:`repro.cluster`). Any subcommand replaces the tour.
 """
 
 from __future__ import annotations
@@ -48,6 +51,9 @@ def main(argv: list[str] | None = None) -> int:
         return run(argv[1:])
     if argv and argv[0] == "gil":
         from repro.core.cli import run
+        return run(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.cli import run
         return run(argv[1:])
     print("repro: CS 31 as an executable systems library")
     print("=" * 52)

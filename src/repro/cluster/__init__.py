@@ -1,0 +1,71 @@
+"""Distributed cluster layer: shardable nodes over a simulated network.
+
+The single-machine stack made one computer explicit — a bus, a kernel, a
+recorder. This package makes *many* of them explicit: a
+:class:`~repro.cluster.node.Node` is one shardable machine (clock,
+cycle breakdown, observability lane, optionally its own bus and
+kernel), a :class:`~repro.cluster.node.Cluster` is N nodes joined by a
+:class:`~repro.cluster.network.Network` whose
+:class:`~repro.cluster.network.NetworkCostModel` prices every message
+in the same cycle currency the bus uses
+(:mod:`repro.system.costing`).
+
+Three sharded workloads show the programming models:
+
+- :mod:`repro.cluster.life` — banded Game of Life with halo exchange,
+  bit-identical to the serial oracle (data-parallel SPMD);
+- :mod:`repro.cluster.mapreduce` — the cache/MMU trace engines sharded
+  over node-local simulators with a counter merge (map-reduce);
+- :mod:`repro.cluster.queues` — producer/consumer over network queues
+  (pipeline parallelism, placement policies).
+
+``python -m repro cluster`` drives them and prints speedup curves with
+per-node comm/compute breakdowns; E20 in EXPERIMENTS.md is the
+measured story.
+"""
+
+from repro.cluster.life import (
+    ClusterLife,
+    ClusterLifeResult,
+    cluster_scaling,
+    run_cluster_life,
+)
+from repro.cluster.mapreduce import (
+    MapReduceResult,
+    map_reduce_cache,
+    map_reduce_translate,
+    place_chunks,
+    shard_items,
+)
+from repro.cluster.network import (
+    Message,
+    NetStats,
+    Network,
+    NetworkCostModel,
+    payload_bytes,
+)
+from repro.cluster.node import Cluster, Node, NodeStats
+from repro.cluster.queues import PipelineResult, item_costs, run_pipeline
+
+__all__ = [
+    "Cluster",
+    "ClusterLife",
+    "ClusterLifeResult",
+    "MapReduceResult",
+    "Message",
+    "NetStats",
+    "Network",
+    "NetworkCostModel",
+    "Node",
+    "NodeStats",
+    "PipelineResult",
+    "cluster_scaling",
+    "item_costs",
+    "map_reduce_cache",
+    "map_reduce_translate",
+    "payload_bytes",
+    "place_chunks",
+    "run_cluster_life",
+    "run_pipeline",
+    "shard_items",
+]

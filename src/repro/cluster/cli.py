@@ -1,0 +1,237 @@
+"""``python -m repro cluster`` — drive the sharded workloads and report.
+
+Prints the E20 story for one workload: the simulated speedup curve, the
+per-node comm/compute cycle breakdown, and (for Life) the bit-identical
+check against the serial oracle. ``--chrome OUT.json`` re-runs the
+largest configuration with a recorder attached and writes a validated
+Chrome trace with one lane per node::
+
+    python -m repro cluster life --nodes 8 --rounds 10 --grid 128
+    python -m repro cluster mapreduce --nodes 4 --schedule dynamic
+    python -m repro cluster pipeline --nodes 6 --items 64 --skew 3
+    python -m repro cluster life --chrome cluster.json
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.life import cluster_scaling, run_cluster_life
+from repro.cluster.mapreduce import map_reduce_cache, map_reduce_translate
+from repro.cluster.network import NetworkCostModel
+from repro.cluster.queues import run_pipeline
+from repro.life.grid import random_grid
+from repro.life.serial import step
+
+USAGE = """\
+usage: python -m repro cluster [DEMO] [options]
+
+demos (default: life):
+  life        banded Game of Life with halo exchange, scaling curve
+  mapreduce   sharded cache + MMU trace engines with a merge phase
+  pipeline    distributed producer/consumer over network queues
+
+options:
+  --nodes N        largest cluster size (default 8)
+  --rounds R       Life generations (default 10)
+  --grid N         Life grid is N x N (default 128)
+  --mode M         Life edge mode: torus | bounded (default torus)
+  --items N        pipeline items / mapreduce trace length (default 64)
+  --schedule S     mapreduce placement: block|cyclic|dynamic|guided
+  --skew S         pipeline per-item cost skew (default 3.0)
+  --latency F      network latency in cycles (default 50)
+  --bandwidth F    network bandwidth in bytes/cycle (default 8)
+  --chrome OUT     write a validated Chrome trace (one lane per node)"""
+
+
+def _node_counts(top: int) -> list[int]:
+    counts = [1]
+    while counts[-1] * 2 <= top:
+        counts.append(counts[-1] * 2)
+    if counts[-1] != top:
+        counts.append(top)
+    return counts
+
+
+def _breakdown_lines(node_counters: list[dict[str, float]]) -> list[str]:
+    out = []
+    for rank, c in enumerate(node_counters):
+        total = c.get("cycles", 0.0)
+        compute = c.get("cycles_compute", 0.0)
+        comm = total - compute
+        share = comm / total if total else 0.0
+        out.append(f"    node{rank}: {total:10.0f} cy  "
+                   f"(compute {compute:10.0f}, comm {comm:8.0f}, "
+                   f"{share:5.1%} comm)")
+    return out
+
+
+def _demo_life(nodes: int, rounds: int, grid_n: int, mode: str,
+               cost: NetworkCostModel, chrome: str | None) -> int:
+    grid = random_grid(grid_n, grid_n, seed=31)
+    print(f"banded Life: {grid_n}x{grid_n} {mode}, {rounds} rounds")
+    print(f"  {'nodes':>5}  {'makespan':>10}  {'speedup':>7}  "
+          f"{'comm%':>6}  {'msgs':>6}")
+    results = cluster_scaling(grid, rounds, _node_counts(nodes), mode=mode,
+                              net_cost=cost)
+    for n, res in results.items():
+        print(f"  {n:>5}  {res.makespan:>10.0f}  {res.speedup:>6.2f}x  "
+              f"{res.comm_fraction:>6.1%}  "
+              f"{res.net_counters['messages']:>6.0f}")
+    largest = results[max(results)]
+    print(f"\n  per-node breakdown at {largest.num_nodes} nodes:")
+    print("\n".join(_breakdown_lines(largest.node_counters)))
+    oracle = grid.astype(np.uint8)
+    for _ in range(rounds):
+        oracle = step(oracle, mode)
+    ok = bool(np.array_equal(largest.grid, oracle))
+    print(f"\n  bit-identical to serial oracle: {ok}")
+    if chrome is not None:
+        _write_trace(chrome, lambda rec: run_cluster_life(
+            grid, rounds, nodes=max(results), mode=mode, net_cost=cost,
+            recorder=rec))
+    return 0 if ok else 1
+
+
+def _demo_mapreduce(nodes: int, items: int, schedule: str,
+                    cost: NetworkCostModel, chrome: str | None) -> int:
+    rng = np.random.default_rng(31)
+    trace = (rng.integers(0, 64, size=items) * 64).tolist()
+    addrs = (rng.integers(0, 32, size=items) * 4096 + 16).tolist()
+    print(f"map-reduce: {items}-item traces over {nodes} nodes "
+          f"({schedule} placement)")
+    for label, res in (
+            ("cache", map_reduce_cache(trace, nodes=nodes,
+                                       schedule=schedule, net_cost=cost)),
+            ("translate", map_reduce_translate(addrs, nodes=nodes,
+                                               schedule=schedule,
+                                               net_cost=cost))):
+        merged = ", ".join(f"{k}={v}" for k, v in sorted(res.merged.items()))
+        print(f"\n  {label}: shards {res.shard_sizes}, "
+              f"makespan {res.makespan:.0f} cy")
+        print(f"    merged: {merged}")
+        print("\n".join(_breakdown_lines(res.node_counters)))
+    if chrome is not None:
+        _write_trace(chrome, lambda rec: map_reduce_cache(
+            trace, nodes=nodes, schedule=schedule, net_cost=cost,
+            recorder=rec))
+    return 0
+
+
+def _demo_pipeline(nodes: int, items: int, skew: float,
+                   cost: NetworkCostModel, chrome: str | None) -> int:
+    producers = max(1, nodes // 3)
+    consumers = max(1, nodes - producers)
+    print(f"pipeline: {items} items, {producers} producers -> "
+          f"{consumers} consumers (skew {skew:g})")
+    for placement in ("round-robin", "earliest"):
+        res = run_pipeline(items, producers=producers, consumers=consumers,
+                           placement=placement, skew=skew, seed=31,
+                           net_cost=cost)
+        print(f"\n  {placement}: makespan {res.makespan:.0f} cy, "
+              f"{res.throughput:.2f} items/kcy, "
+              f"consumer items {res.consumer_items}")
+        print("\n".join(_breakdown_lines(res.node_counters)))
+    if chrome is not None:
+        _write_trace(chrome, lambda rec: run_pipeline(
+            items, producers=producers, consumers=consumers,
+            placement="earliest", skew=skew, seed=31, net_cost=cost,
+            recorder=rec))
+    return 0
+
+
+def _write_trace(path: str, job) -> None:
+    from repro.obs.chrome import write_chrome
+    from repro.obs.recorder import TraceRecorder
+    recorder = TraceRecorder()
+    job(recorder)
+    count = write_chrome(recorder, path)
+    print(f"\n  wrote {count} Chrome trace events to {path} "
+          "(one lane per node; load in https://ui.perfetto.dev)")
+
+
+def run(argv: list[str]) -> int:
+    demo = None
+    nodes, rounds, grid_n, items = 8, 10, 128, 64
+    mode, schedule, skew = "torus", "block", 3.0
+    latency, bandwidth = 50.0, 8.0
+    chrome = None
+    args = list(argv)
+
+    def _value(flag: str, conv):
+        if not args:
+            print(f"error: {flag} needs a value")
+            return None
+        try:
+            return conv(args.pop(0))
+        except ValueError:
+            print(f"error: bad value for {flag}")
+            return None
+
+    while args:
+        arg = args.pop(0)
+        if arg in ("-h", "--help"):
+            print(USAGE)
+            return 0
+        if arg in ("--nodes", "--rounds", "--grid", "--items"):
+            val = _value(arg, int)
+            if val is None or val < 1:
+                print(f"error: {arg} needs a positive integer")
+                return 2
+            if arg == "--nodes":
+                nodes = val
+            elif arg == "--rounds":
+                rounds = val
+            elif arg == "--grid":
+                grid_n = val
+            else:
+                items = val
+        elif arg in ("--latency", "--bandwidth", "--skew"):
+            val = _value(arg, float)
+            if val is None or val < 0:
+                print(f"error: {arg} needs a non-negative number")
+                return 2
+            if arg == "--latency":
+                latency = val
+            elif arg == "--bandwidth":
+                bandwidth = val
+            else:
+                skew = val
+        elif arg == "--mode":
+            val = _value(arg, str)
+            if val not in ("torus", "bounded"):
+                print("error: --mode must be torus or bounded")
+                return 2
+            mode = val
+        elif arg == "--schedule":
+            val = _value(arg, str)
+            if val not in ("block", "cyclic", "dynamic", "guided"):
+                print("error: --schedule must be "
+                      "block, cyclic, dynamic, or guided")
+                return 2
+            schedule = val
+        elif arg == "--chrome":
+            chrome = _value(arg, str)
+            if chrome is None:
+                return 2
+        elif arg.startswith("-"):
+            print(f"error: unknown option {arg!r}\n{USAGE}")
+            return 2
+        elif demo is None:
+            demo = arg
+        else:
+            print(f"error: unexpected argument {arg!r}\n{USAGE}")
+            return 2
+    demo = demo or "life"
+    if demo not in ("life", "mapreduce", "pipeline"):
+        print(f"error: unknown demo {demo!r}\n{USAGE}")
+        return 2
+    if bandwidth <= 0:
+        print("error: --bandwidth must be positive")
+        return 2
+    cost = NetworkCostModel(latency=latency, bandwidth=bandwidth)
+    if demo == "life":
+        return _demo_life(nodes, rounds, grid_n, mode, cost, chrome)
+    if demo == "mapreduce":
+        return _demo_mapreduce(nodes, items, schedule, cost, chrome)
+    return _demo_pipeline(nodes, items, skew, cost, chrome)

@@ -1,0 +1,214 @@
+"""Sharded Game of Life: row bands across nodes with halo exchange.
+
+The distributed end of the Lab 10 story. The shared-memory engine gave
+every thread a view of one grid; here no node ever holds the whole grid
+— rank *i* owns the row band :func:`~repro.core.partition.partition_grid`
+assigns it, and each generation it
+
+1. **sends** its edge rows to its band neighbours (the halo exchange —
+   two messages per interior node per round),
+2. **receives** the neighbouring edge rows it needs,
+3. **computes** its band with the same O(band)
+   :func:`~repro.life.serial.step_band` kernel the shared-memory
+   workers run, over a local ``(h+2) × cols`` array whose first and
+   last rows are the received halos,
+4. joins a population **allreduce** and the round **barrier**.
+
+On a torus the non-empty bands form a ring (node 0's top halo is the
+last band's bottom row); bounded grids drop the wrap and use zero
+halos at the outer edges. Either way the result is **bit-identical**
+to :func:`repro.life.serial.step` applied to the whole grid — pinned by
+a randomized oracle test over 1–8 nodes, both edge modes, uneven and
+empty bands, ≥50 generations.
+
+The cost story mirrors :mod:`repro.life.parallel`: computing a cell
+costs :data:`~repro.life.parallel.CELL_CYCLES` on the node's clock,
+while halo bytes pay the network's latency/bandwidth model — so the
+E20 scaling curve shows real speedup with an honest comm/compute
+breakdown per node instead of the free communication a shared-memory
+simulation assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partition import partition_grid
+from repro.errors import ReproError
+from repro.life.parallel import CELL_CYCLES, run_serial_cycles
+from repro.life.serial import EdgeMode, step_band
+
+from repro.cluster.network import NetworkCostModel
+from repro.cluster.node import Cluster
+
+
+@dataclass
+class ClusterLifeResult:
+    """What a distributed run produced, and what it cost."""
+    grid: np.ndarray                 # final grid, gathered on rank 0
+    rounds: int
+    num_nodes: int
+    makespan: float                  # max node clock after the last barrier
+    round_populations: list[int]     # allreduced live count per round
+    node_counters: list[dict[str, float]]   # per-rank cycle breakdowns
+    net_counters: dict[str, float]   # network totals (messages/bytes/cycles)
+    band_rows: list[int] = field(default_factory=list)   # rows per rank
+
+    @property
+    def serial_cycles(self) -> float:
+        return run_serial_cycles(self.grid, self.rounds)
+
+    @property
+    def speedup(self) -> float:
+        """Simulated speedup over the one-machine serial engine."""
+        return self.serial_cycles / self.makespan if self.makespan else 1.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of all node cycles spent off-compute (comm + waits)."""
+        total = sum(c["cycles"] for c in self.node_counters)
+        compute = sum(c.get("cycles_compute", 0.0)
+                      for c in self.node_counters)
+        return (total - compute) / total if total else 0.0
+
+
+class ClusterLife:
+    """The banded engine, one object so tests can poke mid-run state."""
+
+    def __init__(self, grid: np.ndarray, *, nodes: int,
+                 mode: EdgeMode = "torus",
+                 net_cost: NetworkCostModel | None = None,
+                 recorder=None) -> None:
+        if grid.ndim != 2:
+            raise ReproError("life grid must be 2-D")
+        if nodes < 1:
+            raise ReproError("need at least one node")
+        if mode not in ("torus", "bounded"):
+            raise ReproError(f"unknown edge mode {mode!r}")
+        self.mode: EdgeMode = mode
+        self.rounds_run = 0
+        self.round_populations: list[int] = []
+        self.cluster = Cluster(nodes, net_cost=net_cost, recorder=recorder)
+        regions = partition_grid(grid.shape[0], grid.shape[1], nodes, "row")
+        seed = grid.astype(np.uint8)
+        self.cols = int(grid.shape[1])
+        #: rank → its private band (empty bands allowed: parts > rows)
+        self.bands: list[np.ndarray] = [
+            seed[r.row_start:r.row_end].copy() for r in regions]
+        #: ranks that own at least one row, in row order — the halo ring
+        self.ring = [i for i, b in enumerate(self.bands) if len(b)]
+
+    # -- one generation -----------------------------------------------------
+
+    def _neighbors(self, pos: int) -> tuple[int | None, int | None]:
+        """(pred, succ) ranks of ring position ``pos`` (None = grid edge)."""
+        ring = self.ring
+        if self.mode == "torus":
+            return ring[pos - 1], ring[(pos + 1) % len(ring)]
+        pred = ring[pos - 1] if pos > 0 else None
+        succ = ring[pos + 1] if pos + 1 < len(ring) else None
+        return pred, succ
+
+    def step(self) -> None:
+        """One synchronous generation across every node."""
+        r = self.rounds_run
+        ring = self.ring
+        nodes = self.cluster.nodes
+        exchange = len(ring) > 1
+        # phase 1 — every node posts its halo rows (rank order; each
+        # send is stamped with the sending node's own clock)
+        if exchange:
+            for pos, rank in enumerate(ring):
+                band = self.bands[rank]
+                pred, succ = self._neighbors(pos)
+                if succ is not None:
+                    nodes[rank].send(succ, band[-1].copy(),
+                                     tag=f"halo-dn:{r}")
+                if pred is not None:
+                    nodes[rank].send(pred, band[0].copy(),
+                                     tag=f"halo-up:{r}")
+        # phase 2 — receive halos, step the band locally
+        zeros = np.zeros(self.cols, dtype=np.uint8)
+        new_bands: dict[int, np.ndarray] = {}
+        live = [0] * self.cluster.num_nodes
+        for pos, rank in enumerate(ring):
+            band = self.bands[rank]
+            node = nodes[rank]
+            if exchange:
+                pred, succ = self._neighbors(pos)
+                top = node.recv(pred, tag=f"halo-dn:{r}") \
+                    if pred is not None else zeros
+                bottom = node.recv(succ, tag=f"halo-up:{r}") \
+                    if succ is not None else zeros
+            else:
+                # a single band is its own neighbour on a torus
+                top = band[-1] if self.mode == "torus" else zeros
+                bottom = band[0] if self.mode == "torus" else zeros
+            local = np.vstack([top[None, :], band, bottom[None, :]])
+            out = np.zeros_like(local)
+            h = len(band)
+            step_band(local, out, 1, h + 1, self.mode)
+            new_bands[rank] = out[1:h + 1]
+            node.compute(band.size * CELL_CYCLES)
+            live[rank] = int(new_bands[rank].sum())
+        for rank, band in new_bands.items():
+            self.bands[rank] = band
+        # phase 3 — the shared population counter, now a collective
+        self.round_populations.append(int(self.cluster.allreduce(live)))
+        self.cluster.barrier()
+        self.rounds_run += 1
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self, rounds: int) -> ClusterLifeResult:
+        """Run ``rounds`` generations; gather and report."""
+        if rounds < 0:
+            raise ReproError("rounds cannot be negative")
+        for _ in range(rounds):
+            self.step()
+        # makespan covers the steady-state rounds; the final gather is
+        # the one-off readback that follows
+        makespan = self.cluster.makespan
+        node_counters = self.cluster.breakdowns()
+        net = self.cluster.net_stats().counters()
+        return ClusterLifeResult(
+            grid=self.gather(), rounds=self.rounds_run,
+            num_nodes=self.cluster.num_nodes, makespan=makespan,
+            round_populations=list(self.round_populations),
+            node_counters=node_counters, net_counters=net,
+            band_rows=[len(b) for b in self.bands])
+
+    def gather(self) -> np.ndarray:
+        """Collect every band onto rank 0 and return the full grid."""
+        nodes = self.cluster.nodes
+        for rank in self.ring:
+            if rank != 0:
+                nodes[rank].send(0, self.bands[rank], tag="gather")
+        parts = [self.bands[rank] if rank == 0
+                 else nodes[0].recv(rank, tag="gather")
+                 for rank in self.ring]
+        if not parts:
+            return np.zeros((0, self.cols), dtype=np.uint8)
+        return np.vstack(parts)
+
+
+def run_cluster_life(grid: np.ndarray, rounds: int, *, nodes: int,
+                     mode: EdgeMode = "torus",
+                     net_cost: NetworkCostModel | None = None,
+                     recorder=None) -> ClusterLifeResult:
+    """Banded Life over ``nodes`` simulated machines (see module doc)."""
+    engine = ClusterLife(grid, nodes=nodes, mode=mode, net_cost=net_cost,
+                         recorder=recorder)
+    return engine.run(rounds)
+
+
+def cluster_scaling(grid: np.ndarray, rounds: int, node_counts: list[int],
+                    *, mode: EdgeMode = "torus",
+                    net_cost: NetworkCostModel | None = None
+                    ) -> dict[int, ClusterLifeResult]:
+    """The E20 curve: one full run per node count, same seed grid."""
+    return {n: run_cluster_life(grid, rounds, nodes=n, mode=mode,
+                                net_cost=net_cost)
+            for n in node_counts}

@@ -1,0 +1,246 @@
+"""One machine of the cluster, made explicit — and the cluster itself.
+
+Everything before this package assumed a single implicit machine: *the*
+bus, *the* kernel, *the* recorder. :class:`Node` reifies it — rank, a
+simulated clock, a per-node cycle breakdown, its own observability lane
+(``pid="cluster"``, ``tid="node<rank>"`` — one Chrome lane per node),
+and on demand its own memory bus and OS kernel, built by the same
+factories the single-machine stack uses. :class:`Cluster` is N of them
+plus the :class:`~repro.cluster.network.Network` between, with the two
+collectives every sharded workload needs (barrier, allreduce) built
+from real messages so their cost follows the network cost model.
+
+Timing model: each node owns a monotone ``clock`` (cycles).
+:meth:`Node.compute` advances it and charges the ``compute`` bucket;
+:meth:`Node.send`/:meth:`Node.recv` advance it by what the network
+says and charge ``comm`` — *including* time spent waiting for a
+message still on the wire, which is how a banded workload's imbalance
+becomes visible in the per-node breakdown. The cluster's makespan is
+the maximum node clock, exactly as
+:attr:`repro.core.machine.SimMachine.makespan` is the maximum core
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import ClusterError
+from repro.obs.recorder import coalesce
+from repro.system.costing import CycleStats
+
+from repro.cluster.network import Network, NetworkCostModel, NetStats
+
+
+@dataclass
+class NodeStats(CycleStats):
+    """Where one node's cycles went (``compute`` vs ``comm``)."""
+
+    def counters(self) -> dict[str, float]:
+        out: dict[str, float] = {"cycles": self.cycles}
+        out.update(self.breakdown_counters())
+        return out
+
+    @property
+    def compute_cycles(self) -> float:
+        return self.breakdown.get("compute", 0.0)
+
+    @property
+    def comm_cycles(self) -> float:
+        """Everything that isn't compute: overheads, transfers, waits."""
+        return self.cycles - self.compute_cycles
+
+
+class Node:
+    """One shardable machine: clock + stats + lane (+ bus + kernel).
+
+    The node does not schedule itself — workloads drive nodes in rank
+    order while the clocks keep honest simulated time (see the module
+    docstring). ``bus`` and ``kernel`` exist so a shard can host the
+    single-machine engines: :meth:`ensure_bus` puts a
+    :mod:`repro.system` memory bus on the node, :meth:`make_kernel`
+    boots an :class:`~repro.ossim.kernel.Kernel`, both wired to the
+    node's recorder lane.
+    """
+
+    def __init__(self, rank: int, network: Network, *,
+                 recorder=None, name: str | None = None) -> None:
+        self.rank = rank
+        self.network = network
+        self.name = name or f"node{rank}"
+        self.clock = 0.0
+        self.stats = NodeStats()
+        self.recorder = coalesce(recorder)
+        self.bus = None              # attached by ensure_bus()
+        self.kernel = None           # attached by make_kernel()
+        self._compute_series = None  # lazy span handle on this node's lane
+        self._comm_series = None
+
+    # -- observability lane -------------------------------------------------
+
+    def _lane(self, kind: str):
+        rec = self.recorder
+        if kind == "compute":
+            if self._compute_series is None:
+                self._compute_series = rec.span_series(
+                    "compute", pid="cluster", tid=self.name, cat="cluster")
+            return self._compute_series
+        if self._comm_series is None:
+            self._comm_series = rec.span_series(
+                "comm", pid="cluster", tid=self.name, cat="cluster")
+        return self._comm_series
+
+    # -- simulated work -----------------------------------------------------
+
+    def compute(self, cycles: float) -> float:
+        """Busy the node for ``cycles``; returns the new clock."""
+        if cycles < 0:
+            raise ClusterError("compute cycles cannot be negative")
+        start = self.clock
+        self.clock = start + cycles
+        self.stats.charge("compute", cycles)
+        if self.recorder.enabled and cycles > 0:
+            self._lane("compute").add(start, cycles)
+        return self.clock
+
+    def _advance_comm(self, new_clock: float) -> None:
+        delta = new_clock - self.clock
+        if delta < 0:       # clocks are monotone by construction
+            raise ClusterError("node clock ran backwards")
+        self.stats.charge("comm", delta)
+        if self.recorder.enabled and delta > 0:
+            self._lane("comm").add(self.clock, delta)
+        self.clock = new_clock
+
+    def send(self, dst: int, payload: Any, *, tag: str = "") -> None:
+        """Send ``payload`` to rank ``dst`` (sender busy for the overhead)."""
+        self._advance_comm(self.network.send(self.rank, dst, payload,
+                                             tag=tag, clock=self.clock))
+
+    def recv(self, src: int, *, tag: str = "") -> Any:
+        """Receive the next message from ``src`` (waits on the wire)."""
+        payload, new_clock = self.network.recv(self.rank, src, tag=tag,
+                                               clock=self.clock)
+        self._advance_comm(new_clock)
+        return payload
+
+    def recv_any(self, *, tag: str = ""):
+        """Receive whichever message for this node arrives first.
+
+        Returns the whole :class:`~repro.cluster.network.Message`.
+        """
+        msg, new_clock = self.network.recv_any(self.rank, tag=tag,
+                                               clock=self.clock)
+        self._advance_comm(new_clock)
+        return msg
+
+    # -- hosting the single-machine stack ------------------------------------
+
+    def ensure_bus(self, kind: str = "flat", **kwargs):
+        """Attach (once) and return this node's own memory bus.
+
+        The same :func:`repro.system.make_bus` factory the
+        single-machine CLI uses, sharing the node's recorder — a
+        cluster of N nodes is N independent buses, not one global one.
+        """
+        if self.bus is None:
+            from repro.system.bus import make_bus
+            rec = self.recorder if self.recorder.enabled else None
+            self.bus = make_bus(kind, recorder=rec, **kwargs)
+        return self.bus
+
+    def make_kernel(self, **kwargs):
+        """Boot (once) and return this node's own OS kernel."""
+        if self.kernel is None:
+            from repro.ossim.kernel import Kernel
+            rec = self.recorder if self.recorder.enabled else None
+            self.kernel = Kernel(recorder=rec, **kwargs)
+        return self.kernel
+
+    def __repr__(self) -> str:
+        return (f"Node({self.rank}, clock={self.clock:g}, "
+                f"compute={self.stats.compute_cycles:g}, "
+                f"comm={self.stats.comm_cycles:g})")
+
+
+class Cluster:
+    """N nodes plus the network between them, with collectives.
+
+    The container every sharded workload starts from::
+
+        cluster = Cluster(4)
+        cluster.nodes[0].send(1, row, tag="halo")
+        ...
+        total = cluster.allreduce([n.rank for n in cluster.nodes])
+        cluster.barrier()
+
+    ``allreduce`` is a real gather-to-root + broadcast over
+    :meth:`Node.send`/:meth:`Node.recv`, so its cost (2·(N−1) messages
+    through the root) follows the network cost model; ``barrier`` uses
+    the analytic log-depth tree cost
+    (:meth:`~repro.cluster.network.NetworkCostModel.barrier_cycles`)
+    and synchronises every clock to the latest node — the wait each
+    node pays is charged to its ``comm`` bucket, which is exactly the
+    load-imbalance signal the E20 breakdown reports.
+    """
+
+    def __init__(self, num_nodes: int, *,
+                 net_cost: NetworkCostModel | None = None,
+                 recorder=None) -> None:
+        self.network = Network(num_nodes, cost=net_cost, recorder=recorder)
+        self.recorder = coalesce(recorder)
+        self.nodes = [Node(rank, self.network, recorder=recorder)
+                      for rank in range(num_nodes)]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def makespan(self) -> float:
+        """The cluster finishes when its slowest node does."""
+        return max(node.clock for node in self.nodes)
+
+    def barrier(self) -> float:
+        """Synchronise every node; returns the common post-barrier clock."""
+        target = self.makespan + self.network.cost.barrier_cycles(
+            self.num_nodes)
+        for node in self.nodes:
+            node._advance_comm(target)
+        return target
+
+    def allreduce(self, values: Iterable[Any],
+                  op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Combine one value per node; every node ends with the result.
+
+        ``values`` must supply exactly one entry per rank; ``op``
+        defaults to addition. Rank 0 gathers in rank order, folds, and
+        broadcasts — all through real messages.
+        """
+        values = list(values)
+        if len(values) != self.num_nodes:
+            raise ClusterError(
+                f"allreduce needs one value per node "
+                f"({len(values)} given, {self.num_nodes} nodes)")
+        if op is None:
+            def op(a, b):
+                return a + b
+        root, others = self.nodes[0], self.nodes[1:]
+        for node in others:
+            node.send(0, values[node.rank], tag="allreduce")
+        result = values[0]
+        for node in others:
+            result = op(result, root.recv(node.rank, tag="allreduce"))
+        for node in others:
+            root.send(node.rank, result, tag="allreduce:bcast")
+        for node in others:
+            node.recv(0, tag="allreduce:bcast")
+        return result
+
+    def breakdowns(self) -> list[dict[str, float]]:
+        """Per-node flat counters (rank order) for reports and benches."""
+        return [node.stats.counters() for node in self.nodes]
+
+    def net_stats(self) -> NetStats:
+        return self.network.stats

@@ -9,6 +9,7 @@ the balance guarantees tests can check.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ReproError
@@ -157,6 +158,10 @@ def partition_grid(rows: int, cols: int, parts: int,
     """Partition a grid by rows ("row"/horizontal strips) or columns.
 
     The two options Lab 10 offers; regions cover the grid exactly.
+    Always returns exactly ``parts`` regions: when ``parts`` exceeds the
+    available rows (or columns), the extra regions are empty, placed
+    after the single-row ones — cluster shard placement relies on this
+    (rank *i* always has a region; a rank with an empty band just idles).
     """
     if orientation not in ("row", "col"):
         raise ReproError("orientation must be 'row' or 'col'")
@@ -168,8 +173,17 @@ def partition_grid(rows: int, cols: int, parts: int,
 
 
 def balance_ratio(regions: list[GridRegion]) -> float:
-    """max/min cell count over non-empty regions (1.0 = perfectly even)."""
-    counts = [r.cell_count for r in regions if r.cell_count > 0]
-    if not counts:
+    """max/min cell count as a load-imbalance measure (1.0 = even).
+
+    The degenerate cases are well-defined rather than divide-by-zero:
+    an empty list or all-empty regions balance trivially (1.0), while a
+    *mix* of empty and non-empty regions is unboundedly imbalanced —
+    some worker idles while another carries cells — and reports
+    ``math.inf`` so shard-placement code can reject the split.
+    """
+    counts = [r.cell_count for r in regions]
+    if not counts or max(counts) == 0:
         return 1.0
+    if min(counts) == 0:
+        return math.inf
     return max(counts) / min(counts)

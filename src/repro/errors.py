@@ -158,3 +158,11 @@ class ObsError(ReproError):
 
 class BusError(ReproError):
     """Memory-bus misconfiguration (unknown kind, missing pid/process...)."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster / simulated network
+# ---------------------------------------------------------------------------
+
+class ClusterError(ReproError):
+    """Cluster misuse: bad rank, recv with no matching message, bad shard."""

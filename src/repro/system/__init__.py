@@ -21,6 +21,7 @@ from repro.system.bus import (
     default_hierarchy,
     make_bus,
 )
+from repro.system.costing import CycleStats
 from repro.system.runner import (
     RunReport,
     load_program,
@@ -33,6 +34,7 @@ __all__ = [
     "BusStats",
     "CachedBus",
     "CostModel",
+    "CycleStats",
     "FlatBus",
     "MemoryBus",
     "ProcessView",

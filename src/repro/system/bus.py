@@ -32,7 +32,6 @@ rules: hooks guard on ``recorder.enabled`` and never change behaviour.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Protocol, runtime_checkable
 
@@ -40,58 +39,15 @@ from repro.clib.address_space import AddressSpace, ByteAddressable
 from repro.errors import BusError
 from repro.memory.cache import CacheConfig
 from repro.memory.multilevel import CacheHierarchy
+# the cycle-accounting vocabulary lives in repro.system.costing (shared
+# with the cluster network); these re-imports keep the original import
+# paths — repro.system.bus.CostModel / .BusStats — working unchanged
+from repro.system.costing import BusStats, CostModel
 from repro.vm.mmu import MMU
 from repro.vm.physical import PhysicalMemory
 
 #: bus kinds the CLI and the runner accept
 BUS_KINDS = ("flat", "cached", "virtual")
-
-
-@dataclass(frozen=True)
-class CostModel:
-    """Unified latency parameters for the whole pipeline (in cycles).
-
-    One model covers what :class:`~repro.vm.mmu.CostModel` and the cache
-    configs' ``hit_time`` previously modelled separately, so a single
-    run can report CPI: each instruction costs ``instruction_time`` plus
-    whatever its memory traffic costs on the bus it runs over.
-    ``fault_service_time`` is deliberately smaller than the lecture
-    formula's 8 ms-as-cycles value so CPI stays readable in demos; pass
-    your own model to reproduce the EAT homework numbers exactly.
-    """
-    instruction_time: float = 1.0     # base cost of executing one instruction
-    memory_time: float = 100.0        # one RAM access (also a page-table walk)
-    tlb_time: float = 1.0             # TLB probe
-    fault_service_time: float = 8_000.0   # page-fault handler + disk
-
-
-@dataclass
-class BusStats:
-    """What travelled over the bus, and what it cost."""
-    loads: int = 0
-    stores: int = 0
-    fetches: int = 0
-    cycles: float = 0.0
-    #: cycles broken down by where they went
-    breakdown: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def accesses(self) -> int:
-        return self.loads + self.stores + self.fetches
-
-    def charge(self, where: str, cycles: float) -> None:
-        self.cycles += cycles
-        self.breakdown[where] = self.breakdown.get(where, 0.0) + cycles
-
-    def counters(self) -> dict[str, float]:
-        """A flat dict for reports and stats-equality assertions."""
-        out: dict[str, float] = {"loads": self.loads, "stores": self.stores,
-                                 "fetches": self.fetches,
-                                 "accesses": self.accesses,
-                                 "cycles": self.cycles}
-        for where, cycles in sorted(self.breakdown.items()):
-            out[f"cycles_{where}"] = cycles
-        return out
 
 
 @runtime_checkable

@@ -1,0 +1,97 @@
+"""The cycle-accounting vocabulary every cost-modelled layer shares.
+
+PR 5 gave the memory bus one :class:`CostModel` and one stats record
+with a per-category cycle ``breakdown`` dict; the cluster layer's
+network needs the identical vocabulary (messages cost cycles, cycles go
+to named buckets, reports flatten the buckets into ``cycles_<where>``
+counters). Rather than redefine the breakdown machinery per subsystem,
+this module owns it:
+
+* :class:`CycleStats` — the accounting core: a ``cycles`` total, a
+  per-category ``breakdown``, :meth:`~CycleStats.charge` to add to
+  both, and :meth:`~CycleStats.breakdown_counters` /
+  :meth:`~CycleStats.merge` for reports and cluster-wide aggregation.
+* :class:`CostModel` — the single-machine latency parameters (moved
+  here from :mod:`repro.system.bus`; that import path still works).
+* :class:`BusStats` — memory-bus traffic + cycles, a
+  :class:`CycleStats` with load/store/fetch counts.
+
+:class:`~repro.cluster.network.NetStats` and
+:class:`~repro.cluster.node.NodeStats` subclass :class:`CycleStats`
+the same way, so a per-node comm/compute report and a per-bus
+cache/walk/fault report read (and merge) identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unified latency parameters for the whole pipeline (in cycles).
+
+    One model covers what :class:`~repro.vm.mmu.CostModel` and the cache
+    configs' ``hit_time`` previously modelled separately, so a single
+    run can report CPI: each instruction costs ``instruction_time`` plus
+    whatever its memory traffic costs on the bus it runs over.
+    ``fault_service_time`` is deliberately smaller than the lecture
+    formula's 8 ms-as-cycles value so CPI stays readable in demos; pass
+    your own model to reproduce the EAT homework numbers exactly.
+    """
+    instruction_time: float = 1.0     # base cost of executing one instruction
+    memory_time: float = 100.0        # one RAM access (also a page-table walk)
+    tlb_time: float = 1.0             # TLB probe
+    fault_service_time: float = 8_000.0   # page-fault handler + disk
+
+
+@dataclass
+class CycleStats:
+    """Cycles accumulated against named categories.
+
+    The shared skeleton of every "where did the time go" record: one
+    running total plus a breakdown dict keyed by bucket name
+    (``"cache"``, ``"walk"``, ``"latency"``, ``"compute"``, ...).
+    Subclasses add their own event counters and include
+    :meth:`breakdown_counters` in their flat ``counters()`` dicts.
+    """
+    cycles: float = 0.0
+    #: cycles broken down by where they went
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, where: str, cycles: float) -> None:
+        self.cycles += cycles
+        self.breakdown[where] = self.breakdown.get(where, 0.0) + cycles
+
+    def breakdown_counters(self, prefix: str = "cycles_"
+                           ) -> dict[str, float]:
+        """The breakdown flattened to ``{prefix}<where>`` keys, sorted."""
+        return {f"{prefix}{where}": cycles
+                for where, cycles in sorted(self.breakdown.items())}
+
+    def merge(self, other: "CycleStats") -> None:
+        """Fold another record's cycles into this one, bucket by bucket."""
+        self.cycles += other.cycles
+        for where, cycles in other.breakdown.items():
+            self.breakdown[where] = self.breakdown.get(where, 0.0) + cycles
+
+
+@dataclass
+class BusStats(CycleStats):
+    """What travelled over the bus, and what it cost."""
+    loads: int = 0
+    stores: int = 0
+    fetches: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores + self.fetches
+
+    def counters(self) -> dict[str, float]:
+        """A flat dict for reports and stats-equality assertions."""
+        out: dict[str, float] = {"loads": self.loads, "stores": self.stores,
+                                 "fetches": self.fetches,
+                                 "accesses": self.accesses,
+                                 "cycles": self.cycles}
+        out.update(self.breakdown_counters())
+        return out

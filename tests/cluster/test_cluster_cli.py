@@ -1,0 +1,90 @@
+"""CLI surface: python -m repro cluster ... (parsing, demos, chrome)."""
+
+import json
+
+import pytest
+
+from repro.cluster.cli import run
+from repro.obs.chrome import validate
+
+
+class TestParsing:
+    def test_help(self, capsys):
+        assert run(["--help"]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_unknown_demo(self, capsys):
+        assert run(["teleport"]) == 2
+        assert "unknown demo" in capsys.readouterr().out
+
+    def test_unknown_option(self, capsys):
+        assert run(["life", "--warp"]) == 2
+        assert "unknown option" in capsys.readouterr().out
+
+    def test_bad_values(self, capsys):
+        assert run(["life", "--nodes", "0"]) == 2
+        assert run(["life", "--nodes"]) == 2
+        assert run(["life", "--mode", "klein"]) == 2
+        assert run(["mapreduce", "--schedule", "psychic"]) == 2
+        assert run(["life", "--bandwidth", "0"]) == 2
+
+
+class TestDemos:
+    def test_life_default_reports_scaling_and_oracle(self, capsys):
+        code = run(["life", "--nodes", "4", "--rounds", "3",
+                    "--grid", "24"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+        assert "bit-identical to serial oracle: True" in out
+        assert "node0:" in out and "comm" in out
+
+    def test_life_bounded_mode(self, capsys):
+        assert run(["life", "--nodes", "2", "--rounds", "2",
+                    "--grid", "16", "--mode", "bounded"]) == 0
+        assert "bounded" in capsys.readouterr().out
+
+    def test_mapreduce_demo(self, capsys):
+        code = run(["mapreduce", "--nodes", "3", "--items", "60",
+                    "--schedule", "dynamic"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache:" in out and "translate:" in out
+        assert "accesses=60" in out
+
+    def test_pipeline_demo(self, capsys):
+        code = run(["pipeline", "--nodes", "4", "--items", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round-robin" in out and "earliest" in out
+
+    def test_default_demo_is_life(self, capsys):
+        assert run(["--nodes", "2", "--rounds", "2", "--grid", "12"]) == 0
+        assert "banded Life" in capsys.readouterr().out
+
+
+class TestChromeExport:
+    @pytest.mark.parametrize("demo", ["life", "mapreduce", "pipeline"])
+    def test_chrome_trace_validates(self, demo, tmp_path, capsys):
+        out_path = tmp_path / f"{demo}.json"
+        args = [demo, "--nodes", "3", "--rounds", "2", "--grid", "16",
+                "--items", "12", "--chrome", str(out_path)]
+        assert run(args) == 0
+        doc = json.loads(out_path.read_text())
+        assert validate(doc) > 0
+
+    def test_one_lane_per_node(self, tmp_path):
+        out_path = tmp_path / "life.json"
+        run(["life", "--nodes", "4", "--rounds", "2", "--grid", "16",
+             "--chrome", str(out_path)])
+        doc = json.loads(out_path.read_text())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert {"node0", "node1", "node2", "node3"} <= names
+
+
+class TestMainDispatch:
+    def test_module_entry_routes_cluster(self):
+        from repro.__main__ import main
+        assert main(["cluster", "life", "--nodes", "2", "--rounds", "2",
+                     "--grid", "12"]) == 0

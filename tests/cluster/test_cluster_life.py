@@ -1,0 +1,138 @@
+"""The halo-exchange oracle: banded cluster Life == serial Life, always."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterLife, NetworkCostModel, run_cluster_life
+from repro.errors import ReproError
+from repro.life.grid import random_grid
+from repro.life.serial import step
+
+
+def serial_rounds(grid, rounds, mode):
+    g = grid.astype(np.uint8)
+    for _ in range(rounds):
+        g = step(g, mode)
+    return g
+
+
+class TestOracle:
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 4, 5, 8])
+    @pytest.mark.parametrize("mode", ["torus", "bounded"])
+    def test_banded_matches_serial_long_run(self, nodes, mode):
+        """≥50 generations, every node count, both edge modes."""
+        grid = random_grid(24, 18, density=0.4, seed=nodes)
+        res = run_cluster_life(grid, 50, nodes=nodes, mode=mode)
+        assert np.array_equal(res.grid, serial_rounds(grid, 50, mode))
+
+    @pytest.mark.parametrize("rows", [1, 2, 3, 5, 7, 9])
+    def test_uneven_and_tiny_bands(self, rows):
+        """rows < nodes forces empty bands; odd rows force uneven ones."""
+        for mode in ("torus", "bounded"):
+            grid = random_grid(rows, 11, density=0.5, seed=rows)
+            res = run_cluster_life(grid, 20, nodes=4, mode=mode)
+            assert np.array_equal(res.grid, serial_rounds(grid, 20, mode)), \
+                (rows, mode)
+
+    def test_randomized_sweep(self):
+        """Random shapes/densities/node counts against the oracle."""
+        rng = np.random.default_rng(31)
+        for trial in range(20):
+            rows = int(rng.integers(1, 40))
+            cols = int(rng.integers(1, 40))
+            nodes = int(rng.integers(1, 9))
+            mode = ["torus", "bounded"][trial % 2]
+            grid = (rng.random((rows, cols)) < 0.35).astype(np.uint8)
+            res = run_cluster_life(grid, 8, nodes=nodes, mode=mode)
+            assert np.array_equal(res.grid, serial_rounds(grid, 8, mode)), \
+                (rows, cols, nodes, mode)
+
+    def test_population_allreduce_matches_grid(self):
+        grid = random_grid(20, 20, seed=3)
+        res = run_cluster_life(grid, 10, nodes=4)
+        oracle = grid.astype(np.uint8)
+        for pop in res.round_populations:
+            oracle = step(oracle, "torus")
+            assert pop == int(oracle.sum())
+
+
+class TestDeterminism:
+    def test_same_seed_same_network_event_order(self):
+        def events():
+            eng = ClusterLife(random_grid(23, 17, seed=9), nodes=6)
+            for _ in range(10):
+                eng.step()
+            return list(eng.cluster.network.events)
+        first, second = events(), events()
+        assert first == second
+        assert len(first) > 0
+
+    def test_runs_are_reproducible_end_to_end(self):
+        grid = random_grid(16, 16, seed=1)
+        a = run_cluster_life(grid, 5, nodes=3)
+        b = run_cluster_life(grid, 5, nodes=3)
+        assert np.array_equal(a.grid, b.grid)
+        assert a.makespan == b.makespan
+        assert a.node_counters == b.node_counters
+        assert a.net_counters == b.net_counters
+
+
+class TestCostStory:
+    def test_single_node_has_no_comm_no_messages(self):
+        res = run_cluster_life(random_grid(12, 12, seed=0), 4, nodes=1)
+        assert res.net_counters["messages"] == 0
+        assert res.comm_fraction == 0.0
+        assert res.speedup == pytest.approx(1.0)
+
+    def test_speedup_monotone_on_wide_grid(self):
+        grid = random_grid(96, 96, seed=31)
+        prev = 0.0
+        for n in (1, 2, 4, 8):
+            res = run_cluster_life(grid, 4, nodes=n)
+            assert res.speedup > prev, n
+            prev = res.speedup
+
+    def test_slow_network_shrinks_speedup(self):
+        grid = random_grid(48, 48, seed=2)
+        fast = run_cluster_life(grid, 4, nodes=4,
+                                net_cost=NetworkCostModel(latency=10))
+        slow = run_cluster_life(grid, 4, nodes=4,
+                                net_cost=NetworkCostModel(latency=5000))
+        assert slow.speedup < fast.speedup
+        assert slow.comm_fraction > fast.comm_fraction
+        # the physics changes, the answer does not
+        assert np.array_equal(slow.grid, fast.grid)
+
+    def test_halo_message_count(self):
+        # 4 non-empty bands on a torus: 2 halo messages per node per
+        # round, plus 6 allreduce messages per round (gather+bcast)
+        # (the reported counters snapshot the steady state, like
+        # makespan — the one-off final gather is not in them)
+        res = run_cluster_life(random_grid(16, 8, seed=5), 3, nodes=4)
+        per_round = 4 * 2 + 2 * 3
+        assert res.net_counters["messages"] == per_round * 3
+
+    def test_makespan_excludes_final_gather(self):
+        grid = random_grid(16, 8, seed=5)
+        eng = ClusterLife(grid, nodes=4)
+        eng.step()
+        span_before = eng.cluster.makespan
+        res = eng.run(0)          # gather only
+        assert res.makespan == span_before
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ReproError):
+            ClusterLife(np.zeros(4, dtype=np.uint8), nodes=2)
+        with pytest.raises(ReproError):
+            ClusterLife(np.zeros((4, 4), dtype=np.uint8), nodes=0)
+        with pytest.raises(ReproError):
+            ClusterLife(np.zeros((4, 4), dtype=np.uint8), nodes=2,
+                        mode="moebius")
+        with pytest.raises(ReproError):
+            run_cluster_life(np.zeros((4, 4)), -1, nodes=2)
+
+    def test_band_rows_reported(self):
+        res = run_cluster_life(random_grid(10, 6, seed=0), 1, nodes=4)
+        assert res.band_rows == [3, 3, 2, 2]

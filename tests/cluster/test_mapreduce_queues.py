@@ -1,0 +1,163 @@
+"""Sharded map-reduce engines and the distributed producer/consumer."""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    map_reduce_cache,
+    map_reduce_translate,
+    place_chunks,
+    run_pipeline,
+    shard_items,
+)
+from repro.errors import ClusterError
+from repro.memory.cache import Cache, CacheConfig
+
+
+def _trace(n, seed=3, pages=256):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, pages, size=n) * 16).tolist()
+
+
+class TestSharding:
+    def test_block_and_cyclic_are_one_chunk_per_node(self):
+        assert shard_items(10, 3, "block") == [[0, 1, 2, 3], [4, 5, 6],
+                                               [7, 8, 9]]
+        assert shard_items(7, 3, "cyclic") == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_dynamic_guided_cover_exactly(self):
+        for mode in ("dynamic", "guided"):
+            shards = shard_items(57, 4, mode, chunk_size=5)
+            flat = sorted(i for s in shards for i in s)
+            assert flat == list(range(57)), mode
+
+    def test_greedy_dealing_balances(self):
+        # 8 equal chunks over 4 nodes: greedy gives each node 2
+        chunks = [[i] for i in range(8)]
+        shards = place_chunks(chunks, 4, "dynamic")
+        assert [len(s) for s in shards] == [2, 2, 2, 2]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ClusterError):
+            shard_items(10, 2, "fractal")
+
+
+class TestMapReduceCache:
+    def test_one_node_block_equals_single_machine(self):
+        trace = _trace(300)
+        res = map_reduce_cache(trace, nodes=1)
+        cfg = CacheConfig(num_lines=64, block_size=16,
+                          associativity=2, hit_time=1)
+        solo = Cache(cfg).simulate_trace(trace)
+        expect = {k: int(v) for k, v in asdict(solo).items()}
+        expect.update(accesses=solo.accesses, hits=solo.hits,
+                      misses=solo.misses)
+        assert res.merged == expect
+
+    @pytest.mark.parametrize("schedule", ["block", "cyclic",
+                                          "dynamic", "guided"])
+    def test_totals_conserved_across_schedules(self, schedule):
+        trace = _trace(240)
+        res = map_reduce_cache(trace, nodes=4, schedule=schedule)
+        assert res.merged["accesses"] == 240
+        assert res.merged["hits"] + res.merged["misses"] == 240
+        assert sum(res.shard_sizes) == 240
+
+    def test_merged_equals_sum_of_shards(self):
+        trace = _trace(200)
+        res = map_reduce_cache(trace, nodes=3, schedule="block")
+        cfg = CacheConfig(num_lines=64, block_size=16,
+                          associativity=2, hit_time=1)
+        shards = shard_items(200, 3, "block")
+        total = 0
+        for idxs in shards:
+            total += Cache(cfg).simulate_trace(
+                [trace[i] for i in idxs]).misses
+        assert res.merged["misses"] == total
+
+    def test_more_nodes_than_items(self):
+        res = map_reduce_cache(_trace(2), nodes=5)
+        assert res.merged["accesses"] == 2
+        assert res.shard_sizes.count(0) == 3
+
+    def test_empty_trace(self):
+        res = map_reduce_cache([], nodes=3)
+        assert res.merged == {}
+        assert res.makespan >= 0
+
+    def test_comm_and_compute_attributed(self):
+        res = map_reduce_cache(_trace(200), nodes=4)
+        assert res.compute_cycles > 0
+        assert res.comm_cycles > 0
+        assert res.net_counters["messages"] == 3   # three reduce sends
+
+    def test_nodes_must_be_positive(self):
+        with pytest.raises(ClusterError):
+            map_reduce_cache(_trace(10), nodes=0)
+
+
+class TestMapReduceTranslate:
+    def test_totals_conserved(self):
+        rng = np.random.default_rng(7)
+        addrs = (rng.integers(0, 64, size=300) * 4096 + 12).tolist()
+        res = map_reduce_translate(addrs, nodes=4, schedule="cyclic")
+        assert res.merged["accesses"] == 300
+        assert (res.merged["tlb_hits"] + res.merged["tlb_misses"]) == 300
+        assert res.merged["page_faults"] >= 0
+
+    def test_one_node_matches_direct_mmu(self):
+        from repro.vm.mmu import MMU
+        from repro.vm.physical import PhysicalMemory
+        addrs = [i * 4096 + 4 for i in range(40)] * 2
+        res = map_reduce_translate(addrs, nodes=1, num_frames=64,
+                                   tlb_entries=16)
+        mmu = MMU(PhysicalMemory(64, 4096), page_size=4096, tlb_entries=16)
+        mmu.create_process(0, 40)
+        batch = mmu.translate_many(addrs, pid=0)
+        assert res.merged["tlb_hits"] == int(batch.tlb_hits)
+        assert res.merged["page_faults"] == int(batch.page_faults)
+
+
+class TestPipeline:
+    def test_all_items_processed_exactly_once(self):
+        for placement in ("round-robin", "earliest"):
+            res = run_pipeline(40, producers=2, consumers=3,
+                               placement=placement, seed=1)
+            assert sum(res.consumer_items) == 40
+            assert res.items == 40
+
+    def test_earliest_never_loses_to_round_robin_under_skew(self):
+        for seed in (1, 2, 3):
+            rr = run_pipeline(48, producers=2, consumers=4, skew=4.0,
+                              seed=seed, placement="round-robin")
+            ef = run_pipeline(48, producers=2, consumers=4, skew=4.0,
+                              seed=seed, placement="earliest")
+            assert ef.makespan <= rr.makespan + 1e-9, seed
+
+    def test_throughput_and_balance_properties(self):
+        res = run_pipeline(30, producers=1, consumers=3, seed=0)
+        assert res.throughput > 0
+        assert res.consumer_balance >= 1.0
+
+    def test_zero_items(self):
+        res = run_pipeline(0, producers=1, consumers=1)
+        assert res.consumer_items == [0]
+        assert res.throughput == 0.0
+
+    def test_deterministic(self):
+        a = run_pipeline(25, producers=2, consumers=2, skew=2.0, seed=9)
+        b = run_pipeline(25, producers=2, consumers=2, skew=2.0, seed=9)
+        assert a.makespan == b.makespan
+        assert a.consumer_items == b.consumer_items
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            run_pipeline(10, producers=0, consumers=1)
+        with pytest.raises(ClusterError):
+            run_pipeline(10, placement="psychic")
+        with pytest.raises(ClusterError):
+            run_pipeline(-1)
+        with pytest.raises(ClusterError):
+            run_pipeline(10, skew=-1.0)

@@ -1,0 +1,132 @@
+"""Node clock/accounting and the Cluster collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, NetworkCostModel
+from repro.errors import ClusterError
+from repro.obs.recorder import TraceRecorder
+
+
+class TestNode:
+    def test_compute_advances_clock_and_charges(self):
+        c = Cluster(1)
+        node = c.nodes[0]
+        node.compute(100)
+        node.compute(50)
+        assert node.clock == 150
+        assert node.stats.compute_cycles == 150
+        assert node.stats.comm_cycles == 0
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster(1).nodes[0].compute(-1)
+
+    def test_send_recv_charge_comm_including_wait(self):
+        cost = NetworkCostModel(latency=10, bandwidth=8,
+                                send_overhead=4, recv_overhead=2)
+        c = Cluster(2, net_cost=cost)
+        a, b = c.nodes
+        a.send(1, np.zeros(16, dtype=np.uint8))
+        assert a.clock == 4 and a.stats.comm_cycles == 4
+        # b receives at clock 0: waits to deliver_ts 16, pays 2 overhead
+        payload = b.recv(0)
+        assert payload.shape == (16,)
+        assert b.clock == 18 and b.stats.comm_cycles == 18
+
+    def test_counters_shape(self):
+        c = Cluster(2)
+        c.nodes[0].compute(10)
+        c.nodes[0].send(1, 1)
+        c.nodes[1].recv(0)
+        counters = c.breakdowns()
+        assert counters[0]["cycles_compute"] == 10
+        assert counters[0]["cycles"] > 10
+        assert "cycles_comm" in counters[1]
+
+    def test_node_hosts_its_own_bus_and_kernel(self):
+        c = Cluster(2)
+        bus0 = c.nodes[0].ensure_bus("flat")
+        bus1 = c.nodes[1].ensure_bus("flat")
+        assert bus0 is not bus1
+        assert c.nodes[0].ensure_bus("flat") is bus0   # idempotent
+        k = c.nodes[0].make_kernel()
+        assert c.nodes[0].make_kernel() is k
+
+    def test_repr_mentions_rank_and_clock(self):
+        node = Cluster(1).nodes[0]
+        node.compute(5)
+        assert "Node(0" in repr(node) and "clock=5" in repr(node)
+
+
+class TestCollectives:
+    def test_allreduce_sums_by_default(self):
+        c = Cluster(4)
+        assert c.allreduce([1, 2, 3, 4]) == 10
+
+    def test_allreduce_custom_op(self):
+        c = Cluster(3)
+        assert c.allreduce([5, 1, 9], op=max) == 9
+
+    def test_allreduce_requires_one_value_per_node(self):
+        with pytest.raises(ClusterError):
+            Cluster(3).allreduce([1, 2])
+
+    def test_allreduce_costs_messages(self):
+        c = Cluster(4)
+        c.allreduce([0, 0, 0, 0])
+        # gather: 3 sends to root; broadcast: 3 sends back
+        assert c.net_stats().messages == 6
+        assert all(n.stats.comm_cycles > 0 for n in c.nodes)
+
+    def test_allreduce_single_node_is_free(self):
+        c = Cluster(1)
+        assert c.allreduce([42]) == 42
+        assert c.makespan == 0.0
+
+    def test_barrier_synchronises_clocks(self):
+        c = Cluster(3)
+        c.nodes[0].compute(100)
+        c.nodes[2].compute(700)
+        target = c.barrier()
+        assert target == 700 + c.network.cost.barrier_cycles(3)
+        assert all(n.clock == target for n in c.nodes)
+        # the fast nodes' waits landed in their comm bucket
+        assert c.nodes[1].stats.comm_cycles > c.nodes[2].stats.comm_cycles
+
+    def test_barrier_single_node_is_free(self):
+        c = Cluster(1)
+        c.nodes[0].compute(10)
+        assert c.barrier() == 10.0
+
+
+class TestObservability:
+    def test_one_lane_per_node(self):
+        rec = TraceRecorder()
+        c = Cluster(3, recorder=rec)
+        for node in c.nodes:
+            node.compute(10)
+        c.allreduce([1, 1, 1])
+        from repro.obs.chrome import to_chrome, validate
+        doc = to_chrome(rec)
+        validate(doc)
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e.get("name") == "thread_name"}
+        assert {"node0", "node1", "node2"} <= names
+
+    def test_no_recorder_no_overhead_paths(self):
+        c = Cluster(2)        # NullRecorder: enabled is False
+        c.nodes[0].send(1, 7)
+        c.nodes[1].recv(0)
+        assert not c.recorder.enabled
+
+    def test_network_lane_emits_instants_and_counters(self):
+        rec = TraceRecorder()
+        c = Cluster(2, recorder=rec)
+        c.nodes[0].send(1, np.zeros(8, dtype=np.uint8))
+        c.nodes[1].recv(0)
+        from repro.obs.chrome import to_chrome
+        doc = to_chrome(rec)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "i" in phases or "I" in phases    # the net.send instant
+        assert "C" in phases                     # the per-link counter

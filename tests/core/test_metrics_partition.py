@@ -174,3 +174,42 @@ class TestGridPartition:
                     assert (i, j) not in cells
                     cells.add((i, j))
         assert len(cells) == rows * cols
+
+
+class TestDegenerateShardPlacement:
+    """The cluster-layer edge cases: parts > rows, zero-cell regions."""
+
+    def test_more_parts_than_rows_still_covers(self):
+        regions = partition_grid(3, 5, 8, "row")
+        assert len(regions) == 8                      # one region per rank
+        assert sum(r.cell_count for r in regions) == 15
+        # the non-empty bands come first, the idle ranks after
+        sizes = [r.cell_count for r in regions]
+        assert sizes == [5, 5, 5, 0, 0, 0, 0, 0]
+
+    def test_more_parts_than_cols(self):
+        regions = partition_grid(4, 2, 5, "col")
+        assert len(regions) == 5
+        assert [r.cell_count for r in regions] == [4, 4, 0, 0, 0]
+
+    def test_balance_ratio_mixed_empty_is_infinite(self):
+        # an idle worker next to a loaded one is unbounded imbalance,
+        # not 1.0 and not a ZeroDivisionError
+        regions = partition_grid(3, 5, 8, "row")
+        assert balance_ratio(regions) == float("inf")
+
+    def test_balance_ratio_all_empty_is_even(self):
+        regions = partition_grid(0, 7, 4, "row")
+        assert balance_ratio(regions) == 1.0
+        assert balance_ratio([]) == 1.0
+
+    def test_balance_ratio_no_empty_unchanged(self):
+        regions = partition_grid(7, 3, 2, "row")
+        assert balance_ratio(regions) == pytest.approx(4 / 3)
+
+    @given(rows=st.integers(min_value=0, max_value=12),
+           cols=st.integers(min_value=0, max_value=12),
+           k=st.integers(min_value=1, max_value=24))
+    def test_property_ratio_always_defined(self, rows, cols, k):
+        ratio = balance_ratio(partition_grid(rows, cols, k, "row"))
+        assert ratio >= 1.0
